@@ -1,0 +1,39 @@
+//! Latency of the share-optimization algorithms — validating the paper's
+//! claim that Algorithm 1 "computes the hypercube configuration in under
+//! 100 msec" for Q1–Q4 at 64 workers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parjoin_core::hypercube::ShareProblem;
+use parjoin_datagen::all_queries;
+
+fn problems() -> Vec<(&'static str, ShareProblem)> {
+    // Paper-scale cardinalities: 1.1M-ish per atom; the algorithm's cost
+    // depends only on the number of variables/atoms, not the data.
+    all_queries()
+        .into_iter()
+        .take(4)
+        .map(|spec| {
+            let cards: Vec<u64> = spec.query.atoms.iter().map(|_| 1_100_000).collect();
+            (spec.name, ShareProblem::from_query(&spec.query, &cards))
+        })
+        .collect()
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hypercube_config");
+    for (name, p) in problems() {
+        group.bench_with_input(BenchmarkId::new("algorithm1_n64", name), &p, |b, p| {
+            b.iter(|| p.optimize(64))
+        });
+        group.bench_with_input(BenchmarkId::new("lp_fractional_n64", name), &p, |b, p| {
+            b.iter(|| p.fractional(64))
+        });
+        group.bench_with_input(BenchmarkId::new("round_down_n64", name), &p, |b, p| {
+            b.iter(|| p.round_down(64))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Shuffle throughput: regular vs broadcast vs hypercube routing over a
+//! 64-worker cluster.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parjoin_core::hypercube::HcConfig;
+use parjoin_datagen::graph;
+use parjoin_engine::dist::DistRel;
+use parjoin_engine::shuffle;
+use parjoin_query::VarId;
+
+fn v(i: u32) -> VarId {
+    VarId(i)
+}
+
+fn bench_shuffles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shuffle");
+    let g = graph::twitter_graph(20_000, 5, 3);
+    let dist = DistRel::round_robin(&g, vec![v(0), v(1)], 64);
+    group.throughput(Throughput::Elements(g.len() as u64));
+
+    group.bench_with_input(BenchmarkId::new("regular_h(y)", g.len()), &dist, |b, d| {
+        b.iter(|| shuffle::regular(d, &[v(1)], "bench", 1))
+    });
+    group.bench_with_input(BenchmarkId::new("broadcast", g.len()), &dist, |b, d| {
+        b.iter(|| shuffle::broadcast(d, "bench"))
+    });
+    let cfg = HcConfig::new(vec![v(0), v(1), v(2)], vec![4, 4, 4]);
+    group.bench_with_input(BenchmarkId::new("hypercube_4x4x4", g.len()), &dist, |b, d| {
+        b.iter(|| shuffle::hypercube(d, &cfg, "bench", 1))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_shuffles
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Sorting — the dominant Tributary-join cost (Table 5) — at several
+//! scales: raw lexicographic sort vs the full `SortedAtom::prepare`
+//! (column permutation + sort).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parjoin_core::tributary::SortedAtom;
+use parjoin_datagen::graph;
+use parjoin_query::VarId;
+
+fn bench_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sort");
+    for &nodes in &[2_000u64, 8_000, 32_000] {
+        let g = graph::twitter_graph(nodes, 5, 13);
+        group.throughput(Throughput::Elements(g.len() as u64));
+        group.bench_with_input(BenchmarkId::new("sort_lex", g.len()), &g, |b, g| {
+            b.iter(|| {
+                let mut r = g.clone();
+                r.sort_lex();
+                r.len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("prepare_permuted", g.len()), &g, |b, g| {
+            // Permutation (y, x): forces the column shuffle path.
+            b.iter(|| {
+                SortedAtom::prepare(g, &[VarId(1), VarId(0)], &[VarId(0), VarId(1)])
+                    .relation()
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sort
+}
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Ablations: the end-to-end effect of the share optimizer (Algorithm 1)
+//! and the variable-order cost model on HC_TJ.
+fn main() {
+    let settings = parjoin_bench::Settings::from_args();
+    parjoin_bench::experiments::ablation::run(&settings);
+}

@@ -1,0 +1,5 @@
+//! Plan advisor validation: cost-model pick vs measured optimum per query.
+fn main() {
+    let settings = parjoin_bench::Settings::from_args();
+    parjoin_bench::experiments::advisor::run(&settings);
+}

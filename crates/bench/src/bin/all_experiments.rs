@@ -1,0 +1,61 @@
+//! Replays the paper's entire evaluation: every figure and table, in
+//! paper order. `--scale tiny|small|medium` trades fidelity for time;
+//! `--json <dir>` additionally writes per-figure JSON for plotting.
+use parjoin_bench::experiments::*;
+use parjoin_datagen::workloads;
+use parjoin_datagen::QuerySpec;
+
+fn json_dir() -> Option<std::path::PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from)
+}
+
+fn figure(
+    title: &str,
+    spec: &QuerySpec,
+    settings: &parjoin_bench::Settings,
+    budget: Option<u64>,
+    json: &Option<std::path::PathBuf>,
+) {
+    let results = six_configs::figure(title, spec, settings, budget);
+    if let Some(dir) = json {
+        std::fs::create_dir_all(dir).expect("create --json dir");
+        let name = title.to_lowercase().replace(' ', "_");
+        let path = dir.join(format!("{name}_{}.json", spec.name.to_lowercase()));
+        let doc = six_configs::results_json(title, spec, &results);
+        std::fs::write(&path, doc.to_string()).expect("write JSON");
+        println!("    (JSON written to {})", path.display());
+    }
+}
+
+fn main() {
+    let settings = parjoin_bench::Settings::from_args();
+    let json = json_dir();
+    println!("parjoin — full experiment suite (workers={}, seed={})", settings.workers, settings.seed);
+
+    figure("Figure 3", &workloads::q1(), &settings, None, &json);
+    skew::run(&settings);
+    breakdown::run(&settings);
+    figure("Figure 4", &workloads::q2(), &settings, None, &json);
+    figure("Figure 6", &workloads::q3(), &settings, None, &json);
+    let q4 = workloads::q4();
+    let budget = six_configs::fig09_budget(&q4, &settings);
+    figure("Figure 9", &q4, &settings, budget, &json);
+    worker_util::run(&settings);
+    figure("Figure 13", &workloads::q5(), &settings, None, &json);
+    figure("Figure 14", &workloads::q6(), &settings, None, &json);
+    figure("Figure 15", &workloads::q7(), &settings, None, &json);
+    figure("Figure 17", &workloads::q8(), &settings, None, &json);
+    summary::run(&settings);
+    semijoin::run(&settings);
+    scalability::run(&settings);
+    hc_config::run(&settings);
+    order_cost::run(&settings);
+    random_cells::run(&settings);
+    ablation::run(&settings);
+    sensitivity::run(&settings);
+    advisor::run(&settings);
+}

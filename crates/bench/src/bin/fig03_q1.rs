@@ -1,0 +1,10 @@
+//! Figure 3: the triangle query (Q1) under all six configurations.
+fn main() {
+    let settings = parjoin_bench::Settings::from_args();
+    parjoin_bench::experiments::six_configs::figure(
+        "Figure 3",
+        &parjoin_datagen::workloads::q1(),
+        &settings,
+        None,
+    );
+}

@@ -1,0 +1,10 @@
+//! Figure 4: the 4-clique query (Q2) under all six configurations.
+fn main() {
+    let settings = parjoin_bench::Settings::from_args();
+    parjoin_bench::experiments::six_configs::figure(
+        "Figure 4",
+        &parjoin_datagen::workloads::q2(),
+        &settings,
+        None,
+    );
+}

@@ -1,0 +1,10 @@
+//! Figure 6: Freebase co-star cast query (Q3) under all six configurations.
+fn main() {
+    let settings = parjoin_bench::Settings::from_args();
+    parjoin_bench::experiments::six_configs::figure(
+        "Figure 6",
+        &parjoin_datagen::workloads::q3(),
+        &settings,
+        None,
+    );
+}

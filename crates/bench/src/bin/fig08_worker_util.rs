@@ -1,0 +1,5 @@
+//! Figure 8: Q4 worker utilization under HC_TJ vs BR_TJ.
+fn main() {
+    let settings = parjoin_bench::Settings::from_args();
+    parjoin_bench::experiments::worker_util::run(&settings);
+}

@@ -1,0 +1,11 @@
+//! Figure 9: Freebase actor-pairs query (Q4); RS_TJ FAILs on the
+//! per-worker memory budget, as in the paper.
+fn main() {
+    let settings = parjoin_bench::Settings::from_args();
+    let spec = parjoin_datagen::workloads::q4();
+    let budget = parjoin_bench::experiments::six_configs::fig09_budget(&spec, &settings);
+    if let Some(b) = budget {
+        println!("(per-worker memory budget: {b} tuples — between RS_HJ's and RS_TJ's needs)");
+    }
+    parjoin_bench::experiments::six_configs::figure("Figure 9", &spec, &settings, budget);
+}

@@ -1,0 +1,5 @@
+//! Figure 10: Q1 scalability from 2 to 64 workers (HC_TJ vs RS_HJ).
+fn main() {
+    let settings = parjoin_bench::Settings::from_args();
+    parjoin_bench::experiments::scalability::run(&settings);
+}

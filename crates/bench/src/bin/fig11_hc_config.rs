@@ -1,0 +1,6 @@
+//! Figure 11: hypercube configuration algorithms, workload-to-optimal
+//! ratios at N = 64, 63, 65 for Q1-Q4.
+fn main() {
+    let settings = parjoin_bench::Settings::from_args();
+    parjoin_bench::experiments::hc_config::run(&settings);
+}

@@ -1,0 +1,5 @@
+//! Figure 12 + Table 7: cost model vs measured Tributary-join runtimes.
+fn main() {
+    let settings = parjoin_bench::Settings::from_args();
+    parjoin_bench::experiments::order_cost::run(&settings);
+}

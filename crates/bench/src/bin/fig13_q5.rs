@@ -1,0 +1,10 @@
+//! Figure 13: Twitter rectangle query (Q5) under all six configurations.
+fn main() {
+    let settings = parjoin_bench::Settings::from_args();
+    parjoin_bench::experiments::six_configs::figure(
+        "Figure 13",
+        &parjoin_datagen::workloads::q5(),
+        &settings,
+        None,
+    );
+}

@@ -1,0 +1,10 @@
+//! Figure 14: Twitter two-rings query (Q6) under all six configurations.
+fn main() {
+    let settings = parjoin_bench::Settings::from_args();
+    parjoin_bench::experiments::six_configs::figure(
+        "Figure 14",
+        &parjoin_datagen::workloads::q6(),
+        &settings,
+        None,
+    );
+}

@@ -1,0 +1,10 @@
+//! Figure 15: Freebase Oscar-winners query (Q7) under all six configurations.
+fn main() {
+    let settings = parjoin_bench::Settings::from_args();
+    parjoin_bench::experiments::six_configs::figure(
+        "Figure 15",
+        &parjoin_datagen::workloads::q7(),
+        &settings,
+        None,
+    );
+}

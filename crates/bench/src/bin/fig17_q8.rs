@@ -1,0 +1,10 @@
+//! Figure 17: Freebase actor-director query (Q8) under all six configurations.
+fn main() {
+    let settings = parjoin_bench::Settings::from_args();
+    parjoin_bench::experiments::six_configs::figure(
+        "Figure 17",
+        &parjoin_datagen::workloads::q8(),
+        &settings,
+        None,
+    );
+}

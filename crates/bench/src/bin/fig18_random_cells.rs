@@ -1,0 +1,5 @@
+//! Figure 18 (Appendix B): random hypercube cell allocation example.
+fn main() {
+    let settings = parjoin_bench::Settings::from_args();
+    parjoin_bench::experiments::random_cells::run(&settings);
+}

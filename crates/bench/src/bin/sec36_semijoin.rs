@@ -1,0 +1,5 @@
+//! §3.6: semijoin (GYM) plans vs RS/HC on the acyclic queries.
+fn main() {
+    let settings = parjoin_bench::Settings::from_args();
+    parjoin_bench::experiments::semijoin::run(&settings);
+}

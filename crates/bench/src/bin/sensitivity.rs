@@ -1,0 +1,6 @@
+//! Sensitivity analyses: per-tuple network cost sweep and degree-skew
+//! ablation on Q1.
+fn main() {
+    let settings = parjoin_bench::Settings::from_args();
+    parjoin_bench::experiments::sensitivity::run(&settings);
+}

@@ -1,0 +1,5 @@
+//! Tables 2-4: Q1 shuffle load balance under the three shuffle algorithms.
+fn main() {
+    let settings = parjoin_bench::Settings::from_args();
+    parjoin_bench::experiments::skew::run(&settings);
+}

@@ -1,0 +1,5 @@
+//! Table 5: Q1 local-join operator time breakdown (sorts vs join).
+fn main() {
+    let settings = parjoin_bench::Settings::from_args();
+    parjoin_bench::experiments::breakdown::run(&settings);
+}

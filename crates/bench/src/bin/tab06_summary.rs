@@ -1,0 +1,5 @@
+//! Table 6: summary of the extended evaluation over Q1-Q8.
+fn main() {
+    let settings = parjoin_bench::Settings::from_args();
+    parjoin_bench::experiments::summary::run(&settings);
+}

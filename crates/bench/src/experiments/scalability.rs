@@ -1,0 +1,90 @@
+//! Figure 10: scalability of HC_TJ vs RS_HJ on Q1 from 2 to 64 workers —
+//! (a) speedup relative to 2 workers, (b) total tuples shuffled under HC
+//! (grows with the cluster because replication grows), (c) per-worker
+//! sort and join time (drops: each worker holds less data even though the
+//! cluster as a whole holds more).
+
+use crate::report::print_table;
+use crate::Settings;
+use parjoin_engine::{run_config, Cluster, JoinAlg, PlanOptions, ShuffleAlg};
+
+/// Runs the sweep and prints the three panels.
+pub fn run(settings: &Settings) {
+    let spec = parjoin_datagen::workloads::q1();
+    let db = settings.scale.twitter_db(settings.seed);
+    println!("\n=== Figure 10: Q1 scalability, 2..=64 workers ===");
+    println!("  Twitter edges: {}", db.expect("Twitter").len());
+
+    let workers_axis = [2usize, 4, 8, 16, 32, 64];
+    let mut rows_a = Vec::new();
+    let mut rows_b = Vec::new();
+    let mut rows_c = Vec::new();
+    let mut base: Option<(f64, f64)> = None; // (hc_wall@2, rs_wall@2)
+
+    for &w in &workers_axis {
+        let cluster = Cluster::new(w).with_seed(settings.seed);
+        let hc = run_config(
+            &spec.query, &db, &cluster, ShuffleAlg::HyperCube, JoinAlg::Tributary,
+            &PlanOptions::default(),
+        )
+        .expect("HC_TJ");
+        let rs = run_config(
+            &spec.query, &db, &cluster, ShuffleAlg::Regular, JoinAlg::Hash,
+            &PlanOptions::default(),
+        )
+        .expect("RS_HJ");
+        let (hw, rw) = (hc.wall.as_secs_f64(), rs.wall.as_secs_f64());
+        let (h0, r0) = *base.get_or_insert((hw, rw));
+
+        rows_a.push(vec![
+            w.to_string(),
+            format!("{:.2}x", h0 / hw.max(1e-12)),
+            format!("{:.2}x", r0 / rw.max(1e-12)),
+            format!("{:.2}x", w as f64 / 2.0),
+        ]);
+        rows_b.push(vec![
+            w.to_string(),
+            hc.tuples_shuffled.to_string(),
+            hc.hc_config.as_ref().map(|c| c.to_string()).unwrap_or_default(),
+        ]);
+        let workers_f = w as f64;
+        let sort_per = hc.sort_cpu().as_secs_f64() / workers_f;
+        let join_per = hc.join_cpu().as_secs_f64() / workers_f;
+        rows_c.push(vec![
+            w.to_string(),
+            format!("{:.4}s", sort_per),
+            format!("{:.4}s", join_per),
+        ]);
+    }
+    print_table(
+        "(a) speedup vs 2 workers",
+        &["workers", "HC_TJ", "RS_HJ", "ideal"],
+        &rows_a,
+    );
+    print_table(
+        "(b) HC tuples shuffled (replication grows with cluster size)",
+        &["workers", "tuples", "config"],
+        &rows_b,
+    );
+    print_table(
+        "(c) per-worker HC_TJ time",
+        &["workers", "sort", "tributary join"],
+        &rows_c,
+    );
+    println!(
+        "    (paper: HC_TJ scales near-linearly while RS_HJ plateaus beyond 4 workers\n     \
+         due to skew; HC shuffle volume grows with cluster size yet per-worker\n     \
+         sort+join time keeps dropping.)"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parjoin_datagen::Scale;
+
+    #[test]
+    fn smoke_at_tiny_scale() {
+        run(&Settings { scale: Scale::tiny(), workers: 64, seed: 1 });
+    }
+}

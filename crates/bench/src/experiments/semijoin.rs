@@ -1,0 +1,78 @@
+//! §3.6: distributed semijoin (GYM) plans vs regular and HyperCube
+//! shuffles on the acyclic queries Q3 and Q7.
+
+use crate::report::print_table;
+use crate::Settings;
+use parjoin_engine::semijoin::run_semijoin_plan;
+use parjoin_engine::{run_config, Cluster, JoinAlg, PlanOptions, ShuffleAlg};
+use std::time::Duration;
+
+/// Runs the comparison and prints per-query rows.
+pub fn run(settings: &Settings) {
+    println!("\n=== §3.6: semijoin (GYM) plans on the acyclic queries ===");
+    // The paper charges each extra communication round its
+    // synchronization cost; model it with a fixed per-round latency so
+    // the semijoin's longer pipeline ("2.5x more operators") shows up.
+    let round_latency = Duration::from_millis(2);
+    let cluster = Cluster::new(settings.workers)
+        .with_seed(settings.seed)
+        .with_round_latency(round_latency);
+    let opts = PlanOptions::default();
+
+    for spec in [parjoin_datagen::workloads::q3(), parjoin_datagen::workloads::q7()] {
+        let db = settings.scale.db_for(spec.dataset, settings.seed);
+        let rs = run_config(&spec.query, &db, &cluster, ShuffleAlg::Regular, JoinAlg::Hash, &opts)
+            .expect("RS_HJ");
+        let hc = run_config(
+            &spec.query, &db, &cluster, ShuffleAlg::HyperCube, JoinAlg::Tributary, &opts,
+        )
+        .expect("HC_TJ");
+        let sj = run_semijoin_plan(&spec.query, &db, &cluster, &opts).expect("acyclic");
+
+        let rows = vec![
+            vec![
+                "RS_HJ".into(),
+                format!("{:.4}s", rs.wall.as_secs_f64()),
+                rs.tuples_shuffled.to_string(),
+                rs.rounds.to_string(),
+            ],
+            vec![
+                "HC_TJ".into(),
+                format!("{:.4}s", hc.wall.as_secs_f64()),
+                hc.tuples_shuffled.to_string(),
+                hc.rounds.to_string(),
+            ],
+            vec![
+                "SJ_HJ".into(),
+                format!("{:.4}s", sj.run.wall.as_secs_f64()),
+                sj.run.tuples_shuffled.to_string(),
+                sj.run.rounds.to_string(),
+            ],
+        ];
+        print_table(
+            &format!("{} (round latency {:?})", spec.name, round_latency),
+            &["plan", "wall", "tuples shuffled", "rounds"],
+            &rows,
+        );
+        println!(
+            "    semijoin shuffles: {} projected-key tuples + {} input tuples",
+            sj.projected_tuples_shuffled, sj.input_tuples_shuffled
+        );
+    }
+    println!(
+        "    (paper: the semijoin reduction never pays off on this workload — the\n     \
+         extra rounds cancel the dangling-tuple savings; Q3 RS shuffles 7.18M vs\n     \
+         semijoin 2.29M projected + 6.57M input tuples.)"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parjoin_datagen::Scale;
+
+    #[test]
+    fn smoke() {
+        run(&Settings { scale: Scale::tiny(), workers: 4, seed: 1 });
+    }
+}

@@ -1,0 +1,59 @@
+//! Tables 2–4: per-shuffle load balance for Q1 under the three shuffle
+//! algorithms (tuples sent, producer skew, consumer skew).
+
+use crate::report::print_table;
+use crate::Settings;
+use parjoin_engine::{run_config, Cluster, JoinAlg, PlanOptions, RunResult, ShuffleAlg};
+
+fn shuffle_table(title: &str, r: &RunResult) {
+    let mut rows: Vec<Vec<String>> = r
+        .shuffles
+        .iter()
+        .map(|s| {
+            vec![
+                s.label.clone(),
+                s.tuples_sent.to_string(),
+                format!("{:.2}", s.producer_skew()),
+                format!("{:.2}", s.consumer_skew()),
+            ]
+        })
+        .collect();
+    rows.push(vec!["Total".into(), r.tuples_shuffled.to_string(), "N.A.".into(), "N.A.".into()]);
+    print_table(title, &["shuffle", "tuples sent", "producer skew", "consumer skew"], &rows);
+}
+
+/// Runs Q1 under RS/HCS/BR and prints the three load-balance tables.
+pub fn run(settings: &Settings) {
+    let spec = parjoin_datagen::workloads::q1();
+    let db = settings.scale.twitter_db(settings.seed);
+    let cluster = Cluster::new(settings.workers).with_seed(settings.seed);
+    let opts = PlanOptions::default();
+
+    println!("\n=== Tables 2-4: Q1 shuffle load balance ===");
+    println!("  Twitter edges: {}", db.expect("Twitter").len());
+
+    let rs = run_config(&spec.query, &db, &cluster, ShuffleAlg::Regular, JoinAlg::Hash, &opts)
+        .expect("RS");
+    shuffle_table("Table 2: regular shuffles", &rs);
+
+    let hc = run_config(&spec.query, &db, &cluster, ShuffleAlg::HyperCube, JoinAlg::Tributary, &opts)
+        .expect("HC");
+    shuffle_table("Table 3: HyperCube shuffles", &hc);
+
+    let br = run_config(&spec.query, &db, &cluster, ShuffleAlg::Broadcast, JoinAlg::Hash, &opts)
+        .expect("BR");
+    shuffle_table("Table 4: broadcast shuffles", &br);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parjoin_datagen::Scale;
+
+    #[test]
+    fn smoke_at_tiny_scale() {
+        let settings =
+            Settings { scale: Scale::tiny(), workers: 8, seed: 1 };
+        run(&settings);
+    }
+}

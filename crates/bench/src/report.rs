@@ -1,0 +1,186 @@
+//! Plain-text rendering of experiment results in the shape of the
+//! paper's figures (grouped bar charts become aligned tables with ASCII
+//! bars) and tables.
+
+use std::time::Duration;
+
+/// One bar of a figure: a label and a value (or FAIL).
+pub struct Bar {
+    /// Configuration label (e.g. `RS_HJ`).
+    pub label: String,
+    /// The measured value; `None` renders as `FAIL`.
+    pub value: Option<f64>,
+}
+
+/// Prints a titled group of bars with values and proportional ASCII bars
+/// (the paper's subfigure (a)/(b)/(c) panels).
+pub fn print_bars(title: &str, unit: &str, bars: &[Bar]) {
+    println!("\n  {title} [{unit}]");
+    let max = bars.iter().filter_map(|b| b.value).fold(0.0f64, f64::max).max(1e-12);
+    for b in bars {
+        match b.value {
+            Some(v) => {
+                let width = ((v / max) * 40.0).round() as usize;
+                println!("    {:<7} {:>12.4} |{}", b.label, v, "#".repeat(width.max(1)));
+            }
+            None => println!("    {:<7} {:>12} |", b.label, "FAIL"),
+        }
+    }
+}
+
+/// Formats a duration as fractional seconds.
+pub fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+/// Prints a generic aligned table.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n  {title}");
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i.min(widths.len() - 1)]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    println!("    {}", fmt_row(&head));
+    println!("    {}", "-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+    for row in rows {
+        println!("    {}", fmt_row(row));
+    }
+}
+
+/// Millions, one decimal (the paper reports tuple counts in millions).
+pub fn millions(n: u64) -> String {
+    format!("{:.2}M", n as f64 / 1e6)
+}
+
+/// A minimal JSON value builder — enough to export experiment results
+/// for plotting without pulling in a JSON crate.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// A float (also used for integers).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An ordered object.
+    Obj(Vec<(String, Json)>),
+    /// An array.
+    Arr(Vec<Json>),
+    /// null (e.g. a FAILed configuration).
+    Null,
+}
+
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+impl Json {
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Num(n) => {
+                if n.is_finite() {
+                    out.push_str(&format!("{n}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32))
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).write(out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Json::Null => out.push_str("null"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_handle_fail_and_zero() {
+        // Smoke: must not panic on edge inputs.
+        print_bars("t", "s", &[
+            Bar { label: "A".into(), value: Some(0.0) },
+            Bar { label: "B".into(), value: None },
+        ]);
+    }
+
+    #[test]
+    fn millions_formatting() {
+        assert_eq!(millions(13_371_468), "13.37M");
+    }
+
+    #[test]
+    fn table_alignment_no_panic() {
+        print_table("t", &["a", "b"], &[vec!["1".into(), "22".into()]]);
+    }
+
+    #[test]
+    fn json_serialization() {
+        let j = Json::Obj(vec![
+            ("name".into(), Json::Str("HC_TJ".into())),
+            ("wall".into(), Json::Num(0.5)),
+            ("fail".into(), Json::Null),
+            ("xs".into(), Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)])),
+        ]);
+        assert_eq!(
+            j.to_string(),
+            r#"{"name":"HC_TJ","wall":0.5,"fail":null,"xs":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let j = Json::Str("a\"b\\c\nd".into());
+        assert_eq!(j.to_string(), r#""a\"b\\c\nd""#);
+    }
+}

@@ -1,0 +1,92 @@
+//! A named catalog of relations.
+
+use crate::Relation;
+use std::collections::BTreeMap;
+
+/// A database: relation name → [`Relation`]. Names are case-sensitive.
+///
+/// `BTreeMap` keeps iteration deterministic, which keeps every experiment
+/// reproducible run-to-run.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts (or replaces) a relation.
+    pub fn insert(&mut self, name: impl Into<String>, rel: Relation) {
+        self.relations.insert(name.into(), rel);
+    }
+
+    /// Looks up a relation by name.
+    pub fn get(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// Looks up a relation, panicking with a clear message if missing.
+    ///
+    /// # Panics
+    /// Panics if `name` is not in the catalog.
+    pub fn expect(&self, name: &str) -> &Relation {
+        self.relations
+            .get(name)
+            .unwrap_or_else(|| panic!("relation `{name}` not found in database"))
+    }
+
+    /// Iterates over `(name, relation)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Relation)> {
+        self.relations.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True when the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Total tuples across all relations (the paper's "Input size" column
+    /// in Table 6 counts each referenced copy; that adjustment happens at
+    /// the query level).
+    pub fn total_tuples(&self) -> u64 {
+        self.relations.values().map(|r| r.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_get() {
+        let mut db = Database::new();
+        db.insert("R", Relation::from_rows(2, [[1u64, 2]].iter()));
+        assert_eq!(db.expect("R").len(), 1);
+        assert!(db.get("S").is_none());
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.total_tuples(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not found")]
+    fn expect_missing_panics() {
+        Database::new().expect("nope");
+    }
+
+    #[test]
+    fn iteration_is_sorted_by_name() {
+        let mut db = Database::new();
+        db.insert("Z", Relation::new(1));
+        db.insert("A", Relation::new(1));
+        let names: Vec<_> = db.iter().map(|(n, _)| n.to_string()).collect();
+        assert_eq!(names, vec!["A", "Z"]);
+    }
+}

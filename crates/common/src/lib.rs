@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! # parjoin-common
+//!
+//! Foundation types shared by every `parjoin` crate:
+//!
+//! * [`Relation`] — a flat, row-major, fixed-arity table of `u64` values.
+//!   This is the in-memory representation of both base relations and
+//!   intermediate join results. Tributary join requires lexicographically
+//!   sorted relations; [`Relation::sorted_by_columns`] produces the
+//!   column-permuted, row-sorted copy used there.
+//! * [`Database`] — a named catalog of relations.
+//! * [`hash`] — the independent per-dimension hash functions required by
+//!   the HyperCube shuffle ("hᵢ is a hash function chosen independently
+//!   for xᵢ", paper §2.1).
+//! * [`stats`] — skew metrics (max/average load ratios) exactly as reported
+//!   in the paper's Tables 2–4.
+
+pub mod db;
+pub mod hash;
+pub mod relation;
+pub mod stats;
+
+pub use db::Database;
+pub use relation::Relation;
+pub use stats::{skew, ShuffleStats};
+
+/// The value domain: every attribute value is a dictionary-encoded `u64`.
+pub type Value = u64;

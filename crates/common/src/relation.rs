@@ -1,0 +1,340 @@
+//! Flat, row-major relation storage.
+//!
+//! A [`Relation`] stores `len × arity` values contiguously. Row-major flat
+//! storage keeps scans and lexicographic sorts cache-friendly and lets the
+//! Tributary join operate on plain `&[u64]` windows — the paper's point
+//! that "sorting on the fly is cheaper than computing a B-tree on the fly"
+//! (§2.2) only holds when the sort itself touches contiguous memory.
+
+use crate::Value;
+use std::fmt;
+
+/// A fixed-arity multiset of tuples over `u64` values.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Relation {
+    arity: usize,
+    data: Vec<Value>,
+}
+
+impl Relation {
+    /// Creates an empty relation with the given arity.
+    ///
+    /// # Panics
+    /// Panics if `arity == 0`; nullary relations are never needed here.
+    pub fn new(arity: usize) -> Self {
+        assert!(arity > 0, "relation arity must be positive");
+        Relation { arity, data: Vec::new() }
+    }
+
+    /// Creates an empty relation with room for `rows` tuples.
+    pub fn with_capacity(arity: usize, rows: usize) -> Self {
+        assert!(arity > 0, "relation arity must be positive");
+        Relation { arity, data: Vec::with_capacity(rows * arity) }
+    }
+
+    /// Builds a relation from an iterator of rows.
+    ///
+    /// # Panics
+    /// Panics if any row's length differs from `arity`.
+    pub fn from_rows<R, I>(arity: usize, rows: I) -> Self
+    where
+        R: AsRef<[Value]>,
+        I: IntoIterator<Item = R>,
+    {
+        let mut rel = Relation::new(arity);
+        for row in rows {
+            rel.push_row(row.as_ref());
+        }
+        rel
+    }
+
+    /// Number of attributes per tuple.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.arity
+    }
+
+    /// True when the relation holds no tuples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrows row `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[Value] {
+        &self.data[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// Appends one tuple.
+    ///
+    /// # Panics
+    /// Panics if `row.len() != self.arity()`.
+    #[inline]
+    pub fn push_row(&mut self, row: &[Value]) {
+        debug_assert_eq!(row.len(), self.arity, "row arity mismatch");
+        self.data.extend_from_slice(row);
+    }
+
+    /// Appends every tuple of `other`.
+    ///
+    /// # Panics
+    /// Panics if arities differ.
+    pub fn extend_from(&mut self, other: &Relation) {
+        assert_eq!(self.arity, other.arity, "arity mismatch in extend");
+        self.data.extend_from_slice(&other.data);
+    }
+
+    /// Iterates over rows as slices.
+    #[inline]
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = &[Value]> + Clone {
+        self.data.chunks_exact(self.arity)
+    }
+
+    /// Direct access to the backing buffer (row-major).
+    #[inline]
+    pub fn raw(&self) -> &[Value] {
+        &self.data
+    }
+
+    /// Reads the value at `(row, col)` without slicing the whole row.
+    #[inline]
+    pub fn value(&self, row: usize, col: usize) -> Value {
+        self.data[row * self.arity + col]
+    }
+
+    /// Sorts tuples lexicographically in place.
+    pub fn sort_lex(&mut self) {
+        let arity = self.arity;
+        if self.len() <= 1 {
+            return;
+        }
+        // Sorting row indices then permuting does one allocation and moves
+        // each row exactly once, instead of repeatedly swapping wide rows.
+        let mut idx: Vec<u32> = (0..self.len() as u32).collect();
+        let data = &self.data;
+        idx.sort_unstable_by(|&a, &b| {
+            let ra = &data[a as usize * arity..a as usize * arity + arity];
+            let rb = &data[b as usize * arity..b as usize * arity + arity];
+            ra.cmp(rb)
+        });
+        let mut out = Vec::with_capacity(self.data.len());
+        for &i in &idx {
+            out.extend_from_slice(&data[i as usize * arity..i as usize * arity + arity]);
+        }
+        self.data = out;
+    }
+
+    /// Returns a new relation whose columns are `cols` (projection with
+    /// reordering), with rows sorted lexicographically.
+    ///
+    /// This is the preprocessing step of the Tributary join: given the
+    /// global variable order, each input relation is permuted so its
+    /// columns follow that order, then sorted (paper §2.2).
+    ///
+    /// # Panics
+    /// Panics if any column index is out of range.
+    pub fn sorted_by_columns(&self, cols: &[usize]) -> Relation {
+        let mut out = self.project(cols);
+        out.sort_lex();
+        out
+    }
+
+    /// Projects onto the given columns (duplicates retained, bag semantics).
+    ///
+    /// # Panics
+    /// Panics if any column index is out of range.
+    pub fn project(&self, cols: &[usize]) -> Relation {
+        assert!(cols.iter().all(|&c| c < self.arity), "projection column out of range");
+        let mut out = Relation::with_capacity(cols.len().max(1), self.len());
+        if cols.is_empty() {
+            return out;
+        }
+        for row in self.rows() {
+            for &c in cols {
+                out.data.push(row[c]);
+            }
+        }
+        out
+    }
+
+    /// Removes duplicate tuples (sorts first); result is sorted.
+    pub fn distinct(mut self) -> Relation {
+        self.sort_lex();
+        let arity = self.arity;
+        let n = self.len();
+        if n <= 1 {
+            return self;
+        }
+        let mut out = Vec::with_capacity(self.data.len());
+        out.extend_from_slice(&self.data[..arity]);
+        for i in 1..n {
+            let prev = &self.data[(i - 1) * arity..i * arity];
+            let cur = &self.data[i * arity..(i + 1) * arity];
+            if cur != prev {
+                out.extend_from_slice(cur);
+            }
+        }
+        Relation { arity, data: out }
+    }
+
+    /// Keeps only rows satisfying `pred`.
+    pub fn filter<F: FnMut(&[Value]) -> bool>(&self, mut pred: F) -> Relation {
+        let mut out = Relation::new(self.arity);
+        for row in self.rows() {
+            if pred(row) {
+                out.push_row(row);
+            }
+        }
+        out
+    }
+
+    /// True when rows are in non-decreasing lexicographic order.
+    pub fn is_sorted_lex(&self) -> bool {
+        let mut prev: Option<&[Value]> = None;
+        for row in self.rows() {
+            if let Some(p) = prev {
+                if p > row {
+                    return false;
+                }
+            }
+            prev = Some(row);
+        }
+        true
+    }
+
+    /// Approximate heap footprint in bytes (used by the engine's memory
+    /// budget, which reproduces the paper's Q4 `RS_TJ` out-of-memory FAIL).
+    pub fn approx_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<Value>()
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Relation(arity={}, len={})", self.arity, self.len())?;
+        for (i, row) in self.rows().enumerate() {
+            if i >= 20 {
+                writeln!(f, "  … {} more rows", self.len() - 20)?;
+                break;
+            }
+            writeln!(f, "  {row:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(rows: &[[u64; 2]]) -> Relation {
+        Relation::from_rows(2, rows.iter())
+    }
+
+    #[test]
+    fn push_and_read() {
+        let rel = r(&[[1, 2], [3, 4]]);
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.arity(), 2);
+        assert_eq!(rel.row(0), &[1, 2]);
+        assert_eq!(rel.row(1), &[3, 4]);
+        assert_eq!(rel.value(1, 0), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity must be positive")]
+    fn zero_arity_rejected() {
+        let _ = Relation::new(0);
+    }
+
+    #[test]
+    fn sort_lex_orders_rows() {
+        let mut rel = r(&[[2, 1], [1, 9], [2, 0], [1, 3]]);
+        rel.sort_lex();
+        let rows: Vec<_> = rel.rows().map(|r| r.to_vec()).collect();
+        assert_eq!(rows, vec![vec![1, 3], vec![1, 9], vec![2, 0], vec![2, 1]]);
+        assert!(rel.is_sorted_lex());
+    }
+
+    #[test]
+    fn sort_empty_and_single() {
+        let mut e = Relation::new(3);
+        e.sort_lex();
+        assert!(e.is_empty());
+        let mut s = Relation::from_rows(3, [[5u64, 4, 3]].iter());
+        s.sort_lex();
+        assert_eq!(s.row(0), &[5, 4, 3]);
+    }
+
+    #[test]
+    fn project_reorders_columns() {
+        let rel = r(&[[1, 2], [3, 4]]);
+        let p = rel.project(&[1, 0]);
+        assert_eq!(p.row(0), &[2, 1]);
+        assert_eq!(p.row(1), &[4, 3]);
+    }
+
+    #[test]
+    fn project_can_duplicate_columns() {
+        let rel = r(&[[7, 8]]);
+        let p = rel.project(&[0, 0, 1]);
+        assert_eq!(p.row(0), &[7, 7, 8]);
+    }
+
+    #[test]
+    fn sorted_by_columns_matches_manual() {
+        let rel = r(&[[3, 1], [1, 2], [3, 0]]);
+        let s = rel.sorted_by_columns(&[1, 0]);
+        let rows: Vec<_> = s.rows().map(|r| r.to_vec()).collect();
+        assert_eq!(rows, vec![vec![0, 3], vec![1, 3], vec![2, 1]]);
+    }
+
+    #[test]
+    fn distinct_removes_duplicates() {
+        let rel = r(&[[1, 1], [2, 2], [1, 1], [1, 1]]);
+        let d = rel.distinct();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.row(0), &[1, 1]);
+        assert_eq!(d.row(1), &[2, 2]);
+    }
+
+    #[test]
+    fn distinct_on_empty() {
+        let d = Relation::new(2).distinct();
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn filter_keeps_matching() {
+        let rel = r(&[[1, 2], [3, 4], [5, 6]]);
+        let f = rel.filter(|row| row[0] >= 3);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.row(0), &[3, 4]);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = r(&[[1, 1]]);
+        let b = r(&[[2, 2], [3, 3]]);
+        a.extend_from(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.row(2), &[3, 3]);
+    }
+
+    #[test]
+    fn rows_iterator_is_exact_size() {
+        let rel = r(&[[1, 2], [3, 4]]);
+        let it = rel.rows();
+        assert_eq!(it.len(), 2);
+    }
+}

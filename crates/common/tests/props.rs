@@ -1,0 +1,57 @@
+//! Property tests for the relation primitives.
+
+use parjoin_common::{hash, Relation};
+use proptest::prelude::*;
+
+fn arb_relation(max_arity: usize, max_rows: usize) -> impl Strategy<Value = Relation> {
+    (1..=max_arity).prop_flat_map(move |arity| {
+        proptest::collection::vec(
+            proptest::collection::vec(0u64..50, arity),
+            0..=max_rows,
+        )
+        .prop_map(move |rows| Relation::from_rows(arity, rows))
+    })
+}
+
+proptest! {
+    #[test]
+    fn sort_is_permutation(rel in arb_relation(4, 60)) {
+        let mut sorted = rel.clone();
+        sorted.sort_lex();
+        prop_assert!(sorted.is_sorted_lex());
+        prop_assert_eq!(sorted.len(), rel.len());
+        // Multisets equal: compare sorted row vectors.
+        let mut a: Vec<Vec<u64>> = rel.rows().map(|r| r.to_vec()).collect();
+        let b: Vec<Vec<u64>> = sorted.rows().map(|r| r.to_vec()).collect();
+        a.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_is_sorted_dedup(rel in arb_relation(3, 60)) {
+        let d = rel.clone().distinct();
+        prop_assert!(d.is_sorted_lex());
+        let mut expect: Vec<Vec<u64>> = rel.rows().map(|r| r.to_vec()).collect();
+        expect.sort();
+        expect.dedup();
+        let got: Vec<Vec<u64>> = d.rows().map(|r| r.to_vec()).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn project_then_len_preserved(rel in arb_relation(4, 40), keep in 0usize..4) {
+        let keep = keep.min(rel.arity() - 1);
+        let p = rel.project(&[keep]);
+        prop_assert_eq!(p.len(), rel.len());
+        prop_assert_eq!(p.arity(), 1);
+        for (i, row) in rel.rows().enumerate() {
+            prop_assert_eq!(p.row(i)[0], row[keep]);
+        }
+    }
+
+    #[test]
+    fn buckets_cover_range(x in any::<u64>(), seed in any::<u64>(), b in 1usize..128) {
+        prop_assert!(hash::bucket(x, seed, b) < b);
+        prop_assert!(hash::bucket_row(&[x, seed], seed, b) < b);
+    }
+}

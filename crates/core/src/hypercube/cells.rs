@@ -1,0 +1,246 @@
+//! Virtual-cell allocations (Naïve Algorithms 2 and 3, paper §4).
+//!
+//! To reduce rounding loss one can build the hypercube over `M ≫ N`
+//! virtual *cells* and map cells onto the `N` physical workers. The
+//! mapping matters enormously: a tuple of atom `Sⱼ` goes to every cell in
+//! an axis-aligned slab, so a worker owning cells scattered across the
+//! grid receives (nearly) the whole relation — Appendix B's Figure 18
+//! example, reproduced by [`CellAllocation::random`] +
+//! [`CellAllocation::worker_workload`]. An exact branch-and-bound
+//! allocator ([`optimal_allocation`]) is provided for tiny instances to
+//! demonstrate why the ASP-based Naïve Algorithm 3 cannot scale.
+
+use super::config::HcConfig;
+use super::shares::ShareProblem;
+use rand_like::SplitMix;
+use std::collections::BTreeSet;
+
+/// A mapping of hypercube cells to physical workers.
+#[derive(Debug, Clone)]
+pub struct CellAllocation {
+    /// The cell grid (usually from the LP shares at `M` cells,
+    /// rounded down).
+    pub grid: HcConfig,
+    /// `owner[cell] = worker`.
+    pub owner: Vec<usize>,
+    /// Number of physical workers.
+    pub workers: usize,
+}
+
+impl CellAllocation {
+    /// Assigns every cell to a uniformly random worker (Naïve Algorithm 2).
+    pub fn random(grid: HcConfig, workers: usize, seed: u64) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        let mut rng = SplitMix::new(seed);
+        let owner = (0..grid.num_cells()).map(|_| rng.below(workers)).collect();
+        CellAllocation { grid, owner, workers }
+    }
+
+    /// The identity allocation: one cell per worker (`M = N`).
+    pub fn identity(grid: HcConfig) -> Self {
+        let workers = grid.num_cells();
+        CellAllocation { grid, owner: (0..workers).collect(), workers }
+    }
+
+    /// Expected tuples received by each worker.
+    ///
+    /// A tuple of atom `Sⱼ` is hashed on `vars(Sⱼ)`; it reaches worker `w`
+    /// iff `w` owns at least one cell whose projection onto those
+    /// dimensions matches. Under uniform hashing the expected count is
+    /// `|Sⱼ| · distinct_projections(w) / ∏_{i∈vars(Sⱼ)} dᵢ`.
+    pub fn worker_workload(&self, problem: &ShareProblem) -> Vec<f64> {
+        let dims = self.grid.dims();
+        let mut loads = vec![0.0f64; self.workers];
+        for atom in &problem.atoms {
+            let atom_dims: Vec<usize> =
+                atom.vars.iter().filter_map(|&v| self.grid.dim_of(v)).collect();
+            let hashed: f64 = atom_dims.iter().map(|&d| dims[d] as f64).product();
+            // Distinct projected coordinates per worker.
+            let mut proj: Vec<BTreeSet<Vec<usize>>> =
+                vec![BTreeSet::new(); self.workers];
+            for (cell, &w) in self.owner.iter().enumerate() {
+                let coords = self.grid.cell_coords(cell);
+                let key: Vec<usize> = atom_dims.iter().map(|&d| coords[d]).collect();
+                proj[w].insert(key);
+            }
+            for (w, set) in proj.iter().enumerate() {
+                loads[w] += atom.cardinality as f64 * set.len() as f64 / hashed;
+            }
+        }
+        loads
+    }
+
+    /// The max per-worker workload (the optimization objective of §4).
+    pub fn max_workload(&self, problem: &ShareProblem) -> f64 {
+        self.worker_workload(problem).into_iter().fold(0.0, f64::max)
+    }
+
+    /// Expected total tuples shuffled under this allocation (sum of the
+    /// per-worker loads — replication inflates this, Appendix B).
+    pub fn total_workload(&self, problem: &ShareProblem) -> f64 {
+        self.worker_workload(problem).into_iter().sum()
+    }
+}
+
+/// Builds the many-cells grid for Naïve Algorithms 2/3: solve the LP at
+/// `m_cells` and round down (the paper's step 1).
+pub fn many_cells_grid(problem: &ShareProblem, m_cells: usize) -> HcConfig {
+    problem.round_down(m_cells)
+}
+
+/// Exact optimal cell→worker allocation by branch and bound, minimizing
+/// the max per-worker workload. Exponential in the number of cells — the
+/// point of the paper's Naïve Algorithm 3 discussion is precisely that
+/// this is hopeless at practical sizes (they measured > 24 h for N = 64,
+/// M = 100 with a state-of-the-art ASP solver). Keep `cells ≤ ~12`.
+pub fn optimal_allocation(
+    grid: &HcConfig,
+    workers: usize,
+    problem: &ShareProblem,
+) -> CellAllocation {
+    let cells = grid.num_cells();
+    assert!(cells <= 16, "exact allocation is exponential; use small grids");
+    let mut best: Option<(f64, Vec<usize>)> = None;
+    let mut owner = vec![0usize; cells];
+    fn rec(
+        i: usize,
+        owner: &mut Vec<usize>,
+        grid: &HcConfig,
+        workers: usize,
+        problem: &ShareProblem,
+        best: &mut Option<(f64, Vec<usize>)>,
+    ) {
+        if i == owner.len() {
+            let alloc = CellAllocation {
+                grid: grid.clone(),
+                owner: owner.clone(),
+                workers,
+            };
+            let w = alloc.max_workload(problem);
+            if best.as_ref().is_none_or(|(bw, _)| w < *bw) {
+                *best = Some((w, owner.clone()));
+            }
+            return;
+        }
+        // Symmetry breaking: worker ids appear in first-use order.
+        let used = owner[..i].iter().copied().max().map_or(0, |m| m + 1);
+        for w in 0..=used.min(workers - 1) {
+            owner[i] = w;
+            rec(i + 1, owner, grid, workers, problem, best);
+        }
+    }
+    rec(0, &mut owner, grid, workers, problem, &mut best);
+    let (_, owner) = best.expect("some allocation exists");
+    CellAllocation { grid: grid.clone(), owner, workers }
+}
+
+/// Tiny self-contained PRNG so this module needs no external dependency;
+/// deterministic for reproducible experiments.
+mod rand_like {
+    /// SplitMix64.
+    pub struct SplitMix(u64);
+
+    impl SplitMix {
+        /// Seeds the generator.
+        pub fn new(seed: u64) -> Self {
+            SplitMix(seed)
+        }
+
+        /// Next raw value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `0..n`.
+        pub fn below(&mut self, n: usize) -> usize {
+            ((self.next_u64() as u128 * n as u128) >> 64) as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parjoin_query::{QueryBuilder, VarId};
+
+    fn chain_problem() -> ShareProblem {
+        // Appendix B example: A(x,y,z,p) :- R(x,y), S(y,z), T(z,p).
+        let mut b = QueryBuilder::new("A");
+        let (x, y, z, p) = (b.var("x"), b.var("y"), b.var("z"), b.var("p"));
+        b.atom("R", [x, y]).atom("S", [y, z]).atom("T", [z, p]);
+        ShareProblem::from_query(&b.build(), &[800, 800, 800])
+    }
+
+    fn grid_yz(dy: usize, dz: usize) -> HcConfig {
+        // Dimensions only on y and z (x and p get share 1).
+        HcConfig::new(
+            vec![VarId(0), VarId(1), VarId(2), VarId(3)],
+            vec![1, dy, dz, 1],
+        )
+    }
+
+    #[test]
+    fn identity_allocation_matches_config_workload() {
+        let prob = chain_problem();
+        let grid = grid_yz(2, 2);
+        let alloc = CellAllocation::identity(grid.clone());
+        let per = alloc.worker_workload(&prob);
+        assert_eq!(per.len(), 4);
+        let expect = grid.workload(&prob);
+        for l in per {
+            assert!((l - expect).abs() < 1e-9, "{l} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn random_allocation_inflates_replication() {
+        // Figure 18's lesson: with M=64 cells on 4 workers randomly
+        // allocated, each worker covers most rows/columns, so R and T are
+        // nearly fully replicated to every worker.
+        let prob = chain_problem();
+        let grid = grid_yz(8, 8);
+        let ident_total = CellAllocation::identity(grid_yz(2, 2)).total_workload(&prob);
+        let rand_total =
+            CellAllocation::random(grid, 4, 42).total_workload(&prob);
+        assert!(
+            rand_total > 1.5 * ident_total,
+            "random {rand_total} vs identity {ident_total}"
+        );
+    }
+
+    #[test]
+    fn random_allocation_deterministic_by_seed() {
+        let g = grid_yz(4, 4);
+        let a = CellAllocation::random(g.clone(), 4, 7);
+        let b = CellAllocation::random(g, 4, 7);
+        assert_eq!(a.owner, b.owner);
+    }
+
+    #[test]
+    fn owners_in_range() {
+        let a = CellAllocation::random(grid_yz(4, 4), 5, 99);
+        assert!(a.owner.iter().all(|&w| w < 5));
+        assert_eq!(a.owner.len(), 16);
+    }
+
+    #[test]
+    fn optimal_allocation_beats_random_on_tiny_grid() {
+        let prob = chain_problem();
+        let grid = grid_yz(2, 4); // 8 cells
+        let opt = optimal_allocation(&grid, 4, &prob);
+        let rnd = CellAllocation::random(grid, 4, 123);
+        assert!(opt.max_workload(&prob) <= rnd.max_workload(&prob) + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential")]
+    fn optimal_allocation_guards_size() {
+        let prob = chain_problem();
+        let grid = grid_yz(8, 8);
+        let _ = optimal_allocation(&grid, 4, &prob);
+    }
+}

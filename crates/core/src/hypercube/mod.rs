@@ -1,0 +1,27 @@
+//! HyperCube share optimization (paper §2.1 and §4).
+//!
+//! The HyperCube shuffle factorizes the number of servers into *shares*
+//! `p = p₁·p₂·…·pₖ`, one per join variable; each tuple of atom `Sⱼ` is
+//! sent to every cell agreeing with its hashed coordinates on `vars(Sⱼ)`.
+//! Choosing good shares is the crux: the theoretically optimal fractional
+//! shares ([`ShareProblem::fractional`]) leave servers idle once rounded
+//! down. This module implements the paper's four approaches:
+//!
+//! 1. **Round-down** of the LP solution ([`ShareProblem::round_down`]) —
+//!    Naïve Algorithm 1 in the paper;
+//! 2. **Many cells, random allocation** ([`cells`]) — Naïve Algorithm 2;
+//! 3. an exact (tiny-instance) cell allocator standing in for the
+//!    answer-set-programming Naïve Algorithm 3, which the paper found
+//!    impractically slow;
+//! 4. **Algorithm 1** ([`ShareProblem::optimize`]) — the paper's
+//!    contribution: exhaustive search over all integral configurations
+//!    with `∏ dᵢ ≤ N`, minimizing the expected max per-worker load, with
+//!    an even-dimensions tie-break.
+
+pub mod cells;
+pub mod config;
+pub mod shares;
+
+pub use cells::CellAllocation;
+pub use config::HcConfig;
+pub use shares::{AtomShape, ShareProblem};

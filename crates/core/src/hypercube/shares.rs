@@ -1,0 +1,341 @@
+//! The share-optimization problem and its fractional LP relaxation.
+
+use super::config::HcConfig;
+use parjoin_lp::{Cmp, LpProblem};
+use parjoin_query::{ConjunctiveQuery, VarId};
+
+/// One atom's shape: which variables it mentions and how many tuples it
+/// holds (after selection pushdown).
+#[derive(Debug, Clone)]
+pub struct AtomShape {
+    /// Distinct variables of the atom.
+    pub vars: Vec<VarId>,
+    /// Cardinality of the (resolved) relation.
+    pub cardinality: u64,
+}
+
+/// A share-optimization instance: the query hypergraph annotated with
+/// cardinalities.
+#[derive(Debug, Clone)]
+pub struct ShareProblem {
+    /// The variables receiving hypercube dimensions, in a fixed order.
+    pub vars: Vec<VarId>,
+    /// Atom shapes.
+    pub atoms: Vec<AtomShape>,
+}
+
+impl ShareProblem {
+    /// Builds the instance from a query and the per-atom cardinalities
+    /// (in atom order). Every query variable gets a dimension; variables
+    /// that should not be split simply receive share 1 from the optimizer.
+    ///
+    /// # Panics
+    /// Panics if `cards.len() != q.atoms.len()`.
+    pub fn from_query(q: &ConjunctiveQuery, cards: &[u64]) -> Self {
+        assert_eq!(cards.len(), q.atoms.len(), "one cardinality per atom");
+        let vars = q.all_vars();
+        let atoms = q
+            .atoms
+            .iter()
+            .zip(cards)
+            .map(|(a, &c)| AtomShape { vars: a.vars(), cardinality: c })
+            .collect();
+        ShareProblem { vars, atoms }
+    }
+
+    /// Index of `v` in `self.vars`.
+    ///
+    /// # Panics
+    /// Panics if `v` is not a problem variable.
+    pub fn dim_of(&self, v: VarId) -> usize {
+        self.vars.iter().position(|&x| x == v).expect("variable not in share problem")
+    }
+
+    /// Solves the fractional share LP of Beame et al. \[8\]:
+    ///
+    /// minimize `t` subject to, for every atom `Sⱼ`,
+    /// `Σ_{i ∈ vars(Sⱼ)} eᵢ + t ≥ log_p |Sⱼ|` and `Σᵢ eᵢ ≤ 1`, `eᵢ ≥ 0`.
+    ///
+    /// Writing shares as `pᵢ = p^{eᵢ}`, the constraint says every atom's
+    /// per-server load `|Sⱼ| · p^{−Σeᵢ}` is at most `p^t`; minimizing `t`
+    /// minimizes the max load. Returns the exponents `eᵢ`.
+    ///
+    /// # Panics
+    /// Panics if `p < 2` (a 1-server "cluster" has no share problem).
+    pub fn fractional(&self, p: usize) -> Vec<f64> {
+        assert!(p >= 2, "need at least 2 servers for a share LP");
+        let k = self.vars.len();
+        let logp = (p as f64).ln();
+        // Variables: e_0..e_{k-1}, then t (free).
+        let mut lp = LpProblem::minimize(k + 1);
+        let mut obj = vec![0.0; k + 1];
+        obj[k] = 1.0;
+        lp.objective(&obj);
+        lp.set_free(k);
+        for atom in &self.atoms {
+            let mut row = vec![0.0; k + 1];
+            for &v in &atom.vars {
+                row[self.dim_of(v)] = 1.0;
+            }
+            row[k] = 1.0;
+            let rhs = (atom.cardinality.max(1) as f64).ln() / logp;
+            lp.constraint(&row, Cmp::Ge, rhs);
+        }
+        let mut budget = vec![1.0; k + 1];
+        budget[k] = 0.0;
+        lp.constraint(&budget, Cmp::Le, 1.0);
+        let sol = lp.solve().expect("share LP is always feasible and bounded");
+        sol.x[..k].to_vec()
+    }
+
+    /// The fractional shares `pᵢ = p^{eᵢ}` themselves.
+    pub fn fractional_shares(&self, p: usize) -> Vec<f64> {
+        self.fractional(p).iter().map(|e| (p as f64).powf(*e)).collect()
+    }
+
+    /// The per-worker workload (expected tuples) under fractional shares —
+    /// the paper's "optimal workload" denominator in Figure 11.
+    pub fn fractional_workload(&self, p: usize) -> f64 {
+        let shares = self.fractional_shares(p);
+        self.atoms
+            .iter()
+            .map(|a| {
+                let denom: f64 = a.vars.iter().map(|&v| shares[self.dim_of(v)]).product();
+                a.cardinality as f64 / denom
+            })
+            .sum()
+    }
+
+    /// Naïve Algorithm 1: round the fractional shares down to integers
+    /// (each at least 1). As the paper shows, this can leave most servers
+    /// unused — e.g. the 4-clique on 15 servers rounds 15^(1/4) ≈ 1.96 down
+    /// to shares (1,1,1,1): one server, no parallelism.
+    pub fn round_down(&self, p: usize) -> HcConfig {
+        let dims = self
+            .fractional_shares(p)
+            .into_iter()
+            .map(|s| (s + 1e-9).floor().max(1.0) as usize)
+            .collect();
+        HcConfig::new(self.vars.clone(), dims)
+    }
+
+    /// The paper's **Algorithm 1**: exhaustive search over all integral
+    /// configurations `c` with `∏ dᵢ ≤ n_workers` for the one minimizing
+    /// the expected per-worker workload; ties prefer the configuration
+    /// with the smaller maximum dimension ("more even dimension sizes …
+    /// more resilient to possible skew in either attribute value").
+    ///
+    /// Runs in well under 100 ms for the paper's queries at N = 64
+    /// (validated by the `hypercube_config` Criterion bench).
+    ///
+    /// ```
+    /// use parjoin_core::hypercube::ShareProblem;
+    /// use parjoin_query::QueryBuilder;
+    ///
+    /// let mut b = QueryBuilder::new("T");
+    /// let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
+    /// b.atom("R", [x, y]).atom("S", [y, z]).atom("T", [z, x]);
+    /// let problem = ShareProblem::from_query(&b.build(), &[1_000_000; 3]);
+    ///
+    /// // 64 workers: the classic 4×4×4 triangle cube.
+    /// assert_eq!(problem.optimize(64).dims(), &[4, 4, 4]);
+    /// // 63 workers: round-down would fall back to 3×3×3 (27 workers);
+    /// // Algorithm 1 finds a strictly better integral configuration.
+    /// let c63 = problem.optimize(63);
+    /// assert!(c63.num_cells() > 27 && c63.num_cells() <= 63);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if `n_workers == 0`.
+    pub fn optimize(&self, n_workers: usize) -> HcConfig {
+        assert!(n_workers > 0, "need at least one worker");
+        let k = self.vars.len();
+        let mut dims = vec![1usize; k];
+        let mut best: Option<(f64, usize, Vec<usize>)> = None; // (workload, max_dim, dims)
+        self.search(0, n_workers, &mut dims, &mut best);
+        let (_, _, dims) = best.expect("at least the all-ones configuration exists");
+        HcConfig::new(self.vars.clone(), dims)
+    }
+
+    fn search(
+        &self,
+        i: usize,
+        budget: usize,
+        dims: &mut Vec<usize>,
+        best: &mut Option<(f64, usize, Vec<usize>)>,
+    ) {
+        if i == dims.len() {
+            let cfg = HcConfig::new(self.vars.clone(), dims.clone());
+            let wl = cfg.workload(self);
+            let md = cfg.max_dim();
+            let better = match best {
+                None => true,
+                Some((bwl, bmd, _)) => {
+                    wl < *bwl - 1e-9 || ((wl - *bwl).abs() <= 1e-9 && md < *bmd)
+                }
+            };
+            if better {
+                *best = Some((wl, md, dims.clone()));
+            }
+            return;
+        }
+        let mut d = 1;
+        while d <= budget {
+            dims[i] = d;
+            self.search(i + 1, budget / d, dims, best);
+            d += 1;
+        }
+        dims[i] = 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parjoin_query::QueryBuilder;
+
+    fn triangle_problem(m: u64) -> ShareProblem {
+        let mut b = QueryBuilder::new("T");
+        let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
+        b.atom("R", [x, y]).atom("S", [y, z]).atom("T", [z, x]);
+        ShareProblem::from_query(&b.build(), &[m, m, m])
+    }
+
+    #[test]
+    fn triangle_fractional_is_symmetric() {
+        let p = triangle_problem(1000);
+        let e = p.fractional(64);
+        for v in &e {
+            assert!((v - 1.0 / 3.0).abs() < 1e-6, "exponent {v}");
+        }
+        let shares = p.fractional_shares(64);
+        for s in shares {
+            assert!((s - 4.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn triangle_round_down_64_is_4x4x4() {
+        let cfg = triangle_problem(1000).round_down(64);
+        assert_eq!(cfg.dims(), &[4, 4, 4]);
+    }
+
+    #[test]
+    fn triangle_round_down_63_is_3x3x3() {
+        // The paper's example: p=63 → 63^(1/3) ≈ 3.98 rounds down to 3,
+        // wasting 63−27 = 36 servers.
+        let cfg = triangle_problem(1_000_000).round_down(63);
+        assert_eq!(cfg.dims(), &[3, 3, 3]);
+    }
+
+    #[test]
+    fn algorithm1_triangle_64() {
+        let p = triangle_problem(1_000_000);
+        let cfg = p.optimize(64);
+        assert_eq!(cfg.dims(), &[4, 4, 4]);
+    }
+
+    #[test]
+    fn algorithm1_beats_round_down_at_63() {
+        let p = triangle_problem(1_000_000);
+        let ours = p.optimize(63);
+        let naive = p.round_down(63);
+        assert!(ours.workload(&p) < naive.workload(&p));
+        // At 63 workers the best integral config keeps 3 dims whose
+        // product is ≤ 63 but larger than 27, e.g. 4×4×3 = 48.
+        assert!(ours.num_cells() > 27);
+        assert!(ours.num_cells() <= 63);
+    }
+
+    #[test]
+    fn skewed_sizes_prefer_hash_partition_shape() {
+        // |S1| ≪ |S2| = |S3|: the optimum hash-partitions S2, S3 on x3 and
+        // broadcasts S1 (paper §2.1): shares (1, 1, p).
+        let mut b = QueryBuilder::new("T");
+        let (x1, x2, x3) = (b.var("x1"), b.var("x2"), b.var("x3"));
+        b.atom("S1", [x1, x2]).atom("S2", [x2, x3]).atom("S3", [x3, x1]);
+        let p = ShareProblem::from_query(&b.build(), &[10, 1_000_000, 1_000_000]);
+        let cfg = p.optimize(64);
+        assert_eq!(cfg.dims(), &[1, 1, 64]);
+    }
+
+    #[test]
+    fn four_clique_on_15_workers() {
+        // The paper's §4 motivating example: round-down gives 1×1×1×1
+        // (one worker!), Algorithm 1 finds something much better.
+        let mut b = QueryBuilder::new("C4");
+        let (x, y, z, pv) = (b.var("x"), b.var("y"), b.var("z"), b.var("p"));
+        b.atom("R", [x, y])
+            .atom("S", [y, z])
+            .atom("T", [z, pv])
+            .atom("P", [pv, x])
+            .atom("K", [x, z])
+            .atom("L", [y, pv]);
+        let m = 1_000_000;
+        let prob = ShareProblem::from_query(&b.build(), &[m; 6]);
+        let naive = prob.round_down(15);
+        assert_eq!(naive.num_cells(), 1, "round-down collapses to one server");
+        let ours = prob.optimize(15);
+        assert!(ours.num_cells() > 1);
+        assert!(ours.workload(&prob) < naive.workload(&prob) / 2.0);
+    }
+
+    #[test]
+    fn four_clique_64_matches_paper_config() {
+        // The paper's Q2 experiment uses a 2×4×2×4 cube on 64 workers;
+        // Algorithm 1 must find a configuration of that shape (the exact
+        // assignment of dims to variables is symmetric).
+        let mut b = QueryBuilder::new("C4");
+        let (x, y, z, pv) = (b.var("x"), b.var("y"), b.var("z"), b.var("p"));
+        b.atom("R", [x, y])
+            .atom("S", [y, z])
+            .atom("T", [z, pv])
+            .atom("P", [pv, x])
+            .atom("K", [x, z])
+            .atom("L", [y, pv]);
+        let m = 1_000_000;
+        let prob = ShareProblem::from_query(&b.build(), &[m; 6]);
+        let cfg = prob.optimize(64);
+        let mut dims = cfg.dims().to_vec();
+        dims.sort_unstable();
+        assert_eq!(dims, vec![2, 2, 4, 4], "got {cfg}");
+        assert_eq!(cfg.num_cells(), 64);
+    }
+
+    #[test]
+    fn tie_break_prefers_even_dims() {
+        // A(x,y) alone: any config with d_x·d_y = N has equal workload;
+        // prefer the most even split (paper: 2×2 beats 1×4).
+        let mut b = QueryBuilder::new("Q");
+        let (x, y) = (b.var("x"), b.var("y"));
+        b.atom("A", [x, y]);
+        let prob = ShareProblem::from_query(&b.build(), &[1000]);
+        let cfg = prob.optimize(4);
+        assert_eq!(cfg.dims(), &[2, 2]);
+    }
+
+    #[test]
+    fn workload_decreases_with_more_workers() {
+        let p = triangle_problem(100_000);
+        let w8 = p.optimize(8).workload(&p);
+        let w64 = p.optimize(64).workload(&p);
+        assert!(w64 < w8);
+    }
+
+    #[test]
+    fn fractional_workload_is_lower_bound_like() {
+        // The integral optimum can't beat the fractional max-load bound by
+        // much, and must be within small constant factors for the triangle.
+        let p = triangle_problem(1_000_000);
+        let frac = p.fractional_workload(64);
+        let ours = p.optimize(64).workload(&p);
+        let ratio = ours / frac;
+        assert!(ratio > 0.3 && ratio < 2.0, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        triangle_problem(10).optimize(0);
+    }
+}

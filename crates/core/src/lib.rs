@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! # parjoin-core
+//!
+//! The paper's primary contribution, as a library:
+//!
+//! * [`hypercube`] — the HyperCube shuffle's share-optimization problem
+//!   (§2.1, §4): the fractional LP of Beame–Koutris–Suciu, the naïve
+//!   round-down and random-cell-allocation baselines, and **Algorithm 1**,
+//!   the paper's practical exhaustive search over integral configurations.
+//! * [`tributary`] — the Tributary join (§2.2): the Leapfrog-Triejoin API
+//!   implemented over sorted arrays, worst-case optimal up to a `log n`
+//!   factor, with `seek` as a bounded binary search.
+//! * [`order`] — the global variable-order cost model (§5, Eq. 3–4) and
+//!   the optimizer that enumerates/samples orders and picks the cheapest.
+//!
+//! The distributed execution itself (shuffles, plans, metrics) lives in
+//! `parjoin-engine`; this crate is the pure algorithmic layer.
+
+pub mod hypercube;
+pub mod order;
+pub mod tributary;
+
+pub use hypercube::{HcConfig, ShareProblem};
+pub use order::{best_order, OrderCostModel};
+pub use tributary::{SortedAtom, Tributary};

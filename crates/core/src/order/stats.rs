@@ -1,0 +1,98 @@
+//! Distinct-projection statistics.
+//!
+//! The cost model needs `V(Rⱼ, prefix)` — the number of distinct values of
+//! the prefix of `Rⱼ`'s join attributes under a candidate global order
+//! (§5.1). A distinct count is invariant under column permutation, so it
+//! depends only on the column *subset*; we therefore precompute the count
+//! for every nonempty subset once and answer any order's query by bitmask
+//! lookup.
+
+use parjoin_common::Relation;
+
+/// All-subsets distinct counts for one relation.
+#[derive(Debug, Clone)]
+pub struct AtomStats {
+    /// `counts[mask]` = distinct tuples of the projection onto the columns
+    /// in `mask`; `counts[0] = 1` (the empty projection).
+    counts: Vec<u64>,
+    arity: usize,
+}
+
+impl AtomStats {
+    /// Computes the statistics. Cost is `2^arity − 1` sort-based distinct
+    /// counts.
+    ///
+    /// # Panics
+    /// Panics if `rel.arity() > 12` (4096 subsets is the sanity bound).
+    pub fn compute(rel: &Relation) -> Self {
+        let arity = rel.arity();
+        assert!(arity <= 12, "AtomStats limited to arity 12");
+        let n = 1usize << arity;
+        let mut counts = vec![0u64; n];
+        counts[0] = 1;
+        #[allow(clippy::needless_range_loop)] // mask doubles as the bit set
+        for mask in 1..n {
+            let cols: Vec<usize> = (0..arity).filter(|&c| mask & (1 << c) != 0).collect();
+            counts[mask] = rel.project(&cols).distinct().len() as u64;
+        }
+        AtomStats { counts, arity }
+    }
+
+    /// Distinct count for the column subset `mask`.
+    ///
+    /// # Panics
+    /// Panics if `mask` has bits beyond the arity.
+    #[inline]
+    pub fn distinct(&self, mask: u32) -> u64 {
+        assert!(mask < (1u32 << self.arity), "mask out of range");
+        self.counts[mask as usize]
+    }
+
+    /// The relation's arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Total row count, i.e. the distinct count over all columns (inputs
+    /// are set-semantics).
+    pub fn cardinality(&self) -> u64 {
+        self.counts[self.counts.len() - 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_all_subsets() {
+        let r = Relation::from_rows(2, [[1u64, 10], [1, 20], [2, 10]].iter());
+        let s = AtomStats::compute(&r);
+        assert_eq!(s.distinct(0b00), 1);
+        assert_eq!(s.distinct(0b01), 2); // x ∈ {1, 2}
+        assert_eq!(s.distinct(0b10), 2); // y ∈ {10, 20}
+        assert_eq!(s.distinct(0b11), 3);
+        assert_eq!(s.cardinality(), 3);
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let r = Relation::from_rows(1, [[5u64], [5], [5]].iter());
+        let s = AtomStats::compute(&r);
+        assert_eq!(s.distinct(0b1), 1);
+    }
+
+    #[test]
+    fn empty_relation() {
+        let s = AtomStats::compute(&Relation::new(2));
+        assert_eq!(s.distinct(0b11), 0);
+        assert_eq!(s.distinct(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask out of range")]
+    fn mask_bounds_checked() {
+        let s = AtomStats::compute(&Relation::new(2));
+        let _ = s.distinct(0b100);
+    }
+}

@@ -1,0 +1,595 @@
+//! The multiway Tributary join executor.
+
+use super::btree::{BTreeAtom, BTreeCursor};
+use super::trie::{TrieCursor, TrieIter};
+use parjoin_common::{Relation, Value};
+use parjoin_query::{Filter, VarId};
+
+/// A relation prepared for leapfrog joining: a trie whose levels map to
+/// global-order depths, served through a [`TrieCursor`]. Implemented by
+/// the paper's array-backed [`SortedAtom`] and by the B-tree-backed
+/// [`BTreeAtom`](super::BTreeAtom) (LogicBlox's layout) for comparison.
+pub trait TrieAtom {
+    /// The cursor type borrowed from this atom.
+    type Cursor<'a>: TrieCursor
+    where
+        Self: 'a;
+    /// Global depths of the trie levels (strictly increasing).
+    fn depths(&self) -> &[usize];
+    /// Opens a cursor at the root.
+    fn cursor(&self) -> Self::Cursor<'_>;
+}
+
+/// A relation prepared for the Tributary join: columns permuted to follow
+/// the global variable order and rows sorted lexicographically.
+///
+/// Preparation is the sort phase the paper measures separately (Table 5:
+/// "BR_TJ: all sorts … 73%" of local-join time).
+#[derive(Debug, Clone)]
+pub struct SortedAtom {
+    rel: Relation,
+    /// Global order positions of the (permuted) columns, strictly
+    /// increasing.
+    depths: Vec<usize>,
+}
+
+impl SortedAtom {
+    /// Prepares `rel` (whose columns correspond one-to-one to `vars`) for
+    /// joining under `order`.
+    ///
+    /// # Panics
+    /// Panics if some variable of `vars` is absent from `order`, or if
+    /// `vars` contains duplicates.
+    pub fn prepare(rel: &Relation, vars: &[VarId], order: &[VarId]) -> SortedAtom {
+        assert_eq!(rel.arity(), vars.len(), "one variable per column");
+        let mut pairs: Vec<(usize, usize)> = vars
+            .iter()
+            .enumerate()
+            .map(|(col, v)| {
+                let depth = order
+                    .iter()
+                    .position(|o| o == v)
+                    .unwrap_or_else(|| panic!("variable #{} not in global order", v.0));
+                (depth, col)
+            })
+            .collect();
+        pairs.sort_unstable();
+        for w in pairs.windows(2) {
+            assert_ne!(w[0].0, w[1].0, "duplicate variable in atom");
+        }
+        let cols: Vec<usize> = pairs.iter().map(|&(_, c)| c).collect();
+        let depths: Vec<usize> = pairs.iter().map(|&(d, _)| d).collect();
+        SortedAtom { rel: rel.sorted_by_columns(&cols), depths }
+    }
+
+    /// The sorted, permuted relation.
+    pub fn relation(&self) -> &Relation {
+        &self.rel
+    }
+
+    /// Global depths of the columns.
+    pub fn depths(&self) -> &[usize] {
+        &self.depths
+    }
+}
+
+impl TrieAtom for SortedAtom {
+    type Cursor<'a> = TrieIter<'a>;
+
+    fn depths(&self) -> &[usize] {
+        &self.depths
+    }
+
+    fn cursor(&self) -> TrieIter<'_> {
+        TrieIter::new(&self.rel)
+    }
+}
+
+impl TrieAtom for BTreeAtom {
+    type Cursor<'a> = BTreeCursor<'a>;
+
+    fn depths(&self) -> &[usize] {
+        BTreeAtom::depths(self)
+    }
+
+    fn cursor(&self) -> BTreeCursor<'_> {
+        BTreeAtom::cursor(self)
+    }
+}
+
+/// A configured Tributary join over prepared atoms.
+///
+/// ```
+/// use parjoin_common::Relation;
+/// use parjoin_core::tributary::{SortedAtom, Tributary};
+/// use parjoin_query::VarId;
+///
+/// // Triangle query R(x,y), S(y,z), T(z,x) over one directed 3-cycle
+/// // plus two extra edges that close no cycle.
+/// let edges = Relation::from_rows(2, [
+///     [0u64, 1], [1, 2], [2, 0], [2, 3], [3, 0],
+/// ].iter());
+/// let (x, y, z) = (VarId(0), VarId(1), VarId(2));
+/// let order = [x, y, z];
+/// let atoms = vec![
+///     SortedAtom::prepare(&edges, &[x, y], &order),
+///     SortedAtom::prepare(&edges, &[y, z], &order),
+///     SortedAtom::prepare(&edges, &[z, x], &order),
+/// ];
+/// let tj = Tributary::new(&atoms, &order, &[], 3);
+/// // The cycle 0→1→2→0 is found under all three rotations of (x,y,z).
+/// assert_eq!(tj.count(), 3);
+/// ```
+pub struct Tributary<'a, A: TrieAtom = SortedAtom> {
+    atoms: &'a [A],
+    /// Variable at each global depth.
+    order: &'a [VarId],
+    /// Residual filters; `filters_at[d]` lists filters that become fully
+    /// bound exactly at depth `d`.
+    filters_at: Vec<Vec<Filter>>,
+    /// Size of the variable-indexed assignment buffer.
+    num_vars: usize,
+    /// Atoms participating at each depth.
+    participants: Vec<Vec<usize>>,
+}
+
+impl<'a, A: TrieAtom> Tributary<'a, A> {
+    /// Builds the join. `num_vars` sizes the assignment buffer (it must
+    /// exceed every `VarId` index used by atoms or filters).
+    ///
+    /// # Panics
+    /// Panics if some depth has no participating atom, or a filter
+    /// references a variable outside `order`.
+    pub fn new(
+        atoms: &'a [A],
+        order: &'a [VarId],
+        filters: &[Filter],
+        num_vars: usize,
+    ) -> Self {
+        let mut participants = vec![Vec::new(); order.len()];
+        for (ai, a) in atoms.iter().enumerate() {
+            for &d in a.depths() {
+                participants[d].push(ai);
+            }
+        }
+        for (d, p) in participants.iter().enumerate() {
+            assert!(!p.is_empty(), "no atom contains variable at depth {d}");
+        }
+        let depth_of = |v: VarId| -> usize {
+            order
+                .iter()
+                .position(|&o| o == v)
+                .unwrap_or_else(|| panic!("filter variable #{} not in order", v.0))
+        };
+        let mut filters_at = vec![Vec::new(); order.len()];
+        for f in filters {
+            let d = f.vars().into_iter().map(depth_of).max().expect("filter has vars");
+            filters_at[d].push(*f);
+        }
+        Tributary { atoms, order, filters_at, num_vars, participants }
+    }
+
+    /// Runs the join, invoking `emit` with the variable-indexed assignment
+    /// (`assignment[v.index()]`) for every result. Returning `false` from
+    /// `emit` aborts the join early. Returns the number of results emitted.
+    pub fn run<F: FnMut(&[Value]) -> bool>(&self, emit: F) -> u64 {
+        self.run_guarded(emit, || true).0
+    }
+
+    /// Like [`Self::run`], but additionally consults `guard` every few
+    /// thousand leapfrog operations — including during long result-free
+    /// stretches, which is where bad variable orders burn their time.
+    /// Returning `false` from `guard` aborts. Returns `(results_emitted,
+    /// completed)`; `completed` is `false` when either closure aborted.
+    ///
+    /// This is the mechanism behind the paper's Figure 12/Table 7
+    /// protocol of terminating hopeless variable orders at a time cutoff.
+    pub fn run_guarded<F, G>(&self, emit: F, guard: G) -> (u64, bool)
+    where
+        F: FnMut(&[Value]) -> bool,
+        G: FnMut() -> bool,
+    {
+        if self.order.is_empty() {
+            return (0, true);
+        }
+        let mut iters: Vec<A::Cursor<'_>> =
+            self.atoms.iter().map(|a| a.cursor()).collect();
+        let mut assignment = vec![0 as Value; self.num_vars];
+        let mut ctx = RunCtx { emit, guard, count: 0, ops: 0 };
+        let completed = self.recurse(0, &mut iters, &mut assignment, &mut ctx);
+        (ctx.count, completed)
+    }
+
+    /// Counts results without materializing them.
+    pub fn count(&self) -> u64 {
+        self.run(|_| true)
+    }
+
+    /// Runs the join and materializes the projection onto `head`.
+    pub fn collect(&self, head: &[VarId]) -> Relation {
+        let mut out = Relation::new(head.len().max(1));
+        self.run(|asg| {
+            let row: Vec<Value> = head.iter().map(|v| asg[v.index()]).collect();
+            out.push_row(&row);
+            true
+        });
+        out
+    }
+
+    /// Depth-`d` leapfrog over the participating iterators; returns
+    /// `false` to propagate early termination.
+    fn recurse<F, G>(
+        &self,
+        d: usize,
+        iters: &mut [A::Cursor<'_>],
+        assignment: &mut [Value],
+        ctx: &mut RunCtx<F, G>,
+    ) -> bool
+    where
+        F: FnMut(&[Value]) -> bool,
+        G: FnMut() -> bool,
+    {
+        let parts = &self.participants[d];
+        for &a in parts {
+            iters[a].open();
+        }
+        let mut keep_going = true;
+        if parts.iter().all(|&a| !iters[a].at_end()) {
+            keep_going = self.leapfrog(d, iters, assignment, ctx);
+        }
+        for &a in parts {
+            iters[a].up();
+        }
+        keep_going
+    }
+
+    fn leapfrog<F, G>(
+        &self,
+        d: usize,
+        iters: &mut [A::Cursor<'_>],
+        assignment: &mut [Value],
+        ctx: &mut RunCtx<F, G>,
+    ) -> bool
+    where
+        F: FnMut(&[Value]) -> bool,
+        G: FnMut() -> bool,
+    {
+        let parts = &self.participants[d];
+        let k = parts.len();
+        // Rotation order sorted by current key (Veldhuizen's init).
+        let mut rot: Vec<usize> = parts.clone();
+        rot.sort_by_key(|&a| iters[a].key());
+        let mut p = 0usize;
+        let mut max_key = iters[rot[(k - 1) % k]].key();
+        loop {
+            if !ctx.tick() {
+                return false;
+            }
+            let a = rot[p];
+            let x = iters[a].key();
+            if x == max_key {
+                // All k iterators agree on x: a match at this level.
+                assignment[self.order[d].index()] = x;
+                if self.filters_at[d].iter().all(|f| f.eval(assignment)) {
+                    if d + 1 == self.order.len() {
+                        ctx.count += 1;
+                        if !(ctx.emit)(assignment) {
+                            return false;
+                        }
+                    } else if !self.recurse(d + 1, iters, assignment, ctx) {
+                        return false;
+                    }
+                }
+                iters[a].next_key();
+                if iters[a].at_end() {
+                    return true;
+                }
+                max_key = iters[a].key();
+                p = (p + 1) % k;
+            } else {
+                iters[a].seek(max_key);
+                if iters[a].at_end() {
+                    return true;
+                }
+                max_key = iters[a].key();
+                p = (p + 1) % k;
+            }
+        }
+    }
+}
+
+/// Per-run mutable state: the emit/guard closures, the result count, and
+/// an operation counter driving periodic guard checks.
+struct RunCtx<F, G> {
+    emit: F,
+    guard: G,
+    count: u64,
+    ops: u64,
+}
+
+impl<F, G: FnMut() -> bool> RunCtx<F, G> {
+    /// Counts one leapfrog operation; every 8192 ops, asks the guard.
+    #[inline]
+    fn tick(&mut self) -> bool {
+        self.ops += 1;
+        if self.ops & 0x1fff == 0 {
+            (self.guard)()
+        } else {
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parjoin_query::CmpOp;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    /// Reference: naive nested-loop evaluation of a conjunctive query over
+    /// variables-only atoms.
+    fn naive_join(
+        atoms: &[(&Relation, Vec<VarId>)],
+        num_vars: usize,
+        filters: &[Filter],
+    ) -> Vec<Vec<Value>> {
+        let mut results = Vec::new();
+        let mut asg: Vec<Option<Value>> = vec![None; num_vars];
+        fn rec(
+            i: usize,
+            atoms: &[(&Relation, Vec<VarId>)],
+            asg: &mut Vec<Option<Value>>,
+            filters: &[Filter],
+            out: &mut Vec<Vec<Value>>,
+        ) {
+            if i == atoms.len() {
+                let full: Vec<Value> = asg.iter().map(|o| o.unwrap_or(0)).collect();
+                if filters.iter().all(|f| f.eval(&full)) {
+                    out.push(full);
+                }
+                return;
+            }
+            let (rel, vars) = &atoms[i];
+            'rows: for row in rel.rows() {
+                let saved = asg.clone();
+                for (c, &var) in vars.iter().enumerate() {
+                    match asg[var.index()] {
+                        Some(x) if x != row[c] => {
+                            *asg = saved;
+                            continue 'rows;
+                        }
+                        _ => asg[var.index()] = Some(row[c]),
+                    }
+                }
+                rec(i + 1, atoms, asg, filters, out);
+                *asg = saved;
+            }
+        }
+        rec(0, atoms, &mut asg, filters, &mut results);
+        results.sort();
+        results.dedup();
+        results
+    }
+
+    fn run_tj(
+        atoms: &[(&Relation, Vec<VarId>)],
+        order: &[VarId],
+        num_vars: usize,
+        filters: &[Filter],
+    ) -> Vec<Vec<Value>> {
+        let prepared: Vec<SortedAtom> =
+            atoms.iter().map(|(r, vs)| SortedAtom::prepare(r, vs, order)).collect();
+        let tj = Tributary::new(&prepared, order, filters, num_vars);
+        let mut out = Vec::new();
+        tj.run(|asg| {
+            out.push(asg.to_vec());
+            true
+        });
+        out.sort();
+        out
+    }
+
+    fn figure2_db() -> (Relation, Relation, Relation) {
+        // Paper Figure 2: R(x,y), S(y,z), T(x,z).
+        let r = Relation::from_rows(
+            2,
+            [[0u64, 1], [2, 0], [2, 3], [2, 5], [3, 4], [4, 2], [5, 6]].iter(),
+        );
+        let s = Relation::from_rows(
+            2,
+            [[0u64, 1], [2, 0], [2, 3], [2, 5], [3, 4], [4, 2], [5, 6]].iter(),
+        );
+        let t = Relation::from_rows(
+            2,
+            [[0u64, 2], [1, 0], [2, 4], [3, 2], [4, 3], [5, 2], [6, 5]].iter(),
+        );
+        (r, s, t)
+    }
+
+    #[test]
+    fn figure2_example_emits_2_3_4() {
+        // Q(x,y,z) :- R(x,y), S(y,z), T(z,x); the paper walks through
+        // finding (2, 3, 4).
+        let (r, s, t) = figure2_db();
+        // T in Figure 2 is given as T(x, z) — column order (x, z).
+        let atoms: Vec<(&Relation, Vec<VarId>)> =
+            vec![(&r, vec![v(0), v(1)]), (&s, vec![v(1), v(2)]), (&t, vec![v(0), v(2)])];
+        let got = run_tj(&atoms, &[v(0), v(1), v(2)], 3, &[]);
+        assert!(got.contains(&vec![2, 3, 4]), "missing paper's example result: {got:?}");
+        let want = naive_join(&atoms, 3, &[]);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn matches_naive_on_triangle() {
+        let edges = Relation::from_rows(
+            2,
+            [[0u64, 1], [1, 2], [2, 0], [1, 3], [3, 2], [0, 2], [2, 1]].iter(),
+        );
+        let atoms: Vec<(&Relation, Vec<VarId>)> = vec![
+            (&edges, vec![v(0), v(1)]),
+            (&edges, vec![v(1), v(2)]),
+            (&edges, vec![v(2), v(0)]),
+        ];
+        for order in [
+            [v(0), v(1), v(2)],
+            [v(2), v(0), v(1)],
+            [v(1), v(2), v(0)],
+        ] {
+            let got = run_tj(&atoms, &order, 3, &[]);
+            let want = naive_join(&atoms, 3, &[]);
+            assert_eq!(got, want, "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        let e = Relation::new(2);
+        let full = Relation::from_rows(2, [[1u64, 2]].iter());
+        let atoms: Vec<(&Relation, Vec<VarId>)> =
+            vec![(&e, vec![v(0), v(1)]), (&full, vec![v(1), v(2)])];
+        assert!(run_tj(&atoms, &[v(0), v(1), v(2)], 3, &[]).is_empty());
+    }
+
+    #[test]
+    fn disjoint_keys_give_empty_output() {
+        let a = Relation::from_rows(2, [[1u64, 10], [2, 20]].iter());
+        let b = Relation::from_rows(2, [[30u64, 5], [40, 6]].iter());
+        let atoms: Vec<(&Relation, Vec<VarId>)> =
+            vec![(&a, vec![v(0), v(1)]), (&b, vec![v(1), v(2)])];
+        assert!(run_tj(&atoms, &[v(1), v(0), v(2)], 3, &[]).is_empty());
+    }
+
+    #[test]
+    fn single_atom_enumerates_rows() {
+        let a = Relation::from_rows(2, [[1u64, 2], [3, 4]].iter());
+        let atoms: Vec<(&Relation, Vec<VarId>)> = vec![(&a, vec![v(0), v(1)])];
+        let got = run_tj(&atoms, &[v(0), v(1)], 2, &[]);
+        assert_eq!(got, vec![vec![1, 2], vec![3, 4]]);
+    }
+
+    #[test]
+    fn filters_prune_results() {
+        let a = Relation::from_rows(2, [[1u64, 2], [3, 4], [5, 1]].iter());
+        let atoms: Vec<(&Relation, Vec<VarId>)> = vec![(&a, vec![v(0), v(1)])];
+        let f = Filter {
+            left: v(0),
+            op: CmpOp::Lt,
+            right: parjoin_query::Operand::Var(v(1)),
+        };
+        let got = run_tj(&atoms, &[v(0), v(1)], 2, &[f]);
+        assert_eq!(got, vec![vec![1, 2], vec![3, 4]]);
+    }
+
+    #[test]
+    fn filter_applied_at_binding_depth_not_after() {
+        // x > 3 must prune the whole subtree below x without descending.
+        let a = Relation::from_rows(2, [[1u64, 2], [4, 9]].iter());
+        let b = Relation::from_rows(1, [[2u64], [9]].iter());
+        let atoms: Vec<(&Relation, Vec<VarId>)> =
+            vec![(&a, vec![v(0), v(1)]), (&b, vec![v(1)])];
+        let f = Filter { left: v(0), op: CmpOp::Gt, right: parjoin_query::Operand::Const(3) };
+        let got = run_tj(&atoms, &[v(0), v(1)], 2, &[f]);
+        assert_eq!(got, vec![vec![4, 9]]);
+    }
+
+    #[test]
+    fn early_termination_via_emit() {
+        let a = Relation::from_rows(1, (0..100u64).map(|i| [i]).collect::<Vec<_>>().iter());
+        let atoms: Vec<SortedAtom> = vec![SortedAtom::prepare(&a, &[v(0)], &[v(0)])];
+        let order = [v(0)];
+        let tj = Tributary::new(&atoms, &order, &[], 1);
+        let mut seen = 0;
+        let n = tj.run(|_| {
+            seen += 1;
+            seen < 10
+        });
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn collect_projects_head() {
+        let a = Relation::from_rows(2, [[1u64, 2], [3, 4]].iter());
+        let atoms: Vec<SortedAtom> = vec![SortedAtom::prepare(&a, &[v(0), v(1)], &[v(0), v(1)])];
+        let order = [v(0), v(1)];
+        let tj = Tributary::new(&atoms, &order, &[], 2);
+        let out = tj.collect(&[v(1)]);
+        assert_eq!(out.arity(), 1);
+        let mut vals: Vec<u64> = out.rows().map(|r| r[0]).collect();
+        vals.sort();
+        assert_eq!(vals, vec![2, 4]);
+    }
+
+    #[test]
+    fn chain_query_matches_naive() {
+        let a = Relation::from_rows(2, [[1u64, 2], [2, 3], [1, 3], [3, 1]].iter());
+        let atoms: Vec<(&Relation, Vec<VarId>)> = vec![
+            (&a, vec![v(0), v(1)]),
+            (&a, vec![v(1), v(2)]),
+            (&a, vec![v(2), v(3)]),
+        ];
+        for order in [
+            vec![v(0), v(1), v(2), v(3)],
+            vec![v(3), v(2), v(1), v(0)],
+            vec![v(1), v(3), v(0), v(2)],
+        ] {
+            let got = run_tj(&atoms, &order, 4, &[]);
+            let want = naive_join(&atoms, 4, &[]);
+            assert_eq!(got, want, "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn four_clique_matches_naive() {
+        // Q2's shape on a small random-ish graph.
+        let edges = Relation::from_rows(
+            2,
+            [
+                [0u64, 1],
+                [1, 2],
+                [2, 3],
+                [3, 0],
+                [0, 2],
+                [1, 3],
+                [2, 0],
+                [3, 1],
+                [1, 0],
+                [2, 1],
+                [3, 2],
+                [0, 3],
+            ]
+            .iter(),
+        );
+        let (x, y, z, p) = (v(0), v(1), v(2), v(3));
+        let atoms: Vec<(&Relation, Vec<VarId>)> = vec![
+            (&edges, vec![x, y]),
+            (&edges, vec![y, z]),
+            (&edges, vec![z, p]),
+            (&edges, vec![p, x]),
+            (&edges, vec![x, z]),
+            (&edges, vec![y, p]),
+        ];
+        let got = run_tj(&atoms, &[x, y, z, p], 4, &[]);
+        let want = naive_join(&atoms, 4, &[]);
+        assert_eq!(got, want);
+        assert!(!got.is_empty(), "this graph has 4-cliques");
+    }
+
+    #[test]
+    #[should_panic(expected = "not in global order")]
+    fn prepare_rejects_missing_var() {
+        let a = Relation::from_rows(2, [[1u64, 2]].iter());
+        let _ = SortedAtom::prepare(&a, &[v(0), v(5)], &[v(0), v(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no atom contains")]
+    fn order_var_without_atom_rejected() {
+        let a = Relation::from_rows(1, [[1u64]].iter());
+        let atoms = vec![SortedAtom::prepare(&a, &[v(0)], &[v(0), v(1)])];
+        let _ = Tributary::new(&atoms, &[v(0), v(1)], &[], 2);
+    }
+}

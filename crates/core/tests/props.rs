@@ -1,0 +1,185 @@
+//! Property tests: Tributary join vs a naive evaluator; Algorithm 1
+//! optimality within the integral frontier; cost-model sanity.
+
+use parjoin_common::{Relation, Value};
+use parjoin_core::hypercube::{HcConfig, ShareProblem};
+use parjoin_core::order::OrderCostModel;
+use parjoin_core::tributary::{BTreeAtom, SortedAtom, Tributary};
+use parjoin_query::{QueryBuilder, VarId};
+use proptest::prelude::*;
+
+fn v(i: u32) -> VarId {
+    VarId(i)
+}
+
+fn arb_edges(max_node: u64, max_edges: usize) -> impl Strategy<Value = Relation> {
+    proptest::collection::vec((0..max_node, 0..max_node), 0..=max_edges).prop_map(|rows| {
+        let rel =
+            Relation::from_rows(2, rows.iter().map(|&(a, b)| [a, b]).collect::<Vec<_>>());
+        rel.distinct() // set semantics, as documented
+    })
+}
+
+/// Naive nested-loop join over variables-only binary atoms.
+fn naive(atoms: &[(&Relation, [VarId; 2])], num_vars: usize) -> Vec<Vec<Value>> {
+    let mut out = Vec::new();
+    let mut asg: Vec<Option<Value>> = vec![None; num_vars];
+    fn rec(
+        i: usize,
+        atoms: &[(&Relation, [VarId; 2])],
+        asg: &mut Vec<Option<Value>>,
+        out: &mut Vec<Vec<Value>>,
+    ) {
+        if i == atoms.len() {
+            out.push(asg.iter().map(|o| o.unwrap()).collect());
+            return;
+        }
+        let (rel, vars) = &atoms[i];
+        'rows: for row in rel.rows() {
+            let saved = asg.clone();
+            for (c, &var) in vars.iter().enumerate() {
+                match asg[var.index()] {
+                    Some(x) if x != row[c] => {
+                        *asg = saved;
+                        continue 'rows;
+                    }
+                    _ => asg[var.index()] = Some(row[c]),
+                }
+            }
+            rec(i + 1, atoms, asg, out);
+            *asg = saved;
+        }
+    }
+    rec(0, atoms, &mut asg, &mut out);
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn tj(atoms: &[(&Relation, [VarId; 2])], order: &[VarId], num_vars: usize) -> Vec<Vec<Value>> {
+    let prepared: Vec<SortedAtom> = atoms
+        .iter()
+        .map(|(r, vs)| SortedAtom::prepare(r, vs, order))
+        .collect();
+    let t = Tributary::new(&prepared, order, &[], num_vars);
+    let mut out = Vec::new();
+    t.run(|a| {
+        out.push(a.to_vec());
+        true
+    });
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn btree_tributary_equals_array_tributary(edges in arb_edges(12, 60)) {
+        // The B-tree-backed LFTJ (LogicBlox's layout) and the
+        // array-backed Tributary join must produce identical results.
+        let order = [v(0), v(1), v(2)];
+        let specs: [(&parjoin_common::Relation, [VarId; 2]); 3] = [
+            (&edges, [v(0), v(1)]),
+            (&edges, [v(1), v(2)]),
+            (&edges, [v(2), v(0)]),
+        ];
+        let arr: Vec<SortedAtom> =
+            specs.iter().map(|(r, vs)| SortedAtom::prepare(r, vs, &order)).collect();
+        let bt: Vec<BTreeAtom> =
+            specs.iter().map(|(r, vs)| BTreeAtom::prepare(r, vs, &order)).collect();
+        let mut a_out = Vec::new();
+        Tributary::new(&arr, &order, &[], 3).run(|x| { a_out.push(x.to_vec()); true });
+        let mut b_out = Vec::new();
+        Tributary::new(&bt, &order, &[], 3).run(|x| { b_out.push(x.to_vec()); true });
+        a_out.sort();
+        b_out.sort();
+        prop_assert_eq!(a_out, b_out);
+    }
+
+    #[test]
+    fn triangle_tj_equals_naive(edges in arb_edges(12, 60)) {
+        let atoms = [
+            (&edges, [v(0), v(1)]),
+            (&edges, [v(1), v(2)]),
+            (&edges, [v(2), v(0)]),
+        ];
+        let want = naive(&atoms, 3);
+        for order in [[v(0), v(1), v(2)], [v(2), v(1), v(0)], [v(1), v(0), v(2)]] {
+            prop_assert_eq!(&tj(&atoms, &order, 3), &want);
+        }
+    }
+
+    #[test]
+    fn two_atom_join_tj_equals_naive(a in arb_edges(10, 40), b in arb_edges(10, 40)) {
+        let atoms = [(&a, [v(0), v(1)]), (&b, [v(1), v(2)])];
+        let want = naive(&atoms, 3);
+        for order in [[v(0), v(1), v(2)], [v(1), v(0), v(2)], [v(2), v(1), v(0)]] {
+            prop_assert_eq!(&tj(&atoms, &order, 3), &want);
+        }
+    }
+
+    #[test]
+    fn four_cycle_tj_equals_naive(edges in arb_edges(8, 40)) {
+        let atoms = [
+            (&edges, [v(0), v(1)]),
+            (&edges, [v(1), v(2)]),
+            (&edges, [v(2), v(3)]),
+            (&edges, [v(3), v(0)]),
+        ];
+        let want = naive(&atoms, 4);
+        prop_assert_eq!(&tj(&atoms, &[v(0), v(1), v(2), v(3)], 4), &want);
+        prop_assert_eq!(&tj(&atoms, &[v(2), v(0), v(3), v(1)], 4), &want);
+    }
+
+    #[test]
+    fn algorithm1_dominates_frontier(
+        cards in proptest::collection::vec(1u64..1_000_000, 3),
+        n in 2usize..70,
+    ) {
+        // For the triangle, Algorithm 1's choice must be at least as good
+        // as any sampled integral configuration with ≤ n cells.
+        let mut b = QueryBuilder::new("T");
+        let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
+        b.atom("R", [x, y]).atom("S", [y, z]).atom("T", [z, x]);
+        let prob = ShareProblem::from_query(&b.build(), &cards);
+        let chosen = prob.optimize(n);
+        let w = chosen.workload(&prob);
+        prop_assert!(chosen.num_cells() <= n);
+        for d1 in 1..=n {
+            for d2 in 1..=(n / d1) {
+                let d3 = n / (d1 * d2);
+                if d3 == 0 { continue; }
+                let cfg = HcConfig::new(prob.vars.clone(), vec![d1, d2, d3]);
+                prop_assert!(
+                    w <= cfg.workload(&prob) + 1e-6,
+                    "cfg {:?} beats chosen {:?}", cfg.dims(), chosen.dims()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cost_model_nonnegative_and_finite(a in arb_edges(10, 40), b in arb_edges(10, 40)) {
+        let m = OrderCostModel::from_atoms(&[
+            (&a, vec![v(0), v(1)]),
+            (&b, vec![v(1), v(2)]),
+        ]);
+        for order in [[v(0), v(1), v(2)], [v(1), v(2), v(0)], [v(2), v(0), v(1)]] {
+            let c = m.cost(&order);
+            prop_assert!(c >= 0.0 && c.is_finite());
+        }
+    }
+
+    #[test]
+    fn round_down_never_exceeds_budget(
+        cards in proptest::collection::vec(1u64..1_000_000, 3),
+        n in 2usize..100,
+    ) {
+        let mut b = QueryBuilder::new("T");
+        let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
+        b.atom("R", [x, y]).atom("S", [y, z]).atom("T", [z, x]);
+        let prob = ShareProblem::from_query(&b.build(), &cards);
+        prop_assert!(prob.round_down(n).num_cells() <= n);
+    }
+}

@@ -1,0 +1,276 @@
+//! A synthetic Freebase-like movie/honor catalog.
+//!
+//! Mirrors the paper's Table 1 / Table 8 schema with the same *relative*
+//! cardinalities and Zipf-skewed fan-outs (popular actors perform often,
+//! popular films have large casts):
+//!
+//! | relation | schema | paper size | ratio to ActorPerform |
+//! |---|---|---|---|
+//! | `ObjectName` | (object_id, name) | 59,324,337 | ≈ 54 (here: largest, ≈ 2×perfs) |
+//! | `ActorPerform` | (actor_id, perform_id) | 1,100,844 | 1 |
+//! | `PerformFilm` | (perform_id, film_id) | 1,094,294 | ≈ 0.99 |
+//! | `DirectorFilm` | (director, film) | ≈ 190,000 | ≈ 0.17 |
+//! | `HonorAward` | (honor, award) | 93,468 | ≈ 0.085 |
+//! | `HonorActor` | (honor, actor) | 126,238 | ≈ 0.115 |
+//! | `HonorYear` | (honor, year) | ≈ 93,000 | ≈ 0.085 |
+//!
+//! `ObjectName` is shrunk relative to the paper (keeping it the largest
+//! relation): the queries only ever *select* single constants from it, so
+//! its absolute size does not change any join behaviour — see DESIGN.md's
+//! substitution notes.
+//!
+//! Named constants ("Joe Pesci", "Robert De Niro", "The Academy Awards")
+//! are fixed dictionary ids; the generator guarantees the structures the
+//! paper's queries look for (co-starring films for Q3, 1990s Academy
+//! honors for Q7).
+
+use crate::zipf::Zipf;
+use parjoin_common::{Database, Relation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Dictionary id of the name "Joe Pesci" (Q3).
+pub const NAME_JOE_PESCI: u64 = 5_000_000_001;
+/// Dictionary id of the name "Robert De Niro" (Q3).
+pub const NAME_DE_NIRO: u64 = 5_000_000_002;
+/// Dictionary id of the name "The Academy Awards" (Q7).
+pub const NAME_ACADEMY_AWARDS: u64 = 5_000_000_003;
+
+const ACTOR_BASE: u64 = 0;
+/// Actor id of Joe Pesci — a deliberately *tail* entity (real-world stars
+/// have tens of performances, not the Zipf head's thousands).
+pub const ACTOR_JOE_PESCI: u64 = 900_000_000;
+/// Actor id of Robert De Niro (tail entity, see [`ACTOR_JOE_PESCI`]).
+pub const ACTOR_DE_NIRO: u64 = 900_000_001;
+const FILM_BASE: u64 = 1_000_000_000;
+const DIRECTOR_BASE: u64 = 2_000_000_000;
+const AWARD_BASE: u64 = 3_000_000_000;
+const HONOR_BASE: u64 = 4_000_000_000;
+const NAME_BASE: u64 = 5_000_000_100;
+const PERFORM_BASE: u64 = 6_000_000_000;
+
+/// Generates the catalog, scaled by the number of performances
+/// (`ActorPerform` rows ≈ `n_performances`).
+///
+/// # Panics
+/// Panics if `n_performances < 100`.
+pub fn generate(n_performances: usize, seed: u64) -> Database {
+    assert!(n_performances >= 100, "need at least 100 performances");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let n_actors = (n_performances / 5).max(20);
+    let n_films = (n_performances / 4).max(20);
+    let n_directors = (n_films / 5).max(5);
+    let n_awards = 20usize;
+    let n_honors = (n_performances as f64 * 0.085).max(50.0) as usize;
+
+    // Exponents calibrated so the *head* entities stay plausible: the
+    // busiest actor gets a few hundred performances and the largest cast
+    // a few hundred members, as in the real catalog — heavy enough for
+    // visible shuffle skew, light enough that Q3/Q8 outputs stay sane.
+    let actor_zipf = Zipf::new(n_actors, 0.9);
+    let film_zipf = Zipf::new(n_films, 0.7);
+    let director_zipf = Zipf::new(n_directors, 1.0);
+    let award_zipf = Zipf::new(n_awards, 1.0);
+
+    let mut actor_perform = Relation::with_capacity(2, n_performances + 64);
+    let mut perform_film = Relation::with_capacity(2, n_performances + 64);
+    for p in 0..n_performances as u64 {
+        let actor = ACTOR_BASE + actor_zipf.sample(&mut rng) as u64;
+        actor_perform.push_row(&[actor, PERFORM_BASE + p]);
+        // PerformFilm is slightly smaller than ActorPerform in the paper
+        // (1.094M vs 1.100M): drop ~0.5% of film rows.
+        if rng.gen_bool(0.995) {
+            let film = FILM_BASE + film_zipf.sample(&mut rng) as u64;
+            perform_film.push_row(&[PERFORM_BASE + p, film]);
+        }
+    }
+
+    // Q3 guarantee: Joe Pesci and Robert De Niro co-star in three
+    // dedicated films (ids beyond the Zipf range, so their casts stay
+    // small and realistic), each with a handful of extra cast members;
+    // both stars also get a few solo tail performances.
+    let mut next_perf = PERFORM_BASE + n_performances as u64;
+    for f in 0..3u64 {
+        let film = FILM_BASE + n_films as u64 + f;
+        for actor in [ACTOR_JOE_PESCI, ACTOR_DE_NIRO] {
+            actor_perform.push_row(&[actor, next_perf]);
+            perform_film.push_row(&[next_perf, film]);
+            next_perf += 1;
+        }
+        for extra in 0..5u64 {
+            let cast = ACTOR_BASE + (f * 5 + extra) % (n_actors as u64);
+            actor_perform.push_row(&[cast, next_perf]);
+            perform_film.push_row(&[next_perf, film]);
+            next_perf += 1;
+        }
+    }
+    for star in [ACTOR_JOE_PESCI, ACTOR_DE_NIRO] {
+        for _ in 0..5 {
+            let film = FILM_BASE + film_zipf.sample(&mut rng) as u64;
+            actor_perform.push_row(&[star, next_perf]);
+            perform_film.push_row(&[next_perf, film]);
+            next_perf += 1;
+        }
+    }
+
+    let mut director_film = Relation::with_capacity(2, (n_films * 7) / 10 + 1);
+    for f in 0..n_films as u64 {
+        // ≈ 0.7 directors per film keeps |DirectorFilm| / |ActorPerform|
+        // at the paper's ≈ 0.17.
+        if rng.gen_bool(0.7) {
+            let d = DIRECTOR_BASE + director_zipf.sample(&mut rng) as u64;
+            director_film.push_row(&[d, FILM_BASE + f]);
+        }
+    }
+
+    let mut honor_award = Relation::with_capacity(2, n_honors);
+    let mut honor_actor = Relation::with_capacity(2, (n_honors * 135) / 100);
+    let mut honor_year = Relation::with_capacity(2, n_honors);
+    for h in 0..n_honors as u64 {
+        let honor = HONOR_BASE + h;
+        let award = AWARD_BASE + award_zipf.sample(&mut rng) as u64;
+        honor_award.push_row(&[honor, award]);
+        let actor = ACTOR_BASE + actor_zipf.sample(&mut rng) as u64;
+        honor_actor.push_row(&[honor, actor]);
+        // The paper's HonorActor is ≈ 1.35× HonorAward: shared honors.
+        if rng.gen_bool(0.35) {
+            let second = ACTOR_BASE + actor_zipf.sample(&mut rng) as u64;
+            honor_actor.push_row(&[honor, second]);
+        }
+        let year = 1950 + rng.gen_range(0..70);
+        honor_year.push_row(&[honor, year]);
+    }
+
+    // ObjectName: every entity gets a name; padding rows keep it the
+    // largest relation, as in the paper.
+    let mut object_name = Relation::with_capacity(2, 2 * n_performances);
+    let mut next_name = NAME_BASE;
+    object_name.push_row(&[ACTOR_JOE_PESCI, NAME_JOE_PESCI]);
+    object_name.push_row(&[ACTOR_DE_NIRO, NAME_DE_NIRO]);
+    object_name.push_row(&[AWARD_BASE, NAME_ACADEMY_AWARDS]);
+    let named_objects = (0..n_actors as u64)
+        .map(|a| ACTOR_BASE + a)
+        .chain((0..n_films as u64).map(|f| FILM_BASE + f))
+        .chain((0..n_directors as u64).map(|d| DIRECTOR_BASE + d))
+        .chain((1..n_awards as u64).map(|w| AWARD_BASE + w));
+    for obj in named_objects {
+        object_name.push_row(&[obj, next_name]);
+        next_name += 1;
+    }
+    // Pad with miscellaneous entities so ObjectName stays the largest
+    // relation, as in the paper.
+    while object_name.len() < 2 * n_performances {
+        object_name.push_row(&[7_000_000_000 + next_name, next_name]);
+        next_name += 1;
+    }
+
+    let mut db = Database::new();
+    db.insert("ObjectName", object_name);
+    db.insert("ActorPerform", actor_perform.distinct());
+    db.insert("PerformFilm", perform_film.distinct());
+    db.insert("DirectorFilm", director_film.distinct());
+    db.insert("HonorAward", honor_award);
+    db.insert("HonorActor", honor_actor.distinct());
+    db.insert("HonorYear", honor_year);
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Database {
+        generate(2000, 42)
+    }
+
+    #[test]
+    fn cardinality_ratios_roughly_papers() {
+        let db = small();
+        let ap = db.expect("ActorPerform").len() as f64;
+        let pf = db.expect("PerformFilm").len() as f64;
+        let df = db.expect("DirectorFilm").len() as f64;
+        let on = db.expect("ObjectName").len() as f64;
+        assert!((pf / ap - 1.0).abs() < 0.05, "PF/AP = {}", pf / ap);
+        assert!(df / ap > 0.10 && df / ap < 0.25, "DF/AP = {}", df / ap);
+        assert!(on > ap, "ObjectName must stay the largest relation");
+    }
+
+    #[test]
+    fn honor_actor_exceeds_honor_award() {
+        let db = small();
+        let ha = db.expect("HonorActor").len() as f64;
+        let hw = db.expect("HonorAward").len() as f64;
+        assert!(ha / hw > 1.15 && ha / hw < 1.6, "HA/HW = {}", ha / hw);
+    }
+
+    #[test]
+    fn q3_constants_resolve() {
+        let db = small();
+        let on = db.expect("ObjectName");
+        let joe: Vec<u64> =
+            on.rows().filter(|r| r[1] == NAME_JOE_PESCI).map(|r| r[0]).collect();
+        let rdn: Vec<u64> =
+            on.rows().filter(|r| r[1] == NAME_DE_NIRO).map(|r| r[0]).collect();
+        assert_eq!(joe, vec![ACTOR_JOE_PESCI]);
+        assert_eq!(rdn, vec![ACTOR_DE_NIRO]);
+    }
+
+    #[test]
+    fn costar_films_exist() {
+        let db = small();
+        let ap = db.expect("ActorPerform");
+        let pf = db.expect("PerformFilm");
+        let films_of = |actor: u64| -> std::collections::BTreeSet<u64> {
+            let perfs: Vec<u64> =
+                ap.rows().filter(|r| r[0] == actor).map(|r| r[1]).collect();
+            pf.rows().filter(|r| perfs.contains(&r[0])).map(|r| r[1]).collect()
+        };
+        let shared: Vec<u64> = films_of(ACTOR_JOE_PESCI)
+            .intersection(&films_of(ACTOR_DE_NIRO))
+            .copied()
+            .collect();
+        assert!(shared.len() >= 3, "co-starring films: {shared:?}");
+    }
+
+    #[test]
+    fn academy_honors_in_nineties_exist() {
+        let db = small();
+        let ha = db.expect("HonorAward");
+        let hy = db.expect("HonorYear");
+        let academy_honors: Vec<u64> =
+            ha.rows().filter(|r| r[1] == AWARD_BASE).map(|r| r[0]).collect();
+        let nineties = hy
+            .rows()
+            .filter(|r| academy_honors.contains(&r[0]) && r[1] >= 1990 && r[1] < 2000)
+            .count();
+        assert!(nineties > 0, "no 1990s Academy honors generated");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(500, 9);
+        let b = generate(500, 9);
+        assert_eq!(a.expect("ActorPerform").raw(), b.expect("ActorPerform").raw());
+    }
+
+    #[test]
+    fn honors_reference_valid_actors() {
+        let db = small();
+        let ha = db.expect("HonorActor");
+        for row in ha.rows() {
+            assert!(row[1] < FILM_BASE, "actor id out of range");
+        }
+    }
+
+    #[test]
+    fn stars_are_tail_entities() {
+        // The query constants must not be Zipf-head entities: their
+        // performance counts stay small (3 co-star + 5 solo films).
+        let db = small();
+        let ap = db.expect("ActorPerform");
+        let joe = ap.rows().filter(|r| r[0] == ACTOR_JOE_PESCI).count();
+        let rdn = ap.rows().filter(|r| r[0] == ACTOR_DE_NIRO).count();
+        assert!(joe <= 10 && rdn <= 10, "joe {joe}, rdn {rdn}");
+    }
+}

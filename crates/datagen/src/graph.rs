@@ -1,0 +1,203 @@
+//! Power-law directed graphs via preferential attachment.
+//!
+//! The paper's Q1/Q2/Q5/Q6 run on a Twitter follower crawl whose degree
+//! distribution is power-law ("the degrees of twitter nodes follows a
+//! Power-Law distribution \[12\]"). We substitute a Barabási–Albert-style
+//! preferential-attachment digraph: each new node attaches `m` edges to
+//! targets drawn proportionally to current degree, with random edge
+//! orientation. This preserves the two properties the experiments hinge
+//! on: heavy-tailed degrees (⇒ hash-partition skew) and abundant
+//! triangles/cliques with intermediate-result blow-up.
+
+use parjoin_common::Relation;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a preferential-attachment digraph with `nodes` nodes and
+/// roughly `nodes × m` distinct directed edges (self-loops removed,
+/// duplicates collapsed).
+///
+/// # Panics
+/// Panics if `nodes < 3` or `m == 0`.
+pub fn preferential_attachment(nodes: u64, m: usize, seed: u64) -> Relation {
+    assert!(nodes >= 3, "need at least 3 nodes");
+    assert!(m >= 1, "need at least one edge per node");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Degree-proportional target pool: node id appears once per incident
+    // edge endpoint.
+    let mut pool: Vec<u64> = Vec::with_capacity(nodes as usize * m * 2);
+    let mut rel = Relation::with_capacity(2, nodes as usize * m + 3);
+
+    // Seed triangle so the pool is non-empty and triangles exist from the
+    // start.
+    for (a, b) in [(0u64, 1u64), (1, 2), (2, 0)] {
+        rel.push_row(&[a, b]);
+        pool.push(a);
+        pool.push(b);
+    }
+
+    for v in 3..nodes {
+        for _ in 0..m {
+            let t = pool[rng.gen_range(0..pool.len())];
+            if t == v {
+                continue;
+            }
+            // Random orientation: follower edges point both ways in a real
+            // social graph.
+            let (a, b) = if rng.gen_bool(0.5) { (v, t) } else { (t, v) };
+            rel.push_row(&[a, b]);
+            pool.push(a);
+            pool.push(b);
+        }
+    }
+    rel.distinct()
+}
+
+/// Adds a celebrity layer on top of a base graph: a handful of nodes
+/// that a sizable fraction of all edges point at (and a smaller fraction
+/// emanate from), like verified accounts in the real follower graph.
+///
+/// Pure preferential attachment caps hub degrees around `m·√n`, far
+/// tamer than the crawl the paper used; without celebrities the
+/// regular shuffle's skew (consumer 1.35–1.72, intermediate producer
+/// 20.8 — Table 2) and the intermediate-result blow-up do not
+/// materialize at laptop scale. `to_frac` of the edges get their target
+/// rewired to a Zipf-chosen celebrity and `from_frac` their source.
+pub fn celebrity_overlay(
+    base: Relation,
+    celebrity_base: u64,
+    celebrities: u64,
+    to_frac: f64,
+    from_frac: f64,
+    seed: u64,
+) -> Relation {
+    assert!(celebrities >= 1, "need at least one celebrity");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_cafe);
+    // Celebrity popularity is itself Zipf-ish: rank k drawn ∝ 1/(k+1);
+    // celebrity ids start at `celebrity_base` (disjoint from base nodes).
+    let pick = |rng: &mut StdRng| -> u64 {
+        let u: f64 = rng.gen();
+        let h: f64 = (1..=celebrities).map(|k| 1.0 / k as f64).sum();
+        let mut acc = 0.0;
+        for k in 0..celebrities {
+            acc += 1.0 / ((k + 1) as f64 * h);
+            if u <= acc {
+                return celebrity_base + k;
+            }
+        }
+        celebrity_base + celebrities - 1
+    };
+    let mut out = Relation::with_capacity(2, base.len());
+    for row in base.rows() {
+        let (mut a, mut b) = (row[0], row[1]);
+        if rng.gen_bool(to_frac) {
+            b = pick(&mut rng);
+        }
+        if rng.gen_bool(from_frac) {
+            a = pick(&mut rng);
+        }
+        if a != b {
+            out.push_row(&[a, b]);
+        }
+    }
+    out.distinct()
+}
+
+/// The Twitter-like graph used by the workloads: preferential attachment
+/// plus a celebrity layer (5 celebrities, 6% of targets, 3% of sources).
+///
+/// ```
+/// let g = parjoin_datagen::graph::twitter_graph(1_000, 4, 7);
+/// assert_eq!(g.arity(), 2);
+/// assert!(g.len() > 3_000);
+/// assert!(parjoin_datagen::graph::degree_skew(&g) > 3.0);
+/// ```
+pub fn twitter_graph(nodes: u64, m: usize, seed: u64) -> Relation {
+    let base = preferential_attachment(nodes, m, seed);
+    celebrity_overlay(base, nodes, 5, 0.06, 0.03, seed)
+}
+
+/// Maximum out-degree / average out-degree — a quick skew indicator used
+/// by tests and experiment printouts.
+pub fn degree_skew(edges: &Relation) -> f64 {
+    let mut counts = std::collections::HashMap::new();
+    for row in edges.rows() {
+        *counts.entry(row[0]).or_insert(0u64) += 1;
+    }
+    if counts.is_empty() {
+        return 1.0;
+    }
+    let max = *counts.values().max().expect("non-empty") as f64;
+    let avg = edges.len() as f64 / counts.len() as f64;
+    max / avg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = preferential_attachment(100, 3, 7);
+        let b = preferential_attachment(100, 3, 7);
+        assert_eq!(a.raw(), b.raw());
+        let c = preferential_attachment(100, 3, 8);
+        assert_ne!(a.raw(), c.raw());
+    }
+
+    #[test]
+    fn edge_count_near_target() {
+        let g = preferential_attachment(1000, 4, 1);
+        // Duplicates/self-loops remove a few; expect within 15%.
+        assert!(g.len() as f64 > 1000.0 * 4.0 * 0.85, "{}", g.len());
+        assert!(g.len() <= 1000 * 4 + 3);
+    }
+
+    #[test]
+    fn no_self_loops_and_distinct() {
+        let g = preferential_attachment(500, 3, 2);
+        for row in g.rows() {
+            assert_ne!(row[0], row[1]);
+        }
+        assert_eq!(g.len(), g.clone().distinct().len());
+    }
+
+    #[test]
+    fn degrees_are_skewed() {
+        let g = preferential_attachment(5000, 4, 3);
+        // Power-law graphs have max degree ≫ average.
+        assert!(degree_skew(&g) > 5.0, "skew {}", degree_skew(&g));
+    }
+
+    #[test]
+    fn celebrity_overlay_concentrates_degree() {
+        let base = preferential_attachment(4000, 4, 5);
+        let celeb = celebrity_overlay(base.clone(), 4000, 5, 0.06, 0.03, 5);
+        // The top celebrity's in-degree must dwarf the average in-degree.
+        let indeg = |g: &Relation, v: u64| g.rows().filter(|r| r[1] == v).count();
+        let avg = celeb.len() as f64 / 4000.0;
+        assert!(
+            indeg(&celeb, 4000) as f64 > 20.0 * avg,
+            "celebrity indeg {} vs avg {avg}",
+            indeg(&celeb, 4000)
+        );
+        // Overall size stays comparable (rewiring, not adding).
+        assert!(celeb.len() <= base.len());
+        assert!(celeb.len() > base.len() * 9 / 10);
+    }
+
+    #[test]
+    fn twitter_graph_deterministic() {
+        let a = twitter_graph(500, 3, 2);
+        let b = twitter_graph(500, 3, 2);
+        assert_eq!(a.raw(), b.raw());
+    }
+
+    #[test]
+    fn node_ids_in_range() {
+        let g = preferential_attachment(200, 2, 4);
+        for row in g.rows() {
+            assert!(row[0] < 200 && row[1] < 200);
+        }
+    }
+}

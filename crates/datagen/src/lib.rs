@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # parjoin-datagen
+//!
+//! Synthetic stand-ins for the paper's two datasets, plus the eight
+//! workload queries of §3 and Appendix A.
+//!
+//! * [`graph`] — a preferential-attachment directed graph replacing the
+//!   Twitter follower crawl (1,114,289 edges in the paper). Preferential
+//!   attachment yields the power-law degree distribution the paper cites
+//!   (\[12\]) — the property that *drives* the regular shuffle's skew
+//!   (Table 2) and the triangle-rich structure behind Q1/Q2/Q5/Q6.
+//! * [`freebase`] — a movie/honor schema with the paper's relative
+//!   cardinalities and Zipf-skewed fan-outs, replacing the Freebase
+//!   triples (Table 1). Selection constants (`"Joe Pesci"`,
+//!   `"Robert De Niro"`, `"The Academy Awards"`) are dictionary-encoded
+//!   ids exported as constants.
+//! * [`workloads`] — Q1–Q8 as [`ConjunctiveQuery`] values (and their
+//!   Datalog source strings), tagged with the dataset they run on.
+//!
+//! Everything is seeded and deterministic.
+//!
+//! [`ConjunctiveQuery`]: parjoin_query::ConjunctiveQuery
+
+pub mod freebase;
+pub mod graph;
+pub mod workloads;
+pub mod zipf;
+
+pub use workloads::{all_queries, DatasetKind, QuerySpec, Scale};

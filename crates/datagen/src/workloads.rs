@@ -1,0 +1,316 @@
+//! The paper's eight workload queries (§3 and Appendix A) and dataset
+//! scales.
+
+use crate::{freebase, graph};
+use parjoin_common::Database;
+use parjoin_query::hypergraph::is_acyclic;
+use parjoin_query::{CmpOp, ConjunctiveQuery, QueryBuilder, Term};
+
+/// Which dataset a query runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// The Twitter-like power-law digraph (Q1, Q2, Q5, Q6).
+    Twitter,
+    /// The Freebase-like movie/honor catalog (Q3, Q4, Q7, Q8).
+    Freebase,
+}
+
+/// One benchmark query.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    /// Paper name, `"Q1"` … `"Q8"`.
+    pub name: &'static str,
+    /// The query.
+    pub query: ConjunctiveQuery,
+    /// Dataset it runs on.
+    pub dataset: DatasetKind,
+    /// True when the query hypergraph is cyclic (Table 6's column).
+    pub cyclic: bool,
+}
+
+/// Dataset sizing. The paper's Twitter subset has 1.11 M edges and its
+/// Freebase slice 1.1 M performances; the default scales here keep every
+/// experiment's *shape* while fitting laptop-scale runs (see
+/// EXPERIMENTS.md for the scale used per figure).
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Nodes in the Twitter-like graph.
+    pub twitter_nodes: u64,
+    /// Preferential-attachment edges per node.
+    pub twitter_m: usize,
+    /// Performances in the Freebase-like catalog.
+    pub freebase_performances: usize,
+}
+
+impl Scale {
+    /// Integration-test scale (fractions of a second per plan).
+    pub fn tiny() -> Self {
+        Scale { twitter_nodes: 300, twitter_m: 3, freebase_performances: 2_000 }
+    }
+
+    /// Default experiment scale.
+    pub fn small() -> Self {
+        Scale { twitter_nodes: 3_000, twitter_m: 5, freebase_performances: 20_000 }
+    }
+
+    /// Larger experiment scale (Q4/Q5 regular-shuffle plans become slow).
+    pub fn medium() -> Self {
+        Scale { twitter_nodes: 12_000, twitter_m: 6, freebase_performances: 80_000 }
+    }
+
+    /// Builds the Twitter-like database (one relation, `Twitter`).
+    pub fn twitter_db(&self, seed: u64) -> Database {
+        let mut db = Database::new();
+        db.insert("Twitter", graph::twitter_graph(self.twitter_nodes, self.twitter_m, seed));
+        db
+    }
+
+    /// Builds the Freebase-like database.
+    pub fn freebase_db(&self, seed: u64) -> Database {
+        freebase::generate(self.freebase_performances, seed)
+    }
+
+    /// Builds whichever database `kind` asks for.
+    pub fn db_for(&self, kind: DatasetKind, seed: u64) -> Database {
+        match kind {
+            DatasetKind::Twitter => self.twitter_db(seed),
+            DatasetKind::Freebase => self.freebase_db(seed),
+        }
+    }
+}
+
+fn spec(name: &'static str, dataset: DatasetKind, query: ConjunctiveQuery) -> QuerySpec {
+    let cyclic = !is_acyclic(&query);
+    QuerySpec { name, query, dataset, cyclic }
+}
+
+/// Q1 — all directed triangles in Twitter (§3.1).
+pub fn q1() -> QuerySpec {
+    let mut b = QueryBuilder::new("Triangle");
+    let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
+    b.atom("Twitter", [x, y]).atom("Twitter", [y, z]).atom("Twitter", [z, x]);
+    spec("Q1", DatasetKind::Twitter, b.build())
+}
+
+/// Q2 — all 4-cliques in Twitter (§3.2).
+pub fn q2() -> QuerySpec {
+    let mut b = QueryBuilder::new("Clique4");
+    let (x, y, z, p) = (b.var("x"), b.var("y"), b.var("z"), b.var("p"));
+    b.atom("Twitter", [x, y])
+        .atom("Twitter", [y, z])
+        .atom("Twitter", [z, p])
+        .atom("Twitter", [p, x])
+        .atom("Twitter", [x, z])
+        .atom("Twitter", [y, p]);
+    spec("Q2", DatasetKind::Twitter, b.build())
+}
+
+/// Q3 — cast members of films starring both Joe Pesci and Robert De Niro
+/// (§3.3). Acyclic, 8 atoms, tiny selections.
+pub fn q3() -> QuerySpec {
+    let mut b = QueryBuilder::new("CastMember");
+    let a1 = b.var("a1");
+    let p1 = b.var("p1");
+    let film = b.var("film");
+    let a2 = b.var("a2");
+    let p2 = b.var("p2");
+    let p = b.var("p");
+    let cast = b.var("cast");
+    b.atom_terms("ObjectName", [Term::Var(a1), Term::Const(freebase::NAME_JOE_PESCI)])
+        .atom("ActorPerform", [a1, p1])
+        .atom("PerformFilm", [p1, film])
+        .atom_terms("ObjectName", [Term::Var(a2), Term::Const(freebase::NAME_DE_NIRO)])
+        .atom("ActorPerform", [a2, p2])
+        .atom("PerformFilm", [p2, film])
+        .atom("PerformFilm", [p, film])
+        .atom("ActorPerform", [cast, p])
+        .head([cast]);
+    spec("Q3", DatasetKind::Freebase, b.build())
+}
+
+/// Q4 — pairs of actors co-starring in at least two films (§3.4).
+/// Cyclic, 8 atoms, huge intermediates under a regular shuffle.
+pub fn q4() -> QuerySpec {
+    let mut b = QueryBuilder::new("ActorPairs");
+    let a1 = b.var("a1");
+    let p1 = b.var("p1");
+    let f1 = b.var("f1");
+    let p2 = b.var("p2");
+    let a2 = b.var("a2");
+    let p3 = b.var("p3");
+    let f2 = b.var("f2");
+    let p4 = b.var("p4");
+    b.atom("ActorPerform", [a1, p1])
+        .atom("PerformFilm", [p1, f1])
+        .atom("PerformFilm", [p2, f1])
+        .atom("ActorPerform", [a2, p2])
+        .atom("ActorPerform", [a2, p3])
+        .atom("PerformFilm", [p3, f2])
+        .atom("PerformFilm", [p4, f2])
+        .atom("ActorPerform", [a1, p4])
+        .head([a1, a2])
+        .filter_vv(f1, CmpOp::Gt, f2);
+    spec("Q4", DatasetKind::Freebase, b.build())
+}
+
+/// Q5 — directed rectangles (4-cycles) in Twitter (Appendix A).
+pub fn q5() -> QuerySpec {
+    let mut b = QueryBuilder::new("Rectangle");
+    let (x, y, z, p) = (b.var("x"), b.var("y"), b.var("z"), b.var("p"));
+    b.atom("Twitter", [x, y])
+        .atom("Twitter", [y, z])
+        .atom("Twitter", [z, p])
+        .atom("Twitter", [p, x]);
+    spec("Q5", DatasetKind::Twitter, b.build())
+}
+
+/// Q6 — "two rings": back-to-back triangles (Appendix A).
+pub fn q6() -> QuerySpec {
+    let mut b = QueryBuilder::new("TwoRings");
+    let (x, y, z, p) = (b.var("x"), b.var("y"), b.var("z"), b.var("p"));
+    b.atom("Twitter", [x, y])
+        .atom("Twitter", [y, z])
+        .atom("Twitter", [z, p])
+        .atom("Twitter", [p, x])
+        .atom("Twitter", [x, z]);
+    spec("Q6", DatasetKind::Twitter, b.build())
+}
+
+/// Q7 — actors winning Academy Awards in the 1990s (Appendix A).
+/// Acyclic star with range filters.
+pub fn q7() -> QuerySpec {
+    let mut b = QueryBuilder::new("OscarWinners");
+    let aw = b.var("aw");
+    let h = b.var("h");
+    let a = b.var("a");
+    let y = b.var("y");
+    b.atom_terms("ObjectName", [Term::Var(aw), Term::Const(freebase::NAME_ACADEMY_AWARDS)])
+        .atom("HonorAward", [h, aw])
+        .atom("HonorActor", [h, a])
+        .atom("HonorYear", [h, y])
+        .head([a])
+        .filter_vc(y, CmpOp::Ge, 1990)
+        .filter_vc(y, CmpOp::Lt, 2000);
+    spec("Q7", DatasetKind::Freebase, b.build())
+}
+
+/// Q8 — actor/director pairs appearing together in two films
+/// (Appendix A). Cyclic, 6 atoms.
+pub fn q8() -> QuerySpec {
+    let mut b = QueryBuilder::new("ActorDirector");
+    let a = b.var("a");
+    let p1 = b.var("p1");
+    let p2 = b.var("p2");
+    let f1 = b.var("f1");
+    let f2 = b.var("f2");
+    let d = b.var("d");
+    b.atom("ActorPerform", [a, p1])
+        .atom("ActorPerform", [a, p2])
+        .atom("PerformFilm", [p1, f1])
+        .atom("PerformFilm", [p2, f2])
+        .atom("DirectorFilm", [d, f1])
+        .atom("DirectorFilm", [d, f2])
+        .head([a, d]);
+    spec("Q8", DatasetKind::Freebase, b.build())
+}
+
+/// All eight queries in paper order.
+pub fn all_queries() -> Vec<QuerySpec> {
+    vec![q1(), q2(), q3(), q4(), q5(), q6(), q7(), q8()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parjoin_query::parser;
+
+    #[test]
+    fn cyclicity_matches_table6() {
+        let expect = [
+            ("Q1", true),
+            ("Q2", true),
+            ("Q3", false),
+            ("Q4", true),
+            ("Q5", true),
+            ("Q6", true),
+            ("Q7", false),
+            ("Q8", true),
+        ];
+        for (spec, (name, cyclic)) in all_queries().iter().zip(expect) {
+            assert_eq!(spec.name, name);
+            assert_eq!(spec.cyclic, cyclic, "{name}");
+        }
+    }
+
+    #[test]
+    fn atom_counts_match_table6() {
+        let expect = [3usize, 6, 8, 8, 4, 5, 4, 6];
+        for (spec, n) in all_queries().iter().zip(expect) {
+            assert_eq!(spec.query.atoms.len(), n, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn join_variable_counts() {
+        // Table 6 "# Join Variables": Q1=3, Q7=2 (aw and h), Q4=8.
+        assert_eq!(q1().query.join_vars().len(), 3);
+        assert_eq!(q7().query.join_vars().len(), 2);
+        assert_eq!(q4().query.join_vars().len(), 8);
+        assert_eq!(q8().query.join_vars().len(), 6);
+    }
+
+    #[test]
+    fn queries_roundtrip_through_datalog() {
+        for spec in all_queries() {
+            let text = format!("{}", spec.query);
+            let parsed = parser::parse(&text)
+                .unwrap_or_else(|e| panic!("{} datalog `{text}` fails: {e}", spec.name));
+            assert_eq!(
+                format!("{parsed}"),
+                text,
+                "{} does not round-trip through the parser",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn queries_validate_against_their_databases() {
+        let scale = Scale::tiny();
+        let tw = scale.twitter_db(1);
+        let fb = scale.freebase_db(1);
+        for spec in all_queries() {
+            let db = match spec.dataset {
+                DatasetKind::Twitter => &tw,
+                DatasetKind::Freebase => &fb,
+            };
+            let (atoms, _) =
+                parjoin_query::resolve_atoms(&spec.query, db).expect("resolves");
+            assert_eq!(atoms.len(), spec.query.atoms.len());
+        }
+    }
+
+    #[test]
+    fn q3_selections_are_tiny() {
+        let db = Scale::tiny().freebase_db(3);
+        let (atoms, _) = parjoin_query::resolve_atoms(&q3().query, &db).unwrap();
+        assert_eq!(atoms[0].len(), 1, "Joe Pesci selection");
+        assert_eq!(atoms[3].len(), 1, "De Niro selection");
+    }
+
+    #[test]
+    fn q7_range_filter_pushed_down() {
+        let db = Scale::tiny().freebase_db(3);
+        let (atoms, residual) = parjoin_query::resolve_atoms(&q7().query, &db).unwrap();
+        assert!(residual.is_empty(), "range filters push down");
+        let hy = db.expect("HonorYear").len();
+        assert!(atoms[3].len() < hy, "HonorYear reduced by the range");
+        assert!(!atoms[3].is_empty(), "some honors in the 1990s");
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Scale::tiny().twitter_nodes < Scale::small().twitter_nodes);
+        assert!(Scale::small().freebase_performances < Scale::medium().freebase_performances);
+    }
+}

@@ -1,0 +1,108 @@
+//! A simple Zipf sampler over `0..n` via inverse-CDF table lookup.
+
+use rand::Rng;
+
+/// Zipf distribution with exponent `s` over ranks `0..n` (rank 0 most
+/// popular). Sampling is a binary search over the precomputed CDF.
+///
+/// ```
+/// use parjoin_datagen::zipf::Zipf;
+/// use rand::SeedableRng;
+///
+/// let z = Zipf::new(100, 1.0);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let hits = (0..1000).filter(|_| z.sample(&mut rng) == 0).count();
+/// assert!(hits > 100, "rank 0 dominates: {hits}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s < 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs a non-empty domain");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Samples a rank in `0..n`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Domain size.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Never empty (constructor rejects `n == 0`).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 10);
+        }
+    }
+
+    #[test]
+    fn rank_zero_most_popular() {
+        let z = Zipf::new(50, 1.2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = vec![0usize; 50];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[49] * 5);
+    }
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = vec![0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "{counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_domain_rejected() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Distributed relations: a schema plus one partition per worker.
+
+use parjoin_common::Relation;
+use parjoin_query::VarId;
+
+/// A horizontally partitioned relation whose columns are bound to query
+/// variables.
+#[derive(Debug, Clone)]
+pub struct DistRel {
+    /// One variable per column.
+    pub vars: Vec<VarId>,
+    /// One partition per worker.
+    pub parts: Vec<Relation>,
+}
+
+impl DistRel {
+    /// Partitions `rel` round-robin across `workers` workers — the
+    /// paper's initial data placement ("all the input relations are
+    /// horizontally partitioned across the 64 workers using round-robin
+    /// partitioning", §3).
+    pub fn round_robin(rel: &Relation, vars: Vec<VarId>, workers: usize) -> Self {
+        assert_eq!(rel.arity(), vars.len(), "one variable per column");
+        assert!(workers > 0);
+        let mut parts: Vec<Relation> = (0..workers)
+            .map(|_| Relation::with_capacity(rel.arity(), rel.len() / workers + 1))
+            .collect();
+        for (i, row) in rel.rows().enumerate() {
+            parts[i % workers].push_row(row);
+        }
+        DistRel { vars, parts }
+    }
+
+    /// An empty distributed relation.
+    pub fn empty(vars: Vec<VarId>, workers: usize) -> Self {
+        let arity = vars.len().max(1);
+        DistRel { vars, parts: (0..workers).map(|_| Relation::new(arity)).collect() }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Total tuples across partitions.
+    pub fn total_len(&self) -> u64 {
+        self.parts.iter().map(|p| p.len() as u64).sum()
+    }
+
+    /// Per-partition tuple counts.
+    pub fn part_lens(&self) -> Vec<u64> {
+        self.parts.iter().map(|p| p.len() as u64).collect()
+    }
+
+    /// Column index of variable `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is not in the schema.
+    pub fn col_of(&self, v: VarId) -> usize {
+        self.vars
+            .iter()
+            .position(|&x| x == v)
+            .unwrap_or_else(|| panic!("variable #{} not in schema", v.0))
+    }
+
+    /// Gathers all partitions into one relation (coordinator collect).
+    pub fn gather(&self) -> Relation {
+        let arity = self.parts.first().map_or(1, |p| p.arity());
+        let mut out = Relation::with_capacity(arity, self.total_len() as usize);
+        for p in &self.parts {
+            out.extend_from(p);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    #[test]
+    fn round_robin_balances() {
+        let rel = Relation::from_rows(2, (0..10u64).map(|i| [i, i]).collect::<Vec<_>>().iter());
+        let d = DistRel::round_robin(&rel, vec![v(0), v(1)], 3);
+        assert_eq!(d.part_lens(), vec![4, 3, 3]);
+        assert_eq!(d.total_len(), 10);
+    }
+
+    #[test]
+    fn gather_roundtrips_multiset() {
+        let rel = Relation::from_rows(2, (0..7u64).map(|i| [i, i + 1]).collect::<Vec<_>>().iter());
+        let d = DistRel::round_robin(&rel, vec![v(0), v(1)], 4);
+        let g = d.gather().distinct();
+        assert_eq!(g.len(), 7);
+    }
+
+    #[test]
+    fn col_lookup() {
+        let rel = Relation::from_rows(2, [[1u64, 2]].iter());
+        let d = DistRel::round_robin(&rel, vec![v(5), v(9)], 2);
+        assert_eq!(d.col_of(v(9)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in schema")]
+    fn missing_col_panics() {
+        let rel = Relation::from_rows(1, [[1u64]].iter());
+        DistRel::round_robin(&rel, vec![v(0)], 1).col_of(v(3));
+    }
+
+    #[test]
+    fn empty_dist() {
+        let d = DistRel::empty(vec![v(0)], 4);
+        assert_eq!(d.workers(), 4);
+        assert_eq!(d.total_len(), 0);
+    }
+}

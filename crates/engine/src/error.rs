@@ -1,0 +1,43 @@
+//! Engine errors.
+
+use parjoin_query::resolve::ResolveError;
+
+/// Failures during distributed plan execution.
+#[derive(Debug, Clone)]
+pub enum EngineError {
+    /// A worker exceeded the cluster's per-worker memory budget — the
+    /// engine-level model of the paper's Q4 `RS_TJ` out-of-memory FAIL.
+    MemoryBudget {
+        /// The worker that blew the budget.
+        worker: usize,
+        /// Live tuples the worker would have needed.
+        needed: u64,
+        /// The configured budget.
+        budget: u64,
+    },
+    /// The query could not be bound against the catalog.
+    Resolve(ResolveError),
+    /// The plan is inapplicable (e.g. a semijoin plan on a cyclic query).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::MemoryBudget { worker, needed, budget } => write!(
+                f,
+                "worker {worker} exceeded memory budget: needs {needed} tuples, budget {budget}"
+            ),
+            EngineError::Resolve(e) => write!(f, "resolve error: {e}"),
+            EngineError::Unsupported(s) => write!(f, "unsupported plan: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ResolveError> for EngineError {
+    fn from(e: ResolveError) -> Self {
+        EngineError::Resolve(e)
+    }
+}

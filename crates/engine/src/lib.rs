@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! # parjoin-engine
+//!
+//! An in-process simulator of the shared-nothing parallel DBMS the paper
+//! runs on (Myria, 64 workers over 16 machines): relations are
+//! horizontally partitioned across `p` workers, shuffles move tuples
+//! between partitions while tallying exactly the metrics the paper
+//! reports (tuples sent, producer/consumer skew), and local joins run as
+//! real computations whose per-worker busy times yield the simulated
+//! wall-clock (the slowest worker — stragglers are physical here, not
+//! modeled) and total CPU time.
+//!
+//! The six shuffle×join configurations of §3 are provided by
+//! [`plans::run_config`]:
+//!
+//! | name | shuffle | local join |
+//! |------|---------|-----------|
+//! | `RS_HJ` | regular (per join step) | binary hash join |
+//! | `RS_TJ` | regular (per join step) | binary sort-merge join |
+//! | `BR_HJ` | broadcast | left-deep hash-join tree |
+//! | `BR_TJ` | broadcast | Tributary join |
+//! | `HC_HJ` | HyperCube | left-deep hash-join tree |
+//! | `HC_TJ` | HyperCube | Tributary join |
+//!
+//! plus the distributed semijoin (GYM) plans of §3.6 in [`semijoin`].
+
+pub mod advisor;
+pub mod cluster;
+pub mod dist;
+pub mod error;
+pub mod exec;
+pub mod local;
+pub mod plans;
+pub mod semijoin;
+pub mod shuffle;
+
+pub use advisor::{advise, Advice};
+pub use cluster::Cluster;
+pub use dist::DistRel;
+pub use error::EngineError;
+pub use plans::{run_config, JoinAlg, PlanOptions, RunResult, ShuffleAlg};

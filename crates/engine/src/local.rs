@@ -1,0 +1,429 @@
+//! Per-worker local join operators: binary hash join, binary sort-merge
+//! join, and hash semijoin. These run inside worker tasks; the engine
+//! times them to produce per-worker busy times.
+
+use parjoin_common::{hash, Relation, Value};
+use parjoin_query::{Filter, VarId};
+
+/// A relation whose columns are bound to query variables — the unit local
+/// operators work on.
+#[derive(Debug, Clone)]
+pub struct SchemaRel {
+    /// One variable per column.
+    pub vars: Vec<VarId>,
+    /// The data.
+    pub rel: Relation,
+}
+
+impl SchemaRel {
+    /// Column index of `v`, if bound.
+    pub fn col_of(&self, v: VarId) -> Option<usize> {
+        self.vars.iter().position(|&x| x == v)
+    }
+
+    /// True when every variable of `f` is bound by this schema.
+    pub fn covers_filter(&self, f: &Filter) -> bool {
+        f.vars().iter().all(|v| self.col_of(*v).is_some())
+    }
+
+    /// Applies the given filters (all of which must be covered).
+    pub fn filter(&self, filters: &[Filter]) -> SchemaRel {
+        if filters.is_empty() {
+            return self.clone();
+        }
+        let lookups: Vec<(usize, parjoin_query::CmpOp, Operand2)> = filters
+            .iter()
+            .map(|f| {
+                let l = self.col_of(f.left).expect("filter var bound");
+                let r = match f.right {
+                    parjoin_query::Operand::Var(v) => {
+                        Operand2::Col(self.col_of(v).expect("filter var bound"))
+                    }
+                    parjoin_query::Operand::Const(c) => Operand2::Const(c),
+                };
+                (l, f.op, r)
+            })
+            .collect();
+        let rel = self.rel.filter(|row| {
+            lookups.iter().all(|&(l, op, ref r)| {
+                let rv = match *r {
+                    Operand2::Col(c) => row[c],
+                    Operand2::Const(c) => c,
+                };
+                op.eval(row[l], rv)
+            })
+        });
+        SchemaRel { vars: self.vars.clone(), rel }
+    }
+
+    /// Projects onto `keep` variables (all must be bound).
+    pub fn project(&self, keep: &[VarId]) -> SchemaRel {
+        let cols: Vec<usize> =
+            keep.iter().map(|&v| self.col_of(v).expect("projection var bound")).collect();
+        SchemaRel { vars: keep.to_vec(), rel: self.rel.project(&cols) }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Operand2 {
+    Col(usize),
+    Const(Value),
+}
+
+/// An open-chaining hash table over composite `u64` keys, allocation-free
+/// per row (head/next index chains into flat buffers).
+pub struct JoinTable {
+    key_arity: usize,
+    keys: Vec<Value>,
+    rows: Vec<u32>,
+    heads: Vec<i64>,
+    next: Vec<i64>,
+    mask: usize,
+    seed: u64,
+}
+
+impl JoinTable {
+    /// Builds a table over `rel`'s `key_cols` values.
+    pub fn build(rel: &Relation, key_cols: &[usize], seed: u64) -> Self {
+        let n = rel.len();
+        let cap = (2 * n).next_power_of_two().max(16);
+        let mut t = JoinTable {
+            key_arity: key_cols.len(),
+            keys: Vec::with_capacity(n * key_cols.len()),
+            rows: Vec::with_capacity(n),
+            heads: vec![-1; cap],
+            next: Vec::with_capacity(n),
+            mask: cap - 1,
+            seed,
+        };
+        for (i, row) in rel.rows().enumerate() {
+            let mut acc = t.seed;
+            for &c in key_cols {
+                acc = hash::hash64(row[c], acc);
+                t.keys.push(row[c]);
+            }
+            let slot = (acc as usize) & t.mask;
+            t.next.push(t.heads[slot]);
+            t.heads[slot] = i as i64;
+            t.rows.push(i as u32);
+        }
+        t
+    }
+
+    /// Iterates the row indices whose key equals `key`.
+    pub fn probe<'a>(&'a self, key: &'a [Value]) -> impl Iterator<Item = usize> + 'a {
+        debug_assert_eq!(key.len(), self.key_arity);
+        let mut acc = self.seed;
+        for &v in key {
+            acc = hash::hash64(v, acc);
+        }
+        let mut cur = self.heads[(acc as usize) & self.mask];
+        std::iter::from_fn(move || {
+            while cur >= 0 {
+                let e = cur as usize;
+                cur = self.next[e];
+                let stored = &self.keys[e * self.key_arity..(e + 1) * self.key_arity];
+                if stored == key {
+                    return Some(self.rows[e] as usize);
+                }
+            }
+            None
+        })
+    }
+
+    /// True when some row matches `key`.
+    pub fn contains(&self, key: &[Value]) -> bool {
+        self.probe(key).next().is_some()
+    }
+}
+
+/// The join variables two schemas share.
+pub fn shared_vars(a: &SchemaRel, b: &SchemaRel) -> Vec<VarId> {
+    a.vars.iter().copied().filter(|v| b.col_of(*v).is_some()).collect()
+}
+
+fn output_schema(a: &SchemaRel, b: &SchemaRel) -> (Vec<VarId>, Vec<usize>) {
+    // Output vars: a's vars then b's vars not already bound; also return
+    // the b-columns to append.
+    let mut vars = a.vars.clone();
+    let mut b_cols = Vec::new();
+    for (c, &v) in b.vars.iter().enumerate() {
+        if a.col_of(v).is_none() {
+            vars.push(v);
+            b_cols.push(c);
+        }
+    }
+    (vars, b_cols)
+}
+
+/// Binary hash join (the paper's symmetric-hash-join stand-in: we build
+/// on the smaller input and probe with the larger, which produces the
+/// same output and the same asymptotic CPU work as pulling both sides
+/// round-robin into two tables).
+///
+/// Join keys are the shared variables; with no shared variable this is a
+/// cartesian product (allowed, used by selection-only atoms of Q3/Q7).
+pub fn hash_join(a: &SchemaRel, b: &SchemaRel, seed: u64) -> SchemaRel {
+    let on = shared_vars(a, b);
+    // Build on the smaller side; normalize so `build` is the smaller.
+    let (build, probe, build_is_a) =
+        if a.rel.len() <= b.rel.len() { (a, b, true) } else { (b, a, false) };
+    let build_cols: Vec<usize> = on.iter().map(|&v| build.col_of(v).expect("shared")).collect();
+    let probe_cols: Vec<usize> = on.iter().map(|&v| probe.col_of(v).expect("shared")).collect();
+    let table = JoinTable::build(&build.rel, &build_cols, seed);
+
+    // Assemble output as (a ++ b-only) regardless of build side.
+    let (vars, b_only_cols) = output_schema(a, b);
+    let mut out = Relation::new(vars.len().max(1));
+    let mut key = Vec::with_capacity(on.len());
+    let mut row_buf: Vec<Value> = Vec::with_capacity(vars.len());
+    for prow in probe.rel.rows() {
+        key.clear();
+        key.extend(probe_cols.iter().map(|&c| prow[c]));
+        for bidx in table.probe(&key) {
+            let brow = build.rel.row(bidx);
+            let (arow, brow2) = if build_is_a { (brow, prow) } else { (prow, brow) };
+            row_buf.clear();
+            row_buf.extend_from_slice(arow);
+            row_buf.extend(b_only_cols.iter().map(|&c| brow2[c]));
+            out.push_row(&row_buf);
+        }
+    }
+    SchemaRel { vars, rel: out }
+}
+
+/// Binary sort-merge join: sorts both inputs by the shared variables and
+/// merges. This is what "Tributary join with regular shuffle" degenerates
+/// to — "a binary Tributary join, which is a merge-join" (§3).
+///
+/// Returns the result plus the number of tuples materialized in sort
+/// buffers (for memory accounting: both inputs are copied and sorted).
+pub fn merge_join(a: &SchemaRel, b: &SchemaRel, _seed: u64) -> (SchemaRel, u64) {
+    let on = shared_vars(a, b);
+    if on.is_empty() {
+        // Degenerate to a cartesian product via hash join with empty key.
+        return (hash_join(a, b, 0), 0);
+    }
+    let a_cols: Vec<usize> = on.iter().map(|&v| a.col_of(v).expect("shared")).collect();
+    let b_cols: Vec<usize> = on.iter().map(|&v| b.col_of(v).expect("shared")).collect();
+
+    let sort_indices = |r: &Relation, cols: &[usize]| -> Vec<u32> {
+        let mut idx: Vec<u32> = (0..r.len() as u32).collect();
+        idx.sort_unstable_by(|&x, &y| {
+            let rx = r.row(x as usize);
+            let ry = r.row(y as usize);
+            cols.iter()
+                .map(|&c| rx[c].cmp(&ry[c]))
+                .find(|o| *o != std::cmp::Ordering::Equal)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        idx
+    };
+    let ia = sort_indices(&a.rel, &a_cols);
+    let ib = sort_indices(&b.rel, &b_cols);
+    let sort_buffer_tuples = (a.rel.len() + b.rel.len()) as u64;
+
+    let key_of = |r: &Relation, cols: &[usize], i: u32| -> Vec<Value> {
+        cols.iter().map(|&c| r.row(i as usize)[c]).collect()
+    };
+
+    let (vars, b_only_cols) = output_schema(a, b);
+    let mut out = Relation::new(vars.len().max(1));
+    let mut row_buf: Vec<Value> = Vec::with_capacity(vars.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ia.len() && j < ib.len() {
+        let ka = key_of(&a.rel, &a_cols, ia[i]);
+        let kb = key_of(&b.rel, &b_cols, ib[j]);
+        match ka.cmp(&kb) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                // Extent of equal-key runs on both sides.
+                let mut ie = i;
+                while ie < ia.len() && key_of(&a.rel, &a_cols, ia[ie]) == ka {
+                    ie += 1;
+                }
+                let mut je = j;
+                while je < ib.len() && key_of(&b.rel, &b_cols, ib[je]) == kb {
+                    je += 1;
+                }
+                for &xa in &ia[i..ie] {
+                    let arow = a.rel.row(xa as usize);
+                    for &yb in &ib[j..je] {
+                        let brow = b.rel.row(yb as usize);
+                        row_buf.clear();
+                        row_buf.extend_from_slice(arow);
+                        row_buf.extend(b_only_cols.iter().map(|&c| brow[c]));
+                        out.push_row(&row_buf);
+                    }
+                }
+                i = ie;
+                j = je;
+            }
+        }
+    }
+    (SchemaRel { vars, rel: out }, sort_buffer_tuples)
+}
+
+/// Hash semijoin `a ⋉ b` on their shared variables: keeps the `a` rows
+/// with at least one match in `b`.
+pub fn semijoin(a: &SchemaRel, b: &SchemaRel, seed: u64) -> SchemaRel {
+    let on = shared_vars(a, b);
+    if on.is_empty() {
+        return if b.rel.is_empty() {
+            SchemaRel { vars: a.vars.clone(), rel: Relation::new(a.vars.len().max(1)) }
+        } else {
+            a.clone()
+        };
+    }
+    let b_cols: Vec<usize> = on.iter().map(|&v| b.col_of(v).expect("shared")).collect();
+    let a_cols: Vec<usize> = on.iter().map(|&v| a.col_of(v).expect("shared")).collect();
+    let table = JoinTable::build(&b.rel, &b_cols, seed);
+    let mut key = Vec::with_capacity(on.len());
+    let rel = a.rel.filter(|row| {
+        key.clear();
+        key.extend(a_cols.iter().map(|&c| row[c]));
+        table.contains(&key)
+    });
+    SchemaRel { vars: a.vars.clone(), rel }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parjoin_query::CmpOp;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    fn sr(vars: &[u32], rows: &[&[u64]]) -> SchemaRel {
+        let mut rel = Relation::new(vars.len());
+        for r in rows {
+            rel.push_row(r);
+        }
+        SchemaRel { vars: vars.iter().map(|&i| v(i)).collect(), rel }
+    }
+
+    fn sorted_rows(s: &SchemaRel) -> Vec<Vec<u64>> {
+        let mut out: Vec<Vec<u64>> = s.rel.rows().map(|r| r.to_vec()).collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn hash_join_basic() {
+        let a = sr(&[0, 1], &[&[1, 10], &[2, 20], &[3, 10]]);
+        let b = sr(&[1, 2], &[&[10, 7], &[10, 8], &[30, 9]]);
+        let j = hash_join(&a, &b, 5);
+        assert_eq!(j.vars, vec![v(0), v(1), v(2)]);
+        assert_eq!(
+            sorted_rows(&j),
+            vec![vec![1, 10, 7], vec![1, 10, 8], vec![3, 10, 7], vec![3, 10, 8]]
+        );
+    }
+
+    #[test]
+    fn hash_join_build_side_invariance() {
+        let a = sr(&[0, 1], &[&[1, 10], &[2, 20]]);
+        let b = sr(&[1, 2], &[&[10, 7], &[20, 8], &[20, 9], &[5, 5]]);
+        let ab = hash_join(&a, &b, 1);
+        // Force the other build side by making `a` the bigger input.
+        let mut big_a = a.clone();
+        for _ in 0..5 {
+            big_a.rel.push_row(&[99, 99]);
+        }
+        let ab2 = hash_join(&big_a, &b, 1);
+        // The common results must coincide (the 99s join nothing).
+        assert_eq!(sorted_rows(&ab), sorted_rows(&ab2));
+    }
+
+    #[test]
+    fn hash_join_multi_key() {
+        let a = sr(&[0, 1], &[&[1, 2], &[1, 3]]);
+        let b = sr(&[0, 1, 2], &[&[1, 2, 77], &[1, 9, 88]]);
+        let j = hash_join(&a, &b, 2);
+        assert_eq!(sorted_rows(&j), vec![vec![1, 2, 77]]);
+        assert_eq!(j.vars, vec![v(0), v(1), v(2)]);
+    }
+
+    #[test]
+    fn hash_join_cartesian_when_disjoint() {
+        let a = sr(&[0], &[&[1], &[2]]);
+        let b = sr(&[1], &[&[7], &[8]]);
+        let j = hash_join(&a, &b, 3);
+        assert_eq!(j.rel.len(), 4);
+    }
+
+    #[test]
+    fn merge_join_matches_hash_join() {
+        let a = sr(&[0, 1], &[&[3, 10], &[1, 10], &[2, 20], &[9, 30]]);
+        let b = sr(&[1, 2], &[&[20, 1], &[10, 7], &[10, 8], &[40, 2]]);
+        let h = hash_join(&a, &b, 4);
+        let (m, sorted) = merge_join(&a, &b, 4);
+        assert_eq!(sorted_rows(&h), sorted_rows(&m));
+        assert_eq!(sorted, 8);
+    }
+
+    #[test]
+    fn merge_join_duplicate_keys_cross_product() {
+        let a = sr(&[0, 1], &[&[1, 5], &[2, 5]]);
+        let b = sr(&[1, 2], &[&[5, 8], &[5, 9]]);
+        let (m, _) = merge_join(&a, &b, 0);
+        assert_eq!(m.rel.len(), 4);
+    }
+
+    #[test]
+    fn semijoin_keeps_matching() {
+        let a = sr(&[0, 1], &[&[1, 10], &[2, 20], &[3, 30]]);
+        let b = sr(&[1], &[&[10], &[30]]);
+        let s = semijoin(&a, &b, 6);
+        assert_eq!(sorted_rows(&s), vec![vec![1, 10], vec![3, 30]]);
+    }
+
+    #[test]
+    fn semijoin_disjoint_schemas() {
+        let a = sr(&[0], &[&[1]]);
+        let b_empty = sr(&[1], &[]);
+        assert!(semijoin(&a, &b_empty, 0).rel.is_empty());
+        let b_full = sr(&[1], &[&[9]]);
+        assert_eq!(semijoin(&a, &b_full, 0).rel.len(), 1);
+    }
+
+    #[test]
+    fn filter_and_project() {
+        let a = sr(&[0, 1], &[&[1, 10], &[20, 2]]);
+        let f = Filter { left: v(0), op: CmpOp::Lt, right: parjoin_query::Operand::Var(v(1)) };
+        let out = a.filter(&[f]);
+        assert_eq!(out.rel.len(), 1);
+        let p = out.project(&[v(1)]);
+        assert_eq!(p.vars, vec![v(1)]);
+        assert_eq!(p.rel.row(0), &[10]);
+    }
+
+    #[test]
+    fn join_table_probe_exact() {
+        let r = Relation::from_rows(2, [[1u64, 2], [1, 3], [4, 2]].iter());
+        let t = JoinTable::build(&r, &[0], 9);
+        let hits: Vec<usize> = t.probe(&[1]).collect();
+        assert_eq!(hits.len(), 2);
+        assert!(t.contains(&[4]));
+        assert!(!t.contains(&[9]));
+    }
+
+    #[test]
+    fn join_table_empty() {
+        let r = Relation::new(1);
+        let t = JoinTable::build(&r, &[0], 1);
+        assert!(!t.contains(&[5]));
+    }
+
+    #[test]
+    fn covers_filter_checks_schema() {
+        let a = sr(&[0, 1], &[]);
+        let f = Filter { left: v(0), op: CmpOp::Lt, right: parjoin_query::Operand::Var(v(2)) };
+        assert!(!a.covers_filter(&f));
+        let g = Filter { left: v(0), op: CmpOp::Lt, right: parjoin_query::Operand::Const(5) };
+        assert!(a.covers_filter(&g));
+    }
+}

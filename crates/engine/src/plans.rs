@@ -1,0 +1,1118 @@
+//! Distributed query plans: the six shuffle×join configurations of §3.
+//!
+//! * **Regular shuffle (RS)** plans evaluate a left-deep tree of binary
+//!   joins, re-shuffling the running intermediate result and the next
+//!   base relation on their shared variables before every join — the
+//!   "traditional" plan of Figure 1a, with per-step shuffle stats
+//!   (Table 2's skew factors fall out of these).
+//! * **Broadcast (BR)** plans keep the largest relation partitioned,
+//!   broadcast every other relation, and run the whole multiway join
+//!   locally on each worker.
+//! * **HyperCube (HC)** plans shuffle every relation once through the
+//!   hypercube chosen by Algorithm 1 and run the whole multiway join
+//!   locally (Figure 1b).
+//!
+//! The local join is either a tree of binary hash joins (`JoinAlg::Hash`)
+//! or the Tributary join (`JoinAlg::Tributary`); under RS the Tributary
+//! join degenerates to binary sort-merge joins, as in the paper.
+//!
+//! Wall-clock is simulated as the sum over phases of the slowest worker's
+//! compute time (see [`crate::exec`]); network transfer time is not
+//! modeled, but shuffle volume and skew are reported exactly.
+
+use crate::cluster::Cluster;
+use crate::dist::DistRel;
+use crate::error::EngineError;
+use crate::exec::run_phase;
+use crate::local::{hash_join, merge_join, SchemaRel};
+use crate::shuffle;
+use parjoin_common::{Relation, ShuffleStats};
+use parjoin_core::hypercube::{HcConfig, ShareProblem};
+use parjoin_core::order::{best_order, OrderCostModel};
+use parjoin_core::tributary::{SortedAtom, Tributary};
+use parjoin_query::{resolve_atoms, ConjunctiveQuery, Filter, VarId};
+use std::time::Duration;
+
+/// Shuffle algorithm (§3's three contenders).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShuffleAlg {
+    /// Hash-partition on the join attributes, one join at a time.
+    Regular,
+    /// Keep the largest relation in place; broadcast the others.
+    Broadcast,
+    /// One-round HyperCube shuffle.
+    HyperCube,
+}
+
+/// Local join algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinAlg {
+    /// Binary hash joins (left-deep tree).
+    Hash,
+    /// Tributary join (sort-merge under RS).
+    Tributary,
+}
+
+impl ShuffleAlg {
+    fn tag(self) -> &'static str {
+        match self {
+            ShuffleAlg::Regular => "RS",
+            ShuffleAlg::Broadcast => "BR",
+            ShuffleAlg::HyperCube => "HC",
+        }
+    }
+}
+
+impl JoinAlg {
+    fn tag(self) -> &'static str {
+        match self {
+            JoinAlg::Hash => "HJ",
+            JoinAlg::Tributary => "TJ",
+        }
+    }
+}
+
+/// Plan-level knobs.
+#[derive(Debug, Clone, Default)]
+pub struct PlanOptions {
+    /// Left-deep join order (atom indices) for RS plans and local hash
+    /// trees; `None` uses a greedy smallest-relation-first order.
+    pub join_order: Option<Vec<usize>>,
+    /// HyperCube configuration override; `None` runs Algorithm 1.
+    pub hc_config: Option<HcConfig>,
+    /// Tributary global variable order; `None` runs the §5 cost-model
+    /// optimizer.
+    pub tj_order: Option<Vec<VarId>>,
+    /// Materialize the (projected) output at the coordinator.
+    pub collect_output: bool,
+    /// Deduplicate the collected output (set semantics for projected
+    /// heads, e.g. Q3's `CastMember(cast)`).
+    pub distinct_output: bool,
+    /// Use the heavy-hitter-resilient shuffle for regular-shuffle steps
+    /// (the paper's footnote 2): hot keys are spread on one side and
+    /// replicated on the other, bounding per-worker load. Only affects
+    /// `ShuffleAlg::Regular` plans.
+    pub skew_resilient: bool,
+    /// Aggregate the output into `(head…, count)` groups — the paper's §1
+    /// motivation is exactly this shape ("the frequencies of graphlets in
+    /// the network"). Groups are pre-aggregated per worker, combined with
+    /// one extra hash shuffle on the head variables (counted in the
+    /// metrics), and the result replaces the projected output. The count
+    /// column is appended after the head columns.
+    pub group_count: bool,
+}
+
+/// Everything measured about one plan execution — the quantities behind
+/// the paper's bar charts and tables.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Configuration name, e.g. `"HC_TJ"`.
+    pub config: String,
+    /// Simulated wall-clock: Σ over phases of the slowest worker.
+    pub wall: Duration,
+    /// Total CPU time across all workers and phases.
+    pub total_cpu: Duration,
+    /// Total tuples placed on the network.
+    pub tuples_shuffled: u64,
+    /// Per-shuffle metrics (Tables 2–4).
+    pub shuffles: Vec<ShuffleStats>,
+    /// Number of result tuples (bag semantics over the head projection).
+    pub output_tuples: u64,
+    /// The collected output, when requested.
+    pub output: Option<Relation>,
+    /// Per-worker total busy time (Figure 8's utilization profile).
+    pub per_worker_busy: Vec<Duration>,
+    /// Per-worker time spent sorting (TJ preparation; Figure 10c).
+    pub per_worker_sort: Vec<Duration>,
+    /// Per-worker time spent joining (Figure 10c).
+    pub per_worker_join: Vec<Duration>,
+    /// The hypercube configuration used, for HC plans.
+    pub hc_config: Option<HcConfig>,
+    /// Largest number of live tuples observed on one worker.
+    pub peak_worker_tuples: u64,
+    /// Communication rounds executed (shuffle barriers).
+    pub rounds: u32,
+    /// Per-worker time charged for shuffle send/receive (part of
+    /// `per_worker_busy`).
+    pub per_worker_net: Vec<Duration>,
+}
+
+impl RunResult {
+    fn new(config: String, workers: usize) -> Self {
+        RunResult {
+            config,
+            wall: Duration::ZERO,
+            total_cpu: Duration::ZERO,
+            tuples_shuffled: 0,
+            shuffles: Vec::new(),
+            output_tuples: 0,
+            output: None,
+            per_worker_busy: vec![Duration::ZERO; workers],
+            per_worker_sort: vec![Duration::ZERO; workers],
+            per_worker_join: vec![Duration::ZERO; workers],
+            hc_config: None,
+            peak_worker_tuples: 0,
+            rounds: 0,
+            per_worker_net: vec![Duration::ZERO; workers],
+        }
+    }
+
+    /// Total network-handling CPU across workers.
+    pub fn net_cpu(&self) -> Duration {
+        self.per_worker_net.iter().sum()
+    }
+
+    /// Charges per-tuple send/receive costs for a group of shuffles that
+    /// execute as one parallel phase; the slowest worker extends the
+    /// simulated wall-clock.
+    pub(crate) fn absorb_network(&mut self, stats: &[&ShuffleStats], tuple_cost: Duration) {
+        if tuple_cost.is_zero() || stats.is_empty() {
+            return;
+        }
+        let workers = self.per_worker_busy.len();
+        let mut per_worker = vec![0u64; workers];
+        for s in stats {
+            for (w, &c) in s.per_producer.iter().enumerate() {
+                per_worker[w] += c;
+            }
+            for (w, &c) in s.per_consumer.iter().enumerate() {
+                per_worker[w] += c;
+            }
+        }
+        let mut max = Duration::ZERO;
+        for (w, &tuples) in per_worker.iter().enumerate() {
+            let cost = tuple_cost * tuples.min(u32::MAX as u64) as u32;
+            self.per_worker_busy[w] += cost;
+            self.per_worker_net[w] += cost;
+            self.total_cpu += cost;
+            max = max.max(cost);
+        }
+        self.wall += max;
+    }
+
+    /// Total sorting CPU (Table 5's "all sorts" row).
+    pub fn sort_cpu(&self) -> Duration {
+        self.per_worker_sort.iter().sum()
+    }
+
+    /// Total joining CPU.
+    pub fn join_cpu(&self) -> Duration {
+        self.per_worker_join.iter().sum()
+    }
+
+    fn absorb_phase(&mut self, busy: &[Duration], sort: Option<&[Duration]>) {
+        let wall = busy.iter().copied().max().unwrap_or_default();
+        self.wall += wall;
+        for (w, &d) in busy.iter().enumerate() {
+            self.per_worker_busy[w] += d;
+            self.total_cpu += d;
+            match sort {
+                Some(s) => {
+                    self.per_worker_sort[w] += s[w];
+                    self.per_worker_join[w] += d.saturating_sub(s[w]);
+                }
+                None => self.per_worker_join[w] += d,
+            }
+        }
+    }
+
+    fn absorb_shuffle(&mut self, s: ShuffleStats) {
+        self.tuples_shuffled += s.tuples_sent;
+        self.shuffles.push(s);
+    }
+}
+
+/// A greedy left-deep join order: smallest relation first, then repeatedly
+/// the smallest relation sharing a variable with the running schema
+/// (falling back to the smallest remaining one if the query disconnects).
+pub fn default_join_order(atom_vars: &[Vec<VarId>], cards: &[u64]) -> Vec<usize> {
+    let n = atom_vars.len();
+    assert_eq!(cards.len(), n);
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let first = *remaining
+        .iter()
+        .min_by_key(|&&i| cards[i])
+        .expect("at least one atom");
+    let mut order = vec![first];
+    remaining.retain(|&i| i != first);
+    let mut bound: Vec<VarId> = atom_vars[first].clone();
+    while !remaining.is_empty() {
+        let connected: Vec<usize> = remaining
+            .iter()
+            .copied()
+            .filter(|&i| atom_vars[i].iter().any(|v| bound.contains(v)))
+            .collect();
+        let pool = if connected.is_empty() { remaining.clone() } else { connected };
+        let next = *pool.iter().min_by_key(|&&i| cards[i]).expect("non-empty pool");
+        order.push(next);
+        remaining.retain(|&i| i != next);
+        for &v in &atom_vars[next] {
+            if !bound.contains(&v) {
+                bound.push(v);
+            }
+        }
+    }
+    order
+}
+
+/// A fanout-aware greedy left-deep order: start from the smallest
+/// relation, then repeatedly pick the connected atom with the smallest
+/// *expected fanout* — its cardinality divided by the number of distinct
+/// values of the shared join key. Pure cardinality ordering fails on
+/// queries like Q3, where a selective `ObjectName` atom must be joined in
+/// as soon as its variable binds; fanout ordering pulls low-multiplicity
+/// extensions (and selections) forward, like the paper's Figure 5 plan.
+pub fn greedy_join_order(atoms: &[(Vec<VarId>, &Relation)]) -> Vec<usize> {
+    let n = atoms.len();
+    // Distinct counts per (atom, column).
+    let distinct: Vec<Vec<f64>> = atoms
+        .iter()
+        .map(|(vars, rel)| {
+            (0..vars.len())
+                .map(|c| rel.project(&[c]).distinct().len().max(1) as f64)
+                .collect()
+        })
+        .collect();
+    let card = |i: usize| atoms[i].1.len() as f64;
+
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let first = *remaining
+        .iter()
+        .min_by(|&&a, &&b| card(a).partial_cmp(&card(b)).expect("finite"))
+        .expect("at least one atom");
+    let mut order = vec![first];
+    remaining.retain(|&i| i != first);
+    let mut bound: Vec<VarId> = atoms[first].0.clone();
+    while !remaining.is_empty() {
+        let score = |i: usize| -> f64 {
+            let (vars, _) = &atoms[i];
+            let shared_distinct: f64 = vars
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| bound.contains(v))
+                .map(|(c, _)| distinct[i][c])
+                .product();
+            if shared_distinct <= 1.0 && !vars.iter().any(|v| bound.contains(v)) {
+                // Disconnected: cartesian product, worst possible.
+                f64::INFINITY
+            } else {
+                card(i) / shared_distinct
+            }
+        };
+        let connected_exists = remaining
+            .iter()
+            .any(|&i| atoms[i].0.iter().any(|v| bound.contains(v)));
+        let next = *remaining
+            .iter()
+            .min_by(|&&a, &&b| {
+                let (sa, sb) = (score(a), score(b));
+                sa.partial_cmp(&sb)
+                    .expect("finite")
+                    .then(card(a).partial_cmp(&card(b)).expect("finite"))
+            })
+            .expect("non-empty");
+        // If everything is disconnected, fall back to the smallest atom.
+        let next = if connected_exists {
+            next
+        } else {
+            *remaining
+                .iter()
+                .min_by(|&&a, &&b| card(a).partial_cmp(&card(b)).expect("finite"))
+                .expect("non-empty")
+        };
+        order.push(next);
+        remaining.retain(|&i| i != next);
+        for &v in &atoms[next].0 {
+            if !bound.contains(&v) {
+                bound.push(v);
+            }
+        }
+    }
+    order
+}
+
+/// A left-deep order rooted at `root`, growing by connectivity (used by
+/// broadcast plans to start from the partitioned fragment).
+fn rooted_order(atom_vars: &[Vec<VarId>], root: usize) -> Vec<usize> {
+    let n = atom_vars.len();
+    let mut order = vec![root];
+    let mut remaining: Vec<usize> = (0..n).filter(|&i| i != root).collect();
+    let mut bound: Vec<VarId> = atom_vars[root].clone();
+    while !remaining.is_empty() {
+        let next = remaining
+            .iter()
+            .copied()
+            .find(|&i| atom_vars[i].iter().any(|v| bound.contains(v)))
+            .unwrap_or(remaining[0]);
+        order.push(next);
+        remaining.retain(|&i| i != next);
+        for &v in &atom_vars[next] {
+            if !bound.contains(&v) {
+                bound.push(v);
+            }
+        }
+    }
+    order
+}
+
+fn check_budget(cluster: &Cluster, worker: usize, needed: u64) -> Result<(), EngineError> {
+    if let Some(budget) = cluster.memory_budget {
+        if needed > budget {
+            return Err(EngineError::MemoryBudget { worker, needed, budget });
+        }
+    }
+    Ok(())
+}
+
+/// Filters whose variables are fully bound by `schema`, removed from
+/// `pending`.
+fn take_ready_filters(pending: &mut Vec<Filter>, schema: &[VarId]) -> Vec<Filter> {
+    let (ready, keep): (Vec<Filter>, Vec<Filter>) = pending
+        .iter()
+        .copied()
+        .partition(|f| f.vars().iter().all(|v| schema.contains(v)));
+    *pending = keep;
+    ready
+}
+
+/// Runs `query` on `db` under the given shuffle×join configuration.
+///
+/// ```
+/// use parjoin_common::{Database, Relation};
+/// use parjoin_engine::{run_config, Cluster, JoinAlg, PlanOptions, ShuffleAlg};
+/// use parjoin_query::parser;
+///
+/// let q = parser::parse("P(x, y, z) :- E(x, y), E(y, z)").unwrap();
+/// let mut db = Database::new();
+/// db.insert("E", Relation::from_rows(2, [[1u64, 2], [2, 3], [3, 4]].iter()));
+/// let r = run_config(
+///     &q, &db, &Cluster::new(4),
+///     ShuffleAlg::HyperCube, JoinAlg::Tributary,
+///     &PlanOptions::default(),
+/// ).unwrap();
+/// assert_eq!(r.output_tuples, 2); // 1→2→3 and 2→3→4
+/// ```
+///
+/// # Errors
+/// Returns [`EngineError::MemoryBudget`] when a worker exceeds the
+/// cluster's budget, or [`EngineError::Resolve`] for catalog mismatches.
+pub fn run_config(
+    query: &ConjunctiveQuery,
+    db: &parjoin_common::Database,
+    cluster: &Cluster,
+    shuffle_alg: ShuffleAlg,
+    join_alg: JoinAlg,
+    opts: &PlanOptions,
+) -> Result<RunResult, EngineError> {
+    let (resolved, residual) = resolve_atoms(query, db)?;
+    let atom_vars: Vec<Vec<VarId>> = resolved.iter().map(|a| a.vars.clone()).collect();
+    let cards: Vec<u64> = resolved.iter().map(|a| a.len() as u64).collect();
+    let join_order = opts.join_order.clone().unwrap_or_else(|| {
+        let shapes: Vec<(Vec<VarId>, &Relation)> = resolved
+            .iter()
+            .map(|a| (a.vars.clone(), a.rel.as_ref()))
+            .collect();
+        greedy_join_order(&shapes)
+    });
+    let name = format!("{}_{}", shuffle_alg.tag(), join_alg.tag());
+    let mut result = RunResult::new(name, cluster.workers);
+
+    // Seed each atom round-robin, as the initial data placement.
+    let seeded: Vec<DistRel> = resolved
+        .iter()
+        .map(|a| DistRel::round_robin(&a.rel, a.vars.clone(), cluster.workers))
+        .collect();
+
+    match shuffle_alg {
+        ShuffleAlg::Regular => run_regular(
+            query, cluster, join_alg, opts, &join_order, seeded, residual, &mut result,
+        )?,
+        ShuffleAlg::Broadcast | ShuffleAlg::HyperCube => run_one_round(
+            query, cluster, shuffle_alg, join_alg, opts, &atom_vars, &cards, &join_order,
+            seeded, residual, &mut result,
+        )?,
+    }
+
+    result.wall += cluster.round_latency * result.rounds;
+
+    if opts.collect_output {
+        if let Some(out) = result.output.take() {
+            result.output =
+                Some(if opts.distinct_output { out.distinct() } else { out });
+        }
+    }
+    Ok(result)
+}
+
+/// Left-deep tree of binary joins with a regular shuffle per step.
+#[allow(clippy::too_many_arguments)]
+fn run_regular(
+    query: &ConjunctiveQuery,
+    cluster: &Cluster,
+    join_alg: JoinAlg,
+    opts: &PlanOptions,
+    order: &[usize],
+    seeded: Vec<DistRel>,
+    mut pending: Vec<Filter>,
+    result: &mut RunResult,
+) -> Result<(), EngineError> {
+    assert_eq!(order.len(), seeded.len(), "join order must cover every atom");
+
+    let mut seeded: Vec<Option<DistRel>> = seeded.into_iter().map(Some).collect();
+    let mut cur = seeded[order[0]].take().expect("first atom present");
+    let mut cur_label = query.atoms[order[0]].relation.clone();
+
+    // Filters already covered by the first atom alone (e.g. a var-var
+    // comparison within one atom) apply before any join.
+    let ready0 = take_ready_filters(&mut pending, &cur.vars);
+    if !ready0.is_empty() {
+        let vars = cur.vars.clone();
+        cur.parts = cur
+            .parts
+            .iter()
+            .map(|p| SchemaRel { vars: vars.clone(), rel: p.clone() }.filter(&ready0).rel)
+            .collect();
+    }
+
+    for &ai in &order[1..] {
+        let next = seeded[ai].take().expect("atom used once");
+        let next_label = &query.atoms[ai].relation;
+        let shared: Vec<VarId> = cur
+            .vars
+            .iter()
+            .copied()
+            .filter(|v| next.vars.contains(v))
+            .collect();
+
+        // The paper's regular shuffle "hash partitions a relation on a
+        // single attribute" (§3) — pick the most recently bound shared
+        // variable (z, not x, for Q1's second join, matching Table 2).
+        // Partitioning on one shared variable still co-locates every
+        // joining pair; the local join checks the full shared key. This
+        // single-attribute hashing is exactly what exposes the plan to
+        // power-law skew.
+        let shuffle_key: Vec<VarId> = shared.last().copied().into_iter().collect();
+        let key_desc = shuffle_key
+            .iter()
+            .map(|v| query.var_name(*v))
+            .collect::<Vec<_>>()
+            .join(",");
+        let (cur_s, next_s, s1, s2) = if opts.skew_resilient && !shuffle_key.is_empty() {
+            let (ca, cb, sa, sb, _heavy) = shuffle::skew_resilient_pair(
+                &cur,
+                &next,
+                &shuffle_key,
+                (&cur_label, next_label),
+                cluster.seed,
+                // Keys above ~1x the average per-worker load are heavy;
+                // PRPD-style engines use similar small multiples.
+                1.0,
+            );
+            (ca, cb, sa, sb)
+        } else {
+            let (cur_s, s1) = shuffle::regular(
+                &cur,
+                &shuffle_key,
+                format!("{cur_label} ->h({key_desc})"),
+                cluster.seed,
+            );
+            let (next_s, s2) = shuffle::regular(
+                &next,
+                &shuffle_key,
+                format!("{next_label} ->h({key_desc})"),
+                cluster.seed,
+            );
+            (cur_s, next_s, s1, s2)
+        };
+        result.absorb_network(&[&s1, &s2], cluster.shuffle_tuple_cost);
+        result.absorb_shuffle(s1);
+        result.absorb_shuffle(s2);
+        result.rounds += 1;
+
+        // Per-worker binary join.
+        let out_schema = {
+            let a = SchemaRel { vars: cur_s.vars.clone(), rel: Relation::new(cur_s.vars.len().max(1)) };
+            let b = SchemaRel { vars: next_s.vars.clone(), rel: Relation::new(next_s.vars.len().max(1)) };
+            hash_join(&a, &b, 0).vars
+        };
+        let ready = take_ready_filters(&mut pending, &out_schema);
+        let seed = cluster.seed;
+        let phase = run_phase(cluster.workers, |w| {
+            let a = SchemaRel { vars: cur_s.vars.clone(), rel: cur_s.parts[w].clone() };
+            let b = SchemaRel { vars: next_s.vars.clone(), rel: next_s.parts[w].clone() };
+            let (joined, sort_buf) = match join_alg {
+                JoinAlg::Hash => (hash_join(&a, &b, seed), 0),
+                JoinAlg::Tributary => merge_join(&a, &b, seed),
+            };
+            let filtered =
+                if ready.is_empty() { joined } else { joined.filter(&ready) };
+            // Memory model per the paper's Q4 discussion: the pipelined
+            // hash join keeps only its build side (the smaller input)
+            // resident plus the output in flight, while the blocking
+            // sort-merge join must materialize *both* inputs and their
+            // sorted copies — which is why RS_TJ runs out of memory
+            // where RS_HJ survives (Figure 9).
+            let live = match join_alg {
+                JoinAlg::Hash => {
+                    a.rel.len().min(b.rel.len()) as u64 + filtered.rel.len() as u64
+                }
+                JoinAlg::Tributary => {
+                    a.rel.len() as u64 + b.rel.len() as u64 + sort_buf
+                        + filtered.rel.len() as u64
+                }
+            };
+            (filtered.rel, live)
+        });
+        let mut parts = Vec::with_capacity(cluster.workers);
+        for (w, (rel, live)) in phase.results.iter().enumerate() {
+            check_budget(cluster, w, *live)?;
+            result.peak_worker_tuples = result.peak_worker_tuples.max(*live);
+            parts.push(rel.clone());
+        }
+        // Sorting inside merge_join is not separable without intrusive
+        // timers; attribute the whole step to join time (RS_TJ's sorts
+        // are per-step and small compared to the one-round plans').
+        result.absorb_phase(&phase.busy, None);
+
+        cur = DistRel { vars: out_schema, parts };
+        cur_label = format!("{cur_label}{next_label}");
+    }
+    debug_assert!(pending.is_empty(), "all filters applied: {pending:?}");
+
+    finish_output(query, cluster, opts, cur, result);
+    Ok(())
+}
+
+/// Broadcast and HyperCube plans: one communication round, then a local
+/// multiway join on every worker.
+#[allow(clippy::too_many_arguments)]
+fn run_one_round(
+    query: &ConjunctiveQuery,
+    cluster: &Cluster,
+    shuffle_alg: ShuffleAlg,
+    join_alg: JoinAlg,
+    opts: &PlanOptions,
+    atom_vars: &[Vec<VarId>],
+    cards: &[u64],
+    local_order: &[usize],
+    seeded: Vec<DistRel>,
+    pending: Vec<Filter>,
+    result: &mut RunResult,
+) -> Result<(), EngineError> {
+    // Tributary global variable order (cost-model optimized once on the
+    // global resolved relations, as the paper's optimizer would; computed
+    // before the shuffle so statistics see no replication).
+    let tj_order: Option<Vec<VarId>> = if join_alg == JoinAlg::Tributary {
+        Some(opts.tj_order.clone().unwrap_or_else(|| {
+            let gathered: Vec<Relation> = seeded.iter().map(|d| d.gather()).collect();
+            let model_atoms: Vec<(&Relation, Vec<VarId>)> = gathered
+                .iter()
+                .zip(atom_vars)
+                .map(|(r, vs)| (r, vs.clone()))
+                .collect();
+            let model = OrderCostModel::from_atoms(&model_atoms);
+            best_order(&model, &query.all_vars()).0
+        }))
+    } else {
+        None
+    };
+
+    // --- The single communication round. --------------------------------
+    let mut local_order: Vec<usize> = local_order.to_vec();
+    let shuffled: Vec<DistRel> = match shuffle_alg {
+        ShuffleAlg::Broadcast => {
+            let largest = (0..cards.len())
+                .max_by_key(|&i| cards[i])
+                .expect("at least one atom");
+            // Root the local hash tree at the partitioned fragment so
+            // every worker's intermediates stay ~1/p-sized (the broadcast
+            // plan's whole point); full-copy atoms only extend it. This
+            // mirrors Myria's fact-table-first broadcast plans.
+            local_order = rooted_order(atom_vars, largest);
+            seeded
+                .into_iter()
+                .enumerate()
+                .map(|(i, d)| {
+                    if i == largest {
+                        d // stays partitioned, nothing sent
+                    } else {
+                        let (out, stats) = shuffle::broadcast(
+                            &d,
+                            format!("Broadcast {}", query.atoms[i].relation),
+                        );
+                        result.absorb_shuffle(stats);
+                        out
+                    }
+                })
+                .collect()
+        }
+        ShuffleAlg::HyperCube => {
+            let problem = ShareProblem {
+                vars: query.all_vars(),
+                atoms: atom_vars
+                    .iter()
+                    .zip(cards)
+                    .map(|(vs, &c)| parjoin_core::hypercube::AtomShape {
+                        vars: vs.clone(),
+                        cardinality: c,
+                    })
+                    .collect(),
+            };
+            let config = opts
+                .hc_config
+                .clone()
+                .unwrap_or_else(|| problem.optimize(cluster.workers));
+            result.hc_config = Some(config.clone());
+            seeded
+                .into_iter()
+                .enumerate()
+                .map(|(i, d)| {
+                    let (out, stats) = shuffle::hypercube(
+                        &d,
+                        &config,
+                        format!("HCS {}", query.atoms[i].relation),
+                        cluster.seed,
+                    );
+                    result.absorb_shuffle(stats);
+                    out
+                })
+                .collect()
+        }
+        ShuffleAlg::Regular => unreachable!("handled by run_regular"),
+    };
+
+    result.rounds += 1;
+    {
+        let stats: Vec<&ShuffleStats> = result.shuffles.iter().collect();
+        let mut net = RunResult::new(String::new(), cluster.workers);
+        net.absorb_network(&stats, cluster.shuffle_tuple_cost);
+        result.wall += net.wall;
+        result.total_cpu += net.total_cpu;
+        for w in 0..cluster.workers {
+            result.per_worker_busy[w] += net.per_worker_busy[w];
+            result.per_worker_net[w] += net.per_worker_net[w];
+        }
+    }
+
+    // --- The local multiway join. ----------------------------------------
+    let head = query.output_vars();
+    let num_vars = query.num_vars();
+
+    let seed = cluster.seed;
+    let phase = run_phase(cluster.workers, |w| {
+        let locals: Vec<SchemaRel> = shuffled
+            .iter()
+            .map(|d| SchemaRel { vars: d.vars.clone(), rel: d.parts[w].clone() })
+            .collect();
+        match join_alg {
+            JoinAlg::Hash => {
+                let mut pending = pending.clone();
+                let mut cur = locals[local_order[0]].clone();
+                let ready0 = take_ready_filters(&mut pending, &cur.vars);
+                if !ready0.is_empty() {
+                    cur = cur.filter(&ready0);
+                }
+                let mut live: u64 = locals.iter().map(|l| l.rel.len() as u64).sum();
+                for &ai in &local_order[1..] {
+                    let joined = hash_join(&cur, &locals[ai], seed);
+                    let ready = take_ready_filters(&mut pending, &joined.vars);
+                    cur = if ready.is_empty() { joined } else { joined.filter(&ready) };
+                    live = live.max(
+                        locals.iter().map(|l| l.rel.len() as u64).sum::<u64>()
+                            + cur.rel.len() as u64,
+                    );
+                }
+                let out = cur.project(&head);
+                (out.rel, live, Duration::ZERO)
+            }
+            JoinAlg::Tributary => {
+                let order = tj_order.as_ref().expect("TJ order computed");
+                // Restrict the order to variables present locally (all of
+                // them, for full queries).
+                let t_sort = std::time::Instant::now();
+                let prepared: Vec<SortedAtom> = locals
+                    .iter()
+                    .map(|l| SortedAtom::prepare(&l.rel, &l.vars, order))
+                    .collect();
+                let sort_time = t_sort.elapsed();
+                let live: u64 =
+                    locals.iter().map(|l| 2 * l.rel.len() as u64).sum::<u64>();
+                let tj = Tributary::new(&prepared, order, &pending, num_vars);
+                let mut out = Relation::new(head.len().max(1));
+                let mut row = Vec::with_capacity(head.len());
+                tj.run(|asg| {
+                    row.clear();
+                    row.extend(head.iter().map(|v| asg[v.index()]));
+                    out.push_row(&row);
+                    true
+                });
+                let live = live + out.len() as u64;
+                (out, live, sort_time)
+            }
+        }
+    });
+
+    let mut outputs = Vec::with_capacity(cluster.workers);
+    let mut sort_times = Vec::with_capacity(cluster.workers);
+    for (w, (rel, live, sort)) in phase.results.iter().enumerate() {
+        check_budget(cluster, w, *live)?;
+        result.peak_worker_tuples = result.peak_worker_tuples.max(*live);
+        outputs.push(rel.clone());
+        sort_times.push(*sort);
+    }
+    result.absorb_phase(&phase.busy, Some(&sort_times));
+
+    let out = DistRel { vars: head, parts: outputs };
+    finish_output(query, cluster, opts, out, result);
+    Ok(())
+}
+
+/// Projects to the head (RS path still carries the full schema), counts,
+/// and optionally gathers the output.
+fn finish_output(
+    query: &ConjunctiveQuery,
+    cluster: &Cluster,
+    opts: &PlanOptions,
+    cur: DistRel,
+    result: &mut RunResult,
+) {
+    let head = query.output_vars();
+    let needs_project = cur.vars != head;
+    let projected: DistRel = if needs_project {
+        let cols: Vec<usize> = head.iter().map(|&v| cur.col_of(v)).collect();
+        DistRel {
+            vars: head,
+            parts: cur.parts.iter().map(|p| p.project(&cols)).collect(),
+        }
+    } else {
+        cur
+    };
+    if opts.group_count {
+        let grouped = group_count_output(cluster, &projected, result);
+        result.output_tuples = grouped.len() as u64;
+        if opts.collect_output {
+            result.output = Some(grouped);
+        }
+        return;
+    }
+    result.output_tuples = projected.total_len();
+    if opts.collect_output {
+        result.output = Some(projected.gather());
+    }
+}
+
+/// Pre-aggregates `(head…, count)` per worker, combines partial groups
+/// with one hash shuffle on the head values, and gathers the final
+/// groups. The combine shuffle is recorded in the run's metrics like any
+/// other.
+fn group_count_output(
+    cluster: &Cluster,
+    projected: &DistRel,
+    result: &mut RunResult,
+) -> Relation {
+    use std::collections::BTreeMap;
+    let workers = cluster.workers;
+    let arity = projected.vars.len().max(1);
+    let seed = shuffle::join_key_seed(cluster.seed, &projected.vars);
+
+    // Local pre-aggregation (the classic combiner step: at most one row
+    // per distinct group leaves each worker).
+    let local: Vec<BTreeMap<Vec<parjoin_common::Value>, u64>> = projected
+        .parts
+        .iter()
+        .map(|p| {
+            let mut m = BTreeMap::new();
+            for row in p.rows() {
+                *m.entry(row.to_vec()).or_insert(0u64) += 1;
+            }
+            m
+        })
+        .collect();
+
+    // Route partial groups by hash of the group key.
+    let mut dest: Vec<BTreeMap<Vec<parjoin_common::Value>, u64>> =
+        vec![BTreeMap::new(); workers];
+    let mut per_producer = vec![0u64; workers];
+    let mut per_consumer = vec![0u64; workers];
+    for (w, groups) in local.into_iter().enumerate() {
+        for (key, count) in groups {
+            let d = parjoin_common::hash::bucket_row(&key, seed, workers);
+            per_producer[w] += 1;
+            per_consumer[d] += 1;
+            *dest[d].entry(key).or_insert(0) += count;
+        }
+    }
+    let stats = parjoin_common::ShuffleStats::new(
+        "group-count combine",
+        per_producer,
+        per_consumer,
+    );
+    result.rounds += 1;
+    result.wall += cluster.round_latency;
+    result.absorb_network(&[&stats], cluster.shuffle_tuple_cost);
+    result.absorb_shuffle(stats);
+
+    // Gather the final groups (deterministic order: by worker, by key).
+    let mut out = Relation::new(arity + 1);
+    let mut row = Vec::with_capacity(arity + 1);
+    for groups in dest {
+        for (key, count) in groups {
+            row.clear();
+            row.extend_from_slice(&key);
+            row.push(count);
+            out.push_row(&row);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parjoin_common::Database;
+    use parjoin_query::QueryBuilder;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    fn triangle_query() -> ConjunctiveQuery {
+        let mut b = QueryBuilder::new("Tri");
+        let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
+        b.atom("E1", [x, y]).atom("E2", [y, z]).atom("E3", [z, x]);
+        b.build()
+    }
+
+    fn ring_db(n: u64) -> Database {
+        // A directed ring 0→1→…→n-1→0 plus closing chords (i+2)→i, so
+        // every i→(i+1)→(i+2)→i is a directed triangle.
+        let mut rel = Relation::new(2);
+        for i in 0..n {
+            rel.push_row(&[i, (i + 1) % n]);
+            rel.push_row(&[(i + 2) % n, i]);
+        }
+        let rel = rel.distinct();
+        let mut db = Database::new();
+        db.insert("E1", rel.clone());
+        db.insert("E2", rel.clone());
+        db.insert("E3", rel);
+        db
+    }
+
+    fn all_configs() -> Vec<(ShuffleAlg, JoinAlg)> {
+        vec![
+            (ShuffleAlg::Regular, JoinAlg::Hash),
+            (ShuffleAlg::Regular, JoinAlg::Tributary),
+            (ShuffleAlg::Broadcast, JoinAlg::Hash),
+            (ShuffleAlg::Broadcast, JoinAlg::Tributary),
+            (ShuffleAlg::HyperCube, JoinAlg::Hash),
+            (ShuffleAlg::HyperCube, JoinAlg::Tributary),
+        ]
+    }
+
+    fn run_collect(
+        q: &ConjunctiveQuery,
+        db: &Database,
+        workers: usize,
+        s: ShuffleAlg,
+        j: JoinAlg,
+    ) -> Vec<Vec<u64>> {
+        let cluster = Cluster::new(workers).with_seed(17);
+        let opts = PlanOptions { collect_output: true, ..Default::default() };
+        let r = run_config(q, db, &cluster, s, j, &opts).expect("plan runs");
+        let mut rows: Vec<Vec<u64>> =
+            r.output.expect("collected").rows().map(|x| x.to_vec()).collect();
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn all_six_configs_agree_on_triangles() {
+        let q = triangle_query();
+        let db = ring_db(30);
+        let reference = run_collect(&q, &db, 4, ShuffleAlg::Regular, JoinAlg::Hash);
+        assert!(!reference.is_empty(), "ring with shortcuts has triangles");
+        for (s, j) in all_configs() {
+            let got = run_collect(&q, &db, 4, s, j);
+            assert_eq!(got, reference, "{s:?}/{j:?} disagrees");
+        }
+    }
+
+    #[test]
+    fn results_invariant_across_worker_counts() {
+        let q = triangle_query();
+        let db = ring_db(24);
+        let reference = run_collect(&q, &db, 1, ShuffleAlg::HyperCube, JoinAlg::Tributary);
+        for workers in [2, 3, 8, 16] {
+            let got = run_collect(&q, &db, workers, ShuffleAlg::HyperCube, JoinAlg::Tributary);
+            assert_eq!(got, reference, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn hypercube_shuffles_less_than_broadcast_on_triangle() {
+        let q = triangle_query();
+        let db = ring_db(60);
+        let cluster = Cluster::new(8);
+        let opts = PlanOptions::default();
+        let hc = run_config(&q, &db, &cluster, ShuffleAlg::HyperCube, JoinAlg::Tributary, &opts)
+            .unwrap();
+        let br = run_config(&q, &db, &cluster, ShuffleAlg::Broadcast, JoinAlg::Tributary, &opts)
+            .unwrap();
+        assert!(hc.tuples_shuffled < br.tuples_shuffled);
+    }
+
+    #[test]
+    fn broadcast_keeps_largest_in_place() {
+        let mut b = QueryBuilder::new("Q");
+        let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
+        b.atom("Big", [x, y]).atom("Small", [y, z]);
+        let q = b.build();
+        let mut db = Database::new();
+        let big =
+            Relation::from_rows(2, (0..100u64).map(|i| [i, i % 10]).collect::<Vec<_>>().iter());
+        let small =
+            Relation::from_rows(2, (0..10u64).map(|i| [i, i]).collect::<Vec<_>>().iter());
+        db.insert("Big", big);
+        db.insert("Small", small);
+        let r = run_config(
+            &q,
+            &db,
+            &Cluster::new(4),
+            ShuffleAlg::Broadcast,
+            JoinAlg::Hash,
+            &PlanOptions::default(),
+        )
+        .unwrap();
+        // Only Small is broadcast: 10 × 4 workers.
+        assert_eq!(r.tuples_shuffled, 40);
+        assert_eq!(r.shuffles.len(), 1);
+        assert!(r.shuffles[0].label.contains("Small"));
+    }
+
+    #[test]
+    fn memory_budget_fails_plan() {
+        let q = triangle_query();
+        let db = ring_db(40);
+        let cluster = Cluster::new(2).with_memory_budget(10);
+        let err = run_config(
+            &q,
+            &db,
+            &cluster,
+            ShuffleAlg::Regular,
+            JoinAlg::Tributary,
+            &PlanOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::MemoryBudget { .. }));
+    }
+
+    #[test]
+    fn filters_applied_in_all_configs() {
+        let mut b = QueryBuilder::new("Q");
+        let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
+        b.atom("E1", [x, y]).atom("E2", [y, z]);
+        b.filter_vv(x, parjoin_query::CmpOp::Lt, z);
+        let q = b.build();
+        let db = ring_db(20);
+        let reference = run_collect(&q, &db, 3, ShuffleAlg::Regular, JoinAlg::Hash);
+        for (s, j) in all_configs() {
+            assert_eq!(run_collect(&q, &db, 3, s, j), reference, "{s:?}/{j:?}");
+        }
+        // And the filter actually prunes: recompute without it.
+        let mut b2 = QueryBuilder::new("Q");
+        let (x, y, z) = (b2.var("x"), b2.var("y"), b2.var("z"));
+        b2.atom("E1", [x, y]).atom("E2", [y, z]);
+        let q2 = b2.build();
+        let unfiltered = run_collect(&q2, &db, 3, ShuffleAlg::Regular, JoinAlg::Hash);
+        assert!(reference.len() < unfiltered.len());
+    }
+
+    #[test]
+    fn projection_head_respected() {
+        let mut b = QueryBuilder::new("Q");
+        let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
+        b.atom("E1", [x, y]).atom("E2", [y, z]);
+        b.head([z]);
+        let q = b.build();
+        let db = ring_db(10);
+        let cluster = Cluster::new(2);
+        let opts = PlanOptions { collect_output: true, ..Default::default() };
+        let r = run_config(&q, &db, &cluster, ShuffleAlg::HyperCube, JoinAlg::Tributary, &opts)
+            .unwrap();
+        assert_eq!(r.output.unwrap().arity(), 1);
+    }
+
+    #[test]
+    fn default_join_order_prefers_small_connected() {
+        let vars = vec![
+            vec![v(0), v(1)], // 0: big
+            vec![v(1), v(2)], // 1: small
+            vec![v(2), v(3)], // 2: medium
+        ];
+        let order = default_join_order(&vars, &[100, 5, 50]);
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn default_join_order_handles_disconnection() {
+        let vars = vec![vec![v(0)], vec![v(1)]];
+        let order = default_join_order(&vars, &[10, 5]);
+        assert_eq!(order.len(), 2);
+        assert_eq!(order[0], 1);
+    }
+
+    #[test]
+    fn hc_config_recorded() {
+        let q = triangle_query();
+        let db = ring_db(20);
+        let r = run_config(
+            &q,
+            &db,
+            &Cluster::new(8),
+            ShuffleAlg::HyperCube,
+            JoinAlg::Tributary,
+            &PlanOptions::default(),
+        )
+        .unwrap();
+        assert!(r.hc_config.is_some());
+        assert!(r.hc_config.unwrap().num_cells() <= 8);
+    }
+
+    #[test]
+    fn distinct_output_dedups() {
+        // Project onto y: many (x,y) pairs share y.
+        let mut b = QueryBuilder::new("Q");
+        let (x, y) = (b.var("x"), b.var("y"));
+        b.atom("E1", [x, y]);
+        b.head([y]);
+        let q = b.build();
+        let db = ring_db(12);
+        let cluster = Cluster::new(3);
+        let bag = run_config(
+            &q, &db, &cluster, ShuffleAlg::Regular, JoinAlg::Hash,
+            &PlanOptions { collect_output: true, ..Default::default() },
+        )
+        .unwrap();
+        let set = run_config(
+            &q, &db, &cluster, ShuffleAlg::Regular, JoinAlg::Hash,
+            &PlanOptions { collect_output: true, distinct_output: true, ..Default::default() },
+        )
+        .unwrap();
+        assert!(set.output.unwrap().len() < bag.output.unwrap().len());
+    }
+
+    #[test]
+    fn single_atom_query_runs() {
+        let mut b = QueryBuilder::new("Q");
+        let (x, y) = (b.var("x"), b.var("y"));
+        b.atom("E1", [x, y]);
+        let q = b.build();
+        let db = ring_db(10);
+        for (s, j) in all_configs() {
+            let r = run_config(&q, &db, &Cluster::new(4), s, j, &PlanOptions::default())
+                .unwrap_or_else(|e| panic!("{s:?}/{j:?}: {e}"));
+            assert_eq!(r.output_tuples, 20, "{s:?}/{j:?}");
+        }
+    }
+}

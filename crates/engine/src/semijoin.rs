@@ -1,0 +1,289 @@
+//! Distributed semijoin reduction (paper §3.6, following GYM \[4\]).
+//!
+//! For acyclic queries, Yannakakis' algorithm removes all dangling tuples
+//! with one bottom-up and one top-down pass of semijoins along a join
+//! tree, then joins the reduced relations. Every relation here is
+//! distributed, so each semijoin `R ⋉ S` costs *two* shuffles: the
+//! deduplicated projection `S_A` of `S` onto the shared attributes, and
+//! `R` itself — which is precisely why the paper found semijoins
+//! unprofitable on its workload ("the cost of the semijoin is higher"
+//! than in the classical two-site setting).
+//!
+//! Steps (paper's Q7 walkthrough):
+//! 1. bottom-up: replace each parent `P` by `P ⋉ child`, children first;
+//! 2. top-down: replace each child `C` by `C ⋉ parent`, root first;
+//! 3. final join of the reduced relations with a regular-shuffle plan.
+
+use crate::cluster::Cluster;
+use crate::dist::DistRel;
+use crate::error::EngineError;
+use crate::exec::run_phase;
+use crate::local::{semijoin as local_semijoin, SchemaRel};
+use crate::plans::{run_config, JoinAlg, PlanOptions, RunResult, ShuffleAlg};
+use crate::shuffle;
+use parjoin_common::Database;
+use parjoin_query::hypergraph::gyo_join_tree;
+use parjoin_query::{resolve_atoms, ConjunctiveQuery, VarId};
+
+/// Extra metrics for the semijoin phase, alongside the final-join run.
+#[derive(Debug, Clone)]
+pub struct SemijoinResult {
+    /// The complete run (semijoin shuffles + final join) — `tuples_shuffled`
+    /// includes everything.
+    pub run: RunResult,
+    /// Tuples shuffled for the deduplicated key projections only (the
+    /// paper reports these separately: "2.29 million tuples from the
+    /// projected tables").
+    pub projected_tuples_shuffled: u64,
+    /// Tuples shuffled for the reduced input relations during semijoins.
+    pub input_tuples_shuffled: u64,
+    /// Per-atom tuple counts after full reduction.
+    pub reduced_cards: Vec<u64>,
+}
+
+/// One distributed semijoin step: reduce `target` by `reducer` on their
+/// shared variables. Returns the reduced relation plus the two shuffle
+/// stats (projection, input).
+fn distributed_semijoin(
+    target: &DistRel,
+    reducer: &DistRel,
+    cluster: &Cluster,
+    label: &str,
+) -> (DistRel, parjoin_common::ShuffleStats, parjoin_common::ShuffleStats) {
+    let shared: Vec<VarId> = target
+        .vars
+        .iter()
+        .copied()
+        .filter(|v| reducer.vars.contains(v))
+        .collect();
+
+    // Local preprocessing: project the reducer onto the shared variables
+    // and deduplicate locally (free: no network).
+    let cols: Vec<usize> = shared.iter().map(|&v| reducer.col_of(v)).collect();
+    let projected = DistRel {
+        vars: shared.clone(),
+        parts: reducer.parts.iter().map(|p| p.project(&cols).distinct()).collect(),
+    };
+
+    // Shuffle both on the shared variables.
+    let (proj_s, stats_proj) = shuffle::regular(
+        &projected,
+        &shared,
+        format!("{label}: keys"),
+        cluster.seed,
+    );
+    let (tgt_s, stats_tgt) =
+        shuffle::regular(target, &shared, format!("{label}: input"), cluster.seed);
+
+    // Local semijoin.
+    let seed = cluster.seed;
+    let phase = run_phase(cluster.workers, |w| {
+        let t = SchemaRel { vars: tgt_s.vars.clone(), rel: tgt_s.parts[w].clone() };
+        let r = SchemaRel { vars: proj_s.vars.clone(), rel: proj_s.parts[w].clone() };
+        local_semijoin(&t, &r, seed).rel
+    });
+    let reduced = DistRel { vars: target.vars.clone(), parts: phase.results };
+    (reduced, stats_proj, stats_tgt)
+}
+
+/// Runs the full semijoin plan on an acyclic query.
+///
+/// # Errors
+/// [`EngineError::Unsupported`] if the query is cyclic (no full semijoin
+/// reduction exists, §3.6), plus the usual resolve/budget errors from the
+/// final join.
+pub fn run_semijoin_plan(
+    query: &ConjunctiveQuery,
+    db: &Database,
+    cluster: &Cluster,
+    opts: &PlanOptions,
+) -> Result<SemijoinResult, EngineError> {
+    let tree = gyo_join_tree(query).ok_or_else(|| {
+        EngineError::Unsupported(format!(
+            "query `{}` is cyclic; semijoin reduction does not terminate",
+            query.name
+        ))
+    })?;
+    let (resolved, _residual) = resolve_atoms(query, db)?;
+
+    let mut dists: Vec<DistRel> = resolved
+        .iter()
+        .map(|a| DistRel::round_robin(&a.rel, a.vars.clone(), cluster.workers))
+        .collect();
+
+    let mut sj_shuffles = Vec::new();
+    let mut projected_tuples = 0u64;
+    let mut input_tuples = 0u64;
+
+    // Bottom-up: children reduce parents.
+    for &a in &tree.bottom_up {
+        if let Some(p) = tree.parent[a] {
+            let (reduced, sp, st) = distributed_semijoin(
+                &dists[p].clone(),
+                &dists[a],
+                cluster,
+                &format!("{} ⋉ {}", query.atoms[p].relation, query.atoms[a].relation),
+            );
+            projected_tuples += sp.tuples_sent;
+            input_tuples += st.tuples_sent;
+            sj_shuffles.push(sp);
+            sj_shuffles.push(st);
+            dists[p] = reduced;
+        }
+    }
+    // Top-down: parents reduce children.
+    for &a in &tree.top_down() {
+        for c in tree.children(a) {
+            let (reduced, sp, st) = distributed_semijoin(
+                &dists[c].clone(),
+                &dists[a],
+                cluster,
+                &format!("{} ⋉ {}", query.atoms[c].relation, query.atoms[a].relation),
+            );
+            projected_tuples += sp.tuples_sent;
+            input_tuples += st.tuples_sent;
+            sj_shuffles.push(sp);
+            sj_shuffles.push(st);
+            dists[c] = reduced;
+        }
+    }
+    // Final join: run the RS_HJ plan over a database of reduced relations.
+    // Atom names must be unique in the temporary catalog (self-joins reuse
+    // a base name but may now have different reductions).
+    let mut reduced_db = Database::new();
+    let mut final_query = query.clone();
+    for (i, d) in dists.iter().enumerate() {
+        let name = format!("__reduced_{i}_{}", query.atoms[i].relation);
+        reduced_db.insert(name.clone(), d.gather());
+        final_query.atoms[i].relation = name;
+        // The reduced relations are variables-only (selections applied
+        // during resolve); rewrite terms accordingly.
+        final_query.atoms[i].terms =
+            d.vars.iter().map(|&v| parjoin_query::Term::Var(v)).collect();
+    }
+    // Single-variable filters were already applied during the original
+    // resolve; drop them to avoid double application (harmless but noisy).
+    let reduced_cards: Vec<u64> = dists.iter().map(|d| d.total_len()).collect();
+    // Let run_config pick its fanout-aware greedy order over the reduced
+    // relations.
+    let final_opts = opts.clone();
+    let mut run = run_config(
+        &final_query,
+        &reduced_db,
+        cluster,
+        ShuffleAlg::Regular,
+        JoinAlg::Hash,
+        &final_opts,
+    )?;
+
+    // Fold the semijoin shuffles into the run's totals; every semijoin
+    // step is one extra communication round (two parallel shuffles) and
+    // its send/receive volume is charged per tuple like any other phase.
+    let sj_rounds = (sj_shuffles.len() / 2) as u32;
+    run.rounds += sj_rounds;
+    run.wall += cluster.round_latency * sj_rounds;
+    for pair in sj_shuffles.chunks(2) {
+        let refs: Vec<&parjoin_common::ShuffleStats> = pair.iter().collect();
+        run.absorb_network(&refs, cluster.shuffle_tuple_cost);
+    }
+    for s in sj_shuffles.into_iter().rev() {
+        run.tuples_shuffled += s.tuples_sent;
+        run.shuffles.insert(0, s);
+    }
+    run.config = "SJ_HJ".into();
+
+    Ok(SemijoinResult {
+        run,
+        projected_tuples_shuffled: projected_tuples,
+        input_tuples_shuffled: input_tuples,
+        reduced_cards,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parjoin_common::Relation;
+    use parjoin_query::QueryBuilder;
+
+    fn path_query() -> ConjunctiveQuery {
+        let mut b = QueryBuilder::new("P");
+        let (x, y, z, w) = (b.var("x"), b.var("y"), b.var("z"), b.var("w"));
+        b.atom("R", [x, y]).atom("S", [y, z]).atom("T", [z, w]);
+        b.build()
+    }
+
+    fn path_db() -> Database {
+        let mut db = Database::new();
+        // R has dangling tuples (y values 100+ never join S).
+        let r = Relation::from_rows(
+            2,
+            (0..20u64).map(|i| [i, if i < 10 { i } else { i + 100 }]).collect::<Vec<_>>().iter(),
+        );
+        let s = Relation::from_rows(2, (0..10u64).map(|i| [i, i * 2]).collect::<Vec<_>>().iter());
+        let t = Relation::from_rows(2, (0..20u64).map(|i| [i, i]).collect::<Vec<_>>().iter());
+        db.insert("R", r);
+        db.insert("S", s);
+        db.insert("T", t);
+        db
+    }
+
+    #[test]
+    fn semijoin_matches_regular_plan() {
+        let q = path_query();
+        let db = path_db();
+        let cluster = Cluster::new(4).with_seed(3);
+        let opts = PlanOptions { collect_output: true, ..Default::default() };
+        let sj = run_semijoin_plan(&q, &db, &cluster, &opts).expect("acyclic");
+        let rs = run_config(&q, &db, &cluster, ShuffleAlg::Regular, JoinAlg::Hash, &opts)
+            .expect("plan");
+        let mut a: Vec<Vec<u64>> =
+            sj.run.output.unwrap().rows().map(|r| r.to_vec()).collect();
+        let mut b: Vec<Vec<u64>> = rs.output.unwrap().rows().map(|r| r.to_vec()).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reduction_removes_dangling_tuples() {
+        let q = path_query();
+        let db = path_db();
+        let cluster = Cluster::new(4);
+        let sj = run_semijoin_plan(&q, &db, &cluster, &PlanOptions::default()).unwrap();
+        // R had 20 tuples, 10 of which dangle.
+        assert_eq!(sj.reduced_cards[0], 10);
+        // T keeps only z values reachable as 2·y for y<10 and y=x<20 …
+        assert!(sj.reduced_cards[2] <= 10);
+        assert!(sj.projected_tuples_shuffled > 0);
+        assert!(sj.input_tuples_shuffled > 0);
+    }
+
+    #[test]
+    fn cyclic_query_rejected() {
+        let mut b = QueryBuilder::new("T");
+        let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
+        b.atom("R", [x, y]).atom("S", [y, z]).atom("T", [z, x]);
+        let q = b.build();
+        let db = path_db();
+        let err =
+            run_semijoin_plan(&q, &db, &Cluster::new(2), &PlanOptions::default()).unwrap_err();
+        assert!(matches!(err, EngineError::Unsupported(_)));
+    }
+
+    #[test]
+    fn shuffle_accounting_includes_semijoins() {
+        let q = path_query();
+        let db = path_db();
+        let cluster = Cluster::new(4);
+        let sj = run_semijoin_plan(&q, &db, &cluster, &PlanOptions::default()).unwrap();
+        assert_eq!(
+            sj.run.tuples_shuffled,
+            sj.run.shuffles.iter().map(|s| s.tuples_sent).sum::<u64>()
+        );
+        assert!(
+            sj.run.tuples_shuffled
+                >= sj.projected_tuples_shuffled + sj.input_tuples_shuffled
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests for the engine's shuffles and local joins.
+
+use parjoin_common::Relation;
+use parjoin_core::hypercube::HcConfig;
+use parjoin_engine::dist::DistRel;
+use parjoin_engine::local::{hash_join, merge_join, semijoin, SchemaRel};
+use parjoin_engine::shuffle;
+use parjoin_query::VarId;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn v(i: u32) -> VarId {
+    VarId(i)
+}
+
+fn arb_rel(max_val: u64, max_rows: usize) -> impl Strategy<Value = Relation> {
+    proptest::collection::vec((0..max_val, 0..max_val), 0..=max_rows).prop_map(|rows| {
+        Relation::from_rows(2, rows.iter().map(|&(a, b)| [a, b]).collect::<Vec<_>>())
+    })
+}
+
+fn multiset(rel: &Relation) -> BTreeMap<Vec<u64>, usize> {
+    let mut m = BTreeMap::new();
+    for row in rel.rows() {
+        *m.entry(row.to_vec()).or_insert(0) += 1;
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn regular_shuffle_is_a_partition(rel in arb_rel(40, 80), workers in 1usize..9) {
+        let d = DistRel::round_robin(&rel, vec![v(0), v(1)], workers);
+        let (out, stats) = shuffle::regular(&d, &[v(1)], "p", 7);
+        // Complete: the union of partitions is the input multiset.
+        let mut merged = Relation::new(2);
+        for p in &out.parts {
+            merged.extend_from(p);
+        }
+        prop_assert_eq!(multiset(&merged), multiset(&rel));
+        prop_assert_eq!(stats.tuples_sent, rel.len() as u64);
+        // Consistent: equal keys land together.
+        for (w1, p1) in out.parts.iter().enumerate() {
+            for r1 in p1.rows() {
+                for (w2, p2) in out.parts.iter().enumerate() {
+                    if w1 != w2 {
+                        prop_assert!(
+                            !p2.rows().any(|r2| r2[1] == r1[1]),
+                            "key {} split across workers", r1[1]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hypercube_meets_all_joining_pairs(
+        r in arb_rel(20, 40),
+        s in arb_rel(20, 40),
+        d1 in 1usize..4, d2 in 1usize..4, d3 in 1usize..4,
+    ) {
+        let workers = d1 * d2 * d3;
+        let cfg = HcConfig::new(vec![v(0), v(1), v(2)], vec![d1, d2, d3]);
+        let dr = DistRel::round_robin(&r, vec![v(0), v(1)], workers);
+        let ds = DistRel::round_robin(&s, vec![v(1), v(2)], workers);
+        let (or, _) = shuffle::hypercube(&dr, &cfg, "r", 5);
+        let (os, _) = shuffle::hypercube(&ds, &cfg, "s", 5);
+        for rr in r.rows() {
+            for sr in s.rows() {
+                if rr[1] != sr[0] {
+                    continue;
+                }
+                let meet = (0..workers).any(|w| {
+                    or.parts[w].rows().any(|x| x == rr)
+                        && os.parts[w].rows().any(|x| x == sr)
+                });
+                prop_assert!(meet, "{rr:?} and {sr:?} never co-located");
+            }
+        }
+    }
+
+    #[test]
+    fn hash_join_equals_merge_join(a in arb_rel(15, 50), b in arb_rel(15, 50)) {
+        let sa = SchemaRel { vars: vec![v(0), v(1)], rel: a };
+        let sb = SchemaRel { vars: vec![v(1), v(2)], rel: b };
+        let h = hash_join(&sa, &sb, 3);
+        let (m, _) = merge_join(&sa, &sb, 3);
+        let mut hr: Vec<Vec<u64>> = h.rel.rows().map(|r| r.to_vec()).collect();
+        let mut mr: Vec<Vec<u64>> = m.rel.rows().map(|r| r.to_vec()).collect();
+        hr.sort();
+        mr.sort();
+        prop_assert_eq!(hr, mr);
+        prop_assert_eq!(h.vars, m.vars);
+    }
+
+    #[test]
+    fn hash_join_equals_nested_loop(a in arb_rel(10, 30), b in arb_rel(10, 30)) {
+        let sa = SchemaRel { vars: vec![v(0), v(1)], rel: a.clone() };
+        let sb = SchemaRel { vars: vec![v(1), v(2)], rel: b.clone() };
+        let h = hash_join(&sa, &sb, 9);
+        let mut expect = Vec::new();
+        for ra in a.rows() {
+            for rb in b.rows() {
+                if ra[1] == rb[0] {
+                    expect.push(vec![ra[0], ra[1], rb[1]]);
+                }
+            }
+        }
+        expect.sort();
+        let mut got: Vec<Vec<u64>> = h.rel.rows().map(|r| r.to_vec()).collect();
+        got.sort();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn semijoin_equals_existence_filter(a in arb_rel(12, 40), b in arb_rel(12, 40)) {
+        let sa = SchemaRel { vars: vec![v(0), v(1)], rel: a.clone() };
+        let sb = SchemaRel { vars: vec![v(1), v(2)], rel: b.clone() };
+        let s = semijoin(&sa, &sb, 2);
+        let expect = a.filter(|ra| b.rows().any(|rb| rb[0] == ra[1]));
+        prop_assert_eq!(multiset(&s.rel), multiset(&expect));
+    }
+
+    #[test]
+    fn broadcast_replicates_exactly(rel in arb_rel(30, 60), workers in 1usize..8) {
+        let d = DistRel::round_robin(&rel, vec![v(0), v(1)], workers);
+        let (out, stats) = shuffle::broadcast(&d, "b");
+        prop_assert_eq!(stats.tuples_sent, rel.len() as u64 * workers as u64);
+        for p in &out.parts {
+            prop_assert_eq!(multiset(p), multiset(&rel));
+        }
+    }
+}

@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+
+//! # parjoin-lp
+//!
+//! A small, dense, two-phase simplex solver — the stand-in for GLPK, which
+//! the paper uses to compute the optimal fractional HyperCube shares
+//! ("we first compute the optimal workload using the linear programming
+//! solver GLPK and the problem formulation proposed in prior work \[8\]",
+//! §4). The share LP has one variable per join variable plus one bound
+//! variable, and one constraint per atom — at most a dozen of each — so an
+//! exact textbook simplex with Bland's anti-cycling rule is entirely
+//! adequate and keeps the workspace dependency-free.
+//!
+//! The API is deliberately tiny: build an [`LpProblem`], add constraints,
+//! call [`LpProblem::solve`].
+
+pub mod simplex;
+
+pub use simplex::{Cmp, LpError, LpProblem, LpSolution};

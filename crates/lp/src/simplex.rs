@@ -1,0 +1,489 @@
+//! Dense two-phase simplex.
+//!
+//! Solves `min/max cᵀx  s.t.  Aᵢx {≤,≥,=} bᵢ`, with each variable either
+//! non-negative or free. Free variables are split `x = u − v`; phase 1
+//! minimizes the sum of artificial variables to find a basic feasible
+//! point, phase 2 optimizes the real objective. Bland's rule guarantees
+//! termination on degenerate problems.
+
+/// Constraint sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `≤`
+    Le,
+    /// `≥`
+    Ge,
+    /// `=`
+    Eq,
+}
+
+/// Solver failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpError {
+    /// No point satisfies the constraints.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpError::Infeasible => f.write_str("LP is infeasible"),
+            LpError::Unbounded => f.write_str("LP is unbounded"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// An optimal solution.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Optimal assignment, indexed like the problem's variables.
+    pub x: Vec<f64>,
+    /// Optimal objective value (in the user's min/max sense).
+    pub objective: f64,
+}
+
+struct Constraint {
+    coeffs: Vec<f64>,
+    cmp: Cmp,
+    rhs: f64,
+}
+
+/// A linear program under construction.
+///
+/// ```
+/// use parjoin_lp::{Cmp, LpProblem};
+///
+/// // max 3x + 2y  s.t.  x + y ≤ 4,  x + 3y ≤ 6,  x,y ≥ 0.
+/// let mut p = LpProblem::maximize(2);
+/// p.objective(&[3.0, 2.0])
+///     .constraint(&[1.0, 1.0], Cmp::Le, 4.0)
+///     .constraint(&[1.0, 3.0], Cmp::Le, 6.0);
+/// let sol = p.solve().unwrap();
+/// assert!((sol.objective - 12.0).abs() < 1e-6);
+/// ```
+pub struct LpProblem {
+    n: usize,
+    minimize: bool,
+    objective: Vec<f64>,
+    free: Vec<bool>,
+    constraints: Vec<Constraint>,
+}
+
+const EPS: f64 = 1e-9;
+
+impl LpProblem {
+    /// A minimization problem over `n` non-negative variables.
+    pub fn minimize(n: usize) -> Self {
+        LpProblem {
+            n,
+            minimize: true,
+            objective: vec![0.0; n],
+            free: vec![false; n],
+            constraints: Vec::new(),
+        }
+    }
+
+    /// A maximization problem over `n` non-negative variables.
+    pub fn maximize(n: usize) -> Self {
+        LpProblem { minimize: false, ..LpProblem::minimize(n) }
+    }
+
+    /// Sets the objective coefficients.
+    ///
+    /// # Panics
+    /// Panics if `coeffs.len() != n`.
+    pub fn objective(&mut self, coeffs: &[f64]) -> &mut Self {
+        assert_eq!(coeffs.len(), self.n, "objective length mismatch");
+        self.objective.copy_from_slice(coeffs);
+        self
+    }
+
+    /// Marks variable `i` as free (unbounded below).
+    ///
+    /// # Panics
+    /// Panics if `i >= n`.
+    pub fn set_free(&mut self, i: usize) -> &mut Self {
+        self.free[i] = true;
+        self
+    }
+
+    /// Adds the constraint `coeffs · x  cmp  rhs`.
+    ///
+    /// # Panics
+    /// Panics if `coeffs.len() != n`.
+    pub fn constraint(&mut self, coeffs: &[f64], cmp: Cmp, rhs: f64) -> &mut Self {
+        assert_eq!(coeffs.len(), self.n, "constraint length mismatch");
+        self.constraints.push(Constraint { coeffs: coeffs.to_vec(), cmp, rhs });
+        self
+    }
+
+    /// Solves the program.
+    pub fn solve(&self) -> Result<LpSolution, LpError> {
+        // --- Build the standard form. -----------------------------------
+        // Column layout: for each variable, one column (non-negative) or
+        // two (free, split u − v); then one slack/surplus column per
+        // inequality; artificials appended during phase 1.
+        let mut col_of_var: Vec<(usize, Option<usize>)> = Vec::with_capacity(self.n);
+        let mut ncols = 0usize;
+        #[allow(clippy::needless_range_loop)] // parallel indexing into two layouts
+        for i in 0..self.n {
+            if self.free[i] {
+                col_of_var.push((ncols, Some(ncols + 1)));
+                ncols += 2;
+            } else {
+                col_of_var.push((ncols, None));
+                ncols += 1;
+            }
+        }
+        let slack_start = ncols;
+        let num_slacks =
+            self.constraints.iter().filter(|c| c.cmp != Cmp::Eq).count();
+        ncols += num_slacks;
+
+        let m = self.constraints.len();
+        // rows[r] has length ncols (+ artificials later); rhs[r] >= 0.
+        let mut rows: Vec<Vec<f64>> = vec![vec![0.0; ncols]; m];
+        let mut rhs: Vec<f64> = vec![0.0; m];
+        let mut slack_idx = slack_start;
+        for (r, c) in self.constraints.iter().enumerate() {
+            let mut sign = 1.0;
+            if c.rhs < 0.0 {
+                sign = -1.0;
+            }
+            for (i, &a) in c.coeffs.iter().enumerate() {
+                let (u, v) = col_of_var[i];
+                rows[r][u] += sign * a;
+                if let Some(v) = v {
+                    rows[r][v] -= sign * a;
+                }
+            }
+            rhs[r] = sign * c.rhs;
+            let eff_cmp = match (c.cmp, sign < 0.0) {
+                (Cmp::Le, false) | (Cmp::Ge, true) => Some(1.0),
+                (Cmp::Ge, false) | (Cmp::Le, true) => Some(-1.0),
+                (Cmp::Eq, _) => None,
+            };
+            if let Some(s) = eff_cmp {
+                rows[r][slack_idx] = s;
+                slack_idx += 1;
+            }
+        }
+
+        // Objective in min form over the expanded columns.
+        let obj_sign = if self.minimize { 1.0 } else { -1.0 };
+        let mut cost = vec![0.0; ncols];
+        for (&(u, v), &obj) in col_of_var.iter().zip(&self.objective) {
+            cost[u] = obj_sign * obj;
+            if let Some(v) = v {
+                cost[v] = -obj_sign * obj;
+            }
+        }
+
+        // --- Phase 1: artificials for every row. -------------------------
+        let art_start = ncols;
+        for (r, row) in rows.iter_mut().enumerate() {
+            row.resize(ncols + m, 0.0);
+            row[art_start + r] = 1.0;
+        }
+        let total_cols = ncols + m;
+        let mut basis: Vec<usize> = (0..m).map(|r| art_start + r).collect();
+
+        let mut phase1_cost = vec![0.0; total_cols];
+        for pc in phase1_cost.iter_mut().skip(art_start) {
+            *pc = 1.0;
+        }
+        let p1 = simplex_core(&mut rows, &mut rhs, &mut basis, &phase1_cost, total_cols)?;
+        if p1 > EPS {
+            return Err(LpError::Infeasible);
+        }
+
+        // Drive any artificial still in the basis out (degenerate rows).
+        for r in 0..m {
+            if basis[r] >= art_start {
+                if let Some(c) = (0..ncols).find(|&c| rows[r][c].abs() > EPS) {
+                    pivot(&mut rows, &mut rhs, r, c);
+                    basis[r] = c;
+                }
+                // Otherwise: the row is all-zero over real columns —
+                // a redundant constraint; the artificial stays at 0.
+            }
+        }
+
+        // --- Phase 2 over real columns only. ------------------------------
+        for row in rows.iter_mut() {
+            row.truncate(ncols);
+        }
+        let mut cost2 = cost;
+        cost2.resize(ncols, 0.0);
+        // Rows whose basis is still an artificial are redundant; give the
+        // phantom column index ncols (never chosen as entering).
+        let _obj = simplex_core(&mut rows, &mut rhs, &mut basis, &cost2, ncols)?;
+
+        // Read out the solution.
+        let mut xs = vec![0.0; ncols];
+        for (r, &b) in basis.iter().enumerate() {
+            if b < ncols {
+                xs[b] = rhs[r];
+            }
+        }
+        let mut x = vec![0.0; self.n];
+        for i in 0..self.n {
+            let (u, v) = col_of_var[i];
+            x[i] = xs[u] - v.map_or(0.0, |v| xs[v]);
+        }
+        let objective: f64 =
+            self.objective.iter().zip(&x).map(|(c, xi)| c * xi).sum();
+        Ok(LpSolution { x, objective })
+    }
+}
+
+/// Runs simplex with Bland's rule on the tableau; returns the optimal
+/// phase objective (in min form).
+fn simplex_core(
+    rows: &mut [Vec<f64>],
+    rhs: &mut [f64],
+    basis: &mut [usize],
+    cost: &[f64],
+    ncols: usize,
+) -> Result<f64, LpError> {
+    let m = rows.len();
+    loop {
+        // Reduced costs: c_j − c_B · B⁻¹A_j. With an explicit tableau the
+        // rows already are B⁻¹A, so compute z_j = Σ_r cost[basis[r]]·rows[r][j].
+        let mut entering = None;
+        for j in 0..ncols {
+            if basis.contains(&j) {
+                continue;
+            }
+            let mut zj = 0.0;
+            for r in 0..m {
+                let cb = if basis[r] < cost.len() { cost[basis[r]] } else { 0.0 };
+                if cb != 0.0 {
+                    zj += cb * rows[r][j];
+                }
+            }
+            let cj = if j < cost.len() { cost[j] } else { 0.0 };
+            if cj - zj < -EPS {
+                entering = Some(j); // Bland: first improving index
+                break;
+            }
+        }
+        let Some(e) = entering else {
+            // Optimal: compute objective value.
+            let mut obj = 0.0;
+            for r in 0..m {
+                let cb = if basis[r] < cost.len() { cost[basis[r]] } else { 0.0 };
+                obj += cb * rhs[r];
+            }
+            return Ok(obj);
+        };
+
+        // Ratio test (Bland tie-break on smallest basis index).
+        let mut leave: Option<usize> = None;
+        let mut best = f64::INFINITY;
+        for r in 0..m {
+            if rows[r][e] > EPS {
+                let ratio = rhs[r] / rows[r][e];
+                let better = ratio < best - EPS
+                    || (ratio < best + EPS
+                        && leave.is_none_or(|l| basis[r] < basis[l]));
+                if better {
+                    best = ratio;
+                    leave = Some(r);
+                }
+            }
+        }
+        let Some(l) = leave else {
+            return Err(LpError::Unbounded);
+        };
+        pivot(rows, rhs, l, e);
+        basis[l] = e;
+    }
+}
+
+fn pivot(rows: &mut [Vec<f64>], rhs: &mut [f64], l: usize, e: usize) {
+    let m = rows.len();
+    let p = rows[l][e];
+    debug_assert!(p.abs() > EPS, "pivot on ~zero element");
+    let inv = 1.0 / p;
+    for v in rows[l].iter_mut() {
+        *v *= inv;
+    }
+    rhs[l] *= inv;
+    for r in 0..m {
+        if r == l {
+            continue;
+        }
+        let f = rows[r][e];
+        if f.abs() < EPS {
+            continue;
+        }
+        let (head, tail) = rows.split_at_mut(l.max(r));
+        let (src, dst) = if l < r { (&head[l], &mut tail[0]) } else { (&tail[0], &mut head[r]) };
+        for (d, s) in dst.iter_mut().zip(src.iter()) {
+            *d -= f * s;
+        }
+        rhs[r] -= f * rhs[l];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    #[test]
+    fn simple_maximize() {
+        // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 → x=4, y=0, obj=12.
+        let mut p = LpProblem::maximize(2);
+        p.objective(&[3.0, 2.0])
+            .constraint(&[1.0, 1.0], Cmp::Le, 4.0)
+            .constraint(&[1.0, 3.0], Cmp::Le, 6.0);
+        let s = p.solve().unwrap();
+        assert_close(s.objective, 12.0);
+        assert_close(s.x[0], 4.0);
+        assert_close(s.x[1], 0.0);
+    }
+
+    #[test]
+    fn minimize_with_ge() {
+        // min x + y s.t. x + 2y >= 4, 3x + y >= 6 → x=1.6, y=1.2, obj=2.8.
+        let mut p = LpProblem::minimize(2);
+        p.objective(&[1.0, 1.0])
+            .constraint(&[1.0, 2.0], Cmp::Ge, 4.0)
+            .constraint(&[3.0, 1.0], Cmp::Ge, 6.0);
+        let s = p.solve().unwrap();
+        assert_close(s.objective, 2.8);
+        assert_close(s.x[0], 1.6);
+        assert_close(s.x[1], 1.2);
+    }
+
+    #[test]
+    fn equality_constraint() {
+        // min 2x + y s.t. x + y = 3, x <= 2 → x=2, y=1? obj(2,1)=5;
+        // x=0,y=3 → obj 3 — smaller. min at x=0, y=3.
+        let mut p = LpProblem::minimize(2);
+        p.objective(&[2.0, 1.0])
+            .constraint(&[1.0, 1.0], Cmp::Eq, 3.0)
+            .constraint(&[1.0, 0.0], Cmp::Le, 2.0);
+        let s = p.solve().unwrap();
+        assert_close(s.objective, 3.0);
+        assert_close(s.x[0], 0.0);
+        assert_close(s.x[1], 3.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut p = LpProblem::minimize(1);
+        p.objective(&[1.0])
+            .constraint(&[1.0], Cmp::Ge, 5.0)
+            .constraint(&[1.0], Cmp::Le, 1.0);
+        assert_eq!(p.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut p = LpProblem::maximize(1);
+        p.objective(&[1.0]).constraint(&[1.0], Cmp::Ge, 0.0);
+        assert_eq!(p.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn free_variable() {
+        // min t s.t. t >= -5, t >= x - 3, x >= 2, t free.
+        // With x = 2, t can be max(-5, -1) = -1.
+        let mut p = LpProblem::minimize(2); // vars: t, x
+        p.objective(&[1.0, 0.0]);
+        p.set_free(0);
+        p.constraint(&[1.0, 0.0], Cmp::Ge, -5.0)
+            .constraint(&[1.0, -1.0], Cmp::Ge, -3.0)
+            .constraint(&[0.0, 1.0], Cmp::Ge, 2.0);
+        let s = p.solve().unwrap();
+        assert_close(s.objective, -1.0);
+    }
+
+    #[test]
+    fn negative_rhs_handled() {
+        // min x s.t. -x <= -3  (i.e. x >= 3).
+        let mut p = LpProblem::minimize(1);
+        p.objective(&[1.0]).constraint(&[-1.0], Cmp::Le, -3.0);
+        let s = p.solve().unwrap();
+        assert_close(s.x[0], 3.0);
+    }
+
+    #[test]
+    fn degenerate_does_not_cycle() {
+        // Classic degeneracy: multiple constraints active at origin.
+        let mut p = LpProblem::maximize(2);
+        p.objective(&[1.0, 1.0])
+            .constraint(&[1.0, 0.0], Cmp::Le, 1.0)
+            .constraint(&[1.0, 0.0], Cmp::Le, 1.0)
+            .constraint(&[0.0, 1.0], Cmp::Le, 1.0)
+            .constraint(&[1.0, 1.0], Cmp::Le, 2.0);
+        let s = p.solve().unwrap();
+        assert_close(s.objective, 2.0);
+    }
+
+    #[test]
+    fn redundant_equalities() {
+        // x + y = 2 stated twice; min x → x=0, y=2.
+        let mut p = LpProblem::minimize(2);
+        p.objective(&[1.0, 0.0])
+            .constraint(&[1.0, 1.0], Cmp::Eq, 2.0)
+            .constraint(&[1.0, 1.0], Cmp::Eq, 2.0);
+        let s = p.solve().unwrap();
+        assert_close(s.objective, 0.0);
+        assert_close(s.x[1], 2.0);
+    }
+
+    #[test]
+    fn share_lp_shape_triangle() {
+        // The actual share LP for the triangle query with equal
+        // cardinalities m: minimize t s.t. for each atom S_j over vars
+        // {a, b}: e_a + e_b + t >= log_p m, and e_1+e_2+e_3 <= 1.
+        // Symmetric optimum: e_i = 1/3 each.
+        // Vars: e1, e2, e3, t (free).
+        let logm = 1.5_f64; // log_p m, arbitrary
+        let mut p = LpProblem::minimize(4);
+        p.objective(&[0.0, 0.0, 0.0, 1.0]);
+        p.set_free(3);
+        p.constraint(&[1.0, 1.0, 0.0, 1.0], Cmp::Ge, logm)
+            .constraint(&[0.0, 1.0, 1.0, 1.0], Cmp::Ge, logm)
+            .constraint(&[1.0, 0.0, 1.0, 1.0], Cmp::Ge, logm)
+            .constraint(&[1.0, 1.0, 1.0, 0.0], Cmp::Le, 1.0);
+        let s = p.solve().unwrap();
+        assert_close(s.objective, logm - 2.0 / 3.0);
+        for i in 0..3 {
+            assert_close(s.x[i], 1.0 / 3.0);
+        }
+    }
+
+    #[test]
+    fn share_lp_skewed_sizes() {
+        // |S1| << |S2| = |S3|: paper says optimum is e1=e2=0, e3=1 for
+        // T(x1,x2,x3) = S1(x1,x2), S2(x2,x3), S3(x3,x1)… in [9] the shares
+        // become p3 = p (hash on x3) with S1 broadcast. Verify the LP
+        // prefers putting all share on the variable joining the two big
+        // relations. Vars: e1,e2,e3,t.
+        let (small, big) = (0.1_f64, 2.0_f64);
+        let mut p = LpProblem::minimize(4);
+        p.objective(&[0.0, 0.0, 0.0, 1.0]);
+        p.set_free(3);
+        // S1(x1,x2) small, S2(x2,x3) big, S3(x3,x1) big.
+        p.constraint(&[1.0, 1.0, 0.0, 1.0], Cmp::Ge, small)
+            .constraint(&[0.0, 1.0, 1.0, 1.0], Cmp::Ge, big)
+            .constraint(&[1.0, 0.0, 1.0, 1.0], Cmp::Ge, big)
+            .constraint(&[1.0, 1.0, 1.0, 0.0], Cmp::Le, 1.0);
+        let s = p.solve().unwrap();
+        // x3 takes the whole budget.
+        assert_close(s.x[2], 1.0);
+        assert_close(s.objective, big - 1.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests: simplex vs brute force on random small LPs.
+
+use parjoin_lp::{Cmp, LpError, LpProblem};
+use proptest::prelude::*;
+
+/// Brute-force optimum of a 2-variable LP with `x, y ≥ 0` and ≤-constraints:
+/// enumerate all vertices (pairwise constraint intersections + axis
+/// intersections + origin), keep feasible ones, take the best objective.
+fn brute_force_2d(obj: (f64, f64), cons: &[(f64, f64, f64)]) -> Option<f64> {
+    let mut lines: Vec<(f64, f64, f64)> = cons.to_vec();
+    // Axes as constraints: -x <= 0, -y <= 0 (their boundary lines are the axes).
+    lines.push((1.0, 0.0, 0.0));
+    lines.push((0.0, 1.0, 0.0));
+    let feasible = |x: f64, y: f64| {
+        x >= -1e-7
+            && y >= -1e-7
+            && cons.iter().all(|&(a, b, c)| a * x + b * y <= c + 1e-7)
+    };
+    let mut best: Option<f64> = None;
+    for i in 0..lines.len() {
+        for j in i + 1..lines.len() {
+            let (a1, b1, c1) = lines[i];
+            let (a2, b2, c2) = lines[j];
+            let det = a1 * b2 - a2 * b1;
+            if det.abs() < 1e-9 {
+                continue;
+            }
+            let x = (c1 * b2 - c2 * b1) / det;
+            let y = (a1 * c2 - a2 * c1) / det;
+            if feasible(x, y) {
+                let v = obj.0 * x + obj.1 * y;
+                best = Some(best.map_or(v, |b: f64| b.max(v)));
+            }
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn matches_vertex_enumeration(
+        ox in 0.1f64..5.0, oy in 0.1f64..5.0,
+        cons in proptest::collection::vec(
+            (0.1f64..4.0, 0.1f64..4.0, 0.5f64..10.0), 1..5),
+    ) {
+        // max ox·x + oy·y over positive ≤-constraints: always feasible
+        // (origin) and bounded (all coefficients positive).
+        let mut p = LpProblem::maximize(2);
+        p.objective(&[ox, oy]);
+        for &(a, b, c) in &cons {
+            p.constraint(&[a, b], Cmp::Le, c);
+        }
+        let got = p.solve().expect("feasible & bounded").objective;
+        let want = brute_force_2d((ox, oy), &cons).expect("origin feasible");
+        prop_assert!((got - want).abs() < 1e-5 * (1.0 + want.abs()),
+            "simplex {got} vs brute force {want}");
+    }
+
+    #[test]
+    fn solution_is_feasible(
+        cons in proptest::collection::vec(
+            (0.1f64..4.0, 0.1f64..4.0, 0.5f64..10.0), 1..6),
+    ) {
+        let mut p = LpProblem::maximize(2);
+        p.objective(&[1.0, 1.0]);
+        for &(a, b, c) in &cons {
+            p.constraint(&[a, b], Cmp::Le, c);
+        }
+        let s = p.solve().unwrap();
+        prop_assert!(s.x[0] >= -1e-7 && s.x[1] >= -1e-7);
+        for &(a, b, c) in &cons {
+            prop_assert!(a * s.x[0] + b * s.x[1] <= c + 1e-6);
+        }
+    }
+
+    #[test]
+    fn contradictory_bounds_infeasible(lo in 2.0f64..10.0) {
+        let mut p = LpProblem::minimize(1);
+        p.objective(&[1.0])
+            .constraint(&[1.0], Cmp::Ge, lo)
+            .constraint(&[1.0], Cmp::Le, lo - 1.0);
+        prop_assert_eq!(p.solve().unwrap_err(), LpError::Infeasible);
+    }
+}

@@ -1,0 +1,212 @@
+//! Query hypergraph analysis.
+//!
+//! The query hypergraph has one vertex per variable and one hyperedge per
+//! atom. Two properties matter for the paper:
+//!
+//! * **Cyclicity** (Table 6's "Cyclic" column): decided by the classic
+//!   GYO ear-removal reduction — a query is (α-)acyclic iff repeated ear
+//!   removal eliminates every edge.
+//! * **Join trees** for acyclic queries: the witness structure produced by
+//!   GYO. §3.6's distributed semijoin reduction (Yannakakis / GYM \[4\])
+//!   runs its bottom-up and top-down passes along this tree.
+
+use crate::{ConjunctiveQuery, VarId};
+use std::collections::BTreeSet;
+
+/// A join tree over the atoms of an acyclic query.
+#[derive(Debug, Clone)]
+pub struct JoinTree {
+    /// `parent[i]` is the parent atom of atom `i`; the root has `None`.
+    pub parent: Vec<Option<usize>>,
+    /// Atoms in a bottom-up order (every atom precedes its parent).
+    pub bottom_up: Vec<usize>,
+}
+
+impl JoinTree {
+    /// The root atom index.
+    pub fn root(&self) -> usize {
+        *self.bottom_up.last().expect("non-empty tree")
+    }
+
+    /// Atoms in top-down order (root first).
+    pub fn top_down(&self) -> Vec<usize> {
+        let mut v = self.bottom_up.clone();
+        v.reverse();
+        v
+    }
+
+    /// Children of atom `i`.
+    pub fn children(&self, i: usize) -> Vec<usize> {
+        (0..self.parent.len()).filter(|&c| self.parent[c] == Some(i)).collect()
+    }
+}
+
+fn edge_sets(q: &ConjunctiveQuery) -> Vec<BTreeSet<VarId>> {
+    q.atoms.iter().map(|a| a.vars().into_iter().collect()).collect()
+}
+
+/// Runs the GYO reduction; returns a join tree if the query is acyclic.
+///
+/// Ear rule: an alive edge `e` is an *ear* witnessed by another alive edge
+/// `f` when every vertex of `e` that also occurs in some other alive edge
+/// is contained in `f`. Removing `e` makes `f` its parent.
+pub fn gyo_join_tree(q: &ConjunctiveQuery) -> Option<JoinTree> {
+    let edges = edge_sets(q);
+    let n = edges.len();
+    let mut alive: Vec<bool> = vec![true; n];
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    let mut bottom_up: Vec<usize> = Vec::with_capacity(n);
+    let mut remaining = n;
+
+    while remaining > 1 {
+        let mut removed_any = false;
+        'outer: for e in 0..n {
+            if !alive[e] {
+                continue;
+            }
+            // Vertices of e shared with any *other* alive edge.
+            let shared: BTreeSet<VarId> = edges[e]
+                .iter()
+                .copied()
+                .filter(|v| {
+                    (0..n).any(|f| f != e && alive[f] && edges[f].contains(v))
+                })
+                .collect();
+            for f in 0..n {
+                if f == e || !alive[f] {
+                    continue;
+                }
+                if shared.is_subset(&edges[f]) {
+                    alive[e] = false;
+                    parent[e] = Some(f);
+                    bottom_up.push(e);
+                    remaining -= 1;
+                    removed_any = true;
+                    continue 'outer;
+                }
+            }
+        }
+        if !removed_any {
+            return None; // stuck: cyclic
+        }
+    }
+    // The sole survivor is the root.
+    let root = (0..n).find(|&i| alive[i]).expect("one edge remains");
+    bottom_up.push(root);
+    Some(JoinTree { parent, bottom_up })
+}
+
+/// True iff the query hypergraph is α-acyclic.
+pub fn is_acyclic(q: &ConjunctiveQuery) -> bool {
+    gyo_join_tree(q).is_some()
+}
+
+/// The variables two atoms share (used for semijoin keys and join trees).
+pub fn shared_vars(q: &ConjunctiveQuery, a: usize, b: usize) -> Vec<VarId> {
+    let sb: BTreeSet<VarId> = q.atoms[b].vars().into_iter().collect();
+    q.atoms[a].vars().into_iter().filter(|v| sb.contains(v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QueryBuilder;
+
+    fn triangle() -> ConjunctiveQuery {
+        let mut b = QueryBuilder::new("T");
+        let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
+        b.atom("R", [x, y]).atom("S", [y, z]).atom("T", [z, x]);
+        b.build()
+    }
+
+    fn path3() -> ConjunctiveQuery {
+        let mut b = QueryBuilder::new("P");
+        let (x, y, z, w) = (b.var("x"), b.var("y"), b.var("z"), b.var("w"));
+        b.atom("R", [x, y]).atom("S", [y, z]).atom("T", [z, w]);
+        b.build()
+    }
+
+    #[test]
+    fn triangle_is_cyclic() {
+        assert!(!is_acyclic(&triangle()));
+        assert!(gyo_join_tree(&triangle()).is_none());
+    }
+
+    #[test]
+    fn path_is_acyclic_with_valid_tree() {
+        let q = path3();
+        let t = gyo_join_tree(&q).expect("acyclic");
+        // Every atom except root has a parent; bottom_up covers all atoms.
+        assert_eq!(t.bottom_up.len(), 3);
+        let root = t.root();
+        assert!(t.parent[root].is_none());
+        for i in 0..3 {
+            if i != root {
+                assert!(t.parent[i].is_some());
+            }
+        }
+        // Bottom-up order: child before parent.
+        for (pos, &a) in t.bottom_up.iter().enumerate() {
+            if let Some(p) = t.parent[a] {
+                let ppos = t.bottom_up.iter().position(|&x| x == p).unwrap();
+                assert!(ppos > pos, "parent {p} must come after child {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn star_is_acyclic() {
+        // Q7 shape: a star of three relations around h plus a leaf.
+        let mut b = QueryBuilder::new("Q7");
+        let (aw, h, a, y) = (b.var("aw"), b.var("h"), b.var("a"), b.var("y"));
+        b.atom("ObjectName", [aw])
+            .atom("HonorAward", [h, aw])
+            .atom("HonorActor", [h, a])
+            .atom("HonorYear", [h, y]);
+        let q = b.build();
+        assert!(is_acyclic(&q));
+    }
+
+    #[test]
+    fn four_cycle_is_cyclic() {
+        let mut b = QueryBuilder::new("C4");
+        let (x, y, z, p) = (b.var("x"), b.var("y"), b.var("z"), b.var("p"));
+        b.atom("R", [x, y]).atom("S", [y, z]).atom("T", [z, p]).atom("K", [p, x]);
+        assert!(!is_acyclic(&b.build()));
+    }
+
+    #[test]
+    fn single_atom_is_acyclic() {
+        let mut b = QueryBuilder::new("One");
+        let x = b.var("x");
+        b.atom("R", [x]);
+        let q = b.build();
+        let t = gyo_join_tree(&q).unwrap();
+        assert_eq!(t.root(), 0);
+        assert_eq!(t.children(0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn duplicate_edge_sets_reduce() {
+        // Two atoms over the same variables: each is an ear of the other.
+        let mut b = QueryBuilder::new("Dup");
+        let (x, y) = (b.var("x"), b.var("y"));
+        b.atom("R", [x, y]).atom("S", [x, y]);
+        assert!(is_acyclic(&b.build()));
+    }
+
+    #[test]
+    fn shared_vars_of_atoms() {
+        let q = triangle();
+        assert_eq!(shared_vars(&q, 0, 1), vec![VarId(1)]); // y
+        assert_eq!(shared_vars(&q, 0, 2), vec![VarId(0)]); // x
+    }
+
+    #[test]
+    fn top_down_reverses_bottom_up() {
+        let t = gyo_join_tree(&path3()).unwrap();
+        let mut td = t.top_down();
+        td.reverse();
+        assert_eq!(td, t.bottom_up);
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! # parjoin-query
+//!
+//! The query model shared by the optimizer and the execution engine:
+//!
+//! * [`ConjunctiveQuery`] — full conjunctive queries in the paper's Datalog
+//!   notation `q(x₁,…) :- S₁(x̄₁), …, Sₗ(x̄ₗ)` (Eq. 1, §2.1), extended with
+//!   comparison filters (`f1 > f2` in Q4, `1990 ≤ y < 2000` in Q7).
+//! * [`hypergraph`] — the query hypergraph: cyclicity via GYO reduction,
+//!   join-tree construction for the semijoin (GYM) plans of §3.6.
+//! * [`parser`] — a small Datalog text front end so the examples read like
+//!   the paper's listings.
+//! * [`resolve`] — selection pushdown: binds constants/filters against a
+//!   [`Database`](parjoin_common::Database) and produces per-atom,
+//!   variables-only relations ready for shuffling and joining.
+
+pub mod hypergraph;
+pub mod parser;
+pub mod query;
+pub mod resolve;
+
+pub use query::{Atom, CmpOp, ConjunctiveQuery, Filter, Operand, QueryBuilder, Term, VarId};
+pub use resolve::{resolve_atoms, ResolvedAtom};

@@ -1,0 +1,289 @@
+//! Selection pushdown: bind atoms against the catalog.
+//!
+//! The paper pushes selections below the joins ("We pushed selection down,
+//! thus selections like ObjectName(actor_id, 'Joe Pesci') … can be
+//! considered as only containing very few tuples", §3 footnote 3). This
+//! module performs exactly that step: every atom becomes a
+//! variables-only relation with
+//!
+//! * constant equality applied (`ObjectName(a1, 4242)`),
+//! * repeated-variable equality applied (`R(x, x)`),
+//! * single-variable comparison filters applied (`y >= 1990`),
+//!
+//! leaving only variable-vs-variable filters for the join operators.
+
+use crate::{CmpOp, ConjunctiveQuery, Filter, Operand, Term, VarId};
+use parjoin_common::{Database, Relation};
+use std::borrow::Cow;
+
+/// An atom after selection pushdown: a relation whose columns correspond
+/// one-to-one to `vars`.
+#[derive(Debug, Clone)]
+pub struct ResolvedAtom<'a> {
+    /// Distinct variables, one per column of `rel`.
+    pub vars: Vec<VarId>,
+    /// The (possibly filtered/projected) data. Borrowed when no pushdown
+    /// applied, to avoid copying large base relations for self-joins.
+    pub rel: Cow<'a, Relation>,
+    /// The base-relation name this atom came from (for reporting).
+    pub base: String,
+}
+
+impl ResolvedAtom<'_> {
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.rel.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.rel.is_empty()
+    }
+
+    /// Column index of variable `v`, if present.
+    pub fn col_of(&self, v: VarId) -> Option<usize> {
+        self.vars.iter().position(|&x| x == v)
+    }
+}
+
+/// Errors produced while resolving a query against a database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolveError {
+    /// An atom references a relation not in the catalog.
+    MissingRelation(String),
+    /// An atom's term count differs from the base relation's arity.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Arity in the catalog.
+        expected: usize,
+        /// Term count in the atom.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResolveError::MissingRelation(r) => write!(f, "relation `{r}` not in database"),
+            ResolveError::ArityMismatch { relation, expected, got } => {
+                write!(f, "atom over `{relation}` has {got} terms but arity is {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+/// Splits the query's filters into pushable single-variable filters and
+/// residual (variable-vs-variable) join filters.
+pub fn split_filters(q: &ConjunctiveQuery) -> (Vec<Filter>, Vec<Filter>) {
+    let mut single = Vec::new();
+    let mut residual = Vec::new();
+    for f in &q.filters {
+        match f.right {
+            Operand::Const(_) => single.push(*f),
+            Operand::Var(_) => residual.push(*f),
+        }
+    }
+    (single, residual)
+}
+
+/// Resolves every atom of `q` against `db`, applying selection pushdown.
+///
+/// Returns the resolved atoms and the residual filters the join operators
+/// must still enforce.
+pub fn resolve_atoms<'a>(
+    q: &ConjunctiveQuery,
+    db: &'a Database,
+) -> Result<(Vec<ResolvedAtom<'a>>, Vec<Filter>), ResolveError> {
+    let (single, residual) = split_filters(q);
+    let mut out = Vec::with_capacity(q.atoms.len());
+    for atom in &q.atoms {
+        let base = db
+            .get(&atom.relation)
+            .ok_or_else(|| ResolveError::MissingRelation(atom.relation.clone()))?;
+        if base.arity() != atom.terms.len() {
+            return Err(ResolveError::ArityMismatch {
+                relation: atom.relation.clone(),
+                expected: base.arity(),
+                got: atom.terms.len(),
+            });
+        }
+
+        // Distinct variables with their first column position.
+        let mut vars: Vec<VarId> = Vec::new();
+        let mut first_pos: Vec<usize> = Vec::new();
+        for (i, t) in atom.terms.iter().enumerate() {
+            if let Term::Var(v) = t {
+                if !vars.contains(v) {
+                    vars.push(*v);
+                    first_pos.push(i);
+                }
+            }
+        }
+
+        // Row predicates from constants, repeated variables, and pushable
+        // single-variable filters.
+        let consts: Vec<(usize, u64)> = atom
+            .terms
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| match t {
+                Term::Const(c) => Some((i, *c)),
+                Term::Var(_) => None,
+            })
+            .collect();
+        let mut var_eqs: Vec<(usize, usize)> = Vec::new();
+        for (vi, &v) in vars.iter().enumerate() {
+            for (j, t) in atom.terms.iter().enumerate() {
+                if matches!(t, Term::Var(w) if *w == v) && j != first_pos[vi] {
+                    var_eqs.push((first_pos[vi], j));
+                }
+            }
+        }
+        let pushable: Vec<(usize, CmpOp, u64)> = single
+            .iter()
+            .filter_map(|f| {
+                let vi = vars.iter().position(|&v| v == f.left)?;
+                match f.right {
+                    Operand::Const(c) => Some((first_pos[vi], f.op, c)),
+                    Operand::Var(_) => None,
+                }
+            })
+            .collect();
+
+        let needs_project = first_pos.len() != atom.terms.len()
+            || first_pos.iter().enumerate().any(|(i, &p)| i != p);
+        let needs_filter = !consts.is_empty() || !var_eqs.is_empty() || !pushable.is_empty();
+
+        let rel: Cow<'a, Relation> = if !needs_filter && !needs_project {
+            Cow::Borrowed(base)
+        } else {
+            let filtered = base.filter(|row| {
+                consts.iter().all(|&(i, c)| row[i] == c)
+                    && var_eqs.iter().all(|&(a, b)| row[a] == row[b])
+                    && pushable.iter().all(|&(i, op, c)| op.eval(row[i], c))
+            });
+            Cow::Owned(if needs_project { filtered.project(&first_pos) } else { filtered })
+        };
+
+        out.push(ResolvedAtom { vars, rel, base: atom.relation.clone() });
+    }
+    Ok((out, residual))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QueryBuilder;
+    use parjoin_common::Relation;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.insert("R", Relation::from_rows(2, [[1u64, 2], [2, 2], [3, 9]].iter()));
+        db.insert("Name", Relation::from_rows(2, [[10u64, 100], [11, 101], [12, 100]].iter()));
+        db
+    }
+
+    #[test]
+    fn plain_atom_borrows() {
+        let mut b = QueryBuilder::new("Q");
+        let (x, y) = (b.var("x"), b.var("y"));
+        b.atom("R", [x, y]);
+        let q = b.build();
+        let dbv = db();
+        let (atoms, residual) = resolve_atoms(&q, &dbv).unwrap();
+        assert!(matches!(atoms[0].rel, Cow::Borrowed(_)));
+        assert_eq!(atoms[0].vars, vec![x, y]);
+        assert!(residual.is_empty());
+    }
+
+    #[test]
+    fn constant_selection_applied() {
+        let mut b = QueryBuilder::new("Q");
+        let a = b.var("a");
+        b.atom_terms("Name", [Term::Var(a), Term::Const(100)]);
+        let q = b.build();
+        let dbv = db();
+        let (atoms, _) = resolve_atoms(&q, &dbv).unwrap();
+        assert_eq!(atoms[0].len(), 2); // ids 10 and 12
+        assert_eq!(atoms[0].vars, vec![a]);
+        assert_eq!(atoms[0].rel.arity(), 1);
+        assert_eq!(atoms[0].rel.row(0), &[10]);
+        assert_eq!(atoms[0].rel.row(1), &[12]);
+    }
+
+    #[test]
+    fn repeated_variable_becomes_equality() {
+        let mut b = QueryBuilder::new("Q");
+        let x = b.var("x");
+        b.atom("R", [x, x]);
+        let q = b.build();
+        let dbv = db();
+        let (atoms, _) = resolve_atoms(&q, &dbv).unwrap();
+        assert_eq!(atoms[0].len(), 1); // only (2,2)
+        assert_eq!(atoms[0].rel.row(0), &[2]);
+    }
+
+    #[test]
+    fn single_var_filter_pushed() {
+        let mut b = QueryBuilder::new("Q");
+        let (x, y) = (b.var("x"), b.var("y"));
+        b.atom("R", [x, y]);
+        b.filter_vc(y, CmpOp::Ge, 5);
+        let q = b.build();
+        let dbv = db();
+        let (atoms, residual) = resolve_atoms(&q, &dbv).unwrap();
+        assert_eq!(atoms[0].len(), 1); // only (3,9)
+        assert!(residual.is_empty());
+    }
+
+    #[test]
+    fn var_var_filter_is_residual() {
+        let mut b = QueryBuilder::new("Q");
+        let (x, y) = (b.var("x"), b.var("y"));
+        b.atom("R", [x, y]);
+        b.filter_vv(x, CmpOp::Lt, y);
+        let q = b.build();
+        let dbv = db();
+        let (atoms, residual) = resolve_atoms(&q, &dbv).unwrap();
+        assert_eq!(atoms[0].len(), 3); // unchanged
+        assert_eq!(residual.len(), 1);
+    }
+
+    #[test]
+    fn missing_relation_error() {
+        let mut b = QueryBuilder::new("Q");
+        let x = b.var("x");
+        b.atom("Ghost", [x, x]);
+        let q = b.build();
+        let dbv = db();
+        assert!(matches!(
+            resolve_atoms(&q, &dbv),
+            Err(ResolveError::MissingRelation(r)) if r == "Ghost"
+        ));
+    }
+
+    #[test]
+    fn arity_mismatch_error() {
+        let mut b = QueryBuilder::new("Q");
+        let x = b.var("x");
+        b.atom("R", [x]);
+        let q = b.build();
+        let dbv = db();
+        assert!(matches!(resolve_atoms(&q, &dbv), Err(ResolveError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn col_of_lookup() {
+        let mut b = QueryBuilder::new("Q");
+        let (x, y) = (b.var("x"), b.var("y"));
+        b.atom("R", [x, y]);
+        let q = b.build();
+        let dbv = db();
+        let (atoms, _) = resolve_atoms(&q, &dbv).unwrap();
+        assert_eq!(atoms[0].col_of(y), Some(1));
+        assert_eq!(atoms[0].col_of(VarId(7)), None);
+    }
+}

@@ -1,0 +1,95 @@
+//! Memory-budget failure injection — the mechanism behind the paper's
+//! Figure 9 `RS_TJ: FAIL` cell for Q4.
+
+use parjoin::prelude::*;
+
+#[test]
+fn tight_budget_fails_rs_tj_first() {
+    // RS_TJ charges sort buffers (2× inputs) on top of the join output,
+    // so there exists a budget band where RS_TJ fails and HC_TJ survives.
+    let spec = parjoin::datagen::workloads::q1();
+    let db = Scale::tiny().twitter_db(2);
+    let opts = PlanOptions::default();
+
+    // Find what each plan actually needs.
+    let need = |s: ShuffleAlg, j: JoinAlg| -> u64 {
+        run_config(&spec.query, &db, &Cluster::new(4), s, j, &opts)
+            .unwrap()
+            .peak_worker_tuples
+    };
+    let rs_tj = need(ShuffleAlg::Regular, JoinAlg::Tributary);
+    let hc_tj = need(ShuffleAlg::HyperCube, JoinAlg::Tributary);
+    assert!(
+        hc_tj < rs_tj,
+        "HC_TJ should need less per-worker memory ({hc_tj} vs {rs_tj})"
+    );
+
+    let budget = (hc_tj + rs_tj) / 2;
+    let cluster = Cluster::new(4).with_memory_budget(budget);
+    let err = run_config(
+        &spec.query, &db, &cluster, ShuffleAlg::Regular, JoinAlg::Tributary, &opts,
+    )
+    .unwrap_err();
+    assert!(matches!(err, EngineError::MemoryBudget { .. }), "{err}");
+
+    // HC_TJ under the same budget succeeds.
+    run_config(&spec.query, &db, &cluster, ShuffleAlg::HyperCube, JoinAlg::Tributary, &opts)
+        .expect("HC_TJ fits where RS_TJ failed");
+}
+
+#[test]
+fn budget_error_reports_numbers() {
+    let spec = parjoin::datagen::workloads::q1();
+    let db = Scale::tiny().twitter_db(2);
+    let cluster = Cluster::new(2).with_memory_budget(1);
+    let err = run_config(
+        &spec.query,
+        &db,
+        &cluster,
+        ShuffleAlg::Regular,
+        JoinAlg::Hash,
+        &PlanOptions::default(),
+    )
+    .unwrap_err();
+    match err {
+        EngineError::MemoryBudget { needed, budget, .. } => {
+            assert_eq!(budget, 1);
+            assert!(needed > 1);
+        }
+        other => panic!("wrong error: {other}"),
+    }
+}
+
+#[test]
+fn generous_budget_never_fails() {
+    let spec = parjoin::datagen::workloads::q1();
+    let db = Scale::tiny().twitter_db(2);
+    let cluster = Cluster::new(4).with_memory_budget(u64::MAX);
+    for (s, j) in [
+        (ShuffleAlg::Regular, JoinAlg::Hash),
+        (ShuffleAlg::Regular, JoinAlg::Tributary),
+        (ShuffleAlg::Broadcast, JoinAlg::Hash),
+        (ShuffleAlg::Broadcast, JoinAlg::Tributary),
+        (ShuffleAlg::HyperCube, JoinAlg::Hash),
+        (ShuffleAlg::HyperCube, JoinAlg::Tributary),
+    ] {
+        run_config(&spec.query, &db, &cluster, s, j, &PlanOptions::default())
+            .unwrap_or_else(|e| panic!("{s:?}/{j:?}: {e}"));
+    }
+}
+
+#[test]
+fn missing_relation_is_resolve_error() {
+    let q = parjoin::query::parser::parse("Q(x) :- Nonexistent(x, x)").unwrap();
+    let db = Database::new();
+    let err = run_config(
+        &q,
+        &db,
+        &Cluster::new(2),
+        ShuffleAlg::Regular,
+        JoinAlg::Hash,
+        &PlanOptions::default(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, EngineError::Resolve(_)));
+}

@@ -1,0 +1,82 @@
+//! The heavy-hitter-resilient regular shuffle (paper footnote 2) must
+//! preserve results while flattening the intermediate-result skew.
+
+use parjoin::prelude::*;
+
+fn rows(r: &RunResult) -> Vec<Vec<u64>> {
+    let mut rows: Vec<Vec<u64>> =
+        r.output.as_ref().unwrap().rows().map(|x| x.to_vec()).collect();
+    rows.sort();
+    rows
+}
+
+#[test]
+fn same_results_with_and_without_skew_handling() {
+    let spec = parjoin::datagen::workloads::q1();
+    let db = Scale::tiny().twitter_db(4);
+    let cluster = Cluster::new(8).with_seed(2);
+    let base = run_config(
+        &spec.query, &db, &cluster, ShuffleAlg::Regular, JoinAlg::Hash,
+        &PlanOptions { collect_output: true, ..Default::default() },
+    )
+    .unwrap();
+    let resilient = run_config(
+        &spec.query, &db, &cluster, ShuffleAlg::Regular, JoinAlg::Hash,
+        &PlanOptions { collect_output: true, skew_resilient: true, ..Default::default() },
+    )
+    .unwrap();
+    assert_eq!(rows(&base), rows(&resilient));
+}
+
+#[test]
+fn skew_handling_flattens_hot_keys() {
+    // The celebrity-laden graph gives the Q1 intermediate a heavy
+    // producer skew under plain hashing; the resilient shuffle must cut
+    // the *max received* load of the first join's inputs.
+    let spec = parjoin::datagen::workloads::q1();
+    let db = Scale::small().twitter_db(42);
+    let cluster = Cluster::new(64).with_seed(42);
+    let base = run_config(
+        &spec.query, &db, &cluster, ShuffleAlg::Regular, JoinAlg::Hash,
+        &PlanOptions::default(),
+    )
+    .unwrap();
+    let resilient = run_config(
+        &spec.query, &db, &cluster, ShuffleAlg::Regular, JoinAlg::Hash,
+        &PlanOptions { skew_resilient: true, ..Default::default() },
+    )
+    .unwrap();
+    assert_eq!(base.output_tuples, resilient.output_tuples);
+
+    // The intermediate shuffle (index 2) is the skewed one in Q1.
+    let base_peak = *base.shuffles[2].per_producer.iter().max().unwrap();
+    let res_peak = *resilient.shuffles[2].per_producer.iter().max().unwrap();
+    assert!(
+        (res_peak as f64) < 0.6 * base_peak as f64,
+        "hot-key spreading must cut the peak producer: {res_peak} vs {base_peak}"
+    );
+    // And the straggler improves end to end.
+    assert!(
+        resilient.wall < base.wall,
+        "wall {:?} should beat {:?}",
+        resilient.wall,
+        base.wall
+    );
+}
+
+#[test]
+fn all_queries_agree_under_skew_handling() {
+    let scale = Scale { twitter_nodes: 300, twitter_m: 3, freebase_performances: 250 };
+    for spec in all_queries() {
+        let db = scale.db_for(spec.dataset, 7);
+        let cluster = Cluster::new(4).with_seed(7);
+        let opts = |sr| PlanOptions { collect_output: true, skew_resilient: sr, ..Default::default() };
+        for j in [JoinAlg::Hash, JoinAlg::Tributary] {
+            let a = run_config(&spec.query, &db, &cluster, ShuffleAlg::Regular, j, &opts(false))
+                .unwrap();
+            let b = run_config(&spec.query, &db, &cluster, ShuffleAlg::Regular, j, &opts(true))
+                .unwrap();
+            assert_eq!(rows(&a), rows(&b), "{} {:?}", spec.name, j);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Results must be independent of cluster size and hash seeds.
+
+use parjoin::prelude::*;
+
+fn triangles(workers: usize, seed: u64, s: ShuffleAlg, j: JoinAlg) -> Vec<Vec<u64>> {
+    let spec = parjoin::datagen::workloads::q1();
+    let db = Scale::tiny().twitter_db(5);
+    let cluster = Cluster::new(workers).with_seed(seed);
+    let opts = PlanOptions { collect_output: true, ..Default::default() };
+    let r = run_config(&spec.query, &db, &cluster, s, j, &opts).unwrap();
+    let mut rows: Vec<Vec<u64>> = r.output.unwrap().rows().map(|x| x.to_vec()).collect();
+    rows.sort();
+    rows
+}
+
+#[test]
+fn invariant_across_worker_counts() {
+    let reference = triangles(1, 0, ShuffleAlg::HyperCube, JoinAlg::Tributary);
+    assert!(!reference.is_empty());
+    for workers in [2, 3, 5, 8, 16, 64] {
+        for (s, j) in [
+            (ShuffleAlg::Regular, JoinAlg::Hash),
+            (ShuffleAlg::Broadcast, JoinAlg::Tributary),
+            (ShuffleAlg::HyperCube, JoinAlg::Tributary),
+            (ShuffleAlg::HyperCube, JoinAlg::Hash),
+        ] {
+            assert_eq!(
+                triangles(workers, 0, s, j),
+                reference,
+                "{workers} workers, {s:?}/{j:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn invariant_across_seeds() {
+    let reference = triangles(4, 0, ShuffleAlg::HyperCube, JoinAlg::Tributary);
+    for seed in [1, 7, 99, 12345] {
+        assert_eq!(
+            triangles(4, seed, ShuffleAlg::HyperCube, JoinAlg::Tributary),
+            reference,
+            "seed {seed}"
+        );
+        assert_eq!(
+            triangles(4, seed, ShuffleAlg::Regular, JoinAlg::Hash),
+            reference,
+            "seed {seed} RS"
+        );
+    }
+}
+
+#[test]
+fn shuffle_counts_are_deterministic() {
+    let spec = parjoin::datagen::workloads::q1();
+    let db = Scale::tiny().twitter_db(5);
+    let cluster = Cluster::new(8).with_seed(3);
+    let opts = PlanOptions::default();
+    let a = run_config(&spec.query, &db, &cluster, ShuffleAlg::HyperCube, JoinAlg::Tributary, &opts)
+        .unwrap();
+    let b = run_config(&spec.query, &db, &cluster, ShuffleAlg::HyperCube, JoinAlg::Tributary, &opts)
+        .unwrap();
+    assert_eq!(a.tuples_shuffled, b.tuples_shuffled);
+    assert_eq!(a.output_tuples, b.output_tuples);
+    for (x, y) in a.shuffles.iter().zip(&b.shuffles) {
+        assert_eq!(x.per_consumer, y.per_consumer);
+    }
+}
