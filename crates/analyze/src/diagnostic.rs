@@ -1,0 +1,226 @@
+//! Typed diagnostics emitted by the plan analyzer.
+//!
+//! Every check failure becomes a [`Diagnostic`] value instead of a
+//! panic: a stable machine-readable [`DiagCode`], a [`Severity`], a
+//! human-readable message, and key–value context (the offending
+//! variable, the dimension product, the estimated workload, …) that
+//! callers can log or surface verbatim.
+
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// The plan will run and produce correct results, but something is
+    /// off — wasted workers, a cartesian blow-up, a predicted memory
+    /// overrun.
+    Warning,
+    /// The plan is unexecutable or would produce wrong results; the
+    /// engine refuses to run it.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// Stable diagnostic codes, grouped by check family:
+///
+/// * `Q…` — query shape (well-formedness of the query itself),
+/// * `P…` — plan shape (join order, Tributary order),
+/// * `C…` — parallel-correctness of the shuffle policy,
+/// * `R…` — resource pre-flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiagCode {
+    /// The query fails its own structural validation (no atoms, var id
+    /// out of range, …).
+    QueryMalformed,
+    /// A head variable occurs in no body atom, so it can never be bound.
+    HeadVarUnbound,
+    /// A filter mentions a variable occurring in no body atom, so the
+    /// filter can never be applied.
+    FilterVarUnbound,
+    /// The query hypergraph is disconnected: every join order contains a
+    /// cartesian step.
+    QueryDisconnected,
+
+    /// `join_order` is not a permutation of the atom indices (wrong
+    /// length, duplicate, or out-of-range index).
+    JoinOrderNotPermutation,
+    /// A step of the join order shares no variable with the atoms
+    /// joined before it: the step degenerates to a cartesian product
+    /// (and, under a regular shuffle, an empty shuffle key that routes
+    /// every tuple to a single worker).
+    JoinOrderCartesianStep,
+    /// A plan filter would never become fully bound at any step of the
+    /// join order and would be silently dropped.
+    FilterNeverApplied,
+
+    /// `tj_order` omits a variable of some atom; the Tributary join
+    /// cannot sort that atom's columns into the global order.
+    TjOrderIncomplete,
+    /// `tj_order` lists the same variable twice.
+    TjOrderDuplicate,
+    /// `tj_order` lists a variable contained in no atom.
+    TjOrderUnknownVar,
+    /// A prefix of `tj_order` is disconnected from the next variable:
+    /// the trie join expands a cross product at that depth.
+    TjOrderDisconnectedPrefix,
+
+    /// The HyperCube configuration has more cells than workers
+    /// (`∏ dᵢ > p`): cells beyond the worker count cannot be placed.
+    HcConfigOversized,
+    /// The HyperCube configuration contains a zero dimension.
+    HcConfigZeroDim,
+    /// The HyperCube configuration assigns a dimension to a variable no
+    /// atom contains. Every atom replicates across that dimension, so
+    /// every join result materializes once *per coordinate* — duplicated
+    /// output under the engine's bag semantics.
+    HcConfigUnknownVar,
+    /// A join variable received no HyperCube dimension; atoms
+    /// containing it replicate instead of hash-partitioning.
+    HcConfigMissingJoinVar,
+    /// The configuration leaves most of the cluster idle
+    /// (`∏ dᵢ` ≪ workers).
+    HcConfigUnderutilized,
+    /// The broadcast plan ships more tuples than it keeps partitioned;
+    /// partitioned plans would move less data.
+    BroadcastDominated,
+
+    /// The predicted per-worker workload exceeds the cluster memory
+    /// budget; the run is likely to abort with a mid-flight
+    /// `MemoryBudget` failure.
+    MemoryPreflight,
+}
+
+impl DiagCode {
+    /// The stable short code (e.g. `C301`) used in reports.
+    pub fn code(self) -> &'static str {
+        match self {
+            DiagCode::QueryMalformed => "Q100",
+            DiagCode::HeadVarUnbound => "Q101",
+            DiagCode::FilterVarUnbound => "Q102",
+            DiagCode::QueryDisconnected => "Q103",
+            DiagCode::JoinOrderNotPermutation => "P200",
+            DiagCode::JoinOrderCartesianStep => "P201",
+            DiagCode::FilterNeverApplied => "P202",
+            DiagCode::TjOrderIncomplete => "P210",
+            DiagCode::TjOrderDuplicate => "P211",
+            DiagCode::TjOrderUnknownVar => "P212",
+            DiagCode::TjOrderDisconnectedPrefix => "P213",
+            DiagCode::HcConfigOversized => "C300",
+            DiagCode::HcConfigZeroDim => "C301",
+            DiagCode::HcConfigUnknownVar => "C302",
+            DiagCode::HcConfigMissingJoinVar => "C303",
+            DiagCode::HcConfigUnderutilized => "C304",
+            DiagCode::BroadcastDominated => "C305",
+            DiagCode::MemoryPreflight => "R400",
+        }
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One analyzer finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Machine-readable code.
+    pub code: DiagCode,
+    /// Error (refuse to run) or warning (run, but surface it).
+    pub severity: Severity,
+    /// Human-readable one-line description.
+    pub message: String,
+    /// Key–value context: the offending variable, the computed bound,
+    /// the budget, … Order is the order of insertion.
+    pub context: Vec<(String, String)>,
+}
+
+impl Diagnostic {
+    /// A new error diagnostic.
+    pub fn error(code: DiagCode, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            message: message.into(),
+            context: Vec::new(),
+        }
+    }
+
+    /// A new warning diagnostic.
+    pub fn warning(code: DiagCode, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Warning,
+            message: message.into(),
+            context: Vec::new(),
+        }
+    }
+
+    /// Attaches one key–value context entry (builder style).
+    #[must_use]
+    pub fn with(mut self, key: impl Into<String>, value: impl fmt::Display) -> Self {
+        self.context.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// Looks up a context value by key.
+    pub fn context_value(&self, key: &str) -> Option<&str> {
+        self.context
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code, self.message)?;
+        for (k, v) in &self.context {
+            write!(f, " {k}={v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// True if any diagnostic is an [`Severity::Error`].
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_code_and_context() {
+        let d = Diagnostic::error(DiagCode::HcConfigOversized, "too many cells")
+            .with("cells", 128)
+            .with("workers", 64);
+        let s = format!("{d}");
+        assert!(s.contains("C300"), "got {s}");
+        assert!(s.contains("cells=128"), "got {s}");
+        assert_eq!(d.context_value("workers"), Some("64"));
+    }
+
+    #[test]
+    fn severity_orders_error_above_warning() {
+        assert!(Severity::Error > Severity::Warning);
+    }
+
+    #[test]
+    fn has_errors_detects() {
+        let w = Diagnostic::warning(DiagCode::MemoryPreflight, "tight");
+        assert!(!has_errors(std::slice::from_ref(&w)));
+        let e = Diagnostic::error(DiagCode::QueryMalformed, "bad");
+        assert!(has_errors(&[w, e]));
+    }
+}

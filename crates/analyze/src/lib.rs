@@ -1,0 +1,141 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! Pre-flight static analysis of parjoin plans.
+//!
+//! Given the same information the engine's `run_config` receives — a
+//! [`ConjunctiveQuery`](parjoin_query::ConjunctiveQuery), the cluster
+//! shape, the shuffle and join algorithm, and any explicit plan options
+//! — [`analyze`] vets the plan *before* a single tuple moves and
+//! returns typed [`Diagnostic`]s instead of letting the executor panic
+//! mid-flight:
+//!
+//! * **Parallel-correctness** ([`checks::check_shuffle`]): the
+//!   HyperCube shuffle is parallel-correct (in the sense of Ameloot et
+//!   al.: the distribution policy co-locates every potential join
+//!   result) for *any* configuration over the query's variables,
+//!   because atoms replicate across dimensions they do not contain.
+//!   The analyzer rejects the two cases that break this: more cells
+//!   than workers (unexecutable) and dimensions on variables no atom
+//!   contains (every join result is emitted once per coordinate —
+//!   duplicated output under bag semantics). It warns about
+//!   configurations that are correct but wasteful (join variables left
+//!   undimensioned, most of the cluster idle) and about broadcast plans
+//!   that ship more data than they keep partitioned.
+//! * **Well-formedness** ([`checks::check_query`],
+//!   [`checks::check_join_order`], [`checks::check_tj_order`]): the
+//!   join order must be a permutation of the atom indices, the
+//!   Tributary variable order must cover every variable of every atom,
+//!   filters must become bindable somewhere in the plan, head
+//!   variables must appear in some atom, and disconnected prefixes
+//!   (which force cartesian expansion) are flagged.
+//! * **Resource pre-flight** ([`checks::check_resources`]): a
+//!   shuffle-specific per-worker load estimate is compared against the
+//!   cluster memory budget, turning a guaranteed mid-flight
+//!   `MemoryBudget` abort into an upfront warning.
+//!
+//! Errors mean "the engine must refuse to run this"; warnings ride
+//! along with the result. The engine converts its plan types into a
+//! [`PlanSpec`] and calls [`analyze`] at the top of `run_config`.
+
+pub mod checks;
+pub mod diagnostic;
+pub mod spec;
+
+pub use diagnostic::{has_errors, DiagCode, Diagnostic, Severity};
+pub use spec::{JoinKind, PlanSpec, ShuffleKind};
+
+/// Runs every analysis pass over the plan and returns the combined
+/// findings (errors and warnings, in pass order).
+pub fn analyze(spec: &PlanSpec<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    checks::check_query(spec, &mut out);
+    checks::check_join_order(spec, &mut out);
+    checks::check_tj_order(spec, &mut out);
+    checks::check_shuffle(spec, &mut out);
+    checks::check_resources(spec, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parjoin_core::hypercube::HcConfig;
+    use parjoin_query::{ConjunctiveQuery, QueryBuilder, VarId};
+
+    fn triangle() -> ConjunctiveQuery {
+        let mut b = QueryBuilder::new("Triangle");
+        let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
+        b.atom("R", [x, y]).atom("S", [y, z]).atom("T", [z, x]);
+        b.build()
+    }
+
+    #[test]
+    fn clean_plan_yields_no_diagnostics() {
+        let q = triangle();
+        let spec = PlanSpec::new(&q, 8, ShuffleKind::HyperCube, JoinKind::Hash)
+            .with_cards(vec![100, 100, 100])
+            .with_hc_config(HcConfig::new(
+                vec![VarId(0), VarId(1), VarId(2)],
+                vec![2, 2, 2],
+            ));
+        assert_eq!(analyze(&spec), Vec::new());
+    }
+
+    #[test]
+    fn oversized_hc_config_is_an_error() {
+        let q = triangle();
+        let spec = PlanSpec::new(&q, 4, ShuffleKind::HyperCube, JoinKind::Hash).with_hc_config(
+            HcConfig::new(vec![VarId(0), VarId(1), VarId(2)], vec![2, 2, 2]),
+        );
+        let diags = analyze(&spec);
+        assert!(has_errors(&diags));
+        assert!(diags.iter().any(|d| d.code == DiagCode::HcConfigOversized));
+    }
+
+    #[test]
+    fn join_order_duplicate_is_an_error() {
+        let q = triangle();
+        let spec = PlanSpec::new(&q, 4, ShuffleKind::Regular, JoinKind::Hash)
+            .with_join_order(vec![0, 0, 1]);
+        let diags = analyze(&spec);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == DiagCode::JoinOrderNotPermutation));
+    }
+
+    #[test]
+    fn partial_tj_order_is_an_error() {
+        let q = triangle();
+        let spec = PlanSpec::new(&q, 4, ShuffleKind::HyperCube, JoinKind::Tributary)
+            .with_tj_order(vec![VarId(0), VarId(1)]); // omits z
+        let diags = analyze(&spec);
+        assert!(diags.iter().any(|d| d.code == DiagCode::TjOrderIncomplete));
+    }
+
+    #[test]
+    fn disconnected_query_warns() {
+        let mut b = QueryBuilder::new("Cross");
+        let (x, y, u, v) = (b.var("x"), b.var("y"), b.var("u"), b.var("v"));
+        b.atom("R", [x, y]).atom("S", [u, v]);
+        let q = b.build();
+        let spec = PlanSpec::new(&q, 4, ShuffleKind::Regular, JoinKind::Hash);
+        let diags = analyze(&spec);
+        assert!(
+            !has_errors(&diags),
+            "disconnection is a warning, got {diags:?}"
+        );
+        assert!(diags.iter().any(|d| d.code == DiagCode::QueryDisconnected));
+    }
+
+    #[test]
+    fn memory_preflight_warns() {
+        let q = triangle();
+        let spec = PlanSpec::new(&q, 2, ShuffleKind::Broadcast, JoinKind::Hash)
+            .with_cards(vec![1_000, 1_000, 1_000])
+            .with_memory_budget(10);
+        let diags = analyze(&spec);
+        assert!(!has_errors(&diags));
+        assert!(diags.iter().any(|d| d.code == DiagCode::MemoryPreflight));
+    }
+}

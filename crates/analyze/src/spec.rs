@@ -1,0 +1,134 @@
+//! The analyzer's view of a plan.
+//!
+//! [`PlanSpec`] mirrors the tuple the engine's `run_config` receives —
+//! query, cluster shape, shuffle/join algorithm, and plan options —
+//! without depending on the engine crate (the engine depends on this
+//! crate, not the other way around). The engine converts its own types
+//! into a `PlanSpec` before execution; tests and tools can build one
+//! directly.
+
+use parjoin_core::hypercube::HcConfig;
+use parjoin_query::{ConjunctiveQuery, VarId};
+
+/// Which shuffle algorithm the plan uses (mirror of the engine's
+/// `ShuffleAlg`, kept separate to avoid a dependency cycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShuffleKind {
+    /// Hash-partition both sides of every binary join on the shared key.
+    Regular,
+    /// Keep one fragment partitioned, broadcast all others everywhere.
+    Broadcast,
+    /// Single-round HyperCube (Shares) shuffle.
+    HyperCube,
+}
+
+/// Which local join algorithm the plan uses (mirror of the engine's
+/// `JoinAlg`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// Pairwise hash join.
+    Hash,
+    /// Tributary join (worst-case-optimal leapfrog over sorted arrays).
+    Tributary,
+}
+
+/// Everything the analyzer needs to vet a plan before the engine runs
+/// it.
+#[derive(Debug, Clone)]
+pub struct PlanSpec<'a> {
+    /// The conjunctive query being evaluated.
+    pub query: &'a ConjunctiveQuery,
+    /// Per-atom input cardinalities, parallel to `query.atoms`
+    /// (estimated or exact; used for resource pre-flight and
+    /// broadcast-cost checks). Empty when unknown.
+    pub cards: Vec<u64>,
+    /// Number of workers in the cluster.
+    pub workers: usize,
+    /// Optional per-worker memory budget in tuples.
+    pub memory_budget: Option<u64>,
+    /// Shuffle algorithm.
+    pub shuffle: ShuffleKind,
+    /// Local join algorithm.
+    pub join: JoinKind,
+    /// Explicit multiway join order over atom indices, if the caller
+    /// fixed one (for `Regular` shuffles and for local join orders).
+    pub join_order: Option<Vec<usize>>,
+    /// Explicit HyperCube configuration, if the caller fixed one.
+    pub hc_config: Option<HcConfig>,
+    /// Explicit global variable order for the Tributary join, if fixed.
+    pub tj_order: Option<Vec<VarId>>,
+}
+
+impl<'a> PlanSpec<'a> {
+    /// A spec with no explicit plan options — the engine would pick
+    /// default orders and an optimized HyperCube configuration.
+    pub fn new(
+        query: &'a ConjunctiveQuery,
+        workers: usize,
+        shuffle: ShuffleKind,
+        join: JoinKind,
+    ) -> Self {
+        PlanSpec {
+            query,
+            cards: Vec::new(),
+            workers,
+            memory_budget: None,
+            shuffle,
+            join,
+            join_order: None,
+            hc_config: None,
+            tj_order: None,
+        }
+    }
+
+    /// Sets per-atom cardinalities (builder style).
+    #[must_use]
+    pub fn with_cards(mut self, cards: Vec<u64>) -> Self {
+        self.cards = cards;
+        self
+    }
+
+    /// Sets the per-worker memory budget (builder style).
+    #[must_use]
+    pub fn with_memory_budget(mut self, budget: u64) -> Self {
+        self.memory_budget = Some(budget);
+        self
+    }
+
+    /// Sets an explicit join order (builder style).
+    #[must_use]
+    pub fn with_join_order(mut self, order: Vec<usize>) -> Self {
+        self.join_order = Some(order);
+        self
+    }
+
+    /// Sets an explicit HyperCube configuration (builder style).
+    #[must_use]
+    pub fn with_hc_config(mut self, config: HcConfig) -> Self {
+        self.hc_config = Some(config);
+        self
+    }
+
+    /// Sets an explicit Tributary variable order (builder style).
+    #[must_use]
+    pub fn with_tj_order(mut self, order: Vec<VarId>) -> Self {
+        self.tj_order = Some(order);
+        self
+    }
+
+    /// The variable sets of each atom, in atom order (distinct, first
+    /// occurrence first — the same view the engine uses).
+    pub(crate) fn atom_vars(&self) -> Vec<Vec<VarId>> {
+        self.query.atoms.iter().map(|a| a.vars()).collect()
+    }
+
+    /// Human-readable name for a variable, falling back to `#id`.
+    pub(crate) fn var_name(&self, v: VarId) -> String {
+        self.query
+            .var_names
+            .get(v.index())
+            .filter(|n| !n.is_empty())
+            .cloned()
+            .unwrap_or_else(|| format!("#{}", v.0))
+    }
+}

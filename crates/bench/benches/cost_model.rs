@@ -15,7 +15,7 @@ fn bench_stats(c: &mut Criterion) {
     for &nodes in &[2_000u64, 10_000] {
         let g = graph::twitter_graph(nodes, 5, 9);
         group.bench_with_input(BenchmarkId::new("atom_stats", g.len()), &g, |b, g| {
-            b.iter(|| AtomStats::compute(g))
+            b.iter(|| AtomStats::compute(g));
         });
     }
 
@@ -27,7 +27,7 @@ fn bench_stats(c: &mut Criterion) {
     let model = OrderCostModel::from_atoms(&atoms);
     let vars: Vec<VarId> = (0..8).map(v).collect();
     group.bench_function("enumerate_8var_orders", |b| {
-        b.iter(|| best_order(&model, &vars))
+        b.iter(|| best_order(&model, &vars));
     });
     group.finish();
 }

@@ -23,13 +23,13 @@ fn bench_algorithms(c: &mut Criterion) {
     let mut group = c.benchmark_group("hypercube_config");
     for (name, p) in problems() {
         group.bench_with_input(BenchmarkId::new("algorithm1_n64", name), &p, |b, p| {
-            b.iter(|| p.optimize(64))
+            b.iter(|| p.optimize(64));
         });
         group.bench_with_input(BenchmarkId::new("lp_fractional_n64", name), &p, |b, p| {
-            b.iter(|| p.fractional(64))
+            b.iter(|| p.fractional(64));
         });
         group.bench_with_input(BenchmarkId::new("round_down_n64", name), &p, |b, p| {
-            b.iter(|| p.round_down(64))
+            b.iter(|| p.round_down(64));
         });
     }
     group.finish();

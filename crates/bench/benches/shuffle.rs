@@ -19,15 +19,19 @@ fn bench_shuffles(c: &mut Criterion) {
     group.throughput(Throughput::Elements(g.len() as u64));
 
     group.bench_with_input(BenchmarkId::new("regular_h(y)", g.len()), &dist, |b, d| {
-        b.iter(|| shuffle::regular(d, &[v(1)], "bench", 1))
+        b.iter(|| shuffle::regular(d, &[v(1)], "bench", 1));
     });
     group.bench_with_input(BenchmarkId::new("broadcast", g.len()), &dist, |b, d| {
-        b.iter(|| shuffle::broadcast(d, "bench"))
+        b.iter(|| shuffle::broadcast(d, "bench"));
     });
     let cfg = HcConfig::new(vec![v(0), v(1), v(2)], vec![4, 4, 4]);
-    group.bench_with_input(BenchmarkId::new("hypercube_4x4x4", g.len()), &dist, |b, d| {
-        b.iter(|| shuffle::hypercube(d, &cfg, "bench", 1))
-    });
+    group.bench_with_input(
+        BenchmarkId::new("hypercube_4x4x4", g.len()),
+        &dist,
+        |b, d| {
+            b.iter(|| shuffle::hypercube(d, &cfg, "bench", 1));
+        },
+    );
     group.finish();
 }
 

@@ -17,7 +17,7 @@ fn bench_sort(c: &mut Criterion) {
                 let mut r = g.clone();
                 r.sort_lex();
                 r.len()
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("prepare_permuted", g.len()), &g, |b, g| {
             // Permutation (y, x): forces the column shuffle path.
@@ -25,7 +25,7 @@ fn bench_sort(c: &mut Criterion) {
                 SortedAtom::prepare(g, &[VarId(1), VarId(0)], &[VarId(0), VarId(1)])
                     .relation()
                     .len()
-            })
+            });
         });
     }
     group.finish();

@@ -34,12 +34,14 @@ fn bench_triangle(c: &mut Criterion) {
                         .map(|(_, vs)| SortedAtom::prepare(g, vs, &order))
                         .collect();
                     Tributary::new(&prepared, &order, &[], 3).count()
-                })
+                });
             },
         );
 
-        let prepared: Vec<SortedAtom> =
-            atoms_spec.iter().map(|(_, vs)| SortedAtom::prepare(&g, vs, &order)).collect();
+        let prepared: Vec<SortedAtom> = atoms_spec
+            .iter()
+            .map(|(_, vs)| SortedAtom::prepare(&g, vs, &order))
+            .collect();
         group.bench_with_input(
             BenchmarkId::new("tributary_presorted", g.len()),
             &prepared,
@@ -57,19 +59,28 @@ fn bench_triangle(c: &mut Criterion) {
                         .map(|(_, vs)| BTreeAtom::prepare(g, vs, &order))
                         .collect();
                     Tributary::new(&prepared, &order, &[], 3).count()
-                })
+                });
             },
         );
 
         group.bench_with_input(BenchmarkId::new("hash_join_tree", g.len()), &g, |b, g| {
             use parjoin_engine::local::{hash_join, SchemaRel};
             b.iter(|| {
-                let r = SchemaRel { vars: vec![v(0), v(1)], rel: g.clone() };
-                let s = SchemaRel { vars: vec![v(1), v(2)], rel: g.clone() };
-                let t = SchemaRel { vars: vec![v(2), v(0)], rel: g.clone() };
+                let r = SchemaRel {
+                    vars: vec![v(0), v(1)],
+                    rel: g.clone(),
+                };
+                let s = SchemaRel {
+                    vars: vec![v(1), v(2)],
+                    rel: g.clone(),
+                };
+                let t = SchemaRel {
+                    vars: vec![v(2), v(0)],
+                    rel: g.clone(),
+                };
                 let rs = hash_join(&r, &s, 1);
                 hash_join(&rs, &t, 1).rel.len()
-            })
+            });
         });
     }
     group.finish();

@@ -34,7 +34,10 @@ fn figure(
 fn main() {
     let settings = parjoin_bench::Settings::from_args();
     let json = json_dir();
-    println!("parjoin — full experiment suite (workers={}, seed={})", settings.workers, settings.seed);
+    println!(
+        "parjoin — full experiment suite (workers={}, seed={})",
+        settings.workers, settings.seed
+    );
 
     figure("Figure 3", &workloads::q1(), &settings, None, &json);
     skew::run(&settings);

@@ -23,8 +23,15 @@ fn run_hc_tj(
     workers: usize,
 ) -> RunResult {
     let cluster = Cluster::new(workers).with_seed(settings.seed);
-    run_config(&spec.query, db, &cluster, ShuffleAlg::HyperCube, JoinAlg::Tributary, opts)
-        .expect("HC_TJ runs")
+    run_config(
+        &spec.query,
+        db,
+        &cluster,
+        ShuffleAlg::HyperCube,
+        JoinAlg::Tributary,
+        opts,
+    )
+    .expect("HC_TJ runs")
 }
 
 /// Ablation 1: Algorithm 1 vs round-down shares, end to end. Uses N = 63
@@ -33,7 +40,10 @@ pub fn share_optimizer(settings: &Settings) {
     println!("\n=== Ablation: Algorithm 1 vs round-down shares (end-to-end HC_TJ) ===");
     let workers = 63;
     let mut rows = Vec::new();
-    for spec in [parjoin_datagen::workloads::q1(), parjoin_datagen::workloads::q2()] {
+    for spec in [
+        parjoin_datagen::workloads::q1(),
+        parjoin_datagen::workloads::q2(),
+    ] {
         let db = settings.scale.db_for(spec.dataset, settings.seed);
         let problem = share_problem(&spec, settings);
         let ours = run_hc_tj(&spec, &db, settings, &PlanOptions::default(), workers);
@@ -42,22 +52,38 @@ pub fn share_optimizer(settings: &Settings) {
             &spec,
             &db,
             settings,
-            &PlanOptions { hc_config: Some(naive_cfg.clone()), ..Default::default() },
+            &PlanOptions {
+                hc_config: Some(naive_cfg.clone()),
+                ..Default::default()
+            },
             workers,
         );
         rows.push(vec![
             spec.name.to_string(),
-            format!("{}", ours.hc_config.as_ref().unwrap()),
+            format!(
+                "{}",
+                ours.hc_config.as_ref().expect("HC run records its config")
+            ),
             format!("{:.4}s", ours.wall.as_secs_f64()),
             format!("{naive_cfg}"),
             format!("{:.4}s", naive.wall.as_secs_f64()),
-            format!("{:.2}x", naive.wall.as_secs_f64() / ours.wall.as_secs_f64().max(1e-12)),
+            format!(
+                "{:.2}x",
+                naive.wall.as_secs_f64() / ours.wall.as_secs_f64().max(1e-12)
+            ),
         ]);
         assert_eq!(ours.output_tuples, naive.output_tuples);
     }
     print_table(
         &format!("N = {workers} workers"),
-        &["query", "Alg.1 config", "wall", "round-down config", "wall", "slowdown"],
+        &[
+            "query",
+            "Alg.1 config",
+            "wall",
+            "round-down config",
+            "wall",
+            "slowdown",
+        ],
         &rows,
     );
 }
@@ -66,7 +92,10 @@ pub fn share_optimizer(settings: &Settings) {
 pub fn order_optimizer(settings: &Settings) {
     println!("\n=== Ablation: cost-model TJ order vs worst sampled order (end-to-end HC_TJ) ===");
     let mut rows = Vec::new();
-    for spec in [parjoin_datagen::workloads::q1(), parjoin_datagen::workloads::q8()] {
+    for spec in [
+        parjoin_datagen::workloads::q1(),
+        parjoin_datagen::workloads::q8(),
+    ] {
         // A pathological Q8 order can run minutes even split 64 ways;
         // shrink its catalog so the ablation stays interactive.
         let mut scale = settings.scale;
@@ -75,8 +104,10 @@ pub fn order_optimizer(settings: &Settings) {
         }
         let db = scale.db_for(spec.dataset, settings.seed);
         let (resolved, _) = resolve_atoms(&spec.query, &db).expect("resolves");
-        let model_atoms: Vec<(&parjoin_common::Relation, Vec<parjoin_query::VarId>)> =
-            resolved.iter().map(|a| (a.rel.as_ref(), a.vars.clone())).collect();
+        let model_atoms: Vec<(&parjoin_common::Relation, Vec<parjoin_query::VarId>)> = resolved
+            .iter()
+            .map(|a| (a.rel.as_ref(), a.vars.clone()))
+            .collect();
         let model = OrderCostModel::from_atoms(&model_atoms);
         let vars = spec.query.all_vars();
         let sampled = sample_orders(&vars, 20, settings.seed);
@@ -86,12 +117,21 @@ pub fn order_optimizer(settings: &Settings) {
             .expect("non-empty")
             .clone();
 
-        let good = run_hc_tj(&spec, &db, settings, &PlanOptions::default(), settings.workers);
+        let good = run_hc_tj(
+            &spec,
+            &db,
+            settings,
+            &PlanOptions::default(),
+            settings.workers,
+        );
         let bad = run_hc_tj(
             &spec,
             &db,
             settings,
-            &PlanOptions { tj_order: Some(worst), ..Default::default() },
+            &PlanOptions {
+                tj_order: Some(worst),
+                ..Default::default()
+            },
             settings.workers,
         );
         assert_eq!(good.output_tuples, bad.output_tuples);
@@ -99,12 +139,20 @@ pub fn order_optimizer(settings: &Settings) {
             spec.name.to_string(),
             format!("{:.4}s", good.wall.as_secs_f64()),
             format!("{:.4}s", bad.wall.as_secs_f64()),
-            format!("{:.1}x", bad.wall.as_secs_f64() / good.wall.as_secs_f64().max(1e-12)),
+            format!(
+                "{:.1}x",
+                bad.wall.as_secs_f64() / good.wall.as_secs_f64().max(1e-12)
+            ),
         ]);
     }
     print_table(
         "HC_TJ wall clock",
-        &["query", "cost-model order", "worst sampled order", "slowdown"],
+        &[
+            "query",
+            "cost-model order",
+            "worst sampled order",
+            "slowdown",
+        ],
         &rows,
     );
 }
@@ -117,17 +165,32 @@ pub fn skew_shuffle(settings: &Settings) {
     let db = settings.scale.twitter_db(settings.seed);
     let cluster = Cluster::new(settings.workers).with_seed(settings.seed);
     let base = run_config(
-        &spec.query, &db, &cluster, ShuffleAlg::Regular, JoinAlg::Hash,
+        &spec.query,
+        &db,
+        &cluster,
+        ShuffleAlg::Regular,
+        JoinAlg::Hash,
         &PlanOptions::default(),
     )
     .expect("RS_HJ");
     let resilient = run_config(
-        &spec.query, &db, &cluster, ShuffleAlg::Regular, JoinAlg::Hash,
-        &PlanOptions { skew_resilient: true, ..Default::default() },
+        &spec.query,
+        &db,
+        &cluster,
+        ShuffleAlg::Regular,
+        JoinAlg::Hash,
+        &PlanOptions {
+            skew_resilient: true,
+            ..Default::default()
+        },
     )
     .expect("RS_HJ + skew handling");
     let peak = |r: &RunResult| {
-        r.shuffles.iter().map(|s| *s.per_consumer.iter().max().unwrap_or(&0)).max().unwrap_or(0)
+        r.shuffles
+            .iter()
+            .map(|s| *s.per_consumer.iter().max().unwrap_or(&0))
+            .max()
+            .unwrap_or(0)
     };
     let rows = vec![
         vec![
@@ -145,7 +208,12 @@ pub fn skew_shuffle(settings: &Settings) {
     ];
     print_table(
         "RS_HJ with and without hot-key handling",
-        &["shuffle", "wall", "tuples shuffled", "max received by one worker"],
+        &[
+            "shuffle",
+            "wall",
+            "tuples shuffled",
+            "max received by one worker",
+        ],
         &rows,
     );
     println!(
@@ -167,6 +235,10 @@ mod tests {
 
     #[test]
     fn smoke() {
-        run(&Settings { scale: Scale::tiny(), workers: 8, seed: 1 });
+        run(&Settings {
+            scale: Scale::tiny(),
+            workers: 8,
+            seed: 1,
+        });
     }
 }

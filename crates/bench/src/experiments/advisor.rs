@@ -32,12 +32,30 @@ pub fn run(settings: &Settings) {
             .iter()
             .find(|(n, _)| {
                 let (s, j) = match *n {
-                    "RS_HJ" => (parjoin_engine::ShuffleAlg::Regular, parjoin_engine::JoinAlg::Hash),
-                    "RS_TJ" => (parjoin_engine::ShuffleAlg::Regular, parjoin_engine::JoinAlg::Tributary),
-                    "BR_HJ" => (parjoin_engine::ShuffleAlg::Broadcast, parjoin_engine::JoinAlg::Hash),
-                    "BR_TJ" => (parjoin_engine::ShuffleAlg::Broadcast, parjoin_engine::JoinAlg::Tributary),
-                    "HC_HJ" => (parjoin_engine::ShuffleAlg::HyperCube, parjoin_engine::JoinAlg::Hash),
-                    _ => (parjoin_engine::ShuffleAlg::HyperCube, parjoin_engine::JoinAlg::Tributary),
+                    "RS_HJ" => (
+                        parjoin_engine::ShuffleAlg::Regular,
+                        parjoin_engine::JoinAlg::Hash,
+                    ),
+                    "RS_TJ" => (
+                        parjoin_engine::ShuffleAlg::Regular,
+                        parjoin_engine::JoinAlg::Tributary,
+                    ),
+                    "BR_HJ" => (
+                        parjoin_engine::ShuffleAlg::Broadcast,
+                        parjoin_engine::JoinAlg::Hash,
+                    ),
+                    "BR_TJ" => (
+                        parjoin_engine::ShuffleAlg::Broadcast,
+                        parjoin_engine::JoinAlg::Tributary,
+                    ),
+                    "HC_HJ" => (
+                        parjoin_engine::ShuffleAlg::HyperCube,
+                        parjoin_engine::JoinAlg::Hash,
+                    ),
+                    _ => (
+                        parjoin_engine::ShuffleAlg::HyperCube,
+                        parjoin_engine::JoinAlg::Tributary,
+                    ),
                 };
                 s == advice.shuffle && j == advice.join
             })
@@ -60,7 +78,14 @@ pub fn run(settings: &Settings) {
     }
     print_table(
         "advisor pick vs measured optimum",
-        &["query", "advisor", "wall", "measured best", "wall", "pick/best"],
+        &[
+            "query",
+            "advisor",
+            "wall",
+            "measured best",
+            "wall",
+            "pick/best",
+        ],
         &rows,
     );
     println!(
@@ -77,6 +102,10 @@ mod tests {
 
     #[test]
     fn smoke() {
-        run(&Settings { scale: Scale::tiny(), workers: 8, seed: 1 });
+        run(&Settings {
+            scale: Scale::tiny(),
+            workers: 8,
+            seed: 1,
+        });
     }
 }

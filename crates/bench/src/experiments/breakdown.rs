@@ -56,6 +56,10 @@ mod tests {
 
     #[test]
     fn smoke_at_tiny_scale() {
-        run(&Settings { scale: Scale::tiny(), workers: 4, seed: 1 });
+        run(&Settings {
+            scale: Scale::tiny(),
+            workers: 4,
+            seed: 1,
+        });
     }
 }

@@ -50,7 +50,13 @@ pub fn run(settings: &Settings) {
         }
         print_table(
             &format!("N = {n}"),
-            &["query", "Our Alg.", "Round Down", "Random(4096 cells)", "our config"],
+            &[
+                "query",
+                "Our Alg.",
+                "Round Down",
+                "Random(4096 cells)",
+                "our config",
+            ],
             &rows,
         );
     }
@@ -67,7 +73,11 @@ mod tests {
     use parjoin_datagen::Scale;
 
     fn tiny_settings() -> Settings {
-        Settings { scale: Scale::tiny(), workers: 64, seed: 1 }
+        Settings {
+            scale: Scale::tiny(),
+            workers: 64,
+            seed: 1,
+        }
     }
 
     #[test]
@@ -112,14 +122,20 @@ mod adaptive_tests {
     /// star-join relations, share 1 on the tiny selection's variable.
     #[test]
     fn q7_hypercube_detects_broadcast_shape() {
-        let settings = Settings { scale: Scale::small(), workers: 64, seed: 42 };
+        let settings = Settings {
+            scale: Scale::small(),
+            workers: 64,
+            seed: 42,
+        };
         let spec = parjoin_datagen::workloads::q7();
         let p = share_problem(&spec, &settings);
         let cfg = p.optimize(64);
         // Variables: aw, h, a, y. The tiny ObjectName selection binds aw;
         // the three Honor* relations all contain h. The optimizer must
         // put (almost) the whole budget on h.
-        let h_dim = cfg.dim_of(parjoin_query::VarId(1)).expect("h has a dimension");
+        let h_dim = cfg
+            .dim_of(parjoin_query::VarId(1))
+            .expect("h has a dimension");
         assert!(
             cfg.dims()[h_dim] >= 32,
             "expected h to take nearly all shares, got {cfg}"

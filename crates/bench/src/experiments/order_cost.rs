@@ -34,8 +34,10 @@ pub fn timed_tj(
     order: &[VarId],
     cap: Duration,
 ) -> (f64, bool) {
-    let prepared: Vec<SortedAtom> =
-        atoms.iter().map(|(r, vs)| SortedAtom::prepare(r, vs, order)).collect();
+    let prepared: Vec<SortedAtom> = atoms
+        .iter()
+        .map(|(r, vs)| SortedAtom::prepare(r, vs, order))
+        .collect();
     let tj = Tributary::new(&prepared, order, &[], num_vars);
     let t0 = Instant::now();
     let (_, completed) = tj.run_guarded(|_| true, || t0.elapsed() < cap);
@@ -103,7 +105,11 @@ pub fn run(settings: &Settings) {
         for o in &orders {
             let est = model.cost(o);
             let (secs, censored) = timed_tj(&atoms, num_vars, o, cap);
-            points.push(CostPoint { est, secs, censored });
+            points.push(CostPoint {
+                est,
+                secs,
+                censored,
+            });
         }
         let r = correlation(&points);
         let censored = points.iter().filter(|p| p.censored).count();
@@ -128,10 +134,17 @@ pub fn run(settings: &Settings) {
         let avg = points.iter().map(|p| p.secs).sum::<f64>() / points.len() as f64;
         let (best, _) = best_order(&model, &vars);
         let (best_secs, best_censored) = timed_tj(&atoms, num_vars, &best, cap);
-        assert!(!best_censored, "{}: the optimized order must finish", spec.name);
+        assert!(
+            !best_censored,
+            "{}: the optimized order must finish",
+            spec.name
+        );
         tab7.push(vec![
             spec.name.to_string(),
-            format!("{avg:.4}{}", if censored > 0 { " (≥, censored)" } else { "" }),
+            format!(
+                "{avg:.4}{}",
+                if censored > 0 { " (≥, censored)" } else { "" }
+            ),
             format!("{best_secs:.4}"),
             format!(
                 "{}{:.1}x",
@@ -158,15 +171,24 @@ mod tests {
     #[test]
     fn correlation_of_perfect_line_is_one() {
         let pts: Vec<CostPoint> = (1..10)
-            .map(|i| CostPoint { est: (i as f64) * 10.0, secs: i as f64, censored: false })
+            .map(|i| CostPoint {
+                est: (i as f64) * 10.0,
+                secs: i as f64,
+                censored: false,
+            })
             .collect();
         assert!((correlation(&pts) - 1.0).abs() < 1e-9);
     }
 
     #[test]
     fn correlation_handles_constant_series() {
-        let pts: Vec<CostPoint> =
-            (0..5).map(|_| CostPoint { est: 5.0, secs: 1.0, censored: false }).collect();
+        let pts: Vec<CostPoint> = (0..5)
+            .map(|_| CostPoint {
+                est: 5.0,
+                secs: 1.0,
+                censored: false,
+            })
+            .collect();
         assert_eq!(correlation(&pts), 1.0);
     }
 }

@@ -45,7 +45,13 @@ pub fn run(settings: &Settings) {
     }
     print_table(
         "row/column coverage per server (random allocation, 64 cells on 4 servers)",
-        &["server", "h(y) rows", "h(z) cols", "R replicated", "T replicated"],
+        &[
+            "server",
+            "h(y) rows",
+            "h(z) cols",
+            "R replicated",
+            "T replicated",
+        ],
         &rows,
     );
 
@@ -72,6 +78,10 @@ mod tests {
 
     #[test]
     fn smoke() {
-        run(&Settings { scale: Scale::tiny(), workers: 4, seed: 1 });
+        run(&Settings {
+            scale: Scale::tiny(),
+            workers: 4,
+            seed: 1,
+        });
     }
 }

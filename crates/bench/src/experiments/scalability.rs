@@ -24,12 +24,20 @@ pub fn run(settings: &Settings) {
     for &w in &workers_axis {
         let cluster = Cluster::new(w).with_seed(settings.seed);
         let hc = run_config(
-            &spec.query, &db, &cluster, ShuffleAlg::HyperCube, JoinAlg::Tributary,
+            &spec.query,
+            &db,
+            &cluster,
+            ShuffleAlg::HyperCube,
+            JoinAlg::Tributary,
             &PlanOptions::default(),
         )
         .expect("HC_TJ");
         let rs = run_config(
-            &spec.query, &db, &cluster, ShuffleAlg::Regular, JoinAlg::Hash,
+            &spec.query,
+            &db,
+            &cluster,
+            ShuffleAlg::Regular,
+            JoinAlg::Hash,
             &PlanOptions::default(),
         )
         .expect("RS_HJ");
@@ -45,7 +53,10 @@ pub fn run(settings: &Settings) {
         rows_b.push(vec![
             w.to_string(),
             hc.tuples_shuffled.to_string(),
-            hc.hc_config.as_ref().map(|c| c.to_string()).unwrap_or_default(),
+            hc.hc_config
+                .as_ref()
+                .map(|c| c.to_string())
+                .unwrap_or_default(),
         ]);
         let workers_f = w as f64;
         let sort_per = hc.sort_cpu().as_secs_f64() / workers_f;
@@ -85,6 +96,10 @@ mod tests {
 
     #[test]
     fn smoke_at_tiny_scale() {
-        run(&Settings { scale: Scale::tiny(), workers: 64, seed: 1 });
+        run(&Settings {
+            scale: Scale::tiny(),
+            workers: 64,
+            seed: 1,
+        });
     }
 }

@@ -19,12 +19,27 @@ pub fn run(settings: &Settings) {
         .with_round_latency(round_latency);
     let opts = PlanOptions::default();
 
-    for spec in [parjoin_datagen::workloads::q3(), parjoin_datagen::workloads::q7()] {
+    for spec in [
+        parjoin_datagen::workloads::q3(),
+        parjoin_datagen::workloads::q7(),
+    ] {
         let db = settings.scale.db_for(spec.dataset, settings.seed);
-        let rs = run_config(&spec.query, &db, &cluster, ShuffleAlg::Regular, JoinAlg::Hash, &opts)
-            .expect("RS_HJ");
+        let rs = run_config(
+            &spec.query,
+            &db,
+            &cluster,
+            ShuffleAlg::Regular,
+            JoinAlg::Hash,
+            &opts,
+        )
+        .expect("RS_HJ");
         let hc = run_config(
-            &spec.query, &db, &cluster, ShuffleAlg::HyperCube, JoinAlg::Tributary, &opts,
+            &spec.query,
+            &db,
+            &cluster,
+            ShuffleAlg::HyperCube,
+            JoinAlg::Tributary,
+            &opts,
         )
         .expect("HC_TJ");
         let sj = run_semijoin_plan(&spec.query, &db, &cluster, &opts).expect("acyclic");
@@ -73,6 +88,10 @@ mod tests {
 
     #[test]
     fn smoke() {
-        run(&Settings { scale: Scale::tiny(), workers: 4, seed: 1 });
+        run(&Settings {
+            scale: Scale::tiny(),
+            workers: 4,
+            seed: 1,
+        });
     }
 }

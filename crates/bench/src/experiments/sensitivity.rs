@@ -17,12 +17,7 @@ use parjoin_datagen::graph;
 use parjoin_engine::{run_config, Cluster, JoinAlg, PlanOptions, ShuffleAlg};
 use std::time::Duration;
 
-fn wall(
-    db: &Database,
-    cluster: &Cluster,
-    s: ShuffleAlg,
-    j: JoinAlg,
-) -> f64 {
+fn wall(db: &Database, cluster: &Cluster, s: ShuffleAlg, j: JoinAlg) -> f64 {
     let spec = parjoin_datagen::workloads::q1();
     run_config(&spec.query, db, cluster, s, j, &PlanOptions::default())
         .expect("plan runs")
@@ -41,9 +36,18 @@ pub fn tuple_cost(settings: &Settings) {
             .with_shuffle_tuple_cost(Duration::from_nanos(ns));
         rows.push(vec![
             format!("{ns} ns"),
-            format!("{:.4}s", wall(&db, &cluster, ShuffleAlg::Regular, JoinAlg::Hash)),
-            format!("{:.4}s", wall(&db, &cluster, ShuffleAlg::Broadcast, JoinAlg::Hash)),
-            format!("{:.4}s", wall(&db, &cluster, ShuffleAlg::HyperCube, JoinAlg::Tributary)),
+            format!(
+                "{:.4}s",
+                wall(&db, &cluster, ShuffleAlg::Regular, JoinAlg::Hash)
+            ),
+            format!(
+                "{:.4}s",
+                wall(&db, &cluster, ShuffleAlg::Broadcast, JoinAlg::Hash)
+            ),
+            format!(
+                "{:.4}s",
+                wall(&db, &cluster, ShuffleAlg::HyperCube, JoinAlg::Tributary)
+            ),
         ]);
     }
     print_table(
@@ -103,14 +107,22 @@ mod tests {
 
     #[test]
     fn smoke() {
-        run(&Settings { scale: Scale::tiny(), workers: 8, seed: 1 });
+        run(&Settings {
+            scale: Scale::tiny(),
+            workers: 8,
+            seed: 1,
+        });
     }
 
     #[test]
     fn skew_widens_the_gap() {
         // With celebrities, RS/HC wall ratio must exceed the plain-PA
         // ratio at the same scale.
-        let settings = Settings { scale: Scale::small(), workers: 64, seed: 42 };
+        let settings = Settings {
+            scale: Scale::small(),
+            workers: 64,
+            seed: 42,
+        };
         let cluster = Cluster::new(settings.workers).with_seed(settings.seed);
         let with = settings.scale.twitter_db(settings.seed);
         let mut without = Database::new();

@@ -7,7 +7,9 @@ use crate::report::{print_bars, secs, Bar, Json};
 use crate::Settings;
 use parjoin_common::Database;
 use parjoin_datagen::{DatasetKind, QuerySpec, Scale};
-use parjoin_engine::{run_config, Cluster, EngineError, JoinAlg, PlanOptions, RunResult, ShuffleAlg};
+use parjoin_engine::{
+    run_config, Cluster, EngineError, JoinAlg, PlanOptions, RunResult, ShuffleAlg,
+};
 
 /// The six configurations in the paper's fixed order.
 pub fn configs() -> Vec<(&'static str, ShuffleAlg, JoinAlg)> {
@@ -30,7 +32,10 @@ pub fn run_six(
     configs()
         .into_iter()
         .map(|(name, s, j)| {
-            (name, run_config(&spec.query, db, cluster, s, j, &PlanOptions::default()))
+            (
+                name,
+                run_config(&spec.query, db, cluster, s, j, &PlanOptions::default()),
+            )
         })
         .collect()
 }
@@ -40,7 +45,10 @@ pub fn run_six(
 /// terminate on one machine. EXPERIMENTS.md records the scale per figure.
 pub fn scale_for(spec_name: &str, base: Scale) -> Scale {
     match spec_name {
-        "Q4" => Scale { freebase_performances: 2_500, ..base },
+        "Q4" => Scale {
+            freebase_performances: 2_500,
+            ..base
+        },
         "Q5" | "Q6" => Scale {
             twitter_nodes: base.twitter_nodes.min(2_000),
             twitter_m: base.twitter_m.min(4),
@@ -106,8 +114,16 @@ pub fn figure(
             })
             .collect()
     };
-    print_bars("(a) wall clock time", "s", &panel("wall", &|r| secs(r.wall)));
-    print_bars("(b) total CPU time", "s", &panel("cpu", &|r| secs(r.total_cpu)));
+    print_bars(
+        "(a) wall clock time",
+        "s",
+        &panel("wall", &|r| secs(r.wall)),
+    );
+    print_bars(
+        "(b) total CPU time",
+        "s",
+        &panel("cpu", &|r| secs(r.total_cpu)),
+    );
     print_bars(
         "(c) tuples shuffled",
         "tuples",
@@ -136,7 +152,10 @@ pub fn results_json(
                 Ok(r) => Json::Obj(vec![
                     ("wall_s".into(), Json::Num(r.wall.as_secs_f64())),
                     ("cpu_s".into(), Json::Num(r.total_cpu.as_secs_f64())),
-                    ("tuples_shuffled".into(), Json::Num(r.tuples_shuffled as f64)),
+                    (
+                        "tuples_shuffled".into(),
+                        Json::Num(r.tuples_shuffled as f64),
+                    ),
                     ("output_tuples".into(), Json::Num(r.output_tuples as f64)),
                     ("rounds".into(), Json::Num(r.rounds as f64)),
                     (
@@ -197,7 +216,10 @@ mod tests {
     #[test]
     fn six_config_list_matches_paper_order() {
         let names: Vec<&str> = configs().iter().map(|(n, _, _)| *n).collect();
-        assert_eq!(names, vec!["RS_HJ", "RS_TJ", "BR_HJ", "BR_TJ", "HC_HJ", "HC_TJ"]);
+        assert_eq!(
+            names,
+            vec!["RS_HJ", "RS_TJ", "BR_HJ", "BR_TJ", "HC_HJ", "HC_TJ"]
+        );
     }
 
     #[test]
@@ -215,8 +237,10 @@ mod tests {
         let db = Scale::tiny().twitter_db(1);
         let cluster = Cluster::new(4);
         let results = run_six(&spec, &db, &cluster);
-        let counts: Vec<u64> =
-            results.iter().map(|(_, r)| r.as_ref().unwrap().output_tuples).collect();
+        let counts: Vec<u64> = results
+            .iter()
+            .map(|(_, r)| r.as_ref().unwrap().output_tuples)
+            .collect();
         assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
     }
 }

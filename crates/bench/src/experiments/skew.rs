@@ -18,8 +18,17 @@ fn shuffle_table(title: &str, r: &RunResult) {
             ]
         })
         .collect();
-    rows.push(vec!["Total".into(), r.tuples_shuffled.to_string(), "N.A.".into(), "N.A.".into()]);
-    print_table(title, &["shuffle", "tuples sent", "producer skew", "consumer skew"], &rows);
+    rows.push(vec![
+        "Total".into(),
+        r.tuples_shuffled.to_string(),
+        "N.A.".into(),
+        "N.A.".into(),
+    ]);
+    print_table(
+        title,
+        &["shuffle", "tuples sent", "producer skew", "consumer skew"],
+        &rows,
+    );
 }
 
 /// Runs Q1 under RS/HCS/BR and prints the three load-balance tables.
@@ -32,16 +41,37 @@ pub fn run(settings: &Settings) {
     println!("\n=== Tables 2-4: Q1 shuffle load balance ===");
     println!("  Twitter edges: {}", db.expect("Twitter").len());
 
-    let rs = run_config(&spec.query, &db, &cluster, ShuffleAlg::Regular, JoinAlg::Hash, &opts)
-        .expect("RS");
+    let rs = run_config(
+        &spec.query,
+        &db,
+        &cluster,
+        ShuffleAlg::Regular,
+        JoinAlg::Hash,
+        &opts,
+    )
+    .expect("RS");
     shuffle_table("Table 2: regular shuffles", &rs);
 
-    let hc = run_config(&spec.query, &db, &cluster, ShuffleAlg::HyperCube, JoinAlg::Tributary, &opts)
-        .expect("HC");
+    let hc = run_config(
+        &spec.query,
+        &db,
+        &cluster,
+        ShuffleAlg::HyperCube,
+        JoinAlg::Tributary,
+        &opts,
+    )
+    .expect("HC");
     shuffle_table("Table 3: HyperCube shuffles", &hc);
 
-    let br = run_config(&spec.query, &db, &cluster, ShuffleAlg::Broadcast, JoinAlg::Hash, &opts)
-        .expect("BR");
+    let br = run_config(
+        &spec.query,
+        &db,
+        &cluster,
+        ShuffleAlg::Broadcast,
+        JoinAlg::Hash,
+        &opts,
+    )
+    .expect("BR");
     shuffle_table("Table 4: broadcast shuffles", &br);
 }
 
@@ -52,8 +82,11 @@ mod tests {
 
     #[test]
     fn smoke_at_tiny_scale() {
-        let settings =
-            Settings { scale: Scale::tiny(), workers: 8, seed: 1 };
+        let settings = Settings {
+            scale: Scale::tiny(),
+            workers: 8,
+            seed: 1,
+        };
         run(&settings);
     }
 }

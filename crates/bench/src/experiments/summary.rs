@@ -47,9 +47,7 @@ pub fn run(settings: &Settings) {
                 .fold(1.0f64, f64::max)
         });
         let ratio = match (rs, hc) {
-            (Some(a), Some(b)) => {
-                Some(a.wall.as_secs_f64() / b.wall.as_secs_f64().max(1e-12))
-            }
+            (Some(a), Some(b)) => Some(a.wall.as_secs_f64() / b.wall.as_secs_f64().max(1e-12)),
             _ => None,
         };
         let best = results
@@ -101,6 +99,10 @@ mod tests {
 
     #[test]
     fn smoke_at_tiny_scale() {
-        run(&Settings { scale: Scale::tiny(), workers: 4, seed: 1 });
+        run(&Settings {
+            scale: Scale::tiny(),
+            workers: 4,
+            seed: 1,
+        });
     }
 }

@@ -13,19 +13,35 @@ fn profile(name: &str, r: &RunResult) {
         .map(|d| d.as_secs_f64())
         .fold(0.0f64, f64::max)
         .max(1e-12);
-    println!("\n  ({name}) per-worker busy time, sorted; wall = {:?}", r.wall);
+    println!(
+        "\n  ({name}) per-worker busy time, sorted; wall = {:?}",
+        r.wall
+    );
     let mut busy: Vec<f64> = r.per_worker_busy.iter().map(|d| d.as_secs_f64()).collect();
     busy.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
     // Print the 8 busiest and 4 idlest workers (a 64-row dump is noise).
     for (i, b) in busy.iter().take(8).enumerate() {
-        println!("    worker #{:<2} {:>9.4}s |{}", i, b, "#".repeat(((b / max) * 40.0) as usize));
+        println!(
+            "    worker #{:<2} {:>9.4}s |{}",
+            i,
+            b,
+            "#".repeat(((b / max) * 40.0) as usize)
+        );
     }
     println!("    …");
     for (i, b) in busy.iter().enumerate().skip(busy.len().saturating_sub(4)) {
-        println!("    worker #{:<2} {:>9.4}s |{}", i, b, "#".repeat(((b / max) * 40.0) as usize));
+        println!(
+            "    worker #{:<2} {:>9.4}s |{}",
+            i,
+            b,
+            "#".repeat(((b / max) * 40.0) as usize)
+        );
     }
     let avg: f64 = busy.iter().sum::<f64>() / busy.len() as f64;
-    println!("    straggler factor (max/avg busy): {:.2}", max / avg.max(1e-12));
+    println!(
+        "    straggler factor (max/avg busy): {:.2}",
+        max / avg.max(1e-12)
+    );
 }
 
 /// Runs Q4 under HC_TJ and BR_TJ and prints utilization profiles.
@@ -36,12 +52,20 @@ pub fn run(settings: &Settings) {
     let cluster = Cluster::new(settings.workers).with_seed(settings.seed);
     println!("\n=== Figure 8: Q4 worker utilization (HC_TJ vs BR_TJ) ===");
     let hc = run_config(
-        &spec.query, &db, &cluster, ShuffleAlg::HyperCube, JoinAlg::Tributary,
+        &spec.query,
+        &db,
+        &cluster,
+        ShuffleAlg::HyperCube,
+        JoinAlg::Tributary,
         &PlanOptions::default(),
     )
     .expect("HC_TJ");
     let br = run_config(
-        &spec.query, &db, &cluster, ShuffleAlg::Broadcast, JoinAlg::Tributary,
+        &spec.query,
+        &db,
+        &cluster,
+        ShuffleAlg::Broadcast,
+        JoinAlg::Tributary,
         &PlanOptions::default(),
     )
     .expect("BR_TJ");
@@ -60,6 +84,10 @@ mod tests {
 
     #[test]
     fn smoke_at_tiny_scale() {
-        run(&Settings { scale: Scale::tiny(), workers: 4, seed: 1 });
+        run(&Settings {
+            scale: Scale::tiny(),
+            workers: 4,
+            seed: 1,
+        });
     }
 }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # parjoin-bench
@@ -32,7 +33,11 @@ pub struct Settings {
 
 impl Default for Settings {
     fn default() -> Self {
-        Settings { scale: Scale::small(), workers: 64, seed: 42 }
+        Settings {
+            scale: Scale::small(),
+            workers: 64,
+            seed: 42,
+        }
     }
 }
 
@@ -50,7 +55,7 @@ impl Settings {
             match args[i].as_str() {
                 "--scale" => {
                     s.scale = parse_scale(&args[i + 1])
-                        .unwrap_or_else(|| panic!("unknown scale `{}`", args[i + 1]));
+                        .unwrap_or_else(|| panic!("unknown scale `{}`", args[i + 1])); // xtask: allow(panic)
                     i += 2;
                 }
                 "--workers" => {

@@ -16,12 +16,21 @@ pub struct Bar {
 /// (the paper's subfigure (a)/(b)/(c) panels).
 pub fn print_bars(title: &str, unit: &str, bars: &[Bar]) {
     println!("\n  {title} [{unit}]");
-    let max = bars.iter().filter_map(|b| b.value).fold(0.0f64, f64::max).max(1e-12);
+    let max = bars
+        .iter()
+        .filter_map(|b| b.value)
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
     for b in bars {
         match b.value {
             Some(v) => {
                 let width = ((v / max) * 40.0).round() as usize;
-                println!("    {:<7} {:>12.4} |{}", b.label, v, "#".repeat(width.max(1)));
+                println!(
+                    "    {:<7} {:>12.4} |{}",
+                    b.label,
+                    v,
+                    "#".repeat(width.max(1))
+                );
             }
             None => println!("    {:<7} {:>12} |", b.label, "FAIL"),
         }
@@ -53,7 +62,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     };
     let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
     println!("    {}", fmt_row(&head));
-    println!("    {}", "-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+    println!(
+        "    {}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1))
+    );
     for row in rows {
         println!("    {}", fmt_row(row));
     }
@@ -89,7 +101,6 @@ impl std::fmt::Display for Json {
 }
 
 impl Json {
-
     fn write(&self, out: &mut String) {
         match self {
             Json::Num(n) => {
@@ -107,7 +118,7 @@ impl Json {
                         '\\' => out.push_str("\\\\"),
                         '\n' => out.push_str("\\n"),
                         c if (c as u32) < 0x20 => {
-                            out.push_str(&format!("\\u{:04x}", c as u32))
+                            out.push_str(&format!("\\u{:04x}", c as u32));
                         }
                         c => out.push(c),
                     }
@@ -148,10 +159,20 @@ mod tests {
     #[test]
     fn bars_handle_fail_and_zero() {
         // Smoke: must not panic on edge inputs.
-        print_bars("t", "s", &[
-            Bar { label: "A".into(), value: Some(0.0) },
-            Bar { label: "B".into(), value: None },
-        ]);
+        print_bars(
+            "t",
+            "s",
+            &[
+                Bar {
+                    label: "A".into(),
+                    value: Some(0.0),
+                },
+                Bar {
+                    label: "B".into(),
+                    value: None,
+                },
+            ],
+        );
     }
 
     #[test]

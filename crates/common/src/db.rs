@@ -35,6 +35,7 @@ impl Database {
     pub fn expect(&self, name: &str) -> &Relation {
         self.relations
             .get(name)
+            // xtask: allow(panic)
             .unwrap_or_else(|| panic!("relation `{name}` not found in database"))
     }
 

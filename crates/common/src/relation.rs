@@ -23,13 +23,19 @@ impl Relation {
     /// Panics if `arity == 0`; nullary relations are never needed here.
     pub fn new(arity: usize) -> Self {
         assert!(arity > 0, "relation arity must be positive");
-        Relation { arity, data: Vec::new() }
+        Relation {
+            arity,
+            data: Vec::new(),
+        }
     }
 
     /// Creates an empty relation with room for `rows` tuples.
     pub fn with_capacity(arity: usize, rows: usize) -> Self {
         assert!(arity > 0, "relation arity must be positive");
-        Relation { arity, data: Vec::with_capacity(rows * arity) }
+        Relation {
+            arity,
+            data: Vec::with_capacity(rows * arity),
+        }
     }
 
     /// Builds a relation from an iterator of rows.
@@ -154,7 +160,10 @@ impl Relation {
     /// # Panics
     /// Panics if any column index is out of range.
     pub fn project(&self, cols: &[usize]) -> Relation {
-        assert!(cols.iter().all(|&c| c < self.arity), "projection column out of range");
+        assert!(
+            cols.iter().all(|&c| c < self.arity),
+            "projection column out of range"
+        );
         let mut out = Relation::with_capacity(cols.len().max(1), self.len());
         if cols.is_empty() {
             return out;

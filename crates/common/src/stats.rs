@@ -38,7 +38,12 @@ impl ShuffleStats {
     /// Builds stats from per-producer/per-consumer tallies.
     pub fn new(label: impl Into<String>, per_producer: Vec<u64>, per_consumer: Vec<u64>) -> Self {
         let tuples_sent = per_consumer.iter().sum();
-        ShuffleStats { label: label.into(), tuples_sent, per_producer, per_consumer }
+        ShuffleStats {
+            label: label.into(),
+            tuples_sent,
+            per_producer,
+            per_consumer,
+        }
     }
 
     /// Max/average tuples sent per producer.

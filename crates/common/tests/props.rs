@@ -5,11 +5,8 @@ use proptest::prelude::*;
 
 fn arb_relation(max_arity: usize, max_rows: usize) -> impl Strategy<Value = Relation> {
     (1..=max_arity).prop_flat_map(move |arity| {
-        proptest::collection::vec(
-            proptest::collection::vec(0u64..50, arity),
-            0..=max_rows,
-        )
-        .prop_map(move |rows| Relation::from_rows(arity, rows))
+        proptest::collection::vec(proptest::collection::vec(0u64..50, arity), 0..=max_rows)
+            .prop_map(move |rows| Relation::from_rows(arity, rows))
     })
 }
 

@@ -33,13 +33,21 @@ impl CellAllocation {
         assert!(workers > 0, "need at least one worker");
         let mut rng = SplitMix::new(seed);
         let owner = (0..grid.num_cells()).map(|_| rng.below(workers)).collect();
-        CellAllocation { grid, owner, workers }
+        CellAllocation {
+            grid,
+            owner,
+            workers,
+        }
     }
 
     /// The identity allocation: one cell per worker (`M = N`).
     pub fn identity(grid: HcConfig) -> Self {
         let workers = grid.num_cells();
-        CellAllocation { grid, owner: (0..workers).collect(), workers }
+        CellAllocation {
+            grid,
+            owner: (0..workers).collect(),
+            workers,
+        }
     }
 
     /// Expected tuples received by each worker.
@@ -52,12 +60,14 @@ impl CellAllocation {
         let dims = self.grid.dims();
         let mut loads = vec![0.0f64; self.workers];
         for atom in &problem.atoms {
-            let atom_dims: Vec<usize> =
-                atom.vars.iter().filter_map(|&v| self.grid.dim_of(v)).collect();
+            let atom_dims: Vec<usize> = atom
+                .vars
+                .iter()
+                .filter_map(|&v| self.grid.dim_of(v))
+                .collect();
             let hashed: f64 = atom_dims.iter().map(|&d| dims[d] as f64).product();
             // Distinct projected coordinates per worker.
-            let mut proj: Vec<BTreeSet<Vec<usize>>> =
-                vec![BTreeSet::new(); self.workers];
+            let mut proj: Vec<BTreeSet<Vec<usize>>> = vec![BTreeSet::new(); self.workers];
             for (cell, &w) in self.owner.iter().enumerate() {
                 let coords = self.grid.cell_coords(cell);
                 let key: Vec<usize> = atom_dims.iter().map(|&d| coords[d]).collect();
@@ -72,7 +82,9 @@ impl CellAllocation {
 
     /// The max per-worker workload (the optimization objective of §4).
     pub fn max_workload(&self, problem: &ShareProblem) -> f64 {
-        self.worker_workload(problem).into_iter().fold(0.0, f64::max)
+        self.worker_workload(problem)
+            .into_iter()
+            .fold(0.0, f64::max)
     }
 
     /// Expected total tuples shuffled under this allocation (sum of the
@@ -99,7 +111,10 @@ pub fn optimal_allocation(
     problem: &ShareProblem,
 ) -> CellAllocation {
     let cells = grid.num_cells();
-    assert!(cells <= 16, "exact allocation is exponential; use small grids");
+    assert!(
+        cells <= 16,
+        "exact allocation is exponential; use small grids"
+    );
     let mut best: Option<(f64, Vec<usize>)> = None;
     let mut owner = vec![0usize; cells];
     fn rec(
@@ -131,7 +146,11 @@ pub fn optimal_allocation(
     }
     rec(0, &mut owner, grid, workers, problem, &mut best);
     let (_, owner) = best.expect("some allocation exists");
-    CellAllocation { grid: grid.clone(), owner, workers }
+    CellAllocation {
+        grid: grid.clone(),
+        owner,
+        workers,
+    }
 }
 
 /// Tiny self-contained PRNG so this module needs no external dependency;
@@ -204,8 +223,7 @@ mod tests {
         let prob = chain_problem();
         let grid = grid_yz(8, 8);
         let ident_total = CellAllocation::identity(grid_yz(2, 2)).total_workload(&prob);
-        let rand_total =
-            CellAllocation::random(grid, 4, 42).total_workload(&prob);
+        let rand_total = CellAllocation::random(grid, 4, 42).total_workload(&prob);
         assert!(
             rand_total > 1.5 * ident_total,
             "random {rand_total} vs identity {ident_total}"

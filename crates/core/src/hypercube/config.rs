@@ -175,7 +175,7 @@ mod tests {
         let p = ShareProblem::from_query(&b.build(), &[1600, 1600, 1600]);
         let c = HcConfig::new(p.vars.clone(), vec![4, 4, 4]);
         assert!((c.workload(&p) - 300.0).abs() < 1e-9); // 3·1600/16
-        // Replication: each tuple goes to 4 cells → 3·1600·4 total.
+                                                        // Replication: each tuple goes to 4 cells → 3·1600·4 total.
         assert!((c.expected_tuples_shuffled(&p) - 19200.0).abs() < 1e-9);
     }
 

@@ -38,7 +38,10 @@ impl ShareProblem {
             .atoms
             .iter()
             .zip(cards)
-            .map(|(a, &c)| AtomShape { vars: a.vars(), cardinality: c })
+            .map(|(a, &c)| AtomShape {
+                vars: a.vars(),
+                cardinality: c,
+            })
             .collect();
         ShareProblem { vars, atoms }
     }
@@ -48,7 +51,10 @@ impl ShareProblem {
     /// # Panics
     /// Panics if `v` is not a problem variable.
     pub fn dim_of(&self, v: VarId) -> usize {
-        self.vars.iter().position(|&x| x == v).expect("variable not in share problem")
+        self.vars
+            .iter()
+            .position(|&x| x == v)
+            .expect("variable not in share problem")
     }
 
     /// Solves the fractional share LP of Beame et al. \[8\]:
@@ -90,7 +96,10 @@ impl ShareProblem {
 
     /// The fractional shares `pᵢ = p^{eᵢ}` themselves.
     pub fn fractional_shares(&self, p: usize) -> Vec<f64> {
-        self.fractional(p).iter().map(|e| (p as f64).powf(*e)).collect()
+        self.fractional(p)
+            .iter()
+            .map(|e| (p as f64).powf(*e))
+            .collect()
     }
 
     /// The per-worker workload (expected tuples) under fractional shares —
@@ -170,9 +179,7 @@ impl ShareProblem {
             let md = cfg.max_dim();
             let better = match best {
                 None => true,
-                Some((bwl, bmd, _)) => {
-                    wl < *bwl - 1e-9 || ((wl - *bwl).abs() <= 1e-9 && md < *bmd)
-                }
+                Some((bwl, bmd, _)) => wl < *bwl - 1e-9 || ((wl - *bwl).abs() <= 1e-9 && md < *bmd),
             };
             if better {
                 *best = Some((wl, md, dims.clone()));
@@ -253,7 +260,9 @@ mod tests {
         // broadcasts S1 (paper §2.1): shares (1, 1, p).
         let mut b = QueryBuilder::new("T");
         let (x1, x2, x3) = (b.var("x1"), b.var("x2"), b.var("x3"));
-        b.atom("S1", [x1, x2]).atom("S2", [x2, x3]).atom("S3", [x3, x1]);
+        b.atom("S1", [x1, x2])
+            .atom("S2", [x2, x3])
+            .atom("S3", [x3, x1]);
         let p = ShareProblem::from_query(&b.build(), &[10, 1_000_000, 1_000_000]);
         let cfg = p.optimize(64);
         assert_eq!(cfg.dims(), &[1, 1, 64]);

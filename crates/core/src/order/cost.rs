@@ -121,10 +121,7 @@ mod tests {
     #[test]
     fn step1_is_min_distinct_of_first_var() {
         let (r1, r2) = two_path();
-        let m = OrderCostModel::from_atoms(&[
-            (&r1, vec![v(0), v(1)]),
-            (&r2, vec![v(1), v(2)]),
-        ]);
+        let m = OrderCostModel::from_atoms(&[(&r1, vec![v(0), v(1)]), (&r2, vec![v(1), v(2)])]);
         // Order x2 ≺ x1 ≺ x3: S1 = min(V(R1,{x2})=2, V(R2,{x2})=4) = 2.
         // S2 (x1, only in R1): V(R1,{x1,x2})/V(R1,{x2}) = 3/2.
         // S3 (x3, only in R2): V(R2,{x2,x3})/V(R2,{x2}) = 5/4.
@@ -140,12 +137,12 @@ mod tests {
         let small = Relation::from_rows(2, [[1u64, 1], [1, 2], [1, 3]].iter());
         let big = Relation::from_rows(
             2,
-            (0..30u64).map(|i| [i % 3 + 1, i]).collect::<Vec<_>>().iter(),
+            (0..30u64)
+                .map(|i| [i % 3 + 1, i])
+                .collect::<Vec<_>>()
+                .iter(),
         );
-        let m = OrderCostModel::from_atoms(&[
-            (&small, vec![v(0), v(1)]),
-            (&big, vec![v(0), v(2)]),
-        ]);
+        let m = OrderCostModel::from_atoms(&[(&small, vec![v(0), v(1)]), (&big, vec![v(0), v(2)])]);
         let c_good = m.cost(&[v(0), v(1), v(2)]);
         let c_bad = m.cost(&[v(1), v(2), v(0)]);
         assert!(c_good < c_bad, "good {c_good} bad {c_bad}");
@@ -161,10 +158,7 @@ mod tests {
     #[test]
     fn best_order_finds_minimum() {
         let (r1, r2) = two_path();
-        let m = OrderCostModel::from_atoms(&[
-            (&r1, vec![v(0), v(1)]),
-            (&r2, vec![v(1), v(2)]),
-        ]);
+        let m = OrderCostModel::from_atoms(&[(&r1, vec![v(0), v(1)]), (&r2, vec![v(1), v(2)])]);
         let vars = vec![v(0), v(1), v(2)];
         let (order, best_cost) = super::super::best_order(&m, &vars);
         // Verify optimality over the full enumeration by hand.
@@ -181,8 +175,12 @@ mod tests {
     #[test]
     fn costs_monotone_in_cardinality() {
         // Scaling every relation up scales costs up.
-        let small = Relation::from_rows(2, (0..10u64).map(|i| [i, i + 1]).collect::<Vec<_>>().iter());
-        let large = Relation::from_rows(2, (0..100u64).map(|i| [i, i + 1]).collect::<Vec<_>>().iter());
+        let small =
+            Relation::from_rows(2, (0..10u64).map(|i| [i, i + 1]).collect::<Vec<_>>().iter());
+        let large = Relation::from_rows(
+            2,
+            (0..100u64).map(|i| [i, i + 1]).collect::<Vec<_>>().iter(),
+        );
         let ms = OrderCostModel::from_atoms(&[(&small, vec![v(0), v(1)])]);
         let ml = OrderCostModel::from_atoms(&[(&large, vec![v(0), v(1)])]);
         assert!(ml.cost(&[v(0), v(1)]) > ms.cost(&[v(0), v(1)]));
@@ -191,10 +189,7 @@ mod tests {
     #[test]
     fn best_sampled_agrees_with_enumeration_on_small() {
         let (r1, r2) = two_path();
-        let m = OrderCostModel::from_atoms(&[
-            (&r1, vec![v(0), v(1)]),
-            (&r2, vec![v(1), v(2)]),
-        ]);
+        let m = OrderCostModel::from_atoms(&[(&r1, vec![v(0), v(1)]), (&r2, vec![v(1), v(2)])]);
         let vars = vec![v(0), v(1), v(2)];
         let orders: Vec<Vec<VarId>> = super::super::sample_orders(&vars, 200, 1);
         let (_, sampled) = m.best_sampled(&orders);

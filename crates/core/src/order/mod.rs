@@ -29,7 +29,10 @@ use parjoin_query::VarId;
 /// Panics if `vars.len() > 10` (10! ≈ 3.6 M orders is the sensible limit;
 /// use [`OrderCostModel::best_sampled`] beyond that).
 pub fn best_order(model: &OrderCostModel, vars: &[VarId]) -> (Vec<VarId>, f64) {
-    assert!(vars.len() <= 10, "exhaustive order search limited to 10 variables");
+    assert!(
+        vars.len() <= 10,
+        "exhaustive order search limited to 10 variables"
+    );
     let mut best: Option<(Vec<VarId>, f64)> = None;
     let mut perm = vars.to_vec();
     permute(&mut perm, 0, &mut |order| {

@@ -46,7 +46,7 @@ impl BTreeAtom {
                 let depth = order
                     .iter()
                     .position(|o| o == v)
-                    .unwrap_or_else(|| panic!("variable #{} not in global order", v.0));
+                    .unwrap_or_else(|| panic!("variable #{} not in global order", v.0)); // xtask: allow(panic)
                 (depth, col)
             })
             .collect();
@@ -74,7 +74,10 @@ impl BTreeAtom {
 
     /// A cursor at the trie root.
     pub fn cursor(&self) -> BTreeCursor<'_> {
-        BTreeCursor { root: &self.root, stack: Vec::new() }
+        BTreeCursor {
+            root: &self.root,
+            stack: Vec::new(),
+        }
     }
 
     /// Number of distinct tuples stored.

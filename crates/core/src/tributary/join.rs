@@ -49,7 +49,7 @@ impl SortedAtom {
                 let depth = order
                     .iter()
                     .position(|o| o == v)
-                    .unwrap_or_else(|| panic!("variable #{} not in global order", v.0));
+                    .unwrap_or_else(|| panic!("variable #{} not in global order", v.0)); // xtask: allow(panic)
                 (depth, col)
             })
             .collect();
@@ -59,7 +59,10 @@ impl SortedAtom {
         }
         let cols: Vec<usize> = pairs.iter().map(|&(_, c)| c).collect();
         let depths: Vec<usize> = pairs.iter().map(|&(d, _)| d).collect();
-        SortedAtom { rel: rel.sorted_by_columns(&cols), depths }
+        SortedAtom {
+            rel: rel.sorted_by_columns(&cols),
+            depths,
+        }
     }
 
     /// The sorted, permuted relation.
@@ -140,12 +143,7 @@ impl<'a, A: TrieAtom> Tributary<'a, A> {
     /// # Panics
     /// Panics if some depth has no participating atom, or a filter
     /// references a variable outside `order`.
-    pub fn new(
-        atoms: &'a [A],
-        order: &'a [VarId],
-        filters: &[Filter],
-        num_vars: usize,
-    ) -> Self {
+    pub fn new(atoms: &'a [A], order: &'a [VarId], filters: &[Filter], num_vars: usize) -> Self {
         let mut participants = vec![Vec::new(); order.len()];
         for (ai, a) in atoms.iter().enumerate() {
             for &d in a.depths() {
@@ -159,14 +157,26 @@ impl<'a, A: TrieAtom> Tributary<'a, A> {
             order
                 .iter()
                 .position(|&o| o == v)
+                // xtask: allow(panic)
                 .unwrap_or_else(|| panic!("filter variable #{} not in order", v.0))
         };
         let mut filters_at = vec![Vec::new(); order.len()];
         for f in filters {
-            let d = f.vars().into_iter().map(depth_of).max().expect("filter has vars");
+            let d = f
+                .vars()
+                .into_iter()
+                .map(depth_of)
+                .max()
+                .expect("filter has vars");
             filters_at[d].push(*f);
         }
-        Tributary { atoms, order, filters_at, num_vars, participants }
+        Tributary {
+            atoms,
+            order,
+            filters_at,
+            num_vars,
+            participants,
+        }
     }
 
     /// Runs the join, invoking `emit` with the variable-indexed assignment
@@ -192,10 +202,14 @@ impl<'a, A: TrieAtom> Tributary<'a, A> {
         if self.order.is_empty() {
             return (0, true);
         }
-        let mut iters: Vec<A::Cursor<'_>> =
-            self.atoms.iter().map(|a| a.cursor()).collect();
+        let mut iters: Vec<A::Cursor<'_>> = self.atoms.iter().map(|a| a.cursor()).collect();
         let mut assignment = vec![0 as Value; self.num_vars];
-        let mut ctx = RunCtx { emit, guard, count: 0, ops: 0 };
+        let mut ctx = RunCtx {
+            emit,
+            guard,
+            count: 0,
+            ops: 0,
+        };
         let completed = self.recurse(0, &mut iters, &mut assignment, &mut ctx);
         (ctx.count, completed)
     }
@@ -380,8 +394,10 @@ mod tests {
         num_vars: usize,
         filters: &[Filter],
     ) -> Vec<Vec<Value>> {
-        let prepared: Vec<SortedAtom> =
-            atoms.iter().map(|(r, vs)| SortedAtom::prepare(r, vs, order)).collect();
+        let prepared: Vec<SortedAtom> = atoms
+            .iter()
+            .map(|(r, vs)| SortedAtom::prepare(r, vs, order))
+            .collect();
         let tj = Tributary::new(&prepared, order, filters, num_vars);
         let mut out = Vec::new();
         tj.run(|asg| {
@@ -415,10 +431,16 @@ mod tests {
         // finding (2, 3, 4).
         let (r, s, t) = figure2_db();
         // T in Figure 2 is given as T(x, z) — column order (x, z).
-        let atoms: Vec<(&Relation, Vec<VarId>)> =
-            vec![(&r, vec![v(0), v(1)]), (&s, vec![v(1), v(2)]), (&t, vec![v(0), v(2)])];
+        let atoms: Vec<(&Relation, Vec<VarId>)> = vec![
+            (&r, vec![v(0), v(1)]),
+            (&s, vec![v(1), v(2)]),
+            (&t, vec![v(0), v(2)]),
+        ];
         let got = run_tj(&atoms, &[v(0), v(1), v(2)], 3, &[]);
-        assert!(got.contains(&vec![2, 3, 4]), "missing paper's example result: {got:?}");
+        assert!(
+            got.contains(&vec![2, 3, 4]),
+            "missing paper's example result: {got:?}"
+        );
         let want = naive_join(&atoms, 3, &[]);
         assert_eq!(got, want);
     }
@@ -434,11 +456,7 @@ mod tests {
             (&edges, vec![v(1), v(2)]),
             (&edges, vec![v(2), v(0)]),
         ];
-        for order in [
-            [v(0), v(1), v(2)],
-            [v(2), v(0), v(1)],
-            [v(1), v(2), v(0)],
-        ] {
+        for order in [[v(0), v(1), v(2)], [v(2), v(0), v(1)], [v(1), v(2), v(0)]] {
             let got = run_tj(&atoms, &order, 3, &[]);
             let want = naive_join(&atoms, 3, &[]);
             assert_eq!(got, want, "order {order:?}");
@@ -489,9 +507,12 @@ mod tests {
         // x > 3 must prune the whole subtree below x without descending.
         let a = Relation::from_rows(2, [[1u64, 2], [4, 9]].iter());
         let b = Relation::from_rows(1, [[2u64], [9]].iter());
-        let atoms: Vec<(&Relation, Vec<VarId>)> =
-            vec![(&a, vec![v(0), v(1)]), (&b, vec![v(1)])];
-        let f = Filter { left: v(0), op: CmpOp::Gt, right: parjoin_query::Operand::Const(3) };
+        let atoms: Vec<(&Relation, Vec<VarId>)> = vec![(&a, vec![v(0), v(1)]), (&b, vec![v(1)])];
+        let f = Filter {
+            left: v(0),
+            op: CmpOp::Gt,
+            right: parjoin_query::Operand::Const(3),
+        };
         let got = run_tj(&atoms, &[v(0), v(1)], 2, &[f]);
         assert_eq!(got, vec![vec![4, 9]]);
     }

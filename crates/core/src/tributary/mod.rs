@@ -22,5 +22,5 @@ mod join;
 mod trie;
 
 pub use btree::{BTreeAtom, BTreeCursor};
-pub use join::{SortedAtom, TrieAtom, Tributary};
+pub use join::{SortedAtom, Tributary, TrieAtom};
 pub use trie::{TrieCursor, TrieIter};

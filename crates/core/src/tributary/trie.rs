@@ -58,7 +58,12 @@ impl<'a> TrieIter<'a> {
     pub fn new(rel: &'a Relation) -> Self {
         debug_assert!(rel.is_sorted_lex(), "TrieIter requires sorted input");
         let a = rel.arity();
-        TrieIter { rel, depth: ROOT, range: vec![(0, 0); a], pos: vec![0; a] }
+        TrieIter {
+            rel,
+            depth: ROOT,
+            range: vec![(0, 0); a],
+            pos: vec![0; a],
+        }
     }
 
     /// Current depth (0-based column), or `None` at the root.
@@ -106,7 +111,11 @@ impl<'a> TrieIter<'a> {
     /// Returns to the parent level, restoring its cursor.
     pub fn up(&mut self) {
         debug_assert_ne!(self.depth, ROOT, "up() at root");
-        self.depth = if self.depth == 0 { ROOT } else { self.depth - 1 };
+        self.depth = if self.depth == 0 {
+            ROOT
+        } else {
+            self.depth - 1
+        };
     }
 
     /// Advances to the next distinct value at the current level.
@@ -150,7 +159,11 @@ impl<'a> TrieIter<'a> {
             cur = cur.saturating_add(step).min(hi);
             step <<= 1;
         }
-        let search_lo = if cur == lo { lo } else { cur - (step >> 1).min(cur - lo) };
+        let search_lo = if cur == lo {
+            lo
+        } else {
+            cur - (step >> 1).min(cur - lo)
+        };
         let mut a = search_lo;
         let mut b = cur;
         while a < b {
@@ -168,19 +181,19 @@ impl<'a> TrieIter<'a> {
 impl TrieCursor for TrieIter<'_> {
     #[inline]
     fn open(&mut self) {
-        TrieIter::open(self)
+        TrieIter::open(self);
     }
     #[inline]
     fn up(&mut self) {
-        TrieIter::up(self)
+        TrieIter::up(self);
     }
     #[inline]
     fn next_key(&mut self) {
-        TrieIter::next_key(self)
+        TrieIter::next_key(self);
     }
     #[inline]
     fn seek(&mut self, v: Value) {
-        TrieIter::seek(self, v)
+        TrieIter::seek(self, v);
     }
     #[inline]
     fn key(&self) -> Value {

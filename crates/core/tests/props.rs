@@ -14,8 +14,7 @@ fn v(i: u32) -> VarId {
 
 fn arb_edges(max_node: u64, max_edges: usize) -> impl Strategy<Value = Relation> {
     proptest::collection::vec((0..max_node, 0..max_node), 0..=max_edges).prop_map(|rows| {
-        let rel =
-            Relation::from_rows(2, rows.iter().map(|&(a, b)| [a, b]).collect::<Vec<_>>());
+        let rel = Relation::from_rows(2, rows.iter().map(|&(a, b)| [a, b]).collect::<Vec<_>>());
         rel.distinct() // set semantics, as documented
     })
 }

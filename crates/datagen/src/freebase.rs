@@ -208,10 +208,16 @@ mod tests {
     fn q3_constants_resolve() {
         let db = small();
         let on = db.expect("ObjectName");
-        let joe: Vec<u64> =
-            on.rows().filter(|r| r[1] == NAME_JOE_PESCI).map(|r| r[0]).collect();
-        let rdn: Vec<u64> =
-            on.rows().filter(|r| r[1] == NAME_DE_NIRO).map(|r| r[0]).collect();
+        let joe: Vec<u64> = on
+            .rows()
+            .filter(|r| r[1] == NAME_JOE_PESCI)
+            .map(|r| r[0])
+            .collect();
+        let rdn: Vec<u64> = on
+            .rows()
+            .filter(|r| r[1] == NAME_DE_NIRO)
+            .map(|r| r[0])
+            .collect();
         assert_eq!(joe, vec![ACTOR_JOE_PESCI]);
         assert_eq!(rdn, vec![ACTOR_DE_NIRO]);
     }
@@ -222,9 +228,11 @@ mod tests {
         let ap = db.expect("ActorPerform");
         let pf = db.expect("PerformFilm");
         let films_of = |actor: u64| -> std::collections::BTreeSet<u64> {
-            let perfs: Vec<u64> =
-                ap.rows().filter(|r| r[0] == actor).map(|r| r[1]).collect();
-            pf.rows().filter(|r| perfs.contains(&r[0])).map(|r| r[1]).collect()
+            let perfs: Vec<u64> = ap.rows().filter(|r| r[0] == actor).map(|r| r[1]).collect();
+            pf.rows()
+                .filter(|r| perfs.contains(&r[0]))
+                .map(|r| r[1])
+                .collect()
         };
         let shared: Vec<u64> = films_of(ACTOR_JOE_PESCI)
             .intersection(&films_of(ACTOR_DE_NIRO))
@@ -238,8 +246,11 @@ mod tests {
         let db = small();
         let ha = db.expect("HonorAward");
         let hy = db.expect("HonorYear");
-        let academy_honors: Vec<u64> =
-            ha.rows().filter(|r| r[1] == AWARD_BASE).map(|r| r[0]).collect();
+        let academy_honors: Vec<u64> = ha
+            .rows()
+            .filter(|r| r[1] == AWARD_BASE)
+            .map(|r| r[0])
+            .collect();
         let nineties = hy
             .rows()
             .filter(|r| academy_honors.contains(&r[0]) && r[1] >= 1990 && r[1] < 2000)
@@ -251,7 +262,10 @@ mod tests {
     fn deterministic() {
         let a = generate(500, 9);
         let b = generate(500, 9);
-        assert_eq!(a.expect("ActorPerform").raw(), b.expect("ActorPerform").raw());
+        assert_eq!(
+            a.expect("ActorPerform").raw(),
+            b.expect("ActorPerform").raw()
+        );
     }
 
     #[test]

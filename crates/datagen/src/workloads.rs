@@ -45,23 +45,38 @@ pub struct Scale {
 impl Scale {
     /// Integration-test scale (fractions of a second per plan).
     pub fn tiny() -> Self {
-        Scale { twitter_nodes: 300, twitter_m: 3, freebase_performances: 2_000 }
+        Scale {
+            twitter_nodes: 300,
+            twitter_m: 3,
+            freebase_performances: 2_000,
+        }
     }
 
     /// Default experiment scale.
     pub fn small() -> Self {
-        Scale { twitter_nodes: 3_000, twitter_m: 5, freebase_performances: 20_000 }
+        Scale {
+            twitter_nodes: 3_000,
+            twitter_m: 5,
+            freebase_performances: 20_000,
+        }
     }
 
     /// Larger experiment scale (Q4/Q5 regular-shuffle plans become slow).
     pub fn medium() -> Self {
-        Scale { twitter_nodes: 12_000, twitter_m: 6, freebase_performances: 80_000 }
+        Scale {
+            twitter_nodes: 12_000,
+            twitter_m: 6,
+            freebase_performances: 80_000,
+        }
     }
 
     /// Builds the Twitter-like database (one relation, `Twitter`).
     pub fn twitter_db(&self, seed: u64) -> Database {
         let mut db = Database::new();
-        db.insert("Twitter", graph::twitter_graph(self.twitter_nodes, self.twitter_m, seed));
+        db.insert(
+            "Twitter",
+            graph::twitter_graph(self.twitter_nodes, self.twitter_m, seed),
+        );
         db
     }
 
@@ -81,14 +96,21 @@ impl Scale {
 
 fn spec(name: &'static str, dataset: DatasetKind, query: ConjunctiveQuery) -> QuerySpec {
     let cyclic = !is_acyclic(&query);
-    QuerySpec { name, query, dataset, cyclic }
+    QuerySpec {
+        name,
+        query,
+        dataset,
+        cyclic,
+    }
 }
 
 /// Q1 — all directed triangles in Twitter (§3.1).
 pub fn q1() -> QuerySpec {
     let mut b = QueryBuilder::new("Triangle");
     let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
-    b.atom("Twitter", [x, y]).atom("Twitter", [y, z]).atom("Twitter", [z, x]);
+    b.atom("Twitter", [x, y])
+        .atom("Twitter", [y, z])
+        .atom("Twitter", [z, x]);
     spec("Q1", DatasetKind::Twitter, b.build())
 }
 
@@ -116,15 +138,21 @@ pub fn q3() -> QuerySpec {
     let p2 = b.var("p2");
     let p = b.var("p");
     let cast = b.var("cast");
-    b.atom_terms("ObjectName", [Term::Var(a1), Term::Const(freebase::NAME_JOE_PESCI)])
-        .atom("ActorPerform", [a1, p1])
-        .atom("PerformFilm", [p1, film])
-        .atom_terms("ObjectName", [Term::Var(a2), Term::Const(freebase::NAME_DE_NIRO)])
-        .atom("ActorPerform", [a2, p2])
-        .atom("PerformFilm", [p2, film])
-        .atom("PerformFilm", [p, film])
-        .atom("ActorPerform", [cast, p])
-        .head([cast]);
+    b.atom_terms(
+        "ObjectName",
+        [Term::Var(a1), Term::Const(freebase::NAME_JOE_PESCI)],
+    )
+    .atom("ActorPerform", [a1, p1])
+    .atom("PerformFilm", [p1, film])
+    .atom_terms(
+        "ObjectName",
+        [Term::Var(a2), Term::Const(freebase::NAME_DE_NIRO)],
+    )
+    .atom("ActorPerform", [a2, p2])
+    .atom("PerformFilm", [p2, film])
+    .atom("PerformFilm", [p, film])
+    .atom("ActorPerform", [cast, p])
+    .head([cast]);
     spec("Q3", DatasetKind::Freebase, b.build())
 }
 
@@ -184,13 +212,16 @@ pub fn q7() -> QuerySpec {
     let h = b.var("h");
     let a = b.var("a");
     let y = b.var("y");
-    b.atom_terms("ObjectName", [Term::Var(aw), Term::Const(freebase::NAME_ACADEMY_AWARDS)])
-        .atom("HonorAward", [h, aw])
-        .atom("HonorActor", [h, a])
-        .atom("HonorYear", [h, y])
-        .head([a])
-        .filter_vc(y, CmpOp::Ge, 1990)
-        .filter_vc(y, CmpOp::Lt, 2000);
+    b.atom_terms(
+        "ObjectName",
+        [Term::Var(aw), Term::Const(freebase::NAME_ACADEMY_AWARDS)],
+    )
+    .atom("HonorAward", [h, aw])
+    .atom("HonorActor", [h, a])
+    .atom("HonorYear", [h, y])
+    .head([a])
+    .filter_vc(y, CmpOp::Ge, 1990)
+    .filter_vc(y, CmpOp::Lt, 2000);
     spec("Q7", DatasetKind::Freebase, b.build())
 }
 
@@ -284,8 +315,7 @@ mod tests {
                 DatasetKind::Twitter => &tw,
                 DatasetKind::Freebase => &fb,
             };
-            let (atoms, _) =
-                parjoin_query::resolve_atoms(&spec.query, db).expect("resolves");
+            let (atoms, _) = parjoin_query::resolve_atoms(&spec.query, db).expect("resolves");
             assert_eq!(atoms.len(), spec.query.atoms.len());
         }
     }

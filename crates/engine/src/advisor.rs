@@ -94,7 +94,12 @@ fn atom_info(rel: &Relation, vars: &[VarId]) -> AtomInfo {
         distinct.push(d.max(1) as f64);
         top_freq.push(best as f64);
     }
-    AtomInfo { vars: vars.to_vec(), card: rel.len() as f64, distinct, top_freq }
+    AtomInfo {
+        vars: vars.to_vec(),
+        card: rel.len() as f64,
+        distinct,
+        top_freq,
+    }
 }
 
 /// Estimates the regular-shuffle plan by walking a fanout-greedy order.
@@ -157,15 +162,13 @@ fn estimate_rs(atoms: &[AtomInfo], workers: usize) -> PlanEstimate {
                 (a.top_freq[c] / avg_freq).clamp(1.0, workers as f64)
             })
             .unwrap_or(1.0);
-        max_worker =
-            max_worker.max((cur_size + a.card) / workers as f64 * skew);
+        max_worker = max_worker.max((cur_size + a.card) / workers as f64 * skew);
 
         // Estimated join output.
         let fanout: f64 = if shared_cols.is_empty() {
             a.card // cartesian: degenerate
         } else {
-            let shared_distinct: f64 =
-                shared_cols.iter().map(|&c| a.distinct[c]).product();
+            let shared_distinct: f64 = shared_cols.iter().map(|&c| a.distinct[c]).product();
             a.card / shared_distinct.max(1.0)
         };
         cur_size *= fanout;
@@ -179,14 +182,14 @@ fn estimate_rs(atoms: &[AtomInfo], workers: usize) -> PlanEstimate {
         // key ("the skew factors are multiplied", §3.1).
         max_worker = max_worker.max(cur_size / workers as f64 * skew);
     }
-    PlanEstimate { network_tuples: network, max_worker_tuples: max_worker }
+    PlanEstimate {
+        network_tuples: network,
+        max_worker_tuples: max_worker,
+    }
 }
 
 fn estimate_br(atoms: &[AtomInfo], workers: usize) -> PlanEstimate {
-    let largest = atoms
-        .iter()
-        .map(|a| a.card)
-        .fold(0.0f64, f64::max);
+    let largest = atoms.iter().map(|a| a.card).fold(0.0f64, f64::max);
     let total: f64 = atoms.iter().map(|a| a.card).sum();
     let broadcast = total - largest;
     PlanEstimate {
@@ -200,7 +203,10 @@ fn estimate_hc(query: &ConjunctiveQuery, atoms: &[AtomInfo], workers: usize) -> 
         vars: query.all_vars(),
         atoms: atoms
             .iter()
-            .map(|a| AtomShape { vars: a.vars.clone(), cardinality: a.card as u64 })
+            .map(|a| AtomShape {
+                vars: a.vars.clone(),
+                cardinality: a.card as u64,
+            })
             .collect(),
     };
     let config = problem.optimize(workers);
@@ -222,8 +228,10 @@ fn estimate_hc(query: &ConjunctiveQuery, atoms: &[AtomInfo], workers: usize) -> 
 /// Panics if the query does not resolve against `db` (missing relations).
 pub fn advise(query: &ConjunctiveQuery, db: &Database, cluster: &Cluster) -> Advice {
     let (resolved, _) = resolve_atoms(query, db).expect("query resolves against catalog");
-    let infos: Vec<AtomInfo> =
-        resolved.iter().map(|a| atom_info(a.rel.as_ref(), &a.vars)).collect();
+    let infos: Vec<AtomInfo> = resolved
+        .iter()
+        .map(|a| atom_info(a.rel.as_ref(), &a.vars))
+        .collect();
     let workers = cluster.workers;
 
     let rs = estimate_rs(&infos, workers);
@@ -231,7 +239,11 @@ pub fn advise(query: &ConjunctiveQuery, db: &Database, cluster: &Cluster) -> Adv
     let hc = estimate_hc(query, &infos, workers);
     let estimates = [rs, br, hc];
 
-    let algs = [ShuffleAlg::Regular, ShuffleAlg::Broadcast, ShuffleAlg::HyperCube];
+    let algs = [
+        ShuffleAlg::Regular,
+        ShuffleAlg::Broadcast,
+        ShuffleAlg::HyperCube,
+    ];
     let best = (0..3)
         .min_by(|&a, &b| {
             estimates[a]
@@ -251,7 +263,11 @@ pub fn advise(query: &ConjunctiveQuery, db: &Database, cluster: &Cluster) -> Adv
         }
         _ => JoinAlg::Tributary,
     };
-    Advice { shuffle, join, estimates }
+    Advice {
+        shuffle,
+        join,
+        estimates,
+    }
 }
 
 #[cfg(test)]
@@ -264,7 +280,12 @@ mod tests {
         let spec = workloads::q1();
         let db = Scale::small().twitter_db(42);
         let advice = advise(&spec.query, &db, &Cluster::new(64));
-        assert_eq!(advice.shuffle, ShuffleAlg::HyperCube, "{:?}", advice.estimates);
+        assert_eq!(
+            advice.shuffle,
+            ShuffleAlg::HyperCube,
+            "{:?}",
+            advice.estimates
+        );
         assert_eq!(advice.join, JoinAlg::Tributary);
     }
 
@@ -274,7 +295,12 @@ mod tests {
         let spec = workloads::q3();
         let db = Scale::small().freebase_db(42);
         let advice = advise(&spec.query, &db, &Cluster::new(64));
-        assert_eq!(advice.shuffle, ShuffleAlg::Regular, "{:?}", advice.estimates);
+        assert_eq!(
+            advice.shuffle,
+            ShuffleAlg::Regular,
+            "{:?}",
+            advice.estimates
+        );
     }
 
     #[test]
@@ -294,8 +320,11 @@ mod tests {
         // The advisor's pick must be within a small factor of the best
         // measured configuration for every workload query.
         use crate::plans::{run_config, PlanOptions};
-        let scale =
-            Scale { twitter_nodes: 300, twitter_m: 3, freebase_performances: 250 };
+        let scale = Scale {
+            twitter_nodes: 300,
+            twitter_m: 3,
+            freebase_performances: 250,
+        };
         for spec in parjoin_datagen::all_queries() {
             let db = scale.db_for(spec.dataset, 7);
             let cluster = Cluster::new(8).with_seed(7);

@@ -33,7 +33,10 @@ impl DistRel {
     /// An empty distributed relation.
     pub fn empty(vars: Vec<VarId>, workers: usize) -> Self {
         let arity = vars.len().max(1);
-        DistRel { vars, parts: (0..workers).map(|_| Relation::new(arity)).collect() }
+        DistRel {
+            vars,
+            parts: (0..workers).map(|_| Relation::new(arity)).collect(),
+        }
     }
 
     /// Number of workers.
@@ -59,7 +62,7 @@ impl DistRel {
         self.vars
             .iter()
             .position(|&x| x == v)
-            .unwrap_or_else(|| panic!("variable #{} not in schema", v.0))
+            .unwrap_or_else(|| panic!("variable #{} not in schema", v.0)) // xtask: allow(panic)
     }
 
     /// Gathers all partitions into one relation (coordinator collect).

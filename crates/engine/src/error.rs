@@ -1,5 +1,6 @@
 //! Engine errors.
 
+use parjoin_analyze::Diagnostic;
 use parjoin_query::resolve::ResolveError;
 
 /// Failures during distributed plan execution.
@@ -19,17 +20,32 @@ pub enum EngineError {
     Resolve(ResolveError),
     /// The plan is inapplicable (e.g. a semijoin plan on a cyclic query).
     Unsupported(String),
+    /// The pre-flight analyzer rejected the plan. Contains every
+    /// diagnostic it produced (errors and accompanying warnings), in
+    /// pass order.
+    InvalidPlan(Vec<Diagnostic>),
 }
 
 impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            EngineError::MemoryBudget { worker, needed, budget } => write!(
+            EngineError::MemoryBudget {
+                worker,
+                needed,
+                budget,
+            } => write!(
                 f,
                 "worker {worker} exceeded memory budget: needs {needed} tuples, budget {budget}"
             ),
             EngineError::Resolve(e) => write!(f, "resolve error: {e}"),
             EngineError::Unsupported(s) => write!(f, "unsupported plan: {s}"),
+            EngineError::InvalidPlan(diags) => {
+                write!(f, "invalid plan ({} diagnostic(s))", diags.len())?;
+                for d in diags {
+                    write!(f, "; {d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }

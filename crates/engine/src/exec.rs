@@ -49,8 +49,7 @@ where
         .unwrap_or(1)
         .min(workers)
         .max(1);
-    let slots: Mutex<Vec<Option<(T, Duration)>>> =
-        Mutex::new((0..workers).map(|_| None).collect());
+    let slots: Mutex<Vec<Option<(T, Duration)>>> = Mutex::new((0..workers).map(|_| None).collect());
     let cursor = AtomicUsize::new(0);
 
     std::thread::scope(|scope| {

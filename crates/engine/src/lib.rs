@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # parjoin-engine
@@ -24,6 +25,15 @@
 //! | `HC_TJ` | HyperCube | Tributary join |
 //!
 //! plus the distributed semijoin (GYM) plans of §3.6 in [`semijoin`].
+//!
+//! Every plan is vetted by the static analyzer (`parjoin-analyze`)
+//! before execution: malformed plans come back as
+//! [`EngineError::InvalidPlan`] with typed [`Diagnostic`]s instead of
+//! panicking mid-flight, and analyzer warnings ride along on
+//! [`RunResult::diagnostics`]. The `strict-invariants` cargo feature
+//! additionally cross-checks the analyzer's guarantees at runtime
+//! (post-shuffle co-location of sampled tuples, sortedness of Tributary
+//! inputs).
 
 pub mod advisor;
 pub mod cluster;
@@ -34,9 +44,12 @@ pub mod local;
 pub mod plans;
 pub mod semijoin;
 pub mod shuffle;
+#[cfg(feature = "strict-invariants")]
+mod strict;
 
 pub use advisor::{advise, Advice};
 pub use cluster::Cluster;
 pub use dist::DistRel;
 pub use error::EngineError;
+pub use parjoin_analyze::{DiagCode, Diagnostic, Severity};
 pub use plans::{run_config, JoinAlg, PlanOptions, RunResult, ShuffleAlg};

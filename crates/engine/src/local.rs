@@ -53,14 +53,22 @@ impl SchemaRel {
                 op.eval(row[l], rv)
             })
         });
-        SchemaRel { vars: self.vars.clone(), rel }
+        SchemaRel {
+            vars: self.vars.clone(),
+            rel,
+        }
     }
 
     /// Projects onto `keep` variables (all must be bound).
     pub fn project(&self, keep: &[VarId]) -> SchemaRel {
-        let cols: Vec<usize> =
-            keep.iter().map(|&v| self.col_of(v).expect("projection var bound")).collect();
-        SchemaRel { vars: keep.to_vec(), rel: self.rel.project(&cols) }
+        let cols: Vec<usize> = keep
+            .iter()
+            .map(|&v| self.col_of(v).expect("projection var bound"))
+            .collect();
+        SchemaRel {
+            vars: keep.to_vec(),
+            rel: self.rel.project(&cols),
+        }
     }
 }
 
@@ -139,7 +147,11 @@ impl JoinTable {
 
 /// The join variables two schemas share.
 pub fn shared_vars(a: &SchemaRel, b: &SchemaRel) -> Vec<VarId> {
-    a.vars.iter().copied().filter(|v| b.col_of(*v).is_some()).collect()
+    a.vars
+        .iter()
+        .copied()
+        .filter(|v| b.col_of(*v).is_some())
+        .collect()
 }
 
 fn output_schema(a: &SchemaRel, b: &SchemaRel) -> (Vec<VarId>, Vec<usize>) {
@@ -166,10 +178,19 @@ fn output_schema(a: &SchemaRel, b: &SchemaRel) -> (Vec<VarId>, Vec<usize>) {
 pub fn hash_join(a: &SchemaRel, b: &SchemaRel, seed: u64) -> SchemaRel {
     let on = shared_vars(a, b);
     // Build on the smaller side; normalize so `build` is the smaller.
-    let (build, probe, build_is_a) =
-        if a.rel.len() <= b.rel.len() { (a, b, true) } else { (b, a, false) };
-    let build_cols: Vec<usize> = on.iter().map(|&v| build.col_of(v).expect("shared")).collect();
-    let probe_cols: Vec<usize> = on.iter().map(|&v| probe.col_of(v).expect("shared")).collect();
+    let (build, probe, build_is_a) = if a.rel.len() <= b.rel.len() {
+        (a, b, true)
+    } else {
+        (b, a, false)
+    };
+    let build_cols: Vec<usize> = on
+        .iter()
+        .map(|&v| build.col_of(v).expect("shared"))
+        .collect();
+    let probe_cols: Vec<usize> = on
+        .iter()
+        .map(|&v| probe.col_of(v).expect("shared"))
+        .collect();
     let table = JoinTable::build(&build.rel, &build_cols, seed);
 
     // Assemble output as (a ++ b-only) regardless of build side.
@@ -182,7 +203,11 @@ pub fn hash_join(a: &SchemaRel, b: &SchemaRel, seed: u64) -> SchemaRel {
         key.extend(probe_cols.iter().map(|&c| prow[c]));
         for bidx in table.probe(&key) {
             let brow = build.rel.row(bidx);
-            let (arow, brow2) = if build_is_a { (brow, prow) } else { (prow, brow) };
+            let (arow, brow2) = if build_is_a {
+                (brow, prow)
+            } else {
+                (prow, brow)
+            };
             row_buf.clear();
             row_buf.extend_from_slice(arow);
             row_buf.extend(b_only_cols.iter().map(|&c| brow2[c]));
@@ -271,7 +296,10 @@ pub fn semijoin(a: &SchemaRel, b: &SchemaRel, seed: u64) -> SchemaRel {
     let on = shared_vars(a, b);
     if on.is_empty() {
         return if b.rel.is_empty() {
-            SchemaRel { vars: a.vars.clone(), rel: Relation::new(a.vars.len().max(1)) }
+            SchemaRel {
+                vars: a.vars.clone(),
+                rel: Relation::new(a.vars.len().max(1)),
+            }
         } else {
             a.clone()
         };
@@ -285,7 +313,10 @@ pub fn semijoin(a: &SchemaRel, b: &SchemaRel, seed: u64) -> SchemaRel {
         key.extend(a_cols.iter().map(|&c| row[c]));
         table.contains(&key)
     });
-    SchemaRel { vars: a.vars.clone(), rel }
+    SchemaRel {
+        vars: a.vars.clone(),
+        rel,
+    }
 }
 
 #[cfg(test)]
@@ -302,7 +333,10 @@ mod tests {
         for r in rows {
             rel.push_row(r);
         }
-        SchemaRel { vars: vars.iter().map(|&i| v(i)).collect(), rel }
+        SchemaRel {
+            vars: vars.iter().map(|&i| v(i)).collect(),
+            rel,
+        }
     }
 
     fn sorted_rows(s: &SchemaRel) -> Vec<Vec<u64>> {
@@ -319,7 +353,12 @@ mod tests {
         assert_eq!(j.vars, vec![v(0), v(1), v(2)]);
         assert_eq!(
             sorted_rows(&j),
-            vec![vec![1, 10, 7], vec![1, 10, 8], vec![3, 10, 7], vec![3, 10, 8]]
+            vec![
+                vec![1, 10, 7],
+                vec![1, 10, 8],
+                vec![3, 10, 7],
+                vec![3, 10, 8]
+            ]
         );
     }
 
@@ -393,7 +432,11 @@ mod tests {
     #[test]
     fn filter_and_project() {
         let a = sr(&[0, 1], &[&[1, 10], &[20, 2]]);
-        let f = Filter { left: v(0), op: CmpOp::Lt, right: parjoin_query::Operand::Var(v(1)) };
+        let f = Filter {
+            left: v(0),
+            op: CmpOp::Lt,
+            right: parjoin_query::Operand::Var(v(1)),
+        };
         let out = a.filter(&[f]);
         assert_eq!(out.rel.len(), 1);
         let p = out.project(&[v(1)]);
@@ -421,9 +464,17 @@ mod tests {
     #[test]
     fn covers_filter_checks_schema() {
         let a = sr(&[0, 1], &[]);
-        let f = Filter { left: v(0), op: CmpOp::Lt, right: parjoin_query::Operand::Var(v(2)) };
+        let f = Filter {
+            left: v(0),
+            op: CmpOp::Lt,
+            right: parjoin_query::Operand::Var(v(2)),
+        };
         assert!(!a.covers_filter(&f));
-        let g = Filter { left: v(0), op: CmpOp::Lt, right: parjoin_query::Operand::Const(5) };
+        let g = Filter {
+            left: v(0),
+            op: CmpOp::Lt,
+            right: parjoin_query::Operand::Const(5),
+        };
         assert!(a.covers_filter(&g));
     }
 }

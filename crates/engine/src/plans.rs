@@ -26,6 +26,7 @@ use crate::error::EngineError;
 use crate::exec::run_phase;
 use crate::local::{hash_join, merge_join, SchemaRel};
 use crate::shuffle;
+use parjoin_analyze::{self as analyze, Diagnostic};
 use parjoin_common::{Relation, ShuffleStats};
 use parjoin_core::hypercube::{HcConfig, ShareProblem};
 use parjoin_core::order::{best_order, OrderCostModel};
@@ -68,6 +69,25 @@ impl JoinAlg {
         match self {
             JoinAlg::Hash => "HJ",
             JoinAlg::Tributary => "TJ",
+        }
+    }
+}
+
+impl From<ShuffleAlg> for analyze::ShuffleKind {
+    fn from(s: ShuffleAlg) -> Self {
+        match s {
+            ShuffleAlg::Regular => analyze::ShuffleKind::Regular,
+            ShuffleAlg::Broadcast => analyze::ShuffleKind::Broadcast,
+            ShuffleAlg::HyperCube => analyze::ShuffleKind::HyperCube,
+        }
+    }
+}
+
+impl From<JoinAlg> for analyze::JoinKind {
+    fn from(j: JoinAlg) -> Self {
+        match j {
+            JoinAlg::Hash => analyze::JoinKind::Hash,
+            JoinAlg::Tributary => analyze::JoinKind::Tributary,
         }
     }
 }
@@ -135,6 +155,10 @@ pub struct RunResult {
     /// Per-worker time charged for shuffle send/receive (part of
     /// `per_worker_busy`).
     pub per_worker_net: Vec<Duration>,
+    /// Warnings the pre-flight analyzer attached to this plan (plans
+    /// with analyzer *errors* never run; see
+    /// [`EngineError::InvalidPlan`]).
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 impl RunResult {
@@ -154,6 +178,7 @@ impl RunResult {
             peak_worker_tuples: 0,
             rounds: 0,
             per_worker_net: vec![Duration::ZERO; workers],
+            diagnostics: Vec::new(),
         }
     }
 
@@ -181,7 +206,7 @@ impl RunResult {
         }
         let mut max = Duration::ZERO;
         for (w, &tuples) in per_worker.iter().enumerate() {
-            let cost = tuple_cost * tuples.min(u32::MAX as u64) as u32;
+            let cost = scale_duration(tuple_cost, tuples);
             self.per_worker_busy[w] += cost;
             self.per_worker_net[w] += cost;
             self.total_cpu += cost;
@@ -222,6 +247,20 @@ impl RunResult {
     }
 }
 
+/// `d * times` in u64-tuple-count precision. `Duration`'s `Mul<u32>`
+/// would silently saturate the count at `u32::MAX` (≈4.3 billion tuples
+/// — reachable for replicated shuffles of large inputs); this widens to
+/// 128-bit nanosecond math and only clamps at `Duration::MAX`, which
+/// represents over 10²² tuple-sends at any realistic per-tuple cost.
+fn scale_duration(d: Duration, times: u64) -> Duration {
+    let nanos = d.as_nanos().saturating_mul(u128::from(times));
+    let secs = nanos / 1_000_000_000;
+    let Ok(secs) = u64::try_from(secs) else {
+        return Duration::MAX;
+    };
+    Duration::new(secs, (nanos % 1_000_000_000) as u32)
+}
+
 /// A greedy left-deep join order: smallest relation first, then repeatedly
 /// the smallest relation sharing a variable with the running schema
 /// (falling back to the smallest remaining one if the query disconnects).
@@ -242,8 +281,15 @@ pub fn default_join_order(atom_vars: &[Vec<VarId>], cards: &[u64]) -> Vec<usize>
             .copied()
             .filter(|&i| atom_vars[i].iter().any(|v| bound.contains(v)))
             .collect();
-        let pool = if connected.is_empty() { remaining.clone() } else { connected };
-        let next = *pool.iter().min_by_key(|&&i| cards[i]).expect("non-empty pool");
+        let pool = if connected.is_empty() {
+            remaining.clone()
+        } else {
+            connected
+        };
+        let next = *pool
+            .iter()
+            .min_by_key(|&&i| cards[i])
+            .expect("non-empty pool");
         order.push(next);
         remaining.retain(|&i| i != next);
         for &v in &atom_vars[next] {
@@ -358,7 +404,11 @@ fn rooted_order(atom_vars: &[Vec<VarId>], root: usize) -> Vec<usize> {
 fn check_budget(cluster: &Cluster, worker: usize, needed: u64) -> Result<(), EngineError> {
     if let Some(budget) = cluster.memory_budget {
         if needed > budget {
-            return Err(EngineError::MemoryBudget { worker, needed, budget });
+            return Err(EngineError::MemoryBudget {
+                worker,
+                needed,
+                budget,
+            });
         }
     }
     Ok(())
@@ -394,8 +444,13 @@ fn take_ready_filters(pending: &mut Vec<Filter>, schema: &[VarId]) -> Vec<Filter
 /// ```
 ///
 /// # Errors
-/// Returns [`EngineError::MemoryBudget`] when a worker exceeds the
-/// cluster's budget, or [`EngineError::Resolve`] for catalog mismatches.
+/// Returns [`EngineError::InvalidPlan`] when the pre-flight analyzer
+/// rejects the plan (malformed join order, unexecutable HyperCube
+/// configuration, filters that would be dropped, …),
+/// [`EngineError::MemoryBudget`] when a worker exceeds the cluster's
+/// budget, or [`EngineError::Resolve`] for catalog mismatches. Analyzer
+/// *warnings* do not fail the run; they are carried on
+/// [`RunResult::diagnostics`].
 pub fn run_config(
     query: &ConjunctiveQuery,
     db: &parjoin_common::Database,
@@ -417,6 +472,27 @@ pub fn run_config(
     let name = format!("{}_{}", shuffle_alg.tag(), join_alg.tag());
     let mut result = RunResult::new(name, cluster.workers);
 
+    // Pre-flight static analysis: refuse to run plans the analyzer
+    // proves broken (instead of panicking mid-flight); carry warnings
+    // through on the result. The *effective* join order — explicit or
+    // greedy — is what gets vetted.
+    let spec = analyze::PlanSpec {
+        query,
+        cards: cards.clone(),
+        workers: cluster.workers,
+        memory_budget: cluster.memory_budget,
+        shuffle: shuffle_alg.into(),
+        join: join_alg.into(),
+        join_order: Some(join_order.clone()),
+        hc_config: opts.hc_config.clone(),
+        tj_order: opts.tj_order.clone(),
+    };
+    let diagnostics = analyze::analyze(&spec);
+    if analyze::has_errors(&diagnostics) {
+        return Err(EngineError::InvalidPlan(diagnostics));
+    }
+    result.diagnostics = diagnostics;
+
     // Seed each atom round-robin, as the initial data placement.
     let seeded: Vec<DistRel> = resolved
         .iter()
@@ -425,11 +501,27 @@ pub fn run_config(
 
     match shuffle_alg {
         ShuffleAlg::Regular => run_regular(
-            query, cluster, join_alg, opts, &join_order, seeded, residual, &mut result,
+            query,
+            cluster,
+            join_alg,
+            opts,
+            &join_order,
+            seeded,
+            residual,
+            &mut result,
         )?,
         ShuffleAlg::Broadcast | ShuffleAlg::HyperCube => run_one_round(
-            query, cluster, shuffle_alg, join_alg, opts, &atom_vars, &cards, &join_order,
-            seeded, residual, &mut result,
+            query,
+            cluster,
+            shuffle_alg,
+            join_alg,
+            opts,
+            &atom_vars,
+            &cards,
+            &join_order,
+            seeded,
+            residual,
+            &mut result,
         )?,
     }
 
@@ -437,8 +529,11 @@ pub fn run_config(
 
     if opts.collect_output {
         if let Some(out) = result.output.take() {
-            result.output =
-                Some(if opts.distinct_output { out.distinct() } else { out });
+            result.output = Some(if opts.distinct_output {
+                out.distinct()
+            } else {
+                out
+            });
         }
     }
     Ok(result)
@@ -456,7 +551,11 @@ fn run_regular(
     mut pending: Vec<Filter>,
     result: &mut RunResult,
 ) -> Result<(), EngineError> {
-    assert_eq!(order.len(), seeded.len(), "join order must cover every atom");
+    assert_eq!(
+        order.len(),
+        seeded.len(),
+        "join order must cover every atom"
+    );
 
     let mut seeded: Vec<Option<DistRel>> = seeded.into_iter().map(Some).collect();
     let mut cur = seeded[order[0]].take().expect("first atom present");
@@ -470,7 +569,14 @@ fn run_regular(
         cur.parts = cur
             .parts
             .iter()
-            .map(|p| SchemaRel { vars: vars.clone(), rel: p.clone() }.filter(&ready0).rel)
+            .map(|p| {
+                SchemaRel {
+                    vars: vars.clone(),
+                    rel: p.clone(),
+                }
+                .filter(&ready0)
+                .rel
+            })
             .collect();
     }
 
@@ -529,23 +635,41 @@ fn run_regular(
         result.absorb_shuffle(s2);
         result.rounds += 1;
 
+        #[cfg(feature = "strict-invariants")]
+        crate::strict::assert_colocated(&cur_s, &next_s, &shuffle_key, "regular shuffle");
+
         // Per-worker binary join.
         let out_schema = {
-            let a = SchemaRel { vars: cur_s.vars.clone(), rel: Relation::new(cur_s.vars.len().max(1)) };
-            let b = SchemaRel { vars: next_s.vars.clone(), rel: Relation::new(next_s.vars.len().max(1)) };
+            let a = SchemaRel {
+                vars: cur_s.vars.clone(),
+                rel: Relation::new(cur_s.vars.len().max(1)),
+            };
+            let b = SchemaRel {
+                vars: next_s.vars.clone(),
+                rel: Relation::new(next_s.vars.len().max(1)),
+            };
             hash_join(&a, &b, 0).vars
         };
         let ready = take_ready_filters(&mut pending, &out_schema);
         let seed = cluster.seed;
         let phase = run_phase(cluster.workers, |w| {
-            let a = SchemaRel { vars: cur_s.vars.clone(), rel: cur_s.parts[w].clone() };
-            let b = SchemaRel { vars: next_s.vars.clone(), rel: next_s.parts[w].clone() };
+            let a = SchemaRel {
+                vars: cur_s.vars.clone(),
+                rel: cur_s.parts[w].clone(),
+            };
+            let b = SchemaRel {
+                vars: next_s.vars.clone(),
+                rel: next_s.parts[w].clone(),
+            };
             let (joined, sort_buf) = match join_alg {
                 JoinAlg::Hash => (hash_join(&a, &b, seed), 0),
                 JoinAlg::Tributary => merge_join(&a, &b, seed),
             };
-            let filtered =
-                if ready.is_empty() { joined } else { joined.filter(&ready) };
+            let filtered = if ready.is_empty() {
+                joined
+            } else {
+                joined.filter(&ready)
+            };
             // Memory model per the paper's Q4 discussion: the pipelined
             // hash join keeps only its build side (the smaller input)
             // resident plus the output in flight, while the blocking
@@ -553,12 +677,9 @@ fn run_regular(
             // sorted copies — which is why RS_TJ runs out of memory
             // where RS_HJ survives (Figure 9).
             let live = match join_alg {
-                JoinAlg::Hash => {
-                    a.rel.len().min(b.rel.len()) as u64 + filtered.rel.len() as u64
-                }
+                JoinAlg::Hash => a.rel.len().min(b.rel.len()) as u64 + filtered.rel.len() as u64,
                 JoinAlg::Tributary => {
-                    a.rel.len() as u64 + b.rel.len() as u64 + sort_buf
-                        + filtered.rel.len() as u64
+                    a.rel.len() as u64 + b.rel.len() as u64 + sort_buf + filtered.rel.len() as u64
                 }
             };
             (filtered.rel, live)
@@ -574,10 +695,29 @@ fn run_regular(
         // are per-step and small compared to the one-round plans').
         result.absorb_phase(&phase.busy, None);
 
-        cur = DistRel { vars: out_schema, parts };
+        cur = DistRel {
+            vars: out_schema,
+            parts,
+        };
         cur_label = format!("{cur_label}{next_label}");
     }
-    debug_assert!(pending.is_empty(), "all filters applied: {pending:?}");
+    // The analyzer rejects plans whose filters never bind
+    // (`FilterNeverApplied`), so this is unreachable through `run_config`;
+    // it remains a hard error — not a debug assertion — so release builds
+    // can never silently drop a filter.
+    if !pending.is_empty() {
+        return Err(EngineError::InvalidPlan(
+            pending
+                .iter()
+                .map(|f| {
+                    Diagnostic::error(
+                        analyze::DiagCode::FilterNeverApplied,
+                        format!("filter {f:?} was never applied by the join order"),
+                    )
+                })
+                .collect(),
+        ));
+    }
 
     finish_output(query, cluster, opts, cur, result);
     Ok(())
@@ -681,6 +821,15 @@ fn run_one_round(
         ShuffleAlg::Regular => unreachable!("handled by run_regular"),
     };
 
+    #[cfg(feature = "strict-invariants")]
+    crate::strict::assert_all_colocated(
+        &shuffled,
+        match shuffle_alg {
+            ShuffleAlg::Broadcast => "broadcast shuffle",
+            _ => "hypercube shuffle",
+        },
+    );
+
     result.rounds += 1;
     {
         let stats: Vec<&ShuffleStats> = result.shuffles.iter().collect();
@@ -702,7 +851,10 @@ fn run_one_round(
     let phase = run_phase(cluster.workers, |w| {
         let locals: Vec<SchemaRel> = shuffled
             .iter()
-            .map(|d| SchemaRel { vars: d.vars.clone(), rel: d.parts[w].clone() })
+            .map(|d| SchemaRel {
+                vars: d.vars.clone(),
+                rel: d.parts[w].clone(),
+            })
             .collect();
         match join_alg {
             JoinAlg::Hash => {
@@ -716,7 +868,11 @@ fn run_one_round(
                 for &ai in &local_order[1..] {
                     let joined = hash_join(&cur, &locals[ai], seed);
                     let ready = take_ready_filters(&mut pending, &joined.vars);
-                    cur = if ready.is_empty() { joined } else { joined.filter(&ready) };
+                    cur = if ready.is_empty() {
+                        joined
+                    } else {
+                        joined.filter(&ready)
+                    };
                     live = live.max(
                         locals.iter().map(|l| l.rel.len() as u64).sum::<u64>()
                             + cur.rel.len() as u64,
@@ -735,8 +891,15 @@ fn run_one_round(
                     .map(|l| SortedAtom::prepare(&l.rel, &l.vars, order))
                     .collect();
                 let sort_time = t_sort.elapsed();
-                let live: u64 =
-                    locals.iter().map(|l| 2 * l.rel.len() as u64).sum::<u64>();
+                #[cfg(feature = "strict-invariants")]
+                for (i, sa) in prepared.iter().enumerate() {
+                    assert!(
+                        sa.relation().is_sorted_lex(),
+                        "strict-invariants: Tributary input {i} is not sorted \
+                         lexicographically after prepare"
+                    );
+                }
+                let live: u64 = locals.iter().map(|l| 2 * l.rel.len() as u64).sum::<u64>();
                 let tj = Tributary::new(&prepared, order, &pending, num_vars);
                 let mut out = Relation::new(head.len().max(1));
                 let mut row = Vec::with_capacity(head.len());
@@ -762,7 +925,10 @@ fn run_one_round(
     }
     result.absorb_phase(&phase.busy, Some(&sort_times));
 
-    let out = DistRel { vars: head, parts: outputs };
+    let out = DistRel {
+        vars: head,
+        parts: outputs,
+    };
     finish_output(query, cluster, opts, out, result);
     Ok(())
 }
@@ -805,11 +971,7 @@ fn finish_output(
 /// with one hash shuffle on the head values, and gathers the final
 /// groups. The combine shuffle is recorded in the run's metrics like any
 /// other.
-fn group_count_output(
-    cluster: &Cluster,
-    projected: &DistRel,
-    result: &mut RunResult,
-) -> Relation {
+fn group_count_output(cluster: &Cluster, projected: &DistRel, result: &mut RunResult) -> Relation {
     use std::collections::BTreeMap;
     let workers = cluster.workers;
     let arity = projected.vars.len().max(1);
@@ -830,8 +992,7 @@ fn group_count_output(
         .collect();
 
     // Route partial groups by hash of the group key.
-    let mut dest: Vec<BTreeMap<Vec<parjoin_common::Value>, u64>> =
-        vec![BTreeMap::new(); workers];
+    let mut dest: Vec<BTreeMap<Vec<parjoin_common::Value>, u64>> = vec![BTreeMap::new(); workers];
     let mut per_producer = vec![0u64; workers];
     let mut per_consumer = vec![0u64; workers];
     for (w, groups) in local.into_iter().enumerate() {
@@ -842,11 +1003,8 @@ fn group_count_output(
             *dest[d].entry(key).or_insert(0) += count;
         }
     }
-    let stats = parjoin_common::ShuffleStats::new(
-        "group-count combine",
-        per_producer,
-        per_consumer,
-    );
+    let stats =
+        parjoin_common::ShuffleStats::new("group-count combine", per_producer, per_consumer);
     result.rounds += 1;
     result.wall += cluster.round_latency;
     result.absorb_network(&[&stats], cluster.shuffle_tuple_cost);
@@ -918,12 +1076,42 @@ mod tests {
         j: JoinAlg,
     ) -> Vec<Vec<u64>> {
         let cluster = Cluster::new(workers).with_seed(17);
-        let opts = PlanOptions { collect_output: true, ..Default::default() };
+        let opts = PlanOptions {
+            collect_output: true,
+            ..Default::default()
+        };
         let r = run_config(q, db, &cluster, s, j, &opts).expect("plan runs");
-        let mut rows: Vec<Vec<u64>> =
-            r.output.expect("collected").rows().map(|x| x.to_vec()).collect();
+        let mut rows: Vec<Vec<u64>> = r
+            .output
+            .expect("collected")
+            .rows()
+            .map(|x| x.to_vec())
+            .collect();
         rows.sort();
         rows
+    }
+
+    #[test]
+    fn scale_duration_survives_u32_overflowing_tuple_counts() {
+        // 5 billion tuples at 1ns each: `Duration * u32` would have
+        // saturated the count at ~4.29 billion and charged ~4.29s.
+        let tuples = 5_000_000_000u64;
+        let cost = scale_duration(Duration::from_nanos(1), tuples);
+        assert_eq!(cost, Duration::from_secs(5));
+        // And the extreme case clamps instead of wrapping.
+        assert_eq!(
+            scale_duration(Duration::from_secs(u64::MAX), u64::MAX),
+            Duration::MAX
+        );
+    }
+
+    #[test]
+    fn absorb_network_charges_full_tuple_counts() {
+        let mut r = RunResult::new("t".into(), 1);
+        let stats = ShuffleStats::new("s", vec![5_000_000_000], vec![0]);
+        r.absorb_network(&[&stats], Duration::from_nanos(1));
+        assert_eq!(r.per_worker_net[0], Duration::from_secs(5));
+        assert_eq!(r.wall, Duration::from_secs(5));
     }
 
     #[test]
@@ -955,10 +1143,24 @@ mod tests {
         let db = ring_db(60);
         let cluster = Cluster::new(8);
         let opts = PlanOptions::default();
-        let hc = run_config(&q, &db, &cluster, ShuffleAlg::HyperCube, JoinAlg::Tributary, &opts)
-            .unwrap();
-        let br = run_config(&q, &db, &cluster, ShuffleAlg::Broadcast, JoinAlg::Tributary, &opts)
-            .unwrap();
+        let hc = run_config(
+            &q,
+            &db,
+            &cluster,
+            ShuffleAlg::HyperCube,
+            JoinAlg::Tributary,
+            &opts,
+        )
+        .unwrap();
+        let br = run_config(
+            &q,
+            &db,
+            &cluster,
+            ShuffleAlg::Broadcast,
+            JoinAlg::Tributary,
+            &opts,
+        )
+        .unwrap();
         assert!(hc.tuples_shuffled < br.tuples_shuffled);
     }
 
@@ -969,10 +1171,11 @@ mod tests {
         b.atom("Big", [x, y]).atom("Small", [y, z]);
         let q = b.build();
         let mut db = Database::new();
-        let big =
-            Relation::from_rows(2, (0..100u64).map(|i| [i, i % 10]).collect::<Vec<_>>().iter());
-        let small =
-            Relation::from_rows(2, (0..10u64).map(|i| [i, i]).collect::<Vec<_>>().iter());
+        let big = Relation::from_rows(
+            2,
+            (0..100u64).map(|i| [i, i % 10]).collect::<Vec<_>>().iter(),
+        );
+        let small = Relation::from_rows(2, (0..10u64).map(|i| [i, i]).collect::<Vec<_>>().iter());
         db.insert("Big", big);
         db.insert("Small", small);
         let r = run_config(
@@ -1037,9 +1240,19 @@ mod tests {
         let q = b.build();
         let db = ring_db(10);
         let cluster = Cluster::new(2);
-        let opts = PlanOptions { collect_output: true, ..Default::default() };
-        let r = run_config(&q, &db, &cluster, ShuffleAlg::HyperCube, JoinAlg::Tributary, &opts)
-            .unwrap();
+        let opts = PlanOptions {
+            collect_output: true,
+            ..Default::default()
+        };
+        let r = run_config(
+            &q,
+            &db,
+            &cluster,
+            ShuffleAlg::HyperCube,
+            JoinAlg::Tributary,
+            &opts,
+        )
+        .unwrap();
         assert_eq!(r.output.unwrap().arity(), 1);
     }
 
@@ -1090,13 +1303,28 @@ mod tests {
         let db = ring_db(12);
         let cluster = Cluster::new(3);
         let bag = run_config(
-            &q, &db, &cluster, ShuffleAlg::Regular, JoinAlg::Hash,
-            &PlanOptions { collect_output: true, ..Default::default() },
+            &q,
+            &db,
+            &cluster,
+            ShuffleAlg::Regular,
+            JoinAlg::Hash,
+            &PlanOptions {
+                collect_output: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         let set = run_config(
-            &q, &db, &cluster, ShuffleAlg::Regular, JoinAlg::Hash,
-            &PlanOptions { collect_output: true, distinct_output: true, ..Default::default() },
+            &q,
+            &db,
+            &cluster,
+            ShuffleAlg::Regular,
+            JoinAlg::Hash,
+            &PlanOptions {
+                collect_output: true,
+                distinct_output: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(set.output.unwrap().len() < bag.output.unwrap().len());

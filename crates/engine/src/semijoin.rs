@@ -49,7 +49,11 @@ fn distributed_semijoin(
     reducer: &DistRel,
     cluster: &Cluster,
     label: &str,
-) -> (DistRel, parjoin_common::ShuffleStats, parjoin_common::ShuffleStats) {
+) -> (
+    DistRel,
+    parjoin_common::ShuffleStats,
+    parjoin_common::ShuffleStats,
+) {
     let shared: Vec<VarId> = target
         .vars
         .iter()
@@ -62,27 +66,36 @@ fn distributed_semijoin(
     let cols: Vec<usize> = shared.iter().map(|&v| reducer.col_of(v)).collect();
     let projected = DistRel {
         vars: shared.clone(),
-        parts: reducer.parts.iter().map(|p| p.project(&cols).distinct()).collect(),
+        parts: reducer
+            .parts
+            .iter()
+            .map(|p| p.project(&cols).distinct())
+            .collect(),
     };
 
     // Shuffle both on the shared variables.
-    let (proj_s, stats_proj) = shuffle::regular(
-        &projected,
-        &shared,
-        format!("{label}: keys"),
-        cluster.seed,
-    );
+    let (proj_s, stats_proj) =
+        shuffle::regular(&projected, &shared, format!("{label}: keys"), cluster.seed);
     let (tgt_s, stats_tgt) =
         shuffle::regular(target, &shared, format!("{label}: input"), cluster.seed);
 
     // Local semijoin.
     let seed = cluster.seed;
     let phase = run_phase(cluster.workers, |w| {
-        let t = SchemaRel { vars: tgt_s.vars.clone(), rel: tgt_s.parts[w].clone() };
-        let r = SchemaRel { vars: proj_s.vars.clone(), rel: proj_s.parts[w].clone() };
+        let t = SchemaRel {
+            vars: tgt_s.vars.clone(),
+            rel: tgt_s.parts[w].clone(),
+        };
+        let r = SchemaRel {
+            vars: proj_s.vars.clone(),
+            rel: proj_s.parts[w].clone(),
+        };
         local_semijoin(&t, &r, seed).rel
     });
-    let reduced = DistRel { vars: target.vars.clone(), parts: phase.results };
+    let reduced = DistRel {
+        vars: target.vars.clone(),
+        parts: phase.results,
+    };
     (reduced, stats_proj, stats_tgt)
 }
 
@@ -158,8 +171,11 @@ pub fn run_semijoin_plan(
         final_query.atoms[i].relation = name;
         // The reduced relations are variables-only (selections applied
         // during resolve); rewrite terms accordingly.
-        final_query.atoms[i].terms =
-            d.vars.iter().map(|&v| parjoin_query::Term::Var(v)).collect();
+        final_query.atoms[i].terms = d
+            .vars
+            .iter()
+            .map(|&v| parjoin_query::Term::Var(v))
+            .collect();
     }
     // Single-variable filters were already applied during the original
     // resolve; drop them to avoid double application (harmless but noisy).
@@ -218,7 +234,10 @@ mod tests {
         // R has dangling tuples (y values 100+ never join S).
         let r = Relation::from_rows(
             2,
-            (0..20u64).map(|i| [i, if i < 10 { i } else { i + 100 }]).collect::<Vec<_>>().iter(),
+            (0..20u64)
+                .map(|i| [i, if i < 10 { i } else { i + 100 }])
+                .collect::<Vec<_>>()
+                .iter(),
         );
         let s = Relation::from_rows(2, (0..10u64).map(|i| [i, i * 2]).collect::<Vec<_>>().iter());
         let t = Relation::from_rows(2, (0..20u64).map(|i| [i, i]).collect::<Vec<_>>().iter());
@@ -233,12 +252,14 @@ mod tests {
         let q = path_query();
         let db = path_db();
         let cluster = Cluster::new(4).with_seed(3);
-        let opts = PlanOptions { collect_output: true, ..Default::default() };
+        let opts = PlanOptions {
+            collect_output: true,
+            ..Default::default()
+        };
         let sj = run_semijoin_plan(&q, &db, &cluster, &opts).expect("acyclic");
-        let rs = run_config(&q, &db, &cluster, ShuffleAlg::Regular, JoinAlg::Hash, &opts)
-            .expect("plan");
-        let mut a: Vec<Vec<u64>> =
-            sj.run.output.unwrap().rows().map(|r| r.to_vec()).collect();
+        let rs =
+            run_config(&q, &db, &cluster, ShuffleAlg::Regular, JoinAlg::Hash, &opts).expect("plan");
+        let mut a: Vec<Vec<u64>> = sj.run.output.unwrap().rows().map(|r| r.to_vec()).collect();
         let mut b: Vec<Vec<u64>> = rs.output.unwrap().rows().map(|r| r.to_vec()).collect();
         a.sort();
         b.sort();
@@ -281,9 +302,6 @@ mod tests {
             sj.run.tuples_shuffled,
             sj.run.shuffles.iter().map(|s| s.tuples_sent).sum::<u64>()
         );
-        assert!(
-            sj.run.tuples_shuffled
-                >= sj.projected_tuples_shuffled + sj.input_tuples_shuffled
-        );
+        assert!(sj.run.tuples_shuffled >= sj.projected_tuples_shuffled + sj.input_tuples_shuffled);
     }
 }

@@ -55,7 +55,10 @@ pub fn regular(
         }
     }
     (
-        DistRel { vars: input.vars.clone(), parts },
+        DistRel {
+            vars: input.vars.clone(),
+            parts,
+        },
         ShuffleStats::new(label, per_producer, per_consumer),
     )
 }
@@ -65,12 +68,18 @@ pub fn broadcast(input: &DistRel, label: impl Into<String>) -> (DistRel, Shuffle
     let workers = input.workers();
     let full = input.gather();
     let total = full.len() as u64;
-    let per_producer: Vec<u64> =
-        input.parts.iter().map(|p| p.len() as u64 * workers as u64).collect();
+    let per_producer: Vec<u64> = input
+        .parts
+        .iter()
+        .map(|p| p.len() as u64 * workers as u64)
+        .collect();
     let per_consumer = vec![total; workers];
     let parts: Vec<Relation> = (0..workers).map(|_| full.clone()).collect();
     (
-        DistRel { vars: input.vars.clone(), parts },
+        DistRel {
+            vars: input.vars.clone(),
+            parts,
+        },
         ShuffleStats::new(label, per_producer, per_consumer),
     )
 }
@@ -100,8 +109,11 @@ pub fn hypercube(
     // Per-dimension hash seeds (independent h_i per variable).
     let seeds: Vec<u64> = (0..k).map(|d| hash::dimension_seed(base_seed, d)).collect();
     // Which dimensions this atom pins, and from which column.
-    let pinned: Vec<Option<usize>> =
-        config.vars().iter().map(|&v| input.vars.iter().position(|&x| x == v)).collect();
+    let pinned: Vec<Option<usize>> = config
+        .vars()
+        .iter()
+        .map(|&v| input.vars.iter().position(|&x| x == v))
+        .collect();
     let free_dims: Vec<usize> = (0..k).filter(|&d| pinned[d].is_none()).collect();
 
     let arity = input.vars.len();
@@ -143,7 +155,10 @@ pub fn hypercube(
         }
     }
     (
-        DistRel { vars: input.vars.clone(), parts },
+        DistRel {
+            vars: input.vars.clone(),
+            parts,
+        },
         ShuffleStats::new(label, per_producer, per_consumer),
     )
 }
@@ -211,12 +226,10 @@ pub fn skew_resilient_pair(
         }
     }
 
-    let route = |input: &DistRel,
-                 cols: &[usize],
-                 is_a: bool|
-     -> (DistRel, ShuffleStats) {
-        let mut parts: Vec<Relation> =
-            (0..workers).map(|_| Relation::new(input.vars.len())).collect();
+    let route = |input: &DistRel, cols: &[usize], is_a: bool| -> (DistRel, ShuffleStats) {
+        let mut parts: Vec<Relation> = (0..workers)
+            .map(|_| Relation::new(input.vars.len()))
+            .collect();
         let mut per_producer = vec![0u64; workers];
         let mut per_consumer = vec![0u64; workers];
         let mut key = Vec::with_capacity(cols.len());
@@ -251,9 +264,15 @@ pub fn skew_resilient_pair(
             }
         }
         (
-            DistRel { vars: input.vars.clone(), parts },
+            DistRel {
+                vars: input.vars.clone(),
+                parts,
+            },
             ShuffleStats::new(
-                format!("{} ->skew-resilient", if is_a { labels.0 } else { labels.1 }),
+                format!(
+                    "{} ->skew-resilient",
+                    if is_a { labels.0 } else { labels.1 }
+                ),
                 per_producer,
                 per_consumer,
             ),
@@ -275,7 +294,13 @@ mod tests {
     }
 
     fn edges(n: u64) -> Relation {
-        Relation::from_rows(2, (0..n).map(|i| [i, (i * 7 + 1) % n]).collect::<Vec<_>>().iter())
+        Relation::from_rows(
+            2,
+            (0..n)
+                .map(|i| [i, (i * 7 + 1) % n])
+                .collect::<Vec<_>>()
+                .iter(),
+        )
     }
 
     #[test]
@@ -288,8 +313,7 @@ mod tests {
         // Same key value → same destination.
         for part in &out.parts {
             for row in part.rows() {
-                let expect =
-                    hash::bucket_row(&[row[1]], join_key_seed(42, &[v(1)]), 8);
+                let expect = hash::bucket_row(&[row[1]], join_key_seed(42, &[v(1)]), 8);
                 let here = out
                     .parts
                     .iter()
@@ -392,8 +416,7 @@ mod tests {
                     continue;
                 }
                 let meet = (0..8).any(|w| {
-                    or.parts[w].rows().any(|x| x == rr)
-                        && os.parts[w].rows().any(|x| x == sr)
+                    or.parts[w].rows().any(|x| x == rr) && os.parts[w].rows().any(|x| x == sr)
                 });
                 assert!(meet, "tuples {rr:?} ⋈ {sr:?} never meet");
             }
@@ -427,8 +450,7 @@ mod tests {
         }
         let da = DistRel::round_robin(&a, vec![v(0), v(1)], 8);
         let db = DistRel::round_robin(&b, vec![v(1), v(2)], 8);
-        let (oa, ob, sa, sb, heavy) =
-            skew_resilient_pair(&da, &db, &[v(1)], ("A", "B"), 3, 2.0);
+        let (oa, ob, sa, sb, heavy) = skew_resilient_pair(&da, &db, &[v(1)], ("A", "B"), 3, 2.0);
         assert!(heavy >= 1, "key 7 must be detected as heavy");
         // Correctness: every joining pair meets at exactly one worker.
         for ra in a.rows() {
@@ -438,8 +460,7 @@ mod tests {
                 }
                 let meets = (0..8)
                     .filter(|&w| {
-                        oa.parts[w].rows().any(|x| x == ra)
-                            && ob.parts[w].rows().any(|x| x == rb)
+                        oa.parts[w].rows().any(|x| x == ra) && ob.parts[w].rows().any(|x| x == rb)
                     })
                     .count();
                 assert!(meets >= 1, "{ra:?} ⋈ {rb:?} never meets");
@@ -447,7 +468,11 @@ mod tests {
         }
         // Load balance: the hot key's 200 tuples no longer pile onto one
         // worker.
-        assert!(sa.consumer_skew() < 2.0, "spread side balanced: {}", sa.consumer_skew());
+        assert!(
+            sa.consumer_skew() < 2.0,
+            "spread side balanced: {}",
+            sa.consumer_skew()
+        );
         // The replicated side pays duplication.
         assert!(sb.tuples_sent > b.len() as u64);
     }
@@ -458,8 +483,7 @@ mod tests {
         let da = DistRel::round_robin(&rel, vec![v(0), v(1)], 4);
         let db2 = DistRel::round_robin(&rel, vec![v(1), v(2)], 4);
         // Absurdly high threshold: nothing is heavy.
-        let (oa, _ob, sa, _sb, heavy) =
-            skew_resilient_pair(&da, &db2, &[v(1)], ("A", "B"), 9, 1e9);
+        let (oa, _ob, sa, _sb, heavy) = skew_resilient_pair(&da, &db2, &[v(1)], ("A", "B"), 9, 1e9);
         assert_eq!(heavy, 0);
         let (ra, rs) = regular(&da, &[v(1)], "A", 9);
         assert_eq!(sa.tuples_sent, rs.tuples_sent);
@@ -474,7 +498,10 @@ mod tests {
 
     #[test]
     fn join_key_seed_is_order_insensitive() {
-        assert_eq!(join_key_seed(1, &[v(2), v(5)]), join_key_seed(1, &[v(5), v(2)]));
+        assert_eq!(
+            join_key_seed(1, &[v(2), v(5)]),
+            join_key_seed(1, &[v(5), v(2)])
+        );
         assert_ne!(join_key_seed(1, &[v(2)]), join_key_seed(1, &[v(3)]));
     }
 }

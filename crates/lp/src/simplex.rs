@@ -89,7 +89,10 @@ impl LpProblem {
 
     /// A maximization problem over `n` non-negative variables.
     pub fn maximize(n: usize) -> Self {
-        LpProblem { minimize: false, ..LpProblem::minimize(n) }
+        LpProblem {
+            minimize: false,
+            ..LpProblem::minimize(n)
+        }
     }
 
     /// Sets the objective coefficients.
@@ -117,7 +120,11 @@ impl LpProblem {
     /// Panics if `coeffs.len() != n`.
     pub fn constraint(&mut self, coeffs: &[f64], cmp: Cmp, rhs: f64) -> &mut Self {
         assert_eq!(coeffs.len(), self.n, "constraint length mismatch");
-        self.constraints.push(Constraint { coeffs: coeffs.to_vec(), cmp, rhs });
+        self.constraints.push(Constraint {
+            coeffs: coeffs.to_vec(),
+            cmp,
+            rhs,
+        });
         self
     }
 
@@ -140,8 +147,7 @@ impl LpProblem {
             }
         }
         let slack_start = ncols;
-        let num_slacks =
-            self.constraints.iter().filter(|c| c.cmp != Cmp::Eq).count();
+        let num_slacks = self.constraints.iter().filter(|c| c.cmp != Cmp::Eq).count();
         ncols += num_slacks;
 
         let m = self.constraints.len();
@@ -235,8 +241,7 @@ impl LpProblem {
             let (u, v) = col_of_var[i];
             x[i] = xs[u] - v.map_or(0.0, |v| xs[v]);
         }
-        let objective: f64 =
-            self.objective.iter().zip(&x).map(|(c, xi)| c * xi).sum();
+        let objective: f64 = self.objective.iter().zip(&x).map(|(c, xi)| c * xi).sum();
         Ok(LpSolution { x, objective })
     }
 }
@@ -261,7 +266,11 @@ fn simplex_core(
             }
             let mut zj = 0.0;
             for r in 0..m {
-                let cb = if basis[r] < cost.len() { cost[basis[r]] } else { 0.0 };
+                let cb = if basis[r] < cost.len() {
+                    cost[basis[r]]
+                } else {
+                    0.0
+                };
                 if cb != 0.0 {
                     zj += cb * rows[r][j];
                 }
@@ -276,7 +285,11 @@ fn simplex_core(
             // Optimal: compute objective value.
             let mut obj = 0.0;
             for r in 0..m {
-                let cb = if basis[r] < cost.len() { cost[basis[r]] } else { 0.0 };
+                let cb = if basis[r] < cost.len() {
+                    cost[basis[r]]
+                } else {
+                    0.0
+                };
                 obj += cb * rhs[r];
             }
             return Ok(obj);
@@ -289,8 +302,7 @@ fn simplex_core(
             if rows[r][e] > EPS {
                 let ratio = rhs[r] / rows[r][e];
                 let better = ratio < best - EPS
-                    || (ratio < best + EPS
-                        && leave.is_none_or(|l| basis[r] < basis[l]));
+                    || (ratio < best + EPS && leave.is_none_or(|l| basis[r] < basis[l]));
                 if better {
                     best = ratio;
                     leave = Some(r);
@@ -323,7 +335,11 @@ fn pivot(rows: &mut [Vec<f64>], rhs: &mut [f64], l: usize, e: usize) {
             continue;
         }
         let (head, tail) = rows.split_at_mut(l.max(r));
-        let (src, dst) = if l < r { (&head[l], &mut tail[0]) } else { (&tail[0], &mut head[r]) };
+        let (src, dst) = if l < r {
+            (&head[l], &mut tail[0])
+        } else {
+            (&tail[0], &mut head[r])
+        };
         for (d, s) in dst.iter_mut().zip(src.iter()) {
             *d -= f * s;
         }

@@ -12,9 +12,7 @@ fn brute_force_2d(obj: (f64, f64), cons: &[(f64, f64, f64)]) -> Option<f64> {
     lines.push((1.0, 0.0, 0.0));
     lines.push((0.0, 1.0, 0.0));
     let feasible = |x: f64, y: f64| {
-        x >= -1e-7
-            && y >= -1e-7
-            && cons.iter().all(|&(a, b, c)| a * x + b * y <= c + 1e-7)
+        x >= -1e-7 && y >= -1e-7 && cons.iter().all(|&(a, b, c)| a * x + b * y <= c + 1e-7)
     };
     let mut best: Option<f64> = None;
     for i in 0..lines.len() {

@@ -37,12 +37,17 @@ impl JoinTree {
 
     /// Children of atom `i`.
     pub fn children(&self, i: usize) -> Vec<usize> {
-        (0..self.parent.len()).filter(|&c| self.parent[c] == Some(i)).collect()
+        (0..self.parent.len())
+            .filter(|&c| self.parent[c] == Some(i))
+            .collect()
     }
 }
 
 fn edge_sets(q: &ConjunctiveQuery) -> Vec<BTreeSet<VarId>> {
-    q.atoms.iter().map(|a| a.vars().into_iter().collect()).collect()
+    q.atoms
+        .iter()
+        .map(|a| a.vars().into_iter().collect())
+        .collect()
 }
 
 /// Runs the GYO reduction; returns a join tree if the query is acyclic.
@@ -68,9 +73,7 @@ pub fn gyo_join_tree(q: &ConjunctiveQuery) -> Option<JoinTree> {
             let shared: BTreeSet<VarId> = edges[e]
                 .iter()
                 .copied()
-                .filter(|v| {
-                    (0..n).any(|f| f != e && alive[f] && edges[f].contains(v))
-                })
+                .filter(|v| (0..n).any(|f| f != e && alive[f] && edges[f].contains(v)))
                 .collect();
             for f in 0..n {
                 if f == e || !alive[f] {
@@ -104,7 +107,11 @@ pub fn is_acyclic(q: &ConjunctiveQuery) -> bool {
 /// The variables two atoms share (used for semijoin keys and join trees).
 pub fn shared_vars(q: &ConjunctiveQuery, a: usize, b: usize) -> Vec<VarId> {
     let sb: BTreeSet<VarId> = q.atoms[b].vars().into_iter().collect();
-    q.atoms[a].vars().into_iter().filter(|v| sb.contains(v)).collect()
+    q.atoms[a]
+        .vars()
+        .into_iter()
+        .filter(|v| sb.contains(v))
+        .collect()
 }
 
 #[cfg(test)]
@@ -171,7 +178,10 @@ mod tests {
     fn four_cycle_is_cyclic() {
         let mut b = QueryBuilder::new("C4");
         let (x, y, z, p) = (b.var("x"), b.var("y"), b.var("z"), b.var("p"));
-        b.atom("R", [x, y]).atom("S", [y, z]).atom("T", [z, p]).atom("K", [p, x]);
+        b.atom("R", [x, y])
+            .atom("S", [y, z])
+            .atom("T", [z, p])
+            .atom("K", [p, x]);
         assert!(!is_acyclic(&b.build()));
     }
 

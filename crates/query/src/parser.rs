@@ -44,7 +44,10 @@ impl<'a> Cursor<'a> {
     }
 
     fn err(&self, msg: impl Into<String>) -> ParseError {
-        ParseError { at: self.pos, msg: msg.into() }
+        ParseError {
+            at: self.pos,
+            msg: msg.into(),
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -104,7 +107,9 @@ impl<'a> Cursor<'a> {
             return Err(self.err("expected number"));
         }
         self.pos = end;
-        self.src[start..end].parse::<u64>().map_err(|e| self.err(format!("bad number: {e}")))
+        self.src[start..end]
+            .parse::<u64>()
+            .map_err(|e| self.err(format!("bad number: {e}")))
     }
 
     fn cmp_op(&mut self) -> Option<CmpOp> {

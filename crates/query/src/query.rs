@@ -60,7 +60,9 @@ impl Atom {
 
     /// True if the atom mentions `v`.
     pub fn contains_var(&self, v: VarId) -> bool {
-        self.terms.iter().any(|t| matches!(t, Term::Var(x) if *x == v))
+        self.terms
+            .iter()
+            .any(|t| matches!(t, Term::Var(x) if *x == v))
     }
 }
 
@@ -238,14 +240,20 @@ impl ConjunctiveQuery {
         for h in &self.head {
             check(*h)?;
             if !self.atoms.iter().any(|a| a.contains_var(*h)) {
-                return Err(format!("head variable {} not in any atom", self.var_name(*h)));
+                return Err(format!(
+                    "head variable {} not in any atom",
+                    self.var_name(*h)
+                ));
             }
         }
         for f in &self.filters {
             for v in f.vars() {
                 check(v)?;
                 if !self.atoms.iter().any(|a| a.contains_var(v)) {
-                    return Err(format!("filter variable {} not in any atom", self.var_name(v)));
+                    return Err(format!(
+                        "filter variable {} not in any atom",
+                        self.var_name(v)
+                    ));
                 }
             }
         }
@@ -345,7 +353,10 @@ impl QueryBuilder {
     /// Adds a body atom whose arguments are all variables.
     pub fn atom<I: IntoIterator<Item = VarId>>(&mut self, relation: &str, vars: I) -> &mut Self {
         let terms = vars.into_iter().map(Term::Var).collect();
-        self.atoms.push(Atom { relation: relation.to_string(), terms });
+        self.atoms.push(Atom {
+            relation: relation.to_string(),
+            terms,
+        });
         self
     }
 
@@ -355,7 +366,10 @@ impl QueryBuilder {
         relation: &str,
         terms: I,
     ) -> &mut Self {
-        self.atoms.push(Atom { relation: relation.to_string(), terms: terms.into_iter().collect() });
+        self.atoms.push(Atom {
+            relation: relation.to_string(),
+            terms: terms.into_iter().collect(),
+        });
         self
     }
 
@@ -367,13 +381,21 @@ impl QueryBuilder {
 
     /// Adds a variable-vs-variable filter.
     pub fn filter_vv(&mut self, left: VarId, op: CmpOp, right: VarId) -> &mut Self {
-        self.filters.push(Filter { left, op, right: Operand::Var(right) });
+        self.filters.push(Filter {
+            left,
+            op,
+            right: Operand::Var(right),
+        });
         self
     }
 
     /// Adds a variable-vs-constant filter.
     pub fn filter_vc(&mut self, left: VarId, op: CmpOp, c: Value) -> &mut Self {
-        self.filters.push(Filter { left, op, right: Operand::Const(c) });
+        self.filters.push(Filter {
+            left,
+            op,
+            right: Operand::Const(c),
+        });
         self
     }
 
@@ -391,7 +413,7 @@ impl QueryBuilder {
             var_names: self.var_names,
         };
         if let Err(e) = q.validate() {
-            panic!("invalid query `{}`: {e}", q.name);
+            panic!("invalid query `{}`: {e}", q.name); // xtask: allow(panic)
         }
         q
     }
@@ -471,10 +493,18 @@ mod tests {
 
     #[test]
     fn filters_eval() {
-        let f = Filter { left: VarId(0), op: CmpOp::Gt, right: Operand::Var(VarId(1)) };
+        let f = Filter {
+            left: VarId(0),
+            op: CmpOp::Gt,
+            right: Operand::Var(VarId(1)),
+        };
         assert!(f.eval(&[5, 3]));
         assert!(!f.eval(&[3, 5]));
-        let g = Filter { left: VarId(0), op: CmpOp::Le, right: Operand::Const(4) };
+        let g = Filter {
+            left: VarId(0),
+            op: CmpOp::Le,
+            right: Operand::Const(4),
+        };
         assert!(g.eval(&[4, 0]));
         assert!(!g.eval(&[5, 0]));
     }
@@ -494,7 +524,10 @@ mod tests {
     fn display_roundtrips_shape() {
         let q = triangle();
         let s = format!("{q}");
-        assert!(s.contains("T(x, y, z) :- R(x, y), S(y, z), T(z, x)"), "got {s}");
+        assert!(
+            s.contains("T(x, y, z) :- R(x, y), S(y, z), T(z, x)"),
+            "got {s}"
+        );
     }
 
     #[test]

@@ -66,8 +66,15 @@ impl std::fmt::Display for ResolveError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ResolveError::MissingRelation(r) => write!(f, "relation `{r}` not in database"),
-            ResolveError::ArityMismatch { relation, expected, got } => {
-                write!(f, "atom over `{relation}` has {got} terms but arity is {expected}")
+            ResolveError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "atom over `{relation}` has {got} terms but arity is {expected}"
+                )
             }
         }
     }
@@ -165,10 +172,18 @@ pub fn resolve_atoms<'a>(
                     && var_eqs.iter().all(|&(a, b)| row[a] == row[b])
                     && pushable.iter().all(|&(i, op, c)| op.eval(row[i], c))
             });
-            Cow::Owned(if needs_project { filtered.project(&first_pos) } else { filtered })
+            Cow::Owned(if needs_project {
+                filtered.project(&first_pos)
+            } else {
+                filtered
+            })
         };
 
-        out.push(ResolvedAtom { vars, rel, base: atom.relation.clone() });
+        out.push(ResolvedAtom {
+            vars,
+            rel,
+            base: atom.relation.clone(),
+        });
     }
     Ok((out, residual))
 }
@@ -181,8 +196,14 @@ mod tests {
 
     fn db() -> Database {
         let mut db = Database::new();
-        db.insert("R", Relation::from_rows(2, [[1u64, 2], [2, 2], [3, 9]].iter()));
-        db.insert("Name", Relation::from_rows(2, [[10u64, 100], [11, 101], [12, 100]].iter()));
+        db.insert(
+            "R",
+            Relation::from_rows(2, [[1u64, 2], [2, 2], [3, 9]].iter()),
+        );
+        db.insert(
+            "Name",
+            Relation::from_rows(2, [[10u64, 100], [11, 101], [12, 100]].iter()),
+        );
         db
     }
 
@@ -272,7 +293,10 @@ mod tests {
         b.atom("R", [x]);
         let q = b.build();
         let dbv = db();
-        assert!(matches!(resolve_atoms(&q, &dbv), Err(ResolveError::ArityMismatch { .. })));
+        assert!(matches!(
+            resolve_atoms(&q, &dbv),
+            Err(ResolveError::ArityMismatch { .. })
+        ));
     }
 
     #[test]

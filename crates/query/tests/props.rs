@@ -9,8 +9,8 @@ use proptest::prelude::*;
 /// and ≤6 binary atoms, with optional filters.
 fn arb_query() -> impl Strategy<Value = ConjunctiveQuery> {
     (
-        2usize..=6,                                           // variables
-        proptest::collection::vec((0usize..6, 0usize..6), 1..=6), // atom var pairs
+        2usize..=6,                                                         // variables
+        proptest::collection::vec((0usize..6, 0usize..6), 1..=6),           // atom var pairs
         proptest::collection::vec((0usize..6, 0usize..4, 0u64..100), 0..3), // filters
     )
         .prop_map(|(nvars, atoms, filters)| {
@@ -24,8 +24,7 @@ fn arb_query() -> impl Strategy<Value = ConjunctiveQuery> {
                 b.atom(&format!("R{i}"), [vars[a], vars[c]]);
             }
             // Ensure every declared variable is used: add a closing atom.
-            let unused: Vec<_> =
-                (0..nvars).filter(|&i| !used[i]).map(|i| vars[i]).collect();
+            let unused: Vec<_> = (0..nvars).filter(|&i| !used[i]).map(|i| vars[i]).collect();
             if !unused.is_empty() {
                 b.atom("Fix", unused);
             }

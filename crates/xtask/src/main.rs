@@ -1,0 +1,250 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! Workspace automation tasks, invoked as `cargo xtask <task>`.
+//!
+//! The only task so far is `lint`: a source scan that bans `.unwrap()`
+//! and `panic!(` in non-test production code, reporting each violation
+//! as `file:line: …`. Rust's own lint machinery cannot express "no
+//! unwrap outside tests" across a workspace without nightly-only tool
+//! lints, so this small scanner enforces it in CI instead.
+//!
+//! What counts as non-test production code:
+//!
+//! * files under each crate's `src/`, excluding `vendor/`, `tests/`,
+//!   `benches/`, `examples/` and the `xtask` crate itself;
+//! * minus `#[cfg(test)]` modules (tracked by brace depth);
+//! * minus comments (`//`, `///`, `//!`) and doc-comment code fences.
+//!
+//! A line may opt out with an `// xtask: allow(panic)` marker on the
+//! same line or the line directly above — reserved for panics that are
+//! documented API contracts (e.g. `QueryBuilder::build` on an invalid
+//! query).
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => lint(),
+        other => {
+            eprintln!("usage: cargo xtask lint");
+            if let Some(o) = other {
+                eprintln!("unknown task: {o}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Scans production sources for banned constructs; returns failure if
+/// any violation is found.
+fn lint() -> ExitCode {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    collect_sources(&root.join("src"), &mut files);
+    if let Ok(crates) = std::fs::read_dir(root.join("crates")) {
+        for entry in crates.flatten() {
+            if entry.path().file_name().is_some_and(|n| n == "xtask") {
+                continue;
+            }
+            collect_sources(&entry.path().join("src"), &mut files);
+        }
+    }
+    files.sort();
+
+    let mut report = String::new();
+    let mut violations = 0usize;
+    for file in &files {
+        let Ok(text) = std::fs::read_to_string(file) else {
+            continue;
+        };
+        for v in scan(&text) {
+            let rel = file.strip_prefix(&root).unwrap_or(file);
+            let _ = writeln!(report, "{}:{}: {}", rel.display(), v.line, v.what);
+            violations += 1;
+        }
+    }
+
+    if violations > 0 {
+        eprint!("{report}");
+        eprintln!(
+            "xtask lint: {violations} violation(s) in {} file(s) scanned",
+            files.len()
+        );
+        ExitCode::FAILURE
+    } else {
+        eprintln!("xtask lint: clean ({} files scanned)", files.len());
+        ExitCode::SUCCESS
+    }
+}
+
+/// The workspace root: the directory holding the top-level Cargo.toml.
+/// `cargo xtask` runs with the crate dir as cwd only under `cargo run
+/// -p`; rely on the manifest-dir env var and walk two levels up.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest)
+}
+
+fn collect_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// One banned construct occurrence.
+struct Violation {
+    line: usize,
+    what: &'static str,
+}
+
+/// Line-based scan of one file. Tracks `#[cfg(test)]` modules by brace
+/// depth and skips comment lines; string literals are not parsed (none
+/// of the banned tokens appear in the workspace's string data).
+fn scan(text: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    // Depth of the enclosing `#[cfg(test)]` block, if inside one.
+    let mut depth: i64 = 0;
+    let mut test_block_depth: Option<i64> = None;
+    let mut pending_cfg_test = false;
+
+    let mut allow_next = false;
+    for (i, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw);
+        let trimmed = line.trim();
+
+        if test_block_depth.is_none() && trimmed.starts_with("#[cfg(test)]") {
+            pending_cfg_test = true;
+        } else if pending_cfg_test && trimmed.contains('{') {
+            // The `mod tests {` (or fn) line following the attribute.
+            test_block_depth = Some(depth);
+            pending_cfg_test = false;
+        }
+
+        let allowed = std::mem::take(&mut allow_next) || raw.contains("xtask: allow(panic)");
+        if raw.trim_start().starts_with("//") && raw.contains("xtask: allow(panic)") {
+            // A standalone marker line covers the next source line
+            // (rustfmt's preferred placement).
+            allow_next = true;
+        }
+
+        if test_block_depth.is_none() && !trimmed.is_empty() && !allowed {
+            if trimmed.contains(".unwrap()") {
+                out.push(Violation {
+                    line: i + 1,
+                    what: "banned call to `.unwrap()`",
+                });
+            }
+            if trimmed.contains("panic!(") {
+                out.push(Violation {
+                    line: i + 1,
+                    what: "banned `panic!` invocation",
+                });
+            }
+        }
+
+        for c in line.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if test_block_depth.is_some_and(|d| depth <= d) {
+                        test_block_depth = None;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Removes `//` comments (including doc comments) from a line. Does not
+/// attempt full string-literal parsing; `//` inside the workspace's
+/// string literals does not occur together with banned tokens.
+fn strip_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_flags_unwrap_and_panic() {
+        let src = "fn f() {\n    x.unwrap();\n    panic!(\"boom\");\n}\n";
+        let v = scan(src);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].line, 2);
+        assert_eq!(v[1].line, 3);
+    }
+
+    #[test]
+    fn scan_skips_cfg_test_modules_and_comments() {
+        let src = "\
+fn ok() {}
+// a.unwrap() in a comment
+#[cfg(test)]
+mod tests {
+    fn t() { x.unwrap(); panic!(\"fine in tests\"); }
+}
+fn also_ok() {}
+";
+        assert!(scan(src).is_empty());
+    }
+
+    #[test]
+    fn scan_honors_allow_marker() {
+        let src = "fn f() { panic!(\"contract\"); } // xtask: allow(panic)\n";
+        assert!(scan(src).is_empty());
+    }
+
+    #[test]
+    fn scan_honors_allow_marker_on_preceding_line() {
+        // rustfmt moves trailing comments in method chains onto their own
+        // line above the call, so the marker must work there too.
+        let src = "\
+fn f() {
+    x.get(k)
+        // xtask: allow(panic)
+        .unwrap_or_else(|| panic!(\"missing\"));
+    y.unwrap();
+}
+";
+        let v = scan(src);
+        assert_eq!(v.len(), 1, "marker must only cover the next line");
+        assert_eq!(v[0].line, 5);
+    }
+
+    #[test]
+    fn scan_resumes_after_test_module_ends() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    fn t() { x.unwrap(); }
+}
+fn bad() { y.unwrap(); }
+";
+        let v = scan(src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 5);
+    }
+}

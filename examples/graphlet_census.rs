@@ -22,7 +22,11 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(2_000);
-    let scale = Scale { twitter_nodes: nodes, twitter_m: 4, freebase_performances: 1_000 };
+    let scale = Scale {
+        twitter_nodes: nodes,
+        twitter_m: 4,
+        freebase_performances: 1_000,
+    };
     let db = scale.twitter_db(7);
     println!(
         "graph: {} nodes, {} edges (power-law)\n",

@@ -23,14 +23,40 @@ fn main() {
         println!("  {:<14} {:>8} tuples", name, rel.len());
     }
     let cluster = Cluster::new(64);
-    let opts = PlanOptions { collect_output: true, distinct_output: true, ..Default::default() };
+    let opts = PlanOptions {
+        collect_output: true,
+        distinct_output: true,
+        ..Default::default()
+    };
 
-    for spec in [parjoin::datagen::workloads::q3(), parjoin::datagen::workloads::q7()] {
-        println!("\n{} ({}):\n  {}", spec.name, if spec.cyclic { "cyclic" } else { "acyclic" }, spec.query);
-        let rs = run_config(&spec.query, &db, &cluster, ShuffleAlg::Regular, JoinAlg::Tributary, &opts)
-            .expect("RS_TJ");
-        let hc = run_config(&spec.query, &db, &cluster, ShuffleAlg::HyperCube, JoinAlg::Tributary, &opts)
-            .expect("HC_TJ");
+    for spec in [
+        parjoin::datagen::workloads::q3(),
+        parjoin::datagen::workloads::q7(),
+    ] {
+        println!(
+            "\n{} ({}):\n  {}",
+            spec.name,
+            if spec.cyclic { "cyclic" } else { "acyclic" },
+            spec.query
+        );
+        let rs = run_config(
+            &spec.query,
+            &db,
+            &cluster,
+            ShuffleAlg::Regular,
+            JoinAlg::Tributary,
+            &opts,
+        )
+        .expect("RS_TJ");
+        let hc = run_config(
+            &spec.query,
+            &db,
+            &cluster,
+            ShuffleAlg::HyperCube,
+            JoinAlg::Tributary,
+            &opts,
+        )
+        .expect("HC_TJ");
         report("RS_TJ", &rs);
         report("HC_TJ", &hc);
 

@@ -21,8 +21,10 @@ fn main() {
     // Resolve atoms (selection pushdown) and build the cost model from
     // exact distinct-prefix statistics.
     let (atoms, filters) = resolve_atoms(&spec.query, &db).expect("resolves");
-    let model_atoms: Vec<(&Relation, Vec<VarId>)> =
-        atoms.iter().map(|a| (a.rel.as_ref(), a.vars.clone())).collect();
+    let model_atoms: Vec<(&Relation, Vec<VarId>)> = atoms
+        .iter()
+        .map(|a| (a.rel.as_ref(), a.vars.clone()))
+        .collect();
     let model = OrderCostModel::from_atoms(&model_atoms);
 
     // Rank 20 random orders (the paper's Figure 12 protocol) plus the
@@ -35,15 +37,29 @@ fn main() {
     let (best, best_cost) = best_order(&model, &vars);
 
     let fmt_order = |o: &[VarId]| {
-        o.iter().map(|v| spec.query.var_name(*v)).collect::<Vec<_>>().join(" ≺ ")
+        o.iter()
+            .map(|v| spec.query.var_name(*v))
+            .collect::<Vec<_>>()
+            .join(" ≺ ")
     };
-    println!("exhaustive optimum: {}   (estimated cost {:.3e})", fmt_order(&best), best_cost);
+    println!(
+        "exhaustive optimum: {}   (estimated cost {:.3e})",
+        fmt_order(&best),
+        best_cost
+    );
     println!("\nsampled orders, best to worst:");
     for (o, c) in ranked.iter().take(3) {
         println!("  {:<40} {:.3e}", fmt_order(o), c);
     }
     println!("  …");
-    for (o, c) in ranked.iter().rev().take(3).collect::<Vec<_>>().into_iter().rev() {
+    for (o, c) in ranked
+        .iter()
+        .rev()
+        .take(3)
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+    {
         println!("  {:<40} {:.3e}", fmt_order(o), c);
     }
 
@@ -72,7 +88,11 @@ fn main() {
     println!(
         "  worst order: {:?}{}",
         t_worst,
-        if to_worst { " (terminated at cap, like the paper's 1000 s cutoff)" } else { "" }
+        if to_worst {
+            " (terminated at cap, like the paper's 1000 s cutoff)"
+        } else {
+            ""
+        }
     );
     println!(
         "  cost-model optimization buys {}{:.1}x",

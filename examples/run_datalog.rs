@@ -78,11 +78,15 @@ fn main() {
         )
     } else {
         println!("(no arguments: running the built-in demo)\n");
-        ("Tri(x, y, z) :- E(x, y), E(y, z), E(z, x)".to_string(), demo_dir(), "HC_TJ".into())
+        (
+            "Tri(x, y, z) :- E(x, y), E(y, z), E(z, x)".to_string(),
+            demo_dir(),
+            "HC_TJ".into(),
+        )
     };
 
-    let query = parjoin::query::parser::parse(&query_text)
-        .unwrap_or_else(|e| panic!("bad query: {e}"));
+    let query =
+        parjoin::query::parser::parse(&query_text).unwrap_or_else(|e| panic!("bad query: {e}"));
     println!("query:  {query}");
     println!("config: {config}");
 
@@ -98,7 +102,11 @@ fn main() {
 
     let (s, j) = parse_config(&config);
     let cluster = Cluster::new(16);
-    let opts = PlanOptions { collect_output: true, distinct_output: true, ..Default::default() };
+    let opts = PlanOptions {
+        collect_output: true,
+        distinct_output: true,
+        ..Default::default()
+    };
     let result = run_config(&query, &db, &cluster, s, j, &opts)
         .unwrap_or_else(|e| panic!("execution failed: {e}"));
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # parjoin
@@ -52,7 +53,7 @@ pub mod prelude {
     pub use parjoin_common::{Database, Relation};
     pub use parjoin_core::hypercube::{HcConfig, ShareProblem};
     pub use parjoin_core::order::{best_order, OrderCostModel};
-    pub use parjoin_core::tributary::{BTreeAtom, SortedAtom, TrieAtom, TrieCursor, Tributary};
+    pub use parjoin_core::tributary::{BTreeAtom, SortedAtom, Tributary, TrieAtom, TrieCursor};
     pub use parjoin_datagen::{all_queries, DatasetKind, QuerySpec, Scale};
     pub use parjoin_engine::{
         run_config, Cluster, EngineError, JoinAlg, PlanOptions, RunResult, ShuffleAlg,

@@ -19,7 +19,11 @@ fn run(
     group: bool,
 ) -> RunResult {
     let cluster = Cluster::new(workers).with_seed(5);
-    let opts = PlanOptions { collect_output: true, group_count: group, ..Default::default() };
+    let opts = PlanOptions {
+        collect_output: true,
+        group_count: group,
+        ..Default::default()
+    };
     run_config(q, db, &cluster, s, j, &opts).expect("plan runs")
 }
 
@@ -39,7 +43,11 @@ fn group_counts_match_bag_output() {
     assert_eq!(out.arity(), 2, "(x, count)");
     let mut got = std::collections::BTreeMap::new();
     for row in out.rows() {
-        assert!(got.insert(row[0], row[1]).is_none(), "duplicate group {}", row[0]);
+        assert!(
+            got.insert(row[0], row[1]).is_none(),
+            "duplicate group {}",
+            row[0]
+        );
     }
     assert_eq!(got, expect);
     // Sum of counts = bag cardinality; groups = distinct heads.
@@ -53,8 +61,7 @@ fn grouping_agrees_across_configs_and_workers() {
     let db = Scale::tiny().twitter_db(9);
     let reference = {
         let r = run(&q, &db, 1, ShuffleAlg::Regular, JoinAlg::Hash, true);
-        let mut rows: Vec<Vec<u64>> =
-            r.output.unwrap().rows().map(|x| x.to_vec()).collect();
+        let mut rows: Vec<Vec<u64>> = r.output.unwrap().rows().map(|x| x.to_vec()).collect();
         rows.sort();
         rows
     };
@@ -65,8 +72,7 @@ fn grouping_agrees_across_configs_and_workers() {
             (ShuffleAlg::HyperCube, JoinAlg::Tributary),
         ] {
             let r = run(&q, &db, workers, s, j, true);
-            let mut rows: Vec<Vec<u64>> =
-                r.output.unwrap().rows().map(|x| x.to_vec()).collect();
+            let mut rows: Vec<Vec<u64>> = r.output.unwrap().rows().map(|x| x.to_vec()).collect();
             rows.sort();
             assert_eq!(rows, reference, "{workers} workers {s:?}/{j:?}");
         }
@@ -92,12 +98,14 @@ fn combine_shuffle_is_accounted() {
 fn global_count_via_constant_free_group() {
     // Grouping on the full head degenerates gracefully: every distinct
     // assignment is its own group of size 1 for a full CQ over set data.
-    let q = parjoin::query::parser::parse(
-        "T(x, y, z) :- Twitter(x, y), Twitter(y, z), Twitter(z, x)",
-    )
-    .unwrap();
+    let q =
+        parjoin::query::parser::parse("T(x, y, z) :- Twitter(x, y), Twitter(y, z), Twitter(z, x)")
+            .unwrap();
     let db = Scale::tiny().twitter_db(3);
     let grouped = run(&q, &db, 4, ShuffleAlg::HyperCube, JoinAlg::Tributary, true);
     let out = grouped.output.unwrap();
-    assert!(out.rows().all(|r| r[3] == 1), "full-head groups are singletons");
+    assert!(
+        out.rows().all(|r| r[3] == 1),
+        "full-head groups are singletons"
+    );
 }

@@ -13,10 +13,18 @@ fn run_rows(
     j: JoinAlg,
 ) -> Vec<Vec<u64>> {
     let cluster = Cluster::new(workers).with_seed(11);
-    let opts = PlanOptions { collect_output: true, ..Default::default() };
+    let opts = PlanOptions {
+        collect_output: true,
+        ..Default::default()
+    };
     let r = run_config(&spec.query, db, &cluster, s, j, &opts)
         .unwrap_or_else(|e| panic!("{} {s:?}/{j:?}: {e}", spec.name));
-    let mut rows: Vec<Vec<u64>> = r.output.expect("collected").rows().map(|x| x.to_vec()).collect();
+    let mut rows: Vec<Vec<u64>> = r
+        .output
+        .expect("collected")
+        .rows()
+        .map(|x| x.to_vec())
+        .collect();
     rows.sort();
     rows
 }
@@ -33,14 +41,18 @@ fn all_configs() -> Vec<(ShuffleAlg, JoinAlg)> {
 }
 
 fn check_query(spec: &QuerySpec, expect_nonempty: bool) {
-    check_query_at(spec, expect_nonempty, Scale::tiny())
+    check_query_at(spec, expect_nonempty, Scale::tiny());
 }
 
 fn check_query_at(spec: &QuerySpec, expect_nonempty: bool, scale: Scale) {
     let db = scale.db_for(spec.dataset, 7);
     let reference = run_rows(spec, &db, 4, ShuffleAlg::Regular, JoinAlg::Hash);
     if expect_nonempty {
-        assert!(!reference.is_empty(), "{} should have results at tiny scale", spec.name);
+        assert!(
+            !reference.is_empty(),
+            "{} should have results at tiny scale",
+            spec.name
+        );
     }
     for (s, j) in all_configs().into_iter().skip(1) {
         let got = run_rows(spec, &db, 4, s, j);
@@ -48,11 +60,19 @@ fn check_query_at(spec: &QuerySpec, expect_nonempty: bool, scale: Scale) {
     }
     if !spec.cyclic {
         let cluster = Cluster::new(4).with_seed(11);
-        let opts = PlanOptions { collect_output: true, ..Default::default() };
+        let opts = PlanOptions {
+            collect_output: true,
+            ..Default::default()
+        };
         let sj = run_semijoin_plan(&spec.query, &db, &cluster, &opts)
             .unwrap_or_else(|e| panic!("{} semijoin: {e}", spec.name));
-        let mut rows: Vec<Vec<u64>> =
-            sj.run.output.expect("collected").rows().map(|x| x.to_vec()).collect();
+        let mut rows: Vec<Vec<u64>> = sj
+            .run
+            .output
+            .expect("collected")
+            .rows()
+            .map(|x| x.to_vec())
+            .collect();
         rows.sort();
         assert_eq!(rows, reference, "{} semijoin disagrees", spec.name);
     }
@@ -79,8 +99,11 @@ fn q4_actor_pairs() {
     // Q4's regular-shuffle plan blows up combinatorially (the paper's
     // point: 13.9 *billion* intermediate tuples at full scale), so the
     // agreement check runs on an extra-small catalog.
-    let scale =
-        Scale { twitter_nodes: 300, twitter_m: 3, freebase_performances: 250 };
+    let scale = Scale {
+        twitter_nodes: 300,
+        twitter_m: 3,
+        freebase_performances: 250,
+    };
     check_query_at(&parjoin::datagen::workloads::q4(), false, scale);
 }
 

@@ -26,19 +26,36 @@ fn parsed_query_runs_end_to_end() {
 fn parsed_equals_programmatic_for_all_workloads() {
     // Each QuerySpec's Display form re-parses to a query that computes
     // the same result.
-    let scale = Scale { twitter_nodes: 300, twitter_m: 3, freebase_performances: 250 };
+    let scale = Scale {
+        twitter_nodes: 300,
+        twitter_m: 3,
+        freebase_performances: 250,
+    };
     for spec in all_queries() {
         let db = scale.db_for(spec.dataset, 9);
         let text = format!("{}", spec.query);
         let parsed = parjoin::query::parser::parse(&text).expect("parses");
-        let opts = PlanOptions { collect_output: true, ..Default::default() };
+        let opts = PlanOptions {
+            collect_output: true,
+            ..Default::default()
+        };
         let cluster = Cluster::new(3);
         let a = run_config(
-            &spec.query, &db, &cluster, ShuffleAlg::HyperCube, JoinAlg::Tributary, &opts,
+            &spec.query,
+            &db,
+            &cluster,
+            ShuffleAlg::HyperCube,
+            JoinAlg::Tributary,
+            &opts,
         )
         .unwrap();
         let b = run_config(
-            &parsed, &db, &cluster, ShuffleAlg::HyperCube, JoinAlg::Tributary, &opts,
+            &parsed,
+            &db,
+            &cluster,
+            ShuffleAlg::HyperCube,
+            JoinAlg::Tributary,
+            &opts,
         )
         .unwrap();
         let mut ra: Vec<Vec<u64>> = a.output.unwrap().rows().map(|r| r.to_vec()).collect();
@@ -52,18 +69,30 @@ fn parsed_equals_programmatic_for_all_workloads() {
 #[test]
 fn filters_in_datalog_affect_results() {
     let db = Scale::tiny().twitter_db(1);
-    let with = parjoin::query::parser::parse(
-        "P(x, y, z) :- Twitter(x, y), Twitter(y, z), x < z",
-    )
-    .unwrap();
+    let with =
+        parjoin::query::parser::parse("P(x, y, z) :- Twitter(x, y), Twitter(y, z), x < z").unwrap();
     let without =
         parjoin::query::parser::parse("P(x, y, z) :- Twitter(x, y), Twitter(y, z)").unwrap();
     let cluster = Cluster::new(4);
     let opts = PlanOptions::default();
-    let a = run_config(&with, &db, &cluster, ShuffleAlg::HyperCube, JoinAlg::Tributary, &opts)
-        .unwrap();
-    let b = run_config(&without, &db, &cluster, ShuffleAlg::HyperCube, JoinAlg::Tributary, &opts)
-        .unwrap();
+    let a = run_config(
+        &with,
+        &db,
+        &cluster,
+        ShuffleAlg::HyperCube,
+        JoinAlg::Tributary,
+        &opts,
+    )
+    .unwrap();
+    let b = run_config(
+        &without,
+        &db,
+        &cluster,
+        ShuffleAlg::HyperCube,
+        JoinAlg::Tributary,
+        &opts,
+    )
+    .unwrap();
     assert!(a.output_tuples < b.output_tuples);
     assert!(a.output_tuples > 0);
 }

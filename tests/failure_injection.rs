@@ -27,14 +27,26 @@ fn tight_budget_fails_rs_tj_first() {
     let budget = (hc_tj + rs_tj) / 2;
     let cluster = Cluster::new(4).with_memory_budget(budget);
     let err = run_config(
-        &spec.query, &db, &cluster, ShuffleAlg::Regular, JoinAlg::Tributary, &opts,
+        &spec.query,
+        &db,
+        &cluster,
+        ShuffleAlg::Regular,
+        JoinAlg::Tributary,
+        &opts,
     )
     .unwrap_err();
     assert!(matches!(err, EngineError::MemoryBudget { .. }), "{err}");
 
     // HC_TJ under the same budget succeeds.
-    run_config(&spec.query, &db, &cluster, ShuffleAlg::HyperCube, JoinAlg::Tributary, &opts)
-        .expect("HC_TJ fits where RS_TJ failed");
+    run_config(
+        &spec.query,
+        &db,
+        &cluster,
+        ShuffleAlg::HyperCube,
+        JoinAlg::Tributary,
+        &opts,
+    )
+    .expect("HC_TJ fits where RS_TJ failed");
 }
 
 #[test]

@@ -46,7 +46,10 @@ fn broadcast_volume_is_card_times_workers() {
     // Two of the three self-join copies are broadcast.
     assert_eq!(r.tuples_shuffled, 2 * edges * workers as u64);
     for s in &r.shuffles {
-        assert!((s.consumer_skew() - 1.0).abs() < 1e-9, "broadcast has no skew");
+        assert!(
+            (s.consumer_skew() - 1.0).abs() < 1e-9,
+            "broadcast has no skew"
+        );
     }
 }
 
@@ -73,7 +76,10 @@ fn regular_shuffle_base_relations_balanced_intermediate_skewed() {
     assert_eq!(r.shuffles.len(), 4);
     let base_producer = r.shuffles[0].producer_skew();
     let intermediate_producer = r.shuffles[2].producer_skew();
-    assert!((base_producer - 1.0).abs() < 0.05, "round-robin base: {base_producer}");
+    assert!(
+        (base_producer - 1.0).abs() < 0.05,
+        "round-robin base: {base_producer}"
+    );
     assert!(
         intermediate_producer > 2.0,
         "power-law data must skew the intermediate result, got {intermediate_producer}"
@@ -81,7 +87,10 @@ fn regular_shuffle_base_relations_balanced_intermediate_skewed() {
     // And the base relations' consumer skew is visibly above 1 (1.35 and
     // 1.72 in Table 2) because a single hashed attribute is power-law.
     let base_consumer = r.shuffles[0].consumer_skew();
-    assert!(base_consumer > 1.05, "hashed power-law attribute: {base_consumer}");
+    assert!(
+        base_consumer > 1.05,
+        "hashed power-law attribute: {base_consumer}"
+    );
 }
 
 #[test]
@@ -138,7 +147,11 @@ fn cpu_and_wall_relationships() {
 fn tuples_shuffled_equals_sum_of_stats() {
     let spec = parjoin::datagen::workloads::q3();
     let db = Scale::tiny().freebase_db(2);
-    for alg in [ShuffleAlg::Regular, ShuffleAlg::Broadcast, ShuffleAlg::HyperCube] {
+    for alg in [
+        ShuffleAlg::Regular,
+        ShuffleAlg::Broadcast,
+        ShuffleAlg::HyperCube,
+    ] {
         let r = run_config(
             &spec.query,
             &db,

@@ -4,8 +4,13 @@
 use parjoin::prelude::*;
 
 fn rows(r: &RunResult) -> Vec<Vec<u64>> {
-    let mut rows: Vec<Vec<u64>> =
-        r.output.as_ref().unwrap().rows().map(|x| x.to_vec()).collect();
+    let mut rows: Vec<Vec<u64>> = r
+        .output
+        .as_ref()
+        .unwrap()
+        .rows()
+        .map(|x| x.to_vec())
+        .collect();
     rows.sort();
     rows
 }
@@ -16,13 +21,28 @@ fn same_results_with_and_without_skew_handling() {
     let db = Scale::tiny().twitter_db(4);
     let cluster = Cluster::new(8).with_seed(2);
     let base = run_config(
-        &spec.query, &db, &cluster, ShuffleAlg::Regular, JoinAlg::Hash,
-        &PlanOptions { collect_output: true, ..Default::default() },
+        &spec.query,
+        &db,
+        &cluster,
+        ShuffleAlg::Regular,
+        JoinAlg::Hash,
+        &PlanOptions {
+            collect_output: true,
+            ..Default::default()
+        },
     )
     .unwrap();
     let resilient = run_config(
-        &spec.query, &db, &cluster, ShuffleAlg::Regular, JoinAlg::Hash,
-        &PlanOptions { collect_output: true, skew_resilient: true, ..Default::default() },
+        &spec.query,
+        &db,
+        &cluster,
+        ShuffleAlg::Regular,
+        JoinAlg::Hash,
+        &PlanOptions {
+            collect_output: true,
+            skew_resilient: true,
+            ..Default::default()
+        },
     )
     .unwrap();
     assert_eq!(rows(&base), rows(&resilient));
@@ -37,13 +57,24 @@ fn skew_handling_flattens_hot_keys() {
     let db = Scale::small().twitter_db(42);
     let cluster = Cluster::new(64).with_seed(42);
     let base = run_config(
-        &spec.query, &db, &cluster, ShuffleAlg::Regular, JoinAlg::Hash,
+        &spec.query,
+        &db,
+        &cluster,
+        ShuffleAlg::Regular,
+        JoinAlg::Hash,
         &PlanOptions::default(),
     )
     .unwrap();
     let resilient = run_config(
-        &spec.query, &db, &cluster, ShuffleAlg::Regular, JoinAlg::Hash,
-        &PlanOptions { skew_resilient: true, ..Default::default() },
+        &spec.query,
+        &db,
+        &cluster,
+        ShuffleAlg::Regular,
+        JoinAlg::Hash,
+        &PlanOptions {
+            skew_resilient: true,
+            ..Default::default()
+        },
     )
     .unwrap();
     assert_eq!(base.output_tuples, resilient.output_tuples);
@@ -66,16 +97,38 @@ fn skew_handling_flattens_hot_keys() {
 
 #[test]
 fn all_queries_agree_under_skew_handling() {
-    let scale = Scale { twitter_nodes: 300, twitter_m: 3, freebase_performances: 250 };
+    let scale = Scale {
+        twitter_nodes: 300,
+        twitter_m: 3,
+        freebase_performances: 250,
+    };
     for spec in all_queries() {
         let db = scale.db_for(spec.dataset, 7);
         let cluster = Cluster::new(4).with_seed(7);
-        let opts = |sr| PlanOptions { collect_output: true, skew_resilient: sr, ..Default::default() };
+        let opts = |sr| PlanOptions {
+            collect_output: true,
+            skew_resilient: sr,
+            ..Default::default()
+        };
         for j in [JoinAlg::Hash, JoinAlg::Tributary] {
-            let a = run_config(&spec.query, &db, &cluster, ShuffleAlg::Regular, j, &opts(false))
-                .unwrap();
-            let b = run_config(&spec.query, &db, &cluster, ShuffleAlg::Regular, j, &opts(true))
-                .unwrap();
+            let a = run_config(
+                &spec.query,
+                &db,
+                &cluster,
+                ShuffleAlg::Regular,
+                j,
+                &opts(false),
+            )
+            .unwrap();
+            let b = run_config(
+                &spec.query,
+                &db,
+                &cluster,
+                ShuffleAlg::Regular,
+                j,
+                &opts(true),
+            )
+            .unwrap();
             assert_eq!(rows(&a), rows(&b), "{} {:?}", spec.name, j);
         }
     }

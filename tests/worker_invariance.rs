@@ -6,7 +6,10 @@ fn triangles(workers: usize, seed: u64, s: ShuffleAlg, j: JoinAlg) -> Vec<Vec<u6
     let spec = parjoin::datagen::workloads::q1();
     let db = Scale::tiny().twitter_db(5);
     let cluster = Cluster::new(workers).with_seed(seed);
-    let opts = PlanOptions { collect_output: true, ..Default::default() };
+    let opts = PlanOptions {
+        collect_output: true,
+        ..Default::default()
+    };
     let r = run_config(&spec.query, &db, &cluster, s, j, &opts).unwrap();
     let mut rows: Vec<Vec<u64>> = r.output.unwrap().rows().map(|x| x.to_vec()).collect();
     rows.sort();
@@ -56,10 +59,24 @@ fn shuffle_counts_are_deterministic() {
     let db = Scale::tiny().twitter_db(5);
     let cluster = Cluster::new(8).with_seed(3);
     let opts = PlanOptions::default();
-    let a = run_config(&spec.query, &db, &cluster, ShuffleAlg::HyperCube, JoinAlg::Tributary, &opts)
-        .unwrap();
-    let b = run_config(&spec.query, &db, &cluster, ShuffleAlg::HyperCube, JoinAlg::Tributary, &opts)
-        .unwrap();
+    let a = run_config(
+        &spec.query,
+        &db,
+        &cluster,
+        ShuffleAlg::HyperCube,
+        JoinAlg::Tributary,
+        &opts,
+    )
+    .unwrap();
+    let b = run_config(
+        &spec.query,
+        &db,
+        &cluster,
+        ShuffleAlg::HyperCube,
+        JoinAlg::Tributary,
+        &opts,
+    )
+    .unwrap();
     assert_eq!(a.tuples_shuffled, b.tuples_shuffled);
     assert_eq!(a.output_tuples, b.output_tuples);
     for (x, y) in a.shuffles.iter().zip(&b.shuffles) {

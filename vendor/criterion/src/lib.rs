@@ -1,0 +1,230 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! A minimal, dependency-free, offline stand-in for the `criterion`
+//! crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate re-implements the slice of the criterion 0.5 API the
+//! workspace's benches use: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`] /
+//! [`BenchmarkGroup::bench_function`], [`BenchmarkId`], [`Throughput`],
+//! [`Bencher::iter`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Instead of criterion's statistical machinery it times `sample_size`
+//! iterations with [`std::time::Instant`] and prints mean wall-clock per
+//! iteration — enough to compare configurations by eye, which is what
+//! the paper-reproduction benches are for.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting a
+/// benchmark body.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed iterations each benchmark runs.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: self.sample_size,
+            throughput: None,
+        }
+    }
+}
+
+/// Units processed per iteration, for derived rates in the report.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (tuples, rows) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier, `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration workload of subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Runs one benchmark over a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            iters: self.sample_size as u64,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b, input);
+        self.report(&id.id, &b);
+        self
+    }
+
+    /// Runs one benchmark with no external input.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            iters: self.sample_size as u64,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Ends the group (kept for API parity; the plain-text report needs
+    /// no finalization).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, b: &Bencher) {
+        let mean = b.elapsed.as_secs_f64() / b.iters.max(1) as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean > 0.0 => {
+                format!("  {:.3e} elem/s", n as f64 / mean)
+            }
+            Some(Throughput::Bytes(n)) if mean > 0.0 => {
+                format!("  {:.3e} B/s", n as f64 / mean)
+            }
+            _ => String::new(),
+        };
+        eprintln!("  {}/{id}: {:.3} ms/iter{rate}", self.name, mean * 1e3);
+    }
+}
+
+/// Timer handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Bundles benchmark functions into a runnable group, mirroring
+/// criterion's macro of the same name (both the list and the
+/// `name/config/targets` forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        #[doc = "Runs this criterion benchmark group."]
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        #[doc = "Runs this criterion benchmark group."]
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.throughput(Throughput::Elements(128));
+        group.bench_with_input(BenchmarkId::new("sum", 128), &128u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.bench_function("noop", |b| b.iter(|| black_box(1)));
+        group.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(5);
+        targets = sample_bench
+    }
+
+    criterion_group!(benches_list, sample_bench);
+
+    #[test]
+    fn groups_run() {
+        benches();
+        benches_list();
+    }
+}
