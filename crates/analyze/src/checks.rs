@@ -466,3 +466,34 @@ pub fn check_resources(spec: &PlanSpec<'_>, out: &mut Vec<Diagnostic>) {
         );
     }
 }
+
+/// Runtime-knob pre-flight: vets the streaming-shuffle batch size before
+/// the exchange starts. A zero batch can never flush (the send loop
+/// would buffer forever), so it is an error; a batch larger than the
+/// per-worker memory budget is legal but self-defeating — one arriving
+/// batch already overruns the budget the run enforces — so it warns.
+pub fn check_runtime(spec: &PlanSpec<'_>, out: &mut Vec<Diagnostic>) {
+    let Some(batch) = spec.batch_tuples else {
+        return;
+    };
+    if batch == 0 {
+        out.push(Diagnostic::error(
+            DiagCode::BatchSizeZero,
+            "streaming shuffle batch size is zero; a zero-row batch can never flush",
+        ));
+        return;
+    }
+    if let Some(budget) = spec.memory_budget {
+        if batch > budget {
+            out.push(
+                Diagnostic::warning(
+                    DiagCode::BatchOverBudget,
+                    "one shuffle batch holds more tuples than the per-worker memory \
+                     budget; a single arriving batch already exceeds the budget",
+                )
+                .with("batch_tuples", batch)
+                .with("budget", budget),
+            );
+        }
+    }
+}

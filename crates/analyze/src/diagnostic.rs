@@ -96,6 +96,19 @@ pub enum DiagCode {
     /// budget; the run is likely to abort with a mid-flight
     /// `MemoryBudget` failure.
     MemoryPreflight,
+
+    /// The host refused to report its parallelism
+    /// (`available_parallelism` errored), so the executor runs every
+    /// worker on a single OS thread instead of silently pretending the
+    /// cluster is parallel.
+    HostParallelismUnknown,
+    /// The streaming shuffle batch size is zero; a zero-row batch can
+    /// never flush, so the exchange would make no progress.
+    BatchSizeZero,
+    /// One shuffle batch holds more tuples than the per-worker memory
+    /// budget: a single arriving batch already overruns the budget the
+    /// run is supposed to enforce.
+    BatchOverBudget,
 }
 
 impl DiagCode {
@@ -120,6 +133,9 @@ impl DiagCode {
             DiagCode::HcConfigUnderutilized => "C304",
             DiagCode::BroadcastDominated => "C305",
             DiagCode::MemoryPreflight => "R400",
+            DiagCode::HostParallelismUnknown => "R401",
+            DiagCode::BatchSizeZero => "R410",
+            DiagCode::BatchOverBudget => "R411",
         }
     }
 }

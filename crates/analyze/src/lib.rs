@@ -54,6 +54,7 @@ pub fn analyze(spec: &PlanSpec<'_>) -> Vec<Diagnostic> {
     checks::check_tj_order(spec, &mut out);
     checks::check_shuffle(spec, &mut out);
     checks::check_resources(spec, &mut out);
+    checks::check_runtime(spec, &mut out);
     out
 }
 
@@ -126,6 +127,37 @@ mod tests {
             "disconnection is a warning, got {diags:?}"
         );
         assert!(diags.iter().any(|d| d.code == DiagCode::QueryDisconnected));
+    }
+
+    #[test]
+    fn zero_batch_size_is_an_error() {
+        let q = triangle();
+        let spec = PlanSpec::new(&q, 4, ShuffleKind::Regular, JoinKind::Hash).with_batch_tuples(0);
+        let diags = analyze(&spec);
+        assert!(has_errors(&diags));
+        assert!(diags.iter().any(|d| d.code == DiagCode::BatchSizeZero));
+    }
+
+    #[test]
+    fn batch_over_budget_warns() {
+        let q = triangle();
+        let spec = PlanSpec::new(&q, 4, ShuffleKind::Regular, JoinKind::Hash)
+            .with_memory_budget(1_000)
+            .with_batch_tuples(5_000);
+        let diags = analyze(&spec);
+        assert!(!has_errors(&diags), "over-budget batch is only a warning");
+        assert!(diags.iter().any(|d| d.code == DiagCode::BatchOverBudget));
+    }
+
+    #[test]
+    fn sane_batch_size_is_silent() {
+        let q = triangle();
+        let spec = PlanSpec::new(&q, 4, ShuffleKind::Regular, JoinKind::Hash)
+            .with_memory_budget(10_000)
+            .with_batch_tuples(4_096);
+        assert!(analyze(&spec)
+            .iter()
+            .all(|d| d.code != DiagCode::BatchSizeZero && d.code != DiagCode::BatchOverBudget));
     }
 
     #[test]

@@ -57,6 +57,10 @@ pub struct PlanSpec<'a> {
     pub hc_config: Option<HcConfig>,
     /// Explicit global variable order for the Tributary join, if fixed.
     pub tj_order: Option<Vec<VarId>>,
+    /// Rows per streamed shuffle batch, when the plan runs on a
+    /// streaming transport. `None` means the in-memory `Local` path (no
+    /// batching) or the runtime default.
+    pub batch_tuples: Option<u64>,
 }
 
 impl<'a> PlanSpec<'a> {
@@ -78,6 +82,7 @@ impl<'a> PlanSpec<'a> {
             join_order: None,
             hc_config: None,
             tj_order: None,
+            batch_tuples: None,
         }
     }
 
@@ -113,6 +118,13 @@ impl<'a> PlanSpec<'a> {
     #[must_use]
     pub fn with_tj_order(mut self, order: Vec<VarId>) -> Self {
         self.tj_order = Some(order);
+        self
+    }
+
+    /// Sets the streaming shuffle batch size (builder style).
+    #[must_use]
+    pub fn with_batch_tuples(mut self, batch: u64) -> Self {
+        self.batch_tuples = Some(batch);
         self
     }
 

@@ -21,10 +21,12 @@ pub mod db;
 pub mod hash;
 pub mod relation;
 pub mod stats;
+pub mod wire;
 
 pub use db::Database;
 pub use relation::Relation;
 pub use stats::{skew, ShuffleStats};
+pub use wire::WireError;
 
 /// The value domain: every attribute value is a dictionary-encoded `u64`.
 pub type Value = u64;

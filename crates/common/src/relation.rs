@@ -10,30 +10,36 @@ use crate::Value;
 use std::fmt;
 
 /// A fixed-arity multiset of tuples over `u64` values.
+///
+/// Arity 0 is allowed: a *nullary* relation (the result shape of a
+/// boolean query) stores no values, only a row count — `true` with
+/// multiplicity. All row accessors hand out empty slices for it.
 #[derive(Clone, PartialEq, Eq)]
 pub struct Relation {
     arity: usize,
+    /// Row count. For `arity > 0` this always equals
+    /// `data.len() / arity`; for nullary relations it is the only record
+    /// of the multiset's size.
+    rows: usize,
     data: Vec<Value>,
 }
 
 impl Relation {
-    /// Creates an empty relation with the given arity.
-    ///
-    /// # Panics
-    /// Panics if `arity == 0`; nullary relations are never needed here.
+    /// Creates an empty relation with the given arity (0 is allowed —
+    /// see the type-level docs on nullary relations).
     pub fn new(arity: usize) -> Self {
-        assert!(arity > 0, "relation arity must be positive");
         Relation {
             arity,
+            rows: 0,
             data: Vec::new(),
         }
     }
 
     /// Creates an empty relation with room for `rows` tuples.
     pub fn with_capacity(arity: usize, rows: usize) -> Self {
-        assert!(arity > 0, "relation arity must be positive");
         Relation {
             arity,
+            rows: 0,
             data: Vec::with_capacity(rows * arity),
         }
     }
@@ -63,19 +69,20 @@ impl Relation {
     /// Number of tuples.
     #[inline]
     pub fn len(&self) -> usize {
-        self.data.len() / self.arity
+        self.rows
     }
 
     /// True when the relation holds no tuples.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.rows == 0
     }
 
     /// Borrows row `i`.
     ///
     /// # Panics
-    /// Panics if `i >= self.len()`.
+    /// Panics if `i >= self.len()` (except for nullary relations, whose
+    /// every row is the empty slice).
     #[inline]
     pub fn row(&self, i: usize) -> &[Value] {
         &self.data[i * self.arity..(i + 1) * self.arity]
@@ -89,6 +96,16 @@ impl Relation {
     pub fn push_row(&mut self, row: &[Value]) {
         debug_assert_eq!(row.len(), self.arity, "row arity mismatch");
         self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// Appends `n` nullary (empty) tuples.
+    ///
+    /// # Panics
+    /// Panics if the relation is not nullary.
+    pub fn push_nullary_rows(&mut self, n: usize) {
+        assert_eq!(self.arity, 0, "push_nullary_rows on a non-nullary relation");
+        self.rows += n;
     }
 
     /// Appends every tuple of `other`.
@@ -98,12 +115,16 @@ impl Relation {
     pub fn extend_from(&mut self, other: &Relation) {
         assert_eq!(self.arity, other.arity, "arity mismatch in extend");
         self.data.extend_from_slice(&other.data);
+        self.rows += other.rows;
     }
 
     /// Iterates over rows as slices.
     #[inline]
-    pub fn rows(&self) -> impl ExactSizeIterator<Item = &[Value]> + Clone {
-        self.data.chunks_exact(self.arity)
+    pub fn rows(&self) -> Rows<'_> {
+        Rows {
+            chunks: self.data.chunks_exact(self.arity.max(1)),
+            nullary_left: if self.arity == 0 { self.rows } else { 0 },
+        }
     }
 
     /// Direct access to the backing buffer (row-major).
@@ -121,7 +142,7 @@ impl Relation {
     /// Sorts tuples lexicographically in place.
     pub fn sort_lex(&mut self) {
         let arity = self.arity;
-        if self.len() <= 1 {
+        if arity == 0 || self.len() <= 1 {
             return;
         }
         // Sorting row indices then permuting does one allocation and moves
@@ -164,7 +185,11 @@ impl Relation {
             cols.iter().all(|&c| c < self.arity),
             "projection column out of range"
         );
-        let mut out = Relation::with_capacity(cols.len().max(1), self.len());
+        let mut out = Relation::with_capacity(cols.len(), self.len());
+        // Projecting onto zero columns yields a nullary relation that
+        // keeps the row count (bag semantics): each input tuple
+        // contributes one empty witness.
+        out.rows = self.len();
         if cols.is_empty() {
             return out;
         }
@@ -181,6 +206,11 @@ impl Relation {
         self.sort_lex();
         let arity = self.arity;
         let n = self.len();
+        if arity == 0 {
+            // All nullary tuples are equal; at most one survives.
+            self.rows = n.min(1);
+            return self;
+        }
         if n <= 1 {
             return self;
         }
@@ -193,7 +223,12 @@ impl Relation {
                 out.extend_from_slice(cur);
             }
         }
-        Relation { arity, data: out }
+        let rows = out.len() / arity;
+        Relation {
+            arity,
+            rows,
+            data: out,
+        }
     }
 
     /// Keeps only rows satisfying `pred`.
@@ -228,6 +263,38 @@ impl Relation {
     }
 }
 
+/// Iterator over a relation's rows as value slices.
+///
+/// For positive arities this is a thin wrapper over
+/// [`slice::chunks_exact`]; for nullary relations it yields the empty
+/// slice once per stored row.
+#[derive(Clone)]
+pub struct Rows<'a> {
+    chunks: std::slice::ChunksExact<'a, Value>,
+    nullary_left: usize,
+}
+
+impl<'a> Iterator for Rows<'a> {
+    type Item = &'a [Value];
+
+    #[inline]
+    fn next(&mut self) -> Option<&'a [Value]> {
+        if self.nullary_left > 0 {
+            self.nullary_left -= 1;
+            return Some(&[]);
+        }
+        self.chunks.next()
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.chunks.len() + self.nullary_left;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Rows<'_> {}
+
 impl fmt::Debug for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Relation(arity={}, len={})", self.arity, self.len())?;
@@ -261,9 +328,35 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "arity must be positive")]
-    fn zero_arity_rejected() {
-        let _ = Relation::new(0);
+    fn nullary_relation_round_trips() {
+        // Boolean-query shape: zero columns, real multiplicity.
+        let mut rel = Relation::new(0);
+        assert!(rel.is_empty());
+        rel.push_row(&[]);
+        rel.push_nullary_rows(2);
+        assert_eq!(rel.arity(), 0);
+        assert_eq!(rel.len(), 3);
+        assert_eq!(rel.rows().len(), 3);
+        for row in rel.rows() {
+            assert!(row.is_empty());
+        }
+        // Sorting and distinct behave as on any multiset of equal rows.
+        rel.sort_lex();
+        assert_eq!(rel.len(), 3);
+        let d = rel.clone().distinct();
+        assert_eq!(d.len(), 1);
+        // Extend keeps counting.
+        let mut other = Relation::new(0);
+        other.extend_from(&rel);
+        assert_eq!(other.len(), 3);
+    }
+
+    #[test]
+    fn project_to_zero_columns_keeps_row_count() {
+        let rel = r(&[[1, 2], [3, 4], [5, 6]]);
+        let p = rel.project(&[]);
+        assert_eq!(p.arity(), 0);
+        assert_eq!(p.len(), 3, "bag semantics: one empty witness per row");
     }
 
     #[test]

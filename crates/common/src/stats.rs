@@ -32,6 +32,14 @@ pub struct ShuffleStats {
     pub per_producer: Vec<u64>,
     /// Tuples received per consuming worker.
     pub per_consumer: Vec<u64>,
+    /// Encoded batch bytes placed on the wire by all producers. Zero for
+    /// the in-memory `Local` transport, which moves no bytes; under the
+    /// streaming transports this is the true payload volume (transport
+    /// framing overhead excluded, so `InProcess` and `Tcp` report the
+    /// same number for the same shuffle).
+    pub bytes_sent: u64,
+    /// Encoded batch bytes drained from the wire by all consumers.
+    pub bytes_received: u64,
 }
 
 impl ShuffleStats {
@@ -43,7 +51,17 @@ impl ShuffleStats {
             tuples_sent,
             per_producer,
             per_consumer,
+            bytes_sent: 0,
+            bytes_received: 0,
         }
+    }
+
+    /// Attaches on-wire byte tallies (builder style).
+    #[must_use]
+    pub fn with_bytes(mut self, sent: u64, received: u64) -> Self {
+        self.bytes_sent = sent;
+        self.bytes_received = received;
+        self
     }
 
     /// Max/average tuples sent per producer.

@@ -1,0 +1,242 @@
+//! On-wire encoding of tuple batches.
+//!
+//! The streaming shuffle runtime moves relations between workers as
+//! fixed-size *batches* of rows rather than whole partitions. Each batch
+//! is encoded as:
+//!
+//! ```text
+//! varint(row_count)  varint(arity)  row_count × arity × u64-LE values
+//! ```
+//!
+//! The header uses LEB128 varints (batches are usually small, so their
+//! counts fit in one or two bytes) while the column values stay fixed
+//! eight-byte little-endian words: values are dictionary-encoded ids
+//! spread across the full `u64` range, where varint encoding would cost
+//! more than it saves, and fixed-width decode is a straight `memcpy`.
+//!
+//! The format is self-delimiting only via the header — the caller frames
+//! batches on the transport (length prefix for TCP, one message per batch
+//! in process). Empty batches (zero rows) and nullary rows (zero arity,
+//! boolean-query relations) both round-trip exactly.
+
+use crate::{Relation, Value};
+use std::fmt;
+
+/// A malformed byte sequence handed to [`decode_batch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Appends `v` to `out` as a LEB128 varint (1–10 bytes).
+pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint starting at `*pos`, advancing `*pos` past it.
+///
+/// # Errors
+/// Returns [`WireError`] on truncated input or a varint longer than ten
+/// bytes (which cannot encode a `u64`).
+pub fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, WireError> {
+    let mut v: u64 = 0;
+    for shift in 0..10u32 {
+        let Some(&byte) = bytes.get(*pos) else {
+            return Err(WireError("truncated varint".into()));
+        };
+        *pos += 1;
+        let low = u64::from(byte & 0x7f);
+        // The tenth byte may only carry the final bit of a u64.
+        if shift == 9 && byte > 0x01 {
+            return Err(WireError("varint overflows u64".into()));
+        }
+        v |= low << (7 * shift);
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+    Err(WireError("varint longer than 10 bytes".into()))
+}
+
+/// Encodes `rows` row-major tuples of `arity` columns (`flat` holds
+/// `rows × arity` values) as one batch, appending to `out` (so a sender
+/// can reuse one buffer across batches). The explicit row count is what
+/// lets nullary tuples — which contribute no values at all — round-trip
+/// with their real multiplicity.
+///
+/// # Panics
+/// Panics if `flat.len() != rows * arity` (callers build `flat` row by
+/// row, so a mismatch is a programming error).
+pub fn encode_batch(arity: usize, rows: usize, flat: &[Value], out: &mut Vec<u8>) {
+    assert_eq!(flat.len(), rows * arity, "flat buffer is not rows × arity");
+    write_varint(out, rows as u64);
+    write_varint(out, arity as u64);
+    out.reserve(flat.len() * 8);
+    for &v in flat {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Encodes an entire relation as a single batch.
+pub fn encode_relation(rel: &Relation, out: &mut Vec<u8>) {
+    encode_batch(rel.arity(), rel.len(), rel.raw(), out);
+}
+
+/// Decodes one batch, appending its rows to `rel`.
+///
+/// Returns the number of rows appended.
+///
+/// # Errors
+/// Returns [`WireError`] when the header is malformed, the payload is
+/// truncated or over-long, or the batch arity disagrees with `rel`.
+pub fn decode_batch_into(bytes: &[u8], rel: &mut Relation) -> Result<usize, WireError> {
+    let mut pos = 0usize;
+    let rows = read_varint(bytes, &mut pos)?;
+    let arity = read_varint(bytes, &mut pos)?;
+    let rows = usize::try_from(rows).map_err(|_| WireError("row count overflow".into()))?;
+    let arity = usize::try_from(arity).map_err(|_| WireError("arity overflow".into()))?;
+    if arity != rel.arity() {
+        return Err(WireError(format!(
+            "batch arity {arity} does not match relation arity {}",
+            rel.arity()
+        )));
+    }
+    let values = rows
+        .checked_mul(arity)
+        .ok_or_else(|| WireError("batch size overflow".into()))?;
+    let expect = values
+        .checked_mul(8)
+        .ok_or_else(|| WireError("batch size overflow".into()))?;
+    if bytes.len() - pos != expect {
+        return Err(WireError(format!(
+            "payload is {} bytes, expected {expect} for {rows} rows × {arity} cols",
+            bytes.len() - pos
+        )));
+    }
+    if arity == 0 {
+        rel.push_nullary_rows(rows);
+        return Ok(rows);
+    }
+    let mut row = Vec::with_capacity(arity);
+    for _ in 0..rows {
+        row.clear();
+        for _ in 0..arity {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(&bytes[pos..pos + 8]);
+            pos += 8;
+            row.push(Value::from_le_bytes(word));
+        }
+        rel.push_row(&row);
+    }
+    Ok(rows)
+}
+
+/// Decodes one batch into a fresh relation.
+///
+/// # Errors
+/// Returns [`WireError`] on any malformed input (see
+/// [`decode_batch_into`]).
+pub fn decode_batch(bytes: &[u8]) -> Result<Relation, WireError> {
+    let mut pos = 0usize;
+    let _rows = read_varint(bytes, &mut pos)?;
+    let arity = read_varint(bytes, &mut pos)?;
+    let arity = usize::try_from(arity).map_err(|_| WireError("arity overflow".into()))?;
+    let mut rel = Relation::new(arity);
+    decode_batch_into(bytes, &mut rel)?;
+    Ok(rel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trips_boundaries() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX - 1, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_truncated_errors() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 300);
+        buf.pop();
+        let mut pos = 0;
+        assert!(read_varint(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn varint_overlong_errors() {
+        let buf = vec![0x80u8; 11];
+        let mut pos = 0;
+        assert!(read_varint(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn batch_round_trips() {
+        let rel = Relation::from_rows(3, [[1u64, 2, 3], [u64::MAX, 0, 7]].iter());
+        let mut buf = Vec::new();
+        encode_relation(&rel, &mut buf);
+        let back = decode_batch(&buf).unwrap();
+        assert_eq!(back, rel);
+    }
+
+    #[test]
+    fn empty_batch_round_trips() {
+        let rel = Relation::new(4);
+        let mut buf = Vec::new();
+        encode_relation(&rel, &mut buf);
+        let back = decode_batch(&buf).unwrap();
+        assert_eq!(back.arity(), 4);
+        assert_eq!(back.len(), 0);
+    }
+
+    #[test]
+    fn nullary_batch_round_trips() {
+        let mut rel = Relation::new(0);
+        rel.push_nullary_rows(5);
+        let mut buf = Vec::new();
+        encode_relation(&rel, &mut buf);
+        assert_eq!(buf.len(), 2, "5 nullary rows encode as two header bytes");
+        let back = decode_batch(&buf).unwrap();
+        assert_eq!(back.arity(), 0);
+        assert_eq!(back.len(), 5);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let rel = Relation::from_rows(2, [[1u64, 2]].iter());
+        let mut buf = Vec::new();
+        encode_relation(&rel, &mut buf);
+        let mut wrong = Relation::new(3);
+        assert!(decode_batch_into(&buf, &mut wrong).is_err());
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let rel = Relation::from_rows(2, [[1u64, 2], [3, 4]].iter());
+        let mut buf = Vec::new();
+        encode_relation(&rel, &mut buf);
+        buf.truncate(buf.len() - 1);
+        assert!(decode_batch(&buf).is_err());
+    }
+}

@@ -1,12 +1,30 @@
 //! Property tests for the relation primitives.
 
-use parjoin_common::{hash, Relation};
+use parjoin_common::{hash, wire, Relation};
 use proptest::prelude::*;
 
 fn arb_relation(max_arity: usize, max_rows: usize) -> impl Strategy<Value = Relation> {
     (1..=max_arity).prop_flat_map(move |arity| {
         proptest::collection::vec(proptest::collection::vec(0u64..50, arity), 0..=max_rows)
             .prop_map(move |rows| Relation::from_rows(arity, rows))
+    })
+}
+
+/// Like [`arb_relation`] but includes arity 0 (nullary relations) and the
+/// full `u64` value range, which exercises multi-byte varints.
+fn arb_wire_relation(max_arity: usize, max_rows: usize) -> impl Strategy<Value = Relation> {
+    (0..=max_arity, 0..=max_rows).prop_flat_map(move |(arity, rows)| {
+        proptest::collection::vec(any::<u64>(), arity * rows).prop_map(move |flat| {
+            let mut rel = Relation::new(arity);
+            if arity == 0 {
+                rel.push_nullary_rows(rows);
+            } else {
+                for chunk in flat.chunks_exact(arity) {
+                    rel.push_row(chunk);
+                }
+            }
+            rel
+        })
     })
 }
 
@@ -50,5 +68,34 @@ proptest! {
     fn buckets_cover_range(x in any::<u64>(), seed in any::<u64>(), b in 1usize..128) {
         prop_assert!(hash::bucket(x, seed, b) < b);
         prop_assert!(hash::bucket_row(&[x, seed], seed, b) < b);
+    }
+
+    #[test]
+    fn wire_round_trip_is_byte_identical(rel in arb_wire_relation(4, 60)) {
+        let mut buf = Vec::new();
+        wire::encode_relation(&rel, &mut buf);
+        let back = wire::decode_batch(&buf).expect("decode own encoding");
+        prop_assert_eq!(&back, &rel);
+        // Re-encoding the decoded relation must reproduce the bytes exactly.
+        let mut buf2 = Vec::new();
+        wire::encode_relation(&back, &mut buf2);
+        prop_assert_eq!(buf2, buf);
+    }
+
+    #[test]
+    fn wire_decode_into_appends(a in arb_wire_relation(3, 20), b in arb_wire_relation(3, 20)) {
+        // Only meaningful when arities agree; coerce b onto a's arity.
+        let mut buf = Vec::new();
+        wire::encode_relation(&a, &mut buf);
+        let mut acc = Relation::new(a.arity());
+        let n1 = wire::decode_batch_into(&buf, &mut acc).expect("first batch");
+        prop_assert_eq!(n1, a.len());
+        if b.arity() == a.arity() {
+            let mut buf2 = Vec::new();
+            wire::encode_relation(&b, &mut buf2);
+            let n2 = wire::decode_batch_into(&buf2, &mut acc).expect("second batch");
+            prop_assert_eq!(n2, b.len());
+            prop_assert_eq!(acc.len(), a.len() + b.len());
+        }
     }
 }

@@ -1,5 +1,7 @@
 //! Cluster configuration.
 
+use parjoin_runtime::TransportKind;
+
 /// A simulated shared-nothing cluster.
 #[derive(Debug, Clone)]
 pub struct Cluster {
@@ -28,6 +30,14 @@ pub struct Cluster {
     /// default, 500 ns/tuple, is conservative against Myria's
     /// JVM-serialization + 10 GbE stack.
     pub shuffle_tuple_cost: std::time::Duration,
+    /// How shuffles move tuples between workers. `Local` (default)
+    /// replays the original in-memory loop; `InProcess`/`Tcp` stream
+    /// encoded batches through the worker runtime, yielding real
+    /// `bytes_sent`/`bytes_received` tallies on every shuffle.
+    pub transport: TransportKind,
+    /// Rows per streamed batch under the streaming transports; ignored
+    /// by `Local`. The analyzer pre-flights degenerate values.
+    pub batch_tuples: usize,
 }
 
 impl Cluster {
@@ -40,7 +50,21 @@ impl Cluster {
             seed: 0,
             round_latency: std::time::Duration::ZERO,
             shuffle_tuple_cost: std::time::Duration::from_nanos(500),
+            transport: TransportKind::Local,
+            batch_tuples: parjoin_runtime::DEFAULT_BATCH_TUPLES,
         }
+    }
+
+    /// Sets the shuffle transport.
+    pub fn with_transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Sets the streaming-shuffle batch size (rows per batch).
+    pub fn with_batch_tuples(mut self, batch: usize) -> Self {
+        self.batch_tuples = batch;
+        self
     }
 
     /// Sets the per-tuple shuffle cost (0 disables network-time modeling).
@@ -74,10 +98,23 @@ mod tests {
 
     #[test]
     fn builder_chain() {
-        let c = Cluster::new(8).with_memory_budget(1000).with_seed(7);
+        let c = Cluster::new(8)
+            .with_memory_budget(1000)
+            .with_seed(7)
+            .with_transport(TransportKind::InProcess)
+            .with_batch_tuples(512);
         assert_eq!(c.workers, 8);
         assert_eq!(c.memory_budget, Some(1000));
         assert_eq!(c.seed, 7);
+        assert_eq!(c.transport, TransportKind::InProcess);
+        assert_eq!(c.batch_tuples, 512);
+    }
+
+    #[test]
+    fn default_transport_is_local() {
+        let c = Cluster::new(2);
+        assert_eq!(c.transport, TransportKind::Local);
+        assert!(c.batch_tuples > 0);
     }
 
     #[test]

@@ -30,9 +30,12 @@ impl DistRel {
         DistRel { vars, parts }
     }
 
-    /// An empty distributed relation.
+    /// An empty distributed relation. The partition arity is exactly
+    /// `vars.len()` — a nullary schema yields genuine arity-0
+    /// partitions, which matter for boolean (empty-head) results whose
+    /// only information is the bag row count.
     pub fn empty(vars: Vec<VarId>, workers: usize) -> Self {
-        let arity = vars.len().max(1);
+        let arity = vars.len();
         DistRel {
             vars,
             parts: (0..workers).map(|_| Relation::new(arity)).collect(),
@@ -67,7 +70,7 @@ impl DistRel {
 
     /// Gathers all partitions into one relation (coordinator collect).
     pub fn gather(&self) -> Relation {
-        let arity = self.parts.first().map_or(1, |p| p.arity());
+        let arity = self.parts.first().map_or(self.vars.len(), |p| p.arity());
         let mut out = Relation::with_capacity(arity, self.total_len() as usize);
         for p in &self.parts {
             out.extend_from(p);
@@ -119,5 +122,24 @@ mod tests {
         let d = DistRel::empty(vec![v(0)], 4);
         assert_eq!(d.workers(), 4);
         assert_eq!(d.total_len(), 0);
+    }
+
+    #[test]
+    fn nullary_empty_keeps_arity_zero() {
+        // Regression: `empty` used to promote zero-column schemas to
+        // arity 1, so a boolean result gathered as one-column garbage.
+        let d = DistRel::empty(vec![], 3);
+        assert!(d.parts.iter().all(|p| p.arity() == 0));
+        assert_eq!(d.gather().arity(), 0);
+    }
+
+    #[test]
+    fn nullary_round_trips_with_multiplicity() {
+        let mut d = DistRel::empty(vec![], 2);
+        d.parts[0].push_nullary_rows(3);
+        d.parts[1].push_nullary_rows(2);
+        let g = d.gather();
+        assert_eq!(g.arity(), 0);
+        assert_eq!(g.len(), 5);
     }
 }

@@ -2,6 +2,7 @@
 
 use parjoin_analyze::Diagnostic;
 use parjoin_query::resolve::ResolveError;
+use parjoin_runtime::RuntimeError;
 
 /// Failures during distributed plan execution.
 #[derive(Debug, Clone)]
@@ -24,6 +25,9 @@ pub enum EngineError {
     /// diagnostic it produced (errors and accompanying warnings), in
     /// pass order.
     InvalidPlan(Vec<Diagnostic>),
+    /// The worker runtime failed mid-shuffle (peer death, timeout, wire
+    /// corruption) or could not be constructed.
+    Transport(RuntimeError),
 }
 
 impl std::fmt::Display for EngineError {
@@ -46,6 +50,7 @@ impl std::fmt::Display for EngineError {
                 }
                 Ok(())
             }
+            EngineError::Transport(e) => write!(f, "transport error: {e}"),
         }
     }
 }
@@ -55,5 +60,11 @@ impl std::error::Error for EngineError {}
 impl From<ResolveError> for EngineError {
     fn from(e: ResolveError) -> Self {
         EngineError::Resolve(e)
+    }
+}
+
+impl From<RuntimeError> for EngineError {
+    fn from(e: RuntimeError) -> Self {
+        EngineError::Transport(e)
     }
 }

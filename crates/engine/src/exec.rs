@@ -17,6 +17,40 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use parjoin_analyze::{DiagCode, Diagnostic};
+
+/// Pool width for a phase over `workers` simulated workers: the host's
+/// available parallelism, clamped to `[1, workers]`. Falls back to a
+/// single thread when the host refuses to report its core count.
+fn pool_threads(workers: usize, host: Option<usize>) -> usize {
+    host.unwrap_or(1).min(workers).max(1)
+}
+
+/// A [`Diagnostic`] describing the host-parallelism fallback, or `None`
+/// when `available_parallelism()` works.
+///
+/// When the host cannot report its core count (sandboxed cgroups,
+/// exotic platforms), every phase silently degrades to one pool thread;
+/// per-worker busy times stay correct but real wall-clock balloons.
+/// `run_config` surfaces this through the plan's diagnostics instead of
+/// leaving users to wonder why the simulator is slow.
+pub fn parallelism_warning() -> Option<Diagnostic> {
+    parallelism_warning_for(std::thread::available_parallelism().ok().map(|n| n.get()))
+}
+
+fn parallelism_warning_for(host: Option<usize>) -> Option<Diagnostic> {
+    match host {
+        Some(_) => None,
+        None => Some(
+            Diagnostic::warning(
+                DiagCode::HostParallelismUnknown,
+                "available_parallelism() failed; executor falls back to a single pool thread",
+            )
+            .with("pool_threads", 1u64),
+        ),
+    }
+}
+
 /// Per-worker results and busy times of one parallel phase.
 pub struct PhaseResult<T> {
     /// One result per worker.
@@ -44,11 +78,10 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(workers)
-        .max(1);
+    let threads = pool_threads(
+        workers,
+        std::thread::available_parallelism().ok().map(|n| n.get()),
+    );
     let slots: Mutex<Vec<Option<(T, Duration)>>> = Mutex::new((0..workers).map(|_| None).collect());
     let cursor = AtomicUsize::new(0);
 
@@ -110,5 +143,21 @@ mod tests {
         let p = run_phase(200, |w| w);
         assert_eq!(p.results.len(), 200);
         assert!(p.results.iter().enumerate().all(|(i, &w)| i == w));
+    }
+
+    #[test]
+    fn pool_threads_clamps() {
+        assert_eq!(pool_threads(8, Some(4)), 4);
+        assert_eq!(pool_threads(2, Some(16)), 2);
+        assert_eq!(pool_threads(8, None), 1);
+        assert_eq!(pool_threads(1, Some(0)), 1);
+    }
+
+    #[test]
+    fn parallelism_fallback_surfaces_as_warning() {
+        assert!(parallelism_warning_for(Some(8)).is_none());
+        let d = parallelism_warning_for(None).expect("fallback must warn");
+        assert_eq!(d.code, DiagCode::HostParallelismUnknown);
+        assert_eq!(d.severity, parjoin_analyze::Severity::Warning);
     }
 }

@@ -34,6 +34,16 @@
 //! additionally cross-checks the analyzer's guarantees at runtime
 //! (post-shuffle co-location of sampled tuples, sortedness of Tributary
 //! inputs).
+//!
+//! Shuffles execute on the `parjoin-runtime` worker-actor runtime.
+//! [`Cluster::with_transport`] selects how tuples move:
+//! [`TransportKind::Local`] (default) replays the original sequential
+//! in-memory loop, [`TransportKind::InProcess`] streams encoded batches
+//! over bounded channels between worker threads, and
+//! [`TransportKind::Tcp`] (behind the `transport-tcp` feature) frames
+//! them over loopback sockets. Results are byte-identical across
+//! transports; the streaming ones add real `bytes_sent`/`bytes_received`
+//! to every [`ShuffleStats`](parjoin_common::ShuffleStats).
 
 pub mod advisor;
 pub mod cluster;
@@ -52,4 +62,5 @@ pub use cluster::Cluster;
 pub use dist::DistRel;
 pub use error::EngineError;
 pub use parjoin_analyze::{DiagCode, Diagnostic, Severity};
+pub use parjoin_runtime::TransportKind;
 pub use plans::{run_config, JoinAlg, PlanOptions, RunResult, ShuffleAlg};

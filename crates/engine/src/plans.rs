@@ -23,7 +23,7 @@
 use crate::cluster::Cluster;
 use crate::dist::DistRel;
 use crate::error::EngineError;
-use crate::exec::run_phase;
+use crate::exec::{parallelism_warning, run_phase};
 use crate::local::{hash_join, merge_join, SchemaRel};
 use crate::shuffle;
 use parjoin_analyze::{self as analyze, Diagnostic};
@@ -32,6 +32,7 @@ use parjoin_core::hypercube::{HcConfig, ShareProblem};
 use parjoin_core::order::{best_order, OrderCostModel};
 use parjoin_core::tributary::{SortedAtom, Tributary};
 use parjoin_query::{resolve_atoms, ConjunctiveQuery, Filter, VarId};
+use parjoin_runtime::{Runtime, RuntimeConfig};
 use std::time::Duration;
 
 /// Shuffle algorithm (§3's three contenders).
@@ -134,6 +135,10 @@ pub struct RunResult {
     pub total_cpu: Duration,
     /// Total tuples placed on the network.
     pub tuples_shuffled: u64,
+    /// Total encoded bytes placed on the network. Zero under the Local
+    /// transport (nothing is encoded); real payload bytes under the
+    /// streaming transports, identical for InProcess and Tcp.
+    pub bytes_shuffled: u64,
     /// Per-shuffle metrics (Tables 2–4).
     pub shuffles: Vec<ShuffleStats>,
     /// Number of result tuples (bag semantics over the head projection).
@@ -168,6 +173,7 @@ impl RunResult {
             wall: Duration::ZERO,
             total_cpu: Duration::ZERO,
             tuples_shuffled: 0,
+            bytes_shuffled: 0,
             shuffles: Vec::new(),
             output_tuples: 0,
             output: None,
@@ -243,6 +249,7 @@ impl RunResult {
 
     fn absorb_shuffle(&mut self, s: ShuffleStats) {
         self.tuples_shuffled += s.tuples_sent;
+        self.bytes_shuffled += s.bytes_sent;
         self.shuffles.push(s);
     }
 }
@@ -486,12 +493,30 @@ pub fn run_config(
         join_order: Some(join_order.clone()),
         hc_config: opts.hc_config.clone(),
         tj_order: opts.tj_order.clone(),
+        batch_tuples: cluster
+            .transport
+            .is_streaming()
+            .then_some(cluster.batch_tuples as u64),
     };
     let diagnostics = analyze::analyze(&spec);
     if analyze::has_errors(&diagnostics) {
         return Err(EngineError::InvalidPlan(diagnostics));
     }
     result.diagnostics = diagnostics;
+    result.diagnostics.extend(parallelism_warning());
+
+    // A streaming transport gets a live worker runtime for the plan's
+    // duration; Local (the degenerate case) needs none.
+    let rt: Option<Runtime> = if cluster.transport.is_streaming() {
+        Some(Runtime::new(RuntimeConfig {
+            workers: cluster.workers,
+            transport: cluster.transport,
+            batch_tuples: cluster.batch_tuples,
+            ..RuntimeConfig::default()
+        })?)
+    } else {
+        None
+    };
 
     // Seed each atom round-robin, as the initial data placement.
     let seeded: Vec<DistRel> = resolved
@@ -508,6 +533,7 @@ pub fn run_config(
             &join_order,
             seeded,
             residual,
+            rt.as_ref(),
             &mut result,
         )?,
         ShuffleAlg::Broadcast | ShuffleAlg::HyperCube => run_one_round(
@@ -521,8 +547,13 @@ pub fn run_config(
             &join_order,
             seeded,
             residual,
+            rt.as_ref(),
             &mut result,
         )?,
+    }
+
+    if let Some(rt) = rt {
+        rt.shutdown()?;
     }
 
     result.wall += cluster.round_latency * result.rounds;
@@ -549,6 +580,7 @@ fn run_regular(
     order: &[usize],
     seeded: Vec<DistRel>,
     mut pending: Vec<Filter>,
+    rt: Option<&Runtime>,
     result: &mut RunResult,
 ) -> Result<(), EngineError> {
     assert_eq!(
@@ -616,18 +648,20 @@ fn run_regular(
             );
             (ca, cb, sa, sb)
         } else {
-            let (cur_s, s1) = shuffle::regular(
+            let (cur_s, s1) = shuffle::regular_via(
                 &cur,
                 &shuffle_key,
                 format!("{cur_label} ->h({key_desc})"),
                 cluster.seed,
-            );
-            let (next_s, s2) = shuffle::regular(
+                rt,
+            )?;
+            let (next_s, s2) = shuffle::regular_via(
                 &next,
                 &shuffle_key,
                 format!("{next_label} ->h({key_desc})"),
                 cluster.seed,
-            );
+                rt,
+            )?;
             (cur_s, next_s, s1, s2)
         };
         result.absorb_network(&[&s1, &s2], cluster.shuffle_tuple_cost);
@@ -642,11 +676,11 @@ fn run_regular(
         let out_schema = {
             let a = SchemaRel {
                 vars: cur_s.vars.clone(),
-                rel: Relation::new(cur_s.vars.len().max(1)),
+                rel: Relation::new(cur_s.vars.len()),
             };
             let b = SchemaRel {
                 vars: next_s.vars.clone(),
-                rel: Relation::new(next_s.vars.len().max(1)),
+                rel: Relation::new(next_s.vars.len()),
             };
             hash_join(&a, &b, 0).vars
         };
@@ -737,6 +771,7 @@ fn run_one_round(
     local_order: &[usize],
     seeded: Vec<DistRel>,
     pending: Vec<Filter>,
+    rt: Option<&Runtime>,
     result: &mut RunResult,
 ) -> Result<(), EngineError> {
     // Tributary global variable order (cost-model optimized once on the
@@ -769,22 +804,21 @@ fn run_one_round(
             // plan's whole point); full-copy atoms only extend it. This
             // mirrors Myria's fact-table-first broadcast plans.
             local_order = rooted_order(atom_vars, largest);
-            seeded
-                .into_iter()
-                .enumerate()
-                .map(|(i, d)| {
-                    if i == largest {
-                        d // stays partitioned, nothing sent
-                    } else {
-                        let (out, stats) = shuffle::broadcast(
-                            &d,
-                            format!("Broadcast {}", query.atoms[i].relation),
-                        );
-                        result.absorb_shuffle(stats);
-                        out
-                    }
-                })
-                .collect()
+            let mut out = Vec::with_capacity(seeded.len());
+            for (i, d) in seeded.into_iter().enumerate() {
+                if i == largest {
+                    out.push(d); // stays partitioned, nothing sent
+                } else {
+                    let (bc, stats) = shuffle::broadcast_via(
+                        &d,
+                        format!("Broadcast {}", query.atoms[i].relation),
+                        rt,
+                    )?;
+                    result.absorb_shuffle(stats);
+                    out.push(bc);
+                }
+            }
+            out
         }
         ShuffleAlg::HyperCube => {
             let problem = ShareProblem {
@@ -803,20 +837,19 @@ fn run_one_round(
                 .clone()
                 .unwrap_or_else(|| problem.optimize(cluster.workers));
             result.hc_config = Some(config.clone());
-            seeded
-                .into_iter()
-                .enumerate()
-                .map(|(i, d)| {
-                    let (out, stats) = shuffle::hypercube(
-                        &d,
-                        &config,
-                        format!("HCS {}", query.atoms[i].relation),
-                        cluster.seed,
-                    );
-                    result.absorb_shuffle(stats);
-                    out
-                })
-                .collect()
+            let mut out = Vec::with_capacity(seeded.len());
+            for (i, d) in seeded.into_iter().enumerate() {
+                let (hc, stats) = shuffle::hypercube_via(
+                    &d,
+                    &config,
+                    format!("HCS {}", query.atoms[i].relation),
+                    cluster.seed,
+                    rt,
+                )?;
+                result.absorb_shuffle(stats);
+                out.push(hc);
+            }
+            out
         }
         ShuffleAlg::Regular => unreachable!("handled by run_regular"),
     };
@@ -901,7 +934,7 @@ fn run_one_round(
                 }
                 let live: u64 = locals.iter().map(|l| 2 * l.rel.len() as u64).sum::<u64>();
                 let tj = Tributary::new(&prepared, order, &pending, num_vars);
-                let mut out = Relation::new(head.len().max(1));
+                let mut out = Relation::new(head.len());
                 let mut row = Vec::with_capacity(head.len());
                 tj.run(|asg| {
                     row.clear();
@@ -974,7 +1007,7 @@ fn finish_output(
 fn group_count_output(cluster: &Cluster, projected: &DistRel, result: &mut RunResult) -> Relation {
     use std::collections::BTreeMap;
     let workers = cluster.workers;
-    let arity = projected.vars.len().max(1);
+    let arity = projected.vars.len();
     let seed = shuffle::join_key_seed(cluster.seed, &projected.vars);
 
     // Local pre-aggregation (the classic combiner step: at most one row
@@ -1328,6 +1361,40 @@ mod tests {
         )
         .unwrap();
         assert!(set.output.unwrap().len() < bag.output.unwrap().len());
+    }
+
+    #[test]
+    fn streaming_transport_matches_local_and_reports_bytes() {
+        let q = triangle_query();
+        let db = ring_db(24);
+        let opts = PlanOptions {
+            collect_output: true,
+            ..Default::default()
+        };
+        for (s, j) in all_configs() {
+            let local = run_config(&q, &db, &Cluster::new(4).with_seed(17), s, j, &opts)
+                .expect("local plan runs");
+            let streamed = run_config(
+                &q,
+                &db,
+                &Cluster::new(4)
+                    .with_seed(17)
+                    .with_transport(parjoin_runtime::TransportKind::InProcess)
+                    .with_batch_tuples(8),
+                s,
+                j,
+                &opts,
+            )
+            .expect("streaming plan runs");
+            assert_eq!(
+                local.output.as_ref().expect("collected").raw(),
+                streamed.output.as_ref().expect("collected").raw(),
+                "{s:?}/{j:?}: streaming output must be byte-identical"
+            );
+            assert_eq!(local.tuples_shuffled, streamed.tuples_shuffled);
+            assert_eq!(local.bytes_shuffled, 0, "{s:?}/{j:?}");
+            assert!(streamed.bytes_shuffled > 0, "{s:?}/{j:?}");
+        }
     }
 
     #[test]

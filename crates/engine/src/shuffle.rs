@@ -7,11 +7,23 @@
 //! the max/avg skew factors derive). Following the paper's accounting,
 //! a tuple counts as "sent" even when its destination equals its source
 //! worker (Table 2 charges the full 1,114,289 tuples for `R(x,y) ->h(y)`).
+//!
+//! Each shuffle is expressed as a [`Router`] closure (row → destination
+//! set) handed to the worker runtime. The `*_via` variants take an
+//! optional [`Runtime`]: with `None` they run the sequential Local loop
+//! (byte-for-byte the original simulator, zero bytes moved); with a
+//! runtime they stream encoded batches through its transport and the
+//! returned stats carry real `bytes_sent`/`bytes_received`. Row order of
+//! the output partitions is identical either way, so results are
+//! byte-identical across transports.
 
 use crate::dist::DistRel;
+use crate::error::EngineError;
 use parjoin_common::{hash, Relation, ShuffleStats};
 use parjoin_core::hypercube::HcConfig;
 use parjoin_query::VarId;
+use parjoin_runtime::{local_shuffle, Router, Runtime};
+use std::sync::Arc;
 
 /// Derives a deterministic seed for hashing on a specific variable set,
 /// so that the two sides of a join partition identically.
@@ -25,6 +37,55 @@ pub fn join_key_seed(base: u64, on: &[VarId]) -> u64 {
     acc
 }
 
+/// Runs `router` over `input` — sequentially when `rt` is `None`
+/// (the Local path), through the runtime's transport otherwise — and
+/// packages the outcome as the engine's types.
+fn run_router(
+    input: &DistRel,
+    router: Router,
+    label: impl Into<String>,
+    rt: Option<&Runtime>,
+) -> Result<(DistRel, ShuffleStats), EngineError> {
+    let outcome = match rt {
+        None => local_shuffle(&input.parts, &router),
+        Some(rt) => rt.shuffle(input.parts.clone(), router)?,
+    };
+    let stats = ShuffleStats::new(label, outcome.per_producer, outcome.per_consumer)
+        .with_bytes(outcome.bytes_sent, outcome.bytes_received);
+    let mut parts = outcome.parts;
+    // An all-empty input gives the runtime no partition to read the
+    // arity from; restore the schema arity so downstream joins see the
+    // right column count.
+    let arity = input.vars.len();
+    for p in &mut parts {
+        if p.is_empty() && p.arity() != arity {
+            *p = Relation::new(arity);
+        }
+    }
+    Ok((
+        DistRel {
+            vars: input.vars.clone(),
+            parts,
+        },
+        stats,
+    ))
+}
+
+/// The [`Router`] of the regular shuffle: one destination per row, the
+/// hash bucket of the key columns.
+fn regular_router(cols: Vec<usize>, seed: u64, workers: usize) -> Router {
+    Arc::new(move |_w, row, dests| {
+        if let [c] = cols.as_slice() {
+            // Single-column keys (the common case) route through a stack
+            // array — no per-row allocation.
+            dests.push(hash::bucket_row(&[row[*c]], seed, workers));
+        } else {
+            let key: Vec<u64> = cols.iter().map(|&c| row[c]).collect();
+            dests.push(hash::bucket_row(&key, seed, workers));
+        }
+    })
+}
+
 /// Regular shuffle: hash-partition on the values of `on` (in sorted
 /// variable order, so both join sides agree).
 pub fn regular(
@@ -33,55 +94,45 @@ pub fn regular(
     label: impl Into<String>,
     base_seed: u64,
 ) -> (DistRel, ShuffleStats) {
+    regular_via(input, on, label, base_seed, None).expect("local shuffle cannot fail")
+}
+
+/// [`regular`], executed on `rt`'s transport when one is given.
+///
+/// # Errors
+/// [`EngineError::Transport`] if the runtime's exchange fails.
+pub fn regular_via(
+    input: &DistRel,
+    on: &[VarId],
+    label: impl Into<String>,
+    base_seed: u64,
+    rt: Option<&Runtime>,
+) -> Result<(DistRel, ShuffleStats), EngineError> {
     let workers = input.workers();
     let seed = join_key_seed(base_seed, on);
     let mut on_sorted: Vec<VarId> = on.to_vec();
     on_sorted.sort_unstable();
     let cols: Vec<usize> = on_sorted.iter().map(|&v| input.col_of(v)).collect();
-
-    let arity = input.vars.len();
-    let mut parts: Vec<Relation> = (0..workers).map(|_| Relation::new(arity)).collect();
-    let mut per_producer = vec![0u64; workers];
-    let mut per_consumer = vec![0u64; workers];
-    let mut key = Vec::with_capacity(cols.len());
-    for (w, part) in input.parts.iter().enumerate() {
-        per_producer[w] = part.len() as u64;
-        for row in part.rows() {
-            key.clear();
-            key.extend(cols.iter().map(|&c| row[c]));
-            let dest = hash::bucket_row(&key, seed, workers);
-            per_consumer[dest] += 1;
-            parts[dest].push_row(row);
-        }
-    }
-    (
-        DistRel {
-            vars: input.vars.clone(),
-            parts,
-        },
-        ShuffleStats::new(label, per_producer, per_consumer),
-    )
+    run_router(input, regular_router(cols, seed, workers), label, rt)
 }
 
 /// Broadcast shuffle: every worker receives the full relation.
 pub fn broadcast(input: &DistRel, label: impl Into<String>) -> (DistRel, ShuffleStats) {
+    broadcast_via(input, label, None).expect("local shuffle cannot fail")
+}
+
+/// [`broadcast`], executed on `rt`'s transport when one is given.
+///
+/// # Errors
+/// [`EngineError::Transport`] if the runtime's exchange fails.
+pub fn broadcast_via(
+    input: &DistRel,
+    label: impl Into<String>,
+    rt: Option<&Runtime>,
+) -> Result<(DistRel, ShuffleStats), EngineError> {
     let workers = input.workers();
-    let full = input.gather();
-    let total = full.len() as u64;
-    let per_producer: Vec<u64> = input
-        .parts
-        .iter()
-        .map(|p| p.len() as u64 * workers as u64)
-        .collect();
-    let per_consumer = vec![total; workers];
-    let parts: Vec<Relation> = (0..workers).map(|_| full.clone()).collect();
-    (
-        DistRel {
-            vars: input.vars.clone(),
-            parts,
-        },
-        ShuffleStats::new(label, per_producer, per_consumer),
-    )
+    let router: Router = Arc::new(move |_w, _row, dests| dests.extend(0..workers));
+    run_router(input, router, label, rt)
 }
 
 /// HyperCube shuffle: each tuple is sent to every cell of the hypercube
@@ -98,14 +149,62 @@ pub fn hypercube(
     label: impl Into<String>,
     base_seed: u64,
 ) -> (DistRel, ShuffleStats) {
+    hypercube_via(input, config, label, base_seed, None).expect("local shuffle cannot fail")
+}
+
+/// The [`Router`] of the HyperCube shuffle: hash the pinned dimensions,
+/// enumerate the slab over the free ones (mixed-radix order).
+fn hypercube_router(config: HcConfig, pinned: Vec<Option<usize>>, seeds: Vec<u64>) -> Router {
+    let dims: Vec<usize> = config.dims().to_vec();
+    let k = dims.len();
+    let free_dims: Vec<usize> = (0..k).filter(|&d| pinned[d].is_none()).collect();
+    Arc::new(move |_w, row, dests| {
+        let mut coords = vec![0usize; k];
+        for d in 0..k {
+            if let Some(col) = pinned[d] {
+                coords[d] = hash::bucket(row[col], seeds[d], dims[d]);
+            }
+        }
+        loop {
+            dests.push(config.cell_index(&coords));
+            // Mixed-radix increment over free dims.
+            let mut advanced = false;
+            for &d in &free_dims {
+                coords[d] += 1;
+                if coords[d] < dims[d] {
+                    advanced = true;
+                    break;
+                }
+                coords[d] = 0;
+            }
+            if !advanced {
+                break;
+            }
+        }
+    })
+}
+
+/// [`hypercube`], executed on `rt`'s transport when one is given.
+///
+/// # Errors
+/// [`EngineError::Transport`] if the runtime's exchange fails.
+///
+/// # Panics
+/// Panics if the input has more workers than the configuration has cells.
+pub fn hypercube_via(
+    input: &DistRel,
+    config: &HcConfig,
+    label: impl Into<String>,
+    base_seed: u64,
+    rt: Option<&Runtime>,
+) -> Result<(DistRel, ShuffleStats), EngineError> {
     let workers = input.workers();
     assert!(
         config.num_cells() <= workers,
         "configuration has {} cells but only {workers} workers",
         config.num_cells()
     );
-    let dims = config.dims();
-    let k = dims.len();
+    let k = config.dims().len();
     // Per-dimension hash seeds (independent h_i per variable).
     let seeds: Vec<u64> = (0..k).map(|d| hash::dimension_seed(base_seed, d)).collect();
     // Which dimensions this atom pins, and from which column.
@@ -114,52 +213,11 @@ pub fn hypercube(
         .iter()
         .map(|&v| input.vars.iter().position(|&x| x == v))
         .collect();
-    let free_dims: Vec<usize> = (0..k).filter(|&d| pinned[d].is_none()).collect();
-
-    let arity = input.vars.len();
-    let mut parts: Vec<Relation> = (0..workers).map(|_| Relation::new(arity)).collect();
-    let mut per_producer = vec![0u64; workers];
-    let mut per_consumer = vec![0u64; workers];
-
-    let mut coords = vec![0usize; k];
-    for (w, part) in input.parts.iter().enumerate() {
-        for row in part.rows() {
-            for d in 0..k {
-                if let Some(col) = pinned[d] {
-                    coords[d] = hash::bucket(row[col], seeds[d], dims[d]);
-                }
-            }
-            // Enumerate the slab over free dimensions.
-            for d in &free_dims {
-                coords[*d] = 0;
-            }
-            loop {
-                let dest = config.cell_index(&coords);
-                per_consumer[dest] += 1;
-                per_producer[w] += 1;
-                parts[dest].push_row(row);
-                // Mixed-radix increment over free dims.
-                let mut advanced = false;
-                for &d in &free_dims {
-                    coords[d] += 1;
-                    if coords[d] < dims[d] {
-                        advanced = true;
-                        break;
-                    }
-                    coords[d] = 0;
-                }
-                if !advanced {
-                    break;
-                }
-            }
-        }
-    }
-    (
-        DistRel {
-            vars: input.vars.clone(),
-            parts,
-        },
-        ShuffleStats::new(label, per_producer, per_consumer),
+    run_router(
+        input,
+        hypercube_router(config.clone(), pinned, seeds),
+        label,
+        rt,
     )
 }
 

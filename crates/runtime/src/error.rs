@@ -1,0 +1,34 @@
+//! Runtime error type.
+
+use std::fmt;
+
+/// Failures raised by the worker runtime and its transports.
+///
+/// `Clone` is required so the engine can embed runtime failures inside
+/// its own cloneable error type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// Invalid [`RuntimeConfig`](crate::RuntimeConfig) (zero workers,
+    /// zero batch size, a transport compiled out, …).
+    Config(String),
+    /// A socket or wire-format failure in a transport.
+    Io(String),
+    /// A peer worker disappeared before signalling end-of-stream.
+    Disconnected(String),
+    /// A blocking receive exceeded the configured I/O timeout — the
+    /// runtime's guard against a hung peer deadlocking the whole mesh.
+    Timeout(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Config(m) => write!(f, "runtime config error: {m}"),
+            RuntimeError::Io(m) => write!(f, "runtime I/O error: {m}"),
+            RuntimeError::Disconnected(m) => write!(f, "runtime peer disconnected: {m}"),
+            RuntimeError::Timeout(m) => write!(f, "runtime timeout: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}

@@ -1,0 +1,123 @@
+//! The streaming exchange: one worker's side of a batched shuffle.
+//!
+//! Each worker splits its endpoint, drains its inbox from a dedicated
+//! thread (so it can never deadlock against a full outgoing buffer), and
+//! walks its partition once: the router names each row's destinations,
+//! rows accumulate in per-destination buffers, and a buffer reaching
+//! `batch_tuples` rows is encoded ([`parjoin_common::wire`]) and sent.
+//! After the final partial batches the worker signals end-of-stream and
+//! *drops its sender*, releasing its side of every connection, then joins
+//! the drain thread.
+//!
+//! The drain thread accumulates arriving batches **per source** and the
+//! final partition concatenates sources in ascending order. Because each
+//! source's batches arrive in order (FIFO channels / one TCP connection
+//! per directed pair), the resulting row order is *identical* to the
+//! sequential `Local` loop — streaming transports are deterministic, not
+//! merely equivalent up to reordering.
+
+use crate::error::RuntimeError;
+use crate::transport::Endpoint;
+use crate::Router;
+use parjoin_common::{wire, Relation, Value};
+
+/// One worker's tallies from a streaming shuffle.
+pub struct WorkerOutcome {
+    /// The rows routed to this worker, in deterministic source order.
+    pub received: Relation,
+    /// Tuples this worker sent (counting one per destination copy).
+    pub sent_tuples: u64,
+    /// Encoded batch bytes this worker sent.
+    pub bytes_sent: u64,
+    /// Encoded batch bytes this worker received.
+    pub bytes_received: u64,
+}
+
+/// Runs one worker's side of the exchange to completion.
+///
+/// # Errors
+/// Propagates transport failures (peer death, timeout) and wire-format
+/// corruption from either direction of the stream.
+pub fn run_worker(
+    id: usize,
+    part: &Relation,
+    workers: usize,
+    batch_tuples: usize,
+    endpoint: Box<dyn Endpoint>,
+    router: &Router,
+) -> Result<WorkerOutcome, RuntimeError> {
+    let arity = part.arity();
+    let (mut sender, mut receiver) = endpoint.split();
+
+    let drain = std::thread::Builder::new()
+        .name(format!("parjoin-drain-{id}"))
+        .spawn(move || -> Result<(Vec<Relation>, u64), RuntimeError> {
+            let mut per_src: Vec<Relation> = (0..workers).map(|_| Relation::new(arity)).collect();
+            let mut bytes = 0u64;
+            while let Some((src, frame)) = receiver.recv()? {
+                bytes += frame.len() as u64;
+                wire::decode_batch_into(&frame, &mut per_src[src])
+                    .map_err(|e| RuntimeError::Io(e.to_string()))?;
+            }
+            Ok((per_src, bytes))
+        })
+        .map_err(|e| RuntimeError::Io(e.to_string()))?;
+
+    // Send side: route, batch, stream.
+    let mut pending: Vec<(Vec<Value>, usize)> = (0..workers).map(|_| (Vec::new(), 0)).collect();
+    let mut dests: Vec<usize> = Vec::with_capacity(workers);
+    let mut sent_tuples = 0u64;
+    let mut bytes_sent = 0u64;
+    let send_result = (|| -> Result<(), RuntimeError> {
+        for row in part.rows() {
+            dests.clear();
+            router(id, row, &mut dests);
+            sent_tuples += dests.len() as u64;
+            for &d in &dests {
+                let (flat, rows) = &mut pending[d];
+                flat.extend_from_slice(row);
+                *rows += 1;
+                if *rows >= batch_tuples {
+                    let mut buf = Vec::new();
+                    wire::encode_batch(arity, *rows, flat, &mut buf);
+                    bytes_sent += buf.len() as u64;
+                    sender.send(d, buf)?;
+                    flat.clear();
+                    *rows = 0;
+                }
+            }
+        }
+        for (d, (flat, rows)) in pending.iter_mut().enumerate() {
+            if *rows > 0 {
+                let mut buf = Vec::new();
+                wire::encode_batch(arity, *rows, flat, &mut buf);
+                bytes_sent += buf.len() as u64;
+                sender.send(d, buf)?;
+                flat.clear();
+                *rows = 0;
+            }
+        }
+        sender.finish()
+    })();
+    // Always release our side of every connection *before* joining the
+    // drain thread: on the error path this is what unblocks peers (and
+    // our own drain) instead of letting them wait out the full timeout.
+    drop(sender);
+    let drain_result = drain
+        .join()
+        .map_err(|_| RuntimeError::Io(format!("drain thread of worker {id} panicked")));
+    send_result?;
+    let (per_src, bytes_received) = drain_result??;
+
+    let total: usize = per_src.iter().map(Relation::len).sum();
+    let mut received = Relation::with_capacity(arity, total);
+    for src in &per_src {
+        received.extend_from(src);
+    }
+    Ok(WorkerOutcome {
+        received,
+        sent_tuples,
+        bytes_sent,
+        bytes_received,
+    })
+}

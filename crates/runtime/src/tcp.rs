@@ -1,0 +1,311 @@
+//! Loopback TCP transport (`transport-tcp` feature).
+//!
+//! Wire protocol per connection, after a 4-byte little-endian *hello*
+//! carrying the sender's worker id:
+//!
+//! ```text
+//! frame := 0x00  u32-LE payload length  payload   (one encoded batch)
+//!        | 0x01                                   (end-of-stream)
+//! ```
+//!
+//! The mesh is `p × p` directed connections over `127.0.0.1` (self-loops
+//! included, so byte accounting matches the in-process transport
+//! exactly). Each accepted connection gets a reader thread that decodes
+//! frames into the owning worker's bounded inbox; TCP flow control plus
+//! that bound give end-to-end backpressure. Connect races are absorbed
+//! by retry with exponential backoff; graceful shutdown is the
+//! end-of-stream frame followed by closing the write side, which lets
+//! reader threads exit on EOF.
+
+use crate::error::RuntimeError;
+use crate::transport::{BatchReceiver, BatchSender, Endpoint, Transport};
+use std::io::{BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
+use std::time::Duration;
+
+const TAG_BATCH: u8 = 0x00;
+const TAG_EOS: u8 = 0x01;
+
+/// Sanity cap on a single frame (64 MiB): a larger length prefix means a
+/// corrupt or hostile stream, not a real batch.
+const MAX_FRAME_BYTES: u32 = 64 << 20;
+
+/// Connects to `addr`, retrying with exponential backoff (1 ms doubling
+/// to 128 ms) for up to `attempts` tries. Loopback listeners bound a few
+/// microseconds ago can still refuse the very first SYN; everything
+/// beyond a handful of retries is a real failure.
+///
+/// # Errors
+/// [`RuntimeError::Io`] with the last OS error once retries are spent.
+pub fn connect_with_retry(addr: SocketAddr, attempts: u32) -> Result<TcpStream, RuntimeError> {
+    let mut delay = Duration::from_millis(1);
+    let mut last = String::new();
+    for attempt in 0..attempts.max(1) {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last = e.to_string(),
+        }
+        if attempt + 1 < attempts {
+            std::thread::sleep(delay);
+            delay = (delay * 2).min(Duration::from_millis(128));
+        }
+    }
+    Err(RuntimeError::Io(format!(
+        "connect to {addr} failed after {attempts} attempts: {last}"
+    )))
+}
+
+/// Loopback-socket transport.
+pub struct Tcp;
+
+type Msg = (usize, Option<Vec<u8>>);
+
+impl Transport for Tcp {
+    fn mesh(
+        &self,
+        workers: usize,
+        depth: usize,
+        timeout: Duration,
+    ) -> Result<Vec<Box<dyn Endpoint>>, RuntimeError> {
+        let io = |e: std::io::Error| RuntimeError::Io(e.to_string());
+
+        // One listener per worker on an ephemeral loopback port.
+        let mut listeners = Vec::with_capacity(workers);
+        let mut addrs = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let listener = TcpListener::bind("127.0.0.1:0").map_err(io)?;
+            addrs.push(listener.local_addr().map_err(io)?);
+            listeners.push(listener);
+        }
+
+        // Outgoing side: worker i dials every destination and announces
+        // itself with the hello frame. The kernel backlog holds these
+        // until the accept loop below runs.
+        let mut outgoing: Vec<Vec<BufWriter<TcpStream>>> = Vec::with_capacity(workers);
+        for src in 0..workers {
+            let mut conns = Vec::with_capacity(workers);
+            for &addr in &addrs {
+                let stream = connect_with_retry(addr, 10)?;
+                stream.set_nodelay(true).map_err(io)?;
+                let mut writer = BufWriter::new(stream);
+                writer
+                    .write_all(
+                        &u32::try_from(src)
+                            .expect("worker count fits u32")
+                            .to_le_bytes(),
+                    )
+                    .map_err(io)?;
+                writer.flush().map_err(io)?;
+                conns.push(writer);
+            }
+            outgoing.push(conns);
+        }
+
+        // Incoming side: accept the p connections aimed at each worker,
+        // learn who is on the other end from the hello, and hand the
+        // stream to a reader thread feeding that worker's bounded inbox.
+        let mut endpoints: Vec<Box<dyn Endpoint>> = Vec::with_capacity(workers);
+        for (listener, senders) in listeners.into_iter().zip(outgoing) {
+            let (tx, rx): (SyncSender<Msg>, Receiver<Msg>) = sync_channel(depth.max(1));
+            for _ in 0..workers {
+                let (stream, _) = listener.accept().map_err(io)?;
+                let mut hello = [0u8; 4];
+                let mut s = stream;
+                s.read_exact(&mut hello).map_err(io)?;
+                let src = u32::from_le_bytes(hello) as usize;
+                if src >= workers {
+                    return Err(RuntimeError::Io(format!(
+                        "hello names worker {src}, but the mesh has {workers}"
+                    )));
+                }
+                let inbox = tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("parjoin-tcp-read-{src}"))
+                    .spawn(move || read_frames(s, src, &inbox))
+                    .map_err(io)?;
+            }
+            drop(tx); // readers hold the only inbox senders now
+            endpoints.push(Box::new(TcpEndpoint {
+                senders,
+                rx,
+                eos_left: workers,
+                timeout,
+            }));
+        }
+        Ok(endpoints)
+    }
+}
+
+/// Reads frames until end-of-stream, EOF, or a closed inbox, forwarding
+/// each batch as `(src, Some(payload))` and end-of-stream as
+/// `(src, None)`. Exiting without sending the end-of-stream marker drops
+/// this thread's inbox sender, which is how the receiver learns the peer
+/// died mid-stream.
+fn read_frames(mut stream: TcpStream, src: usize, inbox: &SyncSender<Msg>) {
+    loop {
+        let mut tag = [0u8; 1];
+        if stream.read_exact(&mut tag).is_err() {
+            return; // EOF or reset before end-of-stream
+        }
+        match tag[0] {
+            TAG_EOS => {
+                let _ = inbox.send((src, None));
+                return;
+            }
+            TAG_BATCH => {
+                let mut len = [0u8; 4];
+                if stream.read_exact(&mut len).is_err() {
+                    return;
+                }
+                let len = u32::from_le_bytes(len);
+                if len > MAX_FRAME_BYTES {
+                    return;
+                }
+                let mut payload = vec![0u8; len as usize];
+                if stream.read_exact(&mut payload).is_err() {
+                    return;
+                }
+                if inbox.send((src, Some(payload))).is_err() {
+                    return; // receiver gone (worker errored out)
+                }
+            }
+            _ => return, // corrupt stream
+        }
+    }
+}
+
+struct TcpEndpoint {
+    senders: Vec<BufWriter<TcpStream>>,
+    rx: Receiver<Msg>,
+    eos_left: usize,
+    timeout: Duration,
+}
+
+impl Endpoint for TcpEndpoint {
+    fn split(self: Box<Self>) -> (Box<dyn BatchSender>, Box<dyn BatchReceiver>) {
+        (
+            Box::new(TcpSender {
+                senders: self.senders,
+            }),
+            Box::new(TcpReceiver {
+                rx: self.rx,
+                eos_left: self.eos_left,
+                timeout: self.timeout,
+            }),
+        )
+    }
+}
+
+struct TcpSender {
+    senders: Vec<BufWriter<TcpStream>>,
+}
+
+impl BatchSender for TcpSender {
+    fn send(&mut self, dest: usize, frame: Vec<u8>) -> Result<(), RuntimeError> {
+        let w = &mut self.senders[dest];
+        let write = (|| {
+            w.write_all(&[TAG_BATCH])?;
+            w.write_all(
+                &u32::try_from(frame.len())
+                    .expect("frame under 4 GiB")
+                    .to_le_bytes(),
+            )?;
+            w.write_all(&frame)?;
+            // Flush per frame: batches are already sized for throughput,
+            // and prompt delivery keeps peer drain threads busy instead
+            // of stalling on buffered bytes.
+            w.flush()
+        })();
+        write.map_err(|e| RuntimeError::Disconnected(format!("write to worker {dest}: {e}")))
+    }
+
+    fn finish(&mut self) -> Result<(), RuntimeError> {
+        for w in &mut self.senders {
+            // Best-effort: a dead peer cannot be waiting for our marker.
+            let _ = w.write_all(&[TAG_EOS]).and_then(|()| w.flush());
+        }
+        Ok(())
+    }
+}
+
+struct TcpReceiver {
+    rx: Receiver<Msg>,
+    eos_left: usize,
+    timeout: Duration,
+}
+
+impl BatchReceiver for TcpReceiver {
+    fn recv(&mut self) -> Result<Option<(usize, Vec<u8>)>, RuntimeError> {
+        while self.eos_left > 0 {
+            match self.rx.recv_timeout(self.timeout) {
+                Ok((src, Some(frame))) => return Ok(Some((src, frame))),
+                Ok((_, None)) => self.eos_left -= 1,
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(RuntimeError::Timeout(format!(
+                        "no frame within {:?}; {} peer(s) never finished",
+                        self.timeout, self.eos_left
+                    )));
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(RuntimeError::Disconnected(format!(
+                        "{} peer(s) closed before end-of-stream",
+                        self.eos_left
+                    )));
+                }
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn connect_with_retry_gives_up() {
+        // Port 1 on loopback is essentially never listening; two quick
+        // attempts must fail fast with an I/O error.
+        let addr: SocketAddr = "127.0.0.1:1".parse().expect("addr");
+        let start = std::time::Instant::now();
+        let err = connect_with_retry(addr, 2);
+        assert!(matches!(err, Err(RuntimeError::Io(_))));
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn tcp_mesh_round_trips_frames() {
+        let eps = Tcp.mesh(2, 4, Duration::from_secs(10)).expect("mesh");
+        let mut eps = eps.into_iter();
+        let a = eps.next().expect("endpoint 0");
+        let b = eps.next().expect("endpoint 1");
+
+        let ta = thread::spawn(move || {
+            let (mut tx, mut rx) = a.split();
+            tx.send(1, vec![1, 2, 3]).expect("send");
+            tx.send(0, vec![7]).expect("self send");
+            tx.finish().expect("finish");
+            drop(tx);
+            let mut got = Vec::new();
+            while let Some(msg) = rx.recv().expect("recv") {
+                got.push(msg);
+            }
+            got.sort();
+            got
+        });
+        let tb = thread::spawn(move || {
+            let (mut tx, mut rx) = b.split();
+            tx.finish().expect("finish");
+            drop(tx);
+            let mut got = Vec::new();
+            while let Some(msg) = rx.recv().expect("recv") {
+                got.push(msg);
+            }
+            got
+        });
+        assert_eq!(ta.join().expect("worker 0"), vec![(0, vec![7])]);
+        assert_eq!(tb.join().expect("worker 1"), vec![(0, vec![1, 2, 3])]);
+    }
+}

@@ -1,0 +1,281 @@
+//! The transport abstraction and the in-process implementation.
+//!
+//! A [`Transport`] builds a full point-to-point *mesh* over `p` workers:
+//! one [`Endpoint`] per worker, each able to send opaque frames to every
+//! peer (itself included — self-traffic flows through the same path so
+//! accounting is uniform) and to receive `(source, frame)` pairs until
+//! every peer has signalled end-of-stream.
+//!
+//! Endpoints split into independent sender and receiver halves so a
+//! worker can drain its inbox from a second thread while its main loop
+//! routes and sends. That split is what makes the bounded buffers safe:
+//! a worker never blocks on a full outgoing channel while also refusing
+//! to empty its own inbox, so the classic all-send-no-receive exchange
+//! deadlock cannot form.
+
+use crate::error::RuntimeError;
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
+use std::time::Duration;
+
+/// Which transport a runtime (or engine cluster) should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// Degenerate in-memory path: the shuffle runs as a sequential loop
+    /// on the caller thread, moving no bytes. This reproduces the
+    /// original simulator semantics exactly (same tallies, same row
+    /// order) and is the default.
+    #[default]
+    Local,
+    /// Bounded `mpsc` channels between worker threads; frames are moved,
+    /// never copied. Backpressure comes from the channel bound.
+    InProcess,
+    /// Length-prefixed framed batches over loopback TCP sockets.
+    /// Requires the `transport-tcp` cargo feature; selecting it in a
+    /// build without the feature yields a [`RuntimeError::Config`].
+    Tcp,
+}
+
+impl TransportKind {
+    /// True for transports that stream encoded batches (and therefore
+    /// report non-zero byte tallies).
+    pub fn is_streaming(self) -> bool {
+        !matches!(self, TransportKind::Local)
+    }
+}
+
+impl std::fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportKind::Local => write!(f, "local"),
+            TransportKind::InProcess => write!(f, "in-process"),
+            TransportKind::Tcp => write!(f, "tcp"),
+        }
+    }
+}
+
+/// A mesh factory: builds `workers` connected endpoints.
+pub trait Transport {
+    /// Creates the full mesh. Endpoint `i` is handed to worker `i`.
+    ///
+    /// `depth` bounds the per-worker inbox (in frames); `timeout` caps
+    /// every blocking receive.
+    ///
+    /// # Errors
+    /// Transport-specific setup failures (e.g. a TCP bind or connect
+    /// that keeps failing after retries).
+    fn mesh(
+        &self,
+        workers: usize,
+        depth: usize,
+        timeout: Duration,
+    ) -> Result<Vec<Box<dyn Endpoint>>, RuntimeError>;
+}
+
+/// One worker's attachment to the mesh.
+pub trait Endpoint: Send {
+    /// Splits into independently-threaded sender and receiver halves.
+    fn split(self: Box<Self>) -> (Box<dyn BatchSender>, Box<dyn BatchReceiver>);
+}
+
+/// The sending half of an endpoint.
+///
+/// Dropping the sender (after [`finish`](Self::finish)) releases its
+/// side of every peer connection, which is what lets receivers detect a
+/// crashed peer instead of waiting forever.
+pub trait BatchSender: Send {
+    /// Sends one encoded batch to worker `dest`. Blocks when the
+    /// destination's buffer is full (backpressure).
+    ///
+    /// # Errors
+    /// [`RuntimeError::Disconnected`] if the destination is gone.
+    fn send(&mut self, dest: usize, frame: Vec<u8>) -> Result<(), RuntimeError>;
+
+    /// Signals end-of-stream to every peer and flushes buffered writes.
+    ///
+    /// Delivery is best-effort: a peer that already terminated cannot be
+    /// waiting for our marker, so failures to reach individual peers are
+    /// ignored (the receive side reports the disconnect instead).
+    ///
+    /// # Errors
+    /// Reserved for non-peer failures; the built-in transports currently
+    /// always return `Ok`.
+    fn finish(&mut self) -> Result<(), RuntimeError>;
+}
+
+/// The receiving half of an endpoint.
+pub trait BatchReceiver: Send {
+    /// Receives the next `(source, frame)` pair, or `Ok(None)` once all
+    /// peers have signalled end-of-stream.
+    ///
+    /// # Errors
+    /// [`RuntimeError::Timeout`] when nothing arrives within the mesh
+    /// timeout; [`RuntimeError::Disconnected`] when peers vanish before
+    /// their end-of-stream marker.
+    fn recv(&mut self) -> Result<Option<(usize, Vec<u8>)>, RuntimeError>;
+}
+
+/// `(source worker, frame)`; `None` frame is the end-of-stream marker.
+type Msg = (usize, Option<Vec<u8>>);
+
+/// Bounded-channel transport between threads of this process.
+pub struct InProcess;
+
+impl Transport for InProcess {
+    fn mesh(
+        &self,
+        workers: usize,
+        depth: usize,
+        timeout: Duration,
+    ) -> Result<Vec<Box<dyn Endpoint>>, RuntimeError> {
+        let mut txs: Vec<SyncSender<Msg>> = Vec::with_capacity(workers);
+        let mut rxs: Vec<Receiver<Msg>> = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = sync_channel(depth.max(1));
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        Ok(rxs
+            .into_iter()
+            .enumerate()
+            .map(|(id, rx)| {
+                Box::new(InProcessEndpoint {
+                    id,
+                    peers: txs.clone(),
+                    rx,
+                    eos_left: workers,
+                    timeout,
+                }) as Box<dyn Endpoint>
+            })
+            .collect())
+    }
+}
+
+struct InProcessEndpoint {
+    id: usize,
+    peers: Vec<SyncSender<Msg>>,
+    rx: Receiver<Msg>,
+    eos_left: usize,
+    timeout: Duration,
+}
+
+impl Endpoint for InProcessEndpoint {
+    fn split(self: Box<Self>) -> (Box<dyn BatchSender>, Box<dyn BatchReceiver>) {
+        (
+            Box::new(InProcessSender {
+                id: self.id,
+                peers: self.peers,
+            }),
+            Box::new(InProcessReceiver {
+                rx: self.rx,
+                eos_left: self.eos_left,
+                timeout: self.timeout,
+            }),
+        )
+    }
+}
+
+struct InProcessSender {
+    id: usize,
+    peers: Vec<SyncSender<Msg>>,
+}
+
+impl BatchSender for InProcessSender {
+    fn send(&mut self, dest: usize, frame: Vec<u8>) -> Result<(), RuntimeError> {
+        self.peers[dest]
+            .send((self.id, Some(frame)))
+            .map_err(|_| RuntimeError::Disconnected(format!("worker {dest} inbox closed")))
+    }
+
+    fn finish(&mut self) -> Result<(), RuntimeError> {
+        for tx in &self.peers {
+            // A closed inbox means that peer is already gone; it cannot
+            // be waiting for our end-of-stream marker.
+            let _ = tx.send((self.id, None));
+        }
+        Ok(())
+    }
+}
+
+struct InProcessReceiver {
+    rx: Receiver<Msg>,
+    eos_left: usize,
+    timeout: Duration,
+}
+
+impl BatchReceiver for InProcessReceiver {
+    fn recv(&mut self) -> Result<Option<(usize, Vec<u8>)>, RuntimeError> {
+        while self.eos_left > 0 {
+            match self.rx.recv_timeout(self.timeout) {
+                Ok((src, Some(frame))) => return Ok(Some((src, frame))),
+                Ok((_, None)) => self.eos_left -= 1,
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(RuntimeError::Timeout(format!(
+                        "no batch within {:?}; {} peer(s) never finished",
+                        self.timeout, self.eos_left
+                    )));
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(RuntimeError::Disconnected(format!(
+                        "{} peer(s) dropped before end-of-stream",
+                        self.eos_left
+                    )));
+                }
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn in_process_mesh_round_trips_frames() {
+        let eps = InProcess.mesh(2, 4, Duration::from_secs(5)).expect("mesh");
+        let mut eps = eps.into_iter();
+        let a = eps.next().expect("endpoint 0");
+        let b = eps.next().expect("endpoint 1");
+
+        let ta = thread::spawn(move || {
+            let (mut tx, mut rx) = a.split();
+            tx.send(1, vec![1, 2, 3]).expect("send");
+            tx.finish().expect("finish");
+            drop(tx);
+            let mut got = Vec::new();
+            while let Some(msg) = rx.recv().expect("recv") {
+                got.push(msg);
+            }
+            got
+        });
+        let tb = thread::spawn(move || {
+            let (mut tx, mut rx) = b.split();
+            tx.send(0, vec![9]).expect("send");
+            tx.finish().expect("finish");
+            drop(tx);
+            let mut got = Vec::new();
+            while let Some(msg) = rx.recv().expect("recv") {
+                got.push(msg);
+            }
+            got
+        });
+        let got_a = ta.join().expect("worker 0");
+        let got_b = tb.join().expect("worker 1");
+        assert_eq!(got_a, vec![(1, vec![9])]);
+        assert_eq!(got_b, vec![(0, vec![1, 2, 3])]);
+    }
+
+    #[test]
+    fn receiver_errors_when_peer_drops_without_eos() {
+        let eps = InProcess.mesh(2, 4, Duration::from_secs(5)).expect("mesh");
+        let mut eps = eps.into_iter();
+        let a = eps.next().expect("endpoint 0");
+        let b = eps.next().expect("endpoint 1");
+        drop(b); // peer dies before sending anything
+        let (mut tx, mut rx) = a.split();
+        tx.finish().expect("own eos still works");
+        drop(tx);
+        assert!(matches!(rx.recv(), Err(RuntimeError::Disconnected(_))));
+    }
+}

@@ -1,0 +1,203 @@
+//! Cross-transport exchange tests: the streaming transports must agree
+//! with the sequential `Local` loop *exactly* — same partitions in the
+//! same row order, same tallies — and report matching byte counts.
+
+use parjoin_common::{hash, Relation};
+use parjoin_runtime::{Router, Runtime, RuntimeConfig, ShuffleOutcome, TransportKind};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn config(transport: TransportKind, workers: usize, batch_tuples: usize) -> RuntimeConfig {
+    RuntimeConfig {
+        workers,
+        transport,
+        batch_tuples,
+        channel_depth: 2, // shallow inbox to actually exercise backpressure
+        io_timeout: Duration::from_secs(20),
+    }
+}
+
+/// A deterministic pseudo-random partitioning of `rows` tuples of
+/// `arity` columns across `workers` partitions.
+fn make_parts(workers: usize, arity: usize, rows: usize, seed: u64) -> Vec<Relation> {
+    let mut parts: Vec<Relation> = (0..workers).map(|_| Relation::new(arity)).collect();
+    let mut row = vec![0u64; arity];
+    for i in 0..rows {
+        for (c, v) in row.iter_mut().enumerate() {
+            *v = hash::bucket(i as u64 * 31 + c as u64, seed, 1000) as u64;
+        }
+        parts[i % workers].push_row(&row);
+    }
+    parts
+}
+
+fn hash_router(workers: usize, seed: u64) -> Router {
+    Arc::new(move |_w, row, dests| dests.push(hash::bucket(row[0], seed, workers)))
+}
+
+fn broadcast_router(workers: usize) -> Router {
+    Arc::new(move |_w, _row, dests| dests.extend(0..workers))
+}
+
+fn run(
+    transport: TransportKind,
+    batch: usize,
+    router: &Router,
+    parts: &[Relation],
+) -> ShuffleOutcome {
+    let rt = Runtime::new(config(transport, parts.len(), batch)).expect("runtime");
+    let out = rt
+        .shuffle(parts.to_vec(), Arc::clone(router))
+        .expect("shuffle");
+    rt.shutdown().expect("shutdown");
+    out
+}
+
+fn assert_same_shuffle(a: &ShuffleOutcome, b: &ShuffleOutcome) {
+    assert_eq!(
+        a.parts, b.parts,
+        "partitions (including row order) must match"
+    );
+    assert_eq!(a.per_producer, b.per_producer);
+    assert_eq!(a.per_consumer, b.per_consumer);
+}
+
+fn streaming_kinds() -> Vec<TransportKind> {
+    let mut kinds = vec![TransportKind::InProcess];
+    if cfg!(feature = "transport-tcp") {
+        kinds.push(TransportKind::Tcp);
+    }
+    kinds
+}
+
+#[test]
+fn streaming_matches_local_hash_partition() {
+    let workers = 4;
+    let parts = make_parts(workers, 3, 1000, 42);
+    let router = hash_router(workers, 7);
+    // batch=64 forces multi-batch streams; batch=4096 gives single batches.
+    for batch in [64, 4096] {
+        let local = run(TransportKind::Local, batch, &router, &parts);
+        assert_eq!(local.bytes_sent, 0, "local path moves no bytes");
+        for kind in streaming_kinds() {
+            let streamed = run(kind, batch, &router, &parts);
+            assert_same_shuffle(&local, &streamed);
+            assert!(
+                streamed.bytes_sent > 0,
+                "{kind}: streaming must move real bytes"
+            );
+            assert_eq!(
+                streamed.bytes_sent, streamed.bytes_received,
+                "{kind}: every sent byte is received"
+            );
+        }
+    }
+}
+
+#[test]
+fn streaming_matches_local_broadcast() {
+    let workers = 3;
+    let parts = make_parts(workers, 2, 300, 5);
+    let router = broadcast_router(workers);
+    let local = run(TransportKind::Local, 128, &router, &parts);
+    assert_eq!(
+        local.per_producer.iter().sum::<u64>(),
+        300 * workers as u64,
+        "broadcast sends one copy per worker"
+    );
+    for kind in streaming_kinds() {
+        let streamed = run(kind, 128, &router, &parts);
+        assert_same_shuffle(&local, &streamed);
+    }
+}
+
+#[test]
+fn in_process_and_tcp_report_identical_bytes() {
+    // Byte tallies count encoded payload only (no transport framing), so
+    // the two streaming transports must agree to the byte.
+    if !cfg!(feature = "transport-tcp") {
+        return;
+    }
+    let workers = 4;
+    let parts = make_parts(workers, 2, 777, 9);
+    let router = hash_router(workers, 3);
+    let a = run(TransportKind::InProcess, 100, &router, &parts);
+    let b = run(TransportKind::Tcp, 100, &router, &parts);
+    assert_eq!(a.bytes_sent, b.bytes_sent);
+    assert_eq!(a.bytes_received, b.bytes_received);
+}
+
+#[test]
+fn nullary_relations_stream_with_multiplicity() {
+    let workers = 2;
+    let mut parts: Vec<Relation> = (0..workers).map(|_| Relation::new(0)).collect();
+    parts[0].push_nullary_rows(5);
+    parts[1].push_nullary_rows(2);
+    // Route all nullary witnesses to worker 0.
+    let router: Router = Arc::new(|_w, _row, dests| dests.push(0));
+    let local = run(TransportKind::Local, 3, &router, &parts);
+    assert_eq!(local.parts[0].len(), 7);
+    assert_eq!(local.parts[0].arity(), 0);
+    for kind in streaming_kinds() {
+        let streamed = run(kind, 3, &router, &parts);
+        assert_same_shuffle(&local, &streamed);
+        assert!(
+            streamed.bytes_sent > 0,
+            "even value-free batches have header bytes"
+        );
+    }
+}
+
+#[test]
+fn empty_partitions_shuffle_cleanly() {
+    let workers = 3;
+    let parts: Vec<Relation> = (0..workers).map(|_| Relation::new(2)).collect();
+    let router = hash_router(workers, 1);
+    for kind in streaming_kinds() {
+        let out = run(kind, 16, &router, &parts);
+        assert!(out.parts.iter().all(Relation::is_empty));
+        assert_eq!(out.per_producer, vec![0; workers]);
+        assert_eq!(out.bytes_sent, 0, "no rows, no batches");
+    }
+}
+
+#[test]
+fn each_runs_on_every_worker_and_store_persists() {
+    let rt = Runtime::new(config(TransportKind::InProcess, 4, 16)).expect("runtime");
+    let ids = rt
+        .each(|ctx| {
+            let mut rel = Relation::new(1);
+            rel.push_row(&[ctx.id as u64]);
+            ctx.put("mine", rel);
+            ctx.id
+        })
+        .expect("each");
+    assert_eq!(ids, vec![0, 1, 2, 3]);
+    // Partitions are owned by the actor: a later job sees them.
+    let kept = rt
+        .each(|ctx| ctx.get("mine").map(|r| r.value(0, 0)))
+        .expect("each");
+    assert_eq!(kept, vec![Some(0), Some(1), Some(2), Some(3)]);
+    rt.shutdown().expect("shutdown");
+}
+
+#[test]
+fn zero_batch_tuples_is_rejected() {
+    let err = Runtime::new(config(TransportKind::InProcess, 2, 0));
+    assert!(matches!(err, Err(parjoin_runtime::RuntimeError::Config(_))));
+}
+
+#[test]
+fn partition_count_mismatch_is_rejected() {
+    let rt = Runtime::new(config(TransportKind::Local, 3, 16)).expect("runtime");
+    let router = hash_router(3, 1);
+    let err = rt.shuffle(vec![Relation::new(1); 2], router);
+    assert!(matches!(err, Err(parjoin_runtime::RuntimeError::Config(_))));
+}
+
+#[cfg(not(feature = "transport-tcp"))]
+#[test]
+fn tcp_without_feature_is_a_config_error() {
+    let err = Runtime::new(config(TransportKind::Tcp, 2, 16));
+    assert!(matches!(err, Err(parjoin_runtime::RuntimeError::Config(_))));
+}

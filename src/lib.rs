@@ -17,6 +17,9 @@
 //!   variable-order cost model;
 //! * [`engine`] — a shared-nothing cluster simulator with the paper's six
 //!   shuffle×join plan configurations and the §3.6 semijoin plans;
+//! * [`runtime`] — the message-passing worker runtime the engine's
+//!   shuffles execute on, with pluggable transports (in-memory,
+//!   in-process channels, loopback TCP behind `transport-tcp`);
 //! * [`datagen`] — seeded Twitter-like and Freebase-like datasets and the
 //!   Q1–Q8 workloads;
 //! * [`lp`] — the small simplex solver behind the fractional share LP.
@@ -47,6 +50,7 @@ pub use parjoin_datagen as datagen;
 pub use parjoin_engine as engine;
 pub use parjoin_lp as lp;
 pub use parjoin_query as query;
+pub use parjoin_runtime as runtime;
 
 /// The names most programs need.
 pub mod prelude {
@@ -57,6 +61,7 @@ pub mod prelude {
     pub use parjoin_datagen::{all_queries, DatasetKind, QuerySpec, Scale};
     pub use parjoin_engine::{
         run_config, Cluster, EngineError, JoinAlg, PlanOptions, RunResult, ShuffleAlg,
+        TransportKind,
     };
     pub use parjoin_query::{ConjunctiveQuery, QueryBuilder, VarId};
 }
