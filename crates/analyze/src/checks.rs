@@ -467,6 +467,74 @@ pub fn check_resources(spec: &PlanSpec<'_>, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Sort-cache pre-flight for Tributary plans: estimates the per-worker
+/// *sorted working set* of the prepare phase — every atom's post-shuffle
+/// fragment plus its sorted copy, i.e. twice the shuffled input — and
+/// warns when it exceeds the memory budget. Unlike
+/// [`check_resources`]'s general load estimate, this targets the sort
+/// pipeline specifically: over budget, the engine's sorted-view cache
+/// refuses to pin any view of this plan (caching degrades to
+/// sort-every-time) and the prepare itself is the likely point of a
+/// mid-flight `MemoryBudget` abort.
+pub fn check_sort_cache(spec: &PlanSpec<'_>, out: &mut Vec<Diagnostic>) {
+    if spec.join != JoinKind::Tributary {
+        return;
+    }
+    let Some(budget) = spec.memory_budget else {
+        return;
+    };
+    if spec.cards.len() != spec.query.atoms.len() || spec.cards.is_empty() {
+        return;
+    }
+    let workers = spec.workers.max(1) as f64;
+
+    // Per-worker tuples arriving at the prepare phase, by shuffle kind.
+    let (input, kind) = match spec.shuffle {
+        ShuffleKind::Regular => {
+            // RS_TJ merge-joins pairwise; the largest single step sorts
+            // its two fragments — inputs-only lower bound.
+            let largest = *spec.cards.iter().max().unwrap_or(&0);
+            (largest as f64 / workers, "regular (input lower bound)")
+        }
+        ShuffleKind::Broadcast => {
+            let total: u64 = spec.cards.iter().sum();
+            let largest = *spec.cards.iter().max().unwrap_or(&0);
+            (
+                (total - largest) as f64 + largest as f64 / workers,
+                "broadcast",
+            )
+        }
+        ShuffleKind::HyperCube => {
+            let problem = ShareProblem::from_query(spec.query, &spec.cards);
+            let config = match &spec.hc_config {
+                Some(c) => c.clone(),
+                None if spec.workers >= 2 => problem.optimize(spec.workers),
+                None => return,
+            };
+            if config.num_cells() > spec.workers {
+                return; // unexecutable; check_shuffle reported the error
+            }
+            (config.workload(&problem), "hypercube workload")
+        }
+    };
+    let working_set = 2.0 * input; // fragment + sorted copy per atom
+
+    if working_set > budget as f64 {
+        out.push(
+            Diagnostic::warning(
+                DiagCode::SortCacheOverBudget,
+                format!(
+                    "projected sorted working set of the Tributary prepare phase exceeds \
+                     the per-worker memory budget; sorted views of this plan will not be \
+                     cached and the prepare is likely to abort ({kind} estimate)"
+                ),
+            )
+            .with("working_set_tuples", format!("{working_set:.0}"))
+            .with("budget", budget),
+        );
+    }
+}
+
 /// Runtime-knob pre-flight: vets the streaming-shuffle batch size before
 /// the exchange starts. A zero batch can never flush (the send loop
 /// would buffer forever), so it is an error; a batch larger than the

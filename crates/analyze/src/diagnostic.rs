@@ -109,6 +109,12 @@ pub enum DiagCode {
     /// budget: a single arriving batch already overruns the budget the
     /// run is supposed to enforce.
     BatchOverBudget,
+    /// The Tributary prepare phase's projected sorted working set
+    /// (every atom's post-shuffle fragment, sorted-copy included)
+    /// exceeds the per-worker memory budget, so no sorted view of this
+    /// plan can be pinned by the sort cache and the prepare itself is
+    /// likely to overrun the budget.
+    SortCacheOverBudget,
 }
 
 impl DiagCode {
@@ -136,6 +142,7 @@ impl DiagCode {
             DiagCode::HostParallelismUnknown => "R401",
             DiagCode::BatchSizeZero => "R410",
             DiagCode::BatchOverBudget => "R411",
+            DiagCode::SortCacheOverBudget => "R412",
         }
     }
 }

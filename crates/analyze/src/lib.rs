@@ -54,6 +54,7 @@ pub fn analyze(spec: &PlanSpec<'_>) -> Vec<Diagnostic> {
     checks::check_tj_order(spec, &mut out);
     checks::check_shuffle(spec, &mut out);
     checks::check_resources(spec, &mut out);
+    checks::check_sort_cache(spec, &mut out);
     checks::check_runtime(spec, &mut out);
     out
 }
@@ -158,6 +159,48 @@ mod tests {
         assert!(analyze(&spec)
             .iter()
             .all(|d| d.code != DiagCode::BatchSizeZero && d.code != DiagCode::BatchOverBudget));
+    }
+
+    #[test]
+    fn sort_cache_over_budget_warns() {
+        let q = triangle();
+        // Broadcast TJ: each worker sorts ~(total - largest) + largest/p
+        // tuples plus their sorted copies — far over a budget of 100.
+        let spec = PlanSpec::new(&q, 4, ShuffleKind::Broadcast, JoinKind::Tributary)
+            .with_cards(vec![1_000, 1_000, 1_000])
+            .with_memory_budget(100);
+        let diags = analyze(&spec);
+        assert!(!has_errors(&diags), "R412 is a warning: {diags:?}");
+        let d = diags
+            .iter()
+            .find(|d| d.code == DiagCode::SortCacheOverBudget)
+            .expect("R412 expected");
+        assert_eq!(d.code.code(), "R412");
+        assert!(d.context_value("working_set_tuples").is_some());
+    }
+
+    #[test]
+    fn sort_cache_within_budget_is_silent() {
+        let q = triangle();
+        let spec = PlanSpec::new(&q, 4, ShuffleKind::Broadcast, JoinKind::Tributary)
+            .with_cards(vec![100, 100, 100])
+            .with_memory_budget(1_000_000);
+        assert!(analyze(&spec)
+            .iter()
+            .all(|d| d.code != DiagCode::SortCacheOverBudget));
+    }
+
+    #[test]
+    fn sort_cache_check_ignores_hash_joins() {
+        let q = triangle();
+        // Same shape as the warning case but with a hash join: the sort
+        // pipeline never runs, so R412 must stay silent.
+        let spec = PlanSpec::new(&q, 4, ShuffleKind::Broadcast, JoinKind::Hash)
+            .with_cards(vec![1_000, 1_000, 1_000])
+            .with_memory_budget(100);
+        assert!(analyze(&spec)
+            .iter()
+            .all(|d| d.code != DiagCode::SortCacheOverBudget));
     }
 
     #[test]

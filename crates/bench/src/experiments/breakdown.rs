@@ -22,18 +22,27 @@ pub fn run(settings: &Settings) {
         ("BR_HJ", ShuffleAlg::Broadcast, JoinAlg::Hash),
     ] {
         let r = run_config(&spec.query, &db, &cluster, s, j, &opts).expect(name);
-        let sort = r.sort_cpu().as_secs_f64();
-        let join = r.join_cpu().as_secs_f64();
+        let pp = r.prep_probe();
+        let sort = pp.prep.as_secs_f64();
+        let join = pp.probe.as_secs_f64();
         // The paper's Table 5 reports contribution to *local join* time
         // (the shuffle/network phases are excluded).
         let total = (sort + join).max(1e-12);
+        let cache = if r.sort_cache_hits + r.sort_cache_misses > 0 {
+            format!(
+                " [sort-cache {}h/{}m]",
+                r.sort_cache_hits, r.sort_cache_misses
+            )
+        } else {
+            String::new()
+        };
         rows.push(vec![
-            format!("{name}: all sorts"),
+            format!("{name}: all sorts (prep){cache}"),
             format!("{:.3}s", sort),
-            format!("{:.0}%", 100.0 * sort / total),
+            format!("{:.0}%", 100.0 * pp.prep_fraction()),
         ]);
         rows.push(vec![
-            format!("{name}: join"),
+            format!("{name}: join (probe)"),
             format!("{:.3}s", join),
             format!("{:.0}%", 100.0 * join / total),
         ]);

@@ -46,6 +46,24 @@ pub fn bucket_row(vals: &[Value], seed: u64, buckets: usize) -> usize {
     ((acc as u128 * buckets as u128) >> 64) as usize
 }
 
+/// 128-bit fingerprint of a (arity, rows, values) triple: two
+/// independently seeded [`hash64`] chains over the same stream, packed
+/// into a `u128`. One 64-bit chain would make cache-key collisions
+/// merely unlikely; two independent chains make them negligible, which
+/// is the bar for a cache that silently substitutes its entry for a
+/// fresh sort.
+pub fn fingerprint128(arity: u64, rows: u64, data: &[Value]) -> u128 {
+    let mut lo = hash64(arity, 0x9e37_79b9_7f4a_7c15);
+    let mut hi = hash64(arity, 0xc2b2_ae3d_27d4_eb4f);
+    lo = hash64(rows, lo);
+    hi = hash64(rows, hi);
+    for &v in data {
+        lo = hash64(v, lo);
+        hi = hash64(v, hi);
+    }
+    ((hi as u128) << 64) | lo as u128
+}
+
 /// Derives the per-dimension seed for hypercube dimension `dim` from a
 /// query-level base seed. Each shuffle of the same query must reuse the
 /// same seeds so that co-joining tuples meet (paper §2.1).

@@ -14,12 +14,16 @@
 //! * [`hash`] — the independent per-dimension hash functions required by
 //!   the HyperCube shuffle ("hᵢ is a hash function chosen independently
 //!   for xᵢ", paper §2.1).
+//! * [`sort`] — index-based sorting kernels (multi-column LSD radix sort,
+//!   comparator fallback, galloping run merge) behind
+//!   [`Relation::sort_lex`] and the engine's parallel prepare.
 //! * [`stats`] — skew metrics (max/average load ratios) exactly as reported
 //!   in the paper's Tables 2–4.
 
 pub mod db;
 pub mod hash;
 pub mod relation;
+pub mod sort;
 pub mod stats;
 pub mod wire;
 

@@ -60,6 +60,30 @@ impl Relation {
         rel
     }
 
+    /// Builds a relation directly from a row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `arity == 0` (nullary relations carry no buffer — use
+    /// [`Relation::push_nullary_rows`]) or `data.len()` is not a multiple
+    /// of `arity`.
+    pub fn from_flat(arity: usize, data: Vec<Value>) -> Self {
+        assert!(arity > 0, "from_flat requires a positive arity");
+        assert_eq!(data.len() % arity, 0, "buffer length not a row multiple");
+        Relation {
+            arity,
+            rows: data.len() / arity,
+            data,
+        }
+    }
+
+    /// 128-bit content fingerprint over arity, row count, and every value
+    /// (order-sensitive). Two relations with equal fingerprints hold the
+    /// same bytes up to a 2⁻¹²⁸-ish collision chance — strong enough to
+    /// key the engine's sorted-view cache.
+    pub fn fingerprint(&self) -> u128 {
+        crate::hash::fingerprint128(self.arity as u64, self.rows as u64, &self.data)
+    }
+
     /// Number of attributes per tuple.
     #[inline]
     pub fn arity(&self) -> usize {
@@ -140,25 +164,17 @@ impl Relation {
     }
 
     /// Sorts tuples lexicographically in place.
+    ///
+    /// Sorts row indices then permutes — one allocation, each row moved
+    /// exactly once — dispatching between the LSD radix kernel and the
+    /// comparator kernel by size (see [`crate::sort`]).
     pub fn sort_lex(&mut self) {
         let arity = self.arity;
         if arity == 0 || self.len() <= 1 {
             return;
         }
-        // Sorting row indices then permuting does one allocation and moves
-        // each row exactly once, instead of repeatedly swapping wide rows.
-        let mut idx: Vec<u32> = (0..self.len() as u32).collect();
-        let data = &self.data;
-        idx.sort_unstable_by(|&a, &b| {
-            let ra = &data[a as usize * arity..a as usize * arity + arity];
-            let rb = &data[b as usize * arity..b as usize * arity + arity];
-            ra.cmp(rb)
-        });
-        let mut out = Vec::with_capacity(self.data.len());
-        for &i in &idx {
-            out.extend_from_slice(&data[i as usize * arity..i as usize * arity + arity]);
-        }
-        self.data = out;
+        let idx = crate::sort::sorted_indices(&self.data, arity, 0, self.len());
+        self.data = crate::sort::gather(&self.data, arity, &idx);
     }
 
     /// Returns a new relation whose columns are `cols` (projection with
@@ -185,20 +201,34 @@ impl Relation {
             cols.iter().all(|&c| c < self.arity),
             "projection column out of range"
         );
-        let mut out = Relation::with_capacity(cols.len(), self.len());
+        let n = self.len();
+        let k = cols.len();
         // Projecting onto zero columns yields a nullary relation that
         // keeps the row count (bag semantics): each input tuple
         // contributes one empty witness.
-        out.rows = self.len();
-        if cols.is_empty() {
+        if k == 0 {
+            let mut out = Relation::new(0);
+            out.rows = n;
             return out;
         }
-        for row in self.rows() {
-            for &c in cols {
-                out.data.push(row[c]);
+        // The identity permutation is a plain copy of the buffer.
+        if k == self.arity && cols.iter().enumerate().all(|(i, &c)| i == c) {
+            return self.clone();
+        }
+        // One up-front allocation written by index: the per-value
+        // push/capacity-check path showed up in prepare profiles.
+        let mut data = vec![0 as Value; n * k];
+        for (r, row) in self.rows().enumerate() {
+            let out_row = &mut data[r * k..(r + 1) * k];
+            for (dst, &c) in out_row.iter_mut().zip(cols) {
+                *dst = row[c];
             }
         }
-        out
+        Relation {
+            arity: k,
+            rows: n,
+            data,
+        }
     }
 
     /// Removes duplicate tuples (sorts first); result is sorted.
@@ -431,6 +461,32 @@ mod tests {
         a.extend_from(&b);
         assert_eq!(a.len(), 3);
         assert_eq!(a.row(2), &[3, 3]);
+    }
+
+    #[test]
+    fn from_flat_round_trips() {
+        let rel = Relation::from_flat(2, vec![1, 2, 3, 4]);
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.row(1), &[3, 4]);
+    }
+
+    #[test]
+    fn project_identity_is_copy() {
+        let rel = r(&[[1, 2], [3, 4]]);
+        let p = rel.project(&[0, 1]);
+        assert_eq!(p.raw(), rel.raw());
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let a = r(&[[1, 2], [3, 4]]);
+        let b = r(&[[1, 2], [3, 4]]);
+        let c = r(&[[1, 2], [3, 5]]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        // Same values, different shape → different fingerprint.
+        let flat = Relation::from_flat(4, vec![1, 2, 3, 4]);
+        assert_ne!(a.fingerprint(), flat.fingerprint());
     }
 
     #[test]

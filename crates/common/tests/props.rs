@@ -1,12 +1,31 @@
 //! Property tests for the relation primitives.
 
-use parjoin_common::{hash, wire, Relation};
+use parjoin_common::{hash, sort, wire, Relation};
 use proptest::prelude::*;
 
 fn arb_relation(max_arity: usize, max_rows: usize) -> impl Strategy<Value = Relation> {
     (1..=max_arity).prop_flat_map(move |arity| {
         proptest::collection::vec(proptest::collection::vec(0u64..50, arity), 0..=max_rows)
             .prop_map(move |rows| Relation::from_rows(arity, rows))
+    })
+}
+
+/// Row-major buffers of arity 1–5 with a tight value domain (lots of
+/// duplicate rows, the stability-sensitive case) mixed with full-range
+/// values (all eight key bytes vary).
+fn arb_sort_input() -> impl Strategy<Value = (usize, Vec<u64>)> {
+    (1usize..=5, 0u64..2).prop_flat_map(move |(arity, wide)| {
+        proptest::collection::vec(any::<u64>(), 0..=40 * arity).prop_map(move |mut flat| {
+            if wide == 0 {
+                // Tight domain: lots of duplicate rows, the
+                // stability-sensitive case.
+                for v in &mut flat {
+                    *v %= 7;
+                }
+            }
+            flat.truncate(flat.len() / arity * arity);
+            (arity, flat)
+        })
     })
 }
 
@@ -40,6 +59,33 @@ proptest! {
         let b: Vec<Vec<u64>> = sorted.rows().map(|r| r.to_vec()).collect();
         a.sort();
         prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn radix_sort_identical_to_comparator_sort(input in arb_sort_input()) {
+        let (arity, flat) = input;
+        let n = flat.len() / arity;
+        // The dispatcher hides the radix path below its size threshold,
+        // so target both kernels directly: identical index permutations
+        // mean identical gathered bytes for every input.
+        let radix = sort::sorted_indices_radix(&flat, arity, 0, n);
+        let cmp = sort::sorted_indices_comparator(&flat, arity, 0, n);
+        prop_assert_eq!(&radix, &cmp);
+        prop_assert_eq!(
+            sort::gather(&flat, arity, &radix),
+            sort::gather(&flat, arity, &cmp)
+        );
+    }
+
+    #[test]
+    fn merge_runs_identical_to_full_sort(input in arb_sort_input(), cut in 0usize..=40) {
+        let (arity, flat) = input;
+        let n = flat.len() / arity;
+        let mid = cut.min(n);
+        let a = sort::sorted_indices_comparator(&flat, arity, 0, mid);
+        let b = sort::sorted_indices_comparator(&flat, arity, mid, n);
+        let merged = sort::merge_runs(&flat, arity, &a, &b);
+        prop_assert_eq!(merged, sort::sorted_indices_comparator(&flat, arity, 0, n));
     }
 
     #[test]

@@ -4,6 +4,7 @@ use super::btree::{BTreeAtom, BTreeCursor};
 use super::trie::{TrieCursor, TrieIter};
 use parjoin_common::{Relation, Value};
 use parjoin_query::{Filter, VarId};
+use std::sync::Arc;
 
 /// A relation prepared for leapfrog joining: a trie whose levels map to
 /// global-order depths, served through a [`TrieCursor`]. Implemented by
@@ -24,10 +25,12 @@ pub trait TrieAtom {
 /// the global variable order and rows sorted lexicographically.
 ///
 /// Preparation is the sort phase the paper measures separately (Table 5:
-/// "BR_TJ: all sorts … 73%" of local-join time).
+/// "BR_TJ: all sorts … 73%" of local-join time). The sorted view is held
+/// behind an [`Arc`] so an engine-level cache can hand the same view to
+/// many atoms/runs without copying (see [`SortedAtom::prepare_with`]).
 #[derive(Debug, Clone)]
 pub struct SortedAtom {
-    rel: Relation,
+    rel: Arc<Relation>,
     /// Global order positions of the (permuted) columns, strictly
     /// increasing.
     depths: Vec<usize>,
@@ -41,6 +44,30 @@ impl SortedAtom {
     /// Panics if some variable of `vars` is absent from `order`, or if
     /// `vars` contains duplicates.
     pub fn prepare(rel: &Relation, vars: &[VarId], order: &[VarId]) -> SortedAtom {
+        Self::prepare_with(rel, vars, order, |r, cols| {
+            Arc::new(r.sorted_by_columns(cols))
+        })
+    }
+
+    /// Like [`SortedAtom::prepare`], but the actual sort is delegated to
+    /// `sort_view`, which receives the input relation and the column
+    /// permutation and must return the column-permuted, lexicographically
+    /// sorted view. This is the injection point for the engine's sorted-
+    /// view cache and intra-worker parallel sort — the core crate stays
+    /// free of any scheduling or caching policy.
+    ///
+    /// # Panics
+    /// Panics if some variable of `vars` is absent from `order`, or if
+    /// `vars` contains duplicates.
+    pub fn prepare_with<F>(
+        rel: &Relation,
+        vars: &[VarId],
+        order: &[VarId],
+        sort_view: F,
+    ) -> SortedAtom
+    where
+        F: FnOnce(&Relation, &[usize]) -> Arc<Relation>,
+    {
         assert_eq!(rel.arity(), vars.len(), "one variable per column");
         let mut pairs: Vec<(usize, usize)> = vars
             .iter()
@@ -60,7 +87,7 @@ impl SortedAtom {
         let cols: Vec<usize> = pairs.iter().map(|&(_, c)| c).collect();
         let depths: Vec<usize> = pairs.iter().map(|&(d, _)| d).collect();
         SortedAtom {
-            rel: rel.sorted_by_columns(&cols),
+            rel: sort_view(rel, &cols),
             depths,
         }
     }

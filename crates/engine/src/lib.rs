@@ -52,8 +52,10 @@ pub mod error;
 pub mod exec;
 pub mod local;
 pub mod plans;
+pub mod prepare;
 pub mod semijoin;
 pub mod shuffle;
+pub mod sortcache;
 #[cfg(feature = "strict-invariants")]
 mod strict;
 
@@ -63,4 +65,5 @@ pub use dist::DistRel;
 pub use error::EngineError;
 pub use parjoin_analyze::{DiagCode, Diagnostic, Severity};
 pub use parjoin_runtime::TransportKind;
-pub use plans::{run_config, JoinAlg, PlanOptions, RunResult, ShuffleAlg};
+pub use plans::{run_config, JoinAlg, PlanOptions, PrepProbe, RunResult, ShuffleAlg};
+pub use sortcache::SortCache;

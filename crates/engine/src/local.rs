@@ -4,6 +4,7 @@
 
 use parjoin_common::{hash, Relation, Value};
 use parjoin_query::{Filter, VarId};
+use std::time::{Duration, Instant};
 
 /// A relation whose columns are bound to query variables — the unit local
 /// operators work on.
@@ -221,13 +222,15 @@ pub fn hash_join(a: &SchemaRel, b: &SchemaRel, seed: u64) -> SchemaRel {
 /// merges. This is what "Tributary join with regular shuffle" degenerates
 /// to — "a binary Tributary join, which is a merge-join" (§3).
 ///
-/// Returns the result plus the number of tuples materialized in sort
-/// buffers (for memory accounting: both inputs are copied and sorted).
-pub fn merge_join(a: &SchemaRel, b: &SchemaRel, _seed: u64) -> (SchemaRel, u64) {
+/// Returns the result, the number of tuples materialized in sort buffers
+/// (for memory accounting: both inputs are copied and sorted), and the
+/// time spent sorting — the prep component of `RS_TJ`'s prep-vs-probe
+/// breakdown (paper Table 5 reports "both sorts: 5%" for `RS_TJ`).
+pub fn merge_join(a: &SchemaRel, b: &SchemaRel, _seed: u64) -> (SchemaRel, u64, Duration) {
     let on = shared_vars(a, b);
     if on.is_empty() {
         // Degenerate to a cartesian product via hash join with empty key.
-        return (hash_join(a, b, 0), 0);
+        return (hash_join(a, b, 0), 0, Duration::ZERO);
     }
     let a_cols: Vec<usize> = on.iter().map(|&v| a.col_of(v).expect("shared")).collect();
     let b_cols: Vec<usize> = on.iter().map(|&v| b.col_of(v).expect("shared")).collect();
@@ -244,8 +247,10 @@ pub fn merge_join(a: &SchemaRel, b: &SchemaRel, _seed: u64) -> (SchemaRel, u64) 
         });
         idx
     };
+    let t_sort = Instant::now();
     let ia = sort_indices(&a.rel, &a_cols);
     let ib = sort_indices(&b.rel, &b_cols);
+    let sort_time = t_sort.elapsed();
     let sort_buffer_tuples = (a.rel.len() + b.rel.len()) as u64;
 
     let key_of = |r: &Relation, cols: &[usize], i: u32| -> Vec<Value> {
@@ -287,7 +292,7 @@ pub fn merge_join(a: &SchemaRel, b: &SchemaRel, _seed: u64) -> (SchemaRel, u64) 
             }
         }
     }
-    (SchemaRel { vars, rel: out }, sort_buffer_tuples)
+    (SchemaRel { vars, rel: out }, sort_buffer_tuples, sort_time)
 }
 
 /// Hash semijoin `a ⋉ b` on their shared variables: keeps the `a` rows
@@ -399,7 +404,7 @@ mod tests {
         let a = sr(&[0, 1], &[&[3, 10], &[1, 10], &[2, 20], &[9, 30]]);
         let b = sr(&[1, 2], &[&[20, 1], &[10, 7], &[10, 8], &[40, 2]]);
         let h = hash_join(&a, &b, 4);
-        let (m, sorted) = merge_join(&a, &b, 4);
+        let (m, sorted, _) = merge_join(&a, &b, 4);
         assert_eq!(sorted_rows(&h), sorted_rows(&m));
         assert_eq!(sorted, 8);
     }
@@ -408,7 +413,7 @@ mod tests {
     fn merge_join_duplicate_keys_cross_product() {
         let a = sr(&[0, 1], &[&[1, 5], &[2, 5]]);
         let b = sr(&[1, 2], &[&[5, 8], &[5, 9]]);
-        let (m, _) = merge_join(&a, &b, 0);
+        let (m, _, _) = merge_join(&a, &b, 0);
         assert_eq!(m.rel.len(), 4);
     }
 

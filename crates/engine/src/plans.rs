@@ -25,7 +25,9 @@ use crate::dist::DistRel;
 use crate::error::EngineError;
 use crate::exec::{parallelism_warning, run_phase};
 use crate::local::{hash_join, merge_join, SchemaRel};
+use crate::prepare;
 use crate::shuffle;
+use crate::sortcache::{Lookup, SortCache};
 use parjoin_analyze::{self as analyze, Diagnostic};
 use parjoin_common::{Relation, ShuffleStats};
 use parjoin_core::hypercube::{HcConfig, ShareProblem};
@@ -121,6 +123,13 @@ pub struct PlanOptions {
     /// metrics), and the result replaces the projected output. The count
     /// column is appended after the head columns.
     pub group_count: bool,
+    /// Prepare Tributary atoms serially and without the sorted-view
+    /// cache (plain [`SortedAtom::prepare`]). The default (`false`)
+    /// prepare path serves sorted views from the process-wide
+    /// [`SortCache`] and sorts misses with the intra-worker parallel
+    /// sort; both are byte-identical to the sequential path — this knob
+    /// exists so tests can assert exactly that, and as an escape hatch.
+    pub sequential_prepare: bool,
 }
 
 /// Everything measured about one plan execution — the quantities behind
@@ -164,6 +173,33 @@ pub struct RunResult {
     /// with analyzer *errors* never run; see
     /// [`EngineError::InvalidPlan`]).
     pub diagnostics: Vec<Diagnostic>,
+    /// Tributary prepare lookups served from the sorted-view cache
+    /// during this run.
+    pub sort_cache_hits: u64,
+    /// Tributary prepare lookups that sorted fresh during this run.
+    pub sort_cache_misses: u64,
+}
+
+/// Prep-vs-probe decomposition of a run's local-join CPU — the shape of
+/// the paper's Table 5 ("BR_TJ: all sorts … 73%" of local-join time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrepProbe {
+    /// CPU spent preparing inputs (sorting; Table 5's "all sorts").
+    pub prep: Duration,
+    /// CPU spent in the join proper (probing/leapfrogging).
+    pub probe: Duration,
+}
+
+impl PrepProbe {
+    /// `prep / (prep + probe)`, or 0 when no local-join work ran.
+    pub fn prep_fraction(&self) -> f64 {
+        let total = (self.prep + self.probe).as_secs_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.prep.as_secs_f64() / total
+        }
+    }
 }
 
 impl RunResult {
@@ -185,6 +221,8 @@ impl RunResult {
             rounds: 0,
             per_worker_net: vec![Duration::ZERO; workers],
             diagnostics: Vec::new(),
+            sort_cache_hits: 0,
+            sort_cache_misses: 0,
         }
     }
 
@@ -229,6 +267,16 @@ impl RunResult {
     /// Total joining CPU.
     pub fn join_cpu(&self) -> Duration {
         self.per_worker_join.iter().sum()
+    }
+
+    /// The prep-vs-probe breakdown of local-join CPU (Table 5's shape):
+    /// prep is the sort CPU, probe the remaining join CPU. Network
+    /// handling time is excluded from both.
+    pub fn prep_probe(&self) -> PrepProbe {
+        PrepProbe {
+            prep: self.sort_cpu(),
+            probe: self.join_cpu(),
+        }
     }
 
     fn absorb_phase(&mut self, busy: &[Duration], sort: Option<&[Duration]>) {
@@ -695,8 +743,8 @@ fn run_regular(
                 vars: next_s.vars.clone(),
                 rel: next_s.parts[w].clone(),
             };
-            let (joined, sort_buf) = match join_alg {
-                JoinAlg::Hash => (hash_join(&a, &b, seed), 0),
+            let (joined, sort_buf, sort_time) = match join_alg {
+                JoinAlg::Hash => (hash_join(&a, &b, seed), 0, Duration::ZERO),
                 JoinAlg::Tributary => merge_join(&a, &b, seed),
             };
             let filtered = if ready.is_empty() {
@@ -716,18 +764,17 @@ fn run_regular(
                     a.rel.len() as u64 + b.rel.len() as u64 + sort_buf + filtered.rel.len() as u64
                 }
             };
-            (filtered.rel, live)
+            (filtered.rel, live, sort_time)
         });
         let mut parts = Vec::with_capacity(cluster.workers);
-        for (w, (rel, live)) in phase.results.iter().enumerate() {
+        let mut sort_times = Vec::with_capacity(cluster.workers);
+        for (w, (rel, live, sort)) in phase.results.iter().enumerate() {
             check_budget(cluster, w, *live)?;
             result.peak_worker_tuples = result.peak_worker_tuples.max(*live);
             parts.push(rel.clone());
+            sort_times.push(*sort);
         }
-        // Sorting inside merge_join is not separable without intrusive
-        // timers; attribute the whole step to join time (RS_TJ's sorts
-        // are per-step and small compared to the one-round plans').
-        result.absorb_phase(&phase.busy, None);
+        result.absorb_phase(&phase.busy, Some(&sort_times));
 
         cur = DistRel {
             vars: out_schema,
@@ -881,6 +928,14 @@ fn run_one_round(
     let num_vars = query.num_vars();
 
     let seed = cluster.seed;
+    // Each worker's prepare sorts can additionally use the host cores
+    // left idle by the phase pool (workers < cores); see crate::prepare.
+    let prep_threads = if opts.sequential_prepare {
+        1
+    } else {
+        prepare::prepare_threads_for_host(cluster.workers)
+    };
+    let budget = cluster.memory_budget;
     let phase = run_phase(cluster.workers, |w| {
         let locals: Vec<SchemaRel> = shuffled
             .iter()
@@ -912,16 +967,43 @@ fn run_one_round(
                     );
                 }
                 let out = cur.project(&head);
-                (out.rel, live, Duration::ZERO)
+                (out.rel, live, Duration::ZERO, 0u64, 0u64)
             }
             JoinAlg::Tributary => {
                 let order = tj_order.as_ref().expect("TJ order computed");
                 // Restrict the order to variables present locally (all of
                 // them, for full queries).
+                let (mut hits, mut misses) = (0u64, 0u64);
                 let t_sort = std::time::Instant::now();
                 let prepared: Vec<SortedAtom> = locals
                     .iter()
-                    .map(|l| SortedAtom::prepare(&l.rel, &l.vars, order))
+                    .map(|l| {
+                        if opts.sequential_prepare {
+                            SortedAtom::prepare(&l.rel, &l.vars, order)
+                        } else {
+                            SortedAtom::prepare_with(&l.rel, &l.vars, order, |r, cols| {
+                                // A view too large for a worker's memory
+                                // budget is returned but never cached —
+                                // the budget bounds what the cache may
+                                // pin (budget is in tuples; a sorted
+                                // view costs `arity` values per tuple).
+                                let cap = budget.map(|t| {
+                                    (t as usize).saturating_mul(
+                                        cols.len().max(1) * std::mem::size_of::<u64>(),
+                                    )
+                                });
+                                let (view, lookup) =
+                                    SortCache::global().get_or_sort(r, cols, cap, |r, cols| {
+                                        prepare::sorted_by_columns_parallel(r, cols, prep_threads)
+                                    });
+                                match lookup {
+                                    Lookup::Hit => hits += 1,
+                                    Lookup::Miss => misses += 1,
+                                }
+                                view
+                            })
+                        }
+                    })
                     .collect();
                 let sort_time = t_sort.elapsed();
                 #[cfg(feature = "strict-invariants")]
@@ -943,18 +1025,20 @@ fn run_one_round(
                     true
                 });
                 let live = live + out.len() as u64;
-                (out, live, sort_time)
+                (out, live, sort_time, hits, misses)
             }
         }
     });
 
     let mut outputs = Vec::with_capacity(cluster.workers);
     let mut sort_times = Vec::with_capacity(cluster.workers);
-    for (w, (rel, live, sort)) in phase.results.iter().enumerate() {
+    for (w, (rel, live, sort, hits, misses)) in phase.results.iter().enumerate() {
         check_budget(cluster, w, *live)?;
         result.peak_worker_tuples = result.peak_worker_tuples.max(*live);
         outputs.push(rel.clone());
         sort_times.push(*sort);
+        result.sort_cache_hits += hits;
+        result.sort_cache_misses += misses;
     }
     result.absorb_phase(&phase.busy, Some(&sort_times));
 

@@ -1,0 +1,276 @@
+//! Worker-level cache of sorted relation views.
+//!
+//! The experiment harness runs the same base relations through 8 queries
+//! × 6 configs; without a cache every `SortedAtom::prepare` re-sorts
+//! from scratch even when an identical `(relation, column permutation)`
+//! pair was sorted seconds ago — and the prepare phase dominates local
+//! time (paper Table 5). Entries are keyed by the relation's 128-bit
+//! content fingerprint plus the column permutation, so a cache hit is a
+//! *content* match: mutating or regenerating a relation changes its
+//! fingerprint and naturally invalidates stale views.
+//!
+//! The cache is a process-wide singleton (simulated workers are threads
+//! of one process, so "worker-level" and "process-wide" coincide here)
+//! with LRU eviction under a byte capacity. Runs with an explicit memory
+//! budget additionally refuse to cache any single view larger than that
+//! budget — the budget models per-worker memory, and a view that
+//! wouldn't fit a worker's memory must not be pinned by the cache either
+//! (see [`SortCache::get_or_sort`]).
+
+use parjoin_common::Relation;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Default cache capacity in bytes. Sorted views of the paper's largest
+/// inputs are tens of MiB; 256 MiB comfortably holds a full six-config
+/// sweep's working set without mattering next to the host's RAM.
+pub const DEFAULT_CAPACITY_BYTES: usize = 256 << 20;
+
+/// Outcome of a [`SortCache::get_or_sort`] lookup, for per-run stat
+/// tallies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// The sorted view was served from the cache.
+    Hit,
+    /// The view was sorted fresh (and possibly inserted).
+    Miss,
+}
+
+/// Cumulative cache counters (process lifetime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to sort fresh.
+    pub misses: u64,
+    /// Entries evicted to stay under capacity.
+    pub evictions: u64,
+    /// Bytes currently resident.
+    pub resident_bytes: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+}
+
+struct Entry {
+    view: Arc<Relation>,
+    bytes: usize,
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<(u128, Vec<usize>), Entry>,
+    resident: usize,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// An LRU cache mapping `(relation fingerprint, column permutation)` to
+/// sorted views. See the module docs for the invalidation story.
+pub struct SortCache {
+    inner: Mutex<Inner>,
+}
+
+impl SortCache {
+    /// Creates a cache with the given byte capacity (0 disables caching:
+    /// every lookup misses and nothing is inserted).
+    pub fn with_capacity(capacity: usize) -> SortCache {
+        SortCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                resident: 0,
+                capacity,
+                tick: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+        }
+    }
+
+    /// The process-wide cache shared by all engine runs.
+    pub fn global() -> &'static SortCache {
+        static GLOBAL: OnceLock<SortCache> = OnceLock::new();
+        GLOBAL.get_or_init(|| SortCache::with_capacity(DEFAULT_CAPACITY_BYTES))
+    }
+
+    /// Returns the sorted view of `rel` permuted by `cols`, serving it
+    /// from the cache when the same content was sorted before, and
+    /// sorting it via `sort` otherwise. The returned [`Lookup`] lets the
+    /// caller tally per-run hit/miss counts.
+    ///
+    /// `max_entry_bytes` caps the size of any *inserted* view — pass the
+    /// run's memory budget so a view too large for a worker's memory is
+    /// returned but never pinned in the cache.
+    pub fn get_or_sort<F>(
+        &self,
+        rel: &Relation,
+        cols: &[usize],
+        max_entry_bytes: Option<usize>,
+        sort: F,
+    ) -> (Arc<Relation>, Lookup)
+    where
+        F: FnOnce(&Relation, &[usize]) -> Relation,
+    {
+        let key = (rel.fingerprint(), cols.to_vec());
+        {
+            let mut inner = self.inner.lock().expect("sort cache lock");
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(e) = inner.map.get_mut(&key) {
+                e.last_used = tick;
+                let view = Arc::clone(&e.view);
+                inner.hits += 1;
+                return (view, Lookup::Hit);
+            }
+            inner.misses += 1;
+        }
+        // Sort outside the lock: concurrent workers preparing different
+        // relations must not serialize on the cache mutex.
+        let view = Arc::new(sort(rel, cols));
+        let bytes = view.approx_bytes();
+        let mut inner = self.inner.lock().expect("sort cache lock");
+        let fits_budget = max_entry_bytes.is_none_or(|cap| bytes <= cap);
+        if bytes <= inner.capacity && fits_budget && !inner.map.contains_key(&key) {
+            while inner.resident + bytes > inner.capacity {
+                let Some(victim) = inner
+                    .map
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k.clone())
+                else {
+                    break;
+                };
+                if let Some(e) = inner.map.remove(&victim) {
+                    inner.resident -= e.bytes;
+                    inner.evictions += 1;
+                }
+            }
+            inner.tick += 1;
+            let tick = inner.tick;
+            inner.resident += bytes;
+            inner.map.insert(
+                key,
+                Entry {
+                    view: Arc::clone(&view),
+                    bytes,
+                    last_used: tick,
+                },
+            );
+        }
+        (view, Lookup::Miss)
+    }
+
+    /// Cumulative counters since process start (or [`SortCache::clear`]).
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("sort cache lock");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            resident_bytes: inner.resident as u64,
+            entries: inner.map.len() as u64,
+        }
+    }
+
+    /// Drops every entry and resets the counters.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("sort cache lock");
+        inner.map.clear();
+        inner.resident = 0;
+        inner.hits = 0;
+        inner.misses = 0;
+        inner.evictions = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted(rel: &Relation, cols: &[usize]) -> Relation {
+        rel.sorted_by_columns(cols)
+    }
+
+    fn sample(seed: u64) -> Relation {
+        Relation::from_rows(
+            2,
+            (0..64u64).map(|i| [parjoin_common::hash::hash64(i, seed) % 16, i]),
+        )
+    }
+
+    #[test]
+    fn second_lookup_hits_and_view_matches_fresh_sort() {
+        let cache = SortCache::with_capacity(1 << 20);
+        let rel = sample(1);
+        let (v1, l1) = cache.get_or_sort(&rel, &[1, 0], None, sorted);
+        let (v2, l2) = cache.get_or_sort(&rel, &[1, 0], None, sorted);
+        assert_eq!(l1, Lookup::Miss);
+        assert_eq!(l2, Lookup::Hit);
+        assert_eq!(v1.raw(), rel.sorted_by_columns(&[1, 0]).raw());
+        assert!(Arc::ptr_eq(&v1, &v2), "hit must share the cached view");
+    }
+
+    #[test]
+    fn different_permutations_are_distinct_entries() {
+        let cache = SortCache::with_capacity(1 << 20);
+        let rel = sample(2);
+        let (_, l1) = cache.get_or_sort(&rel, &[0, 1], None, sorted);
+        let (_, l2) = cache.get_or_sort(&rel, &[1, 0], None, sorted);
+        assert_eq!((l1, l2), (Lookup::Miss, Lookup::Miss));
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn content_change_invalidates() {
+        let cache = SortCache::with_capacity(1 << 20);
+        let mut rel = sample(3);
+        let (_, l1) = cache.get_or_sort(&rel, &[0, 1], None, sorted);
+        rel.push_row(&[99, 99]);
+        let (v, l2) = cache.get_or_sort(&rel, &[0, 1], None, sorted);
+        assert_eq!((l1, l2), (Lookup::Miss, Lookup::Miss));
+        assert_eq!(v.raw(), rel.sorted_by_columns(&[0, 1]).raw());
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity() {
+        let rel = sample(4);
+        let bytes = rel.sorted_by_columns(&[0, 1]).approx_bytes();
+        // Room for exactly two views.
+        let cache = SortCache::with_capacity(2 * bytes + bytes / 2);
+        let a = sample(10);
+        let b = sample(11);
+        let c = sample(12);
+        cache.get_or_sort(&a, &[0, 1], None, sorted);
+        cache.get_or_sort(&b, &[0, 1], None, sorted);
+        // Touch `a` so `b` is the LRU victim when `c` arrives.
+        cache.get_or_sort(&a, &[0, 1], None, sorted);
+        cache.get_or_sort(&c, &[0, 1], None, sorted);
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        let (_, la) = cache.get_or_sort(&a, &[0, 1], None, sorted);
+        let (_, lb) = cache.get_or_sort(&b, &[0, 1], None, sorted);
+        assert_eq!((la, lb), (Lookup::Hit, Lookup::Miss), "b was evicted");
+    }
+
+    #[test]
+    fn budget_caps_inserted_entries() {
+        let cache = SortCache::with_capacity(1 << 20);
+        let rel = sample(5);
+        let (_, l1) = cache.get_or_sort(&rel, &[0, 1], Some(8), sorted);
+        let (_, l2) = cache.get_or_sort(&rel, &[0, 1], Some(8), sorted);
+        assert_eq!((l1, l2), (Lookup::Miss, Lookup::Miss), "view over budget");
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = SortCache::with_capacity(0);
+        let rel = sample(6);
+        let (_, l1) = cache.get_or_sort(&rel, &[0, 1], None, sorted);
+        let (_, l2) = cache.get_or_sort(&rel, &[0, 1], None, sorted);
+        assert_eq!((l1, l2), (Lookup::Miss, Lookup::Miss));
+    }
+}

@@ -4,7 +4,9 @@ use parjoin_common::Relation;
 use parjoin_core::hypercube::HcConfig;
 use parjoin_engine::dist::DistRel;
 use parjoin_engine::local::{hash_join, merge_join, semijoin, SchemaRel};
+use parjoin_engine::prepare::sorted_by_columns_parallel;
 use parjoin_engine::shuffle;
+use parjoin_engine::SortCache;
 use parjoin_query::VarId;
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -87,7 +89,7 @@ proptest! {
         let sa = SchemaRel { vars: vec![v(0), v(1)], rel: a };
         let sb = SchemaRel { vars: vec![v(1), v(2)], rel: b };
         let h = hash_join(&sa, &sb, 3);
-        let (m, _) = merge_join(&sa, &sb, 3);
+        let (m, _, _) = merge_join(&sa, &sb, 3);
         let mut hr: Vec<Vec<u64>> = h.rel.rows().map(|r| r.to_vec()).collect();
         let mut mr: Vec<Vec<u64>> = m.rel.rows().map(|r| r.to_vec()).collect();
         hr.sort();
@@ -132,5 +134,45 @@ proptest! {
         for p in &out.parts {
             prop_assert_eq!(multiset(p), multiset(&rel));
         }
+    }
+
+    #[test]
+    fn sort_cache_view_identical_to_fresh_sort(rel in arb_rel(25, 60), swap in any::<bool>()) {
+        // A private cache per case keeps this test independent of
+        // whatever the global cache holds.
+        let cache = SortCache::with_capacity(1 << 20);
+        let cols: Vec<usize> = if swap { vec![1, 0] } else { vec![0, 1] };
+        let fresh = rel.sorted_by_columns(&cols);
+        let (first, _) = cache.get_or_sort(&rel, &cols, None, |r, c| r.sorted_by_columns(c));
+        let (second, _) = cache.get_or_sort(&rel, &cols, None, |r, c| r.sorted_by_columns(c));
+        prop_assert_eq!(first.raw(), fresh.raw());
+        prop_assert_eq!(second.raw(), fresh.raw());
+    }
+
+    #[test]
+    fn sort_cache_invalidates_on_relation_change(
+        rel in arb_rel(25, 40),
+        extra in (0u64..25, 0u64..25),
+    ) {
+        let cache = SortCache::with_capacity(1 << 20);
+        let cols = [0usize, 1];
+        cache.get_or_sort(&rel, &cols, None, |r, c| r.sorted_by_columns(c));
+        let mut changed = rel.clone();
+        changed.push_row(&[extra.0, extra.1]);
+        let (view, _) = cache.get_or_sort(&changed, &cols, None, |r, c| r.sorted_by_columns(c));
+        // The changed relation's view reflects the new content, never
+        // the stale entry keyed by the old fingerprint.
+        prop_assert_eq!(view.raw(), changed.sorted_by_columns(&cols).raw());
+    }
+
+    #[test]
+    fn parallel_prepare_identical_to_serial(
+        rel in arb_rel(20, 80),
+        threads in 1usize..6,
+        swap in any::<bool>(),
+    ) {
+        let cols: Vec<usize> = if swap { vec![1, 0] } else { vec![0, 1] };
+        let par = sorted_by_columns_parallel(&rel, &cols, threads);
+        prop_assert_eq!(par.raw(), rel.sorted_by_columns(&cols).raw());
     }
 }
