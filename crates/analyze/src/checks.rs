@@ -565,3 +565,31 @@ pub fn check_runtime(spec: &PlanSpec<'_>, out: &mut Vec<Diagnostic>) {
         }
     }
 }
+
+/// Intra-worker parallelism pre-flight: each simulated worker's prepare
+/// sorts and probe morsels share a thread pool of
+/// `host_cores / workers` OS threads, so simulating at least as many
+/// workers as the host has cores silently degrades both phases to one
+/// thread per worker. That is correct but surprising in speedup
+/// experiments, so it warns with the effective per-worker thread count.
+pub fn check_probe_parallelism(spec: &PlanSpec<'_>, out: &mut Vec<Diagnostic>) {
+    let Some(host) = spec.host_cores else {
+        return;
+    };
+    if spec.workers >= host {
+        let per = (host / spec.workers.max(1)).max(1);
+        out.push(
+            Diagnostic::warning(
+                DiagCode::ProbeParallelismDegraded,
+                format!(
+                    "{} workers on a {host}-core host: intra-worker prepare/probe \
+                     parallelism degrades to {per} thread(s) per worker",
+                    spec.workers
+                ),
+            )
+            .with("workers", spec.workers)
+            .with("host_cores", host)
+            .with("per_worker_threads", per),
+        );
+    }
+}

@@ -115,6 +115,13 @@ pub enum DiagCode {
     /// plan can be pinned by the sort cache and the prepare itself is
     /// likely to overrun the budget.
     SortCacheOverBudget,
+    /// The cluster simulates at least as many workers as the host has
+    /// cores, so the intra-worker parallel prepare (chunked sorts) and
+    /// probe (morsels) silently degrade to one thread per worker —
+    /// worker-level parallelism already saturates the machine. Speedup
+    /// experiments that expect intra-worker parallelism need
+    /// `workers < host_cores`.
+    ProbeParallelismDegraded,
 }
 
 impl DiagCode {
@@ -143,6 +150,7 @@ impl DiagCode {
             DiagCode::BatchSizeZero => "R410",
             DiagCode::BatchOverBudget => "R411",
             DiagCode::SortCacheOverBudget => "R412",
+            DiagCode::ProbeParallelismDegraded => "R413",
         }
     }
 }

@@ -55,6 +55,7 @@ pub fn analyze(spec: &PlanSpec<'_>) -> Vec<Diagnostic> {
     checks::check_shuffle(spec, &mut out);
     checks::check_resources(spec, &mut out);
     checks::check_sort_cache(spec, &mut out);
+    checks::check_probe_parallelism(spec, &mut out);
     checks::check_runtime(spec, &mut out);
     out
 }
@@ -201,6 +202,43 @@ mod tests {
         assert!(analyze(&spec)
             .iter()
             .all(|d| d.code != DiagCode::SortCacheOverBudget));
+    }
+
+    #[test]
+    fn probe_parallelism_degraded_warns() {
+        let q = triangle();
+        // 4 workers on a 4-core host: each worker's prepare/probe pool
+        // gets exactly one thread.
+        let spec =
+            PlanSpec::new(&q, 4, ShuffleKind::Regular, JoinKind::Tributary).with_host_cores(4);
+        let diags = analyze(&spec);
+        assert!(!has_errors(&diags), "R413 is a warning: {diags:?}");
+        let d = diags
+            .iter()
+            .find(|d| d.code == DiagCode::ProbeParallelismDegraded)
+            .expect("R413 expected");
+        assert_eq!(d.code.code(), "R413");
+        assert_eq!(d.context_value("per_worker_threads"), Some("1"));
+        assert_eq!(d.context_value("host_cores"), Some("4"));
+    }
+
+    #[test]
+    fn probe_parallelism_silent_with_spare_cores() {
+        let q = triangle();
+        let spec =
+            PlanSpec::new(&q, 4, ShuffleKind::Regular, JoinKind::Tributary).with_host_cores(16);
+        assert!(analyze(&spec)
+            .iter()
+            .all(|d| d.code != DiagCode::ProbeParallelismDegraded));
+    }
+
+    #[test]
+    fn probe_parallelism_silent_when_host_unknown() {
+        let q = triangle();
+        let spec = PlanSpec::new(&q, 64, ShuffleKind::Regular, JoinKind::Tributary);
+        assert!(analyze(&spec)
+            .iter()
+            .all(|d| d.code != DiagCode::ProbeParallelismDegraded));
     }
 
     #[test]

@@ -61,6 +61,12 @@ pub struct PlanSpec<'a> {
     /// streaming transport. `None` means the in-memory `Local` path (no
     /// batching) or the runtime default.
     pub batch_tuples: Option<u64>,
+    /// Host core count, when known. Drives the intra-worker parallelism
+    /// check (R413): each worker's prepare sorts and probe morsels get
+    /// `host_cores / workers` threads, so `workers >= host_cores`
+    /// silently degrades both to single-threaded. `None` (host unknown)
+    /// skips the check.
+    pub host_cores: Option<usize>,
 }
 
 impl<'a> PlanSpec<'a> {
@@ -83,6 +89,7 @@ impl<'a> PlanSpec<'a> {
             hc_config: None,
             tj_order: None,
             batch_tuples: None,
+            host_cores: None,
         }
     }
 
@@ -125,6 +132,13 @@ impl<'a> PlanSpec<'a> {
     #[must_use]
     pub fn with_batch_tuples(mut self, batch: u64) -> Self {
         self.batch_tuples = Some(batch);
+        self
+    }
+
+    /// Sets the host core count (builder style).
+    #[must_use]
+    pub fn with_host_cores(mut self, cores: usize) -> Self {
+        self.host_cores = Some(cores);
         self
     }
 

@@ -213,6 +213,25 @@ impl<'a, A: TrieAtom> Tributary<'a, A> {
         self.run_guarded(emit, || true).0
     }
 
+    /// Runs the join restricted to first-order-variable values in
+    /// `[lo, hi)` (`hi = None` means unbounded above).
+    ///
+    /// This is the morsel entry point for intra-worker parallel probing:
+    /// the depth-0 leapfrog enumerates values in ascending order, so for
+    /// any split `0 = b_0 < b_1 < … < b_k` the concatenation of
+    /// `run_range(b_i, Some(b_{i+1}), …)` outputs in morsel order is
+    /// *byte-identical* to a single [`Self::run`]. Morsels are
+    /// independent: `run` takes `&self`, so one `Tributary` can serve
+    /// many morsel threads, each with its own cursors.
+    pub fn run_range<F: FnMut(&[Value]) -> bool>(
+        &self,
+        lo: Value,
+        hi: Option<Value>,
+        emit: F,
+    ) -> u64 {
+        self.run_range_guarded(lo, hi, emit, || true).0
+    }
+
     /// Like [`Self::run`], but additionally consults `guard` every few
     /// thousand leapfrog operations — including during long result-free
     /// stretches, which is where bad variable orders burn their time.
@@ -222,6 +241,21 @@ impl<'a, A: TrieAtom> Tributary<'a, A> {
     /// This is the mechanism behind the paper's Figure 12/Table 7
     /// protocol of terminating hopeless variable orders at a time cutoff.
     pub fn run_guarded<F, G>(&self, emit: F, guard: G) -> (u64, bool)
+    where
+        F: FnMut(&[Value]) -> bool,
+        G: FnMut() -> bool,
+    {
+        self.run_range_guarded(0, None, emit, guard)
+    }
+
+    /// [`Self::run_range`] with the guard hook of [`Self::run_guarded`].
+    pub fn run_range_guarded<F, G>(
+        &self,
+        lo: Value,
+        hi: Option<Value>,
+        emit: F,
+        guard: G,
+    ) -> (u64, bool)
     where
         F: FnMut(&[Value]) -> bool,
         G: FnMut() -> bool,
@@ -236,6 +270,8 @@ impl<'a, A: TrieAtom> Tributary<'a, A> {
             guard,
             count: 0,
             ops: 0,
+            lo,
+            hi,
         };
         let completed = self.recurse(0, &mut iters, &mut assignment, &mut ctx);
         (ctx.count, completed)
@@ -274,6 +310,15 @@ impl<'a, A: TrieAtom> Tributary<'a, A> {
         for &a in parts {
             iters[a].open();
         }
+        if d == 0 && ctx.lo > 0 {
+            // Morsel lower bound: fast-forward every depth-0 cursor past
+            // values below the range before the leapfrog starts.
+            for &a in parts {
+                if !iters[a].at_end() {
+                    iters[a].seek(ctx.lo);
+                }
+            }
+        }
         let mut keep_going = true;
         if parts.iter().all(|&a| !iters[a].at_end()) {
             keep_going = self.leapfrog(d, iters, assignment, ctx);
@@ -303,6 +348,16 @@ impl<'a, A: TrieAtom> Tributary<'a, A> {
         let mut p = 0usize;
         let mut max_key = iters[rot[(k - 1) % k]].key();
         loop {
+            // Morsel upper bound: depth-0 keys ascend monotonically, so
+            // once the running max reaches `hi` no further match can fall
+            // inside `[lo, hi)` and the morsel is done.
+            if d == 0 {
+                if let Some(h) = ctx.hi {
+                    if max_key >= h {
+                        return true;
+                    }
+                }
+            }
             if !ctx.tick() {
                 return false;
             }
@@ -346,6 +401,10 @@ struct RunCtx<F, G> {
     guard: G,
     count: u64,
     ops: u64,
+    /// Depth-0 value range `[lo, hi)` of the current morsel; `(0, None)`
+    /// for an unrestricted run.
+    lo: Value,
+    hi: Option<Value>,
 }
 
 impl<F, G: FnMut() -> bool> RunCtx<F, G> {
@@ -624,6 +683,53 @@ mod tests {
         let want = naive_join(&atoms, 4, &[]);
         assert_eq!(got, want);
         assert!(!got.is_empty(), "this graph has 4-cliques");
+    }
+
+    #[test]
+    fn run_range_pieces_concatenate_to_full_run() {
+        // Triangle query; outputs collected *in emission order* so this
+        // checks the morsel determinism argument, not just set equality.
+        let edges = Relation::from_rows(
+            2,
+            [
+                [0u64, 1],
+                [1, 2],
+                [2, 0],
+                [1, 3],
+                [3, 2],
+                [0, 2],
+                [2, 1],
+                [3, 0],
+                [2, 3],
+            ]
+            .iter(),
+        );
+        let order = [v(0), v(1), v(2)];
+        let atoms = vec![
+            SortedAtom::prepare(&edges, &[v(0), v(1)], &order),
+            SortedAtom::prepare(&edges, &[v(1), v(2)], &order),
+            SortedAtom::prepare(&edges, &[v(2), v(0)], &order),
+        ];
+        let tj = Tributary::new(&atoms, &order, &[], 3);
+        let mut full = Vec::new();
+        tj.run(|asg| {
+            full.push(asg.to_vec());
+            true
+        });
+        assert!(!full.is_empty(), "graph has triangles");
+        for bounds in [vec![0], vec![0, 2], vec![0, 1, 2, 3], vec![0, 3, 100]] {
+            let mut pieced = Vec::new();
+            for (i, &lo) in bounds.iter().enumerate() {
+                let hi = bounds.get(i + 1).copied();
+                tj.run_range(lo, hi, |asg| {
+                    pieced.push(asg.to_vec());
+                    true
+                });
+            }
+            assert_eq!(pieced, full, "split {bounds:?}");
+        }
+        // A range that excludes everything emits nothing.
+        assert_eq!(tj.run_range(200, Some(300), |_| true), 0);
     }
 
     #[test]

@@ -6,8 +6,15 @@
 //! The iterator maintains, per depth, the row range of the current parent
 //! node and a cursor to the first row of the current value's run.
 //!
-//! All navigation uses binary search bounded to the current range, which
-//! is the `O(log n)` `seek(v)` of the paper's LFTJ-API discussion.
+//! Navigation uses *galloping* (exponential) search from the current
+//! cursor position: a doubling probe brackets the target, then a binary
+//! search inside the bracket pins it down. A seek that moves the cursor
+//! `m` rows forward therefore costs `O(log m)` — amortized over a full
+//! leapfrog pass this yields the `O(n log(N/n))` intersection bound of
+//! the paper's LFTJ-API discussion, instead of `O(n log N)` for
+//! full-range binary search. In addition, the end of the current value
+//! run (`run_end`) is memoized per level, because both `open()` and
+//! `next_key()` need it for the same run and would otherwise re-search.
 
 use parjoin_common::{Relation, Value};
 
@@ -46,9 +53,17 @@ pub struct TrieIter<'a> {
     range: Vec<(usize, usize)>,
     /// `pos[d]` = first row of the current value's run at depth `d`.
     pos: Vec<usize>,
+    /// Memoized `run_end`: `run_cache[d] = (pos, end)` records that the
+    /// run starting at row `pos` on level `d` ends at row `end`. A cursor
+    /// never revisits a row at a level with a different parent range (row
+    /// ranges of distinct parent prefixes are disjoint), so keying by
+    /// `pos` alone is sound. `NO_RUN` marks an empty slot.
+    run_cache: Vec<(usize, usize)>,
 }
 
 const ROOT: usize = usize::MAX;
+/// Sentinel `pos` for an unfilled [`TrieIter::run_cache`] slot.
+const NO_RUN: usize = usize::MAX;
 
 impl<'a> TrieIter<'a> {
     /// Creates an iterator at the root of `rel`'s trie.
@@ -63,6 +78,7 @@ impl<'a> TrieIter<'a> {
             depth: ROOT,
             range: vec![(0, 0); a],
             pos: vec![0; a],
+            run_cache: vec![(NO_RUN, 0); a],
         }
     }
 
@@ -139,18 +155,28 @@ impl<'a> TrieIter<'a> {
 
     /// First row index within `(pos, range.1)` whose column-`d` value
     /// exceeds the current key — i.e. the end of the current run.
-    fn run_end(&self, d: usize) -> usize {
-        let cur = self.key();
+    ///
+    /// Memoized per level: `open()` and `next_key()` both need the end of
+    /// the same run, so the second lookup is a cache hit.
+    fn run_end(&mut self, d: usize) -> usize {
         let (lo, hi) = (self.pos[d], self.range[d].1);
-        match cur.checked_add(1) {
+        if self.run_cache[d].0 == lo {
+            return self.run_cache[d].1;
+        }
+        let cur = self.key();
+        let end = match cur.checked_add(1) {
             Some(next) => lo + self.partition(lo, hi, d, next),
             // Value is u64::MAX: the run necessarily extends to the end.
             None => hi,
-        }
+        };
+        self.run_cache[d] = (lo, end);
+        end
     }
 
-    /// Binary search: number of rows in `[lo, hi)` with column-`d` value
-    /// `< v` (galloping start keeps short advances cheap).
+    /// Galloping search: number of rows in `[lo, hi)` with column-`d`
+    /// value `< v`. A doubling probe from `lo` brackets the first row
+    /// `≥ v`, then a binary search inside the bracket pins it down —
+    /// `O(log m)` for an answer `m` rows past `lo`.
     fn partition(&self, lo: usize, hi: usize, d: usize, v: Value) -> usize {
         // Gallop to bracket the answer, then binary search.
         let mut step = 1usize;

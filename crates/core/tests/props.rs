@@ -4,7 +4,7 @@
 use parjoin_common::{Relation, Value};
 use parjoin_core::hypercube::{HcConfig, ShareProblem};
 use parjoin_core::order::OrderCostModel;
-use parjoin_core::tributary::{BTreeAtom, SortedAtom, Tributary};
+use parjoin_core::tributary::{BTreeAtom, SortedAtom, Tributary, TrieCursor, TrieIter};
 use parjoin_query::{QueryBuilder, VarId};
 use proptest::prelude::*;
 
@@ -70,8 +70,89 @@ fn tj(atoms: &[(&Relation, [VarId; 2])], order: &[VarId], num_vars: usize) -> Ve
     out
 }
 
+/// Drives a trie cursor through a fixed script — enumerate every
+/// level-0 key, and under each one open level 1 and apply the given
+/// seek targets — recording every observed key (`u64::MAX` marks a seek
+/// that ran off the end of its level). Two cursor implementations over
+/// the same relation must produce identical traces.
+fn seek_trace<C: TrieCursor>(c: &mut C, targets: &[Value]) -> Vec<Value> {
+    let mut trace = Vec::new();
+    c.open();
+    while !c.at_end() {
+        trace.push(c.key());
+        c.open();
+        for &t in targets {
+            if c.at_end() {
+                trace.push(Value::MAX);
+                break;
+            }
+            c.seek(t);
+            trace.push(if c.at_end() { Value::MAX } else { c.key() });
+        }
+        c.up();
+        c.next_key();
+    }
+    trace
+}
+
+/// The same trace computed from first principles with plain binary
+/// search (`partition_point`) over the distinct-value lists — the
+/// pre-galloping reference the `TrieIter` seek must agree with.
+fn seek_trace_reference(rel: &Relation, targets: &[Value]) -> Vec<Value> {
+    let mut trace = Vec::new();
+    let mut keys0: Vec<Value> = rel.rows().map(|r| r[0]).collect();
+    keys0.dedup();
+    for k in keys0 {
+        trace.push(k);
+        let keys1: Vec<Value> = {
+            let mut v: Vec<Value> = rel.rows().filter(|r| r[0] == k).map(|r| r[1]).collect();
+            v.dedup();
+            v
+        };
+        let mut idx = 0usize;
+        for &t in targets {
+            if idx >= keys1.len() {
+                trace.push(Value::MAX);
+                break;
+            }
+            // seek is a no-op when the cursor already sits at a key >= t
+            // and never moves backward.
+            if keys1[idx] < t {
+                idx += keys1[idx..].partition_point(|&x| x < t);
+            }
+            trace.push(*keys1.get(idx).unwrap_or(&Value::MAX));
+        }
+    }
+    trace
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn galloping_seek_agrees_with_binary_search(
+        edges in arb_edges(60, 90),
+        targets in proptest::collection::vec(0u64..70, 1..8),
+    ) {
+        // `distinct()` output is sorted, so TrieIter accepts it as-is.
+        let want = seek_trace_reference(&edges, &targets);
+        let mut it = TrieIter::new(&edges);
+        prop_assert_eq!(seek_trace(&mut it, &targets), want);
+    }
+
+    #[test]
+    fn btree_seek_agrees_with_array_seek(
+        edges in arb_edges(60, 90),
+        targets in proptest::collection::vec(0u64..70, 1..8),
+    ) {
+        let order = [v(0), v(1)];
+        let vars = [v(0), v(1)];
+        let arr = SortedAtom::prepare(&edges, &vars, &order);
+        let bt = BTreeAtom::prepare(&edges, &vars, &order);
+        let arr_trace = seek_trace(&mut TrieIter::new(arr.relation()), &targets);
+        let bt_trace = seek_trace(&mut bt.cursor(), &targets);
+        prop_assert_eq!(arr_trace, bt_trace);
+    }
 
     #[test]
     fn btree_tributary_equals_array_tributary(edges in arb_edges(12, 60)) {

@@ -53,6 +53,7 @@ pub mod exec;
 pub mod local;
 pub mod plans;
 pub mod prepare;
+pub mod probe;
 pub mod semijoin;
 pub mod shuffle;
 pub mod sortcache;

@@ -2,6 +2,7 @@
 //! join, and hash semijoin. These run inside worker tasks; the engine
 //! times them to produce per-worker busy times.
 
+use parjoin_common::sort::sorted_indices;
 use parjoin_common::{hash, Relation, Value};
 use parjoin_query::{Filter, VarId};
 use std::time::{Duration, Instant};
@@ -144,6 +145,38 @@ impl JoinTable {
     pub fn contains(&self, key: &[Value]) -> bool {
         self.probe(key).next().is_some()
     }
+
+    /// [`JoinTable::probe`] specialized to single-column keys (the common
+    /// Q1–Q8 case): the key is one `u64`, so the chain walk compares a
+    /// scalar instead of a slice and the caller skips building a key
+    /// buffer per probe row.
+    ///
+    /// # Panics
+    /// Panics (debug) if the table's key arity is not 1.
+    #[inline]
+    pub fn probe1(&self, key: Value) -> impl Iterator<Item = usize> + '_ {
+        debug_assert_eq!(self.key_arity, 1, "probe1 needs key arity 1");
+        let mut cur = self.heads[(hash::hash64(key, self.seed) as usize) & self.mask];
+        std::iter::from_fn(move || {
+            while cur >= 0 {
+                let e = cur as usize;
+                cur = self.next[e];
+                if self.keys[e] == key {
+                    return Some(self.rows[e] as usize);
+                }
+            }
+            None
+        })
+    }
+
+    /// [`JoinTable::contains`] for single-column keys.
+    ///
+    /// # Panics
+    /// Panics (debug) if the table's key arity is not 1.
+    #[inline]
+    pub fn contains1(&self, key: Value) -> bool {
+        self.probe1(key).next().is_some()
+    }
 }
 
 /// The join variables two schemas share.
@@ -169,6 +202,100 @@ fn output_schema(a: &SchemaRel, b: &SchemaRel) -> (Vec<VarId>, Vec<usize>) {
     (vars, b_cols)
 }
 
+/// The fixed (per-join, not per-row) state of a binary hash join: side
+/// assignment, key columns, built table, and output schema. Splitting
+/// this out of [`hash_join`] lets the morsel-parallel probe layer
+/// ([`crate::probe`]) build once and probe disjoint row ranges from many
+/// threads — `JoinTable` is all flat `Vec`s, so sharing it read-only
+/// across scoped threads is free.
+pub(crate) struct HashJoinShape<'a> {
+    build: &'a SchemaRel,
+    probe: &'a SchemaRel,
+    build_is_a: bool,
+    probe_cols: Vec<usize>,
+    /// Output vars: a's vars then b-only vars.
+    pub vars: Vec<VarId>,
+    b_only_cols: Vec<usize>,
+    pub table: JoinTable,
+}
+
+impl<'a> HashJoinShape<'a> {
+    /// Plans the join (smaller side builds) and builds the hash table.
+    pub fn new(a: &'a SchemaRel, b: &'a SchemaRel, seed: u64) -> Self {
+        let on = shared_vars(a, b);
+        let (build, probe, build_is_a) = if a.rel.len() <= b.rel.len() {
+            (a, b, true)
+        } else {
+            (b, a, false)
+        };
+        let build_cols: Vec<usize> = on
+            .iter()
+            .map(|&v| build.col_of(v).expect("shared"))
+            .collect();
+        let probe_cols: Vec<usize> = on
+            .iter()
+            .map(|&v| probe.col_of(v).expect("shared"))
+            .collect();
+        let table = JoinTable::build(&build.rel, &build_cols, seed);
+        let (vars, b_only_cols) = output_schema(a, b);
+        HashJoinShape {
+            build,
+            probe,
+            build_is_a,
+            probe_cols,
+            vars,
+            b_only_cols,
+            table,
+        }
+    }
+
+    /// Rows on the probe side.
+    pub fn probe_len(&self) -> usize {
+        self.probe.rel.len()
+    }
+
+    /// Probes rows `[lo, hi)` of the probe side, emitting matches in
+    /// probe-row order. Concatenating the outputs of a partition of
+    /// `[0, probe_len)` in range order is byte-identical to one full
+    /// probe pass — the morsel determinism invariant.
+    pub fn probe_range(&self, lo: usize, hi: usize) -> Relation {
+        let mut out = Relation::new(self.vars.len().max(1));
+        let mut row_buf: Vec<Value> = Vec::with_capacity(self.vars.len());
+        let mut emit = |prow: &[Value], bidx: usize, out: &mut Relation| {
+            let brow = self.build.rel.row(bidx);
+            let (arow, brow2) = if self.build_is_a {
+                (brow, prow)
+            } else {
+                (prow, brow)
+            };
+            row_buf.clear();
+            row_buf.extend_from_slice(arow);
+            row_buf.extend(self.b_only_cols.iter().map(|&c| brow2[c]));
+            out.push_row(&row_buf);
+        };
+        if let [pc] = self.probe_cols[..] {
+            // Single-key fast path: scalar probe, no key buffer.
+            for p in lo..hi {
+                let prow = self.probe.rel.row(p);
+                for bidx in self.table.probe1(prow[pc]) {
+                    emit(prow, bidx, &mut out);
+                }
+            }
+        } else {
+            let mut key = Vec::with_capacity(self.probe_cols.len());
+            for p in lo..hi {
+                let prow = self.probe.rel.row(p);
+                key.clear();
+                key.extend(self.probe_cols.iter().map(|&c| prow[c]));
+                for bidx in self.table.probe(&key) {
+                    emit(prow, bidx, &mut out);
+                }
+            }
+        }
+        out
+    }
+}
+
 /// Binary hash join (the paper's symmetric-hash-join stand-in: we build
 /// on the smaller input and probe with the larger, which produces the
 /// same output and the same asymptotic CPU work as pulling both sides
@@ -177,45 +304,12 @@ fn output_schema(a: &SchemaRel, b: &SchemaRel) -> (Vec<VarId>, Vec<usize>) {
 /// Join keys are the shared variables; with no shared variable this is a
 /// cartesian product (allowed, used by selection-only atoms of Q3/Q7).
 pub fn hash_join(a: &SchemaRel, b: &SchemaRel, seed: u64) -> SchemaRel {
-    let on = shared_vars(a, b);
-    // Build on the smaller side; normalize so `build` is the smaller.
-    let (build, probe, build_is_a) = if a.rel.len() <= b.rel.len() {
-        (a, b, true)
-    } else {
-        (b, a, false)
-    };
-    let build_cols: Vec<usize> = on
-        .iter()
-        .map(|&v| build.col_of(v).expect("shared"))
-        .collect();
-    let probe_cols: Vec<usize> = on
-        .iter()
-        .map(|&v| probe.col_of(v).expect("shared"))
-        .collect();
-    let table = JoinTable::build(&build.rel, &build_cols, seed);
-
-    // Assemble output as (a ++ b-only) regardless of build side.
-    let (vars, b_only_cols) = output_schema(a, b);
-    let mut out = Relation::new(vars.len().max(1));
-    let mut key = Vec::with_capacity(on.len());
-    let mut row_buf: Vec<Value> = Vec::with_capacity(vars.len());
-    for prow in probe.rel.rows() {
-        key.clear();
-        key.extend(probe_cols.iter().map(|&c| prow[c]));
-        for bidx in table.probe(&key) {
-            let brow = build.rel.row(bidx);
-            let (arow, brow2) = if build_is_a {
-                (brow, prow)
-            } else {
-                (prow, brow)
-            };
-            row_buf.clear();
-            row_buf.extend_from_slice(arow);
-            row_buf.extend(b_only_cols.iter().map(|&c| brow2[c]));
-            out.push_row(&row_buf);
-        }
+    let shape = HashJoinShape::new(a, b, seed);
+    let rel = shape.probe_range(0, shape.probe_len());
+    SchemaRel {
+        vars: shape.vars,
+        rel,
     }
-    SchemaRel { vars, rel: out }
 }
 
 /// Binary sort-merge join: sorts both inputs by the shared variables and
@@ -235,21 +329,16 @@ pub fn merge_join(a: &SchemaRel, b: &SchemaRel, _seed: u64) -> (SchemaRel, u64, 
     let a_cols: Vec<usize> = on.iter().map(|&v| a.col_of(v).expect("shared")).collect();
     let b_cols: Vec<usize> = on.iter().map(|&v| b.col_of(v).expect("shared")).collect();
 
-    let sort_indices = |r: &Relation, cols: &[usize]| -> Vec<u32> {
-        let mut idx: Vec<u32> = (0..r.len() as u32).collect();
-        idx.sort_unstable_by(|&x, &y| {
-            let rx = r.row(x as usize);
-            let ry = r.row(y as usize);
-            cols.iter()
-                .map(|&c| rx[c].cmp(&ry[c]))
-                .find(|o| *o != std::cmp::Ordering::Equal)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
-        idx
-    };
+    // Index-sort both sides with the radix kernels of `common::sort`:
+    // project the key columns into a contiguous row-major buffer (radix
+    // needs key-major layout) and sort its index array. The kernels are
+    // stable, so equal-key runs keep input row order — a determinism
+    // upgrade over the old unstable comparator closure.
     let t_sort = Instant::now();
-    let ia = sort_indices(&a.rel, &a_cols);
-    let ib = sort_indices(&b.rel, &b_cols);
+    let pa = a.rel.project(&a_cols);
+    let ia = sorted_indices(pa.raw(), pa.arity(), 0, pa.len());
+    let pb = b.rel.project(&b_cols);
+    let ib = sorted_indices(pb.raw(), pb.arity(), 0, pb.len());
     let sort_time = t_sort.elapsed();
     let sort_buffer_tuples = (a.rel.len() + b.rel.len()) as u64;
 
@@ -295,11 +384,62 @@ pub fn merge_join(a: &SchemaRel, b: &SchemaRel, _seed: u64) -> (SchemaRel, u64, 
     (SchemaRel { vars, rel: out }, sort_buffer_tuples, sort_time)
 }
 
+/// The fixed state of a hash semijoin `a ⋉ b`: key columns on the `a`
+/// side and the membership table over `b`. `None` when the schemas share
+/// no variable (the caller handles that degenerate case). Like
+/// [`HashJoinShape`], this exists so [`crate::probe`] can build once and
+/// filter disjoint `a`-row ranges concurrently.
+pub(crate) struct SemijoinShape {
+    a_cols: Vec<usize>,
+    table: JoinTable,
+}
+
+impl SemijoinShape {
+    /// Plans the semijoin and builds the membership table over `b`.
+    pub fn new(a: &SchemaRel, b: &SchemaRel, seed: u64) -> Option<Self> {
+        let on = shared_vars(a, b);
+        if on.is_empty() {
+            return None;
+        }
+        let b_cols: Vec<usize> = on.iter().map(|&v| b.col_of(v).expect("shared")).collect();
+        let a_cols: Vec<usize> = on.iter().map(|&v| a.col_of(v).expect("shared")).collect();
+        Some(SemijoinShape {
+            a_cols,
+            table: JoinTable::build(&b.rel, &b_cols, seed),
+        })
+    }
+
+    /// Keeps the matching rows of `a[lo..hi]`, in input row order —
+    /// concatenating a partition of `[0, a.len)` in range order equals
+    /// one full pass.
+    pub fn filter_range(&self, a: &SchemaRel, lo: usize, hi: usize) -> Relation {
+        let mut out = Relation::new(a.rel.arity().max(1));
+        if let [ac] = self.a_cols[..] {
+            for i in lo..hi {
+                let row = a.rel.row(i);
+                if self.table.contains1(row[ac]) {
+                    out.push_row(row);
+                }
+            }
+        } else {
+            let mut key = Vec::with_capacity(self.a_cols.len());
+            for i in lo..hi {
+                let row = a.rel.row(i);
+                key.clear();
+                key.extend(self.a_cols.iter().map(|&c| row[c]));
+                if self.table.contains(&key) {
+                    out.push_row(row);
+                }
+            }
+        }
+        out
+    }
+}
+
 /// Hash semijoin `a ⋉ b` on their shared variables: keeps the `a` rows
 /// with at least one match in `b`.
 pub fn semijoin(a: &SchemaRel, b: &SchemaRel, seed: u64) -> SchemaRel {
-    let on = shared_vars(a, b);
-    if on.is_empty() {
+    let Some(shape) = SemijoinShape::new(a, b, seed) else {
         return if b.rel.is_empty() {
             SchemaRel {
                 vars: a.vars.clone(),
@@ -308,19 +448,10 @@ pub fn semijoin(a: &SchemaRel, b: &SchemaRel, seed: u64) -> SchemaRel {
         } else {
             a.clone()
         };
-    }
-    let b_cols: Vec<usize> = on.iter().map(|&v| b.col_of(v).expect("shared")).collect();
-    let a_cols: Vec<usize> = on.iter().map(|&v| a.col_of(v).expect("shared")).collect();
-    let table = JoinTable::build(&b.rel, &b_cols, seed);
-    let mut key = Vec::with_capacity(on.len());
-    let rel = a.rel.filter(|row| {
-        key.clear();
-        key.extend(a_cols.iter().map(|&c| row[c]));
-        table.contains(&key)
-    });
+    };
     SchemaRel {
         vars: a.vars.clone(),
-        rel,
+        rel: shape.filter_range(a, 0, a.rel.len()),
     }
 }
 
@@ -457,6 +588,32 @@ mod tests {
         assert_eq!(hits.len(), 2);
         assert!(t.contains(&[4]));
         assert!(!t.contains(&[9]));
+    }
+
+    #[test]
+    fn probe1_matches_generic_probe() {
+        let r = Relation::from_rows(2, [[1u64, 2], [1, 3], [4, 2], [7, 7]].iter());
+        let t = JoinTable::build(&r, &[0], 9);
+        for k in 0..10u64 {
+            let fast: Vec<usize> = t.probe1(k).collect();
+            let slow: Vec<usize> = t.probe(&[k]).collect();
+            assert_eq!(fast, slow, "key {k}");
+            assert_eq!(t.contains1(k), t.contains(&[k]), "key {k}");
+        }
+    }
+
+    #[test]
+    fn hash_join_range_probe_concatenates() {
+        let a = sr(&[0, 1], &[&[1, 10], &[2, 20], &[3, 10], &[4, 20]]);
+        let b = sr(&[1, 2], &[&[10, 7], &[20, 8], &[10, 9]]);
+        let full = hash_join(&a, &b, 5);
+        let shape = HashJoinShape::new(&a, &b, 5);
+        let n = shape.probe_len();
+        for split in 0..=n {
+            let mut out = shape.probe_range(0, split);
+            out.extend_from(&shape.probe_range(split, n));
+            assert_eq!(out.raw(), full.rel.raw(), "split at {split}");
+        }
     }
 
     #[test]

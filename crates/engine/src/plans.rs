@@ -26,6 +26,7 @@ use crate::error::EngineError;
 use crate::exec::{parallelism_warning, run_phase};
 use crate::local::{hash_join, merge_join, SchemaRel};
 use crate::prepare;
+use crate::probe;
 use crate::shuffle;
 use crate::sortcache::{Lookup, SortCache};
 use parjoin_analyze::{self as analyze, Diagnostic};
@@ -130,6 +131,32 @@ pub struct PlanOptions {
     /// sort; both are byte-identical to the sequential path — this knob
     /// exists so tests can assert exactly that, and as an escape hatch.
     pub sequential_prepare: bool,
+    /// Probe sequentially: run the Tributary leapfrog, the hash-join
+    /// probe, and the semijoin single-threaded per worker instead of
+    /// morsel-parallel ([`crate::probe`]). The morsel path is
+    /// byte-identical to this baseline — the A/B switch exists so tests
+    /// can assert exactly that, and as an escape hatch.
+    pub sequential_probe: bool,
+    /// Override the per-worker probe thread count; `None` derives it
+    /// from the host (`host_cores / workers`, at least 1). Ignored when
+    /// [`PlanOptions::sequential_probe`] is set. Mainly for tests and
+    /// benchmarks that must exercise a fixed thread count regardless of
+    /// the machine they run on.
+    pub probe_threads: Option<usize>,
+}
+
+impl PlanOptions {
+    /// The per-worker probe thread count this plan will use on `workers`
+    /// simulated workers.
+    pub fn effective_probe_threads(&self, workers: usize) -> usize {
+        if self.sequential_probe {
+            1
+        } else {
+            self.probe_threads
+                .unwrap_or_else(|| probe::probe_threads_for_host(workers))
+                .max(1)
+        }
+    }
 }
 
 /// Everything measured about one plan execution — the quantities behind
@@ -178,6 +205,14 @@ pub struct RunResult {
     pub sort_cache_hits: u64,
     /// Tributary prepare lookups that sorted fresh during this run.
     pub sort_cache_misses: u64,
+    /// Per-worker probe threads the plan ran with (1 = sequential probe;
+    /// see [`crate::probe`]).
+    pub probe_threads: u64,
+    /// Total probe morsels executed across workers and join steps. Every
+    /// probe operation counts at least 1 (its sequential pass); values
+    /// above the number of probe operations mean morsel parallelism
+    /// actually split work.
+    pub probe_morsels: u64,
 }
 
 /// Prep-vs-probe decomposition of a run's local-join CPU — the shape of
@@ -223,6 +258,8 @@ impl RunResult {
             diagnostics: Vec::new(),
             sort_cache_hits: 0,
             sort_cache_misses: 0,
+            probe_threads: 1,
+            probe_morsels: 0,
         }
     }
 
@@ -545,6 +582,7 @@ pub fn run_config(
             .transport
             .is_streaming()
             .then_some(cluster.batch_tuples as u64),
+        host_cores: std::thread::available_parallelism().ok().map(|n| n.get()),
     };
     let diagnostics = analyze::analyze(&spec);
     if analyze::has_errors(&diagnostics) {
@@ -552,6 +590,7 @@ pub fn run_config(
     }
     result.diagnostics = diagnostics;
     result.diagnostics.extend(parallelism_warning());
+    result.probe_threads = opts.effective_probe_threads(cluster.workers) as u64;
 
     // A streaming transport gets a live worker runtime for the plan's
     // duration; Local (the degenerate case) needs none.
@@ -734,6 +773,7 @@ fn run_regular(
         };
         let ready = take_ready_filters(&mut pending, &out_schema);
         let seed = cluster.seed;
+        let probe_threads = opts.effective_probe_threads(cluster.workers);
         let phase = run_phase(cluster.workers, |w| {
             let a = SchemaRel {
                 vars: cur_s.vars.clone(),
@@ -743,9 +783,15 @@ fn run_regular(
                 vars: next_s.vars.clone(),
                 rel: next_s.parts[w].clone(),
             };
-            let (joined, sort_buf, sort_time) = match join_alg {
-                JoinAlg::Hash => (hash_join(&a, &b, seed), 0, Duration::ZERO),
-                JoinAlg::Tributary => merge_join(&a, &b, seed),
+            let (joined, sort_buf, sort_time, morsels) = match join_alg {
+                JoinAlg::Hash => {
+                    let (j, m) = probe::hash_join_parallel(&a, &b, seed, probe_threads);
+                    (j, 0, Duration::ZERO, m)
+                }
+                JoinAlg::Tributary => {
+                    let (j, buf, t) = merge_join(&a, &b, seed);
+                    (j, buf, t, 1)
+                }
             };
             let filtered = if ready.is_empty() {
                 joined
@@ -764,13 +810,14 @@ fn run_regular(
                     a.rel.len() as u64 + b.rel.len() as u64 + sort_buf + filtered.rel.len() as u64
                 }
             };
-            (filtered.rel, live, sort_time)
+            (filtered.rel, live, sort_time, morsels)
         });
         let mut parts = Vec::with_capacity(cluster.workers);
         let mut sort_times = Vec::with_capacity(cluster.workers);
-        for (w, (rel, live, sort)) in phase.results.iter().enumerate() {
+        for (w, (rel, live, sort, morsels)) in phase.results.iter().enumerate() {
             check_budget(cluster, w, *live)?;
             result.peak_worker_tuples = result.peak_worker_tuples.max(*live);
+            result.probe_morsels += morsels;
             parts.push(rel.clone());
             sort_times.push(*sort);
         }
@@ -935,6 +982,8 @@ fn run_one_round(
     } else {
         prepare::prepare_threads_for_host(cluster.workers)
     };
+    // The probe phase claims those same leftover cores (crate::probe).
+    let probe_threads = opts.effective_probe_threads(cluster.workers);
     let budget = cluster.memory_budget;
     let phase = run_phase(cluster.workers, |w| {
         let locals: Vec<SchemaRel> = shuffled
@@ -953,8 +1002,11 @@ fn run_one_round(
                     cur = cur.filter(&ready0);
                 }
                 let mut live: u64 = locals.iter().map(|l| l.rel.len() as u64).sum();
+                let mut morsels = 0u64;
                 for &ai in &local_order[1..] {
-                    let joined = hash_join(&cur, &locals[ai], seed);
+                    let (joined, m) =
+                        probe::hash_join_parallel(&cur, &locals[ai], seed, probe_threads);
+                    morsels += m;
                     let ready = take_ready_filters(&mut pending, &joined.vars);
                     cur = if ready.is_empty() {
                         joined
@@ -967,7 +1019,7 @@ fn run_one_round(
                     );
                 }
                 let out = cur.project(&head);
-                (out.rel, live, Duration::ZERO, 0u64, 0u64)
+                (out.rel, live, Duration::ZERO, 0u64, 0u64, morsels)
             }
             JoinAlg::Tributary => {
                 let order = tj_order.as_ref().expect("TJ order computed");
@@ -1016,25 +1068,19 @@ fn run_one_round(
                 }
                 let live: u64 = locals.iter().map(|l| 2 * l.rel.len() as u64).sum::<u64>();
                 let tj = Tributary::new(&prepared, order, &pending, num_vars);
-                let mut out = Relation::new(head.len());
-                let mut row = Vec::with_capacity(head.len());
-                tj.run(|asg| {
-                    row.clear();
-                    row.extend(head.iter().map(|v| asg[v.index()]));
-                    out.push_row(&row);
-                    true
-                });
-                let live = live + out.len() as u64;
-                (out, live, sort_time, hits, misses)
+                let probed = probe::tributary_probe(&tj, &prepared, &head, probe_threads);
+                let live = live + probed.rel.len() as u64;
+                (probed.rel, live, sort_time, hits, misses, probed.morsels)
             }
         }
     });
 
     let mut outputs = Vec::with_capacity(cluster.workers);
     let mut sort_times = Vec::with_capacity(cluster.workers);
-    for (w, (rel, live, sort, hits, misses)) in phase.results.iter().enumerate() {
+    for (w, (rel, live, sort, hits, misses, morsels)) in phase.results.iter().enumerate() {
         check_budget(cluster, w, *live)?;
         result.peak_worker_tuples = result.peak_worker_tuples.max(*live);
+        result.probe_morsels += morsels;
         outputs.push(rel.clone());
         sort_times.push(*sort);
         result.sort_cache_hits += hits;

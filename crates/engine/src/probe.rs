@@ -1,0 +1,404 @@
+//! Intra-worker morsel-parallel probe for the local join operators.
+//!
+//! PR 3's parallel *prepare* claims the host cores left idle by the
+//! worker pool during the sort phase; this module does the same for the
+//! *probe* phase — the dominant cost once sorts are fast (morsel-driven
+//! parallelism in the sense of Leis et al., SIGMOD 2014):
+//!
+//! * **Tributary join** — the first global variable's value domain is
+//!   split into disjoint ranges using the sorted first trie level of the
+//!   smallest atom that binds it ([`morsel_bounds`]). Split points land
+//!   on distinct-value boundaries by construction (ranges are half-open
+//!   value intervals, and a value's whole run falls on one side), so
+//!   morsels are independent: each runs a full leapfrog instance via
+//!   [`Tributary::run_range`].
+//! * **Hash join / semijoin** — the probe (resp. filtered) side is cut
+//!   into contiguous row ranges over a shared read-only
+//!   [`JoinTable`](crate::local::JoinTable).
+//!
+//! **Determinism.** The depth-0 leapfrog enumerates values in ascending
+//! order and the hash probe scans rows in input order, so concatenating
+//! per-morsel output buffers in morsel order reproduces the sequential
+//! output *byte-identically* (asserted query-by-query by the
+//! `probe_parallel` integration suite). Morsel workers never share
+//! mutable state — each gets its own cursors and output buffer.
+//!
+//! Thread budget: like prepare, a worker gets `host_cores / workers`
+//! probe threads (at least 1) — worker-level parallelism keeps priority,
+//! and `workers >= cores` degrades to the sequential path (surfaced by
+//! analyzer diagnostic R413).
+
+use crate::local::{semijoin as local_semijoin, HashJoinShape, SchemaRel, SemijoinShape};
+use crate::prepare;
+use parjoin_common::{Relation, Value};
+use parjoin_core::tributary::{SortedAtom, Tributary};
+use parjoin_query::VarId;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Minimum probe-side rows (hash join/semijoin) or split-trie rows
+/// (Tributary) before morsel dispatch pays for its thread handoffs.
+pub const MORSEL_MIN_ROWS: usize = 4096;
+
+/// Morsels carved per probe thread. More than 1 so a skewed morsel (one
+/// hot value range) can be soaked up by threads that finish early —
+/// morsels are claimed dynamically from a shared cursor.
+const MORSELS_PER_THREAD: usize = 4;
+
+/// Probe threads available to each worker of a phase: identical to the
+/// prepare-phase rule (`host_cores / workers`, at least 1) — both phases
+/// draw from the same pool of leftover cores.
+pub fn probe_threads(workers: usize, host: Option<usize>) -> usize {
+    prepare::prepare_threads(workers, host)
+}
+
+/// [`probe_threads`] for the actual host.
+pub fn probe_threads_for_host(workers: usize) -> usize {
+    prepare::prepare_threads_for_host(workers)
+}
+
+/// Splits the value domain of `rel`'s first column into up to `target`
+/// half-open ranges `[lo, hi)` (`hi = None` = unbounded) of roughly equal
+/// row count. `rel` must be lexicographically sorted. The returned ranges
+/// start at 0, are contiguous and disjoint, and every interior boundary
+/// is a distinct column-0 value present in `rel` — i.e. each split lands
+/// exactly on the start of that value's run, never inside one.
+pub fn morsel_bounds(rel: &Relation, target: usize) -> Vec<(Value, Option<Value>)> {
+    if rel.arity() == 0 || rel.is_empty() || target <= 1 {
+        return vec![(0, None)];
+    }
+    let n = rel.len();
+    let min = rel.value(0, 0);
+    let mut cuts: Vec<Value> = Vec::new();
+    for k in 1..target {
+        // Sorted input: sampling at evenly spaced rows yields
+        // nondecreasing values; dropping duplicates (and anything not
+        // above the column minimum, which would make the first morsel
+        // empty) keeps cuts strictly increasing.
+        let v = rel.value(k * n / target, 0);
+        if v > min && cuts.last().is_none_or(|&l| v > l) {
+            cuts.push(v);
+        }
+    }
+    let mut out = Vec::with_capacity(cuts.len() + 1);
+    let mut lo = 0;
+    for &c in &cuts {
+        out.push((lo, Some(c)));
+        lo = c;
+    }
+    out.push((lo, None));
+    out
+}
+
+/// Runs `f(0..n)` on up to `threads` scoped threads, morsels claimed
+/// dynamically; returns results in index order.
+fn scatter<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.min(n).max(1);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let m = cursor.fetch_add(1, Ordering::Relaxed);
+                if m >= n {
+                    break;
+                }
+                let r = f(m);
+                slots.lock().expect("no poisoned morsels")[m] = Some(r);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("scope joined")
+        .into_iter()
+        .map(|s| s.expect("every morsel ran"))
+        .collect()
+}
+
+/// One probe operation's result plus how many morsels executed (1 for
+/// the sequential path).
+pub struct ProbeOutcome {
+    /// The operator output.
+    pub rel: Relation,
+    /// Morsels executed; 1 means the sequential path ran.
+    pub morsels: u64,
+}
+
+/// Runs `tj`, materializing the projection onto `head`, with up to
+/// `threads` morsel threads. `atoms` must be the slice `tj` was built
+/// over — the smallest atom whose first trie level is the first global
+/// variable donates its sorted level-0 column as the split domain.
+/// Output is byte-identical to the sequential `tj.run` collect loop.
+pub fn tributary_probe(
+    tj: &Tributary<'_, SortedAtom>,
+    atoms: &[SortedAtom],
+    head: &[VarId],
+    threads: usize,
+) -> ProbeOutcome {
+    let collect_seq = || {
+        let mut out = Relation::new(head.len());
+        let mut row = Vec::with_capacity(head.len());
+        tj.run(|asg| {
+            row.clear();
+            row.extend(head.iter().map(|v| asg[v.index()]));
+            out.push_row(&row);
+            true
+        });
+        ProbeOutcome {
+            rel: out,
+            morsels: 1,
+        }
+    };
+    // The smallest depth-0 atom bounds the number of distinct first-
+    // variable values most tightly, giving the most even value split.
+    let split = atoms
+        .iter()
+        .filter(|a| a.depths().first() == Some(&0))
+        .map(|a| a.relation())
+        .min_by_key(|r| r.len());
+    let Some(split) = split else {
+        return collect_seq();
+    };
+    if threads <= 1 || split.len() < MORSEL_MIN_ROWS {
+        return collect_seq();
+    }
+    let bounds = morsel_bounds(split, threads * MORSELS_PER_THREAD);
+    if bounds.len() <= 1 {
+        return collect_seq();
+    }
+    let parts = scatter(bounds.len(), threads, |m| {
+        let (lo, hi) = bounds[m];
+        let mut out = Relation::new(head.len());
+        let mut row = Vec::with_capacity(head.len());
+        tj.run_range(lo, hi, |asg| {
+            row.clear();
+            row.extend(head.iter().map(|v| asg[v.index()]));
+            out.push_row(&row);
+            true
+        });
+        out
+    });
+    let mut it = parts.into_iter();
+    let mut rel = it.next().expect("at least one morsel");
+    for p in it {
+        rel.extend_from(&p);
+    }
+    ProbeOutcome {
+        rel,
+        morsels: bounds.len() as u64,
+    }
+}
+
+/// [`crate::local::hash_join`] with up to `threads` morsel threads over
+/// the probe side; byte-identical output.
+pub fn hash_join_parallel(
+    a: &SchemaRel,
+    b: &SchemaRel,
+    seed: u64,
+    threads: usize,
+) -> (SchemaRel, u64) {
+    let shape = HashJoinShape::new(a, b, seed);
+    let n = shape.probe_len();
+    if threads <= 1 || n < MORSEL_MIN_ROWS {
+        let rel = shape.probe_range(0, n);
+        return (
+            SchemaRel {
+                vars: shape.vars.clone(),
+                rel,
+            },
+            1,
+        );
+    }
+    let morsels = (threads * MORSELS_PER_THREAD).min(n);
+    let per = n.div_ceil(morsels);
+    let parts = scatter(morsels, threads, |m| {
+        shape.probe_range(m * per, ((m + 1) * per).min(n))
+    });
+    let mut it = parts.into_iter();
+    let mut rel = it.next().expect("at least one morsel");
+    for p in it {
+        rel.extend_from(&p);
+    }
+    (
+        SchemaRel {
+            vars: shape.vars.clone(),
+            rel,
+        },
+        morsels as u64,
+    )
+}
+
+/// [`crate::local::semijoin`] with up to `threads` morsel threads over
+/// `a`'s rows; byte-identical output.
+pub fn semijoin_parallel(
+    a: &SchemaRel,
+    b: &SchemaRel,
+    seed: u64,
+    threads: usize,
+) -> (SchemaRel, u64) {
+    let Some(shape) = SemijoinShape::new(a, b, seed) else {
+        return (local_semijoin(a, b, seed), 1);
+    };
+    let n = a.rel.len();
+    if threads <= 1 || n < MORSEL_MIN_ROWS {
+        return (
+            SchemaRel {
+                vars: a.vars.clone(),
+                rel: shape.filter_range(a, 0, n),
+            },
+            1,
+        );
+    }
+    let morsels = (threads * MORSELS_PER_THREAD).min(n);
+    let per = n.div_ceil(morsels);
+    let parts = scatter(morsels, threads, |m| {
+        shape.filter_range(a, m * per, ((m + 1) * per).min(n))
+    });
+    let mut it = parts.into_iter();
+    let mut rel = it.next().expect("at least one morsel");
+    for p in it {
+        rel.extend_from(&p);
+    }
+    (
+        SchemaRel {
+            vars: a.vars.clone(),
+            rel,
+        },
+        morsels as u64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parjoin_query::VarId;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    fn sorted_rel(rows: &[[u64; 2]]) -> Relation {
+        let mut r = Relation::from_rows(2, rows.iter());
+        r.sort_lex();
+        r
+    }
+
+    #[test]
+    fn bounds_cover_disjoint_on_boundaries() {
+        let rel = sorted_rel(&[
+            [1, 0],
+            [1, 1],
+            [1, 2],
+            [2, 0],
+            [2, 1],
+            [5, 0],
+            [7, 0],
+            [7, 1],
+        ]);
+        for target in [1, 2, 3, 4, 8, 100] {
+            let bounds = morsel_bounds(&rel, target);
+            assert_eq!(bounds[0].0, 0, "first morsel starts at 0");
+            assert_eq!(bounds.last().unwrap().1, None, "last morsel unbounded");
+            for w in bounds.windows(2) {
+                let hi = w[0].1.expect("interior bound");
+                assert_eq!(hi, w[1].0, "contiguous");
+                assert!(hi > w[0].0, "nonempty value interval");
+                // Interior boundaries are distinct column-0 values of rel.
+                assert!(
+                    rel.rows().any(|r| r[0] == hi),
+                    "boundary {hi} not a present value"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_degenerate_inputs() {
+        assert_eq!(morsel_bounds(&Relation::new(2), 4), vec![(0, None)]);
+        assert_eq!(morsel_bounds(&Relation::new(0), 4), vec![(0, None)]);
+        // All-equal first column: no valid cut exists.
+        let rel = sorted_rel(&[[3, 0], [3, 1], [3, 2], [3, 3]]);
+        assert_eq!(morsel_bounds(&rel, 4), vec![(0, None)]);
+    }
+
+    #[test]
+    fn scatter_preserves_index_order() {
+        let got = scatter(17, 4, |i| i * i);
+        assert_eq!(got, (0..17).map(|i| i * i).collect::<Vec<_>>());
+        assert_eq!(scatter(3, 1, |i| i), vec![0, 1, 2]);
+        assert!(scatter(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn tributary_probe_parallel_matches_sequential() {
+        // Triangle over a graph big enough to clear MORSEL_MIN_ROWS.
+        let n = 3000u64;
+        let rows: Vec<[u64; 2]> = (0..n)
+            .flat_map(|i| [[i, (i + 1) % n], [i, (i * 7 + 3) % n]])
+            .collect();
+        let edges = sorted_rel(&rows);
+        let order = [v(0), v(1), v(2)];
+        let atoms = vec![
+            SortedAtom::prepare(&edges, &[v(0), v(1)], &order),
+            SortedAtom::prepare(&edges, &[v(1), v(2)], &order),
+            SortedAtom::prepare(&edges, &[v(2), v(0)], &order),
+        ];
+        let tj = Tributary::new(&atoms, &order, &[], 3);
+        let head = [v(0), v(1), v(2)];
+        let seq = tributary_probe(&tj, &atoms, &head, 1);
+        assert_eq!(seq.morsels, 1);
+        for threads in [2, 3, 4] {
+            let par = tributary_probe(&tj, &atoms, &head, threads);
+            assert!(par.morsels > 1, "{threads} threads should split");
+            assert_eq!(par.rel.raw(), seq.rel.raw(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn hash_join_parallel_matches_sequential() {
+        let a_rows: Vec<[u64; 2]> = (0..10_000u64).map(|i| [i % 97, i]).collect();
+        let b_rows: Vec<[u64; 2]> = (0..5_000u64).map(|i| [i % 97, i * 2]).collect();
+        let a = SchemaRel {
+            vars: vec![v(0), v(1)],
+            rel: Relation::from_rows(2, a_rows.iter()),
+        };
+        let b = SchemaRel {
+            vars: vec![v(0), v(2)],
+            rel: Relation::from_rows(2, b_rows.iter()),
+        };
+        let seq = crate::local::hash_join(&a, &b, 11);
+        for threads in [1, 2, 4] {
+            let (par, morsels) = hash_join_parallel(&a, &b, 11, threads);
+            assert_eq!(par.vars, seq.vars);
+            assert_eq!(par.rel.raw(), seq.rel.raw(), "{threads} threads");
+            assert_eq!(morsels > 1, threads > 1);
+        }
+    }
+
+    #[test]
+    fn semijoin_parallel_matches_sequential() {
+        let a_rows: Vec<[u64; 2]> = (0..8_000u64).map(|i| [i, i % 13]).collect();
+        let b_rows: Vec<[u64; 1]> = (0..7u64).map(|i| [i]).collect();
+        let a = SchemaRel {
+            vars: vec![v(0), v(1)],
+            rel: Relation::from_rows(2, a_rows.iter()),
+        };
+        let b = SchemaRel {
+            vars: vec![v(1)],
+            rel: Relation::from_rows(1, b_rows.iter()),
+        };
+        let seq = local_semijoin(&a, &b, 3);
+        for threads in [1, 2, 4] {
+            let (par, _) = semijoin_parallel(&a, &b, 3, threads);
+            assert_eq!(par.rel.raw(), seq.rel.raw(), "{threads} threads");
+        }
+    }
+}

@@ -18,8 +18,9 @@ use crate::cluster::Cluster;
 use crate::dist::DistRel;
 use crate::error::EngineError;
 use crate::exec::run_phase;
-use crate::local::{semijoin as local_semijoin, SchemaRel};
+use crate::local::SchemaRel;
 use crate::plans::{run_config, JoinAlg, PlanOptions, RunResult, ShuffleAlg};
+use crate::probe;
 use crate::shuffle;
 use parjoin_common::Database;
 use parjoin_query::hypergraph::gyo_join_tree;
@@ -42,17 +43,20 @@ pub struct SemijoinResult {
 }
 
 /// One distributed semijoin step: reduce `target` by `reducer` on their
-/// shared variables. Returns the reduced relation plus the two shuffle
-/// stats (projection, input).
+/// shared variables. Returns the reduced relation, the two shuffle stats
+/// (projection, input), and the probe morsels executed across workers
+/// (the local semijoin filter runs morsel-parallel; see [`crate::probe`]).
 fn distributed_semijoin(
     target: &DistRel,
     reducer: &DistRel,
     cluster: &Cluster,
     label: &str,
+    probe_threads: usize,
 ) -> (
     DistRel,
     parjoin_common::ShuffleStats,
     parjoin_common::ShuffleStats,
+    u64,
 ) {
     let shared: Vec<VarId> = target
         .vars
@@ -79,7 +83,7 @@ fn distributed_semijoin(
     let (tgt_s, stats_tgt) =
         shuffle::regular(target, &shared, format!("{label}: input"), cluster.seed);
 
-    // Local semijoin.
+    // Local semijoin (morsel-parallel over the target's rows).
     let seed = cluster.seed;
     let phase = run_phase(cluster.workers, |w| {
         let t = SchemaRel {
@@ -90,13 +94,20 @@ fn distributed_semijoin(
             vars: proj_s.vars.clone(),
             rel: proj_s.parts[w].clone(),
         };
-        local_semijoin(&t, &r, seed).rel
+        let (reduced, morsels) = probe::semijoin_parallel(&t, &r, seed, probe_threads);
+        (reduced.rel, morsels)
     });
+    let mut parts = Vec::with_capacity(cluster.workers);
+    let mut morsels = 0u64;
+    for (rel, m) in phase.results {
+        parts.push(rel);
+        morsels += m;
+    }
     let reduced = DistRel {
         vars: target.vars.clone(),
-        parts: phase.results,
+        parts,
     };
-    (reduced, stats_proj, stats_tgt)
+    (reduced, stats_proj, stats_tgt, morsels)
 }
 
 /// Runs the full semijoin plan on an acyclic query.
@@ -127,18 +138,22 @@ pub fn run_semijoin_plan(
     let mut sj_shuffles = Vec::new();
     let mut projected_tuples = 0u64;
     let mut input_tuples = 0u64;
+    let mut sj_morsels = 0u64;
+    let probe_threads = opts.effective_probe_threads(cluster.workers);
 
     // Bottom-up: children reduce parents.
     for &a in &tree.bottom_up {
         if let Some(p) = tree.parent[a] {
-            let (reduced, sp, st) = distributed_semijoin(
+            let (reduced, sp, st, morsels) = distributed_semijoin(
                 &dists[p].clone(),
                 &dists[a],
                 cluster,
                 &format!("{} ⋉ {}", query.atoms[p].relation, query.atoms[a].relation),
+                probe_threads,
             );
             projected_tuples += sp.tuples_sent;
             input_tuples += st.tuples_sent;
+            sj_morsels += morsels;
             sj_shuffles.push(sp);
             sj_shuffles.push(st);
             dists[p] = reduced;
@@ -147,14 +162,16 @@ pub fn run_semijoin_plan(
     // Top-down: parents reduce children.
     for &a in &tree.top_down() {
         for c in tree.children(a) {
-            let (reduced, sp, st) = distributed_semijoin(
+            let (reduced, sp, st, morsels) = distributed_semijoin(
                 &dists[c].clone(),
                 &dists[a],
                 cluster,
                 &format!("{} ⋉ {}", query.atoms[c].relation, query.atoms[a].relation),
+                probe_threads,
             );
             projected_tuples += sp.tuples_sent;
             input_tuples += st.tuples_sent;
+            sj_morsels += morsels;
             sj_shuffles.push(sp);
             sj_shuffles.push(st);
             dists[c] = reduced;
@@ -206,6 +223,7 @@ pub fn run_semijoin_plan(
         run.tuples_shuffled += s.tuples_sent;
         run.shuffles.insert(0, s);
     }
+    run.probe_morsels += sj_morsels;
     run.config = "SJ_HJ".into();
 
     Ok(SemijoinResult {

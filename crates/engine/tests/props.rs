@@ -2,9 +2,11 @@
 
 use parjoin_common::Relation;
 use parjoin_core::hypercube::HcConfig;
+use parjoin_core::tributary::{SortedAtom, Tributary};
 use parjoin_engine::dist::DistRel;
 use parjoin_engine::local::{hash_join, merge_join, semijoin, SchemaRel};
 use parjoin_engine::prepare::sorted_by_columns_parallel;
+use parjoin_engine::probe::morsel_bounds;
 use parjoin_engine::shuffle;
 use parjoin_engine::SortCache;
 use parjoin_query::VarId;
@@ -163,6 +165,69 @@ proptest! {
         // The changed relation's view reflects the new content, never
         // the stale entry keyed by the old fingerprint.
         prop_assert_eq!(view.raw(), changed.sorted_by_columns(&cols).raw());
+    }
+
+    #[test]
+    fn morsel_bounds_partition_on_distinct_boundaries(
+        rel in arb_rel(40, 80),
+        target in 1usize..12,
+    ) {
+        let sorted = rel.sorted_by_columns(&[0, 1]);
+        let bounds = morsel_bounds(&sorted, target);
+        // Shape: starts at 0, ends unbounded, contiguous and strictly
+        // increasing in between.
+        prop_assert_eq!(bounds[0].0, 0);
+        prop_assert_eq!(bounds.last().unwrap().1, None);
+        for w in bounds.windows(2) {
+            let hi = w[0].1.expect("interior bound");
+            prop_assert_eq!(hi, w[1].0, "morsels must be contiguous");
+            prop_assert!(hi > w[0].0, "empty value interval");
+            // Every interior boundary is a first-column value actually
+            // present in the relation (a distinct-value boundary), and
+            // above the column minimum so no morsel starts empty.
+            prop_assert!(sorted.rows().any(|r| r[0] == hi));
+            prop_assert!(sorted.is_empty() || hi > sorted.value(0, 0));
+        }
+        // Coverage without overlap: every row falls in exactly one morsel.
+        for row in sorted.rows() {
+            let holders = bounds
+                .iter()
+                .filter(|(lo, hi)| row[0] >= *lo && hi.is_none_or(|h| row[0] < h))
+                .count();
+            prop_assert_eq!(holders, 1, "row {row:?} in {holders} morsels");
+        }
+    }
+
+    #[test]
+    fn morsel_runs_concatenate_to_full_run(
+        edges in arb_rel(25, 70),
+        target in 1usize..8,
+    ) {
+        // Triangle query over random edges: running one leapfrog per
+        // morsel of the depth-0 split relation and concatenating the
+        // outputs in morsel order must reproduce the sequential run
+        // exactly (same rows, same emission order).
+        let edges = edges.distinct();
+        let order = [v(0), v(1), v(2)];
+        let vars: [[VarId; 2]; 3] = [[v(0), v(1)], [v(1), v(2)], [v(2), v(0)]];
+        let atoms: Vec<SortedAtom> = vars
+            .iter()
+            .map(|vs| SortedAtom::prepare(&edges, vs, &order))
+            .collect();
+        let tjoin = Tributary::new(&atoms, &order, &[], 3);
+        let mut full = Vec::new();
+        tjoin.run(|a| { full.push(a.to_vec()); true });
+        let split = atoms
+            .iter()
+            .filter(|a| a.depths().first() == Some(&0))
+            .map(|a| a.relation())
+            .min_by_key(|r| r.len())
+            .expect("triangle binds the first variable");
+        let mut concat = Vec::new();
+        for (lo, hi) in morsel_bounds(split, target) {
+            tjoin.run_range(lo, hi, |a| { concat.push(a.to_vec()); true });
+        }
+        prop_assert_eq!(concat, full);
     }
 
     #[test]
