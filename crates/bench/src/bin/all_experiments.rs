@@ -22,11 +22,11 @@ fn figure(
 ) {
     let results = six_configs::figure(title, spec, settings, budget);
     if let Some(dir) = json {
-        std::fs::create_dir_all(dir).expect("create --json dir");
+        std::fs::create_dir_all(dir).expect("create --json dir"); // xtask: allow(expect): bench driver aborts on failure
         let name = title.to_lowercase().replace(' ', "_");
         let path = dir.join(format!("{name}_{}.json", spec.name.to_lowercase()));
         let doc = six_configs::results_json(title, spec, &results);
-        std::fs::write(&path, doc.to_string()).expect("write JSON");
+        std::fs::write(&path, doc.to_string()).expect("write JSON"); // xtask: allow(expect): bench driver aborts on failure
         println!("    (JSON written to {})", path.display());
     }
 }

@@ -1,0 +1,109 @@
+//! CI smoke for the observability layer: runs Q1 (the triangle query)
+//! as `HC_TJ` over the in-process streaming transport with
+//! [`PlanOptions::trace_path`] set, then re-reads the emitted chrome
+//! trace and checks it is well-formed — valid JSON, and at least one
+//! `shuffle`, `local-join`, `prepare`, and `probe` span on every
+//! worker lane plus an `output` span on the coordinator lane. Also
+//! cross-checks that the metrics registry reconciles with the legacy
+//! counters (`engine.bytes.shuffled` == `runtime.tx.bytes`).
+//!
+//! Usage: `trace_q1 [--out trace.json] [--workers N] [--seed S]`.
+//! Exits non-zero (with a message) on any validation failure, so CI
+//! can gate on it; the trace file is left behind as an artifact.
+
+use parjoin_engine::obs::json::summarize_chrome_trace;
+use parjoin_engine::obs::COORDINATOR_LANE;
+use parjoin_engine::{
+    metric_names, run_config, Cluster, JoinAlg, PlanOptions, ShuffleAlg, TransportKind,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match smoke() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("trace_q1: FAIL: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn smoke() -> Result<(), String> {
+    let mut out = PathBuf::from("trace_q1.json");
+    let mut workers = 8usize;
+    let mut seed = 42u64;
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i + 1 < args.len() {
+        match args[i].as_str() {
+            "--out" => out = PathBuf::from(&args[i + 1]),
+            "--workers" => {
+                workers = args[i + 1]
+                    .parse()
+                    .map_err(|e| format!("bad --workers: {e}"))?;
+            }
+            "--seed" => {
+                seed = args[i + 1]
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 2;
+    }
+
+    let spec = parjoin_datagen::workloads::q1();
+    let db = parjoin_datagen::Scale::tiny().twitter_db(seed);
+    let cluster = Cluster::new(workers).with_transport(TransportKind::InProcess);
+    let opts = PlanOptions {
+        trace_path: Some(out.clone()),
+        ..PlanOptions::default()
+    };
+    let result = run_config(
+        &spec.query,
+        &db,
+        &cluster,
+        ShuffleAlg::HyperCube,
+        JoinAlg::Tributary,
+        &opts,
+    )
+    .map_err(|e| format!("Q1 HC_TJ run failed: {e}"))?;
+
+    print!("{}", result.report());
+
+    // The registry must reconcile exactly with the legacy counters.
+    let tx = result.metric("runtime.tx.bytes");
+    if tx != Some(result.bytes_shuffled) {
+        return Err(format!(
+            "runtime.tx.bytes = {tx:?} but bytes_shuffled = {}",
+            result.bytes_shuffled
+        ));
+    }
+    if result.metric(metric_names::OUTPUT_TUPLES) != Some(result.output_tuples) {
+        return Err("engine.output.tuples does not match output_tuples".into());
+    }
+
+    // The trace must parse and carry one span per phase per worker lane.
+    let text = std::fs::read_to_string(&out)
+        .map_err(|e| format!("cannot read trace {}: {e}", out.display()))?;
+    let summary = summarize_chrome_trace(&text)?;
+    for w in 0..workers as u64 {
+        for phase in ["shuffle", "local-join", "prepare", "probe"] {
+            if summary.count(phase, w) == 0 {
+                return Err(format!("worker {w} has no `{phase}` span"));
+            }
+        }
+    }
+    if summary.count("output", u64::from(COORDINATOR_LANE)) == 0 {
+        return Err("coordinator lane has no `output` span".into());
+    }
+
+    println!(
+        "trace_q1: OK — {} spans across {} worker lanes -> {}",
+        summary.total(),
+        workers,
+        out.display()
+    );
+    Ok(())
+}

@@ -31,7 +31,7 @@ fn run_hc_tj(
         JoinAlg::Tributary,
         opts,
     )
-    .expect("HC_TJ runs")
+    .expect("HC_TJ runs") // xtask: allow(expect): bench driver aborts on failure
 }
 
 /// Ablation 1: Algorithm 1 vs round-down shares, end to end. Uses N = 63
@@ -62,7 +62,7 @@ pub fn share_optimizer(settings: &Settings) {
             spec.name.to_string(),
             format!(
                 "{}",
-                ours.hc_config.as_ref().expect("HC run records its config")
+                ours.hc_config.as_ref().expect("HC run records its config") // xtask: allow(expect): bench driver aborts on failure
             ),
             format!("{:.4}s", ours.wall.as_secs_f64()),
             format!("{naive_cfg}"),
@@ -103,7 +103,7 @@ pub fn order_optimizer(settings: &Settings) {
             scale.freebase_performances = scale.freebase_performances.min(6_000);
         }
         let db = scale.db_for(spec.dataset, settings.seed);
-        let (resolved, _) = resolve_atoms(&spec.query, &db).expect("resolves");
+        let (resolved, _) = resolve_atoms(&spec.query, &db).expect("resolves"); // xtask: allow(expect): bench driver aborts on failure
         let model_atoms: Vec<(&parjoin_common::Relation, Vec<parjoin_query::VarId>)> = resolved
             .iter()
             .map(|a| (a.rel.as_ref(), a.vars.clone()))
@@ -113,8 +113,8 @@ pub fn order_optimizer(settings: &Settings) {
         let sampled = sample_orders(&vars, 20, settings.seed);
         let worst = sampled
             .iter()
-            .max_by(|a, b| model.cost(a).partial_cmp(&model.cost(b)).expect("finite"))
-            .expect("non-empty")
+            .max_by(|a, b| model.cost(a).partial_cmp(&model.cost(b)).expect("finite")) // xtask: allow(expect): bench driver aborts on failure
+            .expect("non-empty") // xtask: allow(expect): bench driver aborts on failure
             .clone();
 
         let good = run_hc_tj(
@@ -172,7 +172,7 @@ pub fn skew_shuffle(settings: &Settings) {
         JoinAlg::Hash,
         &PlanOptions::default(),
     )
-    .expect("RS_HJ");
+    .expect("RS_HJ"); // xtask: allow(expect): bench driver aborts on failure
     let resilient = run_config(
         &spec.query,
         &db,
@@ -184,7 +184,7 @@ pub fn skew_shuffle(settings: &Settings) {
             ..Default::default()
         },
     )
-    .expect("RS_HJ + skew handling");
+    .expect("RS_HJ + skew handling"); // xtask: allow(expect): bench driver aborts on failure
     let peak = |r: &RunResult| {
         r.shuffles
             .iter()

@@ -27,7 +27,7 @@ pub fn run(settings: &Settings) {
             .iter()
             .filter_map(|(n, r)| r.as_ref().ok().map(|r| (*n, r.wall)))
             .min_by_key(|(_, w)| *w)
-            .expect("some plan succeeds");
+            .expect("some plan succeeds"); // xtask: allow(expect): bench driver aborts on failure
         let picked_wall = results
             .iter()
             .find(|(n, _)| {

@@ -21,7 +21,7 @@ pub fn run(settings: &Settings) {
         ("HC_TJ", ShuffleAlg::HyperCube, JoinAlg::Tributary),
         ("BR_HJ", ShuffleAlg::Broadcast, JoinAlg::Hash),
     ] {
-        let r = run_config(&spec.query, &db, &cluster, s, j, &opts).expect(name);
+        let r = run_config(&spec.query, &db, &cluster, s, j, &opts).expect(name); // xtask: allow(expect): bench driver aborts on failure
         let pp = r.prep_probe();
         let sort = pp.prep.as_secs_f64();
         let join = pp.probe.as_secs_f64();

@@ -15,7 +15,7 @@ use parjoin_query::resolve_atoms;
 pub fn share_problem(spec: &QuerySpec, settings: &Settings) -> ShareProblem {
     let scale = scale_for(spec.name, settings.scale);
     let db = scale.db_for(spec.dataset, settings.seed);
-    let (resolved, _) = resolve_atoms(&spec.query, &db).expect("resolves");
+    let (resolved, _) = resolve_atoms(&spec.query, &db).expect("resolves"); // xtask: allow(expect): bench driver aborts on failure
     let cards: Vec<u64> = resolved.iter().map(|a| a.len() as u64).collect();
     ShareProblem::from_query(&spec.query, &cards)
 }

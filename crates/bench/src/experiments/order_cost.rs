@@ -70,6 +70,7 @@ fn resolved_owned(spec: &QuerySpec, settings: &Settings) -> (Vec<(Relation, Vec<
         scale.freebase_performances = scale.freebase_performances.min(6_000);
     }
     let db = scale.db_for(spec.dataset, settings.seed);
+    // xtask: allow(expect): bench driver aborts on failure
     let (resolved, _filters) = resolve_atoms(&spec.query, &db).expect("resolves");
     // The paper's Figure 12 measures the pure join operator, so residual
     // filters are ignored here (they only shrink outputs).

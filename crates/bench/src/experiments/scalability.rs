@@ -13,7 +13,7 @@ pub fn run(settings: &Settings) {
     let spec = parjoin_datagen::workloads::q1();
     let db = settings.scale.twitter_db(settings.seed);
     println!("\n=== Figure 10: Q1 scalability, 2..=64 workers ===");
-    println!("  Twitter edges: {}", db.expect("Twitter").len());
+    println!("  Twitter edges: {}", db.expect("Twitter").len()); // xtask: allow(expect): bench driver aborts on failure
 
     let workers_axis = [2usize, 4, 8, 16, 32, 64];
     let mut rows_a = Vec::new();
@@ -31,7 +31,7 @@ pub fn run(settings: &Settings) {
             JoinAlg::Tributary,
             &PlanOptions::default(),
         )
-        .expect("HC_TJ");
+        .expect("HC_TJ"); // xtask: allow(expect): bench driver aborts on failure
         let rs = run_config(
             &spec.query,
             &db,
@@ -40,7 +40,7 @@ pub fn run(settings: &Settings) {
             JoinAlg::Hash,
             &PlanOptions::default(),
         )
-        .expect("RS_HJ");
+        .expect("RS_HJ"); // xtask: allow(expect): bench driver aborts on failure
         let (hw, rw) = (hc.wall.as_secs_f64(), rs.wall.as_secs_f64());
         let (h0, r0) = *base.get_or_insert((hw, rw));
 

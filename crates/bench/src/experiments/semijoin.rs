@@ -32,7 +32,7 @@ pub fn run(settings: &Settings) {
             JoinAlg::Hash,
             &opts,
         )
-        .expect("RS_HJ");
+        .expect("RS_HJ"); // xtask: allow(expect): bench driver aborts on failure
         let hc = run_config(
             &spec.query,
             &db,
@@ -41,8 +41,8 @@ pub fn run(settings: &Settings) {
             JoinAlg::Tributary,
             &opts,
         )
-        .expect("HC_TJ");
-        let sj = run_semijoin_plan(&spec.query, &db, &cluster, &opts).expect("acyclic");
+        .expect("HC_TJ"); // xtask: allow(expect): bench driver aborts on failure
+        let sj = run_semijoin_plan(&spec.query, &db, &cluster, &opts).expect("acyclic"); // xtask: allow(expect): bench driver aborts on failure
 
         let rows = vec![
             vec![

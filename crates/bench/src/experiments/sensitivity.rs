@@ -20,7 +20,7 @@ use std::time::Duration;
 fn wall(db: &Database, cluster: &Cluster, s: ShuffleAlg, j: JoinAlg) -> f64 {
     let spec = parjoin_datagen::workloads::q1();
     run_config(&spec.query, db, cluster, s, j, &PlanOptions::default())
-        .expect("plan runs")
+        .expect("plan runs") // xtask: allow(expect): bench driver aborts on failure
         .wall
         .as_secs_f64()
 }

@@ -78,7 +78,7 @@ pub fn figure(
     println!("  {}", spec.query);
     let input: u64 = match spec.dataset {
         DatasetKind::Twitter => {
-            let e = db.expect("Twitter").len() as u64;
+            let e = db.expect("Twitter").len() as u64; // xtask: allow(expect): bench driver aborts on failure
             println!("  Twitter edges: {e}  ({} workers)", settings.workers);
             e * spec.query.atoms.len() as u64
         }
@@ -87,7 +87,7 @@ pub fn figure(
                 .query
                 .atoms
                 .iter()
-                .map(|a| db.expect(&a.relation).len() as u64)
+                .map(|a| db.expect(&a.relation).len() as u64) // xtask: allow(expect): bench driver aborts on failure
                 .sum();
             println!(
                 "  Freebase atoms total: {total} tuples  ({} workers)",

@@ -39,7 +39,7 @@ pub fn run(settings: &Settings) {
     let opts = PlanOptions::default();
 
     println!("\n=== Tables 2-4: Q1 shuffle load balance ===");
-    println!("  Twitter edges: {}", db.expect("Twitter").len());
+    println!("  Twitter edges: {}", db.expect("Twitter").len()); // xtask: allow(expect): bench driver aborts on failure
 
     let rs = run_config(
         &spec.query,
@@ -49,7 +49,7 @@ pub fn run(settings: &Settings) {
         JoinAlg::Hash,
         &opts,
     )
-    .expect("RS");
+    .expect("RS"); // xtask: allow(expect): bench driver aborts on failure
     shuffle_table("Table 2: regular shuffles", &rs);
 
     let hc = run_config(
@@ -60,7 +60,7 @@ pub fn run(settings: &Settings) {
         JoinAlg::Tributary,
         &opts,
     )
-    .expect("HC");
+    .expect("HC"); // xtask: allow(expect): bench driver aborts on failure
     shuffle_table("Table 3: HyperCube shuffles", &hc);
 
     let br = run_config(
@@ -71,7 +71,7 @@ pub fn run(settings: &Settings) {
         JoinAlg::Hash,
         &opts,
     )
-    .expect("BR");
+    .expect("BR"); // xtask: allow(expect): bench driver aborts on failure
     shuffle_table("Table 4: broadcast shuffles", &br);
 }
 

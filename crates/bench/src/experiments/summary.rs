@@ -28,7 +28,7 @@ pub fn run(settings: &Settings) {
             .query
             .atoms
             .iter()
-            .map(|a| db.expect(&a.relation).len() as u64)
+            .map(|a| db.expect(&a.relation).len() as u64) // xtask: allow(expect): bench driver aborts on failure
             .sum();
         let rs = get("RS_HJ");
         let hc = get("HC_TJ");

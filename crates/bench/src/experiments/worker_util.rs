@@ -18,6 +18,7 @@ fn profile(name: &str, r: &RunResult) {
         r.wall
     );
     let mut busy: Vec<f64> = r.per_worker_busy.iter().map(|d| d.as_secs_f64()).collect();
+    // xtask: allow(expect): bench driver aborts on failure
     busy.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
     // Print the 8 busiest and 4 idlest workers (a 64-row dump is noise).
     for (i, b) in busy.iter().take(8).enumerate() {
@@ -59,7 +60,7 @@ pub fn run(settings: &Settings) {
         JoinAlg::Tributary,
         &PlanOptions::default(),
     )
-    .expect("HC_TJ");
+    .expect("HC_TJ"); // xtask: allow(expect): bench driver aborts on failure
     let br = run_config(
         &spec.query,
         &db,
@@ -68,7 +69,7 @@ pub fn run(settings: &Settings) {
         JoinAlg::Tributary,
         &PlanOptions::default(),
     )
-    .expect("BR_TJ");
+    .expect("BR_TJ"); // xtask: allow(expect): bench driver aborts on failure
     profile("HC_TJ", &hc);
     profile("BR_TJ", &br);
     println!(

@@ -59,11 +59,11 @@ impl Settings {
                     i += 2;
                 }
                 "--workers" => {
-                    s.workers = args[i + 1].parse().expect("numeric --workers");
+                    s.workers = args[i + 1].parse().expect("numeric --workers"); // xtask: allow(expect): bench driver aborts on failure
                     i += 2;
                 }
                 "--seed" => {
-                    s.seed = args[i + 1].parse().expect("numeric --seed");
+                    s.seed = args[i + 1].parse().expect("numeric --seed"); // xtask: allow(expect): bench driver aborts on failure
                     i += 2;
                 }
                 _ => i += 1,

@@ -17,7 +17,7 @@ pub fn skew(counts: &[u64]) -> f64 {
         return 1.0;
     }
     let avg = total as f64 / counts.len() as f64;
-    let max = *counts.iter().max().expect("non-empty") as f64;
+    let max = counts.iter().copied().max().unwrap_or(0) as f64;
     max / avg
 }
 

@@ -54,6 +54,7 @@ impl ShareProblem {
         self.vars
             .iter()
             .position(|&x| x == v)
+            // Documented API contract (see `# Panics`). xtask: allow(expect)
             .expect("variable not in share problem")
     }
 
@@ -90,6 +91,8 @@ impl ShareProblem {
         let mut budget = vec![1.0; k + 1];
         budget[k] = 0.0;
         lp.constraint(&budget, Cmp::Le, 1.0);
+        // Feasible: all-equal shares satisfy every constraint; bounded:
+        // the simplex is compact. xtask: allow(expect)
         let sol = lp.solve().expect("share LP is always feasible and bounded");
         sol.x[..k].to_vec()
     }
@@ -162,6 +165,7 @@ impl ShareProblem {
         let mut dims = vec![1usize; k];
         let mut best: Option<(f64, usize, Vec<usize>)> = None; // (workload, max_dim, dims)
         self.search(0, n_workers, &mut dims, &mut best);
+        // `search` always scores the all-ones grid. xtask: allow(expect)
         let (_, _, dims) = best.expect("at least the all-ones configuration exists");
         HcConfig::new(self.vars.clone(), dims)
     }

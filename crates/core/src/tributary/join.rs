@@ -194,6 +194,8 @@ impl<'a, A: TrieAtom> Tributary<'a, A> {
                 .into_iter()
                 .map(depth_of)
                 .max()
+                // A comparison filter references at least one variable
+                // by construction of the query AST. xtask: allow(expect)
                 .expect("filter has vars");
             filters_at[d].push(*f);
         }

@@ -127,7 +127,7 @@ pub fn degree_skew(edges: &Relation) -> f64 {
     if counts.is_empty() {
         return 1.0;
     }
-    let max = *counts.values().max().expect("non-empty") as f64;
+    let max = counts.values().copied().max().unwrap_or(0) as f64;
     let avg = edges.len() as f64 / counts.len() as f64;
     max / avg
 }

@@ -28,6 +28,10 @@ pub enum EngineError {
     /// The worker runtime failed mid-shuffle (peer death, timeout, wire
     /// corruption) or could not be constructed.
     Transport(RuntimeError),
+    /// The chrome-trace file requested via
+    /// [`PlanOptions::trace_path`](crate::PlanOptions) could not be
+    /// written. The query itself completed; only the trace export failed.
+    Trace(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -51,6 +55,7 @@ impl std::fmt::Display for EngineError {
                 Ok(())
             }
             EngineError::Transport(e) => write!(f, "transport error: {e}"),
+            EngineError::Trace(m) => write!(f, "trace export failed: {m}"),
         }
     }
 }

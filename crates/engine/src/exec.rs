@@ -14,10 +14,11 @@
 //! runtime of the slowest worker").
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
 use parjoin_analyze::{DiagCode, Diagnostic};
+use parjoin_obs::{Lane, TraceSink};
 
 /// Pool width for a phase over `workers` simulated workers: the host's
 /// available parallelism, clamped to `[1, workers]`. Falls back to a
@@ -78,6 +79,28 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    // One shared disabled sink keeps the untraced path allocation-free.
+    static DISABLED: OnceLock<Arc<TraceSink>> = OnceLock::new();
+    let sink = DISABLED.get_or_init(TraceSink::disabled);
+    run_phase_traced(workers, sink, "phase", |w, _| f(w))
+}
+
+/// [`run_phase`] with tracing: each worker task gets a [`Lane`] keyed by
+/// its worker id and runs inside a `name` span, so per-phase per-worker
+/// slices land in the chrome trace. `f` may open nested spans (or
+/// [`Lane::record`] synthesized ones) on the lane it receives. With a
+/// disabled sink this is exactly `run_phase` — no clock reads, no
+/// allocation beyond it.
+pub fn run_phase_traced<T, F>(
+    workers: usize,
+    trace: &Arc<TraceSink>,
+    name: &'static str,
+    f: F,
+) -> PhaseResult<T>
+where
+    T: Send,
+    F: Fn(usize, &Lane) -> T + Sync,
+{
     let threads = pool_threads(
         workers,
         std::thread::available_parallelism().ok().map(|n| n.get()),
@@ -92,18 +115,26 @@ where
                 if w >= workers {
                     break;
                 }
+                let lane = trace.lane(w as u32);
                 let t0 = Instant::now();
-                let r = f(w);
+                let span = lane.span(name, "engine");
+                let r = f(w, &lane);
+                drop(span);
                 let dt = t0.elapsed();
-                slots.lock().expect("no poisoned workers")[w] = Some((r, dt));
+                // A poisoned lock here means another worker task panicked,
+                // which the scope will re-raise on join; the partial state
+                // behind the lock is still internally consistent.
+                slots.lock().unwrap_or_else(PoisonError::into_inner)[w] = Some((r, dt));
             });
         }
     });
 
     let mut results = Vec::with_capacity(workers);
     let mut busy = Vec::with_capacity(workers);
-    for slot in slots.into_inner().expect("scope joined") {
-        let (r, d) = slot.expect("every worker ran");
+    for slot in slots.into_inner().unwrap_or_else(PoisonError::into_inner) {
+        // The cursor hands every index in 0..workers to exactly one pool
+        // thread and the scope joins them all, so each slot is filled.
+        let (r, d) = slot.expect("every worker ran"); // xtask: allow(expect)
         results.push(r);
         busy.push(d);
     }
@@ -151,6 +182,29 @@ mod tests {
         assert_eq!(pool_threads(2, Some(16)), 2);
         assert_eq!(pool_threads(8, None), 1);
         assert_eq!(pool_threads(1, Some(0)), 1);
+    }
+
+    #[test]
+    fn traced_phase_records_one_span_per_worker() {
+        let trace = TraceSink::enabled();
+        let p = run_phase_traced(4, &trace, "local-join", |w, lane| {
+            drop(lane.span("probe", "engine"));
+            w
+        });
+        assert_eq!(p.results, vec![0, 1, 2, 3]);
+        let events = trace.events();
+        for w in 0..4u32 {
+            let on_lane = |n: &str| events.iter().filter(|e| e.name == n && e.lane == w).count();
+            assert_eq!(on_lane("local-join"), 1);
+            assert_eq!(on_lane("probe"), 1);
+        }
+        assert!(
+            events
+                .iter()
+                .filter(|e| e.name == "probe")
+                .all(|e| e.depth == 1),
+            "nested spans sit one level below the phase span"
+        );
     }
 
     #[test]

@@ -65,6 +65,7 @@ pub use cluster::Cluster;
 pub use dist::DistRel;
 pub use error::EngineError;
 pub use parjoin_analyze::{DiagCode, Diagnostic, Severity};
+pub use parjoin_obs as obs;
 pub use parjoin_runtime::TransportKind;
-pub use plans::{run_config, JoinAlg, PlanOptions, PrepProbe, RunResult, ShuffleAlg};
+pub use plans::{metric_names, run_config, JoinAlg, PlanOptions, PrepProbe, RunResult, ShuffleAlg};
 pub use sortcache::SortCache;

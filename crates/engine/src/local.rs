@@ -36,9 +36,10 @@ impl SchemaRel {
         let lookups: Vec<(usize, parjoin_query::CmpOp, Operand2)> = filters
             .iter()
             .map(|f| {
-                let l = self.col_of(f.left).expect("filter var bound");
+                let l = self.col_of(f.left).expect("filter var bound"); // xtask: allow(expect): analyzer-verified binding
                 let r = match f.right {
                     parjoin_query::Operand::Var(v) => {
+                        // xtask: allow(expect): analyzer-verified binding
                         Operand2::Col(self.col_of(v).expect("filter var bound"))
                     }
                     parjoin_query::Operand::Const(c) => Operand2::Const(c),
@@ -65,7 +66,7 @@ impl SchemaRel {
     pub fn project(&self, keep: &[VarId]) -> SchemaRel {
         let cols: Vec<usize> = keep
             .iter()
-            .map(|&v| self.col_of(v).expect("projection var bound"))
+            .map(|&v| self.col_of(v).expect("projection var bound")) // xtask: allow(expect): analyzer-verified binding
             .collect();
         SchemaRel {
             vars: keep.to_vec(),
@@ -230,11 +231,11 @@ impl<'a> HashJoinShape<'a> {
         };
         let build_cols: Vec<usize> = on
             .iter()
-            .map(|&v| build.col_of(v).expect("shared"))
+            .map(|&v| build.col_of(v).expect("shared")) // xtask: allow(expect): analyzer-verified binding
             .collect();
         let probe_cols: Vec<usize> = on
             .iter()
-            .map(|&v| probe.col_of(v).expect("shared"))
+            .map(|&v| probe.col_of(v).expect("shared")) // xtask: allow(expect): analyzer-verified binding
             .collect();
         let table = JoinTable::build(&build.rel, &build_cols, seed);
         let (vars, b_only_cols) = output_schema(a, b);
@@ -326,8 +327,8 @@ pub fn merge_join(a: &SchemaRel, b: &SchemaRel, _seed: u64) -> (SchemaRel, u64, 
         // Degenerate to a cartesian product via hash join with empty key.
         return (hash_join(a, b, 0), 0, Duration::ZERO);
     }
-    let a_cols: Vec<usize> = on.iter().map(|&v| a.col_of(v).expect("shared")).collect();
-    let b_cols: Vec<usize> = on.iter().map(|&v| b.col_of(v).expect("shared")).collect();
+    let a_cols: Vec<usize> = on.iter().map(|&v| a.col_of(v).expect("shared")).collect(); // xtask: allow(expect): analyzer-verified binding
+    let b_cols: Vec<usize> = on.iter().map(|&v| b.col_of(v).expect("shared")).collect(); // xtask: allow(expect): analyzer-verified binding
 
     // Index-sort both sides with the radix kernels of `common::sort`:
     // project the key columns into a contiguous row-major buffer (radix
@@ -401,8 +402,8 @@ impl SemijoinShape {
         if on.is_empty() {
             return None;
         }
-        let b_cols: Vec<usize> = on.iter().map(|&v| b.col_of(v).expect("shared")).collect();
-        let a_cols: Vec<usize> = on.iter().map(|&v| a.col_of(v).expect("shared")).collect();
+        let b_cols: Vec<usize> = on.iter().map(|&v| b.col_of(v).expect("shared")).collect(); // xtask: allow(expect): analyzer-verified binding
+        let a_cols: Vec<usize> = on.iter().map(|&v| a.col_of(v).expect("shared")).collect(); // xtask: allow(expect): analyzer-verified binding
         Some(SemijoinShape {
             a_cols,
             table: JoinTable::build(&b.rel, &b_cols, seed),

@@ -23,7 +23,7 @@
 use crate::cluster::Cluster;
 use crate::dist::DistRel;
 use crate::error::EngineError;
-use crate::exec::{parallelism_warning, run_phase};
+use crate::exec::{parallelism_warning, run_phase_traced};
 use crate::local::{hash_join, merge_join, SchemaRel};
 use crate::prepare;
 use crate::probe;
@@ -34,9 +34,13 @@ use parjoin_common::{Relation, ShuffleStats};
 use parjoin_core::hypercube::{HcConfig, ShareProblem};
 use parjoin_core::order::{best_order, OrderCostModel};
 use parjoin_core::tributary::{SortedAtom, Tributary};
+use parjoin_obs::{Registry, TraceSink, COORDINATOR_LANE};
 use parjoin_query::{resolve_atoms, ConjunctiveQuery, Filter, VarId};
-use parjoin_runtime::{Runtime, RuntimeConfig};
-use std::time::Duration;
+use parjoin_runtime::{Runtime, RuntimeConfig, RuntimeObs};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Shuffle algorithm (§3's three contenders).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -143,6 +147,13 @@ pub struct PlanOptions {
     /// benchmarks that must exercise a fixed thread count regardless of
     /// the machine they run on.
     pub probe_threads: Option<usize>,
+    /// Write a chrome://tracing / Perfetto-loadable JSON trace of the run
+    /// to this path. Tracing is enabled **only** when this is set; with
+    /// `None` the span machinery stays disabled and costs nothing on the
+    /// hot path. Per-worker phase spans (`shuffle` on streaming
+    /// transports, `prepare`, `probe`) appear one chrome "thread" per
+    /// simulated worker, coordinator work on its own lane.
+    pub trace_path: Option<PathBuf>,
 }
 
 impl PlanOptions {
@@ -213,6 +224,93 @@ pub struct RunResult {
     /// above the number of probe operations mean morsel parallelism
     /// actually split work.
     pub probe_morsels: u64,
+    /// Name-sorted snapshot of the run's metrics registry: the
+    /// `runtime.*` transport counters plus `engine.*` mirrors of the
+    /// legacy fields above (see [`metric_names`]). The mirrors reconcile
+    /// exactly — e.g. `engine.bytes.shuffled` equals [`bytes_shuffled`]
+    /// (self.bytes_shuffled), and under a streaming transport both equal
+    /// `runtime.tx.bytes`.
+    pub metrics: Vec<(String, u64)>,
+}
+
+/// Canonical names of the `engine.*` registry metrics every run snapshots
+/// into [`RunResult::metrics`] (alongside the runtime's
+/// [`parjoin_runtime::metrics::names`]).
+pub mod metric_names {
+    /// Mirror of [`RunResult::tuples_shuffled`](super::RunResult).
+    pub const TUPLES_SHUFFLED: &str = "engine.tuples.shuffled";
+    /// Mirror of [`RunResult::bytes_shuffled`](super::RunResult).
+    pub const BYTES_SHUFFLED: &str = "engine.bytes.shuffled";
+    /// Mirror of [`RunResult::output_tuples`](super::RunResult).
+    pub const OUTPUT_TUPLES: &str = "engine.output.tuples";
+    /// Mirror of [`RunResult::rounds`](super::RunResult).
+    pub const ROUNDS: &str = "engine.rounds";
+    /// Number of shuffles executed (`RunResult::shuffles.len()`).
+    pub const SHUFFLES: &str = "engine.shuffles";
+    /// Mirror of [`RunResult::sort_cache_hits`](super::RunResult).
+    pub const SORT_CACHE_HITS: &str = "engine.sortcache.hits";
+    /// Mirror of [`RunResult::sort_cache_misses`](super::RunResult).
+    pub const SORT_CACHE_MISSES: &str = "engine.sortcache.misses";
+    /// Mirror of [`RunResult::probe_morsels`](super::RunResult).
+    pub const PROBE_MORSELS: &str = "engine.probe.morsels";
+    /// Mirror of [`RunResult::probe_threads`](super::RunResult).
+    pub const PROBE_THREADS: &str = "engine.probe.threads";
+    /// Mirror of [`RunResult::peak_worker_tuples`](super::RunResult).
+    pub const PEAK_WORKER_TUPLES: &str = "engine.peak_worker_tuples";
+}
+
+/// Per-run observability state: one [`Registry`] and one [`TraceSink`],
+/// created by [`run_config`] and threaded through the plan. Deliberately
+/// per-run rather than process-global — parallel tests (and parallel
+/// plans) would otherwise race their tallies, breaking the exact
+/// reconciliation `RunResult::metrics` promises.
+pub(crate) struct RunObs {
+    pub(crate) registry: Registry,
+    pub(crate) trace: Arc<TraceSink>,
+}
+
+impl RunObs {
+    pub(crate) fn new(trace_enabled: bool) -> RunObs {
+        RunObs {
+            registry: Registry::new(),
+            trace: if trace_enabled {
+                TraceSink::enabled()
+            } else {
+                TraceSink::disabled()
+            },
+        }
+    }
+
+    /// The bundle the worker runtime reports into.
+    pub(crate) fn runtime_obs(&self) -> RuntimeObs {
+        RuntimeObs::on_registry(&self.registry, Arc::clone(&self.trace))
+    }
+
+    /// Mirrors the legacy `RunResult` tallies onto the registry (under
+    /// [`metric_names`]) and snapshots everything into
+    /// `result.metrics`. Called exactly once per registry, after all
+    /// phases (including any semijoin pre-passes) have been absorbed.
+    pub(crate) fn finalize(&self, result: &mut RunResult) {
+        let reg = &self.registry;
+        reg.add(metric_names::TUPLES_SHUFFLED, result.tuples_shuffled);
+        reg.add(metric_names::BYTES_SHUFFLED, result.bytes_shuffled);
+        reg.add(metric_names::OUTPUT_TUPLES, result.output_tuples);
+        reg.add(metric_names::ROUNDS, u64::from(result.rounds));
+        reg.add(metric_names::SHUFFLES, result.shuffles.len() as u64);
+        reg.add(metric_names::SORT_CACHE_HITS, result.sort_cache_hits);
+        reg.add(metric_names::SORT_CACHE_MISSES, result.sort_cache_misses);
+        reg.add(metric_names::PROBE_MORSELS, result.probe_morsels);
+        reg.add(metric_names::PROBE_THREADS, result.probe_threads);
+        reg.add(metric_names::PEAK_WORKER_TUPLES, result.peak_worker_tuples);
+        result.metrics = reg.snapshot();
+    }
+
+    /// Writes the chrome trace to `path` (no-op when `None`).
+    pub(crate) fn write_trace(&self, path: Option<&Path>) -> Result<(), EngineError> {
+        let Some(path) = path else { return Ok(()) };
+        std::fs::write(path, self.trace.chrome_trace_json())
+            .map_err(|e| EngineError::Trace(format!("writing {}: {e}", path.display())))
+    }
 }
 
 /// Prep-vs-probe decomposition of a run's local-join CPU — the shape of
@@ -260,7 +358,107 @@ impl RunResult {
             sort_cache_misses: 0,
             probe_threads: 1,
             probe_morsels: 0,
+            metrics: Vec::new(),
         }
+    }
+
+    /// Looks up one metric from [`RunResult::metrics`] by canonical name
+    /// (a [`metric_names`] constant or a `runtime.*` name from
+    /// [`parjoin_runtime::metrics::names`]). `None` if the run never
+    /// registered it (e.g. `runtime.*` counters under the Local
+    /// transport, which constructs no runtime).
+    pub fn metric(&self, name: &str) -> Option<u64> {
+        self.metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// A human-readable run report: totals, the per-phase CPU breakdown,
+    /// the per-worker load table, the max-vs-mean load skew (the
+    /// quantity Algorithm 1 minimizes), and every registry counter.
+    pub fn report(&self) -> String {
+        let mut s = String::new();
+        // Writing into a String cannot fail; discard the fmt plumbing.
+        let _ = writeln!(s, "== {} ==", self.config);
+        let _ = writeln!(
+            s,
+            "wall {:?}   cpu {:?}   rounds {}   output {} tuples",
+            self.wall, self.total_cpu, self.rounds, self.output_tuples
+        );
+        let _ = writeln!(
+            s,
+            "shuffled {} tuples ({} bytes) over {} shuffle(s)",
+            self.tuples_shuffled,
+            self.bytes_shuffled,
+            self.shuffles.len()
+        );
+        let _ = writeln!(
+            s,
+            "sort-cache {} hit(s) / {} miss(es)   probe {} thread(s), {} morsel(s)",
+            self.sort_cache_hits, self.sort_cache_misses, self.probe_threads, self.probe_morsels
+        );
+
+        let share = |d: Duration| -> f64 {
+            let total = self.total_cpu.as_secs_f64();
+            if total == 0.0 {
+                0.0
+            } else {
+                100.0 * d.as_secs_f64() / total
+            }
+        };
+        let _ = writeln!(s, "\n{:<12} {:>14} {:>7}", "phase", "cpu", "share");
+        for (name, cpu) in [
+            ("network", self.net_cpu()),
+            ("sort(prep)", self.sort_cpu()),
+            ("join(probe)", self.join_cpu()),
+        ] {
+            let _ = writeln!(
+                s,
+                "{name:<12} {:>14} {:>6.1}%",
+                format!("{cpu:?}"),
+                share(cpu)
+            );
+        }
+
+        let _ = writeln!(
+            s,
+            "\n{:<7} {:>14} {:>14} {:>14} {:>14}",
+            "worker", "busy", "net", "sort", "join"
+        );
+        for w in 0..self.per_worker_busy.len() {
+            let _ = writeln!(
+                s,
+                "{w:<7} {:>14} {:>14} {:>14} {:>14}",
+                format!("{:?}", self.per_worker_busy[w]),
+                format!("{:?}", self.per_worker_net[w]),
+                format!("{:?}", self.per_worker_sort[w]),
+                format!("{:?}", self.per_worker_join[w]),
+            );
+        }
+        let workers = self.per_worker_busy.len().max(1);
+        let max = self
+            .per_worker_busy
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or_default()
+            .as_secs_f64();
+        let mean = self.total_cpu.as_secs_f64() / workers as f64;
+        if mean > 0.0 {
+            // The load-balance quantity of the paper's Algorithm 1: how
+            // much the straggler exceeds the average worker.
+            let _ = writeln!(s, "load skew (max/mean busy): {:.2}", max / mean);
+        }
+
+        if !self.metrics.is_empty() {
+            let width = self.metrics.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+            let _ = writeln!(s, "\ncounters:");
+            for (name, value) in &self.metrics {
+                let _ = writeln!(s, "  {name:<width$}  {value}");
+            }
+        }
+        s
     }
 
     /// Total network-handling CPU across workers.
@@ -360,10 +558,11 @@ pub fn default_join_order(atom_vars: &[Vec<VarId>], cards: &[u64]) -> Vec<usize>
     let n = atom_vars.len();
     assert_eq!(cards.len(), n);
     let mut remaining: Vec<usize> = (0..n).collect();
+    // Callers pass resolved queries, which have at least one atom.
     let first = *remaining
         .iter()
         .min_by_key(|&&i| cards[i])
-        .expect("at least one atom");
+        .expect("at least one atom"); // xtask: allow(expect)
     let mut order = vec![first];
     remaining.retain(|&i| i != first);
     let mut bound: Vec<VarId> = atom_vars[first].clone();
@@ -381,7 +580,7 @@ pub fn default_join_order(atom_vars: &[Vec<VarId>], cards: &[u64]) -> Vec<usize>
         let next = *pool
             .iter()
             .min_by_key(|&&i| cards[i])
-            .expect("non-empty pool");
+            .expect("non-empty pool"); // xtask: allow(expect)
         order.push(next);
         remaining.retain(|&i| i != next);
         for &v in &atom_vars[next] {
@@ -414,10 +613,12 @@ pub fn greedy_join_order(atoms: &[(Vec<VarId>, &Relation)]) -> Vec<usize> {
     let card = |i: usize| atoms[i].1.len() as f64;
 
     let mut remaining: Vec<usize> = (0..n).collect();
+    // total_cmp needs no finiteness assumption (scores can be +inf for
+    // disconnected atoms), and resolved queries have at least one atom.
     let first = *remaining
         .iter()
-        .min_by(|&&a, &&b| card(a).partial_cmp(&card(b)).expect("finite"))
-        .expect("at least one atom");
+        .min_by(|&&a, &&b| card(a).total_cmp(&card(b)))
+        .expect("at least one atom"); // xtask: allow(expect)
     let mut order = vec![first];
     remaining.retain(|&i| i != first);
     let mut bound: Vec<VarId> = atoms[first].0.clone();
@@ -444,19 +645,17 @@ pub fn greedy_join_order(atoms: &[(Vec<VarId>, &Relation)]) -> Vec<usize> {
             .iter()
             .min_by(|&&a, &&b| {
                 let (sa, sb) = (score(a), score(b));
-                sa.partial_cmp(&sb)
-                    .expect("finite")
-                    .then(card(a).partial_cmp(&card(b)).expect("finite"))
+                sa.total_cmp(&sb).then(card(a).total_cmp(&card(b)))
             })
-            .expect("non-empty");
-        // If everything is disconnected, fall back to the smallest atom.
+            .expect("non-empty"); // xtask: allow(expect)
+                                  // If everything is disconnected, fall back to the smallest atom.
         let next = if connected_exists {
             next
         } else {
             *remaining
                 .iter()
-                .min_by(|&&a, &&b| card(a).partial_cmp(&card(b)).expect("finite"))
-                .expect("non-empty")
+                .min_by(|&&a, &&b| card(a).total_cmp(&card(b)))
+                .expect("non-empty") // xtask: allow(expect)
         };
         order.push(next);
         remaining.retain(|&i| i != next);
@@ -551,6 +750,26 @@ pub fn run_config(
     join_alg: JoinAlg,
     opts: &PlanOptions,
 ) -> Result<RunResult, EngineError> {
+    let obs = RunObs::new(opts.trace_path.is_some());
+    let mut result = run_config_with_obs(query, db, cluster, shuffle_alg, join_alg, opts, &obs)?;
+    obs.finalize(&mut result);
+    obs.write_trace(opts.trace_path.as_deref())?;
+    Ok(result)
+}
+
+/// [`run_config`] against a caller-owned [`RunObs`]. The caller finalizes
+/// (and exports) — this is how the semijoin plan shares one registry and
+/// one trace between its reduction passes and the final join.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_config_with_obs(
+    query: &ConjunctiveQuery,
+    db: &parjoin_common::Database,
+    cluster: &Cluster,
+    shuffle_alg: ShuffleAlg,
+    join_alg: JoinAlg,
+    opts: &PlanOptions,
+    obs: &RunObs,
+) -> Result<RunResult, EngineError> {
     let (resolved, residual) = resolve_atoms(query, db)?;
     let atom_vars: Vec<Vec<VarId>> = resolved.iter().map(|a| a.vars.clone()).collect();
     let cards: Vec<u64> = resolved.iter().map(|a| a.len() as u64).collect();
@@ -599,6 +818,7 @@ pub fn run_config(
             workers: cluster.workers,
             transport: cluster.transport,
             batch_tuples: cluster.batch_tuples,
+            obs: obs.runtime_obs(),
             ..RuntimeConfig::default()
         })?)
     } else {
@@ -621,6 +841,7 @@ pub fn run_config(
             seeded,
             residual,
             rt.as_ref(),
+            obs,
             &mut result,
         )?,
         ShuffleAlg::Broadcast | ShuffleAlg::HyperCube => run_one_round(
@@ -635,6 +856,7 @@ pub fn run_config(
             seeded,
             residual,
             rt.as_ref(),
+            obs,
             &mut result,
         )?,
     }
@@ -668,6 +890,7 @@ fn run_regular(
     seeded: Vec<DistRel>,
     mut pending: Vec<Filter>,
     rt: Option<&Runtime>,
+    obs: &RunObs,
     result: &mut RunResult,
 ) -> Result<(), EngineError> {
     assert_eq!(
@@ -677,7 +900,15 @@ fn run_regular(
     );
 
     let mut seeded: Vec<Option<DistRel>> = seeded.into_iter().map(Some).collect();
-    let mut cur = seeded[order[0]].take().expect("first atom present");
+    // The analyzer vets the join order (a permutation of the atoms), so
+    // these lookups cannot miss through `run_config`; a malformed order
+    // reaching this internal function directly is still a typed error.
+    let Some(mut cur) = seeded[order[0]].take() else {
+        return Err(EngineError::Unsupported(format!(
+            "join order reuses atom {}",
+            order[0]
+        )));
+    };
     let mut cur_label = query.atoms[order[0]].relation.clone();
 
     // Filters already covered by the first atom alone (e.g. a var-var
@@ -700,7 +931,11 @@ fn run_regular(
     }
 
     for &ai in &order[1..] {
-        let next = seeded[ai].take().expect("atom used once");
+        let Some(next) = seeded[ai].take() else {
+            return Err(EngineError::Unsupported(format!(
+                "join order reuses atom {ai}"
+            )));
+        };
         let next_label = &query.atoms[ai].relation;
         let shared: Vec<VarId> = cur
             .vars
@@ -774,7 +1009,7 @@ fn run_regular(
         let ready = take_ready_filters(&mut pending, &out_schema);
         let seed = cluster.seed;
         let probe_threads = opts.effective_probe_threads(cluster.workers);
-        let phase = run_phase(cluster.workers, |w| {
+        let phase = run_phase_traced(cluster.workers, &obs.trace, "local-join", |w, lane| {
             let a = SchemaRel {
                 vars: cur_s.vars.clone(),
                 rel: cur_s.parts[w].clone(),
@@ -785,11 +1020,20 @@ fn run_regular(
             };
             let (joined, sort_buf, sort_time, morsels) = match join_alg {
                 JoinAlg::Hash => {
+                    let probe_span = lane.span("probe", "engine");
                     let (j, m) = probe::hash_join_parallel(&a, &b, seed, probe_threads);
+                    drop(probe_span);
                     (j, 0, Duration::ZERO, m)
                 }
                 JoinAlg::Tributary => {
+                    // merge_join times its own sorting internally, so the
+                    // prepare/probe split is synthesized from its report
+                    // rather than measured by RAII spans.
+                    let t0 = Instant::now();
                     let (j, buf, t) = merge_join(&a, &b, seed);
+                    let elapsed = t0.elapsed();
+                    lane.record("prepare", "engine", t0, t);
+                    lane.record("probe", "engine", t0 + t, elapsed.saturating_sub(t));
                     (j, buf, t, 1)
                 }
             };
@@ -847,7 +1091,7 @@ fn run_regular(
         ));
     }
 
-    finish_output(query, cluster, opts, cur, result);
+    finish_output(query, cluster, opts, cur, obs, result);
     Ok(())
 }
 
@@ -866,6 +1110,7 @@ fn run_one_round(
     seeded: Vec<DistRel>,
     pending: Vec<Filter>,
     rt: Option<&Runtime>,
+    obs: &RunObs,
     result: &mut RunResult,
 ) -> Result<(), EngineError> {
     // Tributary global variable order (cost-model optimized once on the
@@ -890,13 +1135,15 @@ fn run_one_round(
     let mut local_order: Vec<usize> = local_order.to_vec();
     let shuffled: Vec<DistRel> = match shuffle_alg {
         ShuffleAlg::Broadcast => {
+            // Queries have at least one atom (the parser and analyzer
+            // both enforce it), so the max exists.
             let largest = (0..cards.len())
                 .max_by_key(|&i| cards[i])
-                .expect("at least one atom");
-            // Root the local hash tree at the partitioned fragment so
-            // every worker's intermediates stay ~1/p-sized (the broadcast
-            // plan's whole point); full-copy atoms only extend it. This
-            // mirrors Myria's fact-table-first broadcast plans.
+                .expect("at least one atom"); // xtask: allow(expect)
+                                              // Root the local hash tree at the partitioned fragment so
+                                              // every worker's intermediates stay ~1/p-sized (the broadcast
+                                              // plan's whole point); full-copy atoms only extend it. This
+                                              // mirrors Myria's fact-table-first broadcast plans.
             local_order = rooted_order(atom_vars, largest);
             let mut out = Vec::with_capacity(seeded.len());
             for (i, d) in seeded.into_iter().enumerate() {
@@ -985,7 +1232,7 @@ fn run_one_round(
     // The probe phase claims those same leftover cores (crate::probe).
     let probe_threads = opts.effective_probe_threads(cluster.workers);
     let budget = cluster.memory_budget;
-    let phase = run_phase(cluster.workers, |w| {
+    let phase = run_phase_traced(cluster.workers, &obs.trace, "local-join", |w, lane| {
         let locals: Vec<SchemaRel> = shuffled
             .iter()
             .map(|d| SchemaRel {
@@ -1003,6 +1250,7 @@ fn run_one_round(
                 }
                 let mut live: u64 = locals.iter().map(|l| l.rel.len() as u64).sum();
                 let mut morsels = 0u64;
+                let probe_span = lane.span("probe", "engine");
                 for &ai in &local_order[1..] {
                     let (joined, m) =
                         probe::hash_join_parallel(&cur, &locals[ai], seed, probe_threads);
@@ -1018,14 +1266,17 @@ fn run_one_round(
                             + cur.rel.len() as u64,
                     );
                 }
+                drop(probe_span);
                 let out = cur.project(&head);
                 (out.rel, live, Duration::ZERO, 0u64, 0u64, morsels)
             }
             JoinAlg::Tributary => {
-                let order = tj_order.as_ref().expect("TJ order computed");
-                // Restrict the order to variables present locally (all of
-                // them, for full queries).
+                // Computed unconditionally above for Tributary plans.
+                let order = tj_order.as_ref().expect("TJ order computed"); // xtask: allow(expect)
+                                                                           // Restrict the order to variables present locally (all of
+                                                                           // them, for full queries).
                 let (mut hits, mut misses) = (0u64, 0u64);
+                let prep_span = lane.span("prepare", "engine");
                 let t_sort = std::time::Instant::now();
                 let prepared: Vec<SortedAtom> = locals
                     .iter()
@@ -1058,6 +1309,7 @@ fn run_one_round(
                     })
                     .collect();
                 let sort_time = t_sort.elapsed();
+                drop(prep_span);
                 #[cfg(feature = "strict-invariants")]
                 for (i, sa) in prepared.iter().enumerate() {
                     assert!(
@@ -1067,8 +1319,10 @@ fn run_one_round(
                     );
                 }
                 let live: u64 = locals.iter().map(|l| 2 * l.rel.len() as u64).sum::<u64>();
+                let probe_span = lane.span("probe", "engine");
                 let tj = Tributary::new(&prepared, order, &pending, num_vars);
                 let probed = probe::tributary_probe(&tj, &prepared, &head, probe_threads);
+                drop(probe_span);
                 let live = live + probed.rel.len() as u64;
                 (probed.rel, live, sort_time, hits, misses, probed.morsels)
             }
@@ -1092,7 +1346,7 @@ fn run_one_round(
         vars: head,
         parts: outputs,
     };
-    finish_output(query, cluster, opts, out, result);
+    finish_output(query, cluster, opts, out, obs, result);
     Ok(())
 }
 
@@ -1103,8 +1357,13 @@ fn finish_output(
     cluster: &Cluster,
     opts: &PlanOptions,
     cur: DistRel,
+    obs: &RunObs,
     result: &mut RunResult,
 ) {
+    // Output projection/aggregation/gathering is coordinator work: it
+    // gets the coordinator lane, not a worker lane.
+    let lane = obs.trace.lane(COORDINATOR_LANE);
+    let _span = lane.span("output", "engine");
     let head = query.output_vars();
     let needs_project = cur.vars != head;
     let projected: DistRel = if needs_project {

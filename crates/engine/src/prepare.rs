@@ -66,6 +66,9 @@ pub fn sorted_by_columns_parallel(rel: &Relation, cols: &[usize], threads: usize
             })
             .collect();
         for h in handles {
+            // A failed join means the sort thread panicked; re-raising
+            // the panic here is the correct propagation.
+            // xtask: allow(expect)
             runs.push(h.join().expect("chunk sort thread"));
         }
     });
@@ -90,6 +93,7 @@ pub fn sorted_by_columns_parallel(rel: &Relation, cols: &[usize], threads: usize
             }
             for (i, h) in handles.into_iter().enumerate() {
                 match h {
+                    // Propagates a merge-thread panic. xtask: allow(expect)
                     Some(h) => next.push(h.join().expect("merge thread")),
                     None => next.push(runs[2 * i].clone()),
                 }

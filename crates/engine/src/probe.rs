@@ -34,7 +34,7 @@ use parjoin_common::{Relation, Value};
 use parjoin_core::tributary::{SortedAtom, Tributary};
 use parjoin_query::VarId;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Minimum probe-side rows (hash join/semijoin) or split-trie rows
 /// (Tributary) before morsel dispatch pays for its thread handoffs.
@@ -111,14 +111,16 @@ where
                     break;
                 }
                 let r = f(m);
-                slots.lock().expect("no poisoned morsels")[m] = Some(r);
+                slots.lock().unwrap_or_else(PoisonError::into_inner)[m] = Some(r);
             });
         }
     });
     slots
         .into_inner()
-        .expect("scope joined")
+        .unwrap_or_else(PoisonError::into_inner)
         .into_iter()
+        // The cursor hands out every index in 0..n exactly once and the
+        // scope joins all workers before this runs. xtask: allow(expect)
         .map(|s| s.expect("every morsel ran"))
         .collect()
 }
@@ -187,6 +189,8 @@ pub fn tributary_probe(
         out
     });
     let mut it = parts.into_iter();
+    // `scatter` returns one part per morsel and at least one
+    // morsel always exists. xtask: allow(expect)
     let mut rel = it.next().expect("at least one morsel");
     for p in it {
         rel.extend_from(&p);
@@ -223,6 +227,8 @@ pub fn hash_join_parallel(
         shape.probe_range(m * per, ((m + 1) * per).min(n))
     });
     let mut it = parts.into_iter();
+    // `scatter` returns one part per morsel and at least one
+    // morsel always exists. xtask: allow(expect)
     let mut rel = it.next().expect("at least one morsel");
     for p in it {
         rel.extend_from(&p);
@@ -263,6 +269,8 @@ pub fn semijoin_parallel(
         shape.filter_range(a, m * per, ((m + 1) * per).min(n))
     });
     let mut it = parts.into_iter();
+    // `scatter` returns one part per morsel and at least one
+    // morsel always exists. xtask: allow(expect)
     let mut rel = it.next().expect("at least one morsel");
     for p in it {
         rel.extend_from(&p);

@@ -17,9 +17,9 @@
 use crate::cluster::Cluster;
 use crate::dist::DistRel;
 use crate::error::EngineError;
-use crate::exec::run_phase;
+use crate::exec::run_phase_traced;
 use crate::local::SchemaRel;
-use crate::plans::{run_config, JoinAlg, PlanOptions, RunResult, ShuffleAlg};
+use crate::plans::{run_config_with_obs, JoinAlg, PlanOptions, RunObs, RunResult, ShuffleAlg};
 use crate::probe;
 use crate::shuffle;
 use parjoin_common::Database;
@@ -52,6 +52,7 @@ fn distributed_semijoin(
     cluster: &Cluster,
     label: &str,
     probe_threads: usize,
+    obs: &RunObs,
 ) -> (
     DistRel,
     parjoin_common::ShuffleStats,
@@ -85,7 +86,7 @@ fn distributed_semijoin(
 
     // Local semijoin (morsel-parallel over the target's rows).
     let seed = cluster.seed;
-    let phase = run_phase(cluster.workers, |w| {
+    let phase = run_phase_traced(cluster.workers, &obs.trace, "semijoin", |w, _lane| {
         let t = SchemaRel {
             vars: tgt_s.vars.clone(),
             rel: tgt_s.parts[w].clone(),
@@ -140,6 +141,11 @@ pub fn run_semijoin_plan(
     let mut input_tuples = 0u64;
     let mut sj_morsels = 0u64;
     let probe_threads = opts.effective_probe_threads(cluster.workers);
+    // One registry and one trace span the whole plan — reduction passes
+    // and final join — so the exported metrics and chrome trace cover the
+    // semijoin work too (the final join's legacy counters are folded into
+    // `run` below, and we finalize after that fold).
+    let obs = RunObs::new(opts.trace_path.is_some());
 
     // Bottom-up: children reduce parents.
     for &a in &tree.bottom_up {
@@ -150,6 +156,7 @@ pub fn run_semijoin_plan(
                 cluster,
                 &format!("{} ⋉ {}", query.atoms[p].relation, query.atoms[a].relation),
                 probe_threads,
+                &obs,
             );
             projected_tuples += sp.tuples_sent;
             input_tuples += st.tuples_sent;
@@ -168,6 +175,7 @@ pub fn run_semijoin_plan(
                 cluster,
                 &format!("{} ⋉ {}", query.atoms[c].relation, query.atoms[a].relation),
                 probe_threads,
+                &obs,
             );
             projected_tuples += sp.tuples_sent;
             input_tuples += st.tuples_sent;
@@ -200,13 +208,14 @@ pub fn run_semijoin_plan(
     // Let run_config pick its fanout-aware greedy order over the reduced
     // relations.
     let final_opts = opts.clone();
-    let mut run = run_config(
+    let mut run = run_config_with_obs(
         &final_query,
         &reduced_db,
         cluster,
         ShuffleAlg::Regular,
         JoinAlg::Hash,
         &final_opts,
+        &obs,
     )?;
 
     // Fold the semijoin shuffles into the run's totals; every semijoin
@@ -225,6 +234,10 @@ pub fn run_semijoin_plan(
     }
     run.probe_morsels += sj_morsels;
     run.config = "SJ_HJ".into();
+    // Finalize only now, with the semijoin shuffles and morsels folded
+    // in, so the metric mirrors match the folded totals exactly.
+    obs.finalize(&mut run);
+    obs.write_trace(opts.trace_path.as_deref())?;
 
     Ok(SemijoinResult {
         run,
@@ -237,6 +250,7 @@ pub fn run_semijoin_plan(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::plans::run_config;
     use parjoin_common::Relation;
     use parjoin_query::QueryBuilder;
 

@@ -19,7 +19,7 @@
 
 use parjoin_common::Relation;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 /// Default cache capacity in bytes. Sorted views of the paper's largest
 /// inputs are tens of MiB; 256 MiB comfortably holds a full six-config
@@ -116,7 +116,7 @@ impl SortCache {
     {
         let key = (rel.fingerprint(), cols.to_vec());
         {
-            let mut inner = self.inner.lock().expect("sort cache lock");
+            let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
             inner.tick += 1;
             let tick = inner.tick;
             if let Some(e) = inner.map.get_mut(&key) {
@@ -131,7 +131,7 @@ impl SortCache {
         // relations must not serialize on the cache mutex.
         let view = Arc::new(sort(rel, cols));
         let bytes = view.approx_bytes();
-        let mut inner = self.inner.lock().expect("sort cache lock");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         let fits_budget = max_entry_bytes.is_none_or(|cap| bytes <= cap);
         if bytes <= inner.capacity && fits_budget && !inner.map.contains_key(&key) {
             while inner.resident + bytes > inner.capacity {
@@ -165,7 +165,7 @@ impl SortCache {
 
     /// Cumulative counters since process start (or [`SortCache::clear`]).
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().expect("sort cache lock");
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         CacheStats {
             hits: inner.hits,
             misses: inner.misses,
@@ -177,7 +177,7 @@ impl SortCache {
 
     /// Drops every entry and resets the counters.
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().expect("sort cache lock");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner.map.clear();
         inner.resident = 0;
         inner.hits = 0;

@@ -1,0 +1,336 @@
+//! A dependency-free JSON parser and chrome-trace validator.
+//!
+//! The build environment is fully offline (no serde), but the CI smoke
+//! and the trace tests must prove that an emitted trace *parses* and
+//! contains the expected spans — so this module implements the small
+//! recursive-descent parser that check needs. It accepts strict JSON
+//! (no comments, no trailing commas) and is meant for validation, not
+//! for ingesting untrusted multi-gigabyte documents.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order (duplicate keys kept as-is).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document.
+///
+/// # Errors
+/// A human-readable message naming the byte offset of the first error.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_obj(bytes, pos),
+        Some(b'[') => parse_arr(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(_) => parse_num(bytes, pos),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("expected `{lit}` at byte {}", *pos))
+    }
+}
+
+fn parse_num(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let s = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    s.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("invalid number `{s}` at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {}", *pos));
+    }
+    *pos += 1;
+    let mut out = Vec::new();
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'"' => {
+                *pos += 1;
+                return String::from_utf8(out).map_err(|e| e.to_string());
+            }
+            b'\\' => {
+                *pos += 1;
+                let esc = bytes
+                    .get(*pos)
+                    .ok_or_else(|| "unterminated escape".to_string())?;
+                match esc {
+                    b'"' => out.push(b'"'),
+                    b'\\' => out.push(b'\\'),
+                    b'/' => out.push(b'/'),
+                    b'n' => out.push(b'\n'),
+                    b't' => out.push(b'\t'),
+                    b'r' => out.push(b'\r'),
+                    b'b' => out.push(0x08),
+                    b'f' => out.push(0x0c),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| "bad \\u escape".to_string())?;
+                        let c = char::from_u32(code).unwrap_or('\u{fffd}');
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                        *pos += 4;
+                    }
+                    other => return Err(format!("unknown escape `\\{}`", *other as char)),
+                }
+                *pos += 1;
+            }
+            _ => {
+                out.push(b);
+                *pos += 1;
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // consume '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // consume '{'
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected `:` at byte {}", *pos));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+        }
+    }
+}
+
+/// Per-span tallies extracted from a chrome trace.
+#[derive(Debug, Default, Clone)]
+pub struct TraceSummary {
+    /// `(span name, tid)` → number of complete (`"ph":"X"`) events.
+    pub span_counts: BTreeMap<(String, u64), u64>,
+}
+
+impl TraceSummary {
+    /// Complete events named `name` on chrome thread `tid`.
+    pub fn count(&self, name: &str, tid: u64) -> u64 {
+        self.span_counts
+            .get(&(name.to_string(), tid))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Every tid that carries at least one span named `name`.
+    pub fn lanes_with(&self, name: &str) -> BTreeSet<u64> {
+        self.span_counts
+            .iter()
+            .filter(|((n, _), _)| n == name)
+            .map(|((_, tid), _)| *tid)
+            .collect()
+    }
+
+    /// Total complete events.
+    pub fn total(&self) -> u64 {
+        self.span_counts.values().sum()
+    }
+}
+
+/// Parses `text` as a chrome trace (a JSON array of event objects) and
+/// tallies its complete events by `(name, tid)`.
+///
+/// # Errors
+/// Parse failures, a non-array top level, or events missing `name`/`tid`.
+pub fn summarize_chrome_trace(text: &str) -> Result<TraceSummary, String> {
+    let doc = parse(text)?;
+    let Json::Arr(events) = doc else {
+        return Err("chrome trace must be a JSON array of events".into());
+    };
+    let mut summary = TraceSummary::default();
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i} has no `ph`"))?;
+        if ph != "X" {
+            continue; // metadata and other phases are not spans
+        }
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i} has no `name`"))?;
+        let tid = ev
+            .get("tid")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("event {i} has no numeric `tid`"))? as u64;
+        for field in ["ts", "dur"] {
+            ev.get(field)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("event {i} has no numeric `{field}`"))?;
+        }
+        *summary
+            .span_counts
+            .entry((name.to_string(), tid))
+            .or_insert(0) += 1;
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_structures() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse("-1.5e2").unwrap(), Json::Num(-150.0));
+        assert_eq!(parse("\"a\\nb\"").unwrap(), Json::Str("a\nb".into()));
+        let arr = parse("[1, [2], {\"k\": 3}]").unwrap();
+        let Json::Arr(items) = arr else { panic!() };
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[2].get("k"), Some(&Json::Num(3.0)));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("").is_err());
+        assert!(parse("[1,").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+        assert!(parse("[1] trailing").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn unicode_escape_round_trips() {
+        assert_eq!(parse("\"\\u0041\"").unwrap(), Json::Str("A".into()));
+    }
+
+    #[test]
+    fn summarize_counts_complete_events_only() {
+        let text = r#"[
+            {"ph":"M","pid":1,"tid":0,"name":"thread_name","args":{"name":"worker 0"}},
+            {"name":"probe","cat":"engine","ph":"X","ts":1.0,"dur":2.0,"pid":1,"tid":0},
+            {"name":"probe","cat":"engine","ph":"X","ts":5.0,"dur":1.0,"pid":1,"tid":0},
+            {"name":"probe","cat":"engine","ph":"X","ts":1.0,"dur":2.0,"pid":1,"tid":1}
+        ]"#;
+        let s = summarize_chrome_trace(text).unwrap();
+        assert_eq!(s.count("probe", 0), 2);
+        assert_eq!(s.count("probe", 1), 1);
+        assert_eq!(s.lanes_with("probe").len(), 2);
+        assert_eq!(s.total(), 3);
+    }
+
+    #[test]
+    fn summarize_rejects_span_without_timing() {
+        let text = r#"[{"name":"x","ph":"X","tid":0}]"#;
+        assert!(summarize_chrome_trace(text).is_err());
+    }
+}

@@ -1,0 +1,375 @@
+//! Hierarchical phase spans and the chrome://tracing exporter.
+//!
+//! A [`TraceSink`] collects completed [`SpanEvent`]s for one run. Each
+//! worker (or the coordinator) opens a [`Lane`] — a lightweight handle
+//! carrying the worker id and a span-stack depth — and times phases with
+//! RAII [`Span`] guards: the span records itself into the sink when
+//! dropped. Nesting is tracked per lane, so a worker's `prepare` span
+//! opened inside its `local-join` span exports as a properly nested
+//! slice in chrome://tracing.
+//!
+//! Export follows the Trace Event Format's complete events (`"ph":"X"`,
+//! timestamps in microseconds): one chrome *thread* per lane, named via
+//! `thread_name` metadata events, everything under one `parjoin`
+//! process. Open the file at `chrome://tracing` or <https://ui.perfetto.dev>.
+
+use std::borrow::Cow;
+use std::cell::Cell;
+use std::fmt;
+use std::io::Write;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// The lane id used for coordinator-side (cross-worker) spans, exported
+/// as its own chrome thread named `coordinator`.
+pub const COORDINATOR_LANE: u32 = u32::MAX;
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Phase name, e.g. `"shuffle"`, `"prepare"`, `"probe"`.
+    pub name: Cow<'static, str>,
+    /// Category (chrome's `cat` field), e.g. `"engine"` or `"runtime"`.
+    pub cat: &'static str,
+    /// The lane (worker id, or [`COORDINATOR_LANE`]).
+    pub lane: u32,
+    /// Start offset from the sink's origin, in nanoseconds.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Nesting depth within the lane when the span opened (0 = top).
+    pub depth: u16,
+}
+
+/// A per-run collector of span events.
+pub struct TraceSink {
+    enabled: bool,
+    origin: Instant,
+    events: Mutex<Vec<SpanEvent>>,
+}
+
+impl fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceSink")
+            .field("enabled", &self.enabled)
+            .field("events", &self.events().len())
+            .finish()
+    }
+}
+
+impl TraceSink {
+    /// A sink that records spans.
+    pub fn enabled() -> Arc<TraceSink> {
+        Arc::new(TraceSink {
+            enabled: true,
+            origin: Instant::now(),
+            events: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// A sink that drops everything: [`Lane::span`] returns an inert
+    /// guard without reading the clock.
+    pub fn disabled() -> Arc<TraceSink> {
+        Arc::new(TraceSink {
+            enabled: false,
+            origin: Instant::now(),
+            events: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Whether this sink records spans.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Opens a lane for the given worker id (or [`COORDINATOR_LANE`]).
+    /// Lanes are cheap; each thread timing spans should hold its own —
+    /// the nesting depth is tracked per lane handle, not shared.
+    pub fn lane(self: &Arc<Self>, lane: u32) -> Lane {
+        Lane {
+            sink: Arc::clone(self),
+            lane,
+            depth: Cell::new(0),
+        }
+    }
+
+    /// A copy of every recorded event, in completion order.
+    pub fn events(&self) -> Vec<SpanEvent> {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    fn push(&self, ev: SpanEvent) {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(ev);
+    }
+
+    fn offset_ns(&self, at: Instant) -> u64 {
+        at.saturating_duration_since(self.origin).as_nanos() as u64
+    }
+
+    /// Serializes every event as a chrome://tracing JSON array (complete
+    /// `"ph":"X"` events in microseconds, plus `thread_name` metadata
+    /// naming each lane `worker N` — or `coordinator`).
+    ///
+    /// # Errors
+    /// Propagates I/O errors from `w`.
+    pub fn write_chrome_trace<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        let events = self.events();
+        let mut lanes: Vec<u32> = events.iter().map(|e| e.lane).collect();
+        lanes.sort_unstable();
+        lanes.dedup();
+
+        writeln!(w, "[")?;
+        writeln!(
+            w,
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\
+             \"args\":{{\"name\":\"parjoin\"}}}},"
+        )?;
+        for &lane in &lanes {
+            let (name, sort) = if lane == COORDINATOR_LANE {
+                ("coordinator".to_string(), 1_000_000u64)
+            } else {
+                (format!("worker {lane}"), u64::from(lane))
+            };
+            writeln!(
+                w,
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{lane},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{name}\"}}}},"
+            )?;
+            writeln!(
+                w,
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{lane},\"name\":\"thread_sort_index\",\
+                 \"args\":{{\"sort_index\":{sort}}}}},"
+            )?;
+        }
+        for (i, ev) in events.iter().enumerate() {
+            let comma = if i + 1 == events.len() { "" } else { "," };
+            writeln!(
+                w,
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
+                 \"pid\":1,\"tid\":{}}}{comma}",
+                escape(&ev.name),
+                escape(ev.cat),
+                ev.start_ns as f64 / 1000.0,
+                ev.dur_ns as f64 / 1000.0,
+                ev.lane,
+            )?;
+        }
+        writeln!(w, "]")
+    }
+
+    /// [`TraceSink::write_chrome_trace`] into a `String`.
+    pub fn chrome_trace_json(&self) -> String {
+        let mut buf = Vec::new();
+        // Writing into a Vec cannot fail.
+        let _ = self.write_chrome_trace(&mut buf);
+        String::from_utf8_lossy(&buf).into_owned()
+    }
+}
+
+/// Minimal JSON string escaping for span names and categories.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One worker's (or the coordinator's) span stack. Holds the sink, the
+/// lane id, and the current nesting depth; not `Sync` — each thread
+/// opens its own lane.
+pub struct Lane {
+    sink: Arc<TraceSink>,
+    lane: u32,
+    depth: Cell<u16>,
+}
+
+impl Lane {
+    /// This lane's id.
+    pub fn id(&self) -> u32 {
+        self.lane
+    }
+
+    /// Opens a RAII span: the guard records `[open, drop)` into the
+    /// sink when dropped. On a disabled sink this is inert and does not
+    /// read the clock.
+    #[must_use = "a span guard measures until dropped; binding it to _ ends it immediately"]
+    pub fn span(&self, name: impl Into<Cow<'static, str>>, cat: &'static str) -> Span<'_> {
+        if !self.sink.enabled {
+            return Span { open: None };
+        }
+        let depth = self.depth.get();
+        self.depth.set(depth.saturating_add(1));
+        Span {
+            open: Some(OpenSpan {
+                lane: self,
+                name: name.into(),
+                cat,
+                depth,
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    /// Records an already-measured interval as a child span — for phases
+    /// whose duration is reported by a callee (e.g. a merge join that
+    /// returns its internal sort time) rather than timed in place.
+    pub fn record(
+        &self,
+        name: impl Into<Cow<'static, str>>,
+        cat: &'static str,
+        start: Instant,
+        dur: Duration,
+    ) {
+        if !self.sink.enabled {
+            return;
+        }
+        self.sink.push(SpanEvent {
+            name: name.into(),
+            cat,
+            lane: self.lane,
+            start_ns: self.sink.offset_ns(start),
+            dur_ns: dur.as_nanos() as u64,
+            depth: self.depth.get(),
+        });
+    }
+}
+
+struct OpenSpan<'a> {
+    lane: &'a Lane,
+    name: Cow<'static, str>,
+    cat: &'static str,
+    depth: u16,
+    start: Instant,
+}
+
+/// RAII guard returned by [`Lane::span`].
+pub struct Span<'a> {
+    open: Option<OpenSpan<'a>>,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let Some(open) = self.open.take() else {
+            return;
+        };
+        let dur = open.start.elapsed();
+        open.lane.depth.set(open.depth);
+        open.lane.sink.push(SpanEvent {
+            name: open.name.clone(),
+            cat: open.cat,
+            lane: open.lane.lane,
+            start_ns: open.lane.sink.offset_ns(open.start),
+            dur_ns: dur.as_nanos() as u64,
+            depth: open.depth,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_on_drop_with_nesting() {
+        let sink = TraceSink::enabled();
+        let lane = sink.lane(3);
+        {
+            let _outer = lane.span("outer", "t");
+            {
+                let _inner = lane.span("inner", "t");
+            }
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        // Inner drops first.
+        assert_eq!(events[0].name, "inner");
+        assert_eq!(events[0].depth, 1);
+        assert_eq!(events[1].name, "outer");
+        assert_eq!(events[1].depth, 0);
+        assert!(events.iter().all(|e| e.lane == 3));
+        // Inner starts no earlier than outer and ends no later.
+        assert!(events[0].start_ns >= events[1].start_ns);
+        assert!(
+            events[0].start_ns + events[0].dur_ns <= events[1].start_ns + events[1].dur_ns + 1_000
+        );
+    }
+
+    #[test]
+    fn depth_resets_after_drop() {
+        let sink = TraceSink::enabled();
+        let lane = sink.lane(0);
+        drop(lane.span("a", "t"));
+        drop(lane.span("b", "t"));
+        let events = sink.events();
+        assert_eq!(events[0].depth, 0);
+        assert_eq!(events[1].depth, 0);
+    }
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let sink = TraceSink::disabled();
+        let lane = sink.lane(0);
+        drop(lane.span("a", "t"));
+        lane.record("b", "t", Instant::now(), Duration::from_millis(1));
+        assert!(sink.events().is_empty());
+        assert!(!sink.is_enabled());
+    }
+
+    #[test]
+    fn record_registers_synthesized_child() {
+        let sink = TraceSink::enabled();
+        let lane = sink.lane(1);
+        let t0 = Instant::now();
+        let _outer = lane.span("outer", "t");
+        lane.record("sort", "t", t0, Duration::from_micros(250));
+        drop(_outer);
+        let events = sink.events();
+        assert_eq!(events[0].name, "sort");
+        assert_eq!(events[0].dur_ns, 250_000);
+        assert_eq!(events[0].depth, 1, "recorded span is a child");
+    }
+
+    #[test]
+    fn chrome_export_is_valid_and_microseconds() {
+        let sink = TraceSink::enabled();
+        let lane = sink.lane(0);
+        let coord = sink.lane(COORDINATOR_LANE);
+        drop(lane.span("probe", "engine"));
+        coord.record(
+            "shuffle",
+            "engine",
+            Instant::now(),
+            Duration::from_micros(5),
+        );
+        let text = sink.chrome_trace_json();
+        let summary = crate::json::summarize_chrome_trace(&text).expect("valid trace json");
+        assert_eq!(summary.count("probe", 0), 1);
+        assert_eq!(summary.count("shuffle", u64::from(COORDINATOR_LANE)), 1);
+        assert!(text.contains("\"thread_name\""));
+        assert!(text.contains("coordinator"));
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_controls() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("x\ny"), "x\\ny");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+}

@@ -25,6 +25,8 @@ pub struct JoinTree {
 impl JoinTree {
     /// The root atom index.
     pub fn root(&self) -> usize {
+        // `gyo` only builds trees for queries with at least one atom
+        // and pushes the root last. xtask: allow(expect)
         *self.bottom_up.last().expect("non-empty tree")
     }
 
@@ -93,7 +95,8 @@ pub fn gyo_join_tree(q: &ConjunctiveQuery) -> Option<JoinTree> {
             return None; // stuck: cyclic
         }
     }
-    // The sole survivor is the root.
+    // The sole survivor is the root: the loop above only exits with
+    // `removed_any` while more than one edge is alive. xtask: allow(expect)
     let root = (0..n).find(|&i| alive[i]).expect("one edge remains");
     bottom_up.push(root);
     Some(JoinTree { parent, bottom_up })

@@ -72,7 +72,7 @@ impl<'a> Cursor<'a> {
         }
     }
 
-    fn expect(&mut self, pat: &str) -> Result<(), ParseError> {
+    fn require(&mut self, pat: &str) -> Result<(), ParseError> {
         if self.eat(pat) {
             Ok(())
         } else {
@@ -144,7 +144,7 @@ pub fn parse(src: &str) -> Result<ConjunctiveQuery, ParseError> {
     let mut builder = QueryBuilder::new(&name);
 
     // Head variable list.
-    c.expect("(")?;
+    c.require("(")?;
     let mut head = Vec::new();
     loop {
         let v = c.ident()?;
@@ -153,8 +153,8 @@ pub fn parse(src: &str) -> Result<ConjunctiveQuery, ParseError> {
             break;
         }
     }
-    c.expect(")")?;
-    c.expect(":-")?;
+    c.require(")")?;
+    c.require(":-")?;
 
     // Body: atoms and filters, comma-separated.
     loop {
@@ -165,7 +165,7 @@ pub fn parse(src: &str) -> Result<ConjunctiveQuery, ParseError> {
         let save = c.pos;
         let id = c.ident()?;
         if c.peek() == Some(b'(') {
-            c.expect("(")?;
+            c.require("(")?;
             let mut terms = Vec::new();
             loop {
                 c.skip_ws();
@@ -180,7 +180,7 @@ pub fn parse(src: &str) -> Result<ConjunctiveQuery, ParseError> {
                     break;
                 }
             }
-            c.expect(")")?;
+            c.require(")")?;
             builder.atom_terms(id, terms);
         } else if let Some(op) = c.cmp_op() {
             let left = builder.var(&src[save..save + id.len()]);

@@ -18,6 +18,16 @@ pub enum RuntimeError {
     /// A blocking receive exceeded the configured I/O timeout — the
     /// runtime's guard against a hung peer deadlocking the whole mesh.
     Timeout(String),
+    /// An encoded batch exceeded the transport's frame limit. The frame
+    /// was *not* sent: a length prefix above the limit is indistinguishable
+    /// from corruption on the receiving side, so the sender refuses it
+    /// up front instead of poisoning the stream.
+    FrameTooLarge {
+        /// The encoded batch size that was rejected.
+        bytes: u64,
+        /// The transport's per-frame ceiling.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -27,6 +37,11 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Io(m) => write!(f, "runtime I/O error: {m}"),
             RuntimeError::Disconnected(m) => write!(f, "runtime peer disconnected: {m}"),
             RuntimeError::Timeout(m) => write!(f, "runtime timeout: {m}"),
+            RuntimeError::FrameTooLarge { bytes, limit } => write!(
+                f,
+                "frame of {bytes} bytes exceeds the transport limit of {limit} bytes; \
+                 lower batch_tuples so encoded batches fit one frame"
+            ),
         }
     }
 }

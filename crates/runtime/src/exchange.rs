@@ -17,9 +17,11 @@
 //! merely equivalent up to reordering.
 
 use crate::error::RuntimeError;
+use crate::metrics::RuntimeObs;
 use crate::transport::Endpoint;
 use crate::Router;
 use parjoin_common::{wire, Relation, Value};
+use std::time::Instant;
 
 /// One worker's tallies from a streaming shuffle.
 pub struct WorkerOutcome {
@@ -45,17 +47,33 @@ pub fn run_worker(
     batch_tuples: usize,
     endpoint: Box<dyn Endpoint>,
     router: &Router,
+    obs: &RuntimeObs,
 ) -> Result<WorkerOutcome, RuntimeError> {
     let arity = part.arity();
+    // The worker's whole side of the exchange is one `shuffle` span on
+    // its own trace lane. The drain thread records counters only: its
+    // work overlaps this span on the same lane, and overlapping slices
+    // on one chrome-trace tid render as garbage.
+    let lane = obs.trace.lane(id as u32);
+    let _span = lane.span("shuffle", "runtime");
     let (mut sender, mut receiver) = endpoint.split();
 
+    let drain_obs = obs.clone();
     let drain = std::thread::Builder::new()
         .name(format!("parjoin-drain-{id}"))
         .spawn(move || -> Result<(Vec<Relation>, u64), RuntimeError> {
             let mut per_src: Vec<Relation> = (0..workers).map(|_| Relation::new(arity)).collect();
             let mut bytes = 0u64;
-            while let Some((src, frame)) = receiver.recv()? {
+            loop {
+                let wait = Instant::now();
+                let msg = receiver.recv();
+                drain_obs
+                    .rx_wait_ns
+                    .add(wait.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+                let Some((src, frame)) = msg? else { break };
                 bytes += frame.len() as u64;
+                drain_obs.rx_bytes.add(frame.len() as u64);
+                drain_obs.rx_batches.inc();
                 wire::decode_batch_into(&frame, &mut per_src[src])
                     .map_err(|e| RuntimeError::Io(e.to_string()))?;
             }
@@ -81,6 +99,8 @@ pub fn run_worker(
                     let mut buf = Vec::new();
                     wire::encode_batch(arity, *rows, flat, &mut buf);
                     bytes_sent += buf.len() as u64;
+                    obs.tx_bytes.add(buf.len() as u64);
+                    obs.tx_batches.inc();
                     sender.send(d, buf)?;
                     flat.clear();
                     *rows = 0;
@@ -92,6 +112,8 @@ pub fn run_worker(
                 let mut buf = Vec::new();
                 wire::encode_batch(arity, *rows, flat, &mut buf);
                 bytes_sent += buf.len() as u64;
+                obs.tx_bytes.add(buf.len() as u64);
+                obs.tx_batches.inc();
                 sender.send(d, buf)?;
                 flat.clear();
                 *rows = 0;

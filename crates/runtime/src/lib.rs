@@ -31,11 +31,13 @@
 
 pub mod error;
 mod exchange;
+pub mod metrics;
 #[cfg(feature = "transport-tcp")]
 pub mod tcp;
 pub mod transport;
 
 pub use error::RuntimeError;
+pub use metrics::RuntimeObs;
 pub use transport::TransportKind;
 
 use parjoin_common::{Relation, Value};
@@ -71,6 +73,10 @@ pub struct RuntimeConfig {
     /// Cap on every blocking receive, guarding against a hung peer
     /// deadlocking the mesh.
     pub io_timeout: Duration,
+    /// Observability bundle the exchange and transports report into
+    /// (bytes, batches, flushes, receive waits, decode errors, and the
+    /// per-worker `shuffle` trace spans). Detached by default.
+    pub obs: RuntimeObs,
 }
 
 /// Default batch size: ~4096 rows per batch keeps frames in the tens of
@@ -86,6 +92,7 @@ impl Default for RuntimeConfig {
             batch_tuples: DEFAULT_BATCH_TUPLES,
             channel_depth: 8,
             io_timeout: Duration::from_secs(30),
+            obs: RuntimeObs::detached(),
         }
     }
 }
@@ -252,7 +259,10 @@ impl Runtime {
                 self.streaming_shuffle(parts, &router, &transport::InProcess)
             }
             #[cfg(feature = "transport-tcp")]
-            TransportKind::Tcp => self.streaming_shuffle(parts, &router, &tcp::Tcp),
+            TransportKind::Tcp => {
+                let transport = tcp::Tcp::with_obs(self.config.obs.clone());
+                self.streaming_shuffle(parts, &router, &transport)
+            }
             #[cfg(not(feature = "transport-tcp"))]
             TransportKind::Tcp => Err(RuntimeError::Config(
                 "TransportKind::Tcp requires the `transport-tcp` cargo feature".into(),
@@ -273,11 +283,27 @@ impl Runtime {
         let outcomes = {
             let mut endpoints = endpoints.into_iter();
             self.run_jobs(|id| {
-                let endpoint = endpoints.next().expect("one endpoint per worker");
+                let endpoint = endpoints.next();
                 let parts = Arc::clone(&parts);
                 let router = Arc::clone(router);
+                let obs = self.config.obs.clone();
                 Box::new(move |ctx: &mut WorkerCtx| {
-                    exchange::run_worker(ctx.id, &parts[id], parts.len(), batch, endpoint, &router)
+                    let Some(endpoint) = endpoint else {
+                        // A transport handing back fewer endpoints than
+                        // workers is a contract violation, not a panic.
+                        return Err(RuntimeError::Config(format!(
+                            "transport returned no endpoint for worker {id}"
+                        )));
+                    };
+                    exchange::run_worker(
+                        ctx.id,
+                        &parts[id],
+                        parts.len(),
+                        batch,
+                        endpoint,
+                        &router,
+                        &obs,
+                    )
                 })
             })?
         };

@@ -16,9 +16,17 @@
 //! by retry with exponential backoff; graceful shutdown is the
 //! end-of-stream frame followed by closing the write side, which lets
 //! reader threads exit on EOF.
+//!
+//! Decode failures (a corrupt tag, a length prefix above
+//! [`MAX_FRAME_BYTES`], a stream truncated mid-frame) are forwarded to
+//! the owning worker as in-band poison messages, so the receiver's error
+//! names the cause instead of timing out in silence; each one also
+//! bumps the [`RuntimeObs::rx_decode_errors`] counter.
 
 use crate::error::RuntimeError;
+use crate::metrics::RuntimeObs;
 use crate::transport::{BatchReceiver, BatchSender, Endpoint, Transport};
+use parjoin_obs::Counter;
 use std::io::{BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
@@ -29,7 +37,7 @@ const TAG_EOS: u8 = 0x01;
 
 /// Sanity cap on a single frame (64 MiB): a larger length prefix means a
 /// corrupt or hostile stream, not a real batch.
-const MAX_FRAME_BYTES: u32 = 64 << 20;
+pub const MAX_FRAME_BYTES: u32 = 64 << 20;
 
 /// Connects to `addr`, retrying with exponential backoff (1 ms doubling
 /// to 128 ms) for up to `attempts` tries. Loopback listeners bound a few
@@ -56,10 +64,46 @@ pub fn connect_with_retry(addr: SocketAddr, attempts: u32) -> Result<TcpStream, 
     )))
 }
 
-/// Loopback-socket transport.
-pub struct Tcp;
+/// The wire protocol announces each sender with a `u32` hello, so a mesh
+/// wider than `u32::MAX` workers cannot be represented on the wire.
+///
+/// # Errors
+/// [`RuntimeError::Config`] when `workers` does not fit.
+fn check_mesh_width(workers: usize) -> Result<u32, RuntimeError> {
+    u32::try_from(workers).map_err(|_| {
+        RuntimeError::Config(format!(
+            "a TCP mesh of {workers} workers exceeds the wire protocol's u32 hello"
+        ))
+    })
+}
 
-type Msg = (usize, Option<Vec<u8>>);
+/// Loopback-socket transport. Carries the observability bundle whose
+/// counters the senders (flushes) and reader threads (decode errors)
+/// report into; the default bundle is detached.
+#[derive(Default)]
+pub struct Tcp {
+    /// Counter handles for transport-level tallies.
+    pub obs: RuntimeObs,
+}
+
+impl Tcp {
+    /// A transport reporting into `obs`.
+    pub fn with_obs(obs: RuntimeObs) -> Tcp {
+        Tcp { obs }
+    }
+}
+
+/// What a reader thread forwards to the owning worker's inbox.
+enum Frame {
+    /// One decoded batch payload.
+    Batch(Vec<u8>),
+    /// The peer's end-of-stream marker.
+    Eos,
+    /// The stream broke mid-protocol; the payload names the cause.
+    Corrupt(String),
+}
+
+type Msg = (usize, Frame);
 
 impl Transport for Tcp {
     fn mesh(
@@ -69,6 +113,7 @@ impl Transport for Tcp {
         timeout: Duration,
     ) -> Result<Vec<Box<dyn Endpoint>>, RuntimeError> {
         let io = |e: std::io::Error| RuntimeError::Io(e.to_string());
+        check_mesh_width(workers)?;
 
         // One listener per worker on an ephemeral loopback port.
         let mut listeners = Vec::with_capacity(workers);
@@ -81,7 +126,8 @@ impl Transport for Tcp {
 
         // Outgoing side: worker i dials every destination and announces
         // itself with the hello frame. The kernel backlog holds these
-        // until the accept loop below runs.
+        // until the accept loop below runs. The `as u32` cast is exact:
+        // `check_mesh_width` proved every id fits.
         let mut outgoing: Vec<Vec<BufWriter<TcpStream>>> = Vec::with_capacity(workers);
         for src in 0..workers {
             let mut conns = Vec::with_capacity(workers);
@@ -89,13 +135,7 @@ impl Transport for Tcp {
                 let stream = connect_with_retry(addr, 10)?;
                 stream.set_nodelay(true).map_err(io)?;
                 let mut writer = BufWriter::new(stream);
-                writer
-                    .write_all(
-                        &u32::try_from(src)
-                            .expect("worker count fits u32")
-                            .to_le_bytes(),
-                    )
-                    .map_err(io)?;
+                writer.write_all(&(src as u32).to_le_bytes()).map_err(io)?;
                 writer.flush().map_err(io)?;
                 conns.push(writer);
             }
@@ -120,9 +160,10 @@ impl Transport for Tcp {
                     )));
                 }
                 let inbox = tx.clone();
+                let decode_errors = self.obs.rx_decode_errors.clone();
                 std::thread::Builder::new()
                     .name(format!("parjoin-tcp-read-{src}"))
-                    .spawn(move || read_frames(s, src, &inbox))
+                    .spawn(move || read_frames(s, src, &inbox, &decode_errors))
                     .map_err(io)?;
             }
             drop(tx); // readers hold the only inbox senders now
@@ -131,6 +172,7 @@ impl Transport for Tcp {
                 rx,
                 eos_left: workers,
                 timeout,
+                obs: self.obs.clone(),
             }));
         }
         Ok(endpoints)
@@ -138,11 +180,22 @@ impl Transport for Tcp {
 }
 
 /// Reads frames until end-of-stream, EOF, or a closed inbox, forwarding
-/// each batch as `(src, Some(payload))` and end-of-stream as
-/// `(src, None)`. Exiting without sending the end-of-stream marker drops
-/// this thread's inbox sender, which is how the receiver learns the peer
-/// died mid-stream.
-fn read_frames(mut stream: TcpStream, src: usize, inbox: &SyncSender<Msg>) {
+/// each batch as `Frame::Batch` and end-of-stream as `Frame::Eos`. A
+/// protocol violation (bad tag, oversized length, truncation inside a
+/// frame) is counted on `decode_errors` and forwarded as
+/// `Frame::Corrupt` so the receiver can report the cause; a clean EOF
+/// before end-of-stream simply drops this thread's inbox sender, which
+/// is how the receiver learns the peer died between frames.
+fn read_frames(
+    mut stream: TcpStream,
+    src: usize,
+    inbox: &SyncSender<Msg>,
+    decode_errors: &Counter,
+) {
+    let corrupt = |cause: String| {
+        decode_errors.inc();
+        Frame::Corrupt(cause)
+    };
     loop {
         let mut tag = [0u8; 1];
         if stream.read_exact(&mut tag).is_err() {
@@ -150,27 +203,56 @@ fn read_frames(mut stream: TcpStream, src: usize, inbox: &SyncSender<Msg>) {
         }
         match tag[0] {
             TAG_EOS => {
-                let _ = inbox.send((src, None));
+                let _ = inbox.send((src, Frame::Eos));
                 return;
             }
             TAG_BATCH => {
                 let mut len = [0u8; 4];
                 if stream.read_exact(&mut len).is_err() {
+                    let _ = inbox.send((
+                        src,
+                        corrupt(format!(
+                            "stream from worker {src} truncated in a length prefix"
+                        )),
+                    ));
                     return;
                 }
                 let len = u32::from_le_bytes(len);
                 if len > MAX_FRAME_BYTES {
+                    let _ = inbox.send((
+                        src,
+                        corrupt(format!(
+                            "frame from worker {src} declares {len} bytes, above the \
+                             {MAX_FRAME_BYTES}-byte limit"
+                        )),
+                    ));
                     return;
                 }
                 let mut payload = vec![0u8; len as usize];
                 if stream.read_exact(&mut payload).is_err() {
+                    let _ = inbox.send((
+                        src,
+                        corrupt(format!(
+                            "stream from worker {src} truncated mid-frame ({len}-byte \
+                             payload never completed)"
+                        )),
+                    ));
                     return;
                 }
-                if inbox.send((src, Some(payload))).is_err() {
+                if inbox.send((src, Frame::Batch(payload))).is_err() {
                     return; // receiver gone (worker errored out)
                 }
             }
-            _ => return, // corrupt stream
+            other => {
+                let _ = inbox.send((
+                    src,
+                    corrupt(format!(
+                        "corrupt frame tag {other:#04x} from worker {src} (expected batch or \
+                         end-of-stream)"
+                    )),
+                ));
+                return;
+            }
         }
     }
 }
@@ -180,6 +262,7 @@ struct TcpEndpoint {
     rx: Receiver<Msg>,
     eos_left: usize,
     timeout: Duration,
+    obs: RuntimeObs,
 }
 
 impl Endpoint for TcpEndpoint {
@@ -187,6 +270,7 @@ impl Endpoint for TcpEndpoint {
         (
             Box::new(TcpSender {
                 senders: self.senders,
+                flushes: self.obs.tx_flushes,
             }),
             Box::new(TcpReceiver {
                 rx: self.rx,
@@ -199,24 +283,30 @@ impl Endpoint for TcpEndpoint {
 
 struct TcpSender {
     senders: Vec<BufWriter<TcpStream>>,
+    flushes: Counter,
 }
 
 impl BatchSender for TcpSender {
     fn send(&mut self, dest: usize, frame: Vec<u8>) -> Result<(), RuntimeError> {
+        // Refuse a frame the peer would reject as corrupt. The length
+        // check also guarantees the u32 cast below is exact.
+        if frame.len() as u64 > u64::from(MAX_FRAME_BYTES) {
+            return Err(RuntimeError::FrameTooLarge {
+                bytes: frame.len() as u64,
+                limit: u64::from(MAX_FRAME_BYTES),
+            });
+        }
         let w = &mut self.senders[dest];
         let write = (|| {
             w.write_all(&[TAG_BATCH])?;
-            w.write_all(
-                &u32::try_from(frame.len())
-                    .expect("frame under 4 GiB")
-                    .to_le_bytes(),
-            )?;
+            w.write_all(&(frame.len() as u32).to_le_bytes())?;
             w.write_all(&frame)?;
             // Flush per frame: batches are already sized for throughput,
             // and prompt delivery keeps peer drain threads busy instead
             // of stalling on buffered bytes.
             w.flush()
         })();
+        self.flushes.inc();
         write.map_err(|e| RuntimeError::Disconnected(format!("write to worker {dest}: {e}")))
     }
 
@@ -224,6 +314,7 @@ impl BatchSender for TcpSender {
         for w in &mut self.senders {
             // Best-effort: a dead peer cannot be waiting for our marker.
             let _ = w.write_all(&[TAG_EOS]).and_then(|()| w.flush());
+            self.flushes.inc();
         }
         Ok(())
     }
@@ -239,8 +330,14 @@ impl BatchReceiver for TcpReceiver {
     fn recv(&mut self) -> Result<Option<(usize, Vec<u8>)>, RuntimeError> {
         while self.eos_left > 0 {
             match self.rx.recv_timeout(self.timeout) {
-                Ok((src, Some(frame))) => return Ok(Some((src, frame))),
-                Ok((_, None)) => self.eos_left -= 1,
+                Ok((src, Frame::Batch(frame))) => return Ok(Some((src, frame))),
+                Ok((_, Frame::Eos)) => self.eos_left -= 1,
+                Ok((_, Frame::Corrupt(cause))) => {
+                    return Err(RuntimeError::Disconnected(format!(
+                        "corrupt stream: {cause}; {} peer(s) were still outstanding",
+                        self.eos_left
+                    )));
+                }
                 Err(RecvTimeoutError::Timeout) => {
                     return Err(RuntimeError::Timeout(format!(
                         "no frame within {:?}; {} peer(s) never finished",
@@ -277,7 +374,9 @@ mod tests {
 
     #[test]
     fn tcp_mesh_round_trips_frames() {
-        let eps = Tcp.mesh(2, 4, Duration::from_secs(10)).expect("mesh");
+        let eps = Tcp::default()
+            .mesh(2, 4, Duration::from_secs(10))
+            .expect("mesh");
         let mut eps = eps.into_iter();
         let a = eps.next().expect("endpoint 0");
         let b = eps.next().expect("endpoint 1");
@@ -307,5 +406,191 @@ mod tests {
         });
         assert_eq!(ta.join().expect("worker 0"), vec![(0, vec![7])]);
         assert_eq!(tb.join().expect("worker 1"), vec![(0, vec![1, 2, 3])]);
+    }
+
+    #[test]
+    fn mesh_counts_flushes() {
+        let obs = RuntimeObs::detached();
+        let eps = Tcp::with_obs(obs.clone())
+            .mesh(1, 4, Duration::from_secs(10))
+            .expect("mesh");
+        let (mut tx, mut rx) = eps.into_iter().next().expect("endpoint").split();
+        tx.send(0, vec![1, 2]).expect("send");
+        tx.finish().expect("finish");
+        drop(tx);
+        while rx.recv().expect("recv").is_some() {}
+        // One per frame plus one per end-of-stream marker.
+        assert_eq!(obs.tx_flushes.get(), 2);
+    }
+
+    #[test]
+    fn mesh_width_is_validated_not_asserted() {
+        assert!(check_mesh_width(4).is_ok());
+        let err = check_mesh_width(usize::MAX);
+        assert!(
+            matches!(err, Err(RuntimeError::Config(ref m)) if m.contains("u32")),
+            "oversized mesh must be a typed config error: {err:?}"
+        );
+    }
+
+    /// A connected (writer, reader) TCP pair on loopback.
+    fn pipe() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let w = TcpStream::connect(addr).expect("connect");
+        let (r, _) = listener.accept().expect("accept");
+        (w, r)
+    }
+
+    /// Runs `read_frames` over bytes written by `write`, returning what
+    /// reached the inbox and the decode-error count.
+    fn read_poisoned(write: impl FnOnce(&mut TcpStream)) -> (Vec<Frame>, u64) {
+        let (mut w, r) = pipe();
+        let errors = Counter::new();
+        let (tx, rx) = sync_channel::<Msg>(8);
+        write(&mut w);
+        drop(w);
+        read_frames(r, 1, &tx, &errors);
+        drop(tx);
+        (rx.into_iter().map(|(_, f)| f).collect(), errors.get())
+    }
+
+    #[test]
+    fn corrupt_tag_is_reported_with_cause() {
+        let (frames, errors) = read_poisoned(|w| {
+            w.write_all(&[0x7f]).expect("write");
+        });
+        assert_eq!(errors, 1);
+        match frames.as_slice() {
+            [Frame::Corrupt(cause)] => {
+                assert!(cause.contains("0x7f"), "cause names the tag: {cause}");
+                assert!(cause.contains("worker 1"), "cause names the peer: {cause}");
+            }
+            other => panic!("expected one corrupt frame, got {} frames", other.len()),
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_reported() {
+        let (frames, errors) = read_poisoned(|w| {
+            w.write_all(&[TAG_BATCH]).expect("tag");
+            w.write_all(&(MAX_FRAME_BYTES + 1).to_le_bytes())
+                .expect("len");
+        });
+        assert_eq!(errors, 1);
+        match frames.as_slice() {
+            [Frame::Corrupt(cause)] => {
+                assert!(cause.contains("limit"), "cause names the limit: {cause}");
+            }
+            other => panic!("expected one corrupt frame, got {} frames", other.len()),
+        }
+    }
+
+    #[test]
+    fn truncated_frame_is_reported() {
+        let (frames, errors) = read_poisoned(|w| {
+            w.write_all(&[TAG_BATCH]).expect("tag");
+            w.write_all(&100u32.to_le_bytes()).expect("len");
+            w.write_all(&[0u8; 10]).expect("partial payload");
+        });
+        assert_eq!(errors, 1);
+        match frames.as_slice() {
+            [Frame::Corrupt(cause)] => {
+                assert!(
+                    cause.contains("truncated mid-frame"),
+                    "cause names truncation: {cause}"
+                );
+            }
+            other => panic!("expected one corrupt frame, got {} frames", other.len()),
+        }
+    }
+
+    #[test]
+    fn clean_eof_before_eos_stays_silent() {
+        // Peer death *between* frames is not a decode error: the dropped
+        // inbox sender is the signal (receiver reports Disconnected).
+        let (frames, errors) = read_poisoned(|_| {});
+        assert!(frames.is_empty());
+        assert_eq!(errors, 0);
+    }
+
+    #[test]
+    fn receiver_surfaces_decode_failure_in_error_text() {
+        let (tx, rx) = sync_channel::<Msg>(8);
+        tx.send((
+            0,
+            Frame::Corrupt("corrupt frame tag 0x7f from worker 0".into()),
+        ))
+        .expect("send");
+        let mut receiver = TcpReceiver {
+            rx,
+            eos_left: 2,
+            timeout: Duration::from_secs(5),
+        };
+        let err = receiver.recv();
+        match err {
+            Err(RuntimeError::Disconnected(msg)) => {
+                assert!(msg.contains("0x7f"), "error names the cause: {msg}");
+                assert!(msg.contains("2 peer(s)"), "error counts peers: {msg}");
+            }
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_send_is_a_typed_error_not_a_panic() {
+        let (w, _r) = pipe();
+        let mut sender = TcpSender {
+            senders: vec![BufWriter::new(w)],
+            flushes: Counter::new(),
+        };
+        let frame = vec![0u8; MAX_FRAME_BYTES as usize + 1];
+        let err = sender.send(0, frame);
+        assert!(
+            matches!(
+                err,
+                Err(RuntimeError::FrameTooLarge { bytes, limit })
+                    if bytes == u64::from(MAX_FRAME_BYTES) + 1 && limit == u64::from(MAX_FRAME_BYTES)
+            ),
+            "oversized frame must be rejected up front: {err:?}"
+        );
+        // A frame at the limit boundary is still representable.
+        assert!(u32::try_from(MAX_FRAME_BYTES as usize).is_ok());
+    }
+
+    #[test]
+    fn peer_death_mid_stream_is_a_prompt_disconnect_not_a_hang() {
+        // End-to-end: on a live 2-worker mesh, worker 0's sender drops
+        // without ever writing end-of-stream (the "peer died" shape).
+        // Worker 0's receiver must fail with Disconnected well before
+        // the 30-second mesh timeout — never hang waiting it out.
+        let eps = Tcp::default()
+            .mesh(2, 4, Duration::from_secs(30))
+            .expect("mesh");
+        let mut eps = eps.into_iter();
+        let a = eps.next().expect("endpoint 0");
+        let b = eps.next().expect("endpoint 1");
+
+        let peer = thread::spawn(move || {
+            let (mut tx, mut rx) = b.split();
+            tx.finish().expect("finish");
+            drop(tx);
+            // Drain until our own stream ends or errors; outcome unused.
+            while let Ok(Some(_)) = rx.recv() {}
+        });
+
+        let start = std::time::Instant::now();
+        let (tx_a, mut rx_a) = a.split();
+        drop(tx_a); // dies without end-of-stream
+        let err = rx_a.recv();
+        assert!(
+            matches!(err, Err(RuntimeError::Disconnected(_))),
+            "peer death mid-stream must be a descriptive error: {err:?}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "must not wait out the 30s mesh timeout"
+        );
+        peer.join().expect("worker 1");
     }
 }

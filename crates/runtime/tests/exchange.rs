@@ -14,6 +14,7 @@ fn config(transport: TransportKind, workers: usize, batch_tuples: usize) -> Runt
         batch_tuples,
         channel_depth: 2, // shallow inbox to actually exercise backpressure
         io_timeout: Duration::from_secs(20),
+        ..RuntimeConfig::default()
     }
 }
 
@@ -179,6 +180,51 @@ fn each_runs_on_every_worker_and_store_persists() {
         .expect("each");
     assert_eq!(kept, vec![Some(0), Some(1), Some(2), Some(3)]);
     rt.shutdown().expect("shutdown");
+}
+
+#[test]
+fn obs_counters_reconcile_with_shuffle_tallies() {
+    use parjoin_obs::{Registry, TraceSink};
+    use parjoin_runtime::RuntimeObs;
+    let workers = 4;
+    let parts = make_parts(workers, 2, 500, 11);
+    let router = hash_router(workers, 3);
+    for kind in streaming_kinds() {
+        let reg = Registry::new();
+        let trace = TraceSink::enabled();
+        let mut cfg = config(kind, workers, 64);
+        cfg.obs = RuntimeObs::on_registry(&reg, Arc::clone(&trace));
+        let rt = Runtime::new(cfg).expect("runtime");
+        let out = rt
+            .shuffle(parts.clone(), Arc::clone(&router))
+            .expect("shuffle");
+        rt.shutdown().expect("shutdown");
+        // Registry counters mirror the outcome tallies exactly.
+        assert_eq!(reg.get("runtime.tx.bytes"), Some(out.bytes_sent), "{kind}");
+        assert_eq!(
+            reg.get("runtime.rx.bytes"),
+            Some(out.bytes_received),
+            "{kind}"
+        );
+        assert_eq!(
+            reg.get("runtime.tx.batches"),
+            reg.get("runtime.rx.batches"),
+            "{kind}: every batch sent is received"
+        );
+        assert!(reg.get("runtime.tx.batches") > Some(0), "{kind}");
+        assert_eq!(reg.get("runtime.rx.decode_errors"), Some(0), "{kind}");
+        // One `shuffle` span per worker on the worker's own lane.
+        let spans: Vec<u32> = trace
+            .events()
+            .iter()
+            .filter(|e| e.name == "shuffle")
+            .map(|e| e.lane)
+            .collect();
+        assert_eq!(spans.len(), workers, "{kind}");
+        for id in 0..workers {
+            assert!(spans.contains(&(id as u32)), "{kind}: lane {id} missing");
+        }
+    }
 }
 
 #[test]

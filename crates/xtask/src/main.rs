@@ -3,11 +3,11 @@
 
 //! Workspace automation tasks, invoked as `cargo xtask <task>`.
 //!
-//! The only task so far is `lint`: a source scan that bans `.unwrap()`
-//! and `panic!(` in non-test production code, reporting each violation
-//! as `file:line: …`. Rust's own lint machinery cannot express "no
-//! unwrap outside tests" across a workspace without nightly-only tool
-//! lints, so this small scanner enforces it in CI instead.
+//! The only task so far is `lint`: a source scan that bans `.unwrap()`,
+//! `.expect(`, and `panic!(` in non-test production code, reporting each
+//! violation as `file:line: …`. Rust's own lint machinery cannot express
+//! "no unwrap outside tests" across a workspace without nightly-only
+//! tool lints, so this small scanner enforces it in CI instead.
 //!
 //! What counts as non-test production code:
 //!
@@ -16,10 +16,12 @@
 //! * minus `#[cfg(test)]` modules (tracked by brace depth);
 //! * minus comments (`//`, `///`, `//!`) and doc-comment code fences.
 //!
-//! A line may opt out with an `// xtask: allow(panic)` marker on the
-//! same line or the line directly above — reserved for panics that are
-//! documented API contracts (e.g. `QueryBuilder::build` on an invalid
-//! query).
+//! A line may opt out with an `// xtask: allow(panic)` marker (covers
+//! `.unwrap()` and `panic!`) or `// xtask: allow(expect)` (covers
+//! `.expect(`) on the same line or the line directly above — reserved
+//! for panics that are documented API contracts (e.g.
+//! `QueryBuilder::build` on an invalid query) or invariants locally
+//! provable from the surrounding few lines, stated in a comment.
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -123,7 +125,8 @@ fn scan(text: &str) -> Vec<Violation> {
     let mut test_block_depth: Option<i64> = None;
     let mut pending_cfg_test = false;
 
-    let mut allow_next = false;
+    let mut allow_panic_next = false;
+    let mut allow_expect_next = false;
     for (i, raw) in text.lines().enumerate() {
         let line = strip_comment(raw);
         let trimmed = line.trim();
@@ -136,24 +139,42 @@ fn scan(text: &str) -> Vec<Violation> {
             pending_cfg_test = false;
         }
 
-        let allowed = std::mem::take(&mut allow_next) || raw.contains("xtask: allow(panic)");
-        if raw.trim_start().starts_with("//") && raw.contains("xtask: allow(panic)") {
+        let allow_panic =
+            std::mem::take(&mut allow_panic_next) || raw.contains("xtask: allow(panic)");
+        let allow_expect =
+            std::mem::take(&mut allow_expect_next) || raw.contains("xtask: allow(expect)");
+        if raw.trim_start().starts_with("//") {
             // A standalone marker line covers the next source line
             // (rustfmt's preferred placement).
-            allow_next = true;
+            if raw.contains("xtask: allow(panic)") {
+                allow_panic_next = true;
+            }
+            if raw.contains("xtask: allow(expect)") {
+                allow_expect_next = true;
+            }
         }
 
-        if test_block_depth.is_none() && !trimmed.is_empty() && !allowed {
-            if trimmed.contains(".unwrap()") {
-                out.push(Violation {
-                    line: i + 1,
-                    what: "banned call to `.unwrap()`",
-                });
+        if test_block_depth.is_none() && !trimmed.is_empty() {
+            if !allow_panic {
+                if trimmed.contains(".unwrap()") {
+                    out.push(Violation {
+                        line: i + 1,
+                        what: "banned call to `.unwrap()`",
+                    });
+                }
+                if trimmed.contains("panic!(") {
+                    out.push(Violation {
+                        line: i + 1,
+                        what: "banned `panic!` invocation",
+                    });
+                }
             }
-            if trimmed.contains("panic!(") {
+            // The leading dot keeps `#[expect(...)]` attributes and
+            // `.expect_err(` out of scope.
+            if !allow_expect && trimmed.contains(".expect(") {
                 out.push(Violation {
                     line: i + 1,
-                    what: "banned `panic!` invocation",
+                    what: "banned call to `.expect(` (return a typed error instead)",
                 });
             }
         }
@@ -232,6 +253,32 @@ fn f() {
         let v = scan(src);
         assert_eq!(v.len(), 1, "marker must only cover the next line");
         assert_eq!(v[0].line, 5);
+    }
+
+    #[test]
+    fn scan_flags_expect_with_its_own_marker() {
+        let src = "\
+fn f() {
+    a.expect(\"boom\");
+    // the attribute form and expect_err are fine
+    #[expect(dead_code)]
+    let _ = r.expect_err(\"err\");
+    b.expect(\"ok\"); // xtask: allow(expect)
+    // xtask: allow(expect)
+    c.expect(\"also ok\");
+}
+";
+        let v = scan(src);
+        assert_eq!(v.len(), 1, "only the unmarked .expect( is flagged");
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn expect_marker_does_not_cover_unwrap() {
+        let src = "fn f() { a.unwrap(); } // xtask: allow(expect)\n";
+        let v = scan(src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].what, "banned call to `.unwrap()`");
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub use parjoin_core as core;
 pub use parjoin_datagen as datagen;
 pub use parjoin_engine as engine;
 pub use parjoin_lp as lp;
+pub use parjoin_obs as obs;
 pub use parjoin_query as query;
 pub use parjoin_runtime as runtime;
 
@@ -60,8 +61,8 @@ pub mod prelude {
     pub use parjoin_core::tributary::{BTreeAtom, SortedAtom, Tributary, TrieAtom, TrieCursor};
     pub use parjoin_datagen::{all_queries, DatasetKind, QuerySpec, Scale};
     pub use parjoin_engine::{
-        run_config, Cluster, EngineError, JoinAlg, PlanOptions, RunResult, ShuffleAlg,
-        TransportKind,
+        metric_names, run_config, Cluster, EngineError, JoinAlg, PlanOptions, RunResult,
+        ShuffleAlg, TransportKind,
     };
     pub use parjoin_query::{ConjunctiveQuery, QueryBuilder, VarId};
 }
