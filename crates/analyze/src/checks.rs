@@ -577,7 +577,7 @@ pub fn check_probe_parallelism(spec: &PlanSpec<'_>, out: &mut Vec<Diagnostic>) {
         return;
     };
     if spec.workers >= host {
-        let per = (host / spec.workers.max(1)).max(1);
+        let per = parjoin_common::threads::per_worker_threads(spec.workers, Some(host));
         out.push(
             Diagnostic::warning(
                 DiagCode::ProbeParallelismDegraded,

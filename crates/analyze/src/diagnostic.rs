@@ -11,6 +11,10 @@ use std::fmt;
 /// How bad a finding is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Severity {
+    /// Not a problem at all: a positive fact worth surfacing, such as a
+    /// parallel-correctness proof certificate attached in `certify`
+    /// mode.
+    Info,
     /// The plan will run and produce correct results, but something is
     /// off — wasted workers, a cartesian blow-up, a predicted memory
     /// overrun.
@@ -23,6 +27,7 @@ pub enum Severity {
 impl fmt::Display for Severity {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            Severity::Info => f.write_str("info"),
             Severity::Warning => f.write_str("warning"),
             Severity::Error => f.write_str("error"),
         }
@@ -122,6 +127,37 @@ pub enum DiagCode {
     /// experiments that expect intra-worker parallelism need
     /// `workers < host_cores`.
     ProbeParallelismDegraded,
+
+    /// The distribution policy is statically *proved* parallel-correct
+    /// (in the sense of Ameloot et al.): for every valuation of the
+    /// query's variables, some worker receives every fact the valuation
+    /// needs. Emitted only in `certify` mode; carries the per-dimension
+    /// proof obligations as context.
+    PolicyCertified,
+    /// The distribution policy is **not** parallel-correct: the attached
+    /// context carries a concrete counterexample valuation whose
+    /// required facts share no worker under the policy's actual hash
+    /// routing.
+    PolicyCounterexample,
+    /// The policy failed the symbolic agreement criterion, but the
+    /// bounded concrete search found no valuation that actually fails —
+    /// hash collisions over small domains can mask one. The plan is not
+    /// certified; treat it as suspect.
+    PolicyUnproven,
+    /// The policy is structurally malformed (a pin on a variable the
+    /// atom does not contain, a pin vector of the wrong length, a
+    /// zero-extent dimension): it describes no executable routing.
+    PolicyMalformed,
+    /// A previously certified policy *transfers*: the query inherits a
+    /// prior query's shuffled placement (matched per relation), and
+    /// that placement is parallel-correct for this query too. Cache or
+    /// placement reuse across the two queries is certified.
+    PolicyTransferred,
+    /// The transfer check failed: the prior query's placement either
+    /// does not determine a routing for this query (a relation it never
+    /// shuffled, or conflicting routes) or is provably not
+    /// parallel-correct for it. Cross-query reuse must re-shuffle.
+    PolicyNotTransferable,
 }
 
 impl DiagCode {
@@ -151,6 +187,12 @@ impl DiagCode {
             DiagCode::BatchOverBudget => "R411",
             DiagCode::SortCacheOverBudget => "R412",
             DiagCode::ProbeParallelismDegraded => "R413",
+            DiagCode::PolicyCertified => "R420",
+            DiagCode::PolicyCounterexample => "R421",
+            DiagCode::PolicyUnproven => "R422",
+            DiagCode::PolicyMalformed => "R423",
+            DiagCode::PolicyTransferred => "R424",
+            DiagCode::PolicyNotTransferable => "R425",
         }
     }
 }
@@ -196,6 +238,17 @@ impl Diagnostic {
         }
     }
 
+    /// A new info diagnostic (positive findings, e.g. proof
+    /// certificates).
+    pub fn info(code: DiagCode, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Info,
+            message: message.into(),
+            context: Vec::new(),
+        }
+    }
+
     /// Attaches one key–value context entry (builder style).
     #[must_use]
     pub fn with(mut self, key: impl Into<String>, value: impl fmt::Display) -> Self {
@@ -225,6 +278,17 @@ impl fmt::Display for Diagnostic {
 /// True if any diagnostic is an [`Severity::Error`].
 pub fn has_errors(diags: &[Diagnostic]) -> bool {
     diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+/// Sorts diagnostics into the canonical report order: by code, then by
+/// the site they anchor to (message, then context). The sort is stable,
+/// so findings the same pass emitted for the same site keep their
+/// emission order. CI diffs and certificate snapshots depend on this
+/// ordering being deterministic across runs and platforms.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.code.code(), &a.message, &a.context).cmp(&(b.code.code(), &b.message, &b.context))
+    });
 }
 
 #[cfg(test)]

@@ -33,20 +33,37 @@
 //!   shuffle-specific per-worker load estimate is compared against the
 //!   cluster memory budget, turning a guaranteed mid-flight
 //!   `MemoryBudget` abort into an upfront warning.
+//! * **Parallel-correctness certification** ([`policy`], [`transfer`]):
+//!   every plan's shuffle strategy is modeled as an explicit
+//!   distribution policy over a worker grid and *decided* — either
+//!   proved parallel-correct (a certificate listing the per-dimension
+//!   hash-agreement obligations, attached in `certify` mode as R420) or
+//!   refuted with a minimal concrete counterexample valuation (R421).
+//!   The [`transfer`] module extends the decision across queries:
+//!   whether one query's shuffled placement is certified
+//!   parallel-correct for a follow-up query (R424/R425), which backs
+//!   zero-communication plan reuse and certified sort-cache hits.
 //!
 //! Errors mean "the engine must refuse to run this"; warnings ride
 //! along with the result. The engine converts its plan types into a
 //! [`PlanSpec`] and calls [`analyze`] at the top of `run_config`.
+//! Diagnostics are returned in a canonical deterministic order (by
+//! code, then site) regardless of pass execution order.
 
 pub mod checks;
 pub mod diagnostic;
+pub mod policy;
 pub mod spec;
+pub mod transfer;
 
-pub use diagnostic::{has_errors, DiagCode, Diagnostic, Severity};
+pub use diagnostic::{has_errors, sort_diagnostics, DiagCode, Diagnostic, Severity};
+pub use policy::{certify, certify_spec, planned_policy, Policy, Verdict};
 pub use spec::{JoinKind, PlanSpec, ShuffleKind};
+pub use transfer::{transfers, TransferVerdict};
 
 /// Runs every analysis pass over the plan and returns the combined
-/// findings (errors and warnings, in pass order).
+/// findings (errors and warnings, sorted canonically by code then
+/// site).
 pub fn analyze(spec: &PlanSpec<'_>) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     checks::check_query(spec, &mut out);
@@ -57,6 +74,8 @@ pub fn analyze(spec: &PlanSpec<'_>) -> Vec<Diagnostic> {
     checks::check_sort_cache(spec, &mut out);
     checks::check_probe_parallelism(spec, &mut out);
     checks::check_runtime(spec, &mut out);
+    policy::check(spec, &mut out);
+    sort_diagnostics(&mut out);
     out
 }
 

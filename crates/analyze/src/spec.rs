@@ -67,6 +67,12 @@ pub struct PlanSpec<'a> {
     /// silently degrades both to single-threaded. `None` (host unknown)
     /// skips the check.
     pub host_cores: Option<usize>,
+    /// The cluster's base hash seed. The parallel-correctness certifier
+    /// derives the plan's concrete hash channels (join-key seeds,
+    /// per-dimension seeds) from it, so counterexample valuations found
+    /// by [`crate::policy`] fail under the engine's *actual* routing.
+    /// Symbolic certification does not depend on its value.
+    pub seed: u64,
 }
 
 impl<'a> PlanSpec<'a> {
@@ -90,6 +96,7 @@ impl<'a> PlanSpec<'a> {
             tj_order: None,
             batch_tuples: None,
             host_cores: None,
+            seed: 0,
         }
     }
 
@@ -139,6 +146,13 @@ impl<'a> PlanSpec<'a> {
     #[must_use]
     pub fn with_host_cores(mut self, cores: usize) -> Self {
         self.host_cores = Some(cores);
+        self
+    }
+
+    /// Sets the cluster's base hash seed (builder style).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
         self
     }
 

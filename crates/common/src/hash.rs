@@ -72,6 +72,19 @@ pub fn dimension_seed(base: u64, dim: usize) -> u64 {
     hash64(dim as u64 + 1, base ^ 0xa076_1d64_78bd_642f)
 }
 
+/// Derives the seed for hashing on a specific key-attribute set,
+/// identified by its sorted attribute ids. Both sides of a join
+/// partition with the seed of the same id set, so co-joining tuples
+/// meet; the engine's `join_key_seed` and the analyzer's policy model
+/// must derive *identical* seeds, which is why the fold lives here.
+pub fn key_seed(base: u64, sorted_ids: &[u64]) -> u64 {
+    let mut acc = base ^ 0xc3a5_c85c_97cb_3127;
+    for &v in sorted_ids {
+        acc = hash64(v, acc);
+    }
+    acc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

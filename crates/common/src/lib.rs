@@ -19,12 +19,16 @@
 //!   [`Relation::sort_lex`] and the engine's parallel prepare.
 //! * [`stats`] — skew metrics (max/average load ratios) exactly as reported
 //!   in the paper's Tables 2–4.
+//! * [`threads`] — the workspace's two thread-count heuristics (phase
+//!   pool width, per-worker leftover cores), deduplicated here so the
+//!   concurrency lint wall has one site to audit.
 
 pub mod db;
 pub mod hash;
 pub mod relation;
 pub mod sort;
 pub mod stats;
+pub mod threads;
 pub mod wire;
 
 pub use db::Database;

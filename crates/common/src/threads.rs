@@ -1,0 +1,61 @@
+//! The workspace's thread-count heuristics, in one place.
+//!
+//! Two rules govern how the engine spends host cores, and both used to
+//! be re-derived inline at each call site (executor pool, prepare sorts,
+//! probe morsels, analyzer pre-flight). They live here so there is
+//! exactly one site to audit — the concurrency lints in `cargo xtask
+//! lint` assume spawn fan-out is always derived from these helpers.
+//!
+//! * [`pool_threads`] — how many OS threads a *phase pool* runs over `w`
+//!   simulated workers: the host's parallelism clamped to `[1, w]`.
+//!   One task (simulated worker) per thread at a time keeps per-worker
+//!   busy timings honest.
+//! * [`per_worker_threads`] — how many *extra* threads each simulated
+//!   worker may claim for intra-worker work (chunked prepare sorts,
+//!   probe morsels): the cores left over after every worker got one,
+//!   `host / w`, at least 1. Worker-level parallelism takes priority
+//!   because per-worker jobs are independent, while intra-worker
+//!   parallelism pays merge/handoff overhead for its speedup.
+//!
+//! `host = None` (the host refused to report its parallelism) degrades
+//! both rules to a single thread rather than guessing.
+
+/// Pool width for a phase over `workers` simulated workers: the host's
+/// available parallelism, clamped to `[1, workers]`.
+pub fn pool_threads(workers: usize, host: Option<usize>) -> usize {
+    host.unwrap_or(1).min(workers).max(1)
+}
+
+/// Threads each simulated worker may claim for intra-worker work: the
+/// host cores left over after giving every worker one (`host / workers`,
+/// at least 1).
+pub fn per_worker_threads(workers: usize, host: Option<usize>) -> usize {
+    (host.unwrap_or(1) / workers.max(1)).max(1)
+}
+
+/// The host's available parallelism, or `None` when the platform
+/// refuses to report it (sandboxed cgroups, exotic targets).
+pub fn host_parallelism() -> Option<usize> {
+    std::thread::available_parallelism().ok().map(|n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_clamps_to_workers_and_one() {
+        assert_eq!(pool_threads(4, Some(16)), 4);
+        assert_eq!(pool_threads(16, Some(4)), 4);
+        assert_eq!(pool_threads(4, None), 1);
+        assert_eq!(pool_threads(0, Some(8)), 1);
+    }
+
+    #[test]
+    fn per_worker_divides_leftover_cores() {
+        assert_eq!(per_worker_threads(4, Some(16)), 4);
+        assert_eq!(per_worker_threads(16, Some(4)), 1);
+        assert_eq!(per_worker_threads(4, None), 1);
+        assert_eq!(per_worker_threads(0, Some(8)), 8);
+    }
+}

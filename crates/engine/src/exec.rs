@@ -23,8 +23,10 @@ use parjoin_obs::{Lane, TraceSink};
 /// Pool width for a phase over `workers` simulated workers: the host's
 /// available parallelism, clamped to `[1, workers]`. Falls back to a
 /// single thread when the host refuses to report its core count.
+/// (Shared with the analyzer through `parjoin_common::threads` so the
+/// pre-flight checks predict exactly what the executor does.)
 fn pool_threads(workers: usize, host: Option<usize>) -> usize {
-    host.unwrap_or(1).min(workers).max(1)
+    parjoin_common::threads::pool_threads(workers, host)
 }
 
 /// A [`Diagnostic`] describing the host-parallelism fallback, or `None`
@@ -36,7 +38,7 @@ fn pool_threads(workers: usize, host: Option<usize>) -> usize {
 /// `run_config` surfaces this through the plan's diagnostics instead of
 /// leaving users to wonder why the simulator is slow.
 pub fn parallelism_warning() -> Option<Diagnostic> {
-    parallelism_warning_for(std::thread::available_parallelism().ok().map(|n| n.get()))
+    parallelism_warning_for(parjoin_common::threads::host_parallelism())
 }
 
 fn parallelism_warning_for(host: Option<usize>) -> Option<Diagnostic> {
@@ -101,16 +103,16 @@ where
     T: Send,
     F: Fn(usize, &Lane) -> T + Sync,
 {
-    let threads = pool_threads(
-        workers,
-        std::thread::available_parallelism().ok().map(|n| n.get()),
-    );
+    let threads = pool_threads(workers, parjoin_common::threads::host_parallelism());
     let slots: Mutex<Vec<Option<(T, Duration)>>> = Mutex::new((0..workers).map(|_| None).collect());
     let cursor = AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
+                // Worker claim ticket: the counter orders nothing but
+                // itself (results go through the mutexed slots), so
+                // relaxed ordering is safe. xtask: allow(ordering)
                 let w = cursor.fetch_add(1, Ordering::Relaxed);
                 if w >= workers {
                     break;

@@ -28,7 +28,7 @@ use crate::local::{hash_join, merge_join, SchemaRel};
 use crate::prepare;
 use crate::probe;
 use crate::shuffle;
-use crate::sortcache::{Lookup, SortCache};
+use crate::sortcache::{Lookup, Provenance, SortCache};
 use parjoin_analyze::{self as analyze, Diagnostic};
 use parjoin_common::{Relation, ShuffleStats};
 use parjoin_core::hypercube::{HcConfig, ShareProblem};
@@ -147,6 +147,19 @@ pub struct PlanOptions {
     /// benchmarks that must exercise a fixed thread count regardless of
     /// the machine they run on.
     pub probe_threads: Option<usize>,
+    /// Certify the plan's distribution policy before running: the
+    /// pre-flight analyzer models the shuffle strategy (regular steps,
+    /// broadcast, or the actual HyperCube share assignment) as an
+    /// explicit policy and statically *proves* it parallel-correct,
+    /// attaching the R420 proof certificate (per-dimension hash-agreement
+    /// obligations) to [`RunResult::diagnostics`] — or refuses to run
+    /// with a concrete R421 counterexample valuation. This replaces the
+    /// sampled co-location asserts of the `strict-invariants` feature
+    /// (which are skipped when certifying: the proof covers *all*
+    /// valuations, the samples only the shuffled ones) and additionally
+    /// upgrades Tributary sort-cache lookups to *certified* hits keyed
+    /// by the placement's route signature.
+    pub certify: bool,
     /// Write a chrome://tracing / Perfetto-loadable JSON trace of the run
     /// to this path. Tracing is enabled **only** when this is set; with
     /// `None` the span machinery stays disabled and costs nothing on the
@@ -216,6 +229,12 @@ pub struct RunResult {
     pub sort_cache_hits: u64,
     /// Tributary prepare lookups that sorted fresh during this run.
     pub sort_cache_misses: u64,
+    /// Subset of [`RunResult::sort_cache_hits`](Self::sort_cache_hits)
+    /// served under a *certified* route-signature match (only possible
+    /// with [`PlanOptions::certify`]): the cached view's placement
+    /// function was proved identical to this plan's, so the hit is sound
+    /// on every worker, not assumed from one fragment's content match.
+    pub sort_cache_certified_hits: u64,
     /// Per-worker probe threads the plan ran with (1 = sequential probe;
     /// see [`crate::probe`]).
     pub probe_threads: u64,
@@ -251,6 +270,8 @@ pub mod metric_names {
     pub const SORT_CACHE_HITS: &str = "engine.sortcache.hits";
     /// Mirror of [`RunResult::sort_cache_misses`](super::RunResult).
     pub const SORT_CACHE_MISSES: &str = "engine.sortcache.misses";
+    /// Mirror of [`RunResult::sort_cache_certified_hits`](super::RunResult).
+    pub const SORT_CACHE_CERTIFIED: &str = "engine.sortcache.certified_hits";
     /// Mirror of [`RunResult::probe_morsels`](super::RunResult).
     pub const PROBE_MORSELS: &str = "engine.probe.morsels";
     /// Mirror of [`RunResult::probe_threads`](super::RunResult).
@@ -299,6 +320,10 @@ impl RunObs {
         reg.add(metric_names::SHUFFLES, result.shuffles.len() as u64);
         reg.add(metric_names::SORT_CACHE_HITS, result.sort_cache_hits);
         reg.add(metric_names::SORT_CACHE_MISSES, result.sort_cache_misses);
+        reg.add(
+            metric_names::SORT_CACHE_CERTIFIED,
+            result.sort_cache_certified_hits,
+        );
         reg.add(metric_names::PROBE_MORSELS, result.probe_morsels);
         reg.add(metric_names::PROBE_THREADS, result.probe_threads);
         reg.add(metric_names::PEAK_WORKER_TUPLES, result.peak_worker_tuples);
@@ -356,6 +381,7 @@ impl RunResult {
             diagnostics: Vec::new(),
             sort_cache_hits: 0,
             sort_cache_misses: 0,
+            sort_cache_certified_hits: 0,
             probe_threads: 1,
             probe_morsels: 0,
             metrics: Vec::new(),
@@ -395,9 +421,19 @@ impl RunResult {
         );
         let _ = writeln!(
             s,
-            "sort-cache {} hit(s) / {} miss(es)   probe {} thread(s), {} morsel(s)",
-            self.sort_cache_hits, self.sort_cache_misses, self.probe_threads, self.probe_morsels
+            "sort-cache {} hit(s) ({} certified) / {} miss(es)   probe {} thread(s), {} morsel(s)",
+            self.sort_cache_hits,
+            self.sort_cache_certified_hits,
+            self.sort_cache_misses,
+            self.probe_threads,
+            self.probe_morsels
         );
+        if !self.diagnostics.is_empty() {
+            let _ = writeln!(s, "\ndiagnostics:");
+            for d in &self.diagnostics {
+                let _ = writeln!(s, "  {d}");
+            }
+        }
 
         let share = |d: Duration| -> f64 {
             let total = self.total_cpu.as_secs_f64();
@@ -801,7 +837,8 @@ pub(crate) fn run_config_with_obs(
             .transport
             .is_streaming()
             .then_some(cluster.batch_tuples as u64),
-        host_cores: std::thread::available_parallelism().ok().map(|n| n.get()),
+        host_cores: parjoin_common::threads::host_parallelism(),
+        seed: cluster.seed,
     };
     let diagnostics = analyze::analyze(&spec);
     if analyze::has_errors(&diagnostics) {
@@ -809,6 +846,47 @@ pub(crate) fn run_config_with_obs(
     }
     result.diagnostics = diagnostics;
     result.diagnostics.extend(parallelism_warning());
+
+    // Certify mode: statically prove the plan's distribution policy
+    // parallel-correct (R420) or refuse to run with a concrete
+    // counterexample valuation (R421). One-round plans additionally get
+    // the per-atom route signatures of the certified placement, which
+    // upgrade Tributary sort-cache lookups to certified hits.
+    let route_sigs: Option<Vec<String>> = if opts.certify {
+        let (planned, mut cert_diags) = analyze::certify_spec(&spec);
+        if analyze::has_errors(&cert_diags) {
+            return Err(EngineError::InvalidPlan(cert_diags));
+        }
+        if opts.skew_resilient && shuffle_alg == ShuffleAlg::Regular {
+            // The certificate covers the plain hash route. The PRPD
+            // fallback the skew_resilient knob adds for heavy keys
+            // (spread one side, replicate the other) preserves
+            // co-location by construction, so the verdict stands; the
+            // note keeps the certificate honest about what it models.
+            for d in &mut cert_diags {
+                if d.code == analyze::DiagCode::PolicyCertified {
+                    d.context.push((
+                        "note".to_string(),
+                        "skew_resilient: heavy keys take the PRPD spread/replicate \
+                         route, which co-locates every joining pair by construction; \
+                         the hash-route proof covers light keys"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+        let sigs = planned.as_ref().filter(|p| p.units.len() == 1).map(|p| {
+            let unit = &p.units[0];
+            (0..unit.atom_vars.len())
+                .map(|i| unit.policy.route_signature(i))
+                .collect()
+        });
+        result.diagnostics.extend(cert_diags);
+        sigs
+    } else {
+        None
+    };
+    analyze::sort_diagnostics(&mut result.diagnostics);
     result.probe_threads = opts.effective_probe_threads(cluster.workers) as u64;
 
     // A streaming transport gets a live worker runtime for the plan's
@@ -857,6 +935,7 @@ pub(crate) fn run_config_with_obs(
             residual,
             rt.as_ref(),
             obs,
+            route_sigs.as_deref(),
             &mut result,
         )?,
     }
@@ -991,8 +1070,13 @@ fn run_regular(
         result.absorb_shuffle(s2);
         result.rounds += 1;
 
+        // Certify mode replaces the sampled co-location assert: the
+        // R420 certificate proves co-location for *all* valuations, so
+        // re-checking a sample of shuffled tuples adds nothing.
         #[cfg(feature = "strict-invariants")]
-        crate::strict::assert_colocated(&cur_s, &next_s, &shuffle_key, "regular shuffle");
+        if !opts.certify {
+            crate::strict::assert_colocated(&cur_s, &next_s, &shuffle_key, "regular shuffle");
+        }
 
         // Per-worker binary join.
         let out_schema = {
@@ -1111,6 +1195,7 @@ fn run_one_round(
     pending: Vec<Filter>,
     rt: Option<&Runtime>,
     obs: &RunObs,
+    route_sigs: Option<&[String]>,
     result: &mut RunResult,
 ) -> Result<(), EngineError> {
     // Tributary global variable order (cost-model optimized once on the
@@ -1195,14 +1280,18 @@ fn run_one_round(
         ShuffleAlg::Regular => unreachable!("handled by run_regular"),
     };
 
+    // Certify mode replaces the sampled co-location assert with the
+    // static R420 proof (see `PlanOptions::certify`).
     #[cfg(feature = "strict-invariants")]
-    crate::strict::assert_all_colocated(
-        &shuffled,
-        match shuffle_alg {
-            ShuffleAlg::Broadcast => "broadcast shuffle",
-            _ => "hypercube shuffle",
-        },
-    );
+    if route_sigs.is_none() {
+        crate::strict::assert_all_colocated(
+            &shuffled,
+            match shuffle_alg {
+                ShuffleAlg::Broadcast => "broadcast shuffle",
+                _ => "hypercube shuffle",
+            },
+        );
+    }
 
     result.rounds += 1;
     {
@@ -1268,19 +1357,20 @@ fn run_one_round(
                 }
                 drop(probe_span);
                 let out = cur.project(&head);
-                (out.rel, live, Duration::ZERO, 0u64, 0u64, morsels)
+                (out.rel, live, Duration::ZERO, 0u64, 0u64, 0u64, morsels)
             }
             JoinAlg::Tributary => {
                 // Computed unconditionally above for Tributary plans.
                 let order = tj_order.as_ref().expect("TJ order computed"); // xtask: allow(expect)
                                                                            // Restrict the order to variables present locally (all of
                                                                            // them, for full queries).
-                let (mut hits, mut misses) = (0u64, 0u64);
+                let (mut hits, mut misses, mut certified) = (0u64, 0u64, 0u64);
                 let prep_span = lane.span("prepare", "engine");
                 let t_sort = std::time::Instant::now();
                 let prepared: Vec<SortedAtom> = locals
                     .iter()
-                    .map(|l| {
+                    .enumerate()
+                    .map(|(i, l)| {
                         if opts.sequential_prepare {
                             SortedAtom::prepare(&l.rel, &l.vars, order)
                         } else {
@@ -1295,10 +1385,32 @@ fn run_one_round(
                                         cols.len().max(1) * std::mem::size_of::<u64>(),
                                     )
                                 });
-                                let (view, lookup) =
-                                    SortCache::global().get_or_sort(r, cols, cap, |r, cols| {
-                                        prepare::sorted_by_columns_parallel(r, cols, prep_threads)
-                                    });
+                                let sort = |r: &Relation, cols: &[usize]| {
+                                    prepare::sorted_by_columns_parallel(r, cols, prep_threads)
+                                };
+                                // With a certified policy, hits require a
+                                // route-signature match — the cached view's
+                                // placement is *proved* identical to this
+                                // plan's, not assumed from one fragment's
+                                // content (see `SortCache::get_or_sort_certified`).
+                                let (view, lookup) = match route_sigs.and_then(|s| s.get(i)) {
+                                    Some(sig) => {
+                                        let (view, lookup, cert) = SortCache::global()
+                                            .get_or_sort_certified(
+                                                r,
+                                                cols,
+                                                cap,
+                                                Provenance {
+                                                    query: query.name.clone(),
+                                                    route: sig.clone(),
+                                                },
+                                                sort,
+                                            );
+                                        certified += u64::from(cert);
+                                        (view, lookup)
+                                    }
+                                    None => SortCache::global().get_or_sort(r, cols, cap, sort),
+                                };
                                 match lookup {
                                     Lookup::Hit => hits += 1,
                                     Lookup::Miss => misses += 1,
@@ -1324,14 +1436,23 @@ fn run_one_round(
                 let probed = probe::tributary_probe(&tj, &prepared, &head, probe_threads);
                 drop(probe_span);
                 let live = live + probed.rel.len() as u64;
-                (probed.rel, live, sort_time, hits, misses, probed.morsels)
+                (
+                    probed.rel,
+                    live,
+                    sort_time,
+                    hits,
+                    misses,
+                    certified,
+                    probed.morsels,
+                )
             }
         }
     });
 
     let mut outputs = Vec::with_capacity(cluster.workers);
     let mut sort_times = Vec::with_capacity(cluster.workers);
-    for (w, (rel, live, sort, hits, misses, morsels)) in phase.results.iter().enumerate() {
+    for (w, (rel, live, sort, hits, misses, certified, morsels)) in phase.results.iter().enumerate()
+    {
         check_budget(cluster, w, *live)?;
         result.peak_worker_tuples = result.peak_worker_tuples.max(*live);
         result.probe_morsels += morsels;
@@ -1339,6 +1460,7 @@ fn run_one_round(
         sort_times.push(*sort);
         result.sort_cache_hits += hits;
         result.sort_cache_misses += misses;
+        result.sort_cache_certified_hits += certified;
     }
     result.absorb_phase(&phase.busy, Some(&sort_times));
 

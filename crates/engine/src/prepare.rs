@@ -29,16 +29,12 @@ const PARALLEL_MIN_ROWS: usize = 8192;
 /// (`cores / workers`, at least 1). `None` (unknown host parallelism)
 /// degrades to 1, matching the executor pool's own fallback.
 pub fn prepare_threads(workers: usize, host: Option<usize>) -> usize {
-    let host = host.unwrap_or(1);
-    (host / workers.max(1)).max(1)
+    parjoin_common::threads::per_worker_threads(workers, host)
 }
 
 /// [`prepare_threads`] for the actual host.
 pub fn prepare_threads_for_host(workers: usize) -> usize {
-    prepare_threads(
-        workers,
-        std::thread::available_parallelism().ok().map(|n| n.get()),
-    )
+    prepare_threads(workers, parjoin_common::threads::host_parallelism())
 }
 
 /// `rel.sorted_by_columns(cols)` computed with up to `threads` chunk

@@ -106,6 +106,9 @@ where
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
+                // Morsel claim ticket: the counter is the only shared
+                // state and carries no data dependencies, so relaxed
+                // ordering is safe. xtask: allow(ordering)
                 let m = cursor.fetch_add(1, Ordering::Relaxed);
                 if m >= n {
                     break;

@@ -28,13 +28,9 @@ use std::sync::Arc;
 /// Derives a deterministic seed for hashing on a specific variable set,
 /// so that the two sides of a join partition identically.
 pub fn join_key_seed(base: u64, on: &[VarId]) -> u64 {
-    let mut acc = base ^ 0xc3a5_c85c_97cb_3127;
-    let mut sorted: Vec<u32> = on.iter().map(|v| v.0).collect();
+    let mut sorted: Vec<u64> = on.iter().map(|v| u64::from(v.0)).collect();
     sorted.sort_unstable();
-    for v in sorted {
-        acc = hash::hash64(v as u64, acc);
-    }
-    acc
+    hash::key_seed(base, &sorted)
 }
 
 /// Runs `router` over `input` — sequentially when `rt` is `None`

@@ -49,12 +49,37 @@ pub struct CacheStats {
     pub resident_bytes: u64,
     /// Entries currently resident.
     pub entries: u64,
+    /// Hits whose stored route signature matched the requested one —
+    /// the placement identity was *proved*, not assumed (see
+    /// [`SortCache::get_or_sort_certified`]).
+    pub certified_hits: u64,
+    /// Certified lookups that found matching content under a different
+    /// (or unknown) route signature and refused the hit.
+    pub route_rejects: u64,
+}
+
+/// Where a cached view came from: which query's run shuffled the
+/// fragment, and the canonical *route signature* of the placement
+/// function that put it on this worker (see
+/// `parjoin_analyze::policy::Policy::route_signature`). A content
+/// fingerprint proves one worker's fragment matches; only equal route
+/// signatures prove every worker's fragment matches — which is what a
+/// cross-query cache hit actually asserts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Provenance {
+    /// Name of the query whose run produced the view.
+    pub query: String,
+    /// Canonical placement-function signature of the fragment's shuffle.
+    pub route: String,
 }
 
 struct Entry {
     view: Arc<Relation>,
     bytes: usize,
     last_used: u64,
+    /// Stamp of the certified lookup that inserted the view; `None` for
+    /// entries inserted through the uncertified [`SortCache::get_or_sort`].
+    prov: Option<Provenance>,
 }
 
 struct Inner {
@@ -65,6 +90,8 @@ struct Inner {
     hits: u64,
     misses: u64,
     evictions: u64,
+    certified_hits: u64,
+    route_rejects: u64,
 }
 
 /// An LRU cache mapping `(relation fingerprint, column permutation)` to
@@ -86,6 +113,8 @@ impl SortCache {
                 hits: 0,
                 misses: 0,
                 evictions: 0,
+                certified_hits: 0,
+                route_rejects: 0,
             }),
         }
     }
@@ -114,18 +143,72 @@ impl SortCache {
     where
         F: FnOnce(&Relation, &[usize]) -> Relation,
     {
+        let (view, lookup, _) = self.lookup_or_sort(rel, cols, max_entry_bytes, None, sort);
+        (view, lookup)
+    }
+
+    /// [`SortCache::get_or_sort`] with a *certified* hit condition: the
+    /// cached view is served only when the stored [`Provenance`]'s route
+    /// signature equals `prov.route` — i.e. when the placement function
+    /// that shuffled the cached fragment is provably the same one that
+    /// would shuffle this request, so *every* worker's fragment matches,
+    /// not just the one whose content fingerprint happened to agree.
+    /// Matching content under a different or unknown route is counted as
+    /// a route reject, re-sorted fresh, and the entry is re-stamped with
+    /// `prov`. The third return is `true` exactly on a certified hit.
+    pub fn get_or_sort_certified<F>(
+        &self,
+        rel: &Relation,
+        cols: &[usize],
+        max_entry_bytes: Option<usize>,
+        prov: Provenance,
+        sort: F,
+    ) -> (Arc<Relation>, Lookup, bool)
+    where
+        F: FnOnce(&Relation, &[usize]) -> Relation,
+    {
+        self.lookup_or_sort(rel, cols, max_entry_bytes, Some(prov), sort)
+    }
+
+    fn lookup_or_sort<F>(
+        &self,
+        rel: &Relation,
+        cols: &[usize],
+        max_entry_bytes: Option<usize>,
+        prov: Option<Provenance>,
+        sort: F,
+    ) -> (Arc<Relation>, Lookup, bool)
+    where
+        F: FnOnce(&Relation, &[usize]) -> Relation,
+    {
         let key = (rel.fingerprint(), cols.to_vec());
         {
             let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
             inner.tick += 1;
             let tick = inner.tick;
-            if let Some(e) = inner.map.get_mut(&key) {
-                e.last_used = tick;
-                let view = Arc::clone(&e.view);
-                inner.hits += 1;
-                return (view, Lookup::Hit);
+            match inner.map.get_mut(&key) {
+                Some(e) => {
+                    let route_ok = match &prov {
+                        // Uncertified lookups keep their historical
+                        // contract: identical content is enough.
+                        None => true,
+                        Some(p) => e.prov.as_ref().is_some_and(|ep| ep.route == p.route),
+                    };
+                    if route_ok {
+                        e.last_used = tick;
+                        let view = Arc::clone(&e.view);
+                        inner.hits += 1;
+                        let certified = prov.is_some();
+                        if certified {
+                            inner.certified_hits += 1;
+                        }
+                        return (view, Lookup::Hit, certified);
+                    }
+                    inner.route_rejects += 1;
+                    inner.misses += 1;
+                }
+                None => inner.misses += 1,
             }
-            inner.misses += 1;
         }
         // Sort outside the lock: concurrent workers preparing different
         // relations must not serialize on the cache mutex.
@@ -133,7 +216,17 @@ impl SortCache {
         let bytes = view.approx_bytes();
         let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         let fits_budget = max_entry_bytes.is_none_or(|cap| bytes <= cap);
-        if bytes <= inner.capacity && fits_budget && !inner.map.contains_key(&key) {
+        if bytes <= inner.capacity && fits_budget {
+            // A certified re-sort replaces (re-stamps) a same-key entry
+            // whose route failed verification; an uncertified insert
+            // racing a concurrent identical insert keeps the incumbent.
+            if prov.is_some() {
+                if let Some(old) = inner.map.remove(&key) {
+                    inner.resident -= old.bytes;
+                }
+            } else if inner.map.contains_key(&key) {
+                return (view, Lookup::Miss, false);
+            }
             while inner.resident + bytes > inner.capacity {
                 let Some(victim) = inner
                     .map
@@ -157,10 +250,11 @@ impl SortCache {
                     view: Arc::clone(&view),
                     bytes,
                     last_used: tick,
+                    prov,
                 },
             );
         }
-        (view, Lookup::Miss)
+        (view, Lookup::Miss, false)
     }
 
     /// Cumulative counters since process start (or [`SortCache::clear`]).
@@ -172,6 +266,8 @@ impl SortCache {
             evictions: inner.evictions,
             resident_bytes: inner.resident as u64,
             entries: inner.map.len() as u64,
+            certified_hits: inner.certified_hits,
+            route_rejects: inner.route_rejects,
         }
     }
 
@@ -183,6 +279,8 @@ impl SortCache {
         inner.hits = 0;
         inner.misses = 0;
         inner.evictions = 0;
+        inner.certified_hits = 0;
+        inner.route_rejects = 0;
     }
 }
 
@@ -263,6 +361,51 @@ mod tests {
         let (_, l2) = cache.get_or_sort(&rel, &[0, 1], Some(8), sorted);
         assert_eq!((l1, l2), (Lookup::Miss, Lookup::Miss), "view over budget");
         assert_eq!(cache.stats().entries, 0);
+    }
+
+    fn prov(query: &str, route: &str) -> Provenance {
+        Provenance {
+            query: query.to_string(),
+            route: route.to_string(),
+        }
+    }
+
+    #[test]
+    fn certified_hit_requires_matching_route() {
+        let cache = SortCache::with_capacity(1 << 20);
+        let rel = sample(7);
+        let (_, l1, c1) =
+            cache.get_or_sort_certified(&rel, &[0, 1], None, prov("Q1", "hA(v0)/4"), sorted);
+        assert_eq!((l1, c1), (Lookup::Miss, false));
+        // Same content, same route, *different query*: the certified
+        // cross-query hit the transfer machinery promises.
+        let (_, l2, c2) =
+            cache.get_or_sort_certified(&rel, &[0, 1], None, prov("Q2", "hA(v0)/4"), sorted);
+        assert_eq!((l2, c2), (Lookup::Hit, true));
+        // Same content but a different placement function: refused.
+        let (_, l3, c3) =
+            cache.get_or_sort_certified(&rel, &[0, 1], None, prov("Q3", "hB(v0)/4"), sorted);
+        assert_eq!((l3, c3), (Lookup::Miss, false));
+        let s = cache.stats();
+        assert_eq!(s.certified_hits, 1);
+        assert_eq!(s.route_rejects, 1);
+        // The reject re-stamped the entry, so the new route now hits.
+        let (_, l4, c4) =
+            cache.get_or_sort_certified(&rel, &[0, 1], None, prov("Q4", "hB(v0)/4"), sorted);
+        assert_eq!((l4, c4), (Lookup::Hit, true));
+    }
+
+    #[test]
+    fn certified_lookup_rejects_unstamped_entries() {
+        let cache = SortCache::with_capacity(1 << 20);
+        let rel = sample(8);
+        // Inserted through the uncertified path: no provenance stamp.
+        cache.get_or_sort(&rel, &[0, 1], None, sorted);
+        let (_, l, c) = cache.get_or_sort_certified(&rel, &[0, 1], None, prov("Q1", "r"), sorted);
+        assert_eq!((l, c), (Lookup::Miss, false), "unknown route must not hit");
+        // Uncertified lookups still hit the (now stamped) entry.
+        let (_, l2) = cache.get_or_sort(&rel, &[0, 1], None, sorted);
+        assert_eq!(l2, Lookup::Hit);
     }
 
     #[test]

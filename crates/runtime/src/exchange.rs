@@ -59,8 +59,10 @@ pub fn run_worker(
     let (mut sender, mut receiver) = endpoint.split();
 
     let drain_obs = obs.clone();
+    // `drain` is joined below once this thread finishes sending.
     let drain = std::thread::Builder::new()
         .name(format!("parjoin-drain-{id}"))
+        // xtask: allow(spawn)
         .spawn(move || -> Result<(Vec<Relation>, u64), RuntimeError> {
             let mut per_src: Vec<Relation> = (0..workers).map(|_| Relation::new(arity)).collect();
             let mut bytes = 0u64;

@@ -177,8 +177,10 @@ impl Runtime {
         let mut workers = Vec::with_capacity(config.workers);
         for id in 0..config.workers {
             let (tx, rx) = channel::<Job>();
+            // The handle is kept in `Worker` and joined by `shutdown`.
             let handle = std::thread::Builder::new()
                 .name(format!("parjoin-worker-{id}"))
+                // xtask: allow(spawn)
                 .spawn(move || {
                     let mut ctx = WorkerCtx {
                         id,

@@ -161,8 +161,12 @@ impl Transport for Tcp {
                 }
                 let inbox = tx.clone();
                 let decode_errors = self.obs.rx_decode_errors.clone();
+                // Intentionally detached: the reader exits on its own
+                // when the peer closes the socket (EOF) or the inbox
+                // receiver is dropped at shutdown.
                 std::thread::Builder::new()
                     .name(format!("parjoin-tcp-read-{src}"))
+                    // xtask: allow(spawn)
                     .spawn(move || read_frames(s, src, &inbox, &decode_errors))
                     .map_err(io)?;
             }

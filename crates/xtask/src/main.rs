@@ -16,12 +16,28 @@
 //! * minus `#[cfg(test)]` modules (tracked by brace depth);
 //! * minus comments (`//`, `///`, `//!`) and doc-comment code fences.
 //!
+//! Besides the panic family, three concurrency lints guard the
+//! parallel-execution layer (the lines a data race or a leaked thread
+//! would hide in):
+//!
+//! * **ordering** — `Ordering::Relaxed` / `Ordering::SeqCst` outside
+//!   `crates/obs` (whose counters are relaxed by design). Relaxed is
+//!   almost always a proof obligation and `SeqCst` is almost always a
+//!   shrug; both need a written justification.
+//! * **channel-capacity** — a bare integer literal as the capacity of a
+//!   `sync_channel`. Capacities are backpressure policy; they belong in
+//!   a named constant (or config field) with a comment, not inline.
+//! * **spawn** — a `spawn(` call not made through a scope handle named
+//!   `scope` (scoped threads are joined by their scope). Free-standing
+//!   handles must be joined or their detachment documented.
+//!
 //! A line may opt out with an `// xtask: allow(panic)` marker (covers
-//! `.unwrap()` and `panic!`) or `// xtask: allow(expect)` (covers
-//! `.expect(`) on the same line or the line directly above — reserved
-//! for panics that are documented API contracts (e.g.
-//! `QueryBuilder::build` on an invalid query) or invariants locally
-//! provable from the surrounding few lines, stated in a comment.
+//! `.unwrap()` and `panic!`), `// xtask: allow(expect)` (covers
+//! `.expect(`), `// xtask: allow(ordering)`, `// xtask:
+//! allow(channel-capacity)`, or `// xtask: allow(spawn)` on the same
+//! line or the line directly above — reserved for cases where the
+//! surrounding comment states the proof (e.g. why relaxed ordering is
+//! sound, or where the handle is joined).
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -63,7 +79,10 @@ fn lint() -> ExitCode {
         let Ok(text) = std::fs::read_to_string(file) else {
             continue;
         };
-        for v in scan(&text) {
+        let in_obs = file
+            .strip_prefix(&root)
+            .is_ok_and(|rel| rel.starts_with(Path::new("crates").join("obs")));
+        for v in scan_with(&text, in_obs) {
             let rel = file.strip_prefix(&root).unwrap_or(file);
             let _ = writeln!(report, "{}:{}: {}", rel.display(), v.line, v.what);
             violations += 1;
@@ -115,10 +134,19 @@ struct Violation {
     what: &'static str,
 }
 
+/// [`scan_with`] outside the obs exemption — the common case, kept as
+/// the test-suite entry point.
+#[cfg(test)]
+fn scan(text: &str) -> Vec<Violation> {
+    scan_with(text, false)
+}
+
 /// Line-based scan of one file. Tracks `#[cfg(test)]` modules by brace
 /// depth and skips comment lines; string literals are not parsed (none
 /// of the banned tokens appear in the workspace's string data).
-fn scan(text: &str) -> Vec<Violation> {
+/// `in_obs` exempts the file from the ordering lint: the observability
+/// crate's counters are relaxed atomics by design.
+fn scan_with(text: &str, in_obs: bool) -> Vec<Violation> {
     let mut out = Vec::new();
     // Depth of the enclosing `#[cfg(test)]` block, if inside one.
     let mut depth: i64 = 0;
@@ -127,6 +155,9 @@ fn scan(text: &str) -> Vec<Violation> {
 
     let mut allow_panic_next = false;
     let mut allow_expect_next = false;
+    let mut allow_ordering_next = false;
+    let mut allow_channel_next = false;
+    let mut allow_spawn_next = false;
     for (i, raw) in text.lines().enumerate() {
         let line = strip_comment(raw);
         let trimmed = line.trim();
@@ -143,6 +174,12 @@ fn scan(text: &str) -> Vec<Violation> {
             std::mem::take(&mut allow_panic_next) || raw.contains("xtask: allow(panic)");
         let allow_expect =
             std::mem::take(&mut allow_expect_next) || raw.contains("xtask: allow(expect)");
+        let allow_ordering =
+            std::mem::take(&mut allow_ordering_next) || raw.contains("xtask: allow(ordering)");
+        let allow_channel = std::mem::take(&mut allow_channel_next)
+            || raw.contains("xtask: allow(channel-capacity)");
+        let allow_spawn =
+            std::mem::take(&mut allow_spawn_next) || raw.contains("xtask: allow(spawn)");
         if raw.trim_start().starts_with("//") {
             // A standalone marker line covers the next source line
             // (rustfmt's preferred placement).
@@ -151,6 +188,15 @@ fn scan(text: &str) -> Vec<Violation> {
             }
             if raw.contains("xtask: allow(expect)") {
                 allow_expect_next = true;
+            }
+            if raw.contains("xtask: allow(ordering)") {
+                allow_ordering_next = true;
+            }
+            if raw.contains("xtask: allow(channel-capacity)") {
+                allow_channel_next = true;
+            }
+            if raw.contains("xtask: allow(spawn)") {
+                allow_spawn_next = true;
             }
         }
 
@@ -177,6 +223,30 @@ fn scan(text: &str) -> Vec<Violation> {
                     what: "banned call to `.expect(` (return a typed error instead)",
                 });
             }
+            if !in_obs
+                && !allow_ordering
+                && (trimmed.contains("Ordering::Relaxed") || trimmed.contains("Ordering::SeqCst"))
+            {
+                out.push(Violation {
+                    line: i + 1,
+                    what: "atomic ordering outside crates/obs needs `// xtask: allow(ordering)` \
+                           with a justification",
+                });
+            }
+            if !allow_channel && literal_channel_capacity(trimmed) {
+                out.push(Violation {
+                    line: i + 1,
+                    what: "bounded-channel capacity must be a named constant, not a literal \
+                           (or `// xtask: allow(channel-capacity)`)",
+                });
+            }
+            if !allow_spawn && unscoped_spawn(trimmed) {
+                out.push(Violation {
+                    line: i + 1,
+                    what: "spawned thread must be joined or its detachment documented \
+                           (`// xtask: allow(spawn)`)",
+                });
+            }
         }
 
         for c in line.chars() {
@@ -193,6 +263,51 @@ fn scan(text: &str) -> Vec<Violation> {
         }
     }
     out
+}
+
+/// True when the line passes a bare integer literal as a `sync_channel`
+/// capacity. Looks at the first non-space character after the call's
+/// opening parenthesis: a digit means a magic number, anything else
+/// (identifier, `self.`, expression) passes. Turbofish calls like
+/// `sync_channel::<Msg>(8)` are covered because generic argument lists
+/// in this workspace never contain parentheses before the call's own.
+fn literal_channel_capacity(line: &str) -> bool {
+    let mut rest = line;
+    while let Some(pos) = rest.find("sync_channel") {
+        let after = &rest[pos + "sync_channel".len()..];
+        if let Some(paren) = after.find('(') {
+            if after[paren + 1..]
+                .trim_start()
+                .starts_with(|c: char| c.is_ascii_digit())
+            {
+                return true;
+            }
+        }
+        rest = after;
+    }
+    false
+}
+
+/// True when the line spawns a thread outside a `std::thread::scope`
+/// block. Scoped spawns are exempt because the scope joins them; the
+/// convention (enforced here) is that the scope handle is named `scope`
+/// — a differently named handle needs the allow marker.
+fn unscoped_spawn(line: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = line[from..].find("spawn(") {
+        let abs = from + pos;
+        let before = &line[..abs];
+        // Skip mid-identifier matches like `respawn(`.
+        let boundary = before
+            .chars()
+            .next_back()
+            .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+        if boundary && !before.ends_with("scope.") {
+            return true;
+        }
+        from = abs + "spawn(".len();
+    }
+    false
 }
 
 /// Removes `//` comments (including doc comments) from a line. Does not
@@ -279,6 +394,63 @@ fn f() {
         let v = scan(src);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].what, "banned call to `.unwrap()`");
+    }
+
+    #[test]
+    fn ordering_lint_flags_relaxed_and_seqcst_outside_obs() {
+        let src = "\
+use std::sync::atomic::Ordering;
+fn f(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+    c.store(0, Ordering::SeqCst);
+    c.load(Ordering::Acquire);
+    // Ticket counter orders nothing but itself. xtask: allow(ordering)
+    c.fetch_add(1, Ordering::Relaxed);
+    c.store(2, Ordering::SeqCst); // xtask: allow(ordering)
+}
+";
+        let v = scan(src);
+        assert_eq!(v.len(), 2, "Acquire and annotated lines pass");
+        assert_eq!(v[0].line, 3);
+        assert_eq!(v[1].line, 4);
+        assert!(scan_with(src, true).is_empty(), "obs crate is exempt");
+    }
+
+    #[test]
+    fn channel_capacity_lint_wants_named_constants() {
+        let src = "\
+fn f(depth: usize) {
+    let (a, _) = sync_channel(8);
+    let (b, _) = sync_channel::<Msg>(16);
+    let (c, _) = sync_channel(depth.max(1));
+    let (d, _) = sync_channel(CHANNEL_DEPTH);
+    let (e, _) = sync_channel(4); // xtask: allow(channel-capacity)
+}
+";
+        let v = scan(src);
+        assert_eq!(v.len(), 2, "named expressions and annotated lines pass");
+        assert_eq!(v[0].line, 2);
+        assert_eq!(v[1].line, 3);
+    }
+
+    #[test]
+    fn spawn_lint_exempts_scoped_threads() {
+        let src = "\
+fn f() {
+    std::thread::scope(|scope| {
+        scope.spawn(|| work());
+    });
+    let h = std::thread::spawn(|| work());
+    let b = Builder::new().spawn(|| work());
+    // Reader exits on EOF; handle intentionally dropped. xtask: allow(spawn)
+    drop(thread::spawn(|| read()));
+    let again = respawn(3);
+}
+";
+        let v = scan(src);
+        assert_eq!(v.len(), 2, "scoped, annotated, and mid-word matches pass");
+        assert_eq!(v[0].line, 5);
+        assert_eq!(v[1].line, 6);
     }
 
     #[test]
