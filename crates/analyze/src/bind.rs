@@ -1,0 +1,140 @@
+//! Catalog binding pre-flight for served queries.
+//!
+//! A serving front end accepts query text referencing relations *by
+//! name* against a resident catalog; a typo (or a relation dropped
+//! between submissions) must be caught **before** the query spends any
+//! scheduler or executor capacity. [`bind_against_catalog`] checks every
+//! body atom against the catalog and reports two findings:
+//!
+//! * [`DiagCode::CatalogUnknownRelation`] — an atom references a
+//!   relation the catalog does not hold. The diagnostic carries the
+//!   full known-relation list as context, so the client can see what
+//!   *is* loadable without a second round-trip.
+//! * [`DiagCode::CatalogArityMismatch`] — the relation exists but the
+//!   atom uses it at the wrong arity; running would mis-bind every
+//!   column.
+//!
+//! Both are errors: the session layer refuses to schedule a query whose
+//! bind pass found any. The pass is intentionally cheap (name and arity
+//! lookups only — no data touched) so it can run on the session thread
+//! at admission time.
+
+use crate::diagnostic::{sort_diagnostics, DiagCode, Diagnostic};
+use parjoin_common::Database;
+use parjoin_query::ConjunctiveQuery;
+use std::collections::BTreeSet;
+
+/// Checks every atom of `query` against the catalog `db`, returning
+/// bind errors (empty when the query binds cleanly). One diagnostic is
+/// emitted per offending *relation name* (not per atom occurrence), in
+/// canonical sorted order.
+pub fn bind_against_catalog(query: &ConjunctiveQuery, db: &Database) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut missing = BTreeSet::new();
+    let mut mismatched = BTreeSet::new();
+    for atom in &query.atoms {
+        match db.get(&atom.relation) {
+            None => {
+                if missing.insert(atom.relation.clone()) {
+                    let known: Vec<&str> = db.iter().map(|(n, _)| n).collect();
+                    out.push(
+                        Diagnostic::error(
+                            DiagCode::CatalogUnknownRelation,
+                            format!("relation `{}` is not in the catalog", atom.relation),
+                        )
+                        .with("relation", &atom.relation)
+                        .with(
+                            "known",
+                            if known.is_empty() {
+                                "(catalog is empty)".to_string()
+                            } else {
+                                known.join(", ")
+                            },
+                        ),
+                    );
+                }
+            }
+            Some(rel) if rel.arity() != atom.terms.len() => {
+                if mismatched.insert(atom.relation.clone()) {
+                    out.push(
+                        Diagnostic::error(
+                            DiagCode::CatalogArityMismatch,
+                            format!(
+                                "relation `{}` has arity {} but the query uses it with {} term(s)",
+                                atom.relation,
+                                rel.arity(),
+                                atom.terms.len()
+                            ),
+                        )
+                        .with("relation", &atom.relation)
+                        .with("catalog_arity", rel.arity())
+                        .with("query_arity", atom.terms.len()),
+                    );
+                }
+            }
+            Some(_) => {}
+        }
+    }
+    sort_diagnostics(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parjoin_common::Relation;
+    use parjoin_query::QueryBuilder;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.insert("Twitter", Relation::from_rows(2, [[1u64, 2]].iter()));
+        db.insert("ObjectName", Relation::from_rows(2, [[1u64, 2]].iter()));
+        db
+    }
+
+    #[test]
+    fn clean_bind_is_empty() {
+        let mut b = QueryBuilder::new("Tri");
+        let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
+        b.atom("Twitter", [x, y])
+            .atom("Twitter", [y, z])
+            .atom("Twitter", [z, x]);
+        assert!(bind_against_catalog(&b.build(), &db()).is_empty());
+    }
+
+    #[test]
+    fn missing_relation_reports_known_list_once() {
+        let mut b = QueryBuilder::new("Q");
+        let (x, y) = (b.var("x"), b.var("y"));
+        b.atom("Nope", [x, y]).atom("Nope", [y, x]);
+        let diags = bind_against_catalog(&b.build(), &db());
+        assert_eq!(diags.len(), 1, "one diagnostic per relation name");
+        assert_eq!(diags[0].code, DiagCode::CatalogUnknownRelation);
+        assert_eq!(diags[0].code.code(), "Q110");
+        let known = diags[0].context_value("known").expect("known list");
+        assert!(known.contains("Twitter"), "got {known}");
+        assert!(known.contains("ObjectName"), "got {known}");
+    }
+
+    #[test]
+    fn arity_mismatch_reports_both_arities() {
+        let mut b = QueryBuilder::new("Q");
+        let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
+        b.atom("Twitter", [x, y, z]);
+        let diags = bind_against_catalog(&b.build(), &db());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::CatalogArityMismatch);
+        assert_eq!(diags[0].code.code(), "Q111");
+        assert_eq!(diags[0].context_value("catalog_arity"), Some("2"));
+        assert_eq!(diags[0].context_value("query_arity"), Some("3"));
+    }
+
+    #[test]
+    fn empty_catalog_says_so() {
+        let mut b = QueryBuilder::new("Q");
+        let x = b.var("x");
+        b.atom("R", [x, x]);
+        let diags = bind_against_catalog(&b.build(), &Database::new());
+        assert_eq!(diags[0].context_value("known"), Some("(catalog is empty)"));
+    }
+}

@@ -53,6 +53,16 @@ pub enum DiagCode {
     /// The query hypergraph is disconnected: every join order contains a
     /// cartesian step.
     QueryDisconnected,
+    /// A served query references a relation the resident catalog does
+    /// not hold. The context carries the full known-relation list, so
+    /// the client learns what *is* loadable from the rejection itself.
+    /// Emitted by the session layer's bind pass before any scheduling
+    /// work.
+    CatalogUnknownRelation,
+    /// A served query uses a catalog relation at the wrong arity; every
+    /// column would mis-bind. Emitted by the session layer's bind pass
+    /// before any scheduling work.
+    CatalogArityMismatch,
 
     /// `join_order` is not a permutation of the atom indices (wrong
     /// length, duplicate, or out-of-range index).
@@ -168,6 +178,8 @@ impl DiagCode {
             DiagCode::HeadVarUnbound => "Q101",
             DiagCode::FilterVarUnbound => "Q102",
             DiagCode::QueryDisconnected => "Q103",
+            DiagCode::CatalogUnknownRelation => "Q110",
+            DiagCode::CatalogArityMismatch => "Q111",
             DiagCode::JoinOrderNotPermutation => "P200",
             DiagCode::JoinOrderCartesianStep => "P201",
             DiagCode::FilterNeverApplied => "P202",

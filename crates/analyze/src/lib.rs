@@ -50,12 +50,14 @@
 //! Diagnostics are returned in a canonical deterministic order (by
 //! code, then site) regardless of pass execution order.
 
+pub mod bind;
 pub mod checks;
 pub mod diagnostic;
 pub mod policy;
 pub mod spec;
 pub mod transfer;
 
+pub use bind::bind_against_catalog;
 pub use diagnostic::{has_errors, sort_diagnostics, DiagCode, Diagnostic, Severity};
 pub use policy::{certify, certify_spec, planned_policy, Policy, Verdict};
 pub use spec::{JoinKind, PlanSpec, ShuffleKind};

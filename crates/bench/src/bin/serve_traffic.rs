@@ -1,0 +1,427 @@
+//! Open-loop traffic benchmark for `parjoin-serve` (the BENCH_serve
+//! experiment): a long-lived server with a resident catalog answers
+//! thousands of mixed Q1–Q8 queries, and we measure what serving buys
+//! over batch — cross-query SortCache reuse — plus the latency
+//! distribution and admission-control behavior under overload.
+//!
+//! Protocol (all on one in-process server):
+//!
+//! 1. **baseline** — every workload query once through
+//!    [`parjoin_serve::batch_run`]; the raw output bytes are the truth
+//!    every served answer is compared against.
+//! 2. **overload probe** — a burst far beyond the admission cap at
+//!    maximum rate; verifies excess load is shed with the typed
+//!    queue-full rejection (never an error result, never a wrong
+//!    answer).
+//! 3. **cold phase** — the SortCache is cleared, then half the
+//!    workload runs; first arrivals of each query pay the sort.
+//! 4. **warm phase** — the other half repeats the same mix against the
+//!    now-populated cache; the hit-rate delta between the phases is the
+//!    serving payoff.
+//!
+//! On queue-full the submitter backs off and retries (retries are
+//! counted separately from the overload probe's dropped submissions),
+//! so every phase-3/4 query completes and is byte-checked. Writes a
+//! strict-JSON report to `--out` and exits non-zero if any acceptance
+//! condition fails.
+//!
+//! ```text
+//! serve_traffic [--scale tiny|small] [--queries N] [--rate QPS]
+//!               [--queue N] [--executors N] [--workers N] [--seed N]
+//!               [--date YYYY-MM-DD] [--out BENCH_serve.json]
+//! ```
+
+use parjoin_core::queries;
+use parjoin_datagen::workloads::Scale;
+use parjoin_engine::SortCache;
+use parjoin_obs::json;
+use parjoin_serve::{
+    batch_run, percentile_ms, ServeError, Server, ServerConfig, SessionConfig, Ticket,
+};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+struct Args {
+    scale: Scale,
+    scale_name: String,
+    queries: usize,
+    rate: f64,
+    queue: usize,
+    executors: Option<usize>,
+    workers: usize,
+    seed: u64,
+    date: String,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scale: Scale::tiny(),
+        scale_name: "tiny".to_string(),
+        queries: 1000,
+        rate: 0.0,
+        queue: 16,
+        executors: None,
+        workers: 4,
+        seed: 11,
+        date: String::new(),
+        out: "BENCH_serve.json".to_string(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let value = argv
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag {
+            "--scale" => {
+                args.scale = match value.as_str() {
+                    "tiny" => Scale::tiny(),
+                    "small" => Scale::small(),
+                    other => return Err(format!("unknown scale `{other}` (tiny|small)")),
+                };
+                args.scale_name = value.clone();
+            }
+            "--queries" => args.queries = value.parse().map_err(|e| format!("--queries: {e}"))?,
+            "--rate" => args.rate = value.parse().map_err(|e| format!("--rate: {e}"))?,
+            "--queue" => args.queue = value.parse().map_err(|e| format!("--queue: {e}"))?,
+            "--executors" => {
+                args.executors = Some(value.parse().map_err(|e| format!("--executors: {e}"))?);
+            }
+            "--workers" => args.workers = value.parse().map_err(|e| format!("--workers: {e}"))?,
+            "--seed" => args.seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--date" => args.date = value.clone(),
+            "--out" => args.out = value.clone(),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 2;
+    }
+    Ok(args)
+}
+
+struct Baseline {
+    raw: Vec<u64>,
+    output_tuples: u64,
+    config: String,
+}
+
+/// Cache counters scraped from the `serve.*` registry at a phase edge.
+#[derive(Clone, Copy, Default)]
+struct CacheMark {
+    hits: u64,
+    misses: u64,
+    certified: u64,
+}
+
+fn mark(server: &Server) -> CacheMark {
+    CacheMark {
+        hits: server.metric("serve.sortcache.hits").unwrap_or(0),
+        misses: server.metric("serve.sortcache.misses").unwrap_or(0),
+        certified: server.metric("serve.sortcache.certified_hits").unwrap_or(0),
+    }
+}
+
+struct PhaseStats {
+    completed: usize,
+    retries: usize,
+    latencies: Vec<Duration>,
+    span: Duration,
+    hits: u64,
+    misses: u64,
+    certified: u64,
+}
+
+impl PhaseStats {
+    fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    fn throughput(&self) -> f64 {
+        let s = self.span.as_secs_f64();
+        if s > 0.0 {
+            self.completed as f64 / s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Runs `count` mixed queries through `session`, pacing arrivals at
+/// `rate` QPS (0 = as fast as admission allows) and retrying
+/// queue-full rejections after a short backoff so every query
+/// completes. Byte-checks each result against `baselines`.
+fn run_phase(
+    session: &parjoin_serve::Session,
+    server: &Server,
+    baselines: &BTreeMap<&'static str, Baseline>,
+    count: usize,
+    rate: f64,
+    name_offset: usize,
+) -> Result<PhaseStats, String> {
+    let before = mark(server);
+    let interval = if rate > 0.0 {
+        Duration::from_secs_f64(1.0 / rate)
+    } else {
+        Duration::ZERO
+    };
+    let t0 = Instant::now();
+    let mut tickets: Vec<(&str, Ticket)> = Vec::with_capacity(count);
+    let mut retries = 0usize;
+    for i in 0..count {
+        if !interval.is_zero() {
+            let due = t0 + interval * (i as u32);
+            if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+        }
+        let q = queries::NAMES[(name_offset + i) % queries::NAMES.len()];
+        loop {
+            match session.submit_named(q) {
+                Ok(t) => {
+                    tickets.push((q, t));
+                    break;
+                }
+                Err(ServeError::QueueFull { .. }) | Err(ServeError::SessionLimit { .. }) => {
+                    retries += 1;
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+                Err(e) => return Err(format!("{q}: {e}")),
+            }
+        }
+    }
+    let mut latencies = Vec::with_capacity(count);
+    for (q, ticket) in tickets {
+        let outcome = ticket.wait().map_err(|e| format!("{q}: {e}"))?;
+        let base = baselines
+            .get(q)
+            .ok_or_else(|| format!("{q}: no baseline"))?;
+        let out = outcome
+            .result
+            .output
+            .as_ref()
+            .ok_or_else(|| format!("{q}: no collected output"))?;
+        if out.raw() != &base.raw[..] || outcome.result.output_tuples != base.output_tuples {
+            return Err(format!("{q}: served output is not byte-identical to batch"));
+        }
+        latencies.push(outcome.latency);
+    }
+    let span = t0.elapsed();
+    let after = mark(server);
+    Ok(PhaseStats {
+        completed: latencies.len(),
+        retries,
+        latencies,
+        span,
+        hits: after.hits - before.hits,
+        misses: after.misses - before.misses,
+        certified: after.certified - before.certified,
+    })
+}
+
+fn phase_json(s: &PhaseStats) -> String {
+    format!(
+        "{{ \"completed\": {}, \"retries_on_full\": {}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"throughput_qps\": {:.3}, \"sortcache_hits\": {}, \"sortcache_misses\": {}, \"sortcache_certified_hits\": {}, \"hit_rate\": {:.4} }}",
+        s.completed,
+        s.retries,
+        percentile_ms(&s.latencies, 50.0),
+        percentile_ms(&s.latencies, 99.0),
+        s.throughput(),
+        s.hits,
+        s.misses,
+        s.certified,
+        s.hit_rate()
+    )
+}
+
+fn main() -> ExitCode {
+    match bench() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("serve_traffic: FAIL: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn bench() -> Result<(), String> {
+    let args = parse_args()?;
+    let scfg = ServerConfig {
+        workers: args.workers,
+        seed: args.seed,
+        queue_capacity: args.queue,
+        session_cap: args.queue + 2,
+        executors: args.executors,
+    };
+    let execs = scfg.effective_executors();
+    let server = Server::start(ServerConfig {
+        session_cap: args.queue + execs + 2,
+        ..scfg
+    });
+    let t_load = Instant::now();
+    server.load_db(&args.scale.twitter_db(7));
+    server.load_db(&args.scale.freebase_db(7));
+    let load_ms = t_load.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "catalog v{} resident in {:.1} ms ({} relations, {} scale)",
+        server.catalog_version(),
+        load_ms,
+        server.list().len(),
+        args.scale_name
+    );
+
+    // Phase 1: batch baselines (also the batch-mode latency reference).
+    let cfg = SessionConfig::default();
+    let snapshot = server.snapshot();
+    let cluster = server.cluster();
+    let mut baselines: BTreeMap<&'static str, Baseline> = BTreeMap::new();
+    let mut batch_ms: BTreeMap<&'static str, f64> = BTreeMap::new();
+    for &name in &queries::NAMES {
+        let query = queries::build(name).ok_or_else(|| format!("{name}: not in the registry"))?;
+        let t = Instant::now();
+        let result = batch_run(&query, &snapshot.db, &cluster, &cfg)
+            .map_err(|e| format!("{name}: batch baseline failed: {e}"))?;
+        batch_ms.insert(name, t.elapsed().as_secs_f64() * 1e3);
+        let out = result
+            .output
+            .as_ref()
+            .ok_or_else(|| format!("{name}: baseline did not collect output"))?;
+        baselines.insert(
+            name,
+            Baseline {
+                raw: out.raw().to_vec(),
+                output_tuples: result.output_tuples,
+                config: result.config.clone(),
+            },
+        );
+    }
+
+    let session = server.session(SessionConfig {
+        max_in_flight: Some(args.queue + execs + 2),
+        ..SessionConfig::default()
+    });
+
+    // Phase 2: overload probe — a burst at max rate far beyond the
+    // admission cap (queued slots + executors); excess must be shed
+    // with the typed rejection.
+    let burst = 4 * (args.queue + execs);
+    let mut probe_tickets = Vec::new();
+    let mut shed = 0usize;
+    for i in 0..burst {
+        let q = queries::NAMES[i % queries::NAMES.len()];
+        match session.submit_named(q) {
+            Ok(t) => probe_tickets.push((q, t)),
+            Err(ServeError::QueueFull { .. }) => shed += 1,
+            Err(e) => return Err(format!("overload probe: {q}: unexpected {e}")),
+        }
+    }
+    for (q, t) in probe_tickets {
+        let outcome = t.wait().map_err(|e| format!("{q}: {e}"))?;
+        let out = outcome
+            .result
+            .output
+            .as_ref()
+            .ok_or_else(|| format!("{q}: no output"))?;
+        if out.raw() != &baselines[q].raw[..] {
+            return Err(format!("{q}: overload-probe output drifted from batch"));
+        }
+    }
+    if shed == 0 {
+        return Err(format!(
+            "overload probe: a {burst}-query burst never overflowed a {}-slot queue",
+            args.queue
+        ));
+    }
+    println!(
+        "overload probe: {}/{} shed with typed queue-full, remainder byte-identical",
+        shed, burst
+    );
+
+    // Phases 3 and 4: cold vs warm. The baselines above already warmed
+    // the cache, so clear it to make the cold phase honestly cold.
+    SortCache::global().clear();
+    let cold_n = args.queries / 2;
+    let warm_n = args.queries - cold_n;
+    let cold = run_phase(&session, &server, &baselines, cold_n, args.rate, 0)?;
+    println!(
+        "cold phase: {} queries, p50 {:.1} ms, p99 {:.1} ms, {:.2} qps, hit rate {:.2}%",
+        cold.completed,
+        percentile_ms(&cold.latencies, 50.0),
+        percentile_ms(&cold.latencies, 99.0),
+        cold.throughput(),
+        100.0 * cold.hit_rate()
+    );
+    let warm = run_phase(&session, &server, &baselines, warm_n, args.rate, cold_n)?;
+    println!(
+        "warm phase: {} queries, p50 {:.1} ms, p99 {:.1} ms, {:.2} qps, hit rate {:.2}%",
+        warm.completed,
+        percentile_ms(&warm.latencies, 50.0),
+        percentile_ms(&warm.latencies, 99.0),
+        warm.throughput(),
+        100.0 * warm.hit_rate()
+    );
+    server.shutdown();
+
+    let total_completed = cold.completed + warm.completed;
+    if total_completed < args.queries {
+        return Err(format!(
+            "only {total_completed}/{} queries completed",
+            args.queries
+        ));
+    }
+    if warm.hit_rate() <= cold.hit_rate() {
+        return Err(format!(
+            "no SortCache hit-rate improvement: cold {:.4} vs warm {:.4}",
+            cold.hit_rate(),
+            warm.hit_rate()
+        ));
+    }
+
+    // The report document.
+    let mut per_query = String::new();
+    for (i, (&name, base)) in baselines.iter().enumerate() {
+        let sep = if i == 0 { "" } else { ", " };
+        let _ = write!(
+            per_query,
+            "{sep}\"{name}\": {{ \"config\": \"{}\", \"output_tuples\": {}, \"batch_ms\": {:.3} }}",
+            base.config, base.output_tuples, batch_ms[name]
+        );
+    }
+    let doc = format!(
+        "{{\n  \"bench\": \"crates/bench/src/bin/serve_traffic.rs\",\n  \"command\": \"cargo run --release -p parjoin-bench --bin serve_traffic -- --scale {} --queries {} --queue {} --seed {}\",\n  \"date\": \"{}\",\n  \"environment\": {{ \"cpu_cores\": {}, \"executors\": {}, \"workers_per_query\": {} }},\n  \"catalog\": {{ \"version\": {}, \"relations\": {}, \"load_ms\": {:.1} }},\n  \"admission\": {{ \"queue_capacity\": {}, \"overload_burst\": {}, \"shed_queue_full\": {} }},\n  \"per_query_batch_baseline\": {{ {} }},\n  \"phases\": {{\n    \"cold\": {},\n    \"warm\": {}\n  }},\n  \"acceptance\": \"{} mixed Q1-Q8 queries served byte-identical to batch; overload shed {}/{} with the typed queue-full rejection; SortCache hit rate {:.1}% cold vs {:.1}% warm on the repeated-query phase\"\n}}\n",
+        args.scale_name,
+        args.queries,
+        args.queue,
+        args.seed,
+        args.date,
+        std::thread::available_parallelism().map_or(0, |n| n.get()),
+        args.executors
+            .map_or_else(|| "null".to_string(), |e| e.to_string()),
+        args.workers,
+        server.catalog_version(),
+        server.list().len(),
+        load_ms,
+        args.queue,
+        burst,
+        shed,
+        per_query,
+        phase_json(&cold),
+        phase_json(&warm),
+        total_completed,
+        shed,
+        burst,
+        100.0 * cold.hit_rate(),
+        100.0 * warm.hit_rate()
+    );
+    json::parse(&doc).map_err(|e| format!("internal error: report is not strict JSON: {e}"))?;
+    std::fs::write(&args.out, &doc).map_err(|e| format!("writing {}: {e}", args.out))?;
+    println!("wrote {}", args.out);
+    Ok(())
+}

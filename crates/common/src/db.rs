@@ -2,14 +2,22 @@
 
 use crate::Relation;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A database: relation name → [`Relation`]. Names are case-sensitive.
 ///
 /// `BTreeMap` keeps iteration deterministic, which keeps every experiment
 /// reproducible run-to-run.
+///
+/// Relations are stored behind `Arc`, so cloning a `Database` (or
+/// inserting the same relation into many databases) shares the column
+/// data instead of copying it. A serving catalog hands each query a
+/// snapshot `Database` whose entries alias the resident relations; batch
+/// callers see the same by-value API as before because [`get`](Self::get)
+/// and [`expect`](Self::expect) still return `&Relation`.
 #[derive(Debug, Clone, Default)]
 pub struct Database {
-    relations: BTreeMap<String, Relation>,
+    relations: BTreeMap<String, Arc<Relation>>,
 }
 
 impl Database {
@@ -20,12 +28,28 @@ impl Database {
 
     /// Inserts (or replaces) a relation.
     pub fn insert(&mut self, name: impl Into<String>, rel: Relation) {
+        self.relations.insert(name.into(), Arc::new(rel));
+    }
+
+    /// Inserts (or replaces) a relation already behind an `Arc`, sharing
+    /// it with every other holder instead of copying.
+    pub fn insert_shared(&mut self, name: impl Into<String>, rel: Arc<Relation>) {
         self.relations.insert(name.into(), rel);
+    }
+
+    /// Removes a relation, returning its shared handle if present.
+    pub fn remove(&mut self, name: &str) -> Option<Arc<Relation>> {
+        self.relations.remove(name)
     }
 
     /// Looks up a relation by name.
     pub fn get(&self, name: &str) -> Option<&Relation> {
-        self.relations.get(name)
+        self.relations.get(name).map(|r| r.as_ref())
+    }
+
+    /// Looks up a relation's shared handle by name (cheap to clone).
+    pub fn get_shared(&self, name: &str) -> Option<Arc<Relation>> {
+        self.relations.get(name).cloned()
     }
 
     /// Looks up a relation, panicking with a clear message if missing.
@@ -35,13 +59,14 @@ impl Database {
     pub fn expect(&self, name: &str) -> &Relation {
         self.relations
             .get(name)
+            .map(|r| r.as_ref())
             // xtask: allow(panic)
             .unwrap_or_else(|| panic!("relation `{name}` not found in database"))
     }
 
     /// Iterates over `(name, relation)` pairs in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Relation)> {
-        self.relations.iter().map(|(k, v)| (k.as_str(), v))
+        self.relations.iter().map(|(k, v)| (k.as_str(), v.as_ref()))
     }
 
     /// Number of relations.
@@ -89,5 +114,27 @@ mod tests {
         db.insert("A", Relation::new(1));
         let names: Vec<_> = db.iter().map(|(n, _)| n.to_string()).collect();
         assert_eq!(names, vec!["A", "Z"]);
+    }
+
+    #[test]
+    fn clones_share_relation_storage() {
+        let mut db = Database::new();
+        db.insert("R", Relation::from_rows(2, [[1u64, 2]].iter()));
+        let snapshot = db.clone();
+        let a = db.get_shared("R").expect("present");
+        let b = snapshot.get_shared("R").expect("present");
+        assert!(Arc::ptr_eq(&a, &b), "clone aliases the same relation");
+    }
+
+    #[test]
+    fn insert_shared_and_remove_roundtrip() {
+        let rel = Arc::new(Relation::from_rows(1, [[7u64]].iter()));
+        let mut db = Database::new();
+        db.insert_shared("R", Arc::clone(&rel));
+        let got = db.get_shared("R").expect("present");
+        assert!(Arc::ptr_eq(&rel, &got));
+        let removed = db.remove("R").expect("removed");
+        assert!(Arc::ptr_eq(&rel, &removed));
+        assert!(db.is_empty());
     }
 }

@@ -14,12 +14,16 @@
 //!   factor, with `seek` as a bounded binary search.
 //! * [`order`] — the global variable-order cost model (§5, Eq. 3–4) and
 //!   the optimizer that enumerates/samples orders and picks the cheapest.
+//! * [`queries`] — the paper's Q1–Q8 workload queries as a named
+//!   registry, the single source of truth shared by the datagen specs,
+//!   the serving front end, benches, and tests.
 //!
 //! The distributed execution itself (shuffles, plans, metrics) lives in
 //! `parjoin-engine`; this crate is the pure algorithmic layer.
 
 pub mod hypercube;
 pub mod order;
+pub mod queries;
 pub mod tributary;
 
 pub use hypercube::{HcConfig, ShareProblem};

@@ -1,0 +1,207 @@
+//! The paper's eight workload queries (§3 and Appendix A) as a named
+//! registry — the single source of truth for their shapes.
+//!
+//! Every consumer of Q1–Q8 (the datagen workload specs, the serving
+//! front end, benches, and tests) builds the [`ConjunctiveQuery`] through
+//! [`build`] (keyed by the paper name `"Q1"` … `"Q8"`), so a query's atom
+//! list, head, and filters can never drift between the batch and served
+//! paths. Dataset wiring (which database a query runs on, scales,
+//! generators) stays in `parjoin-datagen`; this module is purely the
+//! query shapes.
+
+use parjoin_query::{CmpOp, ConjunctiveQuery, QueryBuilder, Term};
+
+/// Dictionary id of the name "Joe Pesci" (Q3's selection constant).
+pub const NAME_JOE_PESCI: u64 = 5_000_000_001;
+/// Dictionary id of the name "Robert De Niro" (Q3's selection constant).
+pub const NAME_DE_NIRO: u64 = 5_000_000_002;
+/// Dictionary id of the name "The Academy Awards" (Q7's selection
+/// constant).
+pub const NAME_ACADEMY_AWARDS: u64 = 5_000_000_003;
+
+/// The paper names of the eight workload queries, in paper order.
+pub const NAMES: [&str; 8] = ["Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7", "Q8"];
+
+/// Builds a workload query by its paper name (`"Q1"` … `"Q8"`).
+/// Returns `None` for unknown names.
+pub fn build(name: &str) -> Option<ConjunctiveQuery> {
+    match name {
+        "Q1" => Some(q1()),
+        "Q2" => Some(q2()),
+        "Q3" => Some(q3()),
+        "Q4" => Some(q4()),
+        "Q5" => Some(q5()),
+        "Q6" => Some(q6()),
+        "Q7" => Some(q7()),
+        "Q8" => Some(q8()),
+        _ => None,
+    }
+}
+
+/// Q1 — all directed triangles in Twitter (§3.1).
+pub fn q1() -> ConjunctiveQuery {
+    let mut b = QueryBuilder::new("Triangle");
+    let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
+    b.atom("Twitter", [x, y])
+        .atom("Twitter", [y, z])
+        .atom("Twitter", [z, x]);
+    b.build()
+}
+
+/// Q2 — all 4-cliques in Twitter (§3.2).
+pub fn q2() -> ConjunctiveQuery {
+    let mut b = QueryBuilder::new("Clique4");
+    let (x, y, z, p) = (b.var("x"), b.var("y"), b.var("z"), b.var("p"));
+    b.atom("Twitter", [x, y])
+        .atom("Twitter", [y, z])
+        .atom("Twitter", [z, p])
+        .atom("Twitter", [p, x])
+        .atom("Twitter", [x, z])
+        .atom("Twitter", [y, p]);
+    b.build()
+}
+
+/// Q3 — cast members of films starring both Joe Pesci and Robert De Niro
+/// (§3.3). Acyclic, 8 atoms, tiny selections.
+pub fn q3() -> ConjunctiveQuery {
+    let mut b = QueryBuilder::new("CastMember");
+    let a1 = b.var("a1");
+    let p1 = b.var("p1");
+    let film = b.var("film");
+    let a2 = b.var("a2");
+    let p2 = b.var("p2");
+    let p = b.var("p");
+    let cast = b.var("cast");
+    b.atom_terms("ObjectName", [Term::Var(a1), Term::Const(NAME_JOE_PESCI)])
+        .atom("ActorPerform", [a1, p1])
+        .atom("PerformFilm", [p1, film])
+        .atom_terms("ObjectName", [Term::Var(a2), Term::Const(NAME_DE_NIRO)])
+        .atom("ActorPerform", [a2, p2])
+        .atom("PerformFilm", [p2, film])
+        .atom("PerformFilm", [p, film])
+        .atom("ActorPerform", [cast, p])
+        .head([cast]);
+    b.build()
+}
+
+/// Q4 — pairs of actors co-starring in at least two films (§3.4).
+/// Cyclic, 8 atoms, huge intermediates under a regular shuffle.
+pub fn q4() -> ConjunctiveQuery {
+    let mut b = QueryBuilder::new("ActorPairs");
+    let a1 = b.var("a1");
+    let p1 = b.var("p1");
+    let f1 = b.var("f1");
+    let p2 = b.var("p2");
+    let a2 = b.var("a2");
+    let p3 = b.var("p3");
+    let f2 = b.var("f2");
+    let p4 = b.var("p4");
+    b.atom("ActorPerform", [a1, p1])
+        .atom("PerformFilm", [p1, f1])
+        .atom("PerformFilm", [p2, f1])
+        .atom("ActorPerform", [a2, p2])
+        .atom("ActorPerform", [a2, p3])
+        .atom("PerformFilm", [p3, f2])
+        .atom("PerformFilm", [p4, f2])
+        .atom("ActorPerform", [a1, p4])
+        .head([a1, a2])
+        .filter_vv(f1, CmpOp::Gt, f2);
+    b.build()
+}
+
+/// Q5 — directed rectangles (4-cycles) in Twitter (Appendix A).
+pub fn q5() -> ConjunctiveQuery {
+    let mut b = QueryBuilder::new("Rectangle");
+    let (x, y, z, p) = (b.var("x"), b.var("y"), b.var("z"), b.var("p"));
+    b.atom("Twitter", [x, y])
+        .atom("Twitter", [y, z])
+        .atom("Twitter", [z, p])
+        .atom("Twitter", [p, x]);
+    b.build()
+}
+
+/// Q6 — "two rings": back-to-back triangles (Appendix A).
+pub fn q6() -> ConjunctiveQuery {
+    let mut b = QueryBuilder::new("TwoRings");
+    let (x, y, z, p) = (b.var("x"), b.var("y"), b.var("z"), b.var("p"));
+    b.atom("Twitter", [x, y])
+        .atom("Twitter", [y, z])
+        .atom("Twitter", [z, p])
+        .atom("Twitter", [p, x])
+        .atom("Twitter", [x, z]);
+    b.build()
+}
+
+/// Q7 — actors winning Academy Awards in the 1990s (Appendix A).
+/// Acyclic star with range filters.
+pub fn q7() -> ConjunctiveQuery {
+    let mut b = QueryBuilder::new("OscarWinners");
+    let aw = b.var("aw");
+    let h = b.var("h");
+    let a = b.var("a");
+    let y = b.var("y");
+    b.atom_terms(
+        "ObjectName",
+        [Term::Var(aw), Term::Const(NAME_ACADEMY_AWARDS)],
+    )
+    .atom("HonorAward", [h, aw])
+    .atom("HonorActor", [h, a])
+    .atom("HonorYear", [h, y])
+    .head([a])
+    .filter_vc(y, CmpOp::Ge, 1990)
+    .filter_vc(y, CmpOp::Lt, 2000);
+    b.build()
+}
+
+/// Q8 — actor/director pairs appearing together in two films
+/// (Appendix A). Cyclic, 6 atoms.
+pub fn q8() -> ConjunctiveQuery {
+    let mut b = QueryBuilder::new("ActorDirector");
+    let a = b.var("a");
+    let p1 = b.var("p1");
+    let p2 = b.var("p2");
+    let f1 = b.var("f1");
+    let f2 = b.var("f2");
+    let d = b.var("d");
+    b.atom("ActorPerform", [a, p1])
+        .atom("ActorPerform", [a, p2])
+        .atom("PerformFilm", [p1, f1])
+        .atom("PerformFilm", [p2, f2])
+        .atom("DirectorFilm", [d, f1])
+        .atom("DirectorFilm", [d, f2])
+        .head([a, d]);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_all_names_and_rejects_unknown() {
+        for name in NAMES {
+            let q = build(name).expect("registered");
+            assert!(!q.atoms.is_empty(), "{name}");
+        }
+        assert!(build("Q9").is_none());
+        assert!(build("q1").is_none(), "names are case-sensitive");
+    }
+
+    #[test]
+    fn registry_matches_direct_constructors() {
+        let direct = [q1(), q2(), q3(), q4(), q5(), q6(), q7(), q8()];
+        for (name, q) in NAMES.iter().zip(direct) {
+            let via = build(name).expect("registered");
+            assert_eq!(format!("{via}"), format!("{q}"), "{name}");
+        }
+    }
+
+    #[test]
+    fn atom_counts_match_table6() {
+        let expect = [3usize, 6, 8, 8, 4, 5, 4, 6];
+        for (name, n) in NAMES.iter().zip(expect) {
+            let q = build(name).expect("registered");
+            assert_eq!(q.atoms.len(), n, "{name}");
+        }
+    }
+}

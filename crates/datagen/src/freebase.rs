@@ -29,12 +29,10 @@ use parjoin_common::{Database, Relation};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Dictionary id of the name "Joe Pesci" (Q3).
-pub const NAME_JOE_PESCI: u64 = 5_000_000_001;
-/// Dictionary id of the name "Robert De Niro" (Q3).
-pub const NAME_DE_NIRO: u64 = 5_000_000_002;
-/// Dictionary id of the name "The Academy Awards" (Q7).
-pub const NAME_ACADEMY_AWARDS: u64 = 5_000_000_003;
+// The dictionary ids of the named constants are owned by the query
+// registry (the queries embed them as selection constants); the generator
+// re-exports them so data and queries can never disagree.
+pub use parjoin_core::queries::{NAME_ACADEMY_AWARDS, NAME_DE_NIRO, NAME_JOE_PESCI};
 
 const ACTOR_BASE: u64 = 0;
 /// Actor id of Joe Pesci — a deliberately *tail* entity (real-world stars

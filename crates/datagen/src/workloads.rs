@@ -1,10 +1,16 @@
 //! The paper's eight workload queries (§3 and Appendix A) and dataset
 //! scales.
+//!
+//! The query *shapes* live in the named registry
+//! [`parjoin_core::queries`] (shared with the serving front end, benches,
+//! and tests); this module pairs each name with the dataset it runs on
+//! and the generator scales.
 
 use crate::{freebase, graph};
 use parjoin_common::Database;
+use parjoin_core::queries;
 use parjoin_query::hypergraph::is_acyclic;
-use parjoin_query::{CmpOp, ConjunctiveQuery, QueryBuilder, Term};
+use parjoin_query::ConjunctiveQuery;
 
 /// Which dataset a query runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,160 +100,86 @@ impl Scale {
     }
 }
 
-fn spec(name: &'static str, dataset: DatasetKind, query: ConjunctiveQuery) -> QuerySpec {
+/// Which dataset a workload query runs on, by paper name. Returns `None`
+/// for names outside `"Q1"` … `"Q8"`.
+pub fn dataset_for(name: &str) -> Option<DatasetKind> {
+    match name {
+        "Q1" | "Q2" | "Q5" | "Q6" => Some(DatasetKind::Twitter),
+        "Q3" | "Q4" | "Q7" | "Q8" => Some(DatasetKind::Freebase),
+        _ => None,
+    }
+}
+
+/// Looks up a workload spec by paper name (`"Q1"` … `"Q8"`), pairing the
+/// registry's query shape with its dataset. Returns `None` for unknown
+/// names.
+pub fn spec_for(name: &str) -> Option<QuerySpec> {
+    let dataset = dataset_for(name)?;
+    let query = queries::build(name)?;
     let cyclic = !is_acyclic(&query);
-    QuerySpec {
+    // `name` round-trips through the registry's static table so the spec
+    // can keep its `&'static str`.
+    let name = *queries::NAMES.iter().find(|n| **n == name)?;
+    Some(QuerySpec {
         name,
         query,
         dataset,
         cyclic,
-    }
+    })
+}
+
+fn spec(name: &'static str) -> QuerySpec {
+    // xtask: allow(panic): static registry lookup of a known name.
+    spec_for(name).unwrap_or_else(|| panic!("workload `{name}` missing from registry"))
 }
 
 /// Q1 — all directed triangles in Twitter (§3.1).
 pub fn q1() -> QuerySpec {
-    let mut b = QueryBuilder::new("Triangle");
-    let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
-    b.atom("Twitter", [x, y])
-        .atom("Twitter", [y, z])
-        .atom("Twitter", [z, x]);
-    spec("Q1", DatasetKind::Twitter, b.build())
+    spec("Q1")
 }
 
 /// Q2 — all 4-cliques in Twitter (§3.2).
 pub fn q2() -> QuerySpec {
-    let mut b = QueryBuilder::new("Clique4");
-    let (x, y, z, p) = (b.var("x"), b.var("y"), b.var("z"), b.var("p"));
-    b.atom("Twitter", [x, y])
-        .atom("Twitter", [y, z])
-        .atom("Twitter", [z, p])
-        .atom("Twitter", [p, x])
-        .atom("Twitter", [x, z])
-        .atom("Twitter", [y, p]);
-    spec("Q2", DatasetKind::Twitter, b.build())
+    spec("Q2")
 }
 
 /// Q3 — cast members of films starring both Joe Pesci and Robert De Niro
 /// (§3.3). Acyclic, 8 atoms, tiny selections.
 pub fn q3() -> QuerySpec {
-    let mut b = QueryBuilder::new("CastMember");
-    let a1 = b.var("a1");
-    let p1 = b.var("p1");
-    let film = b.var("film");
-    let a2 = b.var("a2");
-    let p2 = b.var("p2");
-    let p = b.var("p");
-    let cast = b.var("cast");
-    b.atom_terms(
-        "ObjectName",
-        [Term::Var(a1), Term::Const(freebase::NAME_JOE_PESCI)],
-    )
-    .atom("ActorPerform", [a1, p1])
-    .atom("PerformFilm", [p1, film])
-    .atom_terms(
-        "ObjectName",
-        [Term::Var(a2), Term::Const(freebase::NAME_DE_NIRO)],
-    )
-    .atom("ActorPerform", [a2, p2])
-    .atom("PerformFilm", [p2, film])
-    .atom("PerformFilm", [p, film])
-    .atom("ActorPerform", [cast, p])
-    .head([cast]);
-    spec("Q3", DatasetKind::Freebase, b.build())
+    spec("Q3")
 }
 
 /// Q4 — pairs of actors co-starring in at least two films (§3.4).
 /// Cyclic, 8 atoms, huge intermediates under a regular shuffle.
 pub fn q4() -> QuerySpec {
-    let mut b = QueryBuilder::new("ActorPairs");
-    let a1 = b.var("a1");
-    let p1 = b.var("p1");
-    let f1 = b.var("f1");
-    let p2 = b.var("p2");
-    let a2 = b.var("a2");
-    let p3 = b.var("p3");
-    let f2 = b.var("f2");
-    let p4 = b.var("p4");
-    b.atom("ActorPerform", [a1, p1])
-        .atom("PerformFilm", [p1, f1])
-        .atom("PerformFilm", [p2, f1])
-        .atom("ActorPerform", [a2, p2])
-        .atom("ActorPerform", [a2, p3])
-        .atom("PerformFilm", [p3, f2])
-        .atom("PerformFilm", [p4, f2])
-        .atom("ActorPerform", [a1, p4])
-        .head([a1, a2])
-        .filter_vv(f1, CmpOp::Gt, f2);
-    spec("Q4", DatasetKind::Freebase, b.build())
+    spec("Q4")
 }
 
 /// Q5 — directed rectangles (4-cycles) in Twitter (Appendix A).
 pub fn q5() -> QuerySpec {
-    let mut b = QueryBuilder::new("Rectangle");
-    let (x, y, z, p) = (b.var("x"), b.var("y"), b.var("z"), b.var("p"));
-    b.atom("Twitter", [x, y])
-        .atom("Twitter", [y, z])
-        .atom("Twitter", [z, p])
-        .atom("Twitter", [p, x]);
-    spec("Q5", DatasetKind::Twitter, b.build())
+    spec("Q5")
 }
 
 /// Q6 — "two rings": back-to-back triangles (Appendix A).
 pub fn q6() -> QuerySpec {
-    let mut b = QueryBuilder::new("TwoRings");
-    let (x, y, z, p) = (b.var("x"), b.var("y"), b.var("z"), b.var("p"));
-    b.atom("Twitter", [x, y])
-        .atom("Twitter", [y, z])
-        .atom("Twitter", [z, p])
-        .atom("Twitter", [p, x])
-        .atom("Twitter", [x, z]);
-    spec("Q6", DatasetKind::Twitter, b.build())
+    spec("Q6")
 }
 
 /// Q7 — actors winning Academy Awards in the 1990s (Appendix A).
 /// Acyclic star with range filters.
 pub fn q7() -> QuerySpec {
-    let mut b = QueryBuilder::new("OscarWinners");
-    let aw = b.var("aw");
-    let h = b.var("h");
-    let a = b.var("a");
-    let y = b.var("y");
-    b.atom_terms(
-        "ObjectName",
-        [Term::Var(aw), Term::Const(freebase::NAME_ACADEMY_AWARDS)],
-    )
-    .atom("HonorAward", [h, aw])
-    .atom("HonorActor", [h, a])
-    .atom("HonorYear", [h, y])
-    .head([a])
-    .filter_vc(y, CmpOp::Ge, 1990)
-    .filter_vc(y, CmpOp::Lt, 2000);
-    spec("Q7", DatasetKind::Freebase, b.build())
+    spec("Q7")
 }
 
 /// Q8 — actor/director pairs appearing together in two films
 /// (Appendix A). Cyclic, 6 atoms.
 pub fn q8() -> QuerySpec {
-    let mut b = QueryBuilder::new("ActorDirector");
-    let a = b.var("a");
-    let p1 = b.var("p1");
-    let p2 = b.var("p2");
-    let f1 = b.var("f1");
-    let f2 = b.var("f2");
-    let d = b.var("d");
-    b.atom("ActorPerform", [a, p1])
-        .atom("ActorPerform", [a, p2])
-        .atom("PerformFilm", [p1, f1])
-        .atom("PerformFilm", [p2, f2])
-        .atom("DirectorFilm", [d, f1])
-        .atom("DirectorFilm", [d, f2])
-        .head([a, d]);
-    spec("Q8", DatasetKind::Freebase, b.build())
+    spec("Q8")
 }
 
 /// All eight queries in paper order.
 pub fn all_queries() -> Vec<QuerySpec> {
-    vec![q1(), q2(), q3(), q4(), q5(), q6(), q7(), q8()]
+    queries::NAMES.iter().map(|n| spec(n)).collect()
 }
 
 #[cfg(test)]

@@ -160,6 +160,16 @@ pub struct PlanOptions {
     /// upgrades Tributary sort-cache lookups to *certified* hits keyed
     /// by the placement's route signature.
     pub certify: bool,
+    /// Provenance stamp for SortCache entries this run creates; `None`
+    /// stamps views with the query's own name. A serving catalog sets
+    /// this to a catalog-aware tag (e.g. `catalog@v3/Q1`) so cached
+    /// sorted views are traceable to the resident-relation epoch that
+    /// produced them — a relation reloaded under the same name gets a
+    /// new fingerprint *and* a new stamp, keeping cache forensics honest
+    /// under sustained traffic. The stamp never affects hit/miss
+    /// decisions (those key on content fingerprint + columns, plus the
+    /// route signature for certified hits).
+    pub provenance: Option<String>,
     /// Write a chrome://tracing / Perfetto-loadable JSON trace of the run
     /// to this path. Tracing is enabled **only** when this is set; with
     /// `None` the span machinery stays disabled and costs nothing on the
@@ -235,6 +245,16 @@ pub struct RunResult {
     /// function was proved identical to this plan's, so the hit is sound
     /// on every worker, not assumed from one fragment's content match.
     pub sort_cache_certified_hits: u64,
+    /// Process-wide [`SortCache`] evictions that happened *during this
+    /// run* (the cumulative counter's delta between run start and
+    /// finish). Non-zero values under sustained traffic mean the
+    /// working set of sorted views exceeds the cache budget — the
+    /// signal to watch when tuning the cache for a served workload.
+    pub sort_cache_evictions: u64,
+    /// Bytes resident in the process-wide [`SortCache`] when the run
+    /// finished (a gauge, not a per-run delta: concurrent runs share
+    /// the cache, so the absolute level is the meaningful number).
+    pub sort_cache_resident_bytes: u64,
     /// Per-worker probe threads the plan ran with (1 = sequential probe;
     /// see [`crate::probe`]).
     pub probe_threads: u64,
@@ -272,6 +292,12 @@ pub mod metric_names {
     pub const SORT_CACHE_MISSES: &str = "engine.sortcache.misses";
     /// Mirror of [`RunResult::sort_cache_certified_hits`](super::RunResult).
     pub const SORT_CACHE_CERTIFIED: &str = "engine.sortcache.certified_hits";
+    /// Mirror of [`RunResult::sort_cache_evictions`](super::RunResult):
+    /// process-wide cache evictions during this run.
+    pub const SORT_CACHE_EVICTIONS: &str = "engine.sortcache.evictions";
+    /// Mirror of [`RunResult::sort_cache_resident_bytes`](super::RunResult):
+    /// bytes resident in the process-wide cache at run end (a gauge).
+    pub const SORT_CACHE_RESIDENT_BYTES: &str = "engine.sortcache.resident_bytes";
     /// Mirror of [`RunResult::probe_morsels`](super::RunResult).
     pub const PROBE_MORSELS: &str = "engine.probe.morsels";
     /// Mirror of [`RunResult::probe_threads`](super::RunResult).
@@ -288,6 +314,10 @@ pub mod metric_names {
 pub(crate) struct RunObs {
     pub(crate) registry: Registry,
     pub(crate) trace: Arc<TraceSink>,
+    /// Process-wide [`SortCache`] eviction count when the run started;
+    /// [`RunObs::finalize`] reports the delta as this run's eviction
+    /// pressure.
+    evictions_at_start: u64,
 }
 
 impl RunObs {
@@ -299,6 +329,7 @@ impl RunObs {
             } else {
                 TraceSink::disabled()
             },
+            evictions_at_start: SortCache::global().stats().evictions,
         }
     }
 
@@ -323,6 +354,17 @@ impl RunObs {
         reg.add(
             metric_names::SORT_CACHE_CERTIFIED,
             result.sort_cache_certified_hits,
+        );
+        let cache = SortCache::global().stats();
+        result.sort_cache_evictions = cache.evictions.saturating_sub(self.evictions_at_start);
+        result.sort_cache_resident_bytes = cache.resident_bytes;
+        reg.add(
+            metric_names::SORT_CACHE_EVICTIONS,
+            result.sort_cache_evictions,
+        );
+        reg.add(
+            metric_names::SORT_CACHE_RESIDENT_BYTES,
+            result.sort_cache_resident_bytes,
         );
         reg.add(metric_names::PROBE_MORSELS, result.probe_morsels);
         reg.add(metric_names::PROBE_THREADS, result.probe_threads);
@@ -382,6 +424,8 @@ impl RunResult {
             sort_cache_hits: 0,
             sort_cache_misses: 0,
             sort_cache_certified_hits: 0,
+            sort_cache_evictions: 0,
+            sort_cache_resident_bytes: 0,
             probe_threads: 1,
             probe_morsels: 0,
             metrics: Vec::new(),
@@ -427,6 +471,11 @@ impl RunResult {
             self.sort_cache_misses,
             self.probe_threads,
             self.probe_morsels
+        );
+        let _ = writeln!(
+            s,
+            "sort-cache pressure: {} eviction(s) during run, {} bytes resident at finish",
+            self.sort_cache_evictions, self.sort_cache_resident_bytes
         );
         if !self.diagnostics.is_empty() {
             let _ = writeln!(s, "\ndiagnostics:");
@@ -1401,7 +1450,10 @@ fn run_one_round(
                                                 cols,
                                                 cap,
                                                 Provenance {
-                                                    query: query.name.clone(),
+                                                    query: opts
+                                                        .provenance
+                                                        .clone()
+                                                        .unwrap_or_else(|| query.name.clone()),
                                                     route: sig.clone(),
                                                 },
                                                 sort,

@@ -7,7 +7,11 @@
 //! time (paper Table 5). Entries are keyed by the relation's 128-bit
 //! content fingerprint plus the column permutation, so a cache hit is a
 //! *content* match: mutating or regenerating a relation changes its
-//! fingerprint and naturally invalidates stale views.
+//! fingerprint and naturally invalidates stale views. Certified
+//! entries (see [`SortCache::get_or_sort_certified`]) additionally key
+//! by their route signature, so views proved under different placement
+//! functions coexist instead of evicting each other — what keeps the
+//! hit rate of a mixed served query stream from collapsing.
 //!
 //! The cache is a process-wide singleton (simulated workers are threads
 //! of one process, so "worker-level" and "process-wide" coincide here)
@@ -83,7 +87,7 @@ struct Entry {
 }
 
 struct Inner {
-    map: HashMap<(u128, Vec<usize>), Entry>,
+    map: HashMap<(u128, Vec<usize>, Option<String>), Entry>,
     resident: usize,
     capacity: usize,
     tick: u64,
@@ -153,9 +157,11 @@ impl SortCache {
     /// that shuffled the cached fragment is provably the same one that
     /// would shuffle this request, so *every* worker's fragment matches,
     /// not just the one whose content fingerprint happened to agree.
-    /// Matching content under a different or unknown route is counted as
-    /// a route reject, re-sorted fresh, and the entry is re-stamped with
-    /// `prov`. The third return is `true` exactly on a certified hit.
+    /// Matching content under a different or unknown route is counted
+    /// as a route reject and re-sorted fresh into the requested route's
+    /// own cache slot — certified entries are keyed per route, so
+    /// concurrent routes never evict each other's stamps. The third
+    /// return is `true` exactly on a certified hit.
     pub fn get_or_sort_certified<F>(
         &self,
         rel: &Relation,
@@ -181,33 +187,59 @@ impl SortCache {
     where
         F: FnOnce(&Relation, &[usize]) -> Relation,
     {
-        let key = (rel.fingerprint(), cols.to_vec());
+        // Certified entries are keyed per route signature: views sorted
+        // under *different* placement functions are different cache
+        // citizens (their fragments disagree on other workers), so one
+        // route's traffic must never evict another's stamp. Mixed
+        // query streams — a serving workload — would otherwise thrash
+        // a shared `(content, cols)` slot between routes forever.
+        let fp = rel.fingerprint();
+        let key = (fp, cols.to_vec(), prov.as_ref().map(|p| p.route.clone()));
         {
             let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
             inner.tick += 1;
             let tick = inner.tick;
-            match inner.map.get_mut(&key) {
-                Some(e) => {
-                    let route_ok = match &prov {
-                        // Uncertified lookups keep their historical
-                        // contract: identical content is enough.
-                        None => true,
-                        Some(p) => e.prov.as_ref().is_some_and(|ep| ep.route == p.route),
-                    };
-                    if route_ok {
-                        e.last_used = tick;
-                        let view = Arc::clone(&e.view);
+            if let Some(e) = inner.map.get_mut(&key) {
+                e.last_used = tick;
+                let view = Arc::clone(&e.view);
+                inner.hits += 1;
+                let certified = prov.is_some();
+                if certified {
+                    inner.certified_hits += 1;
+                }
+                return (view, Lookup::Hit, certified);
+            }
+            match &prov {
+                // Uncertified lookups keep their historical contract:
+                // identical content under *any* route is enough.
+                None => {
+                    let found = inner
+                        .map
+                        .iter_mut()
+                        .find(|((efp, ecols, _), _)| *efp == fp && ecols == cols)
+                        .map(|(_, e)| {
+                            e.last_used = tick;
+                            Arc::clone(&e.view)
+                        });
+                    if let Some(view) = found {
                         inner.hits += 1;
-                        let certified = prov.is_some();
-                        if certified {
-                            inner.certified_hits += 1;
-                        }
-                        return (view, Lookup::Hit, certified);
+                        return (view, Lookup::Hit, false);
                     }
-                    inner.route_rejects += 1;
                     inner.misses += 1;
                 }
-                None => inner.misses += 1,
+                // A certified lookup that found matching content only
+                // under a different (or unknown) route refuses the hit
+                // and re-sorts under its own key.
+                Some(_) => {
+                    if inner
+                        .map
+                        .keys()
+                        .any(|(efp, ecols, _)| *efp == fp && ecols == cols)
+                    {
+                        inner.route_rejects += 1;
+                    }
+                    inner.misses += 1;
+                }
             }
         }
         // Sort outside the lock: concurrent workers preparing different
@@ -217,14 +249,9 @@ impl SortCache {
         let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         let fits_budget = max_entry_bytes.is_none_or(|cap| bytes <= cap);
         if bytes <= inner.capacity && fits_budget {
-            // A certified re-sort replaces (re-stamps) a same-key entry
-            // whose route failed verification; an uncertified insert
-            // racing a concurrent identical insert keeps the incumbent.
-            if prov.is_some() {
-                if let Some(old) = inner.map.remove(&key) {
-                    inner.resident -= old.bytes;
-                }
-            } else if inner.map.contains_key(&key) {
+            // An insert racing a concurrent identical insert keeps the
+            // incumbent (the views are identical by construction).
+            if inner.map.contains_key(&key) {
                 return (view, Lookup::Miss, false);
             }
             while inner.resident + bytes > inner.capacity {
@@ -269,6 +296,18 @@ impl SortCache {
             certified_hits: inner.certified_hits,
             route_rejects: inner.route_rejects,
         }
+    }
+
+    /// Provenance stamps of the resident *certified* entries, sorted by
+    /// (route, query) — which queries' runs left which placement
+    /// functions' views behind. Introspection only; hits never consult
+    /// the query name.
+    pub fn resident_provenance(&self) -> Vec<Provenance> {
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut stamps: Vec<Provenance> =
+            inner.map.values().filter_map(|e| e.prov.clone()).collect();
+        stamps.sort_by(|a, b| (&a.route, &a.query).cmp(&(&b.route, &b.query)));
+        stamps
     }
 
     /// Drops every entry and resets the counters.
@@ -389,10 +428,20 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.certified_hits, 1);
         assert_eq!(s.route_rejects, 1);
-        // The reject re-stamped the entry, so the new route now hits.
+        // The reject inserted the view under its own route key, so the
+        // new route now hits…
         let (_, l4, c4) =
             cache.get_or_sort_certified(&rel, &[0, 1], None, prov("Q4", "hB(v0)/4"), sorted);
         assert_eq!((l4, c4), (Lookup::Hit, true));
+        // …and the original route's entry survived alongside it: routes
+        // never evict each other's stamps.
+        let (_, l5, c5) =
+            cache.get_or_sort_certified(&rel, &[0, 1], None, prov("Q5", "hA(v0)/4"), sorted);
+        assert_eq!((l5, c5), (Lookup::Hit, true));
+        assert_eq!(cache.stats().entries, 2);
+        // The stamps record the runs that *inserted* each route's view.
+        let stamps = cache.resident_provenance();
+        assert_eq!(stamps, vec![prov("Q1", "hA(v0)/4"), prov("Q3", "hB(v0)/4")]);
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! `parjoin-serve` — a local serving demo: load a catalog, answer a
+//! mixed Q1–Q8 stream through sessions, print metrics.
+//!
+//! ```text
+//! parjoin-serve [--scale tiny|small] [--queries N] [--rate QPS]
+//!               [--config advise|RS_HJ|...|HC_TJ] [--queue N]
+//!               [--executors N] [--workers N] [--seed N]
+//! ```
+//!
+//! Runs an open-loop arrival schedule: at `--rate` queries/second the
+//! submitter never waits for results before sending the next query, so
+//! overload surfaces as typed queue-full rejections instead of
+//! backpressure (`--rate 0` = submit as fast as possible). Exits
+//! non-zero on bad arguments or if nothing completed.
+
+use parjoin_core::queries;
+use parjoin_datagen::workloads::Scale;
+use parjoin_obs::json;
+use parjoin_serve::{ConfigChoice, ServeError, Server, ServerConfig, SessionConfig, TrafficReport};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+struct Args {
+    scale: Scale,
+    scale_name: String,
+    queries: usize,
+    rate: f64,
+    choice: ConfigChoice,
+    queue: usize,
+    executors: Option<usize>,
+    workers: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scale: Scale::tiny(),
+        scale_name: "tiny".to_string(),
+        queries: 200,
+        rate: 0.0,
+        choice: ConfigChoice::Advised,
+        queue: 16,
+        executors: None,
+        workers: 4,
+        seed: 11,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let value = argv
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag {
+            "--scale" => {
+                args.scale = match value.as_str() {
+                    "tiny" => Scale::tiny(),
+                    "small" => Scale::small(),
+                    other => return Err(format!("unknown scale `{other}` (tiny|small)")),
+                };
+                args.scale_name = value.clone();
+            }
+            "--queries" => {
+                args.queries = value.parse().map_err(|e| format!("--queries: {e}"))?;
+            }
+            "--rate" => args.rate = value.parse().map_err(|e| format!("--rate: {e}"))?,
+            "--config" => {
+                args.choice = ConfigChoice::parse(value)
+                    .ok_or_else(|| format!("unknown config `{value}` (advise|RS_HJ|...|HC_TJ)"))?;
+            }
+            "--queue" => args.queue = value.parse().map_err(|e| format!("--queue: {e}"))?,
+            "--executors" => {
+                args.executors = Some(value.parse().map_err(|e| format!("--executors: {e}"))?);
+            }
+            "--workers" => args.workers = value.parse().map_err(|e| format!("--workers: {e}"))?,
+            "--seed" => args.seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 2;
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("parjoin-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let server = Server::start(ServerConfig {
+        workers: args.workers,
+        seed: args.seed,
+        queue_capacity: args.queue,
+        session_cap: args.queue + 1,
+        executors: args.executors,
+    });
+
+    // Load both datasets once; every query shares the resident Arcs.
+    let t_load = Instant::now();
+    server.load_db(&args.scale.twitter_db(7));
+    server.load_db(&args.scale.freebase_db(7));
+    println!(
+        "catalog v{} loaded in {:?} ({} scale):",
+        server.catalog_version(),
+        t_load.elapsed(),
+        args.scale_name
+    );
+    for entry in server.list() {
+        println!(
+            "  {:<14} arity {}  {:>8} rows",
+            entry.name, entry.arity, entry.rows
+        );
+    }
+
+    let session = server.session(SessionConfig {
+        choice: args.choice,
+        max_in_flight: Some(args.queue + 1),
+        ..SessionConfig::default()
+    });
+
+    // Open-loop submission: fixed arrival schedule, never waiting on
+    // results. Rejections are dropped (and counted), like a load
+    // shedder should.
+    let interval = if args.rate > 0.0 {
+        Duration::from_secs_f64(1.0 / args.rate)
+    } else {
+        Duration::ZERO
+    };
+    let t0 = Instant::now();
+    let mut tickets = Vec::new();
+    let mut rejected_full = 0usize;
+    let mut rejected_other = 0usize;
+    for i in 0..args.queries {
+        if !interval.is_zero() {
+            let due = t0 + interval * (i as u32);
+            if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+        }
+        let name = queries::NAMES[i % queries::NAMES.len()];
+        match session.submit_named(name) {
+            Ok(t) => tickets.push((name, t)),
+            Err(ServeError::QueueFull { .. }) | Err(ServeError::SessionLimit { .. }) => {
+                rejected_full += 1;
+            }
+            Err(e) => {
+                eprintln!("parjoin-serve: {name}: {e}");
+                rejected_other += 1;
+            }
+        }
+    }
+
+    let mut latencies = Vec::new();
+    let mut failed = 0usize;
+    let mut per_query: Vec<(&str, usize, u64)> = Vec::new();
+    for (name, ticket) in tickets {
+        match ticket.wait() {
+            Ok(outcome) => {
+                latencies.push(outcome.latency);
+                match per_query.iter_mut().find(|(n, _, _)| *n == name) {
+                    Some(row) => {
+                        row.1 += 1;
+                        row.2 += outcome.result.output_tuples;
+                    }
+                    None => per_query.push((name, 1, outcome.result.output_tuples)),
+                }
+            }
+            Err(e) => {
+                eprintln!("parjoin-serve: {name} failed: {e}");
+                failed += 1;
+            }
+        }
+    }
+    let span = t0.elapsed();
+    server.shutdown();
+
+    println!(
+        "\n{} submitted, {} completed, {} rejected at admission, {} failed in {:?}",
+        args.queries,
+        latencies.len(),
+        rejected_full + rejected_other,
+        failed,
+        span
+    );
+    for (name, runs, tuples) in &per_query {
+        println!(
+            "  {:<3} {:>4} run(s)  {:>10} output tuples total",
+            name, runs, tuples
+        );
+    }
+
+    let Some(report) = TrafficReport::from_latencies(&latencies, span) else {
+        eprintln!("parjoin-serve: nothing completed");
+        return ExitCode::FAILURE;
+    };
+    let json_text = report.to_json(&server.metrics());
+    if json::parse(&json_text).is_err() {
+        eprintln!("parjoin-serve: internal error: report is not valid JSON");
+        return ExitCode::FAILURE;
+    }
+    println!("\nlatency report:\n{json_text}");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,112 @@
+//! Typed errors the serving layer returns to clients.
+//!
+//! Admission control is only useful if rejection is *distinguishable*:
+//! a client that got [`ServeError::QueueFull`] should back off and
+//! retry, one that got [`ServeError::Bind`] should fix its query, and
+//! one that got [`ServeError::ShuttingDown`] should reconnect
+//! elsewhere. Everything is a plain enum variant — no string matching
+//! required.
+
+use parjoin_analyze::Diagnostic;
+use parjoin_engine::EngineError;
+use parjoin_query::parser::ParseError;
+use std::fmt;
+
+/// Everything that can go wrong between submitting query text and
+/// receiving a result.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The Datalog text failed to parse.
+    Parse(ParseError),
+    /// The query parsed but does not bind against the resident catalog
+    /// (unknown relation, wrong arity). Carries the bind diagnostics;
+    /// the `Q110` unknown-relation diagnostic includes the full
+    /// known-relation list as context. Detected on the session thread
+    /// before any scheduling work.
+    Bind(Vec<Diagnostic>),
+    /// The submission names a query absent from the
+    /// [`parjoin_core::queries`] registry.
+    UnknownQuery(String),
+    /// The run queue is at capacity; the query was rejected at
+    /// admission. Back off and retry.
+    QueueFull {
+        /// The configured run-queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// This session already has its maximum number of queries in
+    /// flight; the submission was rejected at admission.
+    SessionLimit {
+        /// Queries of this session currently queued or executing.
+        in_flight: usize,
+        /// The per-session concurrency cap.
+        cap: usize,
+    },
+    /// The server is draining: no new queries are admitted (in-flight
+    /// queries still complete).
+    ShuttingDown,
+    /// The engine refused or failed the run (analyzer error, memory
+    /// budget, transport failure).
+    Engine(EngineError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Parse(e) => write!(f, "parse error: {e}"),
+            ServeError::Bind(diags) => {
+                write!(f, "query does not bind against the catalog:")?;
+                for d in diags {
+                    write!(f, " [{d}]")?;
+                }
+                Ok(())
+            }
+            ServeError::UnknownQuery(name) => {
+                write!(f, "`{name}` is not a registered workload query")
+            }
+            ServeError::QueueFull { capacity } => {
+                write!(f, "run queue full (capacity {capacity}); retry later")
+            }
+            ServeError::SessionLimit { in_flight, cap } => write!(
+                f,
+                "session concurrency cap reached ({in_flight} in flight, cap {cap})"
+            ),
+            ServeError::ShuttingDown => f.write_str("server is shutting down"),
+            ServeError::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<ParseError> for ServeError {
+    fn from(e: ParseError) -> Self {
+        ServeError::Parse(e)
+    }
+}
+
+impl From<EngineError> for ServeError {
+    fn from(e: EngineError) -> Self {
+        ServeError::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_full_displays_capacity() {
+        let e = ServeError::QueueFull { capacity: 8 };
+        assert!(format!("{e}").contains("capacity 8"));
+    }
+
+    #[test]
+    fn session_limit_displays_both_numbers() {
+        let e = ServeError::SessionLimit {
+            in_flight: 4,
+            cap: 4,
+        };
+        let s = format!("{e}");
+        assert!(s.contains("4 in flight") && s.contains("cap 4"), "got {s}");
+    }
+}

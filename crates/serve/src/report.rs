@@ -1,0 +1,152 @@
+//! Latency/throughput reporting for served traffic.
+//!
+//! The obs registry deliberately holds only monotonic counters, so
+//! latency *distributions* are computed here, client-side, from the
+//! per-ticket latencies the caller collected. [`TrafficReport::to_json`]
+//! renders a strict-JSON document (parseable by `parjoin_obs::json` —
+//! the CI smoke asserts exactly that) embedding the percentiles plus
+//! any registry counters.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Latency percentiles and throughput over one traffic run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficReport {
+    /// Completed queries the latencies were measured over.
+    pub completed: u64,
+    /// Median submit→completion latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// Mean latency, milliseconds.
+    pub mean_ms: f64,
+    /// Completed queries per wall-clock second.
+    pub throughput_qps: f64,
+}
+
+/// Nearest-rank percentile over an **unsorted** latency sample;
+/// `pct` in `[0, 100]`. Returns 0 for an empty sample.
+pub fn percentile_ms(latencies: &[Duration], pct: f64) -> f64 {
+    if latencies.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<Duration> = latencies.to_vec();
+    sorted.sort_unstable();
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    let idx = rank.clamp(1, sorted.len()) - 1;
+    sorted[idx].as_secs_f64() * 1e3
+}
+
+impl TrafficReport {
+    /// Summarizes `latencies` measured over `span` of wall-clock time.
+    /// `None` when no query completed (no distribution to report).
+    pub fn from_latencies(latencies: &[Duration], span: Duration) -> Option<TrafficReport> {
+        if latencies.is_empty() {
+            return None;
+        }
+        let sum_ms: f64 = latencies.iter().map(|d| d.as_secs_f64() * 1e3).sum();
+        let span_s = span.as_secs_f64();
+        Some(TrafficReport {
+            completed: latencies.len() as u64,
+            p50_ms: percentile_ms(latencies, 50.0),
+            p99_ms: percentile_ms(latencies, 99.0),
+            mean_ms: sum_ms / latencies.len() as f64,
+            throughput_qps: if span_s > 0.0 {
+                latencies.len() as f64 / span_s
+            } else {
+                0.0
+            },
+        })
+    }
+
+    /// Renders the report plus `counters` (e.g. a registry snapshot) as
+    /// one strict-JSON object.
+    pub fn to_json(&self, counters: &[(String, u64)]) -> String {
+        let num = |v: f64| {
+            if v.is_finite() {
+                format!("{v:.3}")
+            } else {
+                "0.0".to_string()
+            }
+        };
+        let mut s = String::new();
+        // Writing into a String cannot fail; discard the fmt plumbing.
+        let _ = write!(
+            s,
+            "{{\"completed\": {}, \"p50_ms\": {}, \"p99_ms\": {}, \"mean_ms\": {}, \"throughput_qps\": {}, \"counters\": {{",
+            self.completed,
+            num(self.p50_ms),
+            num(self.p99_ms),
+            num(self.mean_ms),
+            num(self.throughput_qps)
+        );
+        for (i, (name, value)) in counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { ", " };
+            let _ = write!(s, "{sep}\"{}\": {value}", escape(name));
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+fn escape(raw: &str) -> String {
+    raw.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let lats: Vec<Duration> = (1..=100).map(ms).collect();
+        assert_eq!(percentile_ms(&lats, 50.0), 50.0);
+        assert_eq!(percentile_ms(&lats, 99.0), 99.0);
+        assert_eq!(percentile_ms(&lats, 100.0), 100.0);
+        assert_eq!(percentile_ms(&[], 50.0), 0.0);
+        assert_eq!(percentile_ms(&[ms(7)], 99.0), 7.0);
+    }
+
+    #[test]
+    fn report_json_parses_and_carries_counters() {
+        let lats: Vec<Duration> = (1..=10).map(ms).collect();
+        let report =
+            TrafficReport::from_latencies(&lats, Duration::from_secs(1)).expect("non-empty");
+        let json = report.to_json(&[("serve.queries.completed".to_string(), 10)]);
+        let doc = parjoin_obs::json::parse(&json).expect("strict JSON");
+        assert_eq!(
+            doc.get("completed").and_then(|v| v.as_f64()),
+            Some(10.0),
+            "{json}"
+        );
+        assert_eq!(
+            doc.get("p50_ms").and_then(|v| v.as_f64()),
+            Some(5.0),
+            "{json}"
+        );
+        let counters = doc.get("counters").expect("counters object");
+        assert_eq!(
+            counters
+                .get("serve.queries.completed")
+                .and_then(|v| v.as_f64()),
+            Some(10.0)
+        );
+    }
+
+    #[test]
+    fn empty_sample_reports_nothing() {
+        assert!(TrafficReport::from_latencies(&[], Duration::from_secs(1)).is_none());
+    }
+}

@@ -1,0 +1,98 @@
+//! Shared server state: catalog + registry + scheduler + the
+//! per-session admission ledger.
+
+use crate::catalog::Catalog;
+use crate::error::ServeError;
+use crate::scheduler::Scheduler;
+use crate::{ServerConfig, SERVE_METRICS};
+use parjoin_engine::Cluster;
+use parjoin_obs::Registry;
+use std::collections::HashMap;
+use std::sync::{Mutex, PoisonError};
+
+/// The state every session and every scheduled job shares.
+pub(crate) struct ServerCore {
+    pub(crate) catalog: Catalog,
+    pub(crate) registry: Registry,
+    pub(crate) sched: Scheduler,
+    pub(crate) cfg: ServerConfig,
+    sessions: Mutex<Sessions>,
+}
+
+#[derive(Default)]
+struct Sessions {
+    next_id: u64,
+    in_flight: HashMap<u64, usize>,
+}
+
+impl ServerCore {
+    pub(crate) fn new(cfg: ServerConfig, sched: Scheduler) -> ServerCore {
+        ServerCore {
+            catalog: Catalog::new(),
+            registry: Registry::new(),
+            sched,
+            cfg,
+            sessions: Mutex::new(Sessions::default()),
+        }
+    }
+
+    fn sessions(&self) -> std::sync::MutexGuard<'_, Sessions> {
+        self.sessions.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The per-query simulated cluster (identical for every query of
+    /// the server, so repeated queries are byte-reproducible).
+    pub(crate) fn cluster(&self) -> Cluster {
+        Cluster::new(self.cfg.workers).with_seed(self.cfg.seed)
+    }
+
+    pub(crate) fn next_session_id(&self) -> u64 {
+        let mut s = self.sessions();
+        s.next_id += 1;
+        s.next_id
+    }
+
+    /// Admission step 1: counts the query against the session's
+    /// concurrency cap, or rejects with the typed error.
+    pub(crate) fn try_begin(&self, session: u64, cap: usize) -> Result<(), ServeError> {
+        let mut s = self.sessions();
+        let in_flight = s.in_flight.entry(session).or_insert(0);
+        if *in_flight >= cap {
+            let current = *in_flight;
+            drop(s);
+            self.registry.add(SERVE_METRICS.rejected_session_cap, 1);
+            return Err(ServeError::SessionLimit {
+                in_flight: current,
+                cap,
+            });
+        }
+        *in_flight += 1;
+        Ok(())
+    }
+
+    /// Releases the admission slot after a run finished, tallying the
+    /// completion counters.
+    pub(crate) fn finish(&self, session: u64, ok: bool) {
+        self.finish_admission_only(session);
+        let name = if ok {
+            SERVE_METRICS.completed
+        } else {
+            SERVE_METRICS.failed
+        };
+        self.registry.add(name, 1);
+    }
+
+    /// Releases the admission slot without completion accounting (the
+    /// job never entered the queue).
+    pub(crate) fn finish_admission_only(&self, session: u64) {
+        let mut s = self.sessions();
+        if let Some(n) = s.in_flight.get_mut(&session) {
+            *n = n.saturating_sub(1);
+        }
+    }
+
+    /// Queries of `session` currently admitted (queued or executing).
+    pub(crate) fn in_flight(&self, session: u64) -> usize {
+        *self.sessions().in_flight.get(&session).unwrap_or(&0)
+    }
+}

@@ -1,0 +1,304 @@
+//! The CI serve smoke: an in-process `parjoin-serve` server under
+//! open-loop overload.
+//!
+//! * loads the tiny Twitter + Freebase catalogs,
+//! * fires 200 mixed Q1–Q8 submissions as fast as possible — far
+//!   beyond 2× the admission cap (queue capacity + executors) — and
+//!   asserts overload is shed with the *typed* queue-full error,
+//! * byte-compares every completed query against a batch baseline run
+//!   with identical advisor decision, cluster, and options,
+//! * checks the latency report is strict JSON carrying the reconciled
+//!   `serve.*` counters,
+//! * asserts shutdown drains and then rejects with the typed
+//!   shutting-down error.
+
+use parjoin_core::queries;
+use parjoin_datagen::workloads::Scale;
+use parjoin_serve::{
+    batch_run, ServeError, Server, ServerConfig, SessionConfig, Ticket, TrafficReport,
+};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+const QUEUE_CAPACITY: usize = 6;
+const EXECUTORS: usize = 2;
+const FLOOD: usize = 200;
+
+struct Baseline {
+    config: String,
+    arity: usize,
+    raw: Vec<u64>,
+    output_tuples: u64,
+}
+
+fn start_loaded_server() -> Server {
+    let server = Server::start(ServerConfig {
+        workers: 4,
+        seed: 11,
+        queue_capacity: QUEUE_CAPACITY,
+        session_cap: 2 * (QUEUE_CAPACITY + EXECUTORS),
+        executors: Some(EXECUTORS),
+    });
+    let scale = Scale::tiny();
+    server.load_db(&scale.twitter_db(7));
+    server.load_db(&scale.freebase_db(7));
+    server
+}
+
+fn baselines(server: &Server, cfg: &SessionConfig) -> BTreeMap<&'static str, Baseline> {
+    let snapshot = server.snapshot();
+    let cluster = server.cluster();
+    queries::NAMES
+        .iter()
+        .map(|&name| {
+            let query = queries::build(name).expect("registered");
+            let result =
+                batch_run(&query, &snapshot.db, &cluster, cfg).expect("batch baseline runs");
+            let out = result.output.as_ref().expect("collected output");
+            (
+                name,
+                Baseline {
+                    config: result.config.clone(),
+                    arity: out.arity(),
+                    raw: out.raw().to_vec(),
+                    output_tuples: result.output_tuples,
+                },
+            )
+        })
+        .collect()
+}
+
+fn assert_matches_baseline(
+    name: &str,
+    outcome: &parjoin_serve::QueryOutcome,
+    baselines: &BTreeMap<&'static str, Baseline>,
+) {
+    let base = &baselines[name];
+    assert_eq!(
+        outcome.config, base.config,
+        "{name}: served config drifted from the batch advisor decision"
+    );
+    assert_eq!(
+        outcome.result.output_tuples, base.output_tuples,
+        "{name}: output count drifted"
+    );
+    let out = outcome.result.output.as_ref().expect("collected output");
+    assert_eq!(out.arity(), base.arity, "{name}: arity drifted");
+    assert_eq!(
+        out.raw(),
+        &base.raw[..],
+        "{name}: served output is not byte-identical to the batch run"
+    );
+}
+
+#[test]
+fn overloaded_server_sheds_typed_and_serves_byte_identical() {
+    let server = start_loaded_server();
+    let session_cfg = SessionConfig::default();
+    let base = baselines(&server, &session_cfg);
+
+    let session = server.session(session_cfg);
+    let t0 = Instant::now();
+    let mut accepted: Vec<(&str, Ticket)> = Vec::new();
+    let mut queue_full = 0usize;
+    for i in 0..FLOOD {
+        let name = queries::NAMES[i % queries::NAMES.len()];
+        match session.submit_named(name) {
+            Ok(ticket) => accepted.push((name, ticket)),
+            Err(ServeError::QueueFull { capacity }) => {
+                assert_eq!(capacity, QUEUE_CAPACITY, "typed error carries the cap");
+                queue_full += 1;
+            }
+            Err(other) => panic!("unexpected rejection for {name}: {other}"),
+        }
+    }
+    assert!(
+        queue_full > 0,
+        "an open-loop flood of {FLOOD} must overflow a {QUEUE_CAPACITY}-slot queue"
+    );
+    assert!(!accepted.is_empty(), "some queries must be admitted");
+    assert_eq!(accepted.len() + queue_full, FLOOD);
+
+    let mut latencies: Vec<Duration> = Vec::new();
+    for (name, ticket) in accepted {
+        let outcome = ticket.wait().expect("admitted queries complete");
+        assert_matches_baseline(name, &outcome, &base);
+        assert!(outcome.latency >= outcome.queued);
+        latencies.push(outcome.latency);
+    }
+
+    // Coverage pass: every workload query at least once, served after
+    // the flood warmed the SortCache.
+    for &name in &queries::NAMES {
+        let outcome = session
+            .submit_named(name)
+            .expect("idle server admits")
+            .wait()
+            .expect("completes");
+        assert_matches_baseline(name, &outcome, &base);
+        latencies.push(outcome.latency);
+    }
+
+    // Counters reconcile with what the client observed.
+    let completed = latencies.len() as u64;
+    assert_eq!(
+        server.metric("serve.queries.completed"),
+        Some(completed),
+        "completed counter"
+    );
+    assert_eq!(
+        server.metric("serve.rejected.queue_full"),
+        Some(queue_full as u64),
+        "queue-full counter"
+    );
+    assert_eq!(server.metric("serve.queries.failed"), None, "no failures");
+
+    // The latency report parses as strict JSON and carries the counters.
+    let report =
+        TrafficReport::from_latencies(&latencies, t0.elapsed()).expect("queries completed");
+    let json_text = report.to_json(&server.metrics());
+    let doc = parjoin_obs::json::parse(&json_text)
+        .unwrap_or_else(|e| panic!("latency report must parse: {e}\n{json_text}"));
+    assert_eq!(
+        doc.get("completed").and_then(|v| v.as_f64()),
+        Some(completed as f64)
+    );
+    assert!(doc.get("p50_ms").and_then(|v| v.as_f64()).is_some());
+    assert!(doc.get("p99_ms").and_then(|v| v.as_f64()).is_some());
+    let counters = doc.get("counters").expect("counters object");
+    assert_eq!(
+        counters
+            .get("serve.rejected.queue_full")
+            .and_then(|v| v.as_f64()),
+        Some(queue_full as f64)
+    );
+
+    // Graceful shutdown: drains, then rejects with the typed error.
+    server.shutdown();
+    match session.submit_named("Q1") {
+        Err(ServeError::ShuttingDown) => {}
+        other => panic!("expected ShuttingDown, got {other:?}"),
+    }
+}
+
+#[test]
+fn bind_errors_reject_before_scheduling() {
+    let server = Server::start(ServerConfig {
+        executors: Some(1),
+        ..ServerConfig::default()
+    });
+    server.load_db(&Scale::tiny().twitter_db(7));
+    let session = server.session(SessionConfig::default());
+
+    // Unknown relation: Q110 with the known-relation list.
+    let err = session
+        .submit("Bad(x,y) :- Nope(x,y).")
+        .expect_err("must not bind");
+    match err {
+        ServeError::Bind(diags) => {
+            assert_eq!(diags.len(), 1);
+            assert_eq!(diags[0].code.code(), "Q110");
+            let known = diags[0].context_value("known").expect("known list");
+            assert!(known.contains("Twitter"), "got {known}");
+        }
+        other => panic!("expected Bind, got {other:?}"),
+    }
+
+    // A Freebase query against a Twitter-only catalog binds nothing.
+    let err = session.submit_named("Q3").expect_err("must not bind");
+    match err {
+        ServeError::Bind(diags) => {
+            assert!(diags.iter().all(|d| d.code.code() == "Q110"));
+            assert!(!diags.is_empty());
+        }
+        other => panic!("expected Bind, got {other:?}"),
+    }
+
+    // Wrong arity: Q111 carries both arities.
+    let err = session
+        .submit("Bad(x,y,z) :- Twitter(x,y,z).")
+        .expect_err("arity mismatch");
+    match err {
+        ServeError::Bind(diags) => {
+            assert_eq!(diags[0].code.code(), "Q111");
+            assert_eq!(diags[0].context_value("catalog_arity"), Some("2"));
+            assert_eq!(diags[0].context_value("query_arity"), Some("3"));
+        }
+        other => panic!("expected Bind, got {other:?}"),
+    }
+
+    // Parse errors are typed too, and nothing was scheduled for any of
+    // the rejections above.
+    assert!(matches!(
+        session.submit("this is not datalog"),
+        Err(ServeError::Parse(_))
+    ));
+    assert_eq!(server.metric("serve.queries.accepted"), None);
+    assert_eq!(server.metric("serve.rejected.bind"), Some(3));
+    assert_eq!(server.metric("serve.rejected.parse"), Some(1));
+    server.shutdown();
+}
+
+#[test]
+fn session_cap_rejects_with_typed_error() {
+    let server = Server::start(ServerConfig {
+        workers: 4,
+        seed: 11,
+        queue_capacity: 8,
+        session_cap: 1,
+        executors: Some(1),
+    });
+    server.load_db(&Scale::tiny().twitter_db(7));
+    let session = server.session(SessionConfig::default());
+
+    // One slow-ish query in flight; the second submission exceeds the
+    // per-session cap even though the queue has room.
+    let ticket = session.submit_named("Q2").expect("first admitted");
+    let err = session.submit_named("Q1").expect_err("cap is 1");
+    match err {
+        ServeError::SessionLimit { in_flight, cap } => {
+            assert_eq!((in_flight, cap), (1, 1));
+        }
+        other => panic!("expected SessionLimit, got {other:?}"),
+    }
+    ticket.wait().expect("completes");
+    // Slot released: admission works again.
+    session
+        .submit_named("Q1")
+        .expect("slot freed")
+        .wait()
+        .expect("completes");
+    assert_eq!(server.metric("serve.rejected.session_cap"), Some(1));
+    server.shutdown();
+}
+
+#[test]
+fn catalog_reload_changes_version_and_results_stay_consistent() {
+    let server = start_loaded_server();
+    let session = server.session(SessionConfig::default());
+    let v1 = server.catalog_version();
+    let first = session
+        .submit_named("Q1")
+        .expect("admitted")
+        .wait()
+        .expect("completes");
+    assert_eq!(first.catalog_version, v1);
+
+    // Reload Twitter with a different seed: new version, new answers —
+    // but queries submitted before the reload already hold their
+    // snapshot.
+    server.load_db(&Scale::tiny().twitter_db(8));
+    assert!(server.catalog_version() > v1);
+    let second = session
+        .submit_named("Q1")
+        .expect("admitted")
+        .wait()
+        .expect("completes");
+    assert_eq!(second.catalog_version, server.catalog_version());
+    assert_ne!(
+        first.result.output.as_ref().expect("collected").raw(),
+        second.result.output.as_ref().expect("collected").raw(),
+        "reloaded relation must change the answer"
+    );
+    server.shutdown();
+}

@@ -52,6 +52,7 @@ pub use parjoin_lp as lp;
 pub use parjoin_obs as obs;
 pub use parjoin_query as query;
 pub use parjoin_runtime as runtime;
+pub use parjoin_serve as serve;
 
 /// The names most programs need.
 pub mod prelude {
@@ -65,4 +66,5 @@ pub mod prelude {
         ShuffleAlg, TransportKind,
     };
     pub use parjoin_query::{ConjunctiveQuery, QueryBuilder, VarId};
+    pub use parjoin_serve::{Server, ServerConfig, SessionConfig};
 }
