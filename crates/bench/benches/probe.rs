@@ -4,10 +4,17 @@
 //! * `binary_seek` — a bench-local [`TrieCursor`] whose `seek` and
 //!   run-end scans are plain full-range binary searches with no
 //!   memoization: the pre-galloping baseline.
-//! * `gallop` — the production [`TrieIter`] (exponential probe + narrow
-//!   binary search, memoized run ends), run sequentially.
-//! * `morsel_t{2,4}` — the production kernel under the morsel-parallel
+//! * `gallop` — the production row-layout [`TrieIter`] (exponential
+//!   probe + narrow binary search, memoized run ends), run sequentially.
+//! * `columnar` — the production [`ColumnarAtom`] (level-segmented CSR
+//!   trie, branch-free chunk-wise gallop), run sequentially: the
+//!   layout speedup over `gallop` is the headline number.
+//! * `morsel_t{2,4}` — the row-layout kernel under the morsel-parallel
 //!   dispatcher ([`tributary_probe`]) at 2 and 4 probe threads.
+//! * `fixed_t{2,4}` / `steal_t{2,4}` — the columnar kernel under the
+//!   fixed-quota vs work-stealing morsel schedulers
+//!   ([`tributary_probe_sched`]): stealing must never lose on the
+//!   skew-prone shapes.
 //!
 //! Skew matters: under a Zipf-like degree distribution a few hot nodes
 //! own long runs, so leapfrog seeks routinely jump many rows — exactly
@@ -22,8 +29,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use parjoin_common::{hash, Relation, Value};
-use parjoin_core::tributary::{SortedAtom, Tributary, TrieAtom, TrieCursor};
-use parjoin_engine::probe::tributary_probe;
+use parjoin_core::tributary::{ColumnarAtom, SortedAtom, Tributary, TrieAtom, TrieCursor};
+use parjoin_engine::probe::{tributary_probe, tributary_probe_sched, MorselSched, ProbeAtom};
 use parjoin_query::VarId;
 
 /// True when invoked as a smoke test (`cargo bench ... -- --test`); the
@@ -165,6 +172,20 @@ impl TrieAtom for BinAtom {
     }
 }
 
+impl ProbeAtom for BinAtom {
+    fn split_rows(&self) -> usize {
+        self.rel.len()
+    }
+
+    fn split_len(&self) -> usize {
+        self.rel.len()
+    }
+
+    fn split_key(&self, k: usize) -> Value {
+        self.rel.value(k, 0)
+    }
+}
+
 fn v(i: u32) -> VarId {
     VarId(i)
 }
@@ -194,6 +215,10 @@ fn bench_probe(c: &mut Criterion) {
             .map(|vs| SortedAtom::prepare(&edges, vs, &order))
             .collect();
         let bin: Vec<BinAtom> = sorted.iter().map(BinAtom::from_sorted).collect();
+        let columnar: Vec<ColumnarAtom> = atom_vars
+            .iter()
+            .map(|vs| ColumnarAtom::prepare(&edges, vs, &order))
+            .collect();
         let label = format!("{name}/{}e", edges.len());
         group.throughput(Throughput::Elements(edges.len() as u64));
 
@@ -221,6 +246,22 @@ fn bench_probe(c: &mut Criterion) {
             });
         });
 
+        group.bench_with_input(
+            BenchmarkId::new("columnar", &label),
+            &columnar,
+            |b, atoms| {
+                let tj = Tributary::new(atoms, &order, &[], num_vars);
+                b.iter(|| {
+                    let mut n = 0u64;
+                    tj.run(|_| {
+                        n += 1;
+                        true
+                    });
+                    n
+                });
+            },
+        );
+
         for threads in [2usize, 4] {
             group.bench_with_input(
                 BenchmarkId::new(format!("morsel_t{threads}"), &label),
@@ -230,6 +271,23 @@ fn bench_probe(c: &mut Criterion) {
                     b.iter(|| tributary_probe(&tj, atoms, &order, threads).rel.len());
                 },
             );
+            for (sched_name, sched) in [
+                ("fixed", MorselSched::FixedQuota),
+                ("steal", MorselSched::WorkStealing),
+            ] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{sched_name}_t{threads}"), &label),
+                    &columnar,
+                    |b, atoms| {
+                        let tj = Tributary::new(atoms, &order, &[], num_vars);
+                        b.iter(|| {
+                            tributary_probe_sched(&tj, atoms, &order, threads, sched)
+                                .rel
+                                .len()
+                        });
+                    },
+                );
+            }
         }
     }
     group.finish();

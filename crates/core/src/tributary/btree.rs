@@ -39,23 +39,7 @@ impl BTreeAtom {
     /// duplicate variables.
     pub fn prepare(rel: &Relation, vars: &[VarId], order: &[VarId]) -> BTreeAtom {
         assert_eq!(rel.arity(), vars.len(), "one variable per column");
-        let mut pairs: Vec<(usize, usize)> = vars
-            .iter()
-            .enumerate()
-            .map(|(col, v)| {
-                let depth = order
-                    .iter()
-                    .position(|o| o == v)
-                    .unwrap_or_else(|| panic!("variable #{} not in global order", v.0)); // xtask: allow(panic)
-                (depth, col)
-            })
-            .collect();
-        pairs.sort_unstable();
-        for w in pairs.windows(2) {
-            assert_ne!(w[0].0, w[1].0, "duplicate variable in atom");
-        }
-        let cols: Vec<usize> = pairs.iter().map(|&(_, c)| c).collect();
-        let depths: Vec<usize> = pairs.iter().map(|&(d, _)| d).collect();
+        let (cols, depths) = super::join::order_columns(vars, order);
 
         let mut root = Node::default();
         for row in rel.rows() {

@@ -6,9 +6,45 @@ use parjoin_common::{Relation, Value};
 use parjoin_query::{Filter, VarId};
 use std::sync::Arc;
 
+/// Maps an atom's per-column variables onto trie levels under the global
+/// variable order: returns `(cols, depths)` where `cols[k]` is the input
+/// column whose values populate trie level `k` and `depths[k]` is that
+/// level's position in `order` (strictly increasing by construction).
+///
+/// This is the one level-boundary computation shared by every atom
+/// preparation path — [`SortedAtom`], [`BTreeAtom`](super::BTreeAtom),
+/// and [`ColumnarAtom`](super::ColumnarAtom) all permute their columns
+/// through it.
+///
+/// # Panics
+/// Panics if some variable of `vars` is absent from `order`, or if
+/// `vars` contains duplicates.
+pub fn order_columns(vars: &[VarId], order: &[VarId]) -> (Vec<usize>, Vec<usize>) {
+    let mut pairs: Vec<(usize, usize)> = vars
+        .iter()
+        .enumerate()
+        .map(|(col, v)| {
+            let depth = order
+                .iter()
+                .position(|o| o == v)
+                .unwrap_or_else(|| panic!("variable #{} not in global order", v.0)); // xtask: allow(panic)
+            (depth, col)
+        })
+        .collect();
+    pairs.sort_unstable();
+    for w in pairs.windows(2) {
+        assert_ne!(w[0].0, w[1].0, "duplicate variable in atom");
+    }
+    (
+        pairs.iter().map(|&(_, c)| c).collect(),
+        pairs.iter().map(|&(d, _)| d).collect(),
+    )
+}
+
 /// A relation prepared for leapfrog joining: a trie whose levels map to
 /// global-order depths, served through a [`TrieCursor`]. Implemented by
-/// the paper's array-backed [`SortedAtom`] and by the B-tree-backed
+/// the paper's array-backed [`SortedAtom`], the columnar level-segmented
+/// [`ColumnarAtom`](super::ColumnarAtom), and the B-tree-backed
 /// [`BTreeAtom`](super::BTreeAtom) (LogicBlox's layout) for comparison.
 pub trait TrieAtom {
     /// The cursor type borrowed from this atom.
@@ -69,23 +105,7 @@ impl SortedAtom {
         F: FnOnce(&Relation, &[usize]) -> Arc<Relation>,
     {
         assert_eq!(rel.arity(), vars.len(), "one variable per column");
-        let mut pairs: Vec<(usize, usize)> = vars
-            .iter()
-            .enumerate()
-            .map(|(col, v)| {
-                let depth = order
-                    .iter()
-                    .position(|o| o == v)
-                    .unwrap_or_else(|| panic!("variable #{} not in global order", v.0)); // xtask: allow(panic)
-                (depth, col)
-            })
-            .collect();
-        pairs.sort_unstable();
-        for w in pairs.windows(2) {
-            assert_ne!(w[0].0, w[1].0, "duplicate variable in atom");
-        }
-        let cols: Vec<usize> = pairs.iter().map(|&(_, c)| c).collect();
-        let depths: Vec<usize> = pairs.iter().map(|&(d, _)| d).collect();
+        let (cols, depths) = order_columns(vars, order);
         SortedAtom {
             rel: sort_view(rel, &cols),
             depths,

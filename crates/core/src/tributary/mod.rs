@@ -18,9 +18,11 @@
 //!    the trie iterators of the atoms containing each variable.
 
 mod btree;
+mod columnar;
 mod join;
 mod trie;
 
 pub use btree::{BTreeAtom, BTreeCursor};
-pub use join::{SortedAtom, Tributary, TrieAtom};
+pub use columnar::{lower_bound_gallop, ColumnarAtom, ColumnarCursor, ColumnarTrie};
+pub use join::{order_columns, SortedAtom, Tributary, TrieAtom};
 pub use trie::{TrieCursor, TrieIter};

@@ -46,6 +46,7 @@
 //! to every [`ShuffleStats`](parjoin_common::ShuffleStats).
 
 pub mod advisor;
+mod cache;
 pub mod cluster;
 pub mod dist;
 pub mod error;
@@ -59,6 +60,7 @@ pub mod shuffle;
 pub mod sortcache;
 #[cfg(feature = "strict-invariants")]
 mod strict;
+pub mod triecache;
 
 pub use advisor::{advise, Advice};
 pub use cluster::Cluster;
@@ -67,5 +69,9 @@ pub use error::EngineError;
 pub use parjoin_analyze::{DiagCode, Diagnostic, Severity};
 pub use parjoin_obs as obs;
 pub use parjoin_runtime::TransportKind;
-pub use plans::{metric_names, run_config, JoinAlg, PlanOptions, PrepProbe, RunResult, ShuffleAlg};
+pub use plans::{
+    metric_names, run_config, JoinAlg, PlanOptions, PrepProbe, RunResult, ShuffleAlg, TrieLayout,
+};
+pub use probe::MorselSched;
 pub use sortcache::SortCache;
+pub use triecache::TrieCache;

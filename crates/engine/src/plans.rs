@@ -29,11 +29,12 @@ use crate::prepare;
 use crate::probe;
 use crate::shuffle;
 use crate::sortcache::{Lookup, Provenance, SortCache};
+use crate::triecache::TrieCache;
 use parjoin_analyze::{self as analyze, Diagnostic};
 use parjoin_common::{Relation, ShuffleStats};
 use parjoin_core::hypercube::{HcConfig, ShareProblem};
 use parjoin_core::order::{best_order, OrderCostModel};
-use parjoin_core::tributary::{SortedAtom, Tributary};
+use parjoin_core::tributary::{ColumnarAtom, ColumnarTrie, SortedAtom, Tributary};
 use parjoin_obs::{Registry, TraceSink, COORDINATOR_LANE};
 use parjoin_query::{resolve_atoms, ConjunctiveQuery, Filter, VarId};
 use parjoin_runtime::{Runtime, RuntimeConfig, RuntimeObs};
@@ -98,6 +99,21 @@ impl From<JoinAlg> for analyze::JoinKind {
             JoinAlg::Tributary => analyze::JoinKind::Tributary,
         }
     }
+}
+
+/// Which trie representation Tributary plans prepare and probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TrieLayout {
+    /// Row-major sorted arrays walked by `TrieIter` (the PR 1 layout) —
+    /// kept as the A/B baseline and reachable via
+    /// [`PlanOptions::trie_layout`].
+    Row,
+    /// Columnar level-segmented tries (`ColumnarTrie`): per-level
+    /// contiguous key arrays + CSR child offsets, branch-free chunked
+    /// galloping, and cross-query reuse through the process-wide
+    /// [`TrieCache`](crate::TrieCache). Byte-identical output to `Row`.
+    #[default]
+    Columnar,
 }
 
 /// Plan-level knobs.
@@ -177,6 +193,11 @@ pub struct PlanOptions {
     /// transports, `prepare`, `probe`) appear one chrome "thread" per
     /// simulated worker, coordinator work on its own lane.
     pub trace_path: Option<PathBuf>,
+    /// Trie representation for Tributary plans (default
+    /// [`TrieLayout::Columnar`]). Output is byte-identical across
+    /// layouts — the `layout_parity` suite asserts exactly that; `Row`
+    /// remains as the A/B baseline and escape hatch.
+    pub trie_layout: TrieLayout,
 }
 
 impl PlanOptions {
@@ -263,6 +284,31 @@ pub struct RunResult {
     /// above the number of probe operations mean morsel parallelism
     /// actually split work.
     pub probe_morsels: u64,
+    /// Probe morsels a thread claimed from another thread's deque under
+    /// the work-stealing scheduler (see
+    /// [`MorselSched`](crate::probe::MorselSched)). Zero when the
+    /// sequential path ran or no imbalance arose; a high
+    /// steals-to-morsels ratio means the initial contiguous deal was
+    /// skewed and the stealer rebalanced it.
+    pub probe_steals: u64,
+    /// Columnar trie prepare lookups served from the process-wide
+    /// [`TrieCache`](crate::TrieCache) during this run (always 0 on the
+    /// [`TrieLayout::Row`] path, which has no trie to cache).
+    pub trie_cache_hits: u64,
+    /// Columnar trie prepare lookups that built the trie fresh.
+    pub trie_cache_misses: u64,
+    /// Subset of [`RunResult::trie_cache_hits`](Self::trie_cache_hits)
+    /// served under a *certified* route-signature match — same contract
+    /// as [`RunResult::sort_cache_certified_hits`](Self::sort_cache_certified_hits),
+    /// applied to whole prepared tries.
+    pub trie_cache_certified_hits: u64,
+    /// Process-wide [`TrieCache`](crate::TrieCache) evictions during
+    /// this run (cumulative counter delta, like
+    /// [`RunResult::sort_cache_evictions`](Self::sort_cache_evictions)).
+    pub trie_cache_evictions: u64,
+    /// Bytes resident in the process-wide
+    /// [`TrieCache`](crate::TrieCache) when the run finished (a gauge).
+    pub trie_cache_resident_bytes: u64,
     /// Name-sorted snapshot of the run's metrics registry: the
     /// `runtime.*` transport counters plus `engine.*` mirrors of the
     /// legacy fields above (see [`metric_names`]). The mirrors reconcile
@@ -300,8 +346,22 @@ pub mod metric_names {
     pub const SORT_CACHE_RESIDENT_BYTES: &str = "engine.sortcache.resident_bytes";
     /// Mirror of [`RunResult::probe_morsels`](super::RunResult).
     pub const PROBE_MORSELS: &str = "engine.probe.morsels";
+    /// Mirror of [`RunResult::probe_steals`](super::RunResult).
+    pub const PROBE_STEALS: &str = "engine.probe.steals";
     /// Mirror of [`RunResult::probe_threads`](super::RunResult).
     pub const PROBE_THREADS: &str = "engine.probe.threads";
+    /// Mirror of [`RunResult::trie_cache_hits`](super::RunResult).
+    pub const TRIE_CACHE_HITS: &str = "engine.triecache.hits";
+    /// Mirror of [`RunResult::trie_cache_misses`](super::RunResult).
+    pub const TRIE_CACHE_MISSES: &str = "engine.triecache.misses";
+    /// Mirror of [`RunResult::trie_cache_certified_hits`](super::RunResult).
+    pub const TRIE_CACHE_CERTIFIED: &str = "engine.triecache.certified_hits";
+    /// Mirror of [`RunResult::trie_cache_evictions`](super::RunResult):
+    /// process-wide trie-cache evictions during this run.
+    pub const TRIE_CACHE_EVICTIONS: &str = "engine.triecache.evictions";
+    /// Mirror of [`RunResult::trie_cache_resident_bytes`](super::RunResult):
+    /// bytes resident in the process-wide trie cache at run end (a gauge).
+    pub const TRIE_CACHE_RESIDENT_BYTES: &str = "engine.triecache.resident_bytes";
     /// Mirror of [`RunResult::peak_worker_tuples`](super::RunResult).
     pub const PEAK_WORKER_TUPLES: &str = "engine.peak_worker_tuples";
 }
@@ -318,6 +378,8 @@ pub(crate) struct RunObs {
     /// [`RunObs::finalize`] reports the delta as this run's eviction
     /// pressure.
     evictions_at_start: u64,
+    /// Same snapshot for the process-wide [`TrieCache`].
+    trie_evictions_at_start: u64,
 }
 
 impl RunObs {
@@ -330,6 +392,7 @@ impl RunObs {
                 TraceSink::disabled()
             },
             evictions_at_start: SortCache::global().stats().evictions,
+            trie_evictions_at_start: TrieCache::global().stats().evictions,
         }
     }
 
@@ -366,7 +429,25 @@ impl RunObs {
             metric_names::SORT_CACHE_RESIDENT_BYTES,
             result.sort_cache_resident_bytes,
         );
+        reg.add(metric_names::TRIE_CACHE_HITS, result.trie_cache_hits);
+        reg.add(metric_names::TRIE_CACHE_MISSES, result.trie_cache_misses);
+        reg.add(
+            metric_names::TRIE_CACHE_CERTIFIED,
+            result.trie_cache_certified_hits,
+        );
+        let trie = TrieCache::global().stats();
+        result.trie_cache_evictions = trie.evictions.saturating_sub(self.trie_evictions_at_start);
+        result.trie_cache_resident_bytes = trie.resident_bytes;
+        reg.add(
+            metric_names::TRIE_CACHE_EVICTIONS,
+            result.trie_cache_evictions,
+        );
+        reg.add(
+            metric_names::TRIE_CACHE_RESIDENT_BYTES,
+            result.trie_cache_resident_bytes,
+        );
         reg.add(metric_names::PROBE_MORSELS, result.probe_morsels);
+        reg.add(metric_names::PROBE_STEALS, result.probe_steals);
         reg.add(metric_names::PROBE_THREADS, result.probe_threads);
         reg.add(metric_names::PEAK_WORKER_TUPLES, result.peak_worker_tuples);
         result.metrics = reg.snapshot();
@@ -428,6 +509,12 @@ impl RunResult {
             sort_cache_resident_bytes: 0,
             probe_threads: 1,
             probe_morsels: 0,
+            probe_steals: 0,
+            trie_cache_hits: 0,
+            trie_cache_misses: 0,
+            trie_cache_certified_hits: 0,
+            trie_cache_evictions: 0,
+            trie_cache_resident_bytes: 0,
             metrics: Vec::new(),
         }
     }
@@ -465,17 +552,28 @@ impl RunResult {
         );
         let _ = writeln!(
             s,
-            "sort-cache {} hit(s) ({} certified) / {} miss(es)   probe {} thread(s), {} morsel(s)",
+            "sort-cache {} hit(s) ({} certified) / {} miss(es)   probe {} thread(s), {} morsel(s), {} steal(s)",
             self.sort_cache_hits,
             self.sort_cache_certified_hits,
             self.sort_cache_misses,
             self.probe_threads,
-            self.probe_morsels
+            self.probe_morsels,
+            self.probe_steals
+        );
+        let _ = writeln!(
+            s,
+            "trie-cache {} hit(s) ({} certified) / {} miss(es)",
+            self.trie_cache_hits, self.trie_cache_certified_hits, self.trie_cache_misses
         );
         let _ = writeln!(
             s,
             "sort-cache pressure: {} eviction(s) during run, {} bytes resident at finish",
             self.sort_cache_evictions, self.sort_cache_resident_bytes
+        );
+        let _ = writeln!(
+            s,
+            "trie-cache pressure: {} eviction(s) during run, {} bytes resident at finish",
+            self.trie_cache_evictions, self.trie_cache_resident_bytes
         );
         if !self.diagnostics.is_empty() {
             let _ = writeln!(s, "\ndiagnostics:");
@@ -1151,12 +1249,12 @@ fn run_regular(
                 vars: next_s.vars.clone(),
                 rel: next_s.parts[w].clone(),
             };
-            let (joined, sort_buf, sort_time, morsels) = match join_alg {
+            let (joined, sort_buf, sort_time, morsels, steals) = match join_alg {
                 JoinAlg::Hash => {
                     let probe_span = lane.span("probe", "engine");
-                    let (j, m) = probe::hash_join_parallel(&a, &b, seed, probe_threads);
+                    let (j, m, st) = probe::hash_join_parallel(&a, &b, seed, probe_threads);
                     drop(probe_span);
-                    (j, 0, Duration::ZERO, m)
+                    (j, 0, Duration::ZERO, m, st)
                 }
                 JoinAlg::Tributary => {
                     // merge_join times its own sorting internally, so the
@@ -1167,7 +1265,7 @@ fn run_regular(
                     let elapsed = t0.elapsed();
                     lane.record("prepare", "engine", t0, t);
                     lane.record("probe", "engine", t0 + t, elapsed.saturating_sub(t));
-                    (j, buf, t, 1)
+                    (j, buf, t, 1, 0)
                 }
             };
             let filtered = if ready.is_empty() {
@@ -1187,14 +1285,15 @@ fn run_regular(
                     a.rel.len() as u64 + b.rel.len() as u64 + sort_buf + filtered.rel.len() as u64
                 }
             };
-            (filtered.rel, live, sort_time, morsels)
+            (filtered.rel, live, sort_time, morsels, steals)
         });
         let mut parts = Vec::with_capacity(cluster.workers);
         let mut sort_times = Vec::with_capacity(cluster.workers);
-        for (w, (rel, live, sort, morsels)) in phase.results.iter().enumerate() {
+        for (w, (rel, live, sort, morsels, steals)) in phase.results.iter().enumerate() {
             check_budget(cluster, w, *live)?;
             result.peak_worker_tuples = result.peak_worker_tuples.max(*live);
             result.probe_morsels += morsels;
+            result.probe_steals += steals;
             parts.push(rel.clone());
             sort_times.push(*sort);
         }
@@ -1226,6 +1325,22 @@ fn run_regular(
 
     finish_output(query, cluster, opts, cur, obs, result);
     Ok(())
+}
+
+/// Per-worker tallies of one local multiway join, folded into the
+/// [`RunResult`] after the phase joins.
+#[derive(Debug, Clone, Copy, Default)]
+struct JoinTally {
+    live: u64,
+    sort_time: Duration,
+    sort_cache_hits: u64,
+    sort_cache_misses: u64,
+    sort_cache_certified: u64,
+    trie_cache_hits: u64,
+    trie_cache_misses: u64,
+    trie_cache_certified: u64,
+    morsels: u64,
+    steals: u64,
 }
 
 /// Broadcast and HyperCube plans: one communication round, then a local
@@ -1387,12 +1502,13 @@ fn run_one_round(
                     cur = cur.filter(&ready0);
                 }
                 let mut live: u64 = locals.iter().map(|l| l.rel.len() as u64).sum();
-                let mut morsels = 0u64;
+                let mut tally = JoinTally::default();
                 let probe_span = lane.span("probe", "engine");
                 for &ai in &local_order[1..] {
-                    let (joined, m) =
+                    let (joined, m, st) =
                         probe::hash_join_parallel(&cur, &locals[ai], seed, probe_threads);
-                    morsels += m;
+                    tally.morsels += m;
+                    tally.steals += st;
                     let ready = take_ready_filters(&mut pending, &joined.vars);
                     cur = if ready.is_empty() {
                         joined
@@ -1406,113 +1522,189 @@ fn run_one_round(
                 }
                 drop(probe_span);
                 let out = cur.project(&head);
-                (out.rel, live, Duration::ZERO, 0u64, 0u64, 0u64, morsels)
+                tally.live = live;
+                (out.rel, tally)
             }
             JoinAlg::Tributary => {
                 // Computed unconditionally above for Tributary plans.
                 let order = tj_order.as_ref().expect("TJ order computed"); // xtask: allow(expect)
-                                                                           // Restrict the order to variables present locally (all of
-                                                                           // them, for full queries).
-                let (mut hits, mut misses, mut certified) = (0u64, 0u64, 0u64);
+                let mut tally = JoinTally::default();
+                // A view (or trie) too large for a worker's memory budget
+                // is returned but never cached — the budget bounds what
+                // either cache may pin (budget is in tuples; a sorted
+                // view costs `arity` values per tuple, and the
+                // deduplicated trie never exceeds the view).
+                let entry_cap = |cols: &[usize]| {
+                    budget.map(|t| {
+                        (t as usize).saturating_mul(cols.len().max(1) * std::mem::size_of::<u64>())
+                    })
+                };
+                // With a certified policy, hits require a route-signature
+                // match — the cached view's placement is *proved*
+                // identical to this plan's, not assumed from one
+                // fragment's content (see
+                // `SortCache::get_or_sort_certified`). The same stamp
+                // certifies the TrieCache entry layered on top.
+                let prov_for = |i: usize| {
+                    route_sigs.and_then(|s| s.get(i)).map(|sig| Provenance {
+                        query: opts
+                            .provenance
+                            .clone()
+                            .unwrap_or_else(|| query.name.clone()),
+                        route: sig.clone(),
+                    })
+                };
+                // Both cache layers key by the *base* fragment's content
+                // fingerprint — computed once here, reused by both.
+                let cached_view = |tally: &mut JoinTally,
+                                   fp: u128,
+                                   r: &Relation,
+                                   cols: &[usize],
+                                   prov: Option<Provenance>| {
+                    let sort = |r: &Relation, cols: &[usize]| {
+                        prepare::sorted_by_columns_parallel(r, cols, prep_threads)
+                    };
+                    let (view, lookup, cert) = SortCache::global().get_or_sort_keyed(
+                        fp,
+                        r,
+                        cols,
+                        entry_cap(cols),
+                        prov,
+                        sort,
+                    );
+                    tally.sort_cache_certified += u64::from(cert);
+                    match lookup {
+                        Lookup::Hit => tally.sort_cache_hits += 1,
+                        Lookup::Miss => tally.sort_cache_misses += 1,
+                    }
+                    view
+                };
                 let prep_span = lane.span("prepare", "engine");
                 let t_sort = std::time::Instant::now();
-                let prepared: Vec<SortedAtom> = locals
-                    .iter()
-                    .enumerate()
-                    .map(|(i, l)| {
-                        if opts.sequential_prepare {
-                            SortedAtom::prepare(&l.rel, &l.vars, order)
-                        } else {
-                            SortedAtom::prepare_with(&l.rel, &l.vars, order, |r, cols| {
-                                // A view too large for a worker's memory
-                                // budget is returned but never cached —
-                                // the budget bounds what the cache may
-                                // pin (budget is in tuples; a sorted
-                                // view costs `arity` values per tuple).
-                                let cap = budget.map(|t| {
-                                    (t as usize).saturating_mul(
-                                        cols.len().max(1) * std::mem::size_of::<u64>(),
-                                    )
-                                });
-                                let sort = |r: &Relation, cols: &[usize]| {
-                                    prepare::sorted_by_columns_parallel(r, cols, prep_threads)
-                                };
-                                // With a certified policy, hits require a
-                                // route-signature match — the cached view's
-                                // placement is *proved* identical to this
-                                // plan's, not assumed from one fragment's
-                                // content (see `SortCache::get_or_sort_certified`).
-                                let (view, lookup) = match route_sigs.and_then(|s| s.get(i)) {
-                                    Some(sig) => {
-                                        let (view, lookup, cert) = SortCache::global()
-                                            .get_or_sort_certified(
-                                                r,
-                                                cols,
-                                                cap,
-                                                Provenance {
-                                                    query: opts
-                                                        .provenance
-                                                        .clone()
-                                                        .unwrap_or_else(|| query.name.clone()),
-                                                    route: sig.clone(),
-                                                },
-                                                sort,
-                                            );
-                                        certified += u64::from(cert);
-                                        (view, lookup)
-                                    }
-                                    None => SortCache::global().get_or_sort(r, cols, cap, sort),
-                                };
-                                match lookup {
-                                    Lookup::Hit => hits += 1,
-                                    Lookup::Miss => misses += 1,
+                let probed = match opts.trie_layout {
+                    TrieLayout::Row => {
+                        let prepared: Vec<SortedAtom> = locals
+                            .iter()
+                            .enumerate()
+                            .map(|(i, l)| {
+                                if opts.sequential_prepare {
+                                    SortedAtom::prepare(&l.rel, &l.vars, order)
+                                } else {
+                                    SortedAtom::prepare_with(&l.rel, &l.vars, order, |r, cols| {
+                                        cached_view(
+                                            &mut tally,
+                                            r.fingerprint(),
+                                            r,
+                                            cols,
+                                            prov_for(i),
+                                        )
+                                    })
                                 }
-                                view
                             })
+                            .collect();
+                        tally.sort_time = t_sort.elapsed();
+                        drop(prep_span);
+                        #[cfg(feature = "strict-invariants")]
+                        for (i, sa) in prepared.iter().enumerate() {
+                            assert!(
+                                sa.relation().is_sorted_lex(),
+                                "strict-invariants: Tributary input {i} is not sorted \
+                                 lexicographically after prepare"
+                            );
                         }
-                    })
-                    .collect();
-                let sort_time = t_sort.elapsed();
-                drop(prep_span);
-                #[cfg(feature = "strict-invariants")]
-                for (i, sa) in prepared.iter().enumerate() {
-                    assert!(
-                        sa.relation().is_sorted_lex(),
-                        "strict-invariants: Tributary input {i} is not sorted \
-                         lexicographically after prepare"
-                    );
-                }
-                let live: u64 = locals.iter().map(|l| 2 * l.rel.len() as u64).sum::<u64>();
-                let probe_span = lane.span("probe", "engine");
-                let tj = Tributary::new(&prepared, order, &pending, num_vars);
-                let probed = probe::tributary_probe(&tj, &prepared, &head, probe_threads);
-                drop(probe_span);
-                let live = live + probed.rel.len() as u64;
-                (
-                    probed.rel,
-                    live,
-                    sort_time,
-                    hits,
-                    misses,
-                    certified,
-                    probed.morsels,
-                )
+                        let probe_span = lane.span("probe", "engine");
+                        let tj = Tributary::new(&prepared, order, &pending, num_vars);
+                        let probed = probe::tributary_probe(&tj, &prepared, &head, probe_threads);
+                        drop(probe_span);
+                        probed
+                    }
+                    TrieLayout::Columnar => {
+                        let prepared: Vec<ColumnarAtom> = locals
+                            .iter()
+                            .enumerate()
+                            .map(|(i, l)| {
+                                if opts.sequential_prepare {
+                                    ColumnarAtom::prepare(&l.rel, &l.vars, order)
+                                } else {
+                                    ColumnarAtom::prepare_with(&l.rel, &l.vars, order, |r, cols| {
+                                        let fp = r.fingerprint();
+                                        let prov = prov_for(i);
+                                        // SortCache first — the sorted
+                                        // view stays shared with row-
+                                        // layout and merge-join
+                                        // consumers of the same
+                                        // fragment…
+                                        let view =
+                                            cached_view(&mut tally, fp, r, cols, prov.clone());
+                                        // …then the TrieCache layered
+                                        // on top, reusing the whole
+                                        // prepared trie across queries
+                                        // under the same key
+                                        // discipline.
+                                        let cap = entry_cap(cols);
+                                        let build = || ColumnarTrie::build(&view);
+                                        let (trie, lookup, cert) = match prov {
+                                            Some(p) => TrieCache::global()
+                                                .get_or_build_certified(fp, cols, cap, p, build),
+                                            None => {
+                                                let (t, l) = TrieCache::global()
+                                                    .get_or_build(fp, cols, cap, build);
+                                                (t, l, false)
+                                            }
+                                        };
+                                        tally.trie_cache_certified += u64::from(cert);
+                                        match lookup {
+                                            Lookup::Hit => tally.trie_cache_hits += 1,
+                                            Lookup::Miss => tally.trie_cache_misses += 1,
+                                        }
+                                        trie
+                                    })
+                                }
+                            })
+                            .collect();
+                        tally.sort_time = t_sort.elapsed();
+                        drop(prep_span);
+                        #[cfg(feature = "strict-invariants")]
+                        for (i, ca) in prepared.iter().enumerate() {
+                            if let Err(e) = ca.trie().validate() {
+                                // xtask: allow(panic)
+                                panic!(
+                                    "strict-invariants: columnar trie {i} malformed after \
+                                     prepare: {e}"
+                                );
+                            }
+                        }
+                        let probe_span = lane.span("probe", "engine");
+                        let tj = Tributary::new(&prepared, order, &pending, num_vars);
+                        let probed = probe::tributary_probe(&tj, &prepared, &head, probe_threads);
+                        drop(probe_span);
+                        probed
+                    }
+                };
+                tally.morsels = probed.morsels;
+                tally.steals = probed.steals;
+                tally.live = locals.iter().map(|l| 2 * l.rel.len() as u64).sum::<u64>()
+                    + probed.rel.len() as u64;
+                (probed.rel, tally)
             }
         }
     });
 
     let mut outputs = Vec::with_capacity(cluster.workers);
     let mut sort_times = Vec::with_capacity(cluster.workers);
-    for (w, (rel, live, sort, hits, misses, certified, morsels)) in phase.results.iter().enumerate()
-    {
-        check_budget(cluster, w, *live)?;
-        result.peak_worker_tuples = result.peak_worker_tuples.max(*live);
-        result.probe_morsels += morsels;
+    for (w, (rel, t)) in phase.results.iter().enumerate() {
+        check_budget(cluster, w, t.live)?;
+        result.peak_worker_tuples = result.peak_worker_tuples.max(t.live);
+        result.probe_morsels += t.morsels;
+        result.probe_steals += t.steals;
         outputs.push(rel.clone());
-        sort_times.push(*sort);
-        result.sort_cache_hits += hits;
-        result.sort_cache_misses += misses;
-        result.sort_cache_certified_hits += certified;
+        sort_times.push(t.sort_time);
+        result.sort_cache_hits += t.sort_cache_hits;
+        result.sort_cache_misses += t.sort_cache_misses;
+        result.sort_cache_certified_hits += t.sort_cache_certified;
+        result.trie_cache_hits += t.trie_cache_hits;
+        result.trie_cache_misses += t.trie_cache_misses;
+        result.trie_cache_certified_hits += t.trie_cache_certified;
     }
     result.absorb_phase(&phase.busy, Some(&sort_times));
 

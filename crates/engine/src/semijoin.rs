@@ -44,8 +44,9 @@ pub struct SemijoinResult {
 
 /// One distributed semijoin step: reduce `target` by `reducer` on their
 /// shared variables. Returns the reduced relation, the two shuffle stats
-/// (projection, input), and the probe morsels executed across workers
-/// (the local semijoin filter runs morsel-parallel; see [`crate::probe`]).
+/// (projection, input), and the probe morsels and steals executed across
+/// workers (the local semijoin filter runs morsel-parallel with work
+/// stealing; see [`crate::probe`]).
 fn distributed_semijoin(
     target: &DistRel,
     reducer: &DistRel,
@@ -57,6 +58,7 @@ fn distributed_semijoin(
     DistRel,
     parjoin_common::ShuffleStats,
     parjoin_common::ShuffleStats,
+    u64,
     u64,
 ) {
     let shared: Vec<VarId> = target
@@ -95,20 +97,22 @@ fn distributed_semijoin(
             vars: proj_s.vars.clone(),
             rel: proj_s.parts[w].clone(),
         };
-        let (reduced, morsels) = probe::semijoin_parallel(&t, &r, seed, probe_threads);
-        (reduced.rel, morsels)
+        let (reduced, morsels, steals) = probe::semijoin_parallel(&t, &r, seed, probe_threads);
+        (reduced.rel, morsels, steals)
     });
     let mut parts = Vec::with_capacity(cluster.workers);
     let mut morsels = 0u64;
-    for (rel, m) in phase.results {
+    let mut steals = 0u64;
+    for (rel, m, st) in phase.results {
         parts.push(rel);
         morsels += m;
+        steals += st;
     }
     let reduced = DistRel {
         vars: target.vars.clone(),
         parts,
     };
-    (reduced, stats_proj, stats_tgt, morsels)
+    (reduced, stats_proj, stats_tgt, morsels, steals)
 }
 
 /// Runs the full semijoin plan on an acyclic query.
@@ -140,6 +144,7 @@ pub fn run_semijoin_plan(
     let mut projected_tuples = 0u64;
     let mut input_tuples = 0u64;
     let mut sj_morsels = 0u64;
+    let mut sj_steals = 0u64;
     let probe_threads = opts.effective_probe_threads(cluster.workers);
     // One registry and one trace span the whole plan — reduction passes
     // and final join — so the exported metrics and chrome trace cover the
@@ -150,7 +155,7 @@ pub fn run_semijoin_plan(
     // Bottom-up: children reduce parents.
     for &a in &tree.bottom_up {
         if let Some(p) = tree.parent[a] {
-            let (reduced, sp, st, morsels) = distributed_semijoin(
+            let (reduced, sp, st, morsels, steals) = distributed_semijoin(
                 &dists[p].clone(),
                 &dists[a],
                 cluster,
@@ -161,6 +166,7 @@ pub fn run_semijoin_plan(
             projected_tuples += sp.tuples_sent;
             input_tuples += st.tuples_sent;
             sj_morsels += morsels;
+            sj_steals += steals;
             sj_shuffles.push(sp);
             sj_shuffles.push(st);
             dists[p] = reduced;
@@ -169,7 +175,7 @@ pub fn run_semijoin_plan(
     // Top-down: parents reduce children.
     for &a in &tree.top_down() {
         for c in tree.children(a) {
-            let (reduced, sp, st, morsels) = distributed_semijoin(
+            let (reduced, sp, st, morsels, steals) = distributed_semijoin(
                 &dists[c].clone(),
                 &dists[a],
                 cluster,
@@ -180,6 +186,7 @@ pub fn run_semijoin_plan(
             projected_tuples += sp.tuples_sent;
             input_tuples += st.tuples_sent;
             sj_morsels += morsels;
+            sj_steals += steals;
             sj_shuffles.push(sp);
             sj_shuffles.push(st);
             dists[c] = reduced;
@@ -233,6 +240,7 @@ pub fn run_semijoin_plan(
         run.shuffles.insert(0, s);
     }
     run.probe_morsels += sj_morsels;
+    run.probe_steals += sj_steals;
     run.config = "SJ_HJ".into();
     // Finalize only now, with the semijoin shuffles and morsels folded
     // in, so the metric mirrors match the folded totals exactly.

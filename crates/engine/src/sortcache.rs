@@ -20,88 +20,26 @@
 //! budget — the budget models per-worker memory, and a view that
 //! wouldn't fit a worker's memory must not be pinned by the cache either
 //! (see [`SortCache::get_or_sort`]).
+//!
+//! The lookup/eviction machinery itself lives in
+//! [`crate::cache::KeyedCache`], shared with the columnar
+//! [`TrieCache`](crate::TrieCache) that layers on top of this cache on
+//! the columnar probe path.
 
+use crate::cache::KeyedCache;
+pub use crate::cache::{CacheStats, Lookup, Provenance};
 use parjoin_common::Relation;
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::sync::{Arc, OnceLock};
 
 /// Default cache capacity in bytes. Sorted views of the paper's largest
 /// inputs are tens of MiB; 256 MiB comfortably holds a full six-config
 /// sweep's working set without mattering next to the host's RAM.
 pub const DEFAULT_CAPACITY_BYTES: usize = 256 << 20;
 
-/// Outcome of a [`SortCache::get_or_sort`] lookup, for per-run stat
-/// tallies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Lookup {
-    /// The sorted view was served from the cache.
-    Hit,
-    /// The view was sorted fresh (and possibly inserted).
-    Miss,
-}
-
-/// Cumulative cache counters (process lifetime).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct CacheStats {
-    /// Lookups served from the cache.
-    pub hits: u64,
-    /// Lookups that had to sort fresh.
-    pub misses: u64,
-    /// Entries evicted to stay under capacity.
-    pub evictions: u64,
-    /// Bytes currently resident.
-    pub resident_bytes: u64,
-    /// Entries currently resident.
-    pub entries: u64,
-    /// Hits whose stored route signature matched the requested one —
-    /// the placement identity was *proved*, not assumed (see
-    /// [`SortCache::get_or_sort_certified`]).
-    pub certified_hits: u64,
-    /// Certified lookups that found matching content under a different
-    /// (or unknown) route signature and refused the hit.
-    pub route_rejects: u64,
-}
-
-/// Where a cached view came from: which query's run shuffled the
-/// fragment, and the canonical *route signature* of the placement
-/// function that put it on this worker (see
-/// `parjoin_analyze::policy::Policy::route_signature`). A content
-/// fingerprint proves one worker's fragment matches; only equal route
-/// signatures prove every worker's fragment matches — which is what a
-/// cross-query cache hit actually asserts.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Provenance {
-    /// Name of the query whose run produced the view.
-    pub query: String,
-    /// Canonical placement-function signature of the fragment's shuffle.
-    pub route: String,
-}
-
-struct Entry {
-    view: Arc<Relation>,
-    bytes: usize,
-    last_used: u64,
-    /// Stamp of the certified lookup that inserted the view; `None` for
-    /// entries inserted through the uncertified [`SortCache::get_or_sort`].
-    prov: Option<Provenance>,
-}
-
-struct Inner {
-    map: HashMap<(u128, Vec<usize>, Option<String>), Entry>,
-    resident: usize,
-    capacity: usize,
-    tick: u64,
-    hits: u64,
-    misses: u64,
-    evictions: u64,
-    certified_hits: u64,
-    route_rejects: u64,
-}
-
 /// An LRU cache mapping `(relation fingerprint, column permutation)` to
 /// sorted views. See the module docs for the invalidation story.
 pub struct SortCache {
-    inner: Mutex<Inner>,
+    cache: KeyedCache<Relation>,
 }
 
 impl SortCache {
@@ -109,17 +47,7 @@ impl SortCache {
     /// every lookup misses and nothing is inserted).
     pub fn with_capacity(capacity: usize) -> SortCache {
         SortCache {
-            inner: Mutex::new(Inner {
-                map: HashMap::new(),
-                resident: 0,
-                capacity,
-                tick: 0,
-                hits: 0,
-                misses: 0,
-                evictions: 0,
-                certified_hits: 0,
-                route_rejects: 0,
-            }),
+            cache: KeyedCache::with_capacity(capacity),
         }
     }
 
@@ -147,7 +75,8 @@ impl SortCache {
     where
         F: FnOnce(&Relation, &[usize]) -> Relation,
     {
-        let (view, lookup, _) = self.lookup_or_sort(rel, cols, max_entry_bytes, None, sort);
+        let (view, lookup, _) =
+            self.get_or_sort_keyed(rel.fingerprint(), rel, cols, max_entry_bytes, None, sort);
         (view, lookup)
     }
 
@@ -173,11 +102,22 @@ impl SortCache {
     where
         F: FnOnce(&Relation, &[usize]) -> Relation,
     {
-        self.lookup_or_sort(rel, cols, max_entry_bytes, Some(prov), sort)
+        self.get_or_sort_keyed(
+            rel.fingerprint(),
+            rel,
+            cols,
+            max_entry_bytes,
+            Some(prov),
+            sort,
+        )
     }
 
-    fn lookup_or_sort<F>(
+    /// Lookup with a caller-supplied fingerprint, so layered caches (the
+    /// TrieCache keys by the same base-relation fingerprint) hash the
+    /// relation once per prepare instead of once per layer.
+    pub(crate) fn get_or_sort_keyed<F>(
         &self,
+        fp: u128,
         rel: &Relation,
         cols: &[usize],
         max_entry_bytes: Option<usize>,
@@ -187,115 +127,13 @@ impl SortCache {
     where
         F: FnOnce(&Relation, &[usize]) -> Relation,
     {
-        // Certified entries are keyed per route signature: views sorted
-        // under *different* placement functions are different cache
-        // citizens (their fragments disagree on other workers), so one
-        // route's traffic must never evict another's stamp. Mixed
-        // query streams — a serving workload — would otherwise thrash
-        // a shared `(content, cols)` slot between routes forever.
-        let fp = rel.fingerprint();
-        let key = (fp, cols.to_vec(), prov.as_ref().map(|p| p.route.clone()));
-        {
-            let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
-            inner.tick += 1;
-            let tick = inner.tick;
-            if let Some(e) = inner.map.get_mut(&key) {
-                e.last_used = tick;
-                let view = Arc::clone(&e.view);
-                inner.hits += 1;
-                let certified = prov.is_some();
-                if certified {
-                    inner.certified_hits += 1;
-                }
-                return (view, Lookup::Hit, certified);
-            }
-            match &prov {
-                // Uncertified lookups keep their historical contract:
-                // identical content under *any* route is enough.
-                None => {
-                    let found = inner
-                        .map
-                        .iter_mut()
-                        .find(|((efp, ecols, _), _)| *efp == fp && ecols == cols)
-                        .map(|(_, e)| {
-                            e.last_used = tick;
-                            Arc::clone(&e.view)
-                        });
-                    if let Some(view) = found {
-                        inner.hits += 1;
-                        return (view, Lookup::Hit, false);
-                    }
-                    inner.misses += 1;
-                }
-                // A certified lookup that found matching content only
-                // under a different (or unknown) route refuses the hit
-                // and re-sorts under its own key.
-                Some(_) => {
-                    if inner
-                        .map
-                        .keys()
-                        .any(|(efp, ecols, _)| *efp == fp && ecols == cols)
-                    {
-                        inner.route_rejects += 1;
-                    }
-                    inner.misses += 1;
-                }
-            }
-        }
-        // Sort outside the lock: concurrent workers preparing different
-        // relations must not serialize on the cache mutex.
-        let view = Arc::new(sort(rel, cols));
-        let bytes = view.approx_bytes();
-        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
-        let fits_budget = max_entry_bytes.is_none_or(|cap| bytes <= cap);
-        if bytes <= inner.capacity && fits_budget {
-            // An insert racing a concurrent identical insert keeps the
-            // incumbent (the views are identical by construction).
-            if inner.map.contains_key(&key) {
-                return (view, Lookup::Miss, false);
-            }
-            while inner.resident + bytes > inner.capacity {
-                let Some(victim) = inner
-                    .map
-                    .iter()
-                    .min_by_key(|(_, e)| e.last_used)
-                    .map(|(k, _)| k.clone())
-                else {
-                    break;
-                };
-                if let Some(e) = inner.map.remove(&victim) {
-                    inner.resident -= e.bytes;
-                    inner.evictions += 1;
-                }
-            }
-            inner.tick += 1;
-            let tick = inner.tick;
-            inner.resident += bytes;
-            inner.map.insert(
-                key,
-                Entry {
-                    view: Arc::clone(&view),
-                    bytes,
-                    last_used: tick,
-                    prov,
-                },
-            );
-        }
-        (view, Lookup::Miss, false)
+        self.cache
+            .lookup_or_build(fp, cols, max_entry_bytes, prov, || sort(rel, cols))
     }
 
     /// Cumulative counters since process start (or [`SortCache::clear`]).
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
-        CacheStats {
-            hits: inner.hits,
-            misses: inner.misses,
-            evictions: inner.evictions,
-            resident_bytes: inner.resident as u64,
-            entries: inner.map.len() as u64,
-            certified_hits: inner.certified_hits,
-            route_rejects: inner.route_rejects,
-        }
+        self.cache.stats()
     }
 
     /// Provenance stamps of the resident *certified* entries, sorted by
@@ -303,23 +141,12 @@ impl SortCache {
     /// functions' views behind. Introspection only; hits never consult
     /// the query name.
     pub fn resident_provenance(&self) -> Vec<Provenance> {
-        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
-        let mut stamps: Vec<Provenance> =
-            inner.map.values().filter_map(|e| e.prov.clone()).collect();
-        stamps.sort_by(|a, b| (&a.route, &a.query).cmp(&(&b.route, &b.query)));
-        stamps
+        self.cache.resident_provenance()
     }
 
     /// Drops every entry and resets the counters.
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
-        inner.map.clear();
-        inner.resident = 0;
-        inner.hits = 0;
-        inner.misses = 0;
-        inner.evictions = 0;
-        inner.certified_hits = 0;
-        inner.route_rejects = 0;
+        self.cache.clear();
     }
 }
 

@@ -92,6 +92,14 @@ pub struct ServeMetrics {
     /// completed query — the certified-transfer reuse rate under
     /// sustained traffic.
     pub sortcache_certified: &'static str,
+    /// TrieCache hits aggregated over every completed query (columnar
+    /// layout only; zero on row-layout streams).
+    pub triecache_hits: &'static str,
+    /// TrieCache misses aggregated over every completed query.
+    pub triecache_misses: &'static str,
+    /// Certified (route-proved) TrieCache hits aggregated over every
+    /// completed query.
+    pub triecache_certified: &'static str,
 }
 
 /// The counter names (`serve.*` namespace).
@@ -110,6 +118,9 @@ pub const SERVE_METRICS: ServeMetrics = ServeMetrics {
     sortcache_hits: "serve.sortcache.hits",
     sortcache_misses: "serve.sortcache.misses",
     sortcache_certified: "serve.sortcache.certified_hits",
+    triecache_hits: "serve.triecache.hits",
+    triecache_misses: "serve.triecache.misses",
+    triecache_certified: "serve.triecache.certified_hits",
 };
 
 /// Server-wide knobs.

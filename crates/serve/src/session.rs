@@ -268,6 +268,12 @@ fn execute(
         SERVE_METRICS.sortcache_certified,
         result.sort_cache_certified_hits,
     );
+    reg.add(SERVE_METRICS.triecache_hits, result.trie_cache_hits);
+    reg.add(SERVE_METRICS.triecache_misses, result.trie_cache_misses);
+    reg.add(
+        SERVE_METRICS.triecache_certified,
+        result.trie_cache_certified_hits,
+    );
     let latency = submitted.elapsed();
     reg.add(
         SERVE_METRICS.latency_micros,

@@ -59,11 +59,13 @@ pub mod prelude {
     pub use parjoin_common::{Database, Relation};
     pub use parjoin_core::hypercube::{HcConfig, ShareProblem};
     pub use parjoin_core::order::{best_order, OrderCostModel};
-    pub use parjoin_core::tributary::{BTreeAtom, SortedAtom, Tributary, TrieAtom, TrieCursor};
+    pub use parjoin_core::tributary::{
+        BTreeAtom, ColumnarAtom, ColumnarTrie, SortedAtom, Tributary, TrieAtom, TrieCursor,
+    };
     pub use parjoin_datagen::{all_queries, DatasetKind, QuerySpec, Scale};
     pub use parjoin_engine::{
-        metric_names, run_config, Cluster, EngineError, JoinAlg, PlanOptions, RunResult,
-        ShuffleAlg, TransportKind,
+        metric_names, run_config, Cluster, EngineError, JoinAlg, MorselSched, PlanOptions,
+        RunResult, ShuffleAlg, TransportKind, TrieCache, TrieLayout,
     };
     pub use parjoin_query::{ConjunctiveQuery, QueryBuilder, VarId};
     pub use parjoin_serve::{Server, ServerConfig, SessionConfig};

@@ -12,11 +12,14 @@
 //! * the per-run hit/miss/certified counters on [`RunResult`] reconcile
 //!   *exactly* with the global [`SortCache`] statistics delta: each
 //!   lookup is classified once, locally and globally alike;
+//! * the same exact reconciliation holds for the [`TrieCache`] layered
+//!   on top (the default columnar layout consults both: sorted view
+//!   first, prepared trie second);
 //! * the eviction-pressure metrics (evictions during run, resident
 //!   bytes at finish) are populated.
 //!
 //! This file holds a single `#[test]` on purpose: integration-test
-//! binaries run per-process, so nothing else mutates the global cache
+//! binaries run per-process, so nothing else mutates the global caches
 //! while the before/after statistics are compared.
 
 use parjoin::engine::SortCache;
@@ -42,6 +45,7 @@ struct Baseline {
 #[test]
 fn concurrent_mixed_runs_share_cache_and_counters_reconcile() {
     let cache = SortCache::global();
+    let tries = TrieCache::global();
     let scale = Scale::tiny();
     let cluster = Cluster::new(4).with_seed(11);
 
@@ -75,6 +79,12 @@ fn concurrent_mixed_runs_share_cache_and_counters_reconcile() {
                 "{}: sequential_prepare must bypass the cache",
                 spec.name
             );
+            assert_eq!(
+                (r.trie_cache_hits, r.trie_cache_misses),
+                (0, 0),
+                "{}: sequential_prepare must bypass the trie cache too",
+                spec.name
+            );
             let out = r.output.as_ref().expect("collected");
             baselines.push(Baseline {
                 name: spec.name.to_string(),
@@ -86,6 +96,7 @@ fn concurrent_mixed_runs_share_cache_and_counters_reconcile() {
     }
 
     let before = cache.stats();
+    let trie_before = tries.stats();
 
     // Concurrent phase: each thread runs every (query, config) unit
     // once, starting `t` units into the rotation so different threads
@@ -123,10 +134,12 @@ fn concurrent_mixed_runs_share_cache_and_counters_reconcile() {
     });
 
     let after = cache.stats();
+    let trie_after = tries.stats();
 
     // Byte identity: all THREADS × n_units concurrent runs against the
     // sequential baselines.
     let (mut hits, mut misses, mut certified) = (0u64, 0u64, 0u64);
+    let (mut t_hits, mut t_misses, mut t_certified) = (0u64, 0u64, 0u64);
     for runs in &per_thread {
         for (unit, r) in runs {
             let base = &baselines[*unit];
@@ -156,6 +169,19 @@ fn concurrent_mixed_runs_share_cache_and_counters_reconcile() {
             hits += r.sort_cache_hits;
             misses += r.sort_cache_misses;
             certified += r.sort_cache_certified_hits;
+            assert!(
+                r.trie_cache_hits + r.trie_cache_misses > 0,
+                "{}: columnar TJ prepare recorded no trie-cache lookups",
+                base.name
+            );
+            assert!(
+                r.trie_cache_certified_hits <= r.trie_cache_hits,
+                "{}: certified trie hits exceed trie hits",
+                base.name
+            );
+            t_hits += r.trie_cache_hits;
+            t_misses += r.trie_cache_misses;
+            t_certified += r.trie_cache_certified_hits;
         }
     }
 
@@ -175,6 +201,32 @@ fn concurrent_mixed_runs_share_cache_and_counters_reconcile() {
     assert!(
         certified > 0,
         "repeated identical queries under certify mode must produce certified hits"
+    );
+
+    // The TrieCache layered on top reconciles just as exactly.
+    assert_eq!(
+        trie_after.hits - trie_before.hits,
+        t_hits,
+        "trie hit counters diverged"
+    );
+    assert_eq!(
+        trie_after.misses - trie_before.misses,
+        t_misses,
+        "trie miss counters diverged"
+    );
+    assert_eq!(
+        trie_after.certified_hits - trie_before.certified_hits,
+        t_certified,
+        "certified trie-hit counters diverged"
+    );
+    assert!(
+        t_certified > 0,
+        "repeated identical queries must produce certified trie hits"
+    );
+    assert_eq!(trie_after.evictions - trie_before.evictions, 0);
+    assert!(
+        trie_after.resident_bytes > 0,
+        "no prepared tries resident after a columnar workload"
     );
 
     // Eviction-pressure metrics are wired: tiny data never overflows the
@@ -197,5 +249,15 @@ fn concurrent_mixed_runs_share_cache_and_counters_reconcile() {
     assert!(
         again.sort_cache_resident_bytes > 0,
         "resident-bytes gauge not populated on RunResult"
+    );
+    assert!(
+        again.trie_cache_hits > 0 && again.trie_cache_misses == 0,
+        "warm trie cache must serve a repeat of {} without rebuilding",
+        spec.name
+    );
+    assert_eq!(again.trie_cache_certified_hits, again.trie_cache_hits);
+    assert!(
+        again.trie_cache_resident_bytes > 0,
+        "trie resident-bytes gauge not populated on RunResult"
     );
 }
