@@ -535,11 +535,28 @@ pub fn check_sort_cache(spec: &PlanSpec<'_>, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// The worst-case encoded size of one full shuffle batch under `spec`'s
+/// wire format: the widest atom's arity decides the payload, and the
+/// estimate uses the **same** [`parjoin_common::wire`] arithmetic the
+/// exchange's send path uses ([`parjoin_common::wire::frame_bytes`]), so
+/// estimate and actual agree exactly for full batches (the regression
+/// suite pins them within 10% end-to-end, partial final batches
+/// included). Compression can only shrink a frame below this, never
+/// grow it — the raw-payload fallback bounds every compressed frame.
+pub fn estimated_frame_bytes(spec: &PlanSpec<'_>, batch: u64) -> u64 {
+    let max_arity = spec.atom_vars().iter().map(Vec::len).max().unwrap_or(0);
+    parjoin_common::wire::frame_bytes(spec.wire_format, max_arity, batch as usize)
+}
+
 /// Runtime-knob pre-flight: vets the streaming-shuffle batch size before
 /// the exchange starts. A zero batch can never flush (the send loop
 /// would buffer forever), so it is an error; a batch larger than the
 /// per-worker memory budget is legal but self-defeating — one arriving
-/// batch already overruns the budget the run enforces — so it warns.
+/// batch already overruns the budget the run enforces — so it warns
+/// (R411, with the frame's estimated on-wire size attached). A batch
+/// whose estimated frame exceeds the transport's per-frame byte limit
+/// warns too (R414): the exchange would reject the very first full
+/// batch with `FrameTooLarge` instead of shuffling anything.
 pub fn check_runtime(spec: &PlanSpec<'_>, out: &mut Vec<Diagnostic>) {
     let Some(batch) = spec.batch_tuples else {
         return;
@@ -551,6 +568,7 @@ pub fn check_runtime(spec: &PlanSpec<'_>, out: &mut Vec<Diagnostic>) {
         ));
         return;
     }
+    let frame = estimated_frame_bytes(spec, batch);
     if let Some(budget) = spec.memory_budget {
         if batch > budget {
             out.push(
@@ -560,7 +578,26 @@ pub fn check_runtime(spec: &PlanSpec<'_>, out: &mut Vec<Diagnostic>) {
                      budget; a single arriving batch already exceeds the budget",
                 )
                 .with("batch_tuples", batch)
+                .with("frame_bytes", frame)
                 .with("budget", budget),
+            );
+        }
+    }
+    if let Some(limit) = spec.max_frame_bytes {
+        if frame > limit {
+            out.push(
+                Diagnostic::warning(
+                    DiagCode::FrameOverLimit,
+                    format!(
+                        "a full {batch}-row batch of the widest atom encodes to \
+                         {frame} bytes, above the transport's {limit}-byte frame \
+                         limit; the exchange would reject it with FrameTooLarge — \
+                         lower batch_tuples or raise max_frame_bytes"
+                    ),
+                )
+                .with("batch_tuples", batch)
+                .with("frame_bytes", frame)
+                .with("max_frame_bytes", limit),
             );
         }
     }

@@ -124,6 +124,11 @@ pub enum DiagCode {
     /// budget: a single arriving batch already overruns the budget the
     /// run is supposed to enforce.
     BatchOverBudget,
+    /// A full batch of the widest atom encodes to more bytes than the
+    /// transport's per-frame limit: the exchange would reject the very
+    /// first full batch with `FrameTooLarge` instead of shuffling
+    /// anything. Lower `batch_tuples` or raise `max_frame_bytes`.
+    FrameOverLimit,
     /// The Tributary prepare phase's projected sorted working set
     /// (every atom's post-shuffle fragment, sorted-copy included)
     /// exceeds the per-worker memory budget, so no sorted view of this
@@ -199,6 +204,7 @@ impl DiagCode {
             DiagCode::BatchOverBudget => "R411",
             DiagCode::SortCacheOverBudget => "R412",
             DiagCode::ProbeParallelismDegraded => "R413",
+            DiagCode::FrameOverLimit => "R414",
             DiagCode::PolicyCertified => "R420",
             DiagCode::PolicyCounterexample => "R421",
             DiagCode::PolicyUnproven => "R422",

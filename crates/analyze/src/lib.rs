@@ -58,6 +58,7 @@ pub mod spec;
 pub mod transfer;
 
 pub use bind::bind_against_catalog;
+pub use checks::estimated_frame_bytes;
 pub use diagnostic::{has_errors, sort_diagnostics, DiagCode, Diagnostic, Severity};
 pub use policy::{certify, certify_spec, planned_policy, Policy, Verdict};
 pub use spec::{JoinKind, PlanSpec, ShuffleKind};
@@ -181,6 +182,62 @@ mod tests {
         assert!(analyze(&spec)
             .iter()
             .all(|d| d.code != DiagCode::BatchSizeZero && d.code != DiagCode::BatchOverBudget));
+    }
+
+    #[test]
+    fn batch_over_budget_carries_frame_byte_estimate() {
+        let q = triangle(); // widest atom: arity 2
+        let spec = PlanSpec::new(&q, 4, ShuffleKind::Regular, JoinKind::Hash)
+            .with_memory_budget(1_000)
+            .with_batch_tuples(5_000);
+        let diags = analyze(&spec);
+        let d = diags
+            .iter()
+            .find(|d| d.code == DiagCode::BatchOverBudget)
+            .expect("R411 fires");
+        let frame = d
+            .context
+            .iter()
+            .find(|(k, _)| k == "frame_bytes")
+            .map(|(_, v)| v.clone())
+            .expect("R411 names the frame size");
+        // The estimate is the wire module's own arithmetic for a full
+        // batch of the widest atom — not a drifted re-derivation.
+        let expect = parjoin_common::wire::frame_bytes(Default::default(), 2, 5_000);
+        assert_eq!(frame, expect.to_string());
+    }
+
+    #[test]
+    fn frame_over_limit_warns_with_both_sizes() {
+        let q = triangle();
+        // 4096 rows × arity 2 × 8 bytes ≈ 64 KiB per frame; a 1 KiB
+        // limit cannot carry the very first full batch.
+        let spec = PlanSpec::new(&q, 4, ShuffleKind::Regular, JoinKind::Hash)
+            .with_batch_tuples(4_096)
+            .with_max_frame_bytes(1_024);
+        let diags = analyze(&spec);
+        assert!(!has_errors(&diags), "R414 is a warning: {diags:?}");
+        let d = diags
+            .iter()
+            .find(|d| d.code == DiagCode::FrameOverLimit)
+            .expect("R414 fires");
+        assert_eq!(d.code.code(), "R414");
+        assert!(d.context.iter().any(|(k, _)| k == "frame_bytes"));
+        assert!(d
+            .context
+            .iter()
+            .any(|(k, v)| k == "max_frame_bytes" && v == "1024"));
+    }
+
+    #[test]
+    fn frame_under_limit_is_silent() {
+        let q = triangle();
+        let spec = PlanSpec::new(&q, 4, ShuffleKind::Regular, JoinKind::Hash)
+            .with_batch_tuples(4_096)
+            .with_max_frame_bytes(64 << 20);
+        assert!(analyze(&spec)
+            .iter()
+            .all(|d| d.code != DiagCode::FrameOverLimit));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! into a `PlanSpec` before execution; tests and tools can build one
 //! directly.
 
+use parjoin_common::WireFormat;
 use parjoin_core::hypercube::HcConfig;
 use parjoin_query::{ConjunctiveQuery, VarId};
 
@@ -61,6 +62,16 @@ pub struct PlanSpec<'a> {
     /// streaming transport. `None` means the in-memory `Local` path (no
     /// batching) or the runtime default.
     pub batch_tuples: Option<u64>,
+    /// Frame encoding the streaming transports will use. Drives the
+    /// batch-size pre-flight's per-frame byte estimate (R411/R414): each
+    /// format's header overhead differs, and the estimate is derived
+    /// from the same [`parjoin_common::wire`] arithmetic the send path
+    /// uses.
+    pub wire_format: WireFormat,
+    /// Per-frame byte limit the streaming transports enforce, when the
+    /// plan runs on one. An estimated frame above this limit warns
+    /// (R414): the exchange would reject the very first full batch.
+    pub max_frame_bytes: Option<u64>,
     /// Host core count, when known. Drives the intra-worker parallelism
     /// check (R413): each worker's prepare sorts and probe morsels get
     /// `host_cores / workers` threads, so `workers >= host_cores`
@@ -95,6 +106,8 @@ impl<'a> PlanSpec<'a> {
             hc_config: None,
             tj_order: None,
             batch_tuples: None,
+            wire_format: WireFormat::default(),
+            max_frame_bytes: None,
             host_cores: None,
             seed: 0,
         }
@@ -139,6 +152,20 @@ impl<'a> PlanSpec<'a> {
     #[must_use]
     pub fn with_batch_tuples(mut self, batch: u64) -> Self {
         self.batch_tuples = Some(batch);
+        self
+    }
+
+    /// Sets the streaming wire format (builder style).
+    #[must_use]
+    pub fn with_wire_format(mut self, format: WireFormat) -> Self {
+        self.wire_format = format;
+        self
+    }
+
+    /// Sets the transport's per-frame byte limit (builder style).
+    #[must_use]
+    pub fn with_max_frame_bytes(mut self, limit: u64) -> Self {
+        self.max_frame_bytes = Some(limit);
         self
     }
 

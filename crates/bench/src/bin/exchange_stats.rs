@@ -1,0 +1,377 @@
+//! Counter-verified exchange wire-path benchmark (the BENCH_exchange
+//! experiment): shuffles two workload shapes through the InProcess
+//! streaming transport under each wire variant and reconciles every
+//! `runtime.*` counter the zero-copy exchange added.
+//!
+//! Shapes:
+//!
+//! * **hashed** — pseudo-random two-column rows, hash-routed: the
+//!   generic shuffle shape, where the interesting number is
+//!   bytes-*copied*-per-tuple (the owned-encode traffic the vectored
+//!   format eliminates).
+//! * **sorted** — sorted-run rows, range-routed: the shape a shuffle of
+//!   a sorted relation produces and the case delta+varint column
+//!   compression is built for.
+//!
+//! Variants: `varint` (legacy owned-encode framing), `vectored`
+//! (zero-copy framing), `vectored_delta` (vectored + column
+//! compression). Every run is checked byte-identical against the
+//! sequential Local loop, and the acceptance gate requires: vectored
+//! copies zero bytes per tuple while varint copies every sent byte;
+//! compression shrinks the sorted shuffle >= 1.5x; one receive thread
+//! per worker; `tx == rx`; and `buf.allocs + buf.reuses == tx.batches`.
+//! Writes a strict-JSON report to `--out` and exits non-zero if any
+//! check fails.
+//!
+//! ```text
+//! exchange_stats [--rows N] [--workers N] [--batch N] [--iters N]
+//!                [--quick] [--date YYYY-MM-DD] [--out BENCH_exchange.json]
+//! ```
+
+use parjoin_common::{hash, Relation, WireFormat};
+use parjoin_obs::{Registry, TraceSink};
+use parjoin_runtime::{
+    local_shuffle, Router, Runtime, RuntimeConfig, RuntimeObs, ShuffleOutcome, TransportKind,
+};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Args {
+    rows: usize,
+    workers: usize,
+    batch: usize,
+    iters: usize,
+    date: String,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        rows: 200_000,
+        workers: 4,
+        batch: 4096,
+        iters: 5,
+        date: String::new(),
+        out: Some("BENCH_exchange.json".to_string()),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        if flag == "--quick" {
+            // CI smoke mode: small input, two iterations (two are needed
+            // so pool recycling across shuffles is observable), no file.
+            args.rows = 20_000;
+            args.iters = 2;
+            args.out = None;
+            i += 1;
+            continue;
+        }
+        let value = argv
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag {
+            "--rows" => args.rows = value.parse().map_err(|e| format!("--rows: {e}"))?,
+            "--workers" => args.workers = value.parse().map_err(|e| format!("--workers: {e}"))?,
+            "--batch" => args.batch = value.parse().map_err(|e| format!("--batch: {e}"))?,
+            "--iters" => args.iters = value.parse().map_err(|e| format!("--iters: {e}"))?,
+            "--date" => args.date = value.clone(),
+            "--out" => args.out = Some(value.clone()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 2;
+    }
+    if args.iters < 2 {
+        return Err("--iters must be >= 2 (pool recycling needs a second shuffle)".into());
+    }
+    Ok(args)
+}
+
+/// Pseudo-random two-column partitions, the generic shuffle shape.
+fn hashed_parts(workers: usize, rows: usize) -> Vec<Relation> {
+    let mut parts: Vec<Relation> = (0..workers).map(|_| Relation::new(2)).collect();
+    for i in 0..rows as u64 {
+        parts[(i % workers as u64) as usize].push_row(&[i * 7 % 99_991, i * 13 % 99_989]);
+    }
+    parts
+}
+
+/// Sorted-run partitions: ascending columns, range-partitioned so each
+/// destination receives contiguous runs.
+fn sorted_parts(workers: usize, rows: usize) -> Vec<Relation> {
+    let mut parts: Vec<Relation> = (0..workers).map(|_| Relation::new(2)).collect();
+    for i in 0..rows as u64 {
+        parts[(i % workers as u64) as usize].push_row(&[i, i * 3]);
+    }
+    parts
+}
+
+struct Measured {
+    ms_per_iter: f64,
+    bytes_sent: u64,
+    bytes_raw: u64,
+    copied_bytes: u64,
+    batches: u64,
+    tuples: u64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_variant(
+    name: &str,
+    format: WireFormat,
+    compression: bool,
+    args: &Args,
+    parts: &[Relation],
+    router: &Router,
+    baseline: &ShuffleOutcome,
+) -> Result<Measured, String> {
+    let reg = Registry::new();
+    let cfg = RuntimeConfig {
+        workers: args.workers,
+        transport: TransportKind::InProcess,
+        batch_tuples: args.batch,
+        wire_format: format,
+        wire_compression: compression,
+        obs: RuntimeObs::on_registry(&reg, TraceSink::disabled()),
+        ..RuntimeConfig::default()
+    };
+    let rt = Runtime::new(cfg).map_err(|e| format!("{name}: {e}"))?;
+    let started = Instant::now();
+    let mut last = None;
+    for _ in 0..args.iters {
+        let out = rt
+            .shuffle(parts.to_vec(), Arc::clone(router))
+            .map_err(|e| format!("{name}: {e}"))?;
+        last = Some(out);
+    }
+    let elapsed = started.elapsed();
+    rt.shutdown().map_err(|e| format!("{name}: {e}"))?;
+    let out = last.ok_or_else(|| format!("{name}: no iterations ran"))?;
+
+    if out.parts != baseline.parts {
+        return Err(format!("{name}: output drifted from the Local loop"));
+    }
+    let get = |key: &str| reg.get(key).ok_or_else(|| format!("{name}: no {key}"));
+    let (tx_bytes, rx_bytes) = (get("runtime.tx.bytes")?, get("runtime.rx.bytes")?);
+    let (tx_batches, rx_batches) = (get("runtime.tx.batches")?, get("runtime.rx.batches")?);
+    let bytes_raw = get("runtime.tx.bytes_raw")?;
+    let copied = reg.get("runtime.tx.copied_bytes").unwrap_or(0);
+    let allocs = reg.get("runtime.buf.allocs").unwrap_or(0);
+    let reuses = reg.get("runtime.buf.reuses").unwrap_or(0);
+    let iters = args.iters as u64;
+
+    if tx_bytes != rx_bytes || tx_batches != rx_batches {
+        return Err(format!(
+            "{name}: tx/rx disagree ({tx_bytes}/{rx_bytes} bytes, {tx_batches}/{rx_batches} batches)"
+        ));
+    }
+    if get("runtime.rx.decode_errors")? != 0 {
+        return Err(format!("{name}: decode errors on a clean stream"));
+    }
+    if get("runtime.rx.threads")? != (args.workers as u64) * iters {
+        return Err(format!("{name}: not one receive thread per worker"));
+    }
+    // Vectored frames on InProcess are assembled in pooled buffers, one
+    // acquire per batch; the legacy varint path sends its owned encode
+    // buffer directly and never touches the pool.
+    let expected_pool = match format {
+        WireFormat::Vectored => tx_batches,
+        WireFormat::Varint => 0,
+    };
+    if allocs + reuses != expected_pool {
+        return Err(format!(
+            "{name}: pool traffic ({allocs} allocs + {reuses} reuses) != {expected_pool}"
+        ));
+    }
+    if format == WireFormat::Vectored && reuses == 0 {
+        return Err(format!(
+            "{name}: sequential shuffles recycled no pooled buffers"
+        ));
+    }
+    if compression {
+        if bytes_raw < tx_bytes {
+            return Err(format!("{name}: raw tally below wire tally"));
+        }
+    } else if bytes_raw != tx_bytes {
+        return Err(format!(
+            "{name}: raw ({bytes_raw}) != wire ({tx_bytes}) with compression off"
+        ));
+    }
+    Ok(Measured {
+        ms_per_iter: elapsed.as_secs_f64() * 1e3 / args.iters as f64,
+        bytes_sent: tx_bytes / iters,
+        bytes_raw: bytes_raw / iters,
+        copied_bytes: copied / iters,
+        batches: tx_batches / iters,
+        tuples: out.per_producer.iter().sum(),
+    })
+}
+
+fn variant_json(m: &Measured) -> String {
+    format!(
+        "{{ \"ms_per_iter\": {:.3}, \"bytes_sent\": {}, \"bytes_raw\": {}, \"copied_bytes\": {}, \"batches\": {}, \"tuples\": {}, \"copied_bytes_per_tuple\": {:.3} }}",
+        m.ms_per_iter,
+        m.bytes_sent,
+        m.bytes_raw,
+        m.copied_bytes,
+        m.batches,
+        m.tuples,
+        m.copied_bytes as f64 / m.tuples as f64
+    )
+}
+
+fn main() -> ExitCode {
+    match bench() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("exchange_stats: FAIL: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn bench() -> Result<(), String> {
+    let args = parse_args()?;
+    let workers = args.workers;
+    let hashed = hashed_parts(workers, args.rows);
+    let sorted = sorted_parts(workers, args.rows);
+    let rows = args.rows;
+    let hash_route: Router =
+        Arc::new(move |_w, row, dests| dests.push(hash::bucket(row[0], 42, workers)));
+    let range_route: Router = Arc::new(move |_w, row, dests| {
+        dests.push((row[0] as usize * workers / rows).min(workers - 1));
+    });
+    let hashed_local = local_shuffle(&hashed, &hash_route);
+    let sorted_local = local_shuffle(&sorted, &range_route);
+
+    // The copy-traffic A/B on the generic hashed shape.
+    let varint = run_variant(
+        "hashed/varint",
+        WireFormat::Varint,
+        false,
+        &args,
+        &hashed,
+        &hash_route,
+        &hashed_local,
+    )?;
+    let vectored = run_variant(
+        "hashed/vectored",
+        WireFormat::Vectored,
+        false,
+        &args,
+        &hashed,
+        &hash_route,
+        &hashed_local,
+    )?;
+    // The compression A/B on the sorted-run shape.
+    let raw = run_variant(
+        "sorted/vectored",
+        WireFormat::Vectored,
+        false,
+        &args,
+        &sorted,
+        &range_route,
+        &sorted_local,
+    )?;
+    let delta = run_variant(
+        "sorted/vectored_delta",
+        WireFormat::Vectored,
+        true,
+        &args,
+        &sorted,
+        &range_route,
+        &sorted_local,
+    )?;
+
+    // Acceptance: the zero-copy and compression claims, counter-verified.
+    if vectored.copied_bytes != 0 {
+        return Err(format!(
+            "vectored path copied {} bytes; zero-copy claim fails",
+            vectored.copied_bytes
+        ));
+    }
+    if varint.copied_bytes != varint.bytes_sent {
+        return Err("varint path must copy every sent byte".into());
+    }
+    let ratio = delta.bytes_raw as f64 / delta.bytes_sent as f64;
+    if ratio < 1.5 {
+        return Err(format!(
+            "compression ratio {ratio:.2}x on sorted columns is below the 1.5x gate"
+        ));
+    }
+    if delta.bytes_raw != raw.bytes_sent {
+        return Err(
+            "compressed run's raw tally must equal the uncompressed run's wire tally".into(),
+        );
+    }
+
+    let mut report = String::new();
+    let _ = writeln!(report, "{{");
+    let _ = writeln!(
+        report,
+        "  \"bench\": \"crates/bench/src/bin/exchange_stats.rs\","
+    );
+    let _ = writeln!(
+        report,
+        "  \"command\": \"cargo run --release -p parjoin-bench --bin exchange_stats -- --rows {} --workers {} --batch {} --iters {}\",",
+        args.rows, workers, args.batch, args.iters
+    );
+    if !args.date.is_empty() {
+        let _ = writeln!(report, "  \"date\": \"{}\",", args.date);
+    }
+    let _ = writeln!(
+        report,
+        "  \"environment\": {{ \"cpu_cores\": {}, \"note\": \"wall-clock ms/iter on a shared vCPU jitters +/- 20-30%; the byte and copy counters are exact and machine-independent\" }},",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    );
+    let _ = writeln!(
+        report,
+        "  \"kernels\": {{ \"hashed_varint\": \"legacy LEB128 framing: every frame varint-encoded into a fresh owned Vec (runtime.tx.copied_bytes counts it)\", \"hashed_vectored\": \"zero-copy vectored framing: flags+arity+rows header, payload borrowed straight from the relation arena\", \"sorted_vectored\": \"vectored framing on the sorted-run shape (the compression baseline)\", \"sorted_vectored_delta\": \"vectored + column-major zigzag-varint delta compression (PlanOptions::wire_compression)\" }},"
+    );
+    let _ = writeln!(
+        report,
+        "  \"data\": {{ \"hashed\": \"{} pseudo-random 2-col rows, hash-routed across {} workers\", \"sorted\": \"{} ascending-run 2-col rows, range-routed\" }},",
+        args.rows, workers, args.rows
+    );
+    let _ = writeln!(report, "  \"results\": {{");
+    let _ = writeln!(report, "    \"hashed_varint\": {},", variant_json(&varint));
+    let _ = writeln!(
+        report,
+        "    \"hashed_vectored\": {},",
+        variant_json(&vectored)
+    );
+    let _ = writeln!(report, "    \"sorted_vectored\": {},", variant_json(&raw));
+    let _ = writeln!(
+        report,
+        "    \"sorted_vectored_delta\": {}",
+        variant_json(&delta)
+    );
+    let _ = writeln!(report, "  }},");
+    let _ = writeln!(
+        report,
+        "  \"copied_bytes_per_tuple\": {{ \"varint\": {:.3}, \"vectored\": {:.3} }},",
+        varint.copied_bytes as f64 / varint.tuples as f64,
+        vectored.copied_bytes as f64 / vectored.tuples as f64
+    );
+    let _ = writeln!(report, "  \"compression_ratio_sorted\": {ratio:.3},");
+    let _ = writeln!(
+        report,
+        "  \"acceptance\": \"vectored copies 0 bytes/tuple (varint copies {:.2}); delta compression shrinks the sorted shuffle {ratio:.2}x (gate 1.5x); tx == rx, one rx thread per worker, buf.allocs + buf.reuses == tx.batches, and raw == wire with compression off — all counter-verified; every run byte-identical to the Local loop\"",
+        varint.copied_bytes as f64 / varint.tuples as f64
+    );
+    let _ = writeln!(report, "}}");
+
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, &report).map_err(|e| format!("write {path}: {e}"))?;
+            println!("exchange_stats: OK ({} written)", path);
+        }
+        None => {
+            print!("{report}");
+            println!("exchange_stats: OK (quick mode, no file written)");
+        }
+    }
+    Ok(())
+}

@@ -34,7 +34,7 @@ pub mod wire;
 pub use db::Database;
 pub use relation::Relation;
 pub use stats::{skew, ShuffleStats};
-pub use wire::WireError;
+pub use wire::{WireError, WireFormat};
 
 /// The value domain: every attribute value is a dictionary-encoded `u64`.
 pub type Value = u64;

@@ -132,6 +132,46 @@ impl Relation {
         self.rows += n;
     }
 
+    /// Appends whole rows from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if the relation is nullary (use
+    /// [`Relation::push_nullary_rows`]) or `flat.len()` is not a
+    /// multiple of the arity.
+    pub fn push_rows_flat(&mut self, flat: &[Value]) {
+        assert!(self.arity > 0, "push_rows_flat on a nullary relation");
+        assert_eq!(
+            flat.len() % self.arity,
+            0,
+            "buffer length not a row multiple"
+        );
+        self.data.extend_from_slice(flat);
+        self.rows += flat.len() / self.arity;
+    }
+
+    /// Appends `rows` rows decoded from row-major little-endian `u64`
+    /// words — the wire format's fixed-width payload — without an
+    /// intermediate row buffer.
+    ///
+    /// # Panics
+    /// Panics if the relation is nullary or `bytes.len()` is not exactly
+    /// `rows × arity × 8`.
+    pub fn push_rows_le_bytes(&mut self, rows: usize, bytes: &[u8]) {
+        assert!(self.arity > 0, "push_rows_le_bytes on a nullary relation");
+        assert_eq!(
+            bytes.len(),
+            rows * self.arity * 8,
+            "payload is not rows × arity words"
+        );
+        self.data.reserve(rows * self.arity);
+        for chunk in bytes.chunks_exact(8) {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            self.data.push(Value::from_le_bytes(word));
+        }
+        self.rows += rows;
+    }
+
     /// Appends every tuple of `other`.
     ///
     /// # Panics

@@ -1,23 +1,45 @@
 //! On-wire encoding of tuple batches.
 //!
 //! The streaming shuffle runtime moves relations between workers as
-//! fixed-size *batches* of rows rather than whole partitions. Each batch
-//! is encoded as:
+//! fixed-size *batches* of rows rather than whole partitions. Two frame
+//! layouts coexist behind [`WireFormat`]:
+//!
+//! **Varint** (legacy, PR 2):
 //!
 //! ```text
 //! varint(row_count)  varint(arity)  row_count × arity × u64-LE values
 //! ```
 //!
-//! The header uses LEB128 varints (batches are usually small, so their
-//! counts fit in one or two bytes) while the column values stay fixed
+//! **Vectored** (default): a one-byte flags field leads so receivers can
+//! dispatch before the counts, and the payload is the sender's flat
+//! row-major value slice verbatim —
+//!
+//! ```text
+//! flags  varint(arity)  varint(row_count)  payload
+//! payload (raw):        row_count × arity × u64-LE values
+//! payload (compressed): per column, varint-zigzag deltas (column-major)
+//! ```
+//!
+//! The vectored layout exists for scatter/gather sends: the header fits a
+//! [`VECTORED_HEADER_MAX`]-byte stack buffer ([`vectored_header`]) and
+//! the raw payload *is* the relation arena's `&[u64]` slice reinterpreted
+//! as little-endian words, so a streaming sender writes two borrowed
+//! slices and never materializes an owned encode buffer. The optional
+//! compression (flag bit [`FLAG_COMPRESSED`]) delta-encodes each column
+//! with zigzag varints — sorted shuffle columns collapse to runs of
+//! one-byte deltas; arbitrary data still round-trips via wrapping
+//! arithmetic.
+//!
+//! Header counts use LEB128 varints (batches are usually small, so their
+//! counts fit in one or two bytes) while raw column values stay fixed
 //! eight-byte little-endian words: values are dictionary-encoded ids
 //! spread across the full `u64` range, where varint encoding would cost
 //! more than it saves, and fixed-width decode is a straight `memcpy`.
 //!
-//! The format is self-delimiting only via the header — the caller frames
-//! batches on the transport (length prefix for TCP, one message per batch
-//! in process). Empty batches (zero rows) and nullary rows (zero arity,
-//! boolean-query relations) both round-trip exactly.
+//! Both formats are self-delimiting only via the header — the caller
+//! frames batches on the transport (length prefix for TCP, one message
+//! per batch in process). Empty batches (zero rows) and nullary rows
+//! (zero arity, boolean-query relations) round-trip exactly in both.
 
 use crate::{Relation, Value};
 use std::fmt;
@@ -145,6 +167,272 @@ pub fn decode_batch_into(bytes: &[u8], rel: &mut Relation) -> Result<usize, Wire
     Ok(rows)
 }
 
+/// Which batch framing a runtime puts on the wire.
+///
+/// The legacy [`Varint`](WireFormat::Varint) layout stays readable so
+/// cross-version round-trip tests can prove query output byte-identical
+/// under old and new framing; [`Vectored`](WireFormat::Vectored) is the
+/// default zero-copy layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WireFormat {
+    /// PR 2 layout: `varint(rows) varint(arity) values`, encoded into an
+    /// owned buffer per batch.
+    Varint,
+    /// Scatter/gather layout: `flags varint(arity) varint(rows)` header
+    /// plus the borrowed flat row slice (optionally column-compressed).
+    #[default]
+    Vectored,
+}
+
+impl fmt::Display for WireFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireFormat::Varint => write!(f, "varint"),
+            WireFormat::Vectored => write!(f, "vectored"),
+        }
+    }
+}
+
+/// Vectored-frame flag bit: the payload is column-major delta+zigzag
+/// varints instead of raw little-endian words.
+pub const FLAG_COMPRESSED: u8 = 0x01;
+
+/// Flag bits a decoder understands; anything else is a decode error (a
+/// future format revision, or corruption).
+const KNOWN_FLAGS: u8 = FLAG_COMPRESSED;
+
+/// Upper bound on an encoded vectored header: the flags byte plus two
+/// ten-byte varints.
+pub const VECTORED_HEADER_MAX: usize = 21;
+
+/// An encoded vectored frame header on the stack. Senders write
+/// [`VectoredHeader::as_bytes`] and then the payload slice — the
+/// scatter/gather shape that keeps row bytes out of owned encode
+/// buffers.
+#[derive(Debug, Clone, Copy)]
+pub struct VectoredHeader {
+    buf: [u8; VECTORED_HEADER_MAX],
+    len: usize,
+}
+
+impl VectoredHeader {
+    /// The encoded header bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf[..self.len]
+    }
+}
+
+/// Encodes the `flags · varint(arity) · varint(rows)` header of a
+/// vectored frame.
+pub fn vectored_header(arity: usize, rows: usize, compressed: bool) -> VectoredHeader {
+    let mut buf = [0u8; VECTORED_HEADER_MAX];
+    buf[0] = if compressed { FLAG_COMPRESSED } else { 0 };
+    let mut len = 1usize;
+    for mut v in [arity as u64, rows as u64] {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                buf[len] = byte;
+                len += 1;
+                break;
+            }
+            buf[len] = byte | 0x80;
+            len += 1;
+        }
+    }
+    VectoredHeader { buf, len }
+}
+
+/// Bytes a `u64` occupies as a LEB128 varint (1–10).
+pub fn varint_len(v: u64) -> usize {
+    if v == 0 {
+        1
+    } else {
+        (64 - v.leading_zeros() as usize).div_ceil(7)
+    }
+}
+
+/// Exact on-wire size of an uncompressed vectored frame.
+pub fn vectored_frame_bytes(arity: usize, rows: usize) -> u64 {
+    1 + varint_len(arity as u64) as u64
+        + varint_len(rows as u64) as u64
+        + (rows as u64) * (arity as u64) * 8
+}
+
+/// Exact on-wire size of a legacy varint-format frame.
+pub fn varint_frame_bytes(arity: usize, rows: usize) -> u64 {
+    varint_len(rows as u64) as u64
+        + varint_len(arity as u64) as u64
+        + (rows as u64) * (arity as u64) * 8
+}
+
+/// Exact on-wire size of an uncompressed frame under `format`. The
+/// analyzer's per-frame pre-flight and the `runtime.tx.bytes_raw`
+/// accounting both use this — keep it in lockstep with the encoders
+/// (`wire_props` pins estimate == actual).
+pub fn frame_bytes(format: WireFormat, arity: usize, rows: usize) -> u64 {
+    match format {
+        WireFormat::Varint => varint_frame_bytes(arity, rows),
+        WireFormat::Vectored => vectored_frame_bytes(arity, rows),
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Encodes `rows × arity` row-major values as the compressed vectored
+/// payload: column-major, each column a chain of zigzag varint deltas
+/// from the previous row's value (first row deltas from zero), appended
+/// to `out`.
+///
+/// # Panics
+/// Panics if `flat.len() != rows * arity`.
+pub fn compress_columns(arity: usize, rows: usize, flat: &[Value], out: &mut Vec<u8>) {
+    assert_eq!(flat.len(), rows * arity, "flat buffer is not rows × arity");
+    for c in 0..arity {
+        let mut prev: u64 = 0;
+        for r in 0..rows {
+            let v = flat[r * arity + c];
+            write_varint(out, zigzag(v.wrapping_sub(prev) as i64));
+            prev = v;
+        }
+    }
+}
+
+/// Decodes a compressed payload back into a row-major flat buffer,
+/// advancing `pos` past the varints consumed.
+fn decompress_columns(
+    arity: usize,
+    rows: usize,
+    bytes: &[u8],
+    pos: &mut usize,
+) -> Result<Vec<Value>, WireError> {
+    let mut flat = vec![0u64; rows * arity];
+    for c in 0..arity {
+        let mut prev: u64 = 0;
+        for r in 0..rows {
+            let delta = unzigzag(read_varint(bytes, pos)?);
+            let v = prev.wrapping_add(delta as u64);
+            flat[r * arity + c] = v;
+            prev = v;
+        }
+    }
+    Ok(flat)
+}
+
+/// Encodes one vectored frame (header + payload) into an owned buffer.
+/// The streaming TCP sender skips this copy by writing
+/// [`vectored_header`] and the flat slice separately; channel transports
+/// (which ship owned messages) and tests use this form.
+///
+/// # Panics
+/// Panics if `flat.len() != rows * arity`.
+pub fn encode_vectored(
+    arity: usize,
+    rows: usize,
+    flat: &[Value],
+    compressed: bool,
+    out: &mut Vec<u8>,
+) {
+    assert_eq!(flat.len(), rows * arity, "flat buffer is not rows × arity");
+    let header = vectored_header(arity, rows, compressed);
+    out.extend_from_slice(header.as_bytes());
+    if compressed {
+        compress_columns(arity, rows, flat, out);
+    } else {
+        out.reserve(flat.len() * 8);
+        for &v in flat {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+/// Decodes one vectored frame, appending its rows to `rel`.
+///
+/// Returns the number of rows appended.
+///
+/// # Errors
+/// Returns [`WireError`] on unknown flag bits, a malformed header, a
+/// truncated or over-long payload, or a batch arity that disagrees with
+/// `rel`.
+pub fn decode_vectored_into(bytes: &[u8], rel: &mut Relation) -> Result<usize, WireError> {
+    let Some(&flags) = bytes.first() else {
+        return Err(WireError("empty vectored frame".into()));
+    };
+    if flags & !KNOWN_FLAGS != 0 {
+        return Err(WireError(format!(
+            "unknown vectored flag bits in {flags:#04x}"
+        )));
+    }
+    let compressed = flags & FLAG_COMPRESSED != 0;
+    let mut pos = 1usize;
+    let arity = read_varint(bytes, &mut pos)?;
+    let rows = read_varint(bytes, &mut pos)?;
+    let arity = usize::try_from(arity).map_err(|_| WireError("arity overflow".into()))?;
+    let rows = usize::try_from(rows).map_err(|_| WireError("row count overflow".into()))?;
+    if arity != rel.arity() {
+        return Err(WireError(format!(
+            "batch arity {arity} does not match relation arity {}",
+            rel.arity()
+        )));
+    }
+    if arity == 0 {
+        if pos != bytes.len() {
+            return Err(WireError(format!(
+                "nullary batch carries {} payload bytes",
+                bytes.len() - pos
+            )));
+        }
+        rel.push_nullary_rows(rows);
+        return Ok(rows);
+    }
+    if compressed {
+        let flat = decompress_columns(arity, rows, bytes, &mut pos)?;
+        if pos != bytes.len() {
+            return Err(WireError(format!(
+                "compressed payload has {} trailing bytes",
+                bytes.len() - pos
+            )));
+        }
+        rel.push_rows_flat(&flat);
+        return Ok(rows);
+    }
+    let expect = rows
+        .checked_mul(arity)
+        .and_then(|v| v.checked_mul(8))
+        .ok_or_else(|| WireError("batch size overflow".into()))?;
+    if bytes.len() - pos != expect {
+        return Err(WireError(format!(
+            "payload is {} bytes, expected {expect} for {rows} rows × {arity} cols",
+            bytes.len() - pos
+        )));
+    }
+    rel.push_rows_le_bytes(rows, &bytes[pos..]);
+    Ok(rows)
+}
+
+/// Decodes one frame under `format`, appending its rows to `rel`.
+///
+/// # Errors
+/// Returns [`WireError`] on any malformed input (see
+/// [`decode_batch_into`] and [`decode_vectored_into`]).
+pub fn decode_frame_into(
+    format: WireFormat,
+    bytes: &[u8],
+    rel: &mut Relation,
+) -> Result<usize, WireError> {
+    match format {
+        WireFormat::Varint => decode_batch_into(bytes, rel),
+        WireFormat::Vectored => decode_vectored_into(bytes, rel),
+    }
+}
+
 /// Decodes one batch into a fresh relation.
 ///
 /// # Errors
@@ -238,5 +526,124 @@ mod tests {
         encode_relation(&rel, &mut buf);
         buf.truncate(buf.len() - 1);
         assert!(decode_batch(&buf).is_err());
+    }
+
+    fn vectored_round_trip(rel: &Relation, compressed: bool) -> Relation {
+        let mut buf = Vec::new();
+        encode_vectored(rel.arity(), rel.len(), rel.raw(), compressed, &mut buf);
+        let mut back = Relation::new(rel.arity());
+        let n = decode_vectored_into(&buf, &mut back).unwrap();
+        assert_eq!(n, rel.len());
+        back
+    }
+
+    #[test]
+    fn vectored_raw_round_trips() {
+        let rel = Relation::from_rows(3, [[1u64, 2, 3], [u64::MAX, 0, 7]].iter());
+        assert_eq!(vectored_round_trip(&rel, false), rel);
+    }
+
+    #[test]
+    fn vectored_compressed_round_trips() {
+        let rel = Relation::from_rows(2, [[1u64, 9], [2, 5], [2, u64::MAX], [1_000_000, 0]].iter());
+        assert_eq!(vectored_round_trip(&rel, true), rel);
+    }
+
+    #[test]
+    fn vectored_empty_and_nullary_round_trip() {
+        for compressed in [false, true] {
+            let empty = Relation::new(4);
+            assert_eq!(vectored_round_trip(&empty, compressed).len(), 0);
+            let mut nullary = Relation::new(0);
+            nullary.push_nullary_rows(5);
+            let back = vectored_round_trip(&nullary, compressed);
+            assert_eq!((back.arity(), back.len()), (0, 5));
+        }
+    }
+
+    #[test]
+    fn vectored_header_matches_estimator() {
+        for (arity, rows) in [(0usize, 0usize), (1, 1), (3, 127), (3, 128), (9, 100_000)] {
+            let h = vectored_header(arity, rows, false);
+            assert_eq!(
+                h.as_bytes().len() as u64 + (rows as u64) * (arity as u64) * 8,
+                vectored_frame_bytes(arity, rows),
+                "estimator disagrees with header at {arity}×{rows}"
+            );
+        }
+    }
+
+    #[test]
+    fn varint_len_matches_encoder() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            assert_eq!(varint_len(v), buf.len(), "varint_len wrong for {v}");
+        }
+    }
+
+    #[test]
+    fn unknown_flag_bits_rejected() {
+        let rel = Relation::from_rows(1, [[7u64]].iter());
+        let mut buf = Vec::new();
+        encode_vectored(1, 1, rel.raw(), false, &mut buf);
+        buf[0] |= 0x40;
+        let mut out = Relation::new(1);
+        assert!(decode_vectored_into(&buf, &mut out).is_err());
+    }
+
+    #[test]
+    fn vectored_truncation_rejected_at_every_cut() {
+        let rel = Relation::from_rows(2, [[300u64, 2], [3, 400]].iter());
+        for compressed in [false, true] {
+            let mut buf = Vec::new();
+            encode_vectored(2, 2, rel.raw(), compressed, &mut buf);
+            for cut in 0..buf.len() {
+                let mut out = Relation::new(2);
+                assert!(
+                    decode_vectored_into(&buf[..cut], &mut out).is_err(),
+                    "cut at {cut} (compressed={compressed}) decoded"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vectored_arity_mismatch_rejected() {
+        let rel = Relation::from_rows(2, [[1u64, 2]].iter());
+        let mut buf = Vec::new();
+        encode_vectored(2, 1, rel.raw(), false, &mut buf);
+        let mut wrong = Relation::new(3);
+        assert!(decode_vectored_into(&buf, &mut wrong).is_err());
+    }
+
+    #[test]
+    fn formats_decode_to_identical_relations() {
+        let rel = Relation::from_rows(3, [[5u64, 1, 9], [5, 2, 0], [6, 2, u64::MAX]].iter());
+        let mut legacy = Vec::new();
+        encode_relation(&rel, &mut legacy);
+        let mut vectored = Vec::new();
+        encode_vectored(rel.arity(), rel.len(), rel.raw(), false, &mut vectored);
+        let mut a = Relation::new(3);
+        decode_frame_into(WireFormat::Varint, &legacy, &mut a).unwrap();
+        let mut b = Relation::new(3);
+        decode_frame_into(WireFormat::Vectored, &vectored, &mut b).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, rel);
+    }
+
+    #[test]
+    fn compression_shrinks_sorted_columns() {
+        let rel = Relation::from_rows(2, (0..4096u64).map(|i| [i, i * 2]));
+        let mut raw = Vec::new();
+        encode_vectored(2, rel.len(), rel.raw(), false, &mut raw);
+        let mut packed = Vec::new();
+        encode_vectored(2, rel.len(), rel.raw(), true, &mut packed);
+        assert!(
+            raw.len() as f64 / packed.len() as f64 >= 1.5,
+            "sorted columns should compress ≥1.5×: {} vs {}",
+            raw.len(),
+            packed.len()
+        );
     }
 }

@@ -129,6 +129,87 @@ proptest! {
     }
 
     #[test]
+    fn vectored_round_trip_is_byte_identical(
+        rel in arb_wire_relation(4, 60),
+        compressed in any::<bool>(),
+    ) {
+        let compressed = compressed && rel.arity() > 0;
+        let mut buf = Vec::new();
+        wire::encode_vectored(rel.arity(), rel.len(), rel.raw(), compressed, &mut buf);
+        let mut back = Relation::new(rel.arity());
+        let n = wire::decode_vectored_into(&buf, &mut back).expect("decode own encoding");
+        prop_assert_eq!(n, rel.len());
+        prop_assert_eq!(&back, &rel);
+        // Re-encoding the decoded relation reproduces the bytes exactly.
+        let mut buf2 = Vec::new();
+        wire::encode_vectored(back.arity(), back.len(), back.raw(), compressed, &mut buf2);
+        prop_assert_eq!(buf2, buf);
+        // Uncompressed frames cost exactly what `frame_bytes` predicts;
+        // that arithmetic is what the analyzer's R411/R414 pre-flight
+        // and the `tx.bytes_raw` counter both lean on.
+        if !compressed {
+            prop_assert_eq!(
+                buf.len() as u64,
+                wire::frame_bytes(parjoin_common::WireFormat::Vectored, rel.arity(), rel.len())
+            );
+        }
+    }
+
+    #[test]
+    fn vectored_decode_rejects_mutations(
+        rel in arb_wire_relation(3, 20),
+        compressed in any::<bool>(),
+        cut in any::<usize>(),
+        flip in any::<u8>(),
+    ) {
+        let compressed = compressed && rel.arity() > 0;
+        let mut buf = Vec::new();
+        wire::encode_vectored(rel.arity(), rel.len(), rel.raw(), compressed, &mut buf);
+        // Truncating anywhere strictly inside the frame must error, never
+        // panic or decode short.
+        let cut = cut % buf.len();
+        let mut scratch = Relation::new(rel.arity());
+        prop_assert!(wire::decode_vectored_into(&buf[..cut], &mut scratch).is_err());
+        // Unknown flag bits are a hard decode error (forward-compat fence).
+        let unknown = flip | 0x02; // bit 1 is reserved
+        let mut bad = buf.clone();
+        bad[0] = unknown;
+        let mut scratch = Relation::new(rel.arity());
+        prop_assert!(wire::decode_vectored_into(&bad, &mut scratch).is_err());
+    }
+
+    #[test]
+    fn compression_is_lossless_on_adversarial_columns(
+        arity in 1usize..=3,
+        rows in 0usize..=64,
+        mode in 0u8..3,
+        seed in any::<u64>(),
+    ) {
+        // Sorted runs, constant columns, and full-range noise — the delta
+        // coder must round-trip all of them (wrapping arithmetic covers
+        // negative and overflowing deltas).
+        let mut rel = Relation::new(arity);
+        let mut row = vec![0u64; arity];
+        for i in 0..rows {
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = match mode {
+                    0 => i as u64 * (c as u64 + 1),              // sorted runs
+                    1 => seed,                                   // constant
+                    _ => seed
+                        .wrapping_mul(6_364_136_223_846_793_005)
+                        .wrapping_add(i as u64 ^ (c as u64) << 32), // noise
+                };
+            }
+            rel.push_row(&row);
+        }
+        let mut buf = Vec::new();
+        wire::encode_vectored(arity, rows, rel.raw(), true, &mut buf);
+        let mut back = Relation::new(arity);
+        wire::decode_vectored_into(&buf, &mut back).expect("lossless");
+        prop_assert_eq!(back, rel);
+    }
+
+    #[test]
     fn wire_decode_into_appends(a in arb_wire_relation(3, 20), b in arb_wire_relation(3, 20)) {
         // Only meaningful when arities agree; coerce b onto a's arity.
         let mut buf = Vec::new();

@@ -1,5 +1,6 @@
 //! Cluster configuration.
 
+use parjoin_common::WireFormat;
 use parjoin_runtime::TransportKind;
 
 /// A simulated shared-nothing cluster.
@@ -38,6 +39,12 @@ pub struct Cluster {
     /// Rows per streamed batch under the streaming transports; ignored
     /// by `Local`. The analyzer pre-flights degenerate values.
     pub batch_tuples: usize,
+    /// Frame encoding under the streaming transports; ignored by
+    /// `Local`. The vectored default writes batches scatter/gather from
+    /// borrowed slices; [`WireFormat::Varint`] is the legacy
+    /// owned-buffer encoding, kept readable for cross-version
+    /// round-trips — output is byte-identical either way.
+    pub wire_format: WireFormat,
 }
 
 impl Cluster {
@@ -52,12 +59,19 @@ impl Cluster {
             shuffle_tuple_cost: std::time::Duration::from_nanos(500),
             transport: TransportKind::Local,
             batch_tuples: parjoin_runtime::DEFAULT_BATCH_TUPLES,
+            wire_format: WireFormat::default(),
         }
     }
 
     /// Sets the shuffle transport.
     pub fn with_transport(mut self, transport: TransportKind) -> Self {
         self.transport = transport;
+        self
+    }
+
+    /// Sets the streaming-shuffle wire format.
+    pub fn with_wire_format(mut self, format: WireFormat) -> Self {
+        self.wire_format = format;
         self
     }
 

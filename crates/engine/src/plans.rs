@@ -198,6 +198,13 @@ pub struct PlanOptions {
     /// layouts — the `layout_parity` suite asserts exactly that; `Row`
     /// remains as the A/B baseline and escape hatch.
     pub trie_layout: TrieLayout,
+    /// Compress shuffled batches on the wire (column-major delta+varint;
+    /// vectored format only, ignored by the legacy varint format and the
+    /// Local transport). Off by default; flipping it changes
+    /// `bytes_shuffled` but never the output —
+    /// [`RunResult::bytes_shuffled_raw`] keeps the uncompressed
+    /// equivalent so the A/B ratio is always visible.
+    pub wire_compression: bool,
 }
 
 impl PlanOptions {
@@ -230,6 +237,12 @@ pub struct RunResult {
     /// transport (nothing is encoded); real payload bytes under the
     /// streaming transports, identical for InProcess and Tcp.
     pub bytes_shuffled: u64,
+    /// Uncompressed-equivalent bytes of the shuffled batches — equals
+    /// [`bytes_shuffled`](Self::bytes_shuffled) unless
+    /// [`PlanOptions::wire_compression`] shrank the frames; under a
+    /// streaming transport it reconciles exactly with
+    /// `runtime.tx.bytes_raw`.
+    pub bytes_shuffled_raw: u64,
     /// Per-shuffle metrics (Tables 2–4).
     pub shuffles: Vec<ShuffleStats>,
     /// Number of result tuples (bag semantics over the head projection).
@@ -326,6 +339,8 @@ pub mod metric_names {
     pub const TUPLES_SHUFFLED: &str = "engine.tuples.shuffled";
     /// Mirror of [`RunResult::bytes_shuffled`](super::RunResult).
     pub const BYTES_SHUFFLED: &str = "engine.bytes.shuffled";
+    /// Mirror of [`RunResult::bytes_shuffled_raw`](super::RunResult).
+    pub const BYTES_SHUFFLED_RAW: &str = "engine.bytes.shuffled_raw";
     /// Mirror of [`RunResult::output_tuples`](super::RunResult).
     pub const OUTPUT_TUPLES: &str = "engine.output.tuples";
     /// Mirror of [`RunResult::rounds`](super::RunResult).
@@ -409,6 +424,7 @@ impl RunObs {
         let reg = &self.registry;
         reg.add(metric_names::TUPLES_SHUFFLED, result.tuples_shuffled);
         reg.add(metric_names::BYTES_SHUFFLED, result.bytes_shuffled);
+        reg.add(metric_names::BYTES_SHUFFLED_RAW, result.bytes_shuffled_raw);
         reg.add(metric_names::OUTPUT_TUPLES, result.output_tuples);
         reg.add(metric_names::ROUNDS, u64::from(result.rounds));
         reg.add(metric_names::SHUFFLES, result.shuffles.len() as u64);
@@ -491,6 +507,7 @@ impl RunResult {
             total_cpu: Duration::ZERO,
             tuples_shuffled: 0,
             bytes_shuffled: 0,
+            bytes_shuffled_raw: 0,
             shuffles: Vec::new(),
             output_tuples: 0,
             output: None,
@@ -543,9 +560,14 @@ impl RunResult {
             "wall {:?}   cpu {:?}   rounds {}   output {} tuples",
             self.wall, self.total_cpu, self.rounds, self.output_tuples
         );
+        let compression = if self.bytes_shuffled_raw != self.bytes_shuffled {
+            format!(", {} raw", self.bytes_shuffled_raw)
+        } else {
+            String::new()
+        };
         let _ = writeln!(
             s,
-            "shuffled {} tuples ({} bytes) over {} shuffle(s)",
+            "shuffled {} tuples ({} bytes{compression}) over {} shuffle(s)",
             self.tuples_shuffled,
             self.bytes_shuffled,
             self.shuffles.len()
@@ -716,6 +738,7 @@ impl RunResult {
     fn absorb_shuffle(&mut self, s: ShuffleStats) {
         self.tuples_shuffled += s.tuples_sent;
         self.bytes_shuffled += s.bytes_sent;
+        self.bytes_shuffled_raw += s.bytes_sent_raw;
         self.shuffles.push(s);
     }
 }
@@ -984,6 +1007,11 @@ pub(crate) fn run_config_with_obs(
             .transport
             .is_streaming()
             .then_some(cluster.batch_tuples as u64),
+        wire_format: cluster.wire_format,
+        max_frame_bytes: cluster
+            .transport
+            .is_streaming()
+            .then_some(u64::from(parjoin_runtime::transport::MAX_FRAME_BYTES)),
         host_cores: parjoin_common::threads::host_parallelism(),
         seed: cluster.seed,
     };
@@ -1043,6 +1071,8 @@ pub(crate) fn run_config_with_obs(
             workers: cluster.workers,
             transport: cluster.transport,
             batch_tuples: cluster.batch_tuples,
+            wire_format: cluster.wire_format,
+            wire_compression: opts.wire_compression,
             obs: obs.runtime_obs(),
             ..RuntimeConfig::default()
         })?)

@@ -47,7 +47,8 @@ fn run_router(
         Some(rt) => rt.shuffle(input.parts.clone(), router)?,
     };
     let stats = ShuffleStats::new(label, outcome.per_producer, outcome.per_consumer)
-        .with_bytes(outcome.bytes_sent, outcome.bytes_received);
+        .with_bytes(outcome.bytes_sent, outcome.bytes_received)
+        .with_raw_bytes(outcome.bytes_sent_raw);
     let mut parts = outcome.parts;
     // An all-empty input gives the runtime no partition to read the
     // arity from; restore the schema arity so downstream joins see the

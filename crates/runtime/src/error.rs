@@ -25,7 +25,9 @@ pub enum RuntimeError {
     FrameTooLarge {
         /// The encoded batch size that was rejected.
         bytes: u64,
-        /// The transport's per-frame ceiling.
+        /// The per-frame ceiling in force when the frame was rejected —
+        /// the runtime's configured `max_frame_bytes`, not a compile-time
+        /// constant, so the message names the limit the user can raise.
         limit: u64,
     },
 }
@@ -39,11 +41,31 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Timeout(m) => write!(f, "runtime timeout: {m}"),
             RuntimeError::FrameTooLarge { bytes, limit } => write!(
                 f,
-                "frame of {bytes} bytes exceeds the transport limit of {limit} bytes; \
-                 lower batch_tuples so encoded batches fit one frame"
+                "frame of {bytes} bytes exceeds the configured {limit}-byte frame limit; \
+                 lower batch_tuples (or raise max_frame_bytes) so encoded batches fit one frame"
             ),
         }
     }
 }
 
 impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_too_large_names_rejected_size_and_configured_limit() {
+        let msg = RuntimeError::FrameTooLarge {
+            bytes: 4096,
+            limit: 1024,
+        }
+        .to_string();
+        assert!(msg.contains("4096 bytes"), "names the rejected size: {msg}");
+        assert!(
+            msg.contains("configured 1024-byte frame limit"),
+            "names the limit actually in force: {msg}"
+        );
+        assert!(msg.contains("max_frame_bytes"), "names the knob: {msg}");
+    }
+}

@@ -4,10 +4,29 @@
 //! thread (so it can never deadlock against a full outgoing buffer), and
 //! walks its partition once: the router names each row's destinations,
 //! rows accumulate in per-destination buffers, and a buffer reaching
-//! `batch_tuples` rows is encoded ([`parjoin_common::wire`]) and sent.
+//! `batch_tuples` rows is framed ([`parjoin_common::wire`]) and sent.
 //! After the final partial batches the worker signals end-of-stream and
 //! *drops its sender*, releasing its side of every connection, then joins
 //! the drain thread.
+//!
+//! The drain thread is the worker's **single receive loop**: underneath
+//! it, the transport demultiplexes every peer connection without
+//! spawning per-peer readers, so an exchange costs exactly one receive
+//! thread per worker (`runtime.rx.threads` counts them). Decoded frames
+//! go back to the runtime's [`BufPool`] for the next batch.
+//!
+//! The send path depends on the [`WireFormat`]:
+//!
+//! * [`WireFormat::Vectored`] (the default) writes the stack header and
+//!   the borrowed row slice straight into the transport — zero owned
+//!   encode buffers, zero send-path copies counted on
+//!   `runtime.tx.copied_bytes`. With `compression` on, sorted shuffle
+//!   columns shrink via column-major delta+varint into a reused scratch
+//!   buffer, and `runtime.tx.bytes_raw` keeps the uncompressed-equivalent
+//!   tally for the A/B ratio.
+//! * [`WireFormat::Varint`] is the legacy owned-buffer encoding, kept
+//!   for cross-version round-trips; every frame it sends is counted on
+//!   `runtime.tx.copied_bytes`.
 //!
 //! The drain thread accumulates arriving batches **per source** and the
 //! final partition concatenates sources in ascending order. Because each
@@ -18,10 +37,23 @@
 
 use crate::error::RuntimeError;
 use crate::metrics::RuntimeObs;
-use crate::transport::Endpoint;
+use crate::pool::BufPool;
+use crate::transport::{BatchSender, Endpoint, Payload};
 use crate::Router;
-use parjoin_common::{wire, Relation, Value};
+use parjoin_common::{wire, Relation, Value, WireFormat};
+use std::sync::Arc;
 use std::time::Instant;
+
+/// Exchange knobs beyond the mesh itself.
+#[derive(Debug, Clone, Copy)]
+pub struct ExchangeOpts {
+    /// Rows per streamed batch.
+    pub batch_tuples: usize,
+    /// Frame encoding on the wire.
+    pub format: WireFormat,
+    /// Delta+varint column compression (vectored format only).
+    pub compression: bool,
+}
 
 /// One worker's tallies from a streaming shuffle.
 pub struct WorkerOutcome {
@@ -31,8 +63,57 @@ pub struct WorkerOutcome {
     pub sent_tuples: u64,
     /// Encoded batch bytes this worker sent.
     pub bytes_sent: u64,
+    /// Uncompressed-equivalent bytes of those batches (equals
+    /// `bytes_sent` unless compression shrank the frames).
+    pub bytes_sent_raw: u64,
     /// Encoded batch bytes this worker received.
     pub bytes_received: u64,
+}
+
+/// Frames one pending batch and hands it to the transport, tallying
+/// `tx.{bytes,bytes_raw,copied_bytes,batches}`. Returns
+/// `(sent_bytes, raw_bytes)`. `scratch` is the worker's reused
+/// compression buffer.
+#[allow(clippy::too_many_arguments)]
+fn flush_batch(
+    sender: &mut dyn BatchSender,
+    dest: usize,
+    arity: usize,
+    rows: usize,
+    flat: &[Value],
+    opts: ExchangeOpts,
+    obs: &RuntimeObs,
+    scratch: &mut Vec<u8>,
+) -> Result<(u64, u64), RuntimeError> {
+    let raw = wire::frame_bytes(opts.format, arity, rows);
+    let sent = match opts.format {
+        WireFormat::Varint => {
+            // Legacy path: materialize an owned encode buffer per frame.
+            // That allocation-and-copy is exactly what `tx.copied_bytes`
+            // measures (and what the vectored path avoids).
+            let mut buf = Vec::new();
+            wire::encode_batch(arity, rows, flat, &mut buf);
+            let len = buf.len() as u64;
+            obs.tx_copied_bytes.add(len);
+            sender.send(dest, buf)?;
+            len
+        }
+        WireFormat::Vectored => {
+            if opts.compression && arity > 0 {
+                scratch.clear();
+                wire::compress_columns(arity, rows, flat, scratch);
+                let header = wire::vectored_header(arity, rows, true);
+                sender.send_vectored(dest, header.as_bytes(), Payload::Bytes(scratch))?
+            } else {
+                let header = wire::vectored_header(arity, rows, false);
+                sender.send_vectored(dest, header.as_bytes(), Payload::Values(flat))?
+            }
+        }
+    };
+    obs.tx_bytes.add(sent);
+    obs.tx_bytes_raw.add(raw);
+    obs.tx_batches.inc();
+    Ok((sent, raw))
 }
 
 /// Runs one worker's side of the exchange to completion.
@@ -40,14 +121,16 @@ pub struct WorkerOutcome {
 /// # Errors
 /// Propagates transport failures (peer death, timeout) and wire-format
 /// corruption from either direction of the stream.
+#[allow(clippy::too_many_arguments)]
 pub fn run_worker(
     id: usize,
     part: &Relation,
     workers: usize,
-    batch_tuples: usize,
+    opts: ExchangeOpts,
     endpoint: Box<dyn Endpoint>,
     router: &Router,
     obs: &RuntimeObs,
+    pool: &Arc<BufPool>,
 ) -> Result<WorkerOutcome, RuntimeError> {
     let arity = part.arity();
     // The worker's whole side of the exchange is one `shuffle` span on
@@ -59,11 +142,15 @@ pub fn run_worker(
     let (mut sender, mut receiver) = endpoint.split();
 
     let drain_obs = obs.clone();
+    let drain_pool = Arc::clone(pool);
+    let format = opts.format;
     // `drain` is joined below once this thread finishes sending.
     let drain = std::thread::Builder::new()
         .name(format!("parjoin-drain-{id}"))
         // xtask: allow(spawn)
         .spawn(move || -> Result<(Vec<Relation>, u64), RuntimeError> {
+            // This worker's one receive loop, however many peers feed it.
+            drain_obs.rx_threads.inc();
             let mut per_src: Vec<Relation> = (0..workers).map(|_| Relation::new(arity)).collect();
             let mut bytes = 0u64;
             loop {
@@ -76,8 +163,10 @@ pub fn run_worker(
                 bytes += frame.len() as u64;
                 drain_obs.rx_bytes.add(frame.len() as u64);
                 drain_obs.rx_batches.inc();
-                wire::decode_batch_into(&frame, &mut per_src[src])
+                wire::decode_frame_into(format, &frame, &mut per_src[src])
                     .map_err(|e| RuntimeError::Io(e.to_string()))?;
+                // Decoded: recycle the buffer for the next frame.
+                drain_pool.release(frame);
             }
             Ok((per_src, bytes))
         })
@@ -86,8 +175,10 @@ pub fn run_worker(
     // Send side: route, batch, stream.
     let mut pending: Vec<(Vec<Value>, usize)> = (0..workers).map(|_| (Vec::new(), 0)).collect();
     let mut dests: Vec<usize> = Vec::with_capacity(workers);
+    let mut scratch: Vec<u8> = Vec::new();
     let mut sent_tuples = 0u64;
     let mut bytes_sent = 0u64;
+    let mut bytes_sent_raw = 0u64;
     let send_result = (|| -> Result<(), RuntimeError> {
         for row in part.rows() {
             dests.clear();
@@ -97,13 +188,11 @@ pub fn run_worker(
                 let (flat, rows) = &mut pending[d];
                 flat.extend_from_slice(row);
                 *rows += 1;
-                if *rows >= batch_tuples {
-                    let mut buf = Vec::new();
-                    wire::encode_batch(arity, *rows, flat, &mut buf);
-                    bytes_sent += buf.len() as u64;
-                    obs.tx_bytes.add(buf.len() as u64);
-                    obs.tx_batches.inc();
-                    sender.send(d, buf)?;
+                if *rows >= opts.batch_tuples {
+                    let (sent, raw) =
+                        flush_batch(&mut *sender, d, arity, *rows, flat, opts, obs, &mut scratch)?;
+                    bytes_sent += sent;
+                    bytes_sent_raw += raw;
                     flat.clear();
                     *rows = 0;
                 }
@@ -111,12 +200,10 @@ pub fn run_worker(
         }
         for (d, (flat, rows)) in pending.iter_mut().enumerate() {
             if *rows > 0 {
-                let mut buf = Vec::new();
-                wire::encode_batch(arity, *rows, flat, &mut buf);
-                bytes_sent += buf.len() as u64;
-                obs.tx_bytes.add(buf.len() as u64);
-                obs.tx_batches.inc();
-                sender.send(d, buf)?;
+                let (sent, raw) =
+                    flush_batch(&mut *sender, d, arity, *rows, flat, opts, obs, &mut scratch)?;
+                bytes_sent += sent;
+                bytes_sent_raw += raw;
                 flat.clear();
                 *rows = 0;
             }
@@ -142,6 +229,7 @@ pub fn run_worker(
         received,
         sent_tuples,
         bytes_sent,
+        bytes_sent_raw,
         bytes_received,
     })
 }

@@ -32,15 +32,17 @@
 pub mod error;
 mod exchange;
 pub mod metrics;
+pub mod pool;
 #[cfg(feature = "transport-tcp")]
 pub mod tcp;
 pub mod transport;
 
 pub use error::RuntimeError;
 pub use metrics::RuntimeObs;
+pub use pool::BufPool;
 pub use transport::TransportKind;
 
-use parjoin_common::{Relation, Value};
+use parjoin_common::{Relation, Value, WireFormat};
 use std::collections::HashMap;
 use std::sync::mpsc::{channel, Sender};
 use std::sync::Arc;
@@ -73,6 +75,16 @@ pub struct RuntimeConfig {
     /// Cap on every blocking receive, guarding against a hung peer
     /// deadlocking the mesh.
     pub io_timeout: Duration,
+    /// Frame encoding on the wire. The vectored default writes batches
+    /// scatter/gather from borrowed slices; [`WireFormat::Varint`] is
+    /// the legacy owned-buffer encoding, kept readable for
+    /// cross-version round-trips.
+    pub wire_format: WireFormat,
+    /// Delta+varint column compression on shuffled batches (vectored
+    /// format only; ignored under [`WireFormat::Varint`]).
+    pub wire_compression: bool,
+    /// Per-frame size limit streaming transports enforce on both sides.
+    pub max_frame_bytes: u32,
     /// Observability bundle the exchange and transports report into
     /// (bytes, batches, flushes, receive waits, decode errors, and the
     /// per-worker `shuffle` trace spans). Detached by default.
@@ -92,6 +104,9 @@ impl Default for RuntimeConfig {
             batch_tuples: DEFAULT_BATCH_TUPLES,
             channel_depth: 8,
             io_timeout: Duration::from_secs(30),
+            wire_format: WireFormat::default(),
+            wire_compression: false,
+            max_frame_bytes: transport::MAX_FRAME_BYTES,
             obs: RuntimeObs::detached(),
         }
     }
@@ -108,6 +123,9 @@ pub struct ShuffleOutcome {
     pub per_consumer: Vec<u64>,
     /// Total encoded batch bytes sent (0 under [`TransportKind::Local`]).
     pub bytes_sent: u64,
+    /// Uncompressed-equivalent bytes of the sent batches — equals
+    /// `bytes_sent` unless wire compression shrank the frames.
+    pub bytes_sent_raw: u64,
     /// Total encoded batch bytes received.
     pub bytes_received: u64,
 }
@@ -147,6 +165,9 @@ struct Worker {
 pub struct Runtime {
     config: RuntimeConfig,
     workers: Vec<Worker>,
+    /// Recycled receive buffers shared by every shuffle this runtime
+    /// runs; hand-outs tally on `runtime.buf.{reuses,allocs}`.
+    pool: Arc<BufPool>,
 }
 
 impl Runtime {
@@ -198,7 +219,16 @@ impl Runtime {
                 handle: Some(handle),
             });
         }
-        Ok(Runtime { config, workers })
+        let pool = Arc::new(BufPool::new(
+            pool::DEFAULT_POOL_CAP,
+            config.obs.buf_reuses.clone(),
+            config.obs.buf_allocs.clone(),
+        ));
+        Ok(Runtime {
+            config,
+            workers,
+            pool,
+        })
     }
 
     /// The runtime's configuration.
@@ -262,7 +292,8 @@ impl Runtime {
             }
             #[cfg(feature = "transport-tcp")]
             TransportKind::Tcp => {
-                let transport = tcp::Tcp::with_obs(self.config.obs.clone());
+                let transport = tcp::Tcp::with_obs(self.config.obs.clone())
+                    .with_frame_limit(self.config.max_frame_bytes);
                 self.streaming_shuffle(parts, &router, &transport)
             }
             #[cfg(not(feature = "transport-tcp"))]
@@ -279,8 +310,17 @@ impl Runtime {
         transport: &dyn transport::Transport,
     ) -> Result<ShuffleOutcome, RuntimeError> {
         let p = self.config.workers;
-        let batch = self.config.batch_tuples;
-        let endpoints = transport.mesh(p, self.config.channel_depth, self.config.io_timeout)?;
+        let opts = exchange::ExchangeOpts {
+            batch_tuples: self.config.batch_tuples,
+            format: self.config.wire_format,
+            compression: self.config.wire_compression,
+        };
+        let endpoints = transport.mesh(
+            p,
+            self.config.channel_depth,
+            self.config.io_timeout,
+            &self.pool,
+        )?;
         let parts = Arc::new(parts);
         let outcomes = {
             let mut endpoints = endpoints.into_iter();
@@ -289,6 +329,7 @@ impl Runtime {
                 let parts = Arc::clone(&parts);
                 let router = Arc::clone(router);
                 let obs = self.config.obs.clone();
+                let pool = Arc::clone(&self.pool);
                 Box::new(move |ctx: &mut WorkerCtx| {
                     let Some(endpoint) = endpoint else {
                         // A transport handing back fewer endpoints than
@@ -301,10 +342,11 @@ impl Runtime {
                         ctx.id,
                         &parts[id],
                         parts.len(),
-                        batch,
+                        opts,
                         endpoint,
                         &router,
                         &obs,
+                        &pool,
                     )
                 })
             })?
@@ -315,6 +357,7 @@ impl Runtime {
             per_producer: Vec::with_capacity(p),
             per_consumer: Vec::with_capacity(p),
             bytes_sent: 0,
+            bytes_sent_raw: 0,
             bytes_received: 0,
         };
         for worker in outcomes {
@@ -322,6 +365,7 @@ impl Runtime {
             out.per_producer.push(worker.sent_tuples);
             out.per_consumer.push(worker.received.len() as u64);
             out.bytes_sent += worker.bytes_sent;
+            out.bytes_sent_raw += worker.bytes_sent_raw;
             out.bytes_received += worker.bytes_received;
             out.parts.push(worker.received);
         }
@@ -441,6 +485,7 @@ pub fn local_shuffle(parts: &[Relation], router: &Router) -> ShuffleOutcome {
         per_producer,
         per_consumer,
         bytes_sent: 0,
+        bytes_sent_raw: 0,
         bytes_received: 0,
     }
 }

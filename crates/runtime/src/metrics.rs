@@ -30,6 +30,23 @@ pub mod names {
     /// Frames rejected by a transport decoder (corrupt tag, oversized
     /// length prefix, stream truncated mid-frame).
     pub const RX_DECODE_ERRORS: &str = "runtime.rx.decode_errors";
+    /// Uncompressed-equivalent frame bytes sent — equals
+    /// [`TX_BYTES`] when wire compression is off; the
+    /// `bytes_raw / bytes` ratio is the compression win.
+    pub const TX_BYTES_RAW: &str = "runtime.tx.bytes_raw";
+    /// Payload bytes copied into freshly allocated owned encode buffers
+    /// on the send path. The legacy varint format pays this for every
+    /// frame; the vectored format writes borrowed slices and keeps it
+    /// near zero — the bench's "bytes copied per shuffled tuple" metric.
+    pub const TX_COPIED_BYTES: &str = "runtime.tx.copied_bytes";
+    /// Receive buffers handed out from the pool's free list.
+    pub const BUF_REUSES: &str = "runtime.buf.reuses";
+    /// Receive buffers freshly allocated because the free list was
+    /// empty (steady state should be all reuses).
+    pub const BUF_ALLOCS: &str = "runtime.buf.allocs";
+    /// Receive loops started — one per worker per shuffle under the
+    /// event-loop demux, regardless of peer count.
+    pub const RX_THREADS: &str = "runtime.rx.threads";
 }
 
 /// Counter handles and trace sink threaded through the exchange and the
@@ -50,6 +67,16 @@ pub struct RuntimeObs {
     pub rx_wait_ns: Counter,
     /// Decoder rejections ([`names::RX_DECODE_ERRORS`]).
     pub rx_decode_errors: Counter,
+    /// Uncompressed-equivalent bytes sent ([`names::TX_BYTES_RAW`]).
+    pub tx_bytes_raw: Counter,
+    /// Send-path owned-buffer copy bytes ([`names::TX_COPIED_BYTES`]).
+    pub tx_copied_bytes: Counter,
+    /// Pool free-list hits ([`names::BUF_REUSES`]).
+    pub buf_reuses: Counter,
+    /// Pool fresh allocations ([`names::BUF_ALLOCS`]).
+    pub buf_allocs: Counter,
+    /// Receive loops started ([`names::RX_THREADS`]).
+    pub rx_threads: Counter,
     /// Where exchange workers record their per-worker `shuffle` spans.
     pub trace: Arc<TraceSink>,
 }
@@ -66,6 +93,11 @@ impl RuntimeObs {
             tx_flushes: Counter::new(),
             rx_wait_ns: Counter::new(),
             rx_decode_errors: Counter::new(),
+            tx_bytes_raw: Counter::new(),
+            tx_copied_bytes: Counter::new(),
+            buf_reuses: Counter::new(),
+            buf_allocs: Counter::new(),
+            rx_threads: Counter::new(),
             trace: TraceSink::disabled(),
         }
     }
@@ -81,6 +113,11 @@ impl RuntimeObs {
             tx_flushes: registry.counter(names::TX_FLUSHES),
             rx_wait_ns: registry.counter(names::RX_WAIT_NS),
             rx_decode_errors: registry.counter(names::RX_DECODE_ERRORS),
+            tx_bytes_raw: registry.counter(names::TX_BYTES_RAW),
+            tx_copied_bytes: registry.counter(names::TX_COPIED_BYTES),
+            buf_reuses: registry.counter(names::BUF_REUSES),
+            buf_allocs: registry.counter(names::BUF_ALLOCS),
+            rx_threads: registry.counter(names::RX_THREADS),
             trace,
         }
     }

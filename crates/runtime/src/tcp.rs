@@ -10,34 +10,46 @@
 //!
 //! The mesh is `p × p` directed connections over `127.0.0.1` (self-loops
 //! included, so byte accounting matches the in-process transport
-//! exactly). Each accepted connection gets a reader thread that decodes
-//! frames into the owning worker's bounded inbox; TCP flow control plus
-//! that bound give end-to-end backpressure. Connect races are absorbed
-//! by retry with exponential backoff; graceful shutdown is the
-//! end-of-stream frame followed by closing the write side, which lets
-//! reader threads exit on EOF.
+//! exactly). The receive side is an **event loop**: each worker's
+//! receiver owns all `p` incoming sockets in nonblocking mode and
+//! round-robin polls them through a per-connection framing state machine
+//! ([`Stage`]), so an N-node mesh costs one receive thread per worker —
+//! not the one-reader-thread-per-peer design this replaced.
+//! Backpressure is TCP flow control: a receiver that stops polling lets
+//! socket buffers fill until the sender's blocking `write` stalls.
+//! Payload buffers come from the runtime's [`BufPool`], so steady-state
+//! shuffles recycle instead of allocating per frame.
 //!
-//! Decode failures (a corrupt tag, a length prefix above
-//! [`MAX_FRAME_BYTES`], a stream truncated mid-frame) are forwarded to
-//! the owning worker as in-band poison messages, so the receiver's error
-//! names the cause instead of timing out in silence; each one also
-//! bumps the [`RuntimeObs::rx_decode_errors`] counter.
+//! Senders write frames as scatter/gather: a small stack prefix
+//! (tag + length + batch header) followed by the borrowed payload slice,
+//! chunked through a stack buffer into the socket's `BufWriter` — no
+//! owned per-frame encode buffer. Connect races are absorbed by retry
+//! with exponential backoff; graceful shutdown is the end-of-stream
+//! frame followed by closing the write side, which the receiver's state
+//! machine observes as EOF.
+//!
+//! Decode failures (a corrupt tag, a length prefix above the configured
+//! frame limit, a stream truncated mid-frame) surface as
+//! [`RuntimeError::Disconnected`] naming the cause, and each one bumps
+//! the [`RuntimeObs::rx_decode_errors`] counter.
 
 use crate::error::RuntimeError;
 use crate::metrics::RuntimeObs;
-use crate::transport::{BatchReceiver, BatchSender, Endpoint, Transport};
+use crate::pool::BufPool;
+pub use crate::transport::MAX_FRAME_BYTES;
+use crate::transport::{BatchReceiver, BatchSender, Endpoint, Payload, Transport};
 use parjoin_obs::Counter;
 use std::io::{BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 const TAG_BATCH: u8 = 0x00;
 const TAG_EOS: u8 = 0x01;
 
-/// Sanity cap on a single frame (64 MiB): a larger length prefix means a
-/// corrupt or hostile stream, not a real batch.
-pub const MAX_FRAME_BYTES: u32 = 64 << 20;
+/// Values converted to little-endian bytes per stack-buffer refill on
+/// the vectored send path (8 KiB, matching `BufWriter`'s buffer).
+const SEND_CHUNK_VALUES: usize = 1024;
 
 /// Connects to `addr`, retrying with exponential backoff (1 ms doubling
 /// to 128 ms) for up to `attempts` tries. Loopback listeners bound a few
@@ -78,32 +90,39 @@ fn check_mesh_width(workers: usize) -> Result<u32, RuntimeError> {
 }
 
 /// Loopback-socket transport. Carries the observability bundle whose
-/// counters the senders (flushes) and reader threads (decode errors)
+/// counters the senders (flushes) and receive loops (decode errors)
 /// report into; the default bundle is detached.
-#[derive(Default)]
 pub struct Tcp {
     /// Counter handles for transport-level tallies.
     pub obs: RuntimeObs,
+    /// Per-frame size limit senders enforce and receivers reject above.
+    pub max_frame: u32,
 }
 
-impl Tcp {
-    /// A transport reporting into `obs`.
-    pub fn with_obs(obs: RuntimeObs) -> Tcp {
-        Tcp { obs }
+impl Default for Tcp {
+    fn default() -> Tcp {
+        Tcp {
+            obs: RuntimeObs::default(),
+            max_frame: MAX_FRAME_BYTES,
+        }
     }
 }
 
-/// What a reader thread forwards to the owning worker's inbox.
-enum Frame {
-    /// One decoded batch payload.
-    Batch(Vec<u8>),
-    /// The peer's end-of-stream marker.
-    Eos,
-    /// The stream broke mid-protocol; the payload names the cause.
-    Corrupt(String),
-}
+impl Tcp {
+    /// A transport reporting into `obs`, with the default frame limit.
+    pub fn with_obs(obs: RuntimeObs) -> Tcp {
+        Tcp {
+            obs,
+            max_frame: MAX_FRAME_BYTES,
+        }
+    }
 
-type Msg = (usize, Frame);
+    /// Overrides the per-frame size limit.
+    pub fn with_frame_limit(mut self, max_frame: u32) -> Tcp {
+        self.max_frame = max_frame;
+        self
+    }
+}
 
 impl Transport for Tcp {
     fn mesh(
@@ -111,9 +130,14 @@ impl Transport for Tcp {
         workers: usize,
         depth: usize,
         timeout: Duration,
+        pool: &Arc<BufPool>,
     ) -> Result<Vec<Box<dyn Endpoint>>, RuntimeError> {
         let io = |e: std::io::Error| RuntimeError::Io(e.to_string());
         check_mesh_width(workers)?;
+        // The event-loop receiver needs no bounded inbox; `depth` only
+        // shapes the channel transports. TCP's window is the socket
+        // buffer itself.
+        let _ = depth;
 
         // One listener per worker on an ephemeral loopback port.
         let mut listeners = Vec::with_capacity(workers);
@@ -143,130 +167,47 @@ impl Transport for Tcp {
         }
 
         // Incoming side: accept the p connections aimed at each worker,
-        // learn who is on the other end from the hello, and hand the
-        // stream to a reader thread feeding that worker's bounded inbox.
+        // learn who is on the other end from the hello (read while the
+        // socket is still blocking), then flip the socket nonblocking
+        // and hand it to the worker's demux receive loop.
         let mut endpoints: Vec<Box<dyn Endpoint>> = Vec::with_capacity(workers);
         for (listener, senders) in listeners.into_iter().zip(outgoing) {
-            let (tx, rx): (SyncSender<Msg>, Receiver<Msg>) = sync_channel(depth.max(1));
+            let mut conns = Vec::with_capacity(workers);
             for _ in 0..workers {
-                let (stream, _) = listener.accept().map_err(io)?;
+                let (mut stream, _) = listener.accept().map_err(io)?;
                 let mut hello = [0u8; 4];
-                let mut s = stream;
-                s.read_exact(&mut hello).map_err(io)?;
+                stream.read_exact(&mut hello).map_err(io)?;
                 let src = u32::from_le_bytes(hello) as usize;
                 if src >= workers {
                     return Err(RuntimeError::Io(format!(
                         "hello names worker {src}, but the mesh has {workers}"
                     )));
                 }
-                let inbox = tx.clone();
-                let decode_errors = self.obs.rx_decode_errors.clone();
-                // Intentionally detached: the reader exits on its own
-                // when the peer closes the socket (EOF) or the inbox
-                // receiver is dropped at shutdown.
-                std::thread::Builder::new()
-                    .name(format!("parjoin-tcp-read-{src}"))
-                    // xtask: allow(spawn)
-                    .spawn(move || read_frames(s, src, &inbox, &decode_errors))
-                    .map_err(io)?;
+                stream.set_nonblocking(true).map_err(io)?;
+                conns.push(Conn::new(stream, src));
             }
-            drop(tx); // readers hold the only inbox senders now
+            // Deterministic poll order (accept order is a race).
+            conns.sort_by_key(|c| c.src);
             endpoints.push(Box::new(TcpEndpoint {
                 senders,
-                rx,
-                eos_left: workers,
+                conns,
                 timeout,
                 obs: self.obs.clone(),
+                pool: Arc::clone(pool),
+                max_frame: self.max_frame,
             }));
         }
         Ok(endpoints)
     }
 }
 
-/// Reads frames until end-of-stream, EOF, or a closed inbox, forwarding
-/// each batch as `Frame::Batch` and end-of-stream as `Frame::Eos`. A
-/// protocol violation (bad tag, oversized length, truncation inside a
-/// frame) is counted on `decode_errors` and forwarded as
-/// `Frame::Corrupt` so the receiver can report the cause; a clean EOF
-/// before end-of-stream simply drops this thread's inbox sender, which
-/// is how the receiver learns the peer died between frames.
-fn read_frames(
-    mut stream: TcpStream,
-    src: usize,
-    inbox: &SyncSender<Msg>,
-    decode_errors: &Counter,
-) {
-    let corrupt = |cause: String| {
-        decode_errors.inc();
-        Frame::Corrupt(cause)
-    };
-    loop {
-        let mut tag = [0u8; 1];
-        if stream.read_exact(&mut tag).is_err() {
-            return; // EOF or reset before end-of-stream
-        }
-        match tag[0] {
-            TAG_EOS => {
-                let _ = inbox.send((src, Frame::Eos));
-                return;
-            }
-            TAG_BATCH => {
-                let mut len = [0u8; 4];
-                if stream.read_exact(&mut len).is_err() {
-                    let _ = inbox.send((
-                        src,
-                        corrupt(format!(
-                            "stream from worker {src} truncated in a length prefix"
-                        )),
-                    ));
-                    return;
-                }
-                let len = u32::from_le_bytes(len);
-                if len > MAX_FRAME_BYTES {
-                    let _ = inbox.send((
-                        src,
-                        corrupt(format!(
-                            "frame from worker {src} declares {len} bytes, above the \
-                             {MAX_FRAME_BYTES}-byte limit"
-                        )),
-                    ));
-                    return;
-                }
-                let mut payload = vec![0u8; len as usize];
-                if stream.read_exact(&mut payload).is_err() {
-                    let _ = inbox.send((
-                        src,
-                        corrupt(format!(
-                            "stream from worker {src} truncated mid-frame ({len}-byte \
-                             payload never completed)"
-                        )),
-                    ));
-                    return;
-                }
-                if inbox.send((src, Frame::Batch(payload))).is_err() {
-                    return; // receiver gone (worker errored out)
-                }
-            }
-            other => {
-                let _ = inbox.send((
-                    src,
-                    corrupt(format!(
-                        "corrupt frame tag {other:#04x} from worker {src} (expected batch or \
-                         end-of-stream)"
-                    )),
-                ));
-                return;
-            }
-        }
-    }
-}
-
 struct TcpEndpoint {
     senders: Vec<BufWriter<TcpStream>>,
-    rx: Receiver<Msg>,
-    eos_left: usize,
+    conns: Vec<Conn>,
     timeout: Duration,
     obs: RuntimeObs,
+    pool: Arc<BufPool>,
+    max_frame: u32,
 }
 
 impl Endpoint for TcpEndpoint {
@@ -275,11 +216,15 @@ impl Endpoint for TcpEndpoint {
             Box::new(TcpSender {
                 senders: self.senders,
                 flushes: self.obs.tx_flushes,
+                max_frame: self.max_frame,
             }),
             Box::new(TcpReceiver {
-                rx: self.rx,
-                eos_left: self.eos_left,
+                conns: self.conns,
+                pool: self.pool,
+                decode_errors: self.obs.rx_decode_errors,
                 timeout: self.timeout,
+                max_frame: self.max_frame,
+                cursor: 0,
             }),
         )
     }
@@ -288,30 +233,77 @@ impl Endpoint for TcpEndpoint {
 struct TcpSender {
     senders: Vec<BufWriter<TcpStream>>,
     flushes: Counter,
+    max_frame: u32,
+}
+
+impl TcpSender {
+    fn check_frame(&self, bytes: u64) -> Result<(), RuntimeError> {
+        if bytes > u64::from(self.max_frame) {
+            return Err(RuntimeError::FrameTooLarge {
+                bytes,
+                limit: u64::from(self.max_frame),
+            });
+        }
+        Ok(())
+    }
 }
 
 impl BatchSender for TcpSender {
     fn send(&mut self, dest: usize, frame: Vec<u8>) -> Result<(), RuntimeError> {
         // Refuse a frame the peer would reject as corrupt. The length
         // check also guarantees the u32 cast below is exact.
-        if frame.len() as u64 > u64::from(MAX_FRAME_BYTES) {
-            return Err(RuntimeError::FrameTooLarge {
-                bytes: frame.len() as u64,
-                limit: u64::from(MAX_FRAME_BYTES),
-            });
-        }
+        self.check_frame(frame.len() as u64)?;
         let w = &mut self.senders[dest];
         let write = (|| {
             w.write_all(&[TAG_BATCH])?;
             w.write_all(&(frame.len() as u32).to_le_bytes())?;
             w.write_all(&frame)?;
             // Flush per frame: batches are already sized for throughput,
-            // and prompt delivery keeps peer drain threads busy instead
+            // and prompt delivery keeps peer receive loops busy instead
             // of stalling on buffered bytes.
             w.flush()
         })();
         self.flushes.inc();
         write.map_err(|e| RuntimeError::Disconnected(format!("write to worker {dest}: {e}")))
+    }
+
+    fn send_vectored(
+        &mut self,
+        dest: usize,
+        header: &[u8],
+        payload: Payload<'_>,
+    ) -> Result<u64, RuntimeError> {
+        let frame_len = header.len() + payload.wire_len();
+        self.check_frame(frame_len as u64)?;
+        let w = &mut self.senders[dest];
+        let write = (|| {
+            let mut prefix = [0u8; 5];
+            prefix[0] = TAG_BATCH;
+            // Exact: check_frame proved frame_len fits the u32 limit.
+            prefix[1..5].copy_from_slice(&(frame_len as u32).to_le_bytes());
+            w.write_all(&prefix)?;
+            w.write_all(header)?;
+            match payload {
+                Payload::Bytes(bytes) => w.write_all(bytes)?,
+                Payload::Values(values) => {
+                    // The workspace forbids unsafe, so the arena slice
+                    // cannot be reinterpreted as bytes in place; stream
+                    // it through a stack chunk instead — constant
+                    // memory, no per-frame allocation.
+                    let mut chunk = [0u8; SEND_CHUNK_VALUES * 8];
+                    for run in values.chunks(SEND_CHUNK_VALUES) {
+                        for (i, &v) in run.iter().enumerate() {
+                            chunk[i * 8..(i + 1) * 8].copy_from_slice(&v.to_le_bytes());
+                        }
+                        w.write_all(&chunk[..run.len() * 8])?;
+                    }
+                }
+            }
+            w.flush()
+        })();
+        self.flushes.inc();
+        write.map_err(|e| RuntimeError::Disconnected(format!("write to worker {dest}: {e}")))?;
+        Ok(frame_len as u64)
     }
 
     fn finish(&mut self) -> Result<(), RuntimeError> {
@@ -324,39 +316,267 @@ impl BatchSender for TcpSender {
     }
 }
 
+/// Where one incoming connection stands in the framing protocol.
+enum Stage {
+    /// Waiting for the next frame tag.
+    Tag,
+    /// Collecting the 4-byte length prefix.
+    Len { buf: [u8; 4], got: usize },
+    /// Collecting a payload into a pooled buffer.
+    Payload { buf: Vec<u8>, got: usize },
+    /// The peer signalled end-of-stream.
+    Eos,
+    /// The peer hung up (EOF between frames) or the stream was poisoned.
+    Dead,
+}
+
+struct Conn {
+    stream: TcpStream,
+    src: usize,
+    stage: Stage,
+}
+
+/// One nonblocking read step.
+enum ReadStep {
+    Data(usize),
+    WouldBlock,
+    /// EOF or a hard socket error (peer reset) — the stream is over
+    /// either way; which protocol stage it struck decides whether that
+    /// is a clean hang-up or corruption.
+    Eof,
+}
+
+fn read_nb(stream: &mut TcpStream, buf: &mut [u8]) -> ReadStep {
+    loop {
+        match stream.read(buf) {
+            Ok(0) => return ReadStep::Eof,
+            Ok(n) => return ReadStep::Data(n),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return ReadStep::WouldBlock,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {} // EINTR: retry
+            Err(_) => return ReadStep::Eof,
+        }
+    }
+}
+
+/// What polling one connection produced.
+enum Polled {
+    /// A complete frame.
+    Frame(Vec<u8>),
+    /// State advanced (bytes consumed, EOS seen, clean EOF) but no
+    /// complete frame yet.
+    Progress,
+    /// Nothing available without blocking.
+    Idle,
+    /// Protocol violation; the payload names the cause.
+    Corrupt(String),
+}
+
+impl Conn {
+    fn new(stream: TcpStream, src: usize) -> Conn {
+        Conn {
+            stream,
+            src,
+            stage: Stage::Tag,
+        }
+    }
+
+    fn terminal(&self) -> bool {
+        matches!(self.stage, Stage::Eos | Stage::Dead)
+    }
+
+    /// Advances this connection's state machine as far as the socket
+    /// allows without blocking.
+    fn poll(&mut self, pool: &BufPool, max_frame: u32) -> Polled {
+        let src = self.src;
+        let mut advanced = false;
+        loop {
+            match &mut self.stage {
+                Stage::Eos | Stage::Dead => return Polled::Idle,
+                Stage::Tag => {
+                    let mut tag = [0u8; 1];
+                    match read_nb(&mut self.stream, &mut tag) {
+                        ReadStep::WouldBlock => {
+                            return if advanced {
+                                Polled::Progress
+                            } else {
+                                Polled::Idle
+                            };
+                        }
+                        ReadStep::Eof => {
+                            // Clean EOF between frames: the peer died (or
+                            // closed after EOS) — not a decode error.
+                            self.stage = Stage::Dead;
+                            return Polled::Progress;
+                        }
+                        ReadStep::Data(_) => match tag[0] {
+                            TAG_EOS => {
+                                self.stage = Stage::Eos;
+                                return Polled::Progress;
+                            }
+                            TAG_BATCH => {
+                                advanced = true;
+                                self.stage = Stage::Len {
+                                    buf: [0u8; 4],
+                                    got: 0,
+                                };
+                            }
+                            other => {
+                                return Polled::Corrupt(format!(
+                                    "corrupt frame tag {other:#04x} from worker {src} (expected \
+                                     batch or end-of-stream)"
+                                ));
+                            }
+                        },
+                    }
+                }
+                Stage::Len { buf, got } => match read_nb(&mut self.stream, &mut buf[*got..]) {
+                    ReadStep::WouldBlock => {
+                        return if advanced {
+                            Polled::Progress
+                        } else {
+                            Polled::Idle
+                        };
+                    }
+                    ReadStep::Eof => {
+                        return Polled::Corrupt(format!(
+                            "stream from worker {src} truncated in a length prefix"
+                        ));
+                    }
+                    ReadStep::Data(n) => {
+                        advanced = true;
+                        *got += n;
+                        if *got == 4 {
+                            let len = u32::from_le_bytes(*buf);
+                            if len > max_frame {
+                                return Polled::Corrupt(format!(
+                                    "frame from worker {src} declares {len} bytes, above the \
+                                     {max_frame}-byte limit"
+                                ));
+                            }
+                            if len == 0 {
+                                // Degenerate empty frame: complete as-is
+                                // (an empty read would misreport EOF).
+                                self.stage = Stage::Tag;
+                                return Polled::Frame(pool.acquire());
+                            }
+                            let mut payload = pool.acquire();
+                            payload.resize(len as usize, 0);
+                            self.stage = Stage::Payload {
+                                buf: payload,
+                                got: 0,
+                            };
+                        }
+                    }
+                },
+                Stage::Payload { buf, got } => {
+                    let len = buf.len();
+                    match read_nb(&mut self.stream, &mut buf[*got..]) {
+                        ReadStep::WouldBlock => {
+                            return if advanced {
+                                Polled::Progress
+                            } else {
+                                Polled::Idle
+                            };
+                        }
+                        ReadStep::Eof => {
+                            return Polled::Corrupt(format!(
+                                "stream from worker {src} truncated mid-frame ({len}-byte \
+                                 payload never completed)"
+                            ));
+                        }
+                        ReadStep::Data(n) => {
+                            advanced = true;
+                            *got += n;
+                            if *got == len {
+                                let frame = std::mem::take(buf);
+                                self.stage = Stage::Tag;
+                                return Polled::Frame(frame);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The demultiplexing receive loop over all incoming connections: the
+/// single receive thread a worker costs, however wide the mesh.
 struct TcpReceiver {
-    rx: Receiver<Msg>,
-    eos_left: usize,
+    conns: Vec<Conn>,
+    pool: Arc<BufPool>,
+    decode_errors: Counter,
     timeout: Duration,
+    max_frame: u32,
+    cursor: usize,
+}
+
+impl TcpReceiver {
+    /// Peers that have not reached end-of-stream (the legacy receiver's
+    /// `eos_left`, used by every error message).
+    fn outstanding(&self) -> usize {
+        self.conns
+            .iter()
+            .filter(|c| !matches!(c.stage, Stage::Eos))
+            .count()
+    }
 }
 
 impl BatchReceiver for TcpReceiver {
     fn recv(&mut self) -> Result<Option<(usize, Vec<u8>)>, RuntimeError> {
-        while self.eos_left > 0 {
-            match self.rx.recv_timeout(self.timeout) {
-                Ok((src, Frame::Batch(frame))) => return Ok(Some((src, frame))),
-                Ok((_, Frame::Eos)) => self.eos_left -= 1,
-                Ok((_, Frame::Corrupt(cause))) => {
-                    return Err(RuntimeError::Disconnected(format!(
-                        "corrupt stream: {cause}; {} peer(s) were still outstanding",
-                        self.eos_left
-                    )));
-                }
-                Err(RecvTimeoutError::Timeout) => {
-                    return Err(RuntimeError::Timeout(format!(
-                        "no frame within {:?}; {} peer(s) never finished",
-                        self.timeout, self.eos_left
-                    )));
-                }
-                Err(RecvTimeoutError::Disconnected) => {
-                    return Err(RuntimeError::Disconnected(format!(
-                        "{} peer(s) closed before end-of-stream",
-                        self.eos_left
-                    )));
+        let n = self.conns.len();
+        let deadline = Instant::now() + self.timeout;
+        let mut idle_rounds = 0u32;
+        loop {
+            let mut progressed = false;
+            for step in 0..n {
+                let i = (self.cursor + step) % n;
+                match self.conns[i].poll(&self.pool, self.max_frame) {
+                    Polled::Frame(frame) => {
+                        // Resume *after* this connection next time so one
+                        // chatty peer cannot starve the others.
+                        self.cursor = (i + 1) % n;
+                        return Ok(Some((self.conns[i].src, frame)));
+                    }
+                    Polled::Progress => progressed = true,
+                    Polled::Idle => {}
+                    Polled::Corrupt(cause) => {
+                        self.decode_errors.inc();
+                        self.conns[i].stage = Stage::Dead;
+                        return Err(RuntimeError::Disconnected(format!(
+                            "corrupt stream: {cause}; {} peer(s) were still outstanding",
+                            self.outstanding()
+                        )));
+                    }
                 }
             }
+            let dead = self
+                .conns
+                .iter()
+                .filter(|c| matches!(c.stage, Stage::Dead))
+                .count();
+            if self.conns.iter().all(Conn::terminal) {
+                if dead == 0 {
+                    return Ok(None); // every peer reached end-of-stream
+                }
+                return Err(RuntimeError::Disconnected(format!(
+                    "{dead} peer(s) closed before end-of-stream"
+                )));
+            }
+            if progressed {
+                idle_rounds = 0;
+                continue;
+            }
+            if Instant::now() >= deadline {
+                return Err(RuntimeError::Timeout(format!(
+                    "no frame within {:?}; {} peer(s) never finished",
+                    self.timeout,
+                    self.outstanding()
+                )));
+            }
+            idle_rounds += 1;
+            crate::transport::idle_backoff(idle_rounds);
         }
-        Ok(None)
     }
 }
 
@@ -364,6 +584,10 @@ impl BatchReceiver for TcpReceiver {
 mod tests {
     use super::*;
     use std::thread;
+
+    fn test_pool() -> Arc<BufPool> {
+        Arc::new(BufPool::detached())
+    }
 
     #[test]
     fn connect_with_retry_gives_up() {
@@ -379,7 +603,7 @@ mod tests {
     #[test]
     fn tcp_mesh_round_trips_frames() {
         let eps = Tcp::default()
-            .mesh(2, 4, Duration::from_secs(10))
+            .mesh(2, 4, Duration::from_secs(10), &test_pool())
             .expect("mesh");
         let mut eps = eps.into_iter();
         let a = eps.next().expect("endpoint 0");
@@ -413,10 +637,33 @@ mod tests {
     }
 
     #[test]
+    fn vectored_send_round_trips() {
+        let eps = Tcp::default()
+            .mesh(1, 4, Duration::from_secs(10), &test_pool())
+            .expect("mesh");
+        let (mut tx, mut rx) = eps.into_iter().next().expect("endpoint").split();
+        let values = [5u64, u64::MAX, 0];
+        let len = tx
+            .send_vectored(0, &[0xAB, 0xCD], Payload::Values(&values))
+            .expect("send");
+        assert_eq!(len, 2 + 24);
+        tx.finish().expect("finish");
+        drop(tx);
+        let (src, frame) = rx.recv().expect("recv").expect("frame");
+        assert_eq!(src, 0);
+        let mut expect = vec![0xAB, 0xCD];
+        for v in values {
+            expect.extend_from_slice(&v.to_le_bytes());
+        }
+        assert_eq!(frame, expect);
+        assert!(rx.recv().expect("eos").is_none());
+    }
+
+    #[test]
     fn mesh_counts_flushes() {
         let obs = RuntimeObs::detached();
         let eps = Tcp::with_obs(obs.clone())
-            .mesh(1, 4, Duration::from_secs(10))
+            .mesh(1, 4, Duration::from_secs(10), &test_pool())
             .expect("mesh");
         let (mut tx, mut rx) = eps.into_iter().next().expect("endpoint").split();
         tx.send(0, vec![1, 2]).expect("send");
@@ -446,99 +693,127 @@ mod tests {
         (w, r)
     }
 
-    /// Runs `read_frames` over bytes written by `write`, returning what
-    /// reached the inbox and the decode-error count.
-    fn read_poisoned(write: impl FnOnce(&mut TcpStream)) -> (Vec<Frame>, u64) {
+    /// Drives the event-loop receiver over bytes written by `write`,
+    /// returning complete frames, the terminal result, and the
+    /// decode-error count. The lone connection claims to be worker 1.
+    #[allow(clippy::type_complexity)]
+    fn recv_poisoned(
+        write: impl FnOnce(&mut TcpStream),
+    ) -> (
+        Vec<(usize, Vec<u8>)>,
+        Result<Option<(usize, Vec<u8>)>, RuntimeError>,
+        u64,
+    ) {
         let (mut w, r) = pipe();
+        r.set_nonblocking(true).expect("nonblocking");
         let errors = Counter::new();
-        let (tx, rx) = sync_channel::<Msg>(8);
+        let mut receiver = TcpReceiver {
+            conns: vec![Conn::new(r, 1)],
+            pool: test_pool(),
+            decode_errors: errors.clone(),
+            timeout: Duration::from_secs(5),
+            max_frame: MAX_FRAME_BYTES,
+            cursor: 0,
+        };
         write(&mut w);
         drop(w);
-        read_frames(r, 1, &tx, &errors);
-        drop(tx);
-        (rx.into_iter().map(|(_, f)| f).collect(), errors.get())
+        let mut frames = Vec::new();
+        let last = loop {
+            match receiver.recv() {
+                Ok(Some(frame)) => frames.push(frame),
+                other => break other,
+            }
+        };
+        (frames, last, errors.get())
     }
 
     #[test]
     fn corrupt_tag_is_reported_with_cause() {
-        let (frames, errors) = read_poisoned(|w| {
+        let (frames, last, errors) = recv_poisoned(|w| {
             w.write_all(&[0x7f]).expect("write");
         });
+        assert!(frames.is_empty());
         assert_eq!(errors, 1);
-        match frames.as_slice() {
-            [Frame::Corrupt(cause)] => {
-                assert!(cause.contains("0x7f"), "cause names the tag: {cause}");
-                assert!(cause.contains("worker 1"), "cause names the peer: {cause}");
+        match last {
+            Err(RuntimeError::Disconnected(msg)) => {
+                assert!(msg.contains("corrupt stream"), "prefixed cause: {msg}");
+                assert!(msg.contains("0x7f"), "cause names the tag: {msg}");
+                assert!(msg.contains("worker 1"), "cause names the peer: {msg}");
+                assert!(msg.contains("1 peer(s)"), "error counts peers: {msg}");
             }
-            other => panic!("expected one corrupt frame, got {} frames", other.len()),
+            other => panic!("expected Disconnected, got {other:?}"),
         }
     }
 
     #[test]
     fn oversized_length_prefix_is_reported() {
-        let (frames, errors) = read_poisoned(|w| {
+        let (frames, last, errors) = recv_poisoned(|w| {
             w.write_all(&[TAG_BATCH]).expect("tag");
             w.write_all(&(MAX_FRAME_BYTES + 1).to_le_bytes())
                 .expect("len");
         });
+        assert!(frames.is_empty());
         assert_eq!(errors, 1);
-        match frames.as_slice() {
-            [Frame::Corrupt(cause)] => {
-                assert!(cause.contains("limit"), "cause names the limit: {cause}");
+        match last {
+            Err(RuntimeError::Disconnected(msg)) => {
+                assert!(msg.contains("limit"), "cause names the limit: {msg}");
             }
-            other => panic!("expected one corrupt frame, got {} frames", other.len()),
+            other => panic!("expected Disconnected, got {other:?}"),
         }
     }
 
     #[test]
     fn truncated_frame_is_reported() {
-        let (frames, errors) = read_poisoned(|w| {
+        let (frames, last, errors) = recv_poisoned(|w| {
             w.write_all(&[TAG_BATCH]).expect("tag");
             w.write_all(&100u32.to_le_bytes()).expect("len");
             w.write_all(&[0u8; 10]).expect("partial payload");
         });
-        assert_eq!(errors, 1);
-        match frames.as_slice() {
-            [Frame::Corrupt(cause)] => {
-                assert!(
-                    cause.contains("truncated mid-frame"),
-                    "cause names truncation: {cause}"
-                );
-            }
-            other => panic!("expected one corrupt frame, got {} frames", other.len()),
-        }
-    }
-
-    #[test]
-    fn clean_eof_before_eos_stays_silent() {
-        // Peer death *between* frames is not a decode error: the dropped
-        // inbox sender is the signal (receiver reports Disconnected).
-        let (frames, errors) = read_poisoned(|_| {});
         assert!(frames.is_empty());
-        assert_eq!(errors, 0);
-    }
-
-    #[test]
-    fn receiver_surfaces_decode_failure_in_error_text() {
-        let (tx, rx) = sync_channel::<Msg>(8);
-        tx.send((
-            0,
-            Frame::Corrupt("corrupt frame tag 0x7f from worker 0".into()),
-        ))
-        .expect("send");
-        let mut receiver = TcpReceiver {
-            rx,
-            eos_left: 2,
-            timeout: Duration::from_secs(5),
-        };
-        let err = receiver.recv();
-        match err {
+        assert_eq!(errors, 1);
+        match last {
             Err(RuntimeError::Disconnected(msg)) => {
-                assert!(msg.contains("0x7f"), "error names the cause: {msg}");
-                assert!(msg.contains("2 peer(s)"), "error counts peers: {msg}");
+                assert!(
+                    msg.contains("truncated mid-frame"),
+                    "cause names truncation: {msg}"
+                );
             }
             other => panic!("expected Disconnected, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn clean_eof_before_eos_is_a_disconnect_not_a_decode_error() {
+        // Peer death *between* frames is not stream corruption: no
+        // decode error is counted, and the receiver reports a plain
+        // disconnect once no live peer remains.
+        let (frames, last, errors) = recv_poisoned(|_| {});
+        assert!(frames.is_empty());
+        assert_eq!(errors, 0);
+        match last {
+            Err(RuntimeError::Disconnected(msg)) => {
+                assert!(
+                    msg.contains("closed before end-of-stream"),
+                    "plain disconnect expected: {msg}"
+                );
+            }
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frames_before_poison_still_arrive() {
+        // The state machine must hand over complete frames already
+        // received before reporting the poisoned tail.
+        let (frames, last, errors) = recv_poisoned(|w| {
+            w.write_all(&[TAG_BATCH]).expect("tag");
+            w.write_all(&3u32.to_le_bytes()).expect("len");
+            w.write_all(&[9, 8, 7]).expect("payload");
+            w.write_all(&[0x5a]).expect("poison tag");
+        });
+        assert_eq!(frames, vec![(1, vec![9, 8, 7])]);
+        assert_eq!(errors, 1);
+        assert!(matches!(last, Err(RuntimeError::Disconnected(_))));
     }
 
     #[test]
@@ -547,6 +822,7 @@ mod tests {
         let mut sender = TcpSender {
             senders: vec![BufWriter::new(w)],
             flushes: Counter::new(),
+            max_frame: MAX_FRAME_BYTES,
         };
         let frame = vec![0u8; MAX_FRAME_BYTES as usize + 1];
         let err = sender.send(0, frame);
@@ -563,13 +839,35 @@ mod tests {
     }
 
     #[test]
+    fn configured_frame_limit_applies_to_vectored_sends() {
+        let (w, _r) = pipe();
+        let mut sender = TcpSender {
+            senders: vec![BufWriter::new(w)],
+            flushes: Counter::new(),
+            max_frame: 16,
+        };
+        let values = [0u64; 4]; // 32 payload bytes + header > 16
+        let err = sender.send_vectored(0, &[0, 1, 2], Payload::Values(&values));
+        assert!(
+            matches!(
+                err,
+                Err(RuntimeError::FrameTooLarge {
+                    bytes: 35,
+                    limit: 16
+                })
+            ),
+            "configured limit must apply: {err:?}"
+        );
+    }
+
+    #[test]
     fn peer_death_mid_stream_is_a_prompt_disconnect_not_a_hang() {
         // End-to-end: on a live 2-worker mesh, worker 0's sender drops
         // without ever writing end-of-stream (the "peer died" shape).
         // Worker 0's receiver must fail with Disconnected well before
         // the 30-second mesh timeout — never hang waiting it out.
         let eps = Tcp::default()
-            .mesh(2, 4, Duration::from_secs(30))
+            .mesh(2, 4, Duration::from_secs(30), &test_pool())
             .expect("mesh");
         let mut eps = eps.into_iter();
         let a = eps.next().expect("endpoint 0");

@@ -12,10 +12,41 @@
 //! a worker never blocks on a full outgoing channel while also refusing
 //! to empty its own inbox, so the classic all-send-no-receive exchange
 //! deadlock cannot form.
+//!
+//! Receivers are *demultiplexers*: one receive loop per worker polls all
+//! `p` incoming streams (a select-style loop over per-pair channels
+//! here, readiness-polled nonblocking sockets for TCP), so the whole
+//! mesh costs one receive thread per worker — not one per peer.
+//!
+//! The send side has two shapes. [`BatchSender::send`] ships an owned,
+//! fully encoded frame (the legacy varint path). For the vectored wire
+//! format, [`BatchSender::send_vectored`] takes a small borrowed header
+//! plus a [`Payload`] borrowing the flat row slice straight from the
+//! relation arena — the scatter/gather form that lets streaming
+//! transports write rows without materializing an owned encode buffer
+//! per batch.
 
 use crate::error::RuntimeError;
-use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
-use std::time::Duration;
+use crate::pool::BufPool;
+use parjoin_common::Value;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Sanity cap on a single frame (64 MiB): a larger length prefix means a
+/// corrupt or hostile stream, not a real batch. This is the *default*
+/// limit; [`RuntimeConfig::max_frame_bytes`](crate::RuntimeConfig)
+/// overrides it per runtime.
+pub const MAX_FRAME_BYTES: u32 = 64 << 20;
+
+/// Consecutive empty polls a demux receive loop spins (yielding) before
+/// it starts sleeping between polls.
+const IDLE_SPINS: u32 = 64;
+
+/// Sleep between polls once a receive loop has gone idle. Short enough
+/// to stay invisible next to batch decode times, long enough to keep an
+/// idle mesh off the scheduler.
+const IDLE_SLEEP: Duration = Duration::from_micros(200);
 
 /// Which transport a runtime (or engine cluster) should use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -57,8 +88,10 @@ impl std::fmt::Display for TransportKind {
 pub trait Transport {
     /// Creates the full mesh. Endpoint `i` is handed to worker `i`.
     ///
-    /// `depth` bounds the per-worker inbox (in frames); `timeout` caps
-    /// every blocking receive.
+    /// `depth` bounds each directed pair's in-flight frames (the
+    /// backpressure window); `timeout` caps how long a receiver waits
+    /// without progress; `pool` recycles frame buffers across the mesh
+    /// so steady-state shuffles stop allocating per frame.
     ///
     /// # Errors
     /// Transport-specific setup failures (e.g. a TCP bind or connect
@@ -68,6 +101,7 @@ pub trait Transport {
         workers: usize,
         depth: usize,
         timeout: Duration,
+        pool: &Arc<BufPool>,
     ) -> Result<Vec<Box<dyn Endpoint>>, RuntimeError>;
 }
 
@@ -75,6 +109,27 @@ pub trait Transport {
 pub trait Endpoint: Send {
     /// Splits into independently-threaded sender and receiver halves.
     fn split(self: Box<Self>) -> (Box<dyn BatchSender>, Box<dyn BatchReceiver>);
+}
+
+/// The payload of a vectored send: what follows the frame header on the
+/// wire.
+pub enum Payload<'a> {
+    /// The flat row-major value slice, borrowed straight from the
+    /// relation arena; transports write it as little-endian words.
+    Values(&'a [Value]),
+    /// Already-encoded payload bytes (the compressed form), borrowed
+    /// from the sender's reusable scratch buffer.
+    Bytes(&'a [u8]),
+}
+
+impl Payload<'_> {
+    /// On-wire byte length of this payload.
+    pub fn wire_len(&self) -> usize {
+        match self {
+            Payload::Values(v) => v.len() * 8,
+            Payload::Bytes(b) => b.len(),
+        }
+    }
 }
 
 /// The sending half of an endpoint.
@@ -89,6 +144,22 @@ pub trait BatchSender: Send {
     /// # Errors
     /// [`RuntimeError::Disconnected`] if the destination is gone.
     fn send(&mut self, dest: usize, frame: Vec<u8>) -> Result<(), RuntimeError>;
+
+    /// Sends one batch as `header ++ payload` without the caller
+    /// materializing an owned frame, returning the on-wire frame length
+    /// in bytes. Stream transports write both slices directly; channel
+    /// transports assemble the frame in a pooled buffer.
+    ///
+    /// # Errors
+    /// [`RuntimeError::Disconnected`] if the destination is gone;
+    /// [`RuntimeError::FrameTooLarge`] when the frame exceeds the
+    /// transport's configured limit.
+    fn send_vectored(
+        &mut self,
+        dest: usize,
+        header: &[u8],
+        payload: Payload<'_>,
+    ) -> Result<u64, RuntimeError>;
 
     /// Signals end-of-stream to every peer and flushes buffered writes.
     ///
@@ -114,10 +185,38 @@ pub trait BatchReceiver: Send {
     fn recv(&mut self) -> Result<Option<(usize, Vec<u8>)>, RuntimeError>;
 }
 
-/// `(source worker, frame)`; `None` frame is the end-of-stream marker.
-type Msg = (usize, Option<Vec<u8>>);
+/// Backoff ladder for a demux receive loop: spin (yield) while the mesh
+/// is hot, sleep once it has gone idle.
+pub(crate) fn idle_backoff(idle_rounds: u32) {
+    if idle_rounds < IDLE_SPINS {
+        std::thread::yield_now();
+    } else {
+        std::thread::sleep(IDLE_SLEEP);
+    }
+}
 
-/// Bounded-channel transport between threads of this process.
+/// Appends `header ++ payload` to a frame buffer (the owned-frame
+/// assembly channel transports and tests share).
+pub(crate) fn assemble_frame(buf: &mut Vec<u8>, header: &[u8], payload: &Payload<'_>) {
+    buf.extend_from_slice(header);
+    match payload {
+        Payload::Values(values) => {
+            buf.reserve(values.len() * 8);
+            for &v in *values {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        Payload::Bytes(bytes) => buf.extend_from_slice(bytes),
+    }
+}
+
+/// `None` frame is the end-of-stream marker; the source is implied by
+/// which per-pair channel carried the message.
+type PairMsg = Option<Vec<u8>>;
+
+/// Bounded-channel transport between threads of this process: one
+/// `sync_channel` per *directed pair*, demultiplexed by a select-style
+/// poll loop on the receive side.
 pub struct InProcess;
 
 impl Transport for InProcess {
@@ -126,24 +225,29 @@ impl Transport for InProcess {
         workers: usize,
         depth: usize,
         timeout: Duration,
+        pool: &Arc<BufPool>,
     ) -> Result<Vec<Box<dyn Endpoint>>, RuntimeError> {
-        let mut txs: Vec<SyncSender<Msg>> = Vec::with_capacity(workers);
-        let mut rxs: Vec<Receiver<Msg>> = Vec::with_capacity(workers);
-        for _ in 0..workers {
-            let (tx, rx) = sync_channel(depth.max(1));
-            txs.push(tx);
-            rxs.push(rx);
+        // chans[src][dst]: the directed channel from src to dst. Built
+        // column-wise so endpoint `i` can collect its receive column
+        // (from every src) and its send row (to every dst).
+        let mut txs: Vec<Vec<SyncSender<PairMsg>>> = (0..workers).map(|_| Vec::new()).collect();
+        let mut rx_cols: Vec<Vec<Receiver<PairMsg>>> = (0..workers).map(|_| Vec::new()).collect();
+        for src_txs in txs.iter_mut() {
+            for rx_col in rx_cols.iter_mut() {
+                let (tx, rx) = sync_channel(depth.max(1));
+                src_txs.push(tx);
+                rx_col.push(rx);
+            }
         }
-        Ok(rxs
+        Ok(txs
             .into_iter()
-            .enumerate()
-            .map(|(id, rx)| {
+            .zip(rx_cols)
+            .map(|(peers, rxs)| {
                 Box::new(InProcessEndpoint {
-                    id,
-                    peers: txs.clone(),
-                    rx,
-                    eos_left: workers,
+                    peers,
+                    rxs,
                     timeout,
+                    pool: Arc::clone(pool),
                 }) as Box<dyn Endpoint>
             })
             .collect())
@@ -151,78 +255,162 @@ impl Transport for InProcess {
 }
 
 struct InProcessEndpoint {
-    id: usize,
-    peers: Vec<SyncSender<Msg>>,
-    rx: Receiver<Msg>,
-    eos_left: usize,
+    peers: Vec<SyncSender<PairMsg>>,
+    rxs: Vec<Receiver<PairMsg>>,
     timeout: Duration,
+    pool: Arc<BufPool>,
 }
 
 impl Endpoint for InProcessEndpoint {
     fn split(self: Box<Self>) -> (Box<dyn BatchSender>, Box<dyn BatchReceiver>) {
         (
             Box::new(InProcessSender {
-                id: self.id,
                 peers: self.peers,
+                pool: self.pool,
             }),
             Box::new(InProcessReceiver {
-                rx: self.rx,
-                eos_left: self.eos_left,
+                peers: self
+                    .rxs
+                    .into_iter()
+                    .map(|rx| Peer {
+                        rx,
+                        state: PeerState::Live,
+                    })
+                    .collect(),
                 timeout: self.timeout,
+                cursor: 0,
             }),
         )
     }
 }
 
 struct InProcessSender {
-    id: usize,
-    peers: Vec<SyncSender<Msg>>,
+    peers: Vec<SyncSender<PairMsg>>,
+    pool: Arc<BufPool>,
 }
 
 impl BatchSender for InProcessSender {
     fn send(&mut self, dest: usize, frame: Vec<u8>) -> Result<(), RuntimeError> {
         self.peers[dest]
-            .send((self.id, Some(frame)))
+            .send(Some(frame))
             .map_err(|_| RuntimeError::Disconnected(format!("worker {dest} inbox closed")))
+    }
+
+    fn send_vectored(
+        &mut self,
+        dest: usize,
+        header: &[u8],
+        payload: Payload<'_>,
+    ) -> Result<u64, RuntimeError> {
+        // Channels ship owned messages, so the frame is assembled — but
+        // in a pooled buffer that the receive side recycles, so steady
+        // state allocates nothing.
+        let mut frame = self.pool.acquire();
+        assemble_frame(&mut frame, header, &payload);
+        let len = frame.len() as u64;
+        self.send(dest, frame)?;
+        Ok(len)
     }
 
     fn finish(&mut self) -> Result<(), RuntimeError> {
         for tx in &self.peers {
             // A closed inbox means that peer is already gone; it cannot
             // be waiting for our end-of-stream marker.
-            let _ = tx.send((self.id, None));
+            let _ = tx.send(None);
         }
         Ok(())
     }
 }
 
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum PeerState {
+    /// Still expected to produce frames or an end-of-stream marker.
+    Live,
+    /// Signalled end-of-stream; its channel is done.
+    Eos,
+    /// Hung up without end-of-stream (the peer died mid-shuffle).
+    Dead,
+}
+
+struct Peer {
+    rx: Receiver<PairMsg>,
+    state: PeerState,
+}
+
+/// Select-style demux over the per-pair channels: one loop round-robins
+/// `try_recv` across all live peers, so the whole inbox costs a single
+/// receive thread regardless of mesh width.
 struct InProcessReceiver {
-    rx: Receiver<Msg>,
-    eos_left: usize,
+    peers: Vec<Peer>,
     timeout: Duration,
+    cursor: usize,
 }
 
 impl BatchReceiver for InProcessReceiver {
     fn recv(&mut self) -> Result<Option<(usize, Vec<u8>)>, RuntimeError> {
-        while self.eos_left > 0 {
-            match self.rx.recv_timeout(self.timeout) {
-                Ok((src, Some(frame))) => return Ok(Some((src, frame))),
-                Ok((_, None)) => self.eos_left -= 1,
-                Err(RecvTimeoutError::Timeout) => {
-                    return Err(RuntimeError::Timeout(format!(
-                        "no batch within {:?}; {} peer(s) never finished",
-                        self.timeout, self.eos_left
-                    )));
+        let p = self.peers.len();
+        let deadline = Instant::now() + self.timeout;
+        let mut idle_rounds = 0u32;
+        loop {
+            let mut live = 0usize;
+            let mut dead = 0usize;
+            let mut progressed = false;
+            for step in 0..p {
+                let src = (self.cursor + step) % p;
+                let peer = &mut self.peers[src];
+                match peer.state {
+                    PeerState::Eos => continue,
+                    PeerState::Dead => {
+                        dead += 1;
+                        continue;
+                    }
+                    PeerState::Live => {}
                 }
-                Err(RecvTimeoutError::Disconnected) => {
-                    return Err(RuntimeError::Disconnected(format!(
-                        "{} peer(s) dropped before end-of-stream",
-                        self.eos_left
-                    )));
+                match peer.rx.try_recv() {
+                    Ok(Some(frame)) => {
+                        // Resume the scan *after* this peer next time so
+                        // one chatty peer cannot starve the others.
+                        self.cursor = (src + 1) % p;
+                        return Ok(Some((src, frame)));
+                    }
+                    Ok(None) => {
+                        peer.state = PeerState::Eos;
+                        progressed = true;
+                    }
+                    Err(TryRecvError::Empty) => live += 1,
+                    Err(TryRecvError::Disconnected) => {
+                        peer.state = PeerState::Dead;
+                        dead += 1;
+                        progressed = true;
+                    }
                 }
             }
+            if live == 0 {
+                if dead == 0 {
+                    return Ok(None); // every peer reached end-of-stream
+                }
+                return Err(RuntimeError::Disconnected(format!(
+                    "{dead} peer(s) dropped before end-of-stream"
+                )));
+            }
+            if progressed {
+                idle_rounds = 0;
+                continue;
+            }
+            if Instant::now() >= deadline {
+                let outstanding = self
+                    .peers
+                    .iter()
+                    .filter(|peer| peer.state != PeerState::Eos)
+                    .count();
+                return Err(RuntimeError::Timeout(format!(
+                    "no batch within {:?}; {outstanding} peer(s) never finished",
+                    self.timeout
+                )));
+            }
+            idle_rounds += 1;
+            idle_backoff(idle_rounds);
         }
-        Ok(None)
     }
 }
 
@@ -231,9 +419,15 @@ mod tests {
     use super::*;
     use std::thread;
 
+    fn test_pool() -> Arc<BufPool> {
+        Arc::new(BufPool::detached())
+    }
+
     #[test]
     fn in_process_mesh_round_trips_frames() {
-        let eps = InProcess.mesh(2, 4, Duration::from_secs(5)).expect("mesh");
+        let eps = InProcess
+            .mesh(2, 4, Duration::from_secs(5), &test_pool())
+            .expect("mesh");
         let mut eps = eps.into_iter();
         let a = eps.next().expect("endpoint 0");
         let b = eps.next().expect("endpoint 1");
@@ -268,7 +462,9 @@ mod tests {
 
     #[test]
     fn receiver_errors_when_peer_drops_without_eos() {
-        let eps = InProcess.mesh(2, 4, Duration::from_secs(5)).expect("mesh");
+        let eps = InProcess
+            .mesh(2, 4, Duration::from_secs(5), &test_pool())
+            .expect("mesh");
         let mut eps = eps.into_iter();
         let a = eps.next().expect("endpoint 0");
         let b = eps.next().expect("endpoint 1");
@@ -277,5 +473,47 @@ mod tests {
         tx.finish().expect("own eos still works");
         drop(tx);
         assert!(matches!(rx.recv(), Err(RuntimeError::Disconnected(_))));
+    }
+
+    #[test]
+    fn vectored_send_assembles_header_and_payload() {
+        let pool = test_pool();
+        let eps = InProcess
+            .mesh(1, 4, Duration::from_secs(5), &pool)
+            .expect("mesh");
+        let (mut tx, mut rx) = eps.into_iter().next().expect("endpoint").split();
+        let values = [1u64, u64::MAX];
+        let len = tx
+            .send_vectored(0, &[0xAA, 0xBB], Payload::Values(&values))
+            .expect("send");
+        assert_eq!(len, 2 + 16);
+        tx.finish().expect("finish");
+        drop(tx);
+        let (src, frame) = rx.recv().expect("recv").expect("frame");
+        assert_eq!(src, 0);
+        let mut expect = vec![0xAA, 0xBB];
+        expect.extend_from_slice(&1u64.to_le_bytes());
+        expect.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(frame, expect);
+        assert!(rx.recv().expect("eos").is_none());
+    }
+
+    #[test]
+    fn vectored_send_reuses_pooled_buffers() {
+        let pool = test_pool();
+        let eps = InProcess
+            .mesh(1, 4, Duration::from_secs(5), &pool)
+            .expect("mesh");
+        let (mut tx, mut rx) = eps.into_iter().next().expect("endpoint").split();
+        for _ in 0..3 {
+            tx.send_vectored(0, &[1], Payload::Bytes(&[2, 3]))
+                .expect("send");
+            let (_, frame) = rx.recv().expect("recv").expect("frame");
+            pool.release(frame); // what the exchange drain does post-decode
+        }
+        assert!(
+            pool.idle() >= 1,
+            "frames must cycle back onto the free list"
+        );
     }
 }

@@ -213,6 +213,30 @@ fn obs_counters_reconcile_with_shuffle_tallies() {
         );
         assert!(reg.get("runtime.tx.batches") > Some(0), "{kind}");
         assert_eq!(reg.get("runtime.rx.decode_errors"), Some(0), "{kind}");
+        // With compression off the raw (uncompressed-equivalent) tally
+        // equals the on-wire tally, both as a counter and on the outcome.
+        assert_eq!(
+            reg.get("runtime.tx.bytes_raw"),
+            Some(out.bytes_sent),
+            "{kind}: raw == sent when compression is off"
+        );
+        assert_eq!(out.bytes_sent_raw, out.bytes_sent, "{kind}");
+        // The event-loop demux runs exactly one receive thread per worker
+        // (the old design spawned one per peer: workers * workers).
+        assert_eq!(
+            reg.get("runtime.rx.threads"),
+            Some(workers as u64),
+            "{kind}: one receive loop per worker"
+        );
+        // Every batch frame passes through the pool exactly once (the
+        // sending InProcess path or the receiving Tcp path acquires it,
+        // the drain releases it), so pool traffic reconciles with the
+        // batch count.
+        assert_eq!(
+            reg.get("runtime.buf.allocs").unwrap_or(0) + reg.get("runtime.buf.reuses").unwrap_or(0),
+            reg.get("runtime.tx.batches").unwrap_or(u64::MAX),
+            "{kind}: each frame is pooled exactly once"
+        );
         // One `shuffle` span per worker on the worker's own lane.
         let spans: Vec<u32> = trace
             .events()
@@ -224,6 +248,140 @@ fn obs_counters_reconcile_with_shuffle_tallies() {
         for id in 0..workers {
             assert!(spans.contains(&(id as u32)), "{kind}: lane {id} missing");
         }
+    }
+}
+
+#[test]
+fn both_wire_formats_match_local_and_count_copies_honestly() {
+    use parjoin_common::WireFormat;
+    use parjoin_obs::{Registry, TraceSink};
+    use parjoin_runtime::RuntimeObs;
+    let workers = 4;
+    let parts = make_parts(workers, 3, 900, 23);
+    let router = hash_router(workers, 5);
+    let local = run(TransportKind::Local, 128, &router, &parts);
+    for kind in streaming_kinds() {
+        for format in [WireFormat::Varint, WireFormat::Vectored] {
+            let reg = Registry::new();
+            let mut cfg = config(kind, workers, 128);
+            cfg.wire_format = format;
+            cfg.obs = RuntimeObs::on_registry(&reg, TraceSink::enabled());
+            let rt = Runtime::new(cfg).expect("runtime");
+            let out = rt
+                .shuffle(parts.clone(), Arc::clone(&router))
+                .expect("shuffle");
+            rt.shutdown().expect("shutdown");
+            assert_same_shuffle(&local, &out);
+            assert_eq!(out.bytes_sent, out.bytes_received, "{kind}/{format:?}");
+            let copied = reg.get("runtime.tx.copied_bytes").unwrap_or(u64::MAX);
+            match format {
+                // The legacy path materializes every frame in an owned
+                // encode buffer before handing it to the transport.
+                WireFormat::Varint => assert_eq!(
+                    copied, out.bytes_sent,
+                    "{kind}: varint copies every sent byte"
+                ),
+                // The vectored path writes straight from the arena slice.
+                WireFormat::Vectored => {
+                    assert_eq!(copied, 0, "{kind}: vectored sends copy nothing");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn buffer_pool_recycles_frames_across_sequential_shuffles() {
+    use parjoin_obs::{Registry, TraceSink};
+    use parjoin_runtime::RuntimeObs;
+    let workers = 3;
+    let parts = make_parts(workers, 2, 600, 17);
+    let router = hash_router(workers, 2);
+    for kind in streaming_kinds() {
+        let reg = Registry::new();
+        let mut cfg = config(kind, workers, 64);
+        cfg.obs = RuntimeObs::on_registry(&reg, TraceSink::enabled());
+        let rt = Runtime::new(cfg).expect("runtime");
+        // Within one shuffle every frame may still be in flight when the
+        // next is acquired, so reuse is not guaranteed — but the second
+        // shuffle starts with the first's frames all back in the pool.
+        let first = rt
+            .shuffle(parts.clone(), Arc::clone(&router))
+            .expect("shuffle 1");
+        let second = rt
+            .shuffle(parts.clone(), Arc::clone(&router))
+            .expect("shuffle 2");
+        rt.shutdown().expect("shutdown");
+        assert_same_shuffle(&first, &second);
+        let reuses = reg.get("runtime.buf.reuses").unwrap_or(0);
+        let allocs = reg.get("runtime.buf.allocs").unwrap_or(0);
+        assert!(
+            reuses > 0,
+            "{kind}: second shuffle must recycle pooled buffers (allocs={allocs})"
+        );
+        assert_eq!(
+            allocs + reuses,
+            reg.get("runtime.tx.batches").unwrap_or(u64::MAX),
+            "{kind}: pool traffic reconciles with batch count"
+        );
+    }
+}
+
+/// Partitions whose columns are sorted runs — the shape a shuffle of a
+/// sorted relation produces, and the case delta+varint compression is
+/// built for.
+fn make_sorted_parts(workers: usize, rows: usize) -> Vec<Relation> {
+    let mut parts: Vec<Relation> = (0..workers).map(|_| Relation::new(2)).collect();
+    for i in 0..rows {
+        let v = i as u64;
+        parts[i % workers].push_row(&[v, v * 3]);
+    }
+    parts
+}
+
+#[test]
+fn compression_shrinks_sorted_shuffles_without_changing_results() {
+    use parjoin_obs::{Registry, TraceSink};
+    use parjoin_runtime::RuntimeObs;
+    let workers = 4;
+    let parts = make_sorted_parts(workers, 8000);
+    // Range-partition so each destination receives contiguous sorted
+    // runs (hash-partitioning would shred the deltas).
+    let router: Router = Arc::new(move |_w, row, dests| {
+        dests.push((row[0] as usize * workers / 8000).min(workers - 1));
+    });
+    let local = run(TransportKind::Local, 1024, &router, &parts);
+    for kind in streaming_kinds() {
+        let raw = run(kind, 1024, &router, &parts);
+        assert_same_shuffle(&local, &raw);
+
+        let reg = Registry::new();
+        let mut cfg = config(kind, workers, 1024);
+        cfg.wire_compression = true;
+        cfg.obs = RuntimeObs::on_registry(&reg, TraceSink::enabled());
+        let rt = Runtime::new(cfg).expect("runtime");
+        let packed = rt
+            .shuffle(parts.clone(), Arc::clone(&router))
+            .expect("shuffle");
+        rt.shutdown().expect("shutdown");
+        assert_same_shuffle(&local, &packed);
+        assert_eq!(packed.bytes_sent, packed.bytes_received, "{kind}");
+        // The raw tally is what the frames would have cost uncompressed;
+        // sorted columns must shrink at least 1.5x.
+        assert_eq!(packed.bytes_sent_raw, raw.bytes_sent, "{kind}");
+        assert_eq!(
+            reg.get("runtime.tx.bytes_raw"),
+            Some(packed.bytes_sent_raw),
+            "{kind}"
+        );
+        let ratio = packed.bytes_sent_raw as f64 / packed.bytes_sent as f64;
+        assert!(
+            ratio >= 1.5,
+            "{kind}: sorted columns should compress >= 1.5x, got {ratio:.2}x \
+             ({} raw vs {} sent)",
+            packed.bytes_sent_raw,
+            packed.bytes_sent
+        );
     }
 }
 

@@ -56,7 +56,7 @@ pub use parjoin_serve as serve;
 
 /// The names most programs need.
 pub mod prelude {
-    pub use parjoin_common::{Database, Relation};
+    pub use parjoin_common::{Database, Relation, WireFormat};
     pub use parjoin_core::hypercube::{HcConfig, ShareProblem};
     pub use parjoin_core::order::{best_order, OrderCostModel};
     pub use parjoin_core::tributary::{
