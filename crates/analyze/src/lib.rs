@@ -82,6 +82,28 @@ pub fn analyze(spec: &PlanSpec<'_>) -> Vec<Diagnostic> {
     out
 }
 
+/// Pre-flight gate over [`analyze`]: `Ok(diags)` when the plan carries
+/// no errors (warnings ride along), `Err(diags)` when at least one
+/// diagnostic is an error and the plan must be refused.
+///
+/// This is the single entry point used on both ends of the wire — the
+/// coordinator vets a plan before serializing fragments, and each
+/// worker re-runs the same gate on the spec it rebuilds from a decoded
+/// fragment, so a corrupted or stale fragment is refused before any
+/// tuple moves.
+///
+/// # Errors
+/// The full diagnostic list (errors and warnings) when any diagnostic
+/// has error severity.
+pub fn preflight(spec: &PlanSpec<'_>) -> Result<Vec<Diagnostic>, Vec<Diagnostic>> {
+    let diags = analyze(spec);
+    if has_errors(&diags) {
+        Err(diags)
+    } else {
+        Ok(diags)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

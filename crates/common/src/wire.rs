@@ -41,6 +41,8 @@
 //! per batch in process). Empty batches (zero rows) and nullary rows
 //! (zero arity, boolean-query relations) round-trip exactly in both.
 
+pub mod control;
+
 use crate::{Relation, Value};
 use std::fmt;
 

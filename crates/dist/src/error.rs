@@ -1,0 +1,100 @@
+//! Typed failures of the distributed control plane.
+
+use parjoin_common::wire::control::ControlError;
+use parjoin_engine::EngineError;
+use std::fmt;
+use std::time::Duration;
+
+/// Failures raised by the coordinator/worker control plane.
+///
+/// Every fault the mesh can inject — a worker that never comes up, a
+/// peer that dies mid-handshake, a coordinator that disappears
+/// mid-stream — surfaces as one of these variants within its configured
+/// deadline; the control plane never hangs on a silent socket.
+#[derive(Debug)]
+pub enum DistError {
+    /// A socket-level failure on a control connection.
+    Io(String),
+    /// A malformed, truncated, or version-incompatible control frame.
+    Control(ControlError),
+    /// Local plan or execution failure (planning on the coordinator,
+    /// fragment execution on a worker).
+    Engine(String),
+    /// A worker reported failure through an `Error` control frame.
+    Worker {
+        /// The reporting worker's rank.
+        rank: usize,
+        /// The worker's error message (the display form of its typed
+        /// engine/runtime error).
+        message: String,
+    },
+    /// A blocking control-plane step exceeded its deadline.
+    Timeout {
+        /// What the control plane was waiting for.
+        what: String,
+        /// How long it waited before giving up.
+        waited: Duration,
+    },
+    /// The peer spoke PJCP but violated the request/response protocol
+    /// (unexpected frame kind, mismatched mesh width, …).
+    Protocol(String),
+    /// Cross-process metric reconciliation failed: the per-worker
+    /// tallies do not balance (e.g. bytes sent ≠ bytes received).
+    Reconcile(String),
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::Io(m) => write!(f, "control I/O error: {m}"),
+            DistError::Control(e) => write!(f, "control frame error: {e}"),
+            DistError::Engine(m) => write!(f, "engine error: {m}"),
+            DistError::Worker { rank, message } => {
+                write!(f, "worker {rank} reported failure: {message}")
+            }
+            DistError::Timeout { what, waited } => {
+                write!(f, "timed out after {waited:?} waiting for {what}")
+            }
+            DistError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            DistError::Reconcile(m) => write!(f, "metric reconciliation failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+impl From<ControlError> for DistError {
+    fn from(e: ControlError) -> Self {
+        DistError::Control(e)
+    }
+}
+
+impl From<EngineError> for DistError {
+    fn from(e: EngineError) -> Self {
+        DistError::Engine(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failing_party() {
+        let msg = DistError::Worker {
+            rank: 2,
+            message: "mesh handshake timed out".to_string(),
+        }
+        .to_string();
+        assert!(msg.contains("worker 2"), "{msg}");
+        assert!(msg.contains("handshake"), "{msg}");
+
+        let msg = DistError::Timeout {
+            what: "Ready from 127.0.0.1:9999".to_string(),
+            waited: Duration::from_millis(250),
+        }
+        .to_string();
+        assert!(msg.contains("127.0.0.1:9999"), "{msg}");
+        assert!(msg.contains("250ms"), "{msg}");
+    }
+}

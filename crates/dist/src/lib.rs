@@ -1,0 +1,24 @@
+//! Distributed execution of parallel join plans: a coordinator that
+//! plans queries and ships per-rank [`parjoin_engine::Fragment`]s over
+//! the PJCP control protocol, and workers that join the TCP data mesh,
+//! execute their fragment, and stream results back.
+//!
+//! The crate deliberately contains no planning or join logic of its
+//! own — the coordinator calls [`parjoin_engine::plan_fragments`] and
+//! workers call [`parjoin_engine::remote::execute_fragment`], so a
+//! multi-process run routes and joins with literally the same code as
+//! `Transport::Local`, making byte-identical output a construction
+//! property rather than a hope.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coordinator;
+pub mod error;
+pub mod proto;
+pub mod worker;
+
+pub use coordinator::{RemoteCluster, RemoteRun};
+pub use error::DistError;
+pub use proto::WorkerStats;
+pub use worker::WorkerServer;

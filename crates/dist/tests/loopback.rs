@@ -1,0 +1,207 @@
+//! Multi-worker loopback integration: a coordinator and four worker
+//! servers in one process (separate threads, real TCP sockets for both
+//! control and data planes) must produce output byte-identical to the
+//! sequential `Transport::Local` engine for every shuffle×join
+//! configuration — and their cross-process metric tallies must
+//! reconcile exactly.
+
+use parjoin_dist::{RemoteCluster, WorkerServer};
+use parjoin_engine::{run_config, Cluster, JoinAlg, PlanOptions, ShuffleAlg};
+use std::time::Duration;
+
+fn all_configs() -> Vec<(ShuffleAlg, JoinAlg)> {
+    vec![
+        (ShuffleAlg::Regular, JoinAlg::Hash),
+        (ShuffleAlg::Regular, JoinAlg::Tributary),
+        (ShuffleAlg::Broadcast, JoinAlg::Hash),
+        (ShuffleAlg::Broadcast, JoinAlg::Tributary),
+        (ShuffleAlg::HyperCube, JoinAlg::Hash),
+        (ShuffleAlg::HyperCube, JoinAlg::Tributary),
+    ]
+}
+
+/// Binds `n` worker servers on loopback, spawns their serve loops, and
+/// returns the control address book plus the join handles.
+fn spawn_workers(
+    n: usize,
+) -> (
+    Vec<String>,
+    Vec<std::thread::JoinHandle<Result<(), parjoin_dist::DistError>>>,
+) {
+    let mut addrs = Vec::with_capacity(n);
+    let mut handles = Vec::with_capacity(n);
+    for _ in 0..n {
+        let server = WorkerServer::bind("127.0.0.1:0").expect("bind worker");
+        addrs.push(server.control_addr().expect("control addr").to_string());
+        handles.push(std::thread::spawn(move || server.serve()));
+    }
+    (addrs, handles)
+}
+
+/// The tentpole safety net: every paper configuration of Q1, executed by
+/// four worker servers over real sockets, is byte-identical to the
+/// Local run — same raw buffer, same arity, same tuple count — and the
+/// per-worker byte/batch tallies balance. All six configs run over ONE
+/// persistent worker session, so this also proves fragment-after-
+/// fragment reuse of the same mesh.
+#[test]
+fn six_configs_match_local_over_real_sockets() {
+    let spec = parjoin_datagen::workloads::q1();
+    let db = parjoin_datagen::workloads::Scale::tiny().db_for(spec.dataset, 7);
+    let cluster = Cluster::new(4).with_seed(11).with_batch_tuples(512);
+    let opts = PlanOptions {
+        collect_output: true,
+        ..Default::default()
+    };
+
+    let (addrs, handles) = spawn_workers(4);
+    let mut remote = RemoteCluster::connect(&addrs, Duration::from_secs(20)).expect("connect");
+    remote.reply_timeout = Some(Duration::from_secs(60));
+
+    for (s, j) in all_configs() {
+        let local = run_config(&spec.query, &db, &cluster, s, j, &opts)
+            .unwrap_or_else(|e| panic!("local {s:?}/{j:?}: {e}"));
+        let local_out = local.output.as_ref().expect("collected");
+
+        let run = remote
+            .run(&spec.query, &db, &cluster, s, j, &opts)
+            .unwrap_or_else(|e| panic!("remote {s:?}/{j:?}: {e}"));
+        assert_eq!(
+            local_out.arity(),
+            run.output.arity(),
+            "{s:?}/{j:?}: arity drifted"
+        );
+        assert_eq!(
+            local_out.raw(),
+            run.output.raw(),
+            "{s:?}/{j:?}: output not byte-identical to Local"
+        );
+        assert_eq!(
+            local.output_tuples, run.output_tuples,
+            "{s:?}/{j:?}: tuple tallies drifted"
+        );
+        run.reconcile()
+            .unwrap_or_else(|e| panic!("{s:?}/{j:?}: {e}"));
+        assert_eq!(run.workers.len(), 4, "{s:?}/{j:?}: missing worker stats");
+        let sent: u64 = run.workers.iter().map(|w| w.tuples_sent).sum();
+        assert_eq!(
+            local.tuples_shuffled, sent,
+            "{s:?}/{j:?}: shuffled-tuple tallies drifted"
+        );
+    }
+
+    remote.shutdown().expect("shutdown");
+    for h in handles {
+        h.join().expect("worker thread").expect("worker serve");
+    }
+}
+
+/// Projected-distinct heads (Q3's shape) survive the wire: the remote
+/// path must apply the coordinator-side distinct exactly like the Local
+/// gather does.
+#[test]
+fn distinct_output_matches_local() {
+    let spec = parjoin_datagen::workloads::q3();
+    let db = parjoin_datagen::workloads::Scale::tiny().db_for(spec.dataset, 7);
+    let cluster = Cluster::new(3).with_seed(11).with_batch_tuples(256);
+    let opts = PlanOptions {
+        collect_output: true,
+        distinct_output: true,
+        ..Default::default()
+    };
+
+    let (addrs, handles) = spawn_workers(3);
+    let mut remote = RemoteCluster::connect(&addrs, Duration::from_secs(20)).expect("connect");
+    remote.reply_timeout = Some(Duration::from_secs(60));
+
+    for (s, j) in [
+        (ShuffleAlg::Regular, JoinAlg::Hash),
+        (ShuffleAlg::HyperCube, JoinAlg::Tributary),
+    ] {
+        let local = run_config(&spec.query, &db, &cluster, s, j, &opts)
+            .unwrap_or_else(|e| panic!("local {s:?}/{j:?}: {e}"));
+        let run = remote
+            .run(&spec.query, &db, &cluster, s, j, &opts)
+            .unwrap_or_else(|e| panic!("remote {s:?}/{j:?}: {e}"));
+        assert_eq!(
+            local.output.as_ref().expect("collected").raw(),
+            run.output.raw(),
+            "{s:?}/{j:?}: distinct output drifted"
+        );
+        run.reconcile()
+            .unwrap_or_else(|e| panic!("{s:?}/{j:?}: {e}"));
+    }
+
+    remote.shutdown().expect("shutdown");
+    for h in handles {
+        h.join().expect("worker thread").expect("worker serve");
+    }
+}
+
+/// A refused fragment (unsupported option) leaves the session usable:
+/// the coordinator gets a typed `Worker` error, and the very next query
+/// on the same connections still runs and matches Local.
+#[test]
+fn refusal_keeps_the_session_alive() {
+    let spec = parjoin_datagen::workloads::q1();
+    let db = parjoin_datagen::workloads::Scale::tiny().db_for(spec.dataset, 7);
+    let cluster = Cluster::new(2).with_seed(11).with_batch_tuples(512);
+
+    let (addrs, handles) = spawn_workers(2);
+    let mut remote = RemoteCluster::connect(&addrs, Duration::from_secs(20)).expect("connect");
+    remote.reply_timeout = Some(Duration::from_secs(60));
+
+    // skew_resilient is coordinator-refused at planning time — exercise
+    // a worker-side refusal instead by shipping a fragment whose rank
+    // geometry the worker rejects: a mesh-width mismatch via a Cluster
+    // narrower than the connected mesh.
+    let narrow = Cluster::new(1).with_seed(11);
+    let opts = PlanOptions {
+        collect_output: true,
+        ..Default::default()
+    };
+    let err = remote
+        .run(
+            &spec.query,
+            &db,
+            &narrow,
+            ShuffleAlg::Regular,
+            JoinAlg::Hash,
+            &opts,
+        )
+        .expect_err("width mismatch must be refused");
+    assert!(
+        matches!(err, parjoin_dist::DistError::Protocol(_)),
+        "unexpected error: {err}"
+    );
+
+    // The session survives: the same connections run a real query next.
+    let local = run_config(
+        &spec.query,
+        &db,
+        &cluster,
+        ShuffleAlg::Regular,
+        JoinAlg::Hash,
+        &opts,
+    )
+    .expect("local");
+    let run = remote
+        .run(
+            &spec.query,
+            &db,
+            &cluster,
+            ShuffleAlg::Regular,
+            JoinAlg::Hash,
+            &opts,
+        )
+        .expect("remote after refusal");
+    assert_eq!(
+        local.output.as_ref().expect("collected").raw(),
+        run.output.raw()
+    );
+
+    remote.shutdown().expect("shutdown");
+    for h in handles {
+        h.join().expect("worker thread").expect("worker serve");
+    }
+}

@@ -1,0 +1,854 @@
+//! Plan fragments: the per-rank slice of a distributed plan that the
+//! coordinator serializes and ships to each worker process.
+//!
+//! A [`Fragment`] carries everything a worker needs to execute its
+//! share of one shuffle×join configuration *without* a database, a
+//! catalog, or an optimizer of its own: every global plan decision
+//! (effective join order, Tributary variable order, HyperCube shares,
+//! probe-thread count) is made **once** on the coordinator and shipped,
+//! so all ranks run the same deterministic step loop in lockstep and
+//! the multi-process result is byte-identical to the single-process
+//! `Transport::Local` run. The only things a worker recomputes are pure
+//! functions of the query itself (residual filters, join schemas).
+//!
+//! The wire form rides inside a `Fragment` control frame of the PJCP
+//! protocol (`parjoin_common::wire::control`): little-endian fixed-width
+//! scalars, length-prefixed strings and lists, and relations encoded
+//! with the same batch codec the data plane uses. [`Fragment::decode`]
+//! refuses truncated, malformed, or trailing-garbage payloads with
+//! typed [`ControlError`]s — and every decoded fragment is re-vetted by
+//! [`Fragment::preflight`] before a single tuple moves.
+
+use crate::cluster::Cluster;
+use crate::dist::DistRel;
+use crate::error::EngineError;
+use crate::plans::{greedy_join_order, rooted_order, JoinAlg, PlanOptions, ShuffleAlg, TrieLayout};
+use parjoin_analyze as analyze;
+use parjoin_common::wire::control::{self, ControlError, PayloadReader};
+use parjoin_common::wire::{decode_batch_into, encode_relation};
+use parjoin_common::{Relation, WireFormat};
+use parjoin_core::hypercube::{AtomShape, HcConfig, ShareProblem};
+use parjoin_core::order::{best_order, OrderCostModel};
+use parjoin_query::{resolve_atoms, Atom, CmpOp, ConjunctiveQuery, Filter, Operand, Term, VarId};
+
+/// One rank's share of a distributed plan, self-contained and
+/// serializable. See the module docs for the lockstep contract.
+#[derive(Debug, Clone)]
+pub struct Fragment {
+    /// This worker's rank in `0..workers`.
+    pub rank: u32,
+    /// Mesh width (number of worker processes).
+    pub workers: u32,
+    /// The cluster's hash seed — all ranks must agree or shuffles
+    /// scatter joining tuples apart.
+    pub seed: u64,
+    /// Shuffle algorithm of the configuration.
+    pub shuffle: ShuffleAlg,
+    /// Local join algorithm of the configuration.
+    pub join: JoinAlg,
+    /// Trie representation for Tributary probes.
+    pub trie_layout: TrieLayout,
+    /// Batch encoding for the data-plane exchange.
+    pub wire_format: WireFormat,
+    /// Compress shuffled batches on the wire.
+    pub wire_compression: bool,
+    /// Tuples per exchange batch.
+    pub batch_tuples: u32,
+    /// Per-worker probe thread count (decided on the coordinator so a
+    /// heterogeneous mesh still probes with identical parallelism).
+    pub probe_threads: u32,
+    /// Per-worker memory budget in tuples, if any.
+    pub memory_budget: Option<u64>,
+    /// The coordinator's host core count (pre-flight context only).
+    pub host_cores: Option<u64>,
+    /// Effective left-deep join order (atom indices) — explicit or the
+    /// coordinator's greedy choice, never recomputed on the worker.
+    pub join_order: Vec<usize>,
+    /// Order of the local multiway join: [`Self::join_order`] except
+    /// under broadcast, where it is rooted at the partitioned atom.
+    pub local_order: Vec<usize>,
+    /// Tributary global variable order (Tributary one-round plans).
+    pub tj_order: Option<Vec<VarId>>,
+    /// The HyperCube share assignment (HyperCube plans).
+    pub hc_config: Option<HcConfig>,
+    /// Global cardinality of each resolved atom.
+    pub cards: Vec<u64>,
+    /// The query, shipped structurally (re-parsing source text could
+    /// renumber variables; the numbered form is the plan's identity).
+    pub query: ConjunctiveQuery,
+    /// Schema (variables) of each resolved atom.
+    pub atom_vars: Vec<Vec<VarId>>,
+    /// This rank's round-robin seed partition of each resolved atom.
+    pub parts: Vec<Relation>,
+    /// Data-plane addresses of every rank, index-aligned with ranks;
+    /// the worker dials these to form the exchange mesh.
+    pub data_addrs: Vec<String>,
+}
+
+fn put_u32_list(buf: &mut Vec<u8>, vs: impl ExactSizeIterator<Item = u32>) {
+    control::put_u32(buf, vs.len() as u32);
+    for v in vs {
+        control::put_u32(buf, v);
+    }
+}
+
+fn read_u32_list(r: &mut PayloadReader<'_>) -> Result<Vec<u32>, ControlError> {
+    let n = r.u32()? as usize;
+    (0..n).map(|_| r.u32()).collect()
+}
+
+fn cmp_op_code(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Lt => 0,
+        CmpOp::Le => 1,
+        CmpOp::Gt => 2,
+        CmpOp::Ge => 3,
+        CmpOp::Eq => 4,
+        CmpOp::Ne => 5,
+    }
+}
+
+fn cmp_op_from(code: u8) -> Result<CmpOp, ControlError> {
+    Ok(match code {
+        0 => CmpOp::Lt,
+        1 => CmpOp::Le,
+        2 => CmpOp::Gt,
+        3 => CmpOp::Ge,
+        4 => CmpOp::Eq,
+        5 => CmpOp::Ne,
+        other => {
+            return Err(ControlError::Malformed(format!(
+                "unknown comparison op code {other}"
+            )))
+        }
+    })
+}
+
+fn put_relation(buf: &mut Vec<u8>, rel: &Relation) {
+    control::put_u32(buf, rel.arity() as u32);
+    let mut body = Vec::new();
+    encode_relation(rel, &mut body);
+    control::put_u32(buf, body.len() as u32);
+    buf.extend_from_slice(&body);
+}
+
+fn read_relation(r: &mut PayloadReader<'_>) -> Result<Relation, ControlError> {
+    let arity = r.u32()? as usize;
+    let len = r.u32()? as usize;
+    let body = r.take(len)?;
+    let mut rel = Relation::new(arity);
+    decode_batch_into(body, &mut rel)
+        .map_err(|e| ControlError::Malformed(format!("relation body: {e}")))?;
+    Ok(rel)
+}
+
+impl Fragment {
+    fn encode_query(&self, buf: &mut Vec<u8>) {
+        let q = &self.query;
+        control::put_str(buf, &q.name);
+        control::put_u32(buf, q.var_names.len() as u32);
+        for n in &q.var_names {
+            control::put_str(buf, n);
+        }
+        put_u32_list(buf, q.head.iter().map(|v| v.0));
+        control::put_u32(buf, q.atoms.len() as u32);
+        for atom in &q.atoms {
+            control::put_str(buf, &atom.relation);
+            control::put_u32(buf, atom.terms.len() as u32);
+            for t in &atom.terms {
+                match t {
+                    Term::Var(v) => {
+                        control::put_u8(buf, 0);
+                        control::put_u64(buf, u64::from(v.0));
+                    }
+                    Term::Const(c) => {
+                        control::put_u8(buf, 1);
+                        control::put_u64(buf, *c);
+                    }
+                }
+            }
+        }
+        control::put_u32(buf, q.filters.len() as u32);
+        for f in &q.filters {
+            control::put_u32(buf, f.left.0);
+            control::put_u8(buf, cmp_op_code(f.op));
+            match f.right {
+                Operand::Var(v) => {
+                    control::put_u8(buf, 0);
+                    control::put_u64(buf, u64::from(v.0));
+                }
+                Operand::Const(c) => {
+                    control::put_u8(buf, 1);
+                    control::put_u64(buf, c);
+                }
+            }
+        }
+    }
+
+    fn decode_query(r: &mut PayloadReader<'_>) -> Result<ConjunctiveQuery, ControlError> {
+        let name = r.str()?;
+        let n_vars = r.u32()? as usize;
+        let var_names = (0..n_vars)
+            .map(|_| r.str())
+            .collect::<Result<Vec<_>, _>>()?;
+        let head = read_u32_list(r)?.into_iter().map(VarId).collect();
+        let n_atoms = r.u32()? as usize;
+        let mut atoms = Vec::with_capacity(n_atoms);
+        for _ in 0..n_atoms {
+            let relation = r.str()?;
+            let n_terms = r.u32()? as usize;
+            let mut terms = Vec::with_capacity(n_terms);
+            for _ in 0..n_terms {
+                let tag = r.u8()?;
+                let v = r.u64()?;
+                terms.push(match tag {
+                    0 => Term::Var(VarId(u32::try_from(v).map_err(|_| {
+                        ControlError::Malformed(format!("variable id {v} overflows u32"))
+                    })?)),
+                    1 => Term::Const(v),
+                    other => {
+                        return Err(ControlError::Malformed(format!("unknown term tag {other}")))
+                    }
+                });
+            }
+            atoms.push(Atom { relation, terms });
+        }
+        let n_filters = r.u32()? as usize;
+        let mut filters = Vec::with_capacity(n_filters);
+        for _ in 0..n_filters {
+            let left = VarId(r.u32()?);
+            let op = cmp_op_from(r.u8()?)?;
+            let tag = r.u8()?;
+            let v = r.u64()?;
+            let right = match tag {
+                0 => Operand::Var(VarId(u32::try_from(v).map_err(|_| {
+                    ControlError::Malformed(format!("variable id {v} overflows u32"))
+                })?)),
+                1 => Operand::Const(v),
+                other => {
+                    return Err(ControlError::Malformed(format!(
+                        "unknown operand tag {other}"
+                    )))
+                }
+            };
+            filters.push(Filter { left, op, right });
+        }
+        Ok(ConjunctiveQuery {
+            name,
+            head,
+            atoms,
+            filters,
+            var_names,
+        })
+    }
+
+    /// Serializes the fragment as a PJCP `Fragment` frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        control::put_u32(&mut buf, self.rank);
+        control::put_u32(&mut buf, self.workers);
+        control::put_u64(&mut buf, self.seed);
+        control::put_u8(
+            &mut buf,
+            match self.shuffle {
+                ShuffleAlg::Regular => 0,
+                ShuffleAlg::Broadcast => 1,
+                ShuffleAlg::HyperCube => 2,
+            },
+        );
+        control::put_u8(
+            &mut buf,
+            match self.join {
+                JoinAlg::Hash => 0,
+                JoinAlg::Tributary => 1,
+            },
+        );
+        control::put_u8(
+            &mut buf,
+            match self.trie_layout {
+                TrieLayout::Row => 0,
+                TrieLayout::Columnar => 1,
+            },
+        );
+        control::put_u8(
+            &mut buf,
+            match self.wire_format {
+                WireFormat::Varint => 0,
+                WireFormat::Vectored => 1,
+            },
+        );
+        control::put_u8(&mut buf, u8::from(self.wire_compression));
+        control::put_u32(&mut buf, self.batch_tuples);
+        control::put_u32(&mut buf, self.probe_threads);
+        control::put_opt_u64(&mut buf, self.memory_budget);
+        control::put_opt_u64(&mut buf, self.host_cores);
+        put_u32_list(&mut buf, self.join_order.iter().map(|&i| i as u32));
+        put_u32_list(&mut buf, self.local_order.iter().map(|&i| i as u32));
+        match &self.tj_order {
+            None => control::put_u8(&mut buf, 0),
+            Some(order) => {
+                control::put_u8(&mut buf, 1);
+                put_u32_list(&mut buf, order.iter().map(|v| v.0));
+            }
+        }
+        match &self.hc_config {
+            None => control::put_u8(&mut buf, 0),
+            Some(cfg) => {
+                control::put_u8(&mut buf, 1);
+                control::put_u32(&mut buf, cfg.vars().len() as u32);
+                for (v, &d) in cfg.vars().iter().zip(cfg.dims()) {
+                    control::put_u32(&mut buf, v.0);
+                    control::put_u32(&mut buf, d as u32);
+                }
+            }
+        }
+        control::put_u32(&mut buf, self.cards.len() as u32);
+        for &c in &self.cards {
+            control::put_u64(&mut buf, c);
+        }
+        self.encode_query(&mut buf);
+        control::put_u32(&mut buf, self.atom_vars.len() as u32);
+        for vs in &self.atom_vars {
+            put_u32_list(&mut buf, vs.iter().map(|v| v.0));
+        }
+        control::put_u32(&mut buf, self.parts.len() as u32);
+        for p in &self.parts {
+            put_relation(&mut buf, p);
+        }
+        control::put_u32(&mut buf, self.data_addrs.len() as u32);
+        for a in &self.data_addrs {
+            control::put_str(&mut buf, a);
+        }
+        buf
+    }
+
+    /// Decodes a fragment from a PJCP `Fragment` frame payload.
+    ///
+    /// # Errors
+    /// [`ControlError::Truncated`] / [`ControlError::Malformed`] on a
+    /// short payload, an unknown enum code, or trailing bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Fragment, ControlError> {
+        let mut r = PayloadReader::new(bytes);
+        let rank = r.u32()?;
+        let workers = r.u32()?;
+        let seed = r.u64()?;
+        let shuffle = match r.u8()? {
+            0 => ShuffleAlg::Regular,
+            1 => ShuffleAlg::Broadcast,
+            2 => ShuffleAlg::HyperCube,
+            other => {
+                return Err(ControlError::Malformed(format!(
+                    "unknown shuffle code {other}"
+                )))
+            }
+        };
+        let join = match r.u8()? {
+            0 => JoinAlg::Hash,
+            1 => JoinAlg::Tributary,
+            other => {
+                return Err(ControlError::Malformed(format!(
+                    "unknown join code {other}"
+                )))
+            }
+        };
+        let trie_layout = match r.u8()? {
+            0 => TrieLayout::Row,
+            1 => TrieLayout::Columnar,
+            other => {
+                return Err(ControlError::Malformed(format!(
+                    "unknown trie layout code {other}"
+                )))
+            }
+        };
+        let wire_format = match r.u8()? {
+            0 => WireFormat::Varint,
+            1 => WireFormat::Vectored,
+            other => {
+                return Err(ControlError::Malformed(format!(
+                    "unknown wire format code {other}"
+                )))
+            }
+        };
+        let wire_compression = match r.u8()? {
+            0 => false,
+            1 => true,
+            other => {
+                return Err(ControlError::Malformed(format!(
+                    "invalid bool byte {other}"
+                )))
+            }
+        };
+        let batch_tuples = r.u32()?;
+        let probe_threads = r.u32()?;
+        let memory_budget = r.opt_u64()?;
+        let host_cores = r.opt_u64()?;
+        let join_order: Vec<usize> = read_u32_list(&mut r)?
+            .into_iter()
+            .map(|v| v as usize)
+            .collect();
+        let local_order: Vec<usize> = read_u32_list(&mut r)?
+            .into_iter()
+            .map(|v| v as usize)
+            .collect();
+        let tj_order = match r.u8()? {
+            0 => None,
+            1 => Some(read_u32_list(&mut r)?.into_iter().map(VarId).collect()),
+            other => {
+                return Err(ControlError::Malformed(format!(
+                    "invalid option tag {other} (expected 0 or 1)"
+                )))
+            }
+        };
+        let hc_config = match r.u8()? {
+            0 => None,
+            1 => {
+                let k = r.u32()? as usize;
+                let mut vars = Vec::with_capacity(k);
+                let mut dims = Vec::with_capacity(k);
+                for _ in 0..k {
+                    vars.push(VarId(r.u32()?));
+                    let d = r.u32()? as usize;
+                    if d == 0 {
+                        return Err(ControlError::Malformed(
+                            "hypercube dimension of zero".to_string(),
+                        ));
+                    }
+                    dims.push(d);
+                }
+                Some(HcConfig::new(vars, dims))
+            }
+            other => {
+                return Err(ControlError::Malformed(format!(
+                    "invalid option tag {other} (expected 0 or 1)"
+                )))
+            }
+        };
+        let n_cards = r.u32()? as usize;
+        let cards = (0..n_cards)
+            .map(|_| r.u64())
+            .collect::<Result<Vec<_>, _>>()?;
+        let query = Self::decode_query(&mut r)?;
+        let n_atom_vars = r.u32()? as usize;
+        let atom_vars = (0..n_atom_vars)
+            .map(|_| Ok(read_u32_list(&mut r)?.into_iter().map(VarId).collect()))
+            .collect::<Result<Vec<Vec<VarId>>, ControlError>>()?;
+        let n_parts = r.u32()? as usize;
+        let parts = (0..n_parts)
+            .map(|_| read_relation(&mut r))
+            .collect::<Result<Vec<_>, _>>()?;
+        let n_addrs = r.u32()? as usize;
+        let data_addrs = (0..n_addrs)
+            .map(|_| r.str())
+            .collect::<Result<Vec<_>, _>>()?;
+        r.done()?;
+        Ok(Fragment {
+            rank,
+            workers,
+            seed,
+            shuffle,
+            join,
+            trie_layout,
+            wire_format,
+            wire_compression,
+            batch_tuples,
+            probe_threads,
+            memory_budget,
+            host_cores,
+            join_order,
+            local_order,
+            tj_order,
+            hc_config,
+            cards,
+            query,
+            atom_vars,
+            parts,
+            data_addrs,
+        })
+    }
+
+    /// The analyzer's [`PlanSpec`](analyze::PlanSpec) for this fragment
+    /// — the same spec the coordinator vetted before shipping, rebuilt
+    /// from the decoded bytes so a worker re-runs the identical
+    /// pre-flight gate on what actually arrived.
+    pub fn plan_spec(&self) -> analyze::PlanSpec<'_> {
+        analyze::PlanSpec {
+            query: &self.query,
+            cards: self.cards.clone(),
+            workers: self.workers as usize,
+            memory_budget: self.memory_budget,
+            shuffle: self.shuffle.into(),
+            join: self.join.into(),
+            join_order: Some(self.join_order.clone()),
+            hc_config: self.hc_config.clone(),
+            tj_order: self.tj_order.clone(),
+            batch_tuples: Some(u64::from(self.batch_tuples)),
+            wire_format: self.wire_format,
+            max_frame_bytes: Some(u64::from(parjoin_runtime::transport::MAX_FRAME_BYTES)),
+            host_cores: self.host_cores.map(|c| c as usize),
+            seed: self.seed,
+        }
+    }
+
+    /// Re-runs the pre-flight analyzer on the decoded fragment and
+    /// sanity-checks the rank/mesh geometry. Workers call this before
+    /// joining the exchange mesh so a corrupt or stale fragment is
+    /// refused instead of executed.
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidPlan`] when the analyzer finds errors;
+    /// [`EngineError::Unsupported`] when the fragment's geometry is
+    /// inconsistent (rank out of range, address list of the wrong
+    /// width, atom lists out of alignment).
+    pub fn preflight(&self) -> Result<(), EngineError> {
+        if self.rank >= self.workers {
+            return Err(EngineError::Unsupported(format!(
+                "fragment rank {} outside mesh of {} workers",
+                self.rank, self.workers
+            )));
+        }
+        if self.data_addrs.len() != self.workers as usize {
+            return Err(EngineError::Unsupported(format!(
+                "fragment lists {} data addresses for {} workers",
+                self.data_addrs.len(),
+                self.workers
+            )));
+        }
+        let atoms = self.query.atoms.len();
+        if self.atom_vars.len() != atoms || self.parts.len() != atoms || self.cards.len() != atoms {
+            return Err(EngineError::Unsupported(format!(
+                "fragment atom lists out of alignment: query has {atoms} atoms, \
+                 {} schemas, {} partitions, {} cardinalities",
+                self.atom_vars.len(),
+                self.parts.len(),
+                self.cards.len()
+            )));
+        }
+        for (vs, p) in self.atom_vars.iter().zip(&self.parts) {
+            if vs.len() != p.arity() {
+                return Err(EngineError::Unsupported(format!(
+                    "fragment partition arity {} does not match its {}-variable schema",
+                    p.arity(),
+                    vs.len()
+                )));
+            }
+        }
+        analyze::preflight(&self.plan_spec()).map_err(EngineError::InvalidPlan)?;
+        Ok(())
+    }
+}
+
+/// Plans `query` for remote execution: makes every global decision the
+/// local `run_config` path would make (effective join order, Tributary
+/// variable order on the *pre-shuffle* seeded relations, HyperCube
+/// shares, broadcast root, probe threads), vets the plan with the
+/// pre-flight analyzer (and, with [`PlanOptions::certify`], the policy
+/// certifier), round-robin-seeds the base relations, and returns one
+/// [`Fragment`] per rank.
+///
+/// `data_addrs[r]` must be rank `r`'s data-plane listener address.
+///
+/// # Errors
+/// - [`EngineError::Unsupported`] for plan options the remote path does
+///   not carry (`skew_resilient`, `group_count`, `trace_path`) or a
+///   mis-sized address list.
+/// - [`EngineError::Resolve`] when the query references missing
+///   relations.
+/// - [`EngineError::InvalidPlan`] when the analyzer or certifier
+///   refuses the plan.
+pub fn plan_fragments(
+    query: &ConjunctiveQuery,
+    db: &parjoin_common::Database,
+    cluster: &Cluster,
+    shuffle_alg: ShuffleAlg,
+    join_alg: JoinAlg,
+    opts: &PlanOptions,
+    data_addrs: &[String],
+) -> Result<Vec<Fragment>, EngineError> {
+    if opts.skew_resilient {
+        return Err(EngineError::Unsupported(
+            "skew_resilient shuffles are not supported over the remote mesh".to_string(),
+        ));
+    }
+    if opts.group_count {
+        return Err(EngineError::Unsupported(
+            "group_count aggregation is not supported over the remote mesh".to_string(),
+        ));
+    }
+    if opts.trace_path.is_some() {
+        return Err(EngineError::Unsupported(
+            "trace capture is not supported over the remote mesh".to_string(),
+        ));
+    }
+    if data_addrs.len() != cluster.workers {
+        return Err(EngineError::Unsupported(format!(
+            "{} data addresses for a cluster of {} workers",
+            data_addrs.len(),
+            cluster.workers
+        )));
+    }
+
+    let (resolved, _residual) = resolve_atoms(query, db)?;
+    let atom_vars: Vec<Vec<VarId>> = resolved.iter().map(|a| a.vars.clone()).collect();
+    let cards: Vec<u64> = resolved.iter().map(|a| a.len() as u64).collect();
+    let join_order = opts.join_order.clone().unwrap_or_else(|| {
+        let shapes: Vec<(Vec<VarId>, &Relation)> = resolved
+            .iter()
+            .map(|a| (a.vars.clone(), a.rel.as_ref()))
+            .collect();
+        greedy_join_order(&shapes)
+    });
+
+    // The same pre-flight gate `run_config` applies, on the same spec —
+    // the *effective* join order is what gets vetted.
+    let spec = analyze::PlanSpec {
+        query,
+        cards: cards.clone(),
+        workers: cluster.workers,
+        memory_budget: cluster.memory_budget,
+        shuffle: shuffle_alg.into(),
+        join: join_alg.into(),
+        join_order: Some(join_order.clone()),
+        hc_config: opts.hc_config.clone(),
+        tj_order: opts.tj_order.clone(),
+        batch_tuples: Some(cluster.batch_tuples as u64),
+        wire_format: cluster.wire_format,
+        max_frame_bytes: Some(u64::from(parjoin_runtime::transport::MAX_FRAME_BYTES)),
+        host_cores: parjoin_common::threads::host_parallelism(),
+        seed: cluster.seed,
+    };
+    analyze::preflight(&spec).map_err(EngineError::InvalidPlan)?;
+    if opts.certify {
+        let (_planned, cert_diags) = analyze::certify_spec(&spec);
+        if analyze::has_errors(&cert_diags) {
+            return Err(EngineError::InvalidPlan(cert_diags));
+        }
+    }
+
+    // Initial placement, identical to the local path.
+    let seeded: Vec<DistRel> = resolved
+        .iter()
+        .map(|a| DistRel::round_robin(&a.rel, a.vars.clone(), cluster.workers))
+        .collect();
+
+    // Global plan decisions, computed exactly as the local executor
+    // computes them (run_one_round): the Tributary order is optimized on
+    // the gathered *pre-shuffle* relations so statistics see no
+    // replication; broadcast roots the local tree at the largest atom.
+    let tj_order: Option<Vec<VarId>> =
+        if join_alg == JoinAlg::Tributary && shuffle_alg != ShuffleAlg::Regular {
+            Some(opts.tj_order.clone().unwrap_or_else(|| {
+                let gathered: Vec<Relation> = seeded.iter().map(|d| d.gather()).collect();
+                let model_atoms: Vec<(&Relation, Vec<VarId>)> = gathered
+                    .iter()
+                    .zip(&atom_vars)
+                    .map(|(r, vs)| (r, vs.clone()))
+                    .collect();
+                let model = OrderCostModel::from_atoms(&model_atoms);
+                best_order(&model, &query.all_vars()).0
+            }))
+        } else {
+            None
+        };
+    let local_order = if shuffle_alg == ShuffleAlg::Broadcast {
+        // Queries have at least one atom (parser and analyzer both
+        // enforce it), so the argmax exists; 0 is unreachable.
+        let largest = (0..cards.len()).max_by_key(|&i| cards[i]).unwrap_or(0);
+        rooted_order(&atom_vars, largest)
+    } else {
+        join_order.clone()
+    };
+    let hc_config: Option<HcConfig> = if shuffle_alg == ShuffleAlg::HyperCube {
+        Some(opts.hc_config.clone().unwrap_or_else(|| {
+            let problem = ShareProblem {
+                vars: query.all_vars(),
+                atoms: atom_vars
+                    .iter()
+                    .zip(&cards)
+                    .map(|(vs, &c)| AtomShape {
+                        vars: vs.clone(),
+                        cardinality: c,
+                    })
+                    .collect(),
+            };
+            problem.optimize(cluster.workers)
+        }))
+    } else {
+        None
+    };
+    let probe_threads = opts.effective_probe_threads(cluster.workers) as u32;
+    let host_cores = parjoin_common::threads::host_parallelism().map(|c| c as u64);
+
+    Ok((0..cluster.workers)
+        .map(|rank| Fragment {
+            rank: rank as u32,
+            workers: cluster.workers as u32,
+            seed: cluster.seed,
+            shuffle: shuffle_alg,
+            join: join_alg,
+            trie_layout: opts.trie_layout,
+            wire_format: cluster.wire_format,
+            wire_compression: opts.wire_compression,
+            batch_tuples: cluster.batch_tuples as u32,
+            probe_threads,
+            memory_budget: cluster.memory_budget,
+            host_cores,
+            join_order: join_order.clone(),
+            local_order: local_order.clone(),
+            tj_order: tj_order.clone(),
+            hc_config: hc_config.clone(),
+            cards: cards.clone(),
+            query: query.clone(),
+            atom_vars: atom_vars.clone(),
+            parts: seeded.iter().map(|d| d.parts[rank].clone()).collect(),
+            data_addrs: data_addrs.to_vec(),
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parjoin_common::Database;
+    use parjoin_query::parser;
+
+    fn triangle_db() -> (ConjunctiveQuery, Database) {
+        let q = parser::parse("T(x, y, z) :- R(x, y), S(y, z), U(z, x)").unwrap();
+        let mut db = Database::new();
+        let edges = Relation::from_rows(
+            2,
+            (0..40u64)
+                .map(|i| [i, (i * 7 + 1) % 40])
+                .collect::<Vec<_>>()
+                .iter(),
+        );
+        db.insert("R", edges.clone());
+        db.insert("S", edges.clone());
+        db.insert("U", edges);
+        (q, db)
+    }
+
+    fn addrs(n: usize) -> Vec<String> {
+        (0..n).map(|r| format!("127.0.0.1:{}", 9000 + r)).collect()
+    }
+
+    fn fragments_for(s: ShuffleAlg, j: JoinAlg) -> Vec<Fragment> {
+        let (q, db) = triangle_db();
+        let cluster = Cluster::new(4).with_seed(11);
+        plan_fragments(&q, &db, &cluster, s, j, &PlanOptions::default(), &addrs(4)).unwrap()
+    }
+
+    #[test]
+    fn fragments_roundtrip_all_configs() {
+        for (s, j) in [
+            (ShuffleAlg::Regular, JoinAlg::Hash),
+            (ShuffleAlg::Regular, JoinAlg::Tributary),
+            (ShuffleAlg::Broadcast, JoinAlg::Hash),
+            (ShuffleAlg::Broadcast, JoinAlg::Tributary),
+            (ShuffleAlg::HyperCube, JoinAlg::Hash),
+            (ShuffleAlg::HyperCube, JoinAlg::Tributary),
+        ] {
+            for frag in fragments_for(s, j) {
+                let bytes = frag.encode();
+                let back = Fragment::decode(&bytes).unwrap();
+                // The codec is canonical: decode∘encode re-encodes to
+                // the identical bytes, which covers every field at once.
+                assert_eq!(bytes, back.encode(), "{s:?}/{j:?} round-trip drifted");
+                assert_eq!(frag.rank, back.rank);
+                assert_eq!(frag.join_order, back.join_order);
+                assert_eq!(frag.tj_order, back.tj_order);
+                assert_eq!(frag.hc_config, back.hc_config);
+                assert_eq!(
+                    frag.parts.iter().map(Relation::raw).collect::<Vec<_>>(),
+                    back.parts.iter().map(Relation::raw).collect::<Vec<_>>()
+                );
+                back.preflight().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn fragments_partition_the_seeded_data() {
+        let frags = fragments_for(ShuffleAlg::HyperCube, JoinAlg::Hash);
+        let total: usize = frags.iter().map(|f| f.parts[0].len()).sum();
+        assert_eq!(total, 40, "round-robin partitions cover the relation");
+        assert!(frags.iter().all(|f| f.workers == 4));
+        assert!(frags.iter().any(|f| f.hc_config.is_some()));
+    }
+
+    #[test]
+    fn truncated_fragment_is_a_typed_error() {
+        let frag = &fragments_for(ShuffleAlg::Regular, JoinAlg::Hash)[0];
+        let bytes = frag.encode();
+        let err = Fragment::decode(&bytes[..bytes.len() - 3]).unwrap_err();
+        assert!(
+            matches!(err, ControlError::Truncated(_)),
+            "want Truncated, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn trailing_garbage_is_a_typed_error() {
+        let frag = &fragments_for(ShuffleAlg::Regular, JoinAlg::Hash)[0];
+        let mut bytes = frag.encode();
+        bytes.push(0xAB);
+        let err = Fragment::decode(&bytes).unwrap_err();
+        assert!(
+            matches!(err, ControlError::Malformed(_)),
+            "want Malformed, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn corrupt_enum_code_is_a_typed_error() {
+        let frag = &fragments_for(ShuffleAlg::Regular, JoinAlg::Hash)[0];
+        let mut bytes = frag.encode();
+        bytes[16] = 99; // the shuffle-algorithm code
+        let err = Fragment::decode(&bytes).unwrap_err();
+        assert!(
+            matches!(err, ControlError::Malformed(_)),
+            "want Malformed, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn unsupported_options_are_refused() {
+        let (q, db) = triangle_db();
+        let cluster = Cluster::new(4);
+        for opts in [
+            PlanOptions {
+                skew_resilient: true,
+                ..Default::default()
+            },
+            PlanOptions {
+                group_count: true,
+                ..Default::default()
+            },
+            PlanOptions {
+                trace_path: Some("trace.json".into()),
+                ..Default::default()
+            },
+        ] {
+            let err = plan_fragments(
+                &q,
+                &db,
+                &cluster,
+                ShuffleAlg::Regular,
+                JoinAlg::Hash,
+                &opts,
+                &addrs(4),
+            )
+            .unwrap_err();
+            assert!(matches!(err, EngineError::Unsupported(_)), "got {err:?}");
+        }
+    }
+
+    #[test]
+    fn rank_geometry_is_checked() {
+        let mut frag = fragments_for(ShuffleAlg::Regular, JoinAlg::Hash)[0].clone();
+        frag.rank = 9;
+        assert!(matches!(
+            frag.preflight().unwrap_err(),
+            EngineError::Unsupported(_)
+        ));
+    }
+}

@@ -51,10 +51,13 @@ pub mod cluster;
 pub mod dist;
 pub mod error;
 pub mod exec;
+pub mod fragment;
 pub mod local;
 pub mod plans;
 pub mod prepare;
 pub mod probe;
+#[cfg(feature = "transport-tcp")]
+pub mod remote;
 pub mod semijoin;
 pub mod shuffle;
 pub mod sortcache;
@@ -66,6 +69,7 @@ pub use advisor::{advise, Advice};
 pub use cluster::Cluster;
 pub use dist::DistRel;
 pub use error::EngineError;
+pub use fragment::{plan_fragments, Fragment};
 pub use parjoin_analyze::{DiagCode, Diagnostic, Severity};
 pub use parjoin_obs as obs;
 pub use parjoin_runtime::TransportKind;
@@ -73,5 +77,7 @@ pub use plans::{
     metric_names, run_config, JoinAlg, PlanOptions, PrepProbe, RunResult, ShuffleAlg, TrieLayout,
 };
 pub use probe::MorselSched;
+#[cfg(feature = "transport-tcp")]
+pub use remote::{execute_fragment, RemoteOutcome};
 pub use sortcache::SortCache;
 pub use triecache::TrieCache;

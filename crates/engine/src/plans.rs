@@ -876,7 +876,7 @@ pub fn greedy_join_order(atoms: &[(Vec<VarId>, &Relation)]) -> Vec<usize> {
 
 /// A left-deep order rooted at `root`, growing by connectivity (used by
 /// broadcast plans to start from the partitioned fragment).
-fn rooted_order(atom_vars: &[Vec<VarId>], root: usize) -> Vec<usize> {
+pub(crate) fn rooted_order(atom_vars: &[Vec<VarId>], root: usize) -> Vec<usize> {
     let n = atom_vars.len();
     let mut order = vec![root];
     let mut remaining: Vec<usize> = (0..n).filter(|&i| i != root).collect();
@@ -913,7 +913,7 @@ fn check_budget(cluster: &Cluster, worker: usize, needed: u64) -> Result<(), Eng
 
 /// Filters whose variables are fully bound by `schema`, removed from
 /// `pending`.
-fn take_ready_filters(pending: &mut Vec<Filter>, schema: &[VarId]) -> Vec<Filter> {
+pub(crate) fn take_ready_filters(pending: &mut Vec<Filter>, schema: &[VarId]) -> Vec<Filter> {
     let (ready, keep): (Vec<Filter>, Vec<Filter>) = pending
         .iter()
         .copied()

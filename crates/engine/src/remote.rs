@@ -1,0 +1,421 @@
+//! Remote fragment execution: one rank's side of a distributed plan,
+//! run over a real TCP mesh ([`HostMesh`]) instead of the in-process
+//! simulator.
+//!
+//! [`execute_fragment`] is a line-for-line mirror of the local
+//! executor's per-worker work (`plans::run_regular` and
+//! `plans::run_one_round`): the same router constructors
+//! (`shuffle::regular_router_for` / `broadcast_router` /
+//! `hypercube_router_for`), the same join primitives
+//! (`probe::hash_join_parallel`, `local::merge_join`,
+//! `probe::tributary_probe`), the same filter scheduling
+//! (`plans::take_ready_filters`), and the same join-schema derivation
+//! (an empty `hash_join`). Every *global* decision — join order,
+//! Tributary variable order, HyperCube shares, probe threads — arrives
+//! pre-made in the [`Fragment`], so all ranks execute the identical
+//! deterministic step sequence and the gathered result is byte-identical
+//! to a `Transport::Local` run of the same plan.
+//!
+//! Each shuffle is one exchange round on the mesh: a fresh
+//! [`HostMesh::endpoint`] (the mesh's round-sync contract guarantees
+//! rounds never interleave), the existing vectored exchange
+//! (`exchange::run_worker`) moving encoded batches, and the per-source
+//! ascending drain order reproducing the Local loop's row order.
+
+use crate::error::EngineError;
+use crate::fragment::Fragment;
+use crate::local::{hash_join, merge_join, SchemaRel};
+use crate::plans::{take_ready_filters, JoinAlg, ShuffleAlg, TrieLayout};
+use crate::probe;
+use crate::shuffle;
+use parjoin_common::Relation;
+use parjoin_core::tributary::{ColumnarAtom, SortedAtom, Tributary};
+use parjoin_query::resolve::split_filters;
+use parjoin_query::{Filter, VarId};
+use parjoin_runtime::exchange::{self, ExchangeOpts};
+use parjoin_runtime::pool::DEFAULT_POOL_CAP;
+use parjoin_runtime::{BufPool, HostMesh, Router};
+use std::sync::Arc;
+
+/// What one rank produced by executing its fragment.
+#[derive(Debug)]
+pub struct RemoteOutcome {
+    /// This rank's partition of the output, projected to the head.
+    pub output: Relation,
+    /// Tuples this rank sent across all exchange rounds.
+    pub tuples_sent: u64,
+    /// Exchange rounds this rank participated in.
+    pub rounds: u32,
+}
+
+/// One exchange round on the mesh: dial peers, stream this rank's
+/// partition through `router`, drain what the peers routed here.
+struct Exchanger<'a> {
+    frag: &'a Fragment,
+    mesh: &'a HostMesh,
+    pool: Arc<BufPool>,
+    tuples_sent: u64,
+    rounds: u32,
+}
+
+impl Exchanger<'_> {
+    fn new<'a>(frag: &'a Fragment, mesh: &'a HostMesh) -> Exchanger<'a> {
+        let pool = Arc::new(BufPool::new(
+            DEFAULT_POOL_CAP,
+            mesh.obs.buf_reuses.clone(),
+            mesh.obs.buf_allocs.clone(),
+        ));
+        Exchanger {
+            frag,
+            mesh,
+            pool,
+            tuples_sent: 0,
+            rounds: 0,
+        }
+    }
+
+    fn round(
+        &mut self,
+        part: &Relation,
+        arity: usize,
+        router: &Router,
+    ) -> Result<Relation, EngineError> {
+        let opts = ExchangeOpts {
+            batch_tuples: (self.frag.batch_tuples as usize).max(1),
+            format: self.frag.wire_format,
+            compression: self.frag.wire_compression,
+        };
+        let endpoint = self.mesh.endpoint(&self.pool)?;
+        let outcome = exchange::run_worker(
+            self.mesh.rank(),
+            part,
+            self.mesh.workers(),
+            opts,
+            endpoint,
+            router,
+            &self.mesh.obs,
+            &self.pool,
+        )?;
+        self.tuples_sent += outcome.sent_tuples;
+        self.rounds += 1;
+        let mut rel = outcome.received;
+        // Nothing received leaves the arity unknowable from the wire;
+        // restore the schema arity (exactly what the local
+        // `shuffle::run_router` does for empty partitions).
+        if rel.is_empty() && rel.arity() != arity {
+            rel = Relation::new(arity);
+        }
+        Ok(rel)
+    }
+}
+
+fn check_budget(frag: &Fragment, needed: u64) -> Result<(), EngineError> {
+    if let Some(budget) = frag.memory_budget {
+        if needed > budget {
+            return Err(EngineError::MemoryBudget {
+                worker: frag.rank as usize,
+                needed,
+                budget,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Executes `frag` on an already-joined `mesh` and returns this rank's
+/// output partition. See the module docs for the lockstep/byte-identity
+/// contract.
+///
+/// # Errors
+/// - [`EngineError::Transport`] when an exchange round fails (peer
+///   death, handshake timeout, frame errors — all typed
+///   `RuntimeError`s).
+/// - [`EngineError::MemoryBudget`] when a join step exceeds the
+///   fragment's per-worker budget.
+/// - [`EngineError::InvalidPlan`] / [`EngineError::Unsupported`] on
+///   malformed fragments (callers normally run
+///   [`Fragment::preflight`] first).
+pub fn execute_fragment(frag: &Fragment, mesh: &HostMesh) -> Result<RemoteOutcome, EngineError> {
+    if mesh.workers() != frag.workers as usize || mesh.rank() != frag.rank as usize {
+        return Err(EngineError::Unsupported(format!(
+            "fragment addressed to rank {}/{} but the mesh is rank {}/{}",
+            frag.rank,
+            frag.workers,
+            mesh.rank(),
+            mesh.workers()
+        )));
+    }
+    let mut ex = Exchanger::new(frag, mesh);
+    let head = frag.query.output_vars();
+    let out = match frag.shuffle {
+        ShuffleAlg::Regular => execute_regular(frag, &mut ex)?,
+        ShuffleAlg::Broadcast | ShuffleAlg::HyperCube => execute_one_round(frag, &mut ex)?,
+    };
+    // Project to the head exactly as `finish_output` does (the RS path
+    // still carries the full schema; one-round paths are already
+    // head-shaped and `project` is then the identity).
+    let projected = if out.vars == head {
+        out.rel
+    } else {
+        out.project(&head).rel
+    };
+    Ok(RemoteOutcome {
+        output: projected,
+        tuples_sent: ex.tuples_sent,
+        rounds: ex.rounds,
+    })
+}
+
+/// The per-rank body of `plans::run_regular`: a left-deep tree of
+/// binary joins, re-shuffling both sides on the step's shared variable
+/// before each join.
+fn execute_regular(frag: &Fragment, ex: &mut Exchanger<'_>) -> Result<SchemaRel, EngineError> {
+    let workers = frag.workers as usize;
+    let order = &frag.join_order;
+    if order.len() != frag.parts.len() {
+        return Err(EngineError::Unsupported(
+            "join order must cover every atom".to_string(),
+        ));
+    }
+    let mut pending: Vec<Filter> = split_filters(&frag.query).1;
+    let mut atoms: Vec<Option<SchemaRel>> = frag
+        .atom_vars
+        .iter()
+        .zip(&frag.parts)
+        .map(|(vs, p)| {
+            Some(SchemaRel {
+                vars: vs.clone(),
+                rel: p.clone(),
+            })
+        })
+        .collect();
+    let Some(mut cur) = atoms[order[0]].take() else {
+        return Err(EngineError::Unsupported(format!(
+            "join order reuses atom {}",
+            order[0]
+        )));
+    };
+
+    let ready0 = take_ready_filters(&mut pending, &cur.vars);
+    if !ready0.is_empty() {
+        cur = cur.filter(&ready0);
+    }
+
+    for &ai in &order[1..] {
+        let Some(next) = atoms[ai].take() else {
+            return Err(EngineError::Unsupported(format!(
+                "join order reuses atom {ai}"
+            )));
+        };
+        let shared: Vec<VarId> = cur
+            .vars
+            .iter()
+            .copied()
+            .filter(|v| next.vars.contains(v))
+            .collect();
+        // Single-attribute hashing on the most recently bound shared
+        // variable — identical to the local plan (see run_regular).
+        let shuffle_key: Vec<VarId> = shared.last().copied().into_iter().collect();
+
+        let cur_router = shuffle::regular_router_for(&cur.vars, &shuffle_key, frag.seed, workers);
+        let cur_rx = ex.round(&cur.rel, cur.vars.len(), &cur_router)?;
+        let next_router = shuffle::regular_router_for(&next.vars, &shuffle_key, frag.seed, workers);
+        let next_rx = ex.round(&next.rel, next.vars.len(), &next_router)?;
+
+        // Join schema, derived the same way the local path derives it.
+        let out_schema = {
+            let a = SchemaRel {
+                vars: cur.vars.clone(),
+                rel: Relation::new(cur.vars.len()),
+            };
+            let b = SchemaRel {
+                vars: next.vars.clone(),
+                rel: Relation::new(next.vars.len()),
+            };
+            hash_join(&a, &b, 0).vars
+        };
+        let ready = take_ready_filters(&mut pending, &out_schema);
+        let a = SchemaRel {
+            vars: cur.vars.clone(),
+            rel: cur_rx,
+        };
+        let b = SchemaRel {
+            vars: next.vars.clone(),
+            rel: next_rx,
+        };
+        let (joined, sort_buf) = match frag.join {
+            JoinAlg::Hash => {
+                let (j, _morsels, _steals) =
+                    probe::hash_join_parallel(&a, &b, frag.seed, frag.probe_threads as usize);
+                (j, 0)
+            }
+            JoinAlg::Tributary => {
+                let (j, buf, _sort_time) = merge_join(&a, &b, frag.seed);
+                (j, buf)
+            }
+        };
+        let filtered = if ready.is_empty() {
+            joined
+        } else {
+            joined.filter(&ready)
+        };
+        // Same memory model as the local path: pipelined hash joins
+        // keep the build side + output; blocking sort-merge joins
+        // materialize both inputs and their sorted copies.
+        let live = match frag.join {
+            JoinAlg::Hash => a.rel.len().min(b.rel.len()) as u64 + filtered.rel.len() as u64,
+            JoinAlg::Tributary => {
+                a.rel.len() as u64 + b.rel.len() as u64 + sort_buf + filtered.rel.len() as u64
+            }
+        };
+        check_budget(frag, live)?;
+        cur = filtered;
+    }
+    if !pending.is_empty() {
+        return Err(EngineError::InvalidPlan(
+            pending
+                .iter()
+                .map(|f| {
+                    parjoin_analyze::Diagnostic::error(
+                        parjoin_analyze::DiagCode::FilterNeverApplied,
+                        format!("filter {f:?} was never applied by the join order"),
+                    )
+                })
+                .collect(),
+        ));
+    }
+    Ok(cur)
+}
+
+/// The per-rank body of `plans::run_one_round`: one communication round
+/// (broadcast or HyperCube), then the whole multiway join locally.
+fn execute_one_round(frag: &Fragment, ex: &mut Exchanger<'_>) -> Result<SchemaRel, EngineError> {
+    let workers = frag.workers as usize;
+    let head = frag.query.output_vars();
+    let num_vars = frag.query.num_vars();
+    let local_order = &frag.local_order;
+    if local_order.len() != frag.parts.len() {
+        return Err(EngineError::Unsupported(
+            "local order must cover every atom".to_string(),
+        ));
+    }
+    let mut pending: Vec<Filter> = split_filters(&frag.query).1;
+
+    // --- The single communication round. --------------------------------
+    let locals: Vec<SchemaRel> = match frag.shuffle {
+        ShuffleAlg::Broadcast => {
+            // The coordinator rooted `local_order` at the partitioned
+            // (largest) atom; reading it back avoids re-deriving the
+            // argmax and guarantees agreement with the shipped order.
+            let largest = local_order[0];
+            let mut out = Vec::with_capacity(frag.parts.len());
+            for (i, (vs, p)) in frag.atom_vars.iter().zip(&frag.parts).enumerate() {
+                let rel = if i == largest {
+                    p.clone() // stays partitioned, nothing sent
+                } else {
+                    let router = shuffle::broadcast_router(workers);
+                    ex.round(p, vs.len(), &router)?
+                };
+                out.push(SchemaRel {
+                    vars: vs.clone(),
+                    rel,
+                });
+            }
+            out
+        }
+        ShuffleAlg::HyperCube => {
+            let Some(config) = frag.hc_config.as_ref() else {
+                return Err(EngineError::Unsupported(
+                    "HyperCube fragment carries no share configuration".to_string(),
+                ));
+            };
+            if config.num_cells() > workers {
+                return Err(EngineError::Unsupported(format!(
+                    "configuration has {} cells but only {workers} workers",
+                    config.num_cells()
+                )));
+            }
+            let mut out = Vec::with_capacity(frag.parts.len());
+            for (vs, p) in frag.atom_vars.iter().zip(&frag.parts) {
+                let router = shuffle::hypercube_router_for(vs, config, frag.seed);
+                let rel = ex.round(p, vs.len(), &router)?;
+                out.push(SchemaRel {
+                    vars: vs.clone(),
+                    rel,
+                });
+            }
+            out
+        }
+        ShuffleAlg::Regular => {
+            return Err(EngineError::Unsupported(
+                "regular-shuffle fragments run the multi-round path".to_string(),
+            ))
+        }
+    };
+
+    // --- The local multiway join. ----------------------------------------
+    match frag.join {
+        JoinAlg::Hash => {
+            let mut cur = locals[local_order[0]].clone();
+            let ready0 = take_ready_filters(&mut pending, &cur.vars);
+            if !ready0.is_empty() {
+                cur = cur.filter(&ready0);
+            }
+            let mut live: u64 = locals.iter().map(|l| l.rel.len() as u64).sum();
+            for &ai in &local_order[1..] {
+                let (joined, _m, _st) = probe::hash_join_parallel(
+                    &cur,
+                    &locals[ai],
+                    frag.seed,
+                    frag.probe_threads as usize,
+                );
+                let ready = take_ready_filters(&mut pending, &joined.vars);
+                cur = if ready.is_empty() {
+                    joined
+                } else {
+                    joined.filter(&ready)
+                };
+                live = live.max(
+                    locals.iter().map(|l| l.rel.len() as u64).sum::<u64>() + cur.rel.len() as u64,
+                );
+            }
+            check_budget(frag, live)?;
+            Ok(cur.project(&head))
+        }
+        JoinAlg::Tributary => {
+            let Some(order) = frag.tj_order.as_ref() else {
+                return Err(EngineError::Unsupported(
+                    "Tributary fragment carries no variable order".to_string(),
+                ));
+            };
+            // Plain (uncached, sequential) prepare: byte-safe because
+            // the Tributary sort key covers every atom column, so ties
+            // are identical rows and any stable ordering agrees.
+            let probed = match frag.trie_layout {
+                TrieLayout::Row => {
+                    let prepared: Vec<SortedAtom> = locals
+                        .iter()
+                        .map(|l| SortedAtom::prepare(&l.rel, &l.vars, order))
+                        .collect();
+                    let tj = Tributary::new(&prepared, order, &pending, num_vars);
+                    probe::tributary_probe(&tj, &prepared, &head, frag.probe_threads as usize)
+                }
+                TrieLayout::Columnar => {
+                    let prepared: Vec<ColumnarAtom> = locals
+                        .iter()
+                        .map(|l| ColumnarAtom::prepare(&l.rel, &l.vars, order))
+                        .collect();
+                    let tj = Tributary::new(&prepared, order, &pending, num_vars);
+                    probe::tributary_probe(&tj, &prepared, &head, frag.probe_threads as usize)
+                }
+            };
+            let live = locals.iter().map(|l| 2 * l.rel.len() as u64).sum::<u64>()
+                + probed.rel.len() as u64;
+            check_budget(frag, live)?;
+            Ok(SchemaRel {
+                vars: head,
+                rel: probed.rel,
+            })
+        }
+    }
+}

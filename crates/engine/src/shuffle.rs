@@ -83,6 +83,53 @@ fn regular_router(cols: Vec<usize>, seed: u64, workers: usize) -> Router {
     })
 }
 
+/// Builds the regular-shuffle [`Router`] for a relation with schema
+/// `vars`, keyed on `on`. This is the exact router `regular_via` hands
+/// the runtime, factored out so a remote worker executing a shipped
+/// fragment routes rows identically to the local simulator.
+pub(crate) fn regular_router_for(
+    vars: &[VarId],
+    on: &[VarId],
+    base_seed: u64,
+    workers: usize,
+) -> Router {
+    let seed = join_key_seed(base_seed, on);
+    let mut on_sorted: Vec<VarId> = on.to_vec();
+    on_sorted.sort_unstable();
+    let cols: Vec<usize> = on_sorted
+        .iter()
+        .map(|&v| {
+            vars.iter()
+                .position(|&x| x == v)
+                // Shuffle keys come from the relation's own schema.
+                // xtask: allow(expect)
+                .expect("shuffle key must be in the relation schema")
+        })
+        .collect();
+    regular_router(cols, seed, workers)
+}
+
+/// Builds the broadcast [`Router`]: every row to every worker.
+pub(crate) fn broadcast_router(workers: usize) -> Router {
+    Arc::new(move |_w, _row, dests| dests.extend(0..workers))
+}
+
+/// Builds the HyperCube [`Router`] for a relation with schema `vars`
+/// under `config`. Shared by `hypercube_via` and remote fragment
+/// execution so both hash coordinates with the same per-dimension seeds.
+pub(crate) fn hypercube_router_for(vars: &[VarId], config: &HcConfig, base_seed: u64) -> Router {
+    let k = config.dims().len();
+    // Per-dimension hash seeds (independent h_i per variable).
+    let seeds: Vec<u64> = (0..k).map(|d| hash::dimension_seed(base_seed, d)).collect();
+    // Which dimensions this atom pins, and from which column.
+    let pinned: Vec<Option<usize>> = config
+        .vars()
+        .iter()
+        .map(|&v| vars.iter().position(|&x| x == v))
+        .collect();
+    hypercube_router(config.clone(), pinned, seeds)
+}
+
 /// Regular shuffle: hash-partition on the values of `on` (in sorted
 /// variable order, so both join sides agree).
 pub fn regular(
@@ -108,11 +155,12 @@ pub fn regular_via(
     rt: Option<&Runtime>,
 ) -> Result<(DistRel, ShuffleStats), EngineError> {
     let workers = input.workers();
-    let seed = join_key_seed(base_seed, on);
-    let mut on_sorted: Vec<VarId> = on.to_vec();
-    on_sorted.sort_unstable();
-    let cols: Vec<usize> = on_sorted.iter().map(|&v| input.col_of(v)).collect();
-    run_router(input, regular_router(cols, seed, workers), label, rt)
+    run_router(
+        input,
+        regular_router_for(&input.vars, on, base_seed, workers),
+        label,
+        rt,
+    )
 }
 
 /// Broadcast shuffle: every worker receives the full relation.
@@ -132,8 +180,7 @@ pub fn broadcast_via(
     rt: Option<&Runtime>,
 ) -> Result<(DistRel, ShuffleStats), EngineError> {
     let workers = input.workers();
-    let router: Router = Arc::new(move |_w, _row, dests| dests.extend(0..workers));
-    run_router(input, router, label, rt)
+    run_router(input, broadcast_router(workers), label, rt)
 }
 
 /// HyperCube shuffle: each tuple is sent to every cell of the hypercube
@@ -207,18 +254,9 @@ pub fn hypercube_via(
         "configuration has {} cells but only {workers} workers",
         config.num_cells()
     );
-    let k = config.dims().len();
-    // Per-dimension hash seeds (independent h_i per variable).
-    let seeds: Vec<u64> = (0..k).map(|d| hash::dimension_seed(base_seed, d)).collect();
-    // Which dimensions this atom pins, and from which column.
-    let pinned: Vec<Option<usize>> = config
-        .vars()
-        .iter()
-        .map(|&v| input.vars.iter().position(|&x| x == v))
-        .collect();
     run_router(
         input,
-        hypercube_router(config.clone(), pinned, seeds),
+        hypercube_router_for(&input.vars, config, base_seed),
         label,
         rt,
     )

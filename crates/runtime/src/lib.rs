@@ -30,7 +30,7 @@
 //! and joins every thread.
 
 pub mod error;
-mod exchange;
+pub mod exchange;
 pub mod metrics;
 pub mod pool;
 #[cfg(feature = "transport-tcp")]
@@ -40,6 +40,8 @@ pub mod transport;
 pub use error::RuntimeError;
 pub use metrics::RuntimeObs;
 pub use pool::BufPool;
+#[cfg(feature = "transport-tcp")]
+pub use tcp::{HandshakeConfig, HostMesh};
 pub use transport::TransportKind;
 
 use parjoin_common::{Relation, Value, WireFormat};
@@ -85,6 +87,17 @@ pub struct RuntimeConfig {
     pub wire_compression: bool,
     /// Per-frame size limit streaming transports enforce on both sides.
     pub max_frame_bytes: u32,
+    /// Dial attempts per peer during TCP mesh formation before the
+    /// connect is declared dead (backoff between attempts doubles from
+    /// 1 ms up to `connect_backoff_cap`).
+    pub connect_attempts: u32,
+    /// Ceiling on the exponential dial backoff during mesh formation.
+    pub connect_backoff_cap: Duration,
+    /// Deadline for the accept-plus-hello phase of TCP mesh formation;
+    /// a peer that connects but never announces itself surfaces as
+    /// [`RuntimeError::HandshakeTimeout`](error::RuntimeError::HandshakeTimeout)
+    /// once this expires.
+    pub handshake_timeout: Duration,
     /// Observability bundle the exchange and transports report into
     /// (bytes, batches, flushes, receive waits, decode errors, and the
     /// per-worker `shuffle` trace spans). Detached by default.
@@ -107,6 +120,9 @@ impl Default for RuntimeConfig {
             wire_format: WireFormat::default(),
             wire_compression: false,
             max_frame_bytes: transport::MAX_FRAME_BYTES,
+            connect_attempts: 10,
+            connect_backoff_cap: Duration::from_millis(128),
+            handshake_timeout: Duration::from_secs(10),
             obs: RuntimeObs::detached(),
         }
     }
@@ -293,7 +309,13 @@ impl Runtime {
             #[cfg(feature = "transport-tcp")]
             TransportKind::Tcp => {
                 let transport = tcp::Tcp::with_obs(self.config.obs.clone())
-                    .with_frame_limit(self.config.max_frame_bytes);
+                    .with_frame_limit(self.config.max_frame_bytes)
+                    .with_handshake(tcp::HandshakeConfig {
+                        connect_attempts: self.config.connect_attempts,
+                        backoff_cap: self.config.connect_backoff_cap,
+                        handshake_timeout: self.config.handshake_timeout,
+                        ..tcp::HandshakeConfig::default()
+                    });
                 self.streaming_shuffle(parts, &router, &transport)
             }
             #[cfg(not(feature = "transport-tcp"))]

@@ -51,29 +51,207 @@ const TAG_EOS: u8 = 0x01;
 /// the vectored send path (8 KiB, matching `BufWriter`'s buffer).
 const SEND_CHUNK_VALUES: usize = 1024;
 
-/// Connects to `addr`, retrying with exponential backoff (1 ms doubling
-/// to 128 ms) for up to `attempts` tries. Loopback listeners bound a few
-/// microseconds ago can still refuse the very first SYN; everything
-/// beyond a handful of retries is a real failure.
+/// Retry and deadline policy for mesh formation: how hard each worker
+/// dials its peers and how long the accept side waits for hellos.
 ///
-/// # Errors
-/// [`RuntimeError::Io`] with the last OS error once retries are spent.
-pub fn connect_with_retry(addr: SocketAddr, attempts: u32) -> Result<TcpStream, RuntimeError> {
-    let mut delay = Duration::from_millis(1);
-    let mut last = String::new();
-    for attempt in 0..attempts.max(1) {
-        match TcpStream::connect(addr) {
-            Ok(stream) => return Ok(stream),
-            Err(e) => last = e.to_string(),
-        }
-        if attempt + 1 < attempts {
-            std::thread::sleep(delay);
-            delay = (delay * 2).min(Duration::from_millis(128));
+/// Threaded down from [`RuntimeConfig`](crate::RuntimeConfig) so a
+/// deployment can tune formation patience without recompiling; the
+/// defaults suit loopback meshes where listeners are bound microseconds
+/// before the first dial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HandshakeConfig {
+    /// Dial attempts per peer before the connect is declared dead.
+    pub connect_attempts: u32,
+    /// First backoff delay between dial attempts.
+    pub backoff_start: Duration,
+    /// Ceiling the exponential backoff doubles up to — without it a
+    /// long retry budget degenerates into multi-second sleeps.
+    pub backoff_cap: Duration,
+    /// Deadline for the accept-plus-hello phase of mesh formation: a
+    /// peer that connects but never announces itself (or never connects
+    /// at all) surfaces as [`RuntimeError::HandshakeTimeout`] once this
+    /// expires instead of wedging the mesh forever.
+    pub handshake_timeout: Duration,
+}
+
+impl Default for HandshakeConfig {
+    fn default() -> HandshakeConfig {
+        HandshakeConfig {
+            connect_attempts: 10,
+            backoff_start: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(128),
+            handshake_timeout: Duration::from_secs(10),
         }
     }
-    Err(RuntimeError::Io(format!(
-        "connect to {addr} failed after {attempts} attempts: {last}"
+}
+
+/// Connects to `addr` under `policy`: up to `connect_attempts` tries
+/// with exponential backoff from `backoff_start` capped at
+/// `backoff_cap`. Loopback listeners bound a few microseconds ago can
+/// still refuse the very first SYN; everything beyond a handful of
+/// retries is a real failure.
+///
+/// # Errors
+/// [`RuntimeError::Disconnected`] carrying the full attempt/backoff
+/// history once retries are spent, so the terminal error shows what was
+/// tried and how long each wait was — not just the last OS error.
+pub fn connect_with_retry(
+    addr: SocketAddr,
+    policy: &HandshakeConfig,
+) -> Result<TcpStream, RuntimeError> {
+    use std::fmt::Write as _;
+    let attempts = policy.connect_attempts.max(1);
+    let mut delay = policy.backoff_start.max(Duration::from_micros(1));
+    let mut history = String::new();
+    for attempt in 1..=attempts {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => {
+                if !history.is_empty() {
+                    history.push_str("; ");
+                }
+                let _ = write!(history, "attempt {attempt}: {e}");
+            }
+        }
+        if attempt < attempts {
+            let _ = write!(history, " (backed off {delay:?})");
+            std::thread::sleep(delay);
+            delay = (delay * 2).min(policy.backoff_cap.max(Duration::from_micros(1)));
+        }
+    }
+    Err(RuntimeError::Disconnected(format!(
+        "connect to {addr} failed after {attempts} attempt(s) [{history}]"
     )))
+}
+
+/// Reads the 4-byte hello from a freshly accepted (blocking) stream
+/// without ever outliving `deadline`: the socket read timeout is
+/// re-armed with the remaining budget before every read, so a peer that
+/// connects and then stalls — or trickles the hello one byte at a time —
+/// cannot hold mesh formation past the deadline.
+///
+/// # Errors
+/// [`RuntimeError::HandshakeTimeout`] when the deadline expires,
+/// [`RuntimeError::Disconnected`] when the peer closes mid-hello.
+fn read_hello(stream: &mut TcpStream, deadline: Instant) -> Result<u32, RuntimeError> {
+    let io = |e: std::io::Error| RuntimeError::Io(e.to_string());
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "<unknown peer>".to_string());
+    let start = Instant::now();
+    let mut hello = [0u8; 4];
+    let mut got = 0usize;
+    while got < 4 {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(RuntimeError::HandshakeTimeout {
+                peer,
+                waited: start.elapsed(),
+            });
+        }
+        stream.set_read_timeout(Some(remaining)).map_err(io)?;
+        match stream.read(&mut hello[got..]) {
+            Ok(0) => {
+                return Err(RuntimeError::Disconnected(format!(
+                    "peer {peer} closed during the mesh handshake \
+                     ({got} of 4 hello bytes arrived)"
+                )));
+            }
+            Ok(n) => got += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Err(RuntimeError::HandshakeTimeout {
+                    peer,
+                    waited: start.elapsed(),
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {} // EINTR: retry
+            Err(e) => {
+                return Err(RuntimeError::Disconnected(format!(
+                    "peer {peer} failed during the mesh handshake: {e}"
+                )));
+            }
+        }
+    }
+    stream.set_read_timeout(None).map_err(io)?;
+    Ok(u32::from_le_bytes(hello))
+}
+
+/// Accepts exactly `expect` connections on `listener` and reads each
+/// one's hello, all under a single `timeout` deadline. Hellos must name
+/// a worker below `workers`, and no two connections may announce the
+/// same worker id — the second claimant is rejected with a typed error
+/// naming both sockets rather than silently replacing the first.
+/// Returns the connections sorted by announcing worker (accept order is
+/// a race).
+fn accept_hellos(
+    listener: &TcpListener,
+    expect: usize,
+    workers: usize,
+    timeout: Duration,
+) -> Result<Vec<Conn>, RuntimeError> {
+    let io = |e: std::io::Error| RuntimeError::Io(e.to_string());
+    let local = listener
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "<listener>".to_string());
+    // Nonblocking accept lets the loop enforce the deadline itself;
+    // `TcpListener` has no native accept timeout.
+    listener.set_nonblocking(true).map_err(io)?;
+    let start = Instant::now();
+    let deadline = start + timeout;
+    let mut seen: Vec<Option<String>> = vec![None; workers];
+    let mut conns: Vec<Conn> = Vec::with_capacity(expect);
+    let mut idle_rounds = 0u32;
+    while conns.len() < expect {
+        match listener.accept() {
+            Ok((mut stream, remote)) => {
+                idle_rounds = 0;
+                // The hello read below bounds itself with a socket read
+                // timeout, which needs the stream in blocking mode.
+                stream.set_nonblocking(false).map_err(io)?;
+                let src = read_hello(&mut stream, deadline)? as usize;
+                if src >= workers {
+                    return Err(RuntimeError::Io(format!(
+                        "hello names worker {src}, but the mesh has {workers}"
+                    )));
+                }
+                if let Some(first) = &seen[src] {
+                    return Err(RuntimeError::DuplicateHello {
+                        worker: src,
+                        first: first.clone(),
+                        second: remote.to_string(),
+                    });
+                }
+                seen[src] = Some(remote.to_string());
+                stream.set_nonblocking(true).map_err(io)?;
+                conns.push(Conn::new(stream, src));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    let missing = expect - conns.len();
+                    return Err(RuntimeError::HandshakeTimeout {
+                        peer: format!("{missing} peer(s) that never connected to {local}"),
+                        waited: start.elapsed(),
+                    });
+                }
+                idle_rounds += 1;
+                crate::transport::idle_backoff(idle_rounds);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {} // EINTR: retry
+            Err(e) => return Err(io(e)),
+        }
+    }
+    // Leave a persistent listener in its default blocking state for the
+    // next formation round.
+    listener.set_nonblocking(false).map_err(io)?;
+    conns.sort_by_key(|c| c.src);
+    Ok(conns)
 }
 
 /// The wire protocol announces each sender with a `u32` hello, so a mesh
@@ -97,6 +275,8 @@ pub struct Tcp {
     pub obs: RuntimeObs,
     /// Per-frame size limit senders enforce and receivers reject above.
     pub max_frame: u32,
+    /// Dial-retry and hello-deadline policy for mesh formation.
+    pub handshake: HandshakeConfig,
 }
 
 impl Default for Tcp {
@@ -104,6 +284,7 @@ impl Default for Tcp {
         Tcp {
             obs: RuntimeObs::default(),
             max_frame: MAX_FRAME_BYTES,
+            handshake: HandshakeConfig::default(),
         }
     }
 }
@@ -114,12 +295,19 @@ impl Tcp {
         Tcp {
             obs,
             max_frame: MAX_FRAME_BYTES,
+            handshake: HandshakeConfig::default(),
         }
     }
 
     /// Overrides the per-frame size limit.
     pub fn with_frame_limit(mut self, max_frame: u32) -> Tcp {
         self.max_frame = max_frame;
+        self
+    }
+
+    /// Overrides the mesh-formation handshake policy.
+    pub fn with_handshake(mut self, handshake: HandshakeConfig) -> Tcp {
+        self.handshake = handshake;
         self
     }
 }
@@ -156,7 +344,7 @@ impl Transport for Tcp {
         for src in 0..workers {
             let mut conns = Vec::with_capacity(workers);
             for &addr in &addrs {
-                let stream = connect_with_retry(addr, 10)?;
+                let stream = connect_with_retry(addr, &self.handshake)?;
                 stream.set_nodelay(true).map_err(io)?;
                 let mut writer = BufWriter::new(stream);
                 writer.write_all(&(src as u32).to_le_bytes()).map_err(io)?;
@@ -167,27 +355,17 @@ impl Transport for Tcp {
         }
 
         // Incoming side: accept the p connections aimed at each worker,
-        // learn who is on the other end from the hello (read while the
-        // socket is still blocking), then flip the socket nonblocking
-        // and hand it to the worker's demux receive loop.
+        // learn who is on the other end from its hello (read under the
+        // handshake deadline, with duplicate-id rejection), then hand
+        // the nonblocking socket to the worker's demux receive loop.
         let mut endpoints: Vec<Box<dyn Endpoint>> = Vec::with_capacity(workers);
         for (listener, senders) in listeners.into_iter().zip(outgoing) {
-            let mut conns = Vec::with_capacity(workers);
-            for _ in 0..workers {
-                let (mut stream, _) = listener.accept().map_err(io)?;
-                let mut hello = [0u8; 4];
-                stream.read_exact(&mut hello).map_err(io)?;
-                let src = u32::from_le_bytes(hello) as usize;
-                if src >= workers {
-                    return Err(RuntimeError::Io(format!(
-                        "hello names worker {src}, but the mesh has {workers}"
-                    )));
-                }
-                stream.set_nonblocking(true).map_err(io)?;
-                conns.push(Conn::new(stream, src));
-            }
-            // Deterministic poll order (accept order is a race).
-            conns.sort_by_key(|c| c.src);
+            let conns = accept_hellos(
+                &listener,
+                workers,
+                workers,
+                self.handshake.handshake_timeout,
+            )?;
             endpoints.push(Box::new(TcpEndpoint {
                 senders,
                 conns,
@@ -198,6 +376,144 @@ impl Transport for Tcp {
             }));
         }
         Ok(endpoints)
+    }
+}
+
+/// One process's standing membership in a multi-host data mesh: a
+/// persistent listener for this rank plus the address book of every
+/// rank's listener, forming one fresh `p × p` endpoint per shuffle
+/// round.
+///
+/// This is the loopback mesh generalized to arbitrary host lists: where
+/// [`Tcp::mesh`] builds all `p` endpoints inside one process, a
+/// `HostMesh` lives inside a single worker process and produces only
+/// that rank's endpoint, dialing real peers from the configured list.
+/// Round synchronization needs no extra protocol: a rank dials round
+/// `k + 1` only after draining every round-`k` end-of-stream marker,
+/// which its peers send only after completing their own round-`k`
+/// formation — so a listener's backlog never mixes rounds.
+pub struct HostMesh {
+    listener: TcpListener,
+    rank: usize,
+    peers: Vec<SocketAddr>,
+    /// Counter bundle the per-round endpoints report into.
+    pub obs: RuntimeObs,
+    /// Per-frame size limit senders enforce and receivers reject above.
+    pub max_frame: u32,
+    /// Dial-retry and hello-deadline policy for each round's formation.
+    pub handshake: HandshakeConfig,
+    /// Receive deadline once a round's mesh is formed.
+    pub recv_timeout: Duration,
+}
+
+impl HostMesh {
+    /// Binds this process's data listener on `addr` (e.g.
+    /// `"127.0.0.1:0"` for an ephemeral loopback port, or a concrete
+    /// `host:port` from a deployment's host list). Rank and peer list
+    /// arrive later via [`join`](Self::join), once the control plane
+    /// has distributed every member's address.
+    ///
+    /// # Errors
+    /// [`RuntimeError::Io`] when the bind fails.
+    pub fn bind(addr: &str) -> Result<HostMesh, RuntimeError> {
+        let listener =
+            TcpListener::bind(addr).map_err(|e| RuntimeError::Io(format!("bind {addr}: {e}")))?;
+        Ok(HostMesh {
+            listener,
+            rank: 0,
+            peers: Vec::new(),
+            obs: RuntimeObs::default(),
+            max_frame: MAX_FRAME_BYTES,
+            handshake: HandshakeConfig::default(),
+            recv_timeout: Duration::from_secs(30),
+        })
+    }
+
+    /// The address this mesh member's listener actually bound — what a
+    /// worker reports to the coordinator so the full address book can
+    /// be assembled and shipped inside each plan fragment.
+    ///
+    /// # Errors
+    /// [`RuntimeError::Io`] when the local address cannot be read.
+    pub fn local_addr(&self) -> Result<SocketAddr, RuntimeError> {
+        self.listener
+            .local_addr()
+            .map_err(|e| RuntimeError::Io(e.to_string()))
+    }
+
+    /// Adopts this member's rank and the full peer address book
+    /// (`peers[r]` is rank `r`'s data listener; `peers[rank]` is this
+    /// process).
+    ///
+    /// # Errors
+    /// [`RuntimeError::Config`] when `rank` is out of range or the mesh
+    /// is wider than the wire protocol's `u32` hello.
+    pub fn join(&mut self, rank: usize, peers: Vec<SocketAddr>) -> Result<(), RuntimeError> {
+        if rank >= peers.len() {
+            return Err(RuntimeError::Config(format!(
+                "rank {rank} out of range for a {}-host mesh",
+                peers.len()
+            )));
+        }
+        check_mesh_width(peers.len())?;
+        self.rank = rank;
+        self.peers = peers;
+        Ok(())
+    }
+
+    /// This member's rank in the mesh.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Mesh width (the number of ranks in the address book).
+    pub fn workers(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Forms this rank's endpoint for one shuffle round: dial every
+    /// peer (self-loop included, so byte accounting matches the
+    /// in-process transports), announce this rank with the 4-byte
+    /// hello, then accept the `p` inbound connections under the
+    /// handshake deadline. Every rank must call this concurrently — the
+    /// dial side completes against peers' listener backlogs, so
+    /// dial-all-then-accept-all cannot deadlock.
+    ///
+    /// # Errors
+    /// [`RuntimeError::Disconnected`] when a peer cannot be dialed
+    /// (with the full retry history), [`RuntimeError::HandshakeTimeout`]
+    /// / [`RuntimeError::DuplicateHello`] from the accept side, and
+    /// [`RuntimeError::Config`] when called before [`join`](Self::join).
+    pub fn endpoint(&self, pool: &Arc<BufPool>) -> Result<Box<dyn Endpoint>, RuntimeError> {
+        let io = |e: std::io::Error| RuntimeError::Io(e.to_string());
+        let p = self.peers.len();
+        if p == 0 {
+            return Err(RuntimeError::Config(
+                "HostMesh::endpoint() before join(): the peer address book is empty".to_string(),
+            ));
+        }
+        check_mesh_width(p)?;
+        let mut senders = Vec::with_capacity(p);
+        for &addr in &self.peers {
+            let stream = connect_with_retry(addr, &self.handshake)?;
+            stream.set_nodelay(true).map_err(io)?;
+            let mut writer = BufWriter::new(stream);
+            // Exact cast: check_mesh_width proved the rank fits.
+            writer
+                .write_all(&(self.rank as u32).to_le_bytes())
+                .map_err(io)?;
+            writer.flush().map_err(io)?;
+            senders.push(writer);
+        }
+        let conns = accept_hellos(&self.listener, p, p, self.handshake.handshake_timeout)?;
+        Ok(Box::new(TcpEndpoint {
+            senders,
+            conns,
+            timeout: self.recv_timeout,
+            obs: self.obs.clone(),
+            pool: Arc::clone(pool),
+            max_frame: self.max_frame,
+        }))
     }
 }
 
@@ -589,15 +905,218 @@ mod tests {
         Arc::new(BufPool::detached())
     }
 
+    /// A handshake policy with short waits for fault-injection tests.
+    fn fast_handshake(attempts: u32, timeout: Duration) -> HandshakeConfig {
+        HandshakeConfig {
+            connect_attempts: attempts,
+            backoff_start: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(4),
+            handshake_timeout: timeout,
+        }
+    }
+
     #[test]
-    fn connect_with_retry_gives_up() {
-        // Port 1 on loopback is essentially never listening; two quick
-        // attempts must fail fast with an I/O error.
+    fn connect_with_retry_gives_up_with_full_history() {
+        // Port 1 on loopback is essentially never listening; three quick
+        // attempts must fail fast, and the terminal Disconnected error
+        // must carry every attempt and every backoff wait.
         let addr: SocketAddr = "127.0.0.1:1".parse().expect("addr");
         let start = std::time::Instant::now();
-        let err = connect_with_retry(addr, 2);
-        assert!(matches!(err, Err(RuntimeError::Io(_))));
+        let err = connect_with_retry(addr, &fast_handshake(3, Duration::from_secs(1)));
+        match err {
+            Err(RuntimeError::Disconnected(msg)) => {
+                assert!(msg.contains("after 3 attempt(s)"), "counts attempts: {msg}");
+                assert!(msg.contains("attempt 1:"), "history has attempt 1: {msg}");
+                assert!(msg.contains("attempt 2:"), "history has attempt 2: {msg}");
+                assert!(msg.contains("attempt 3:"), "history has attempt 3: {msg}");
+                assert!(msg.contains("backed off"), "history has backoffs: {msg}");
+            }
+            other => panic!("expected Disconnected with history, got {other:?}"),
+        }
         assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn connect_backoff_is_capped() {
+        // 6 failed attempts with an uncapped doubling from 1ms would
+        // sleep 1+2+4+8+16 = 31ms; the 2ms cap keeps it under ~10ms of
+        // configured sleep. Assert the cap via the recorded history.
+        let addr: SocketAddr = "127.0.0.1:1".parse().expect("addr");
+        let policy = HandshakeConfig {
+            connect_attempts: 6,
+            backoff_start: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(2),
+            handshake_timeout: Duration::from_secs(1),
+        };
+        let err = connect_with_retry(addr, &policy);
+        match err {
+            Err(RuntimeError::Disconnected(msg)) => {
+                assert!(
+                    !msg.contains("backed off 4ms"),
+                    "doubling must stop at the 2ms cap: {msg}"
+                );
+                assert!(msg.contains("backed off 2ms"), "cap is reached: {msg}");
+            }
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn silent_peer_hello_is_a_handshake_timeout_not_a_hang() {
+        // Regression for the unbounded accept-side read_exact: a peer
+        // that connects but never sends its hello must surface as
+        // HandshakeTimeout within the deadline.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let _silent = TcpStream::connect(addr).expect("connect");
+        let start = std::time::Instant::now();
+        let err = accept_hellos(&listener, 1, 2, Duration::from_millis(200));
+        match err {
+            Err(RuntimeError::HandshakeTimeout { peer, waited }) => {
+                assert!(peer.contains("127.0.0.1"), "names the peer: {peer}");
+                assert!(
+                    waited >= Duration::from_millis(150),
+                    "waited out: {waited:?}"
+                );
+            }
+            Err(other) => panic!("expected HandshakeTimeout, got {other:?}"),
+            Ok(_) => panic!("expected HandshakeTimeout, got a formed mesh"),
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "must not hang past the deadline"
+        );
+    }
+
+    #[test]
+    fn peer_death_mid_hello_is_a_typed_disconnect() {
+        // A peer that sends half its hello and dies must surface as a
+        // prompt Disconnected naming the handshake, never a hang.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut dying = TcpStream::connect(addr).expect("connect");
+        dying.write_all(&[0x01, 0x00]).expect("half a hello");
+        drop(dying);
+        let start = std::time::Instant::now();
+        let err = accept_hellos(&listener, 1, 2, Duration::from_secs(5));
+        match err {
+            Err(RuntimeError::Disconnected(msg)) => {
+                assert!(msg.contains("handshake"), "names the phase: {msg}");
+                assert!(msg.contains("2 of 4"), "counts the partial hello: {msg}");
+            }
+            Err(other) => panic!("expected Disconnected, got {other:?}"),
+            Ok(_) => panic!("expected Disconnected, got a formed mesh"),
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(4),
+            "prompt, not a timeout"
+        );
+    }
+
+    #[test]
+    fn duplicate_hello_is_rejected_naming_both_sockets() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut first = TcpStream::connect(addr).expect("connect first");
+        first.write_all(&1u32.to_le_bytes()).expect("hello 1");
+        let mut second = TcpStream::connect(addr).expect("connect second");
+        second
+            .write_all(&1u32.to_le_bytes())
+            .expect("hello 1 again");
+        let first_addr = first.local_addr().expect("addr").to_string();
+        let second_addr = second.local_addr().expect("addr").to_string();
+        let err = accept_hellos(&listener, 2, 2, Duration::from_secs(5));
+        match err {
+            Err(RuntimeError::DuplicateHello {
+                worker,
+                first: f,
+                second: s,
+            }) => {
+                assert_eq!(worker, 1);
+                // Accept order between the two dials is a race; the
+                // error must name both sockets, in either order.
+                let mut got = [f, s];
+                let mut want = [first_addr, second_addr];
+                got.sort();
+                want.sort();
+                assert_eq!(got, want, "error names both claimant sockets");
+            }
+            Err(other) => panic!("expected DuplicateHello, got {other:?}"),
+            Ok(_) => panic!("expected DuplicateHello, got a formed mesh"),
+        }
+    }
+
+    #[test]
+    fn absent_peer_is_a_handshake_timeout_within_deadline() {
+        // A worker that never connects at all: the accept deadline must
+        // expire with a typed error that counts the missing peers.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let start = std::time::Instant::now();
+        let err = accept_hellos(&listener, 3, 3, Duration::from_millis(150));
+        match err {
+            Err(RuntimeError::HandshakeTimeout { peer, .. }) => {
+                assert!(peer.contains("3 peer(s)"), "counts the missing: {peer}");
+                assert!(peer.contains("never connected"), "names the fault: {peer}");
+            }
+            Err(other) => panic!("expected HandshakeTimeout, got {other:?}"),
+            Ok(_) => panic!("expected HandshakeTimeout, got a formed mesh"),
+        }
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn host_mesh_round_trips_frames_between_ranks() {
+        // Two HostMesh members on loopback, each in its own thread
+        // (formation requires all ranks dialing concurrently), exchange
+        // one frame each way per round, across two rounds on the same
+        // persistent listeners.
+        let mut m0 = HostMesh::bind("127.0.0.1:0").expect("bind 0");
+        let mut m1 = HostMesh::bind("127.0.0.1:0").expect("bind 1");
+        let peers = vec![
+            m0.local_addr().expect("addr 0"),
+            m1.local_addr().expect("addr 1"),
+        ];
+        m0.join(0, peers.clone()).expect("join 0");
+        m1.join(1, peers).expect("join 1");
+
+        let run = |mesh: HostMesh, rank: usize| {
+            thread::spawn(move || {
+                let pool = test_pool();
+                let mut seen = Vec::new();
+                for round in 0..2u8 {
+                    let (mut tx, mut rx) = mesh.endpoint(&pool).expect("endpoint").split();
+                    tx.send(1 - rank, vec![round, rank as u8]).expect("send");
+                    tx.finish().expect("finish");
+                    drop(tx);
+                    while let Some(msg) = rx.recv().expect("recv") {
+                        seen.push(msg);
+                    }
+                }
+                seen
+            })
+        };
+        let t0 = run(m0, 0);
+        let t1 = run(m1, 1);
+        assert_eq!(
+            t0.join().expect("rank 0"),
+            vec![(1, vec![0, 1]), (1, vec![1, 1])]
+        );
+        assert_eq!(
+            t1.join().expect("rank 1"),
+            vec![(0, vec![0, 0]), (0, vec![1, 0])]
+        );
+    }
+
+    #[test]
+    fn host_mesh_endpoint_before_join_is_a_config_error() {
+        let mesh = HostMesh::bind("127.0.0.1:0").expect("bind");
+        match mesh.endpoint(&test_pool()) {
+            Err(RuntimeError::Config(m)) => {
+                assert!(m.contains("join"), "error names the missing step: {m}");
+            }
+            Err(other) => panic!("expected Config error, got {other:?}"),
+            Ok(_) => panic!("an unjoined mesh must refuse to form an endpoint"),
+        }
     }
 
     #[test]

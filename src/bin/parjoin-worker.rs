@@ -1,0 +1,67 @@
+//! `parjoin-worker` — one rank of a multi-process parjoin cluster.
+//!
+//! Binds a control listener (for the coordinator) and a data-plane mesh
+//! listener (for peer workers) on the same interface, prints
+//! `listening <control-addr>` on stdout, then serves exactly one
+//! coordinator session: execute shipped plan fragments, stream results
+//! back, exit cleanly on `Shutdown`.
+//!
+//! ```text
+//! parjoin-worker [--listen ADDR] [--idle-timeout-secs N]
+//!
+//!   --listen ADDR           control address to bind (default 127.0.0.1:0,
+//!                           an ephemeral loopback port)
+//!   --idle-timeout-secs N   give up if the coordinator goes silent for
+//!                           N seconds between frames (default: wait
+//!                           forever; a closed connection always
+//!                           surfaces immediately)
+//! ```
+
+use std::io::Write;
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "usage: parjoin-worker [--listen ADDR] [--idle-timeout-secs N]";
+
+fn run() -> Result<(), String> {
+    let mut listen = String::from("127.0.0.1:0");
+    let mut idle_timeout: Option<u64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--listen" => listen = args.next().ok_or("--listen needs an address")?,
+            "--idle-timeout-secs" => {
+                let v = args.next().ok_or("--idle-timeout-secs needs a number")?;
+                idle_timeout = Some(
+                    v.parse()
+                        .map_err(|e| format!("bad --idle-timeout-secs {v}: {e}"))?,
+                );
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(());
+            }
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+
+    let mut server = parjoin_dist::WorkerServer::bind(&listen).map_err(|e| e.to_string())?;
+    if let Some(secs) = idle_timeout {
+        server.idle_timeout = Some(Duration::from_secs(secs));
+    }
+    let addr = server.control_addr().map_err(|e| e.to_string())?;
+    // The coordinator's --spawn-workers mode reads this exact line.
+    println!("listening {addr}");
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    server.serve().map_err(|e| e.to_string())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("parjoin-worker: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

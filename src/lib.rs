@@ -47,6 +47,7 @@
 pub use parjoin_common as common;
 pub use parjoin_core as core;
 pub use parjoin_datagen as datagen;
+pub use parjoin_dist as dist;
 pub use parjoin_engine as engine;
 pub use parjoin_lp as lp;
 pub use parjoin_obs as obs;

@@ -1,0 +1,75 @@
+//! Multi-process correctness: the `parjoin-coordinator` /
+//! `parjoin-worker` binaries, running as separate OS processes over
+//! loopback TCP, must produce output byte-identical to the in-process
+//! `Transport::Local` engine (the coordinator's `--check-local` mode
+//! makes the comparison and exits nonzero on any divergence or
+//! unreconciled metric).
+
+use std::process::Command;
+
+fn coordinator() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_parjoin-coordinator"))
+}
+
+fn run_ok(cmd: &mut Command) {
+    let out = cmd.output().expect("run coordinator");
+    assert!(
+        out.status.success(),
+        "coordinator failed ({}):\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+}
+
+/// The CI smoke shape: one coordinator, three spawned workers, Q1 on
+/// HyperCube+Tributary, checked byte-for-byte against Local.
+#[test]
+fn smoke_three_workers_q1() {
+    run_ok(coordinator().args([
+        "--spawn-workers",
+        "3",
+        "--queries",
+        "Q1",
+        "--configs",
+        "HC_TJ",
+        "--check-local",
+    ]));
+}
+
+/// The acceptance sweep: every Twitter-dataset paper query under all
+/// six shuffle×join configurations, four worker processes, each run
+/// compared byte-for-byte against the Local transport with exact
+/// runtime.tx/rx reconciliation (one persistent worker session serves
+/// all 42 fragments).
+#[test]
+fn all_twitter_queries_all_configs_match_local() {
+    run_ok(coordinator().args([
+        "--spawn-workers",
+        "4",
+        "--queries",
+        "Q1,Q2,Q5,Q6",
+        "--configs",
+        "all",
+        "--check-local",
+    ]));
+}
+
+/// Freebase-dataset queries (Q3 projects and needs `--distinct` for the
+/// paper's set semantics; Q4/Q7/Q8 join the catalog shapes) at a
+/// trimmed Freebase scale so the full config sweep stays test-sized.
+#[test]
+fn all_freebase_queries_all_configs_match_local() {
+    run_ok(coordinator().args([
+        "--spawn-workers",
+        "4",
+        "--queries",
+        "Q3,Q4,Q7,Q8",
+        "--configs",
+        "all",
+        "--freebase",
+        "500",
+        "--check-local",
+        "--distinct",
+    ]));
+}
